@@ -1,0 +1,95 @@
+// Ablations for the design choices and future-work directions DESIGN.md
+// calls out, quantified on the machine model:
+//
+//   1. task-balancing policy: the paper's static count-balanced assignment
+//      vs an idealized cost-balanced one — "the variability in
+//      computational costs perhaps motivates a dynamic approach" (§5);
+//   2. RPC vs RDMA-style one-sided pulls — "We leave a thorough
+//      investigation of RDMA versus RPC performance to future work" (§3.2);
+//   3. async pull aggregation on normal vs high-latency networks — "on a
+//      high-latency network we would expect more aggregation to be
+//      necessary" (§5).
+
+#include <cstdio>
+
+#include "figlib.hpp"
+
+using namespace gnb;
+
+int main(int argc, char** argv) {
+  Cli cli("bench_ablation", "Design-choice ablations on the machine model");
+  auto scale = cli.opt<double>("scale", 20, "divide paper workload counts by this");
+  auto nodes = cli.opt<std::uint64_t>("nodes", 64, "node count for the ablations");
+  auto seed = cli.opt<std::uint64_t>("seed", 42, "workload RNG seed");
+  cli.parse(argc, argv);
+
+  const auto context = bench::make_context(wl::human_ccs_spec(), *scale, *seed);
+  const sim::MachineParams machine = bench::scaled_machine(context, *nodes);
+  sim::SimOptions base;
+  base.calibration = context.calibration;
+
+  // --- 1. balancing policy ---
+  {
+    Table table({"policy", "engine", "runtime_s", "sync_s", "load_imbalance"});
+    for (const auto policy :
+         {sim::BalancePolicy::kCountBalanced, sim::BalancePolicy::kCostBalanced}) {
+      const sim::SimAssignment assignment =
+          sim::assign(context.workload, machine.total_ranks(), policy);
+      const auto bsp = sim::reduce(sim::simulate_bsp(machine, assignment, base));
+      const auto async = sim::reduce(sim::simulate_async(machine, assignment, base));
+      const char* name =
+          policy == sim::BalancePolicy::kCountBalanced ? "count (paper)" : "cost (idealized)";
+      table.add_row({std::string(name), std::string("BSP"), bsp.runtime, bsp.sync_avg,
+                     bsp.load_imbalance});
+      table.add_row({std::string(name), std::string("Async"), async.runtime, async.sync_avg,
+                     async.load_imbalance});
+    }
+    table.print("ablation 1 — static count-balanced vs idealized cost-balanced tasks");
+    std::printf("[ablation] cost balancing bounds the gain any dynamic scheme could buy "
+                "(paper §5: 'whether the performance improvements can compensate for the "
+                "overheads of dynamic load balancing... will be the question')\n");
+  }
+
+  // --- 2. RPC vs RDMA-style pulls ---
+  {
+    const sim::SimAssignment assignment =
+        sim::assign(context.workload, machine.total_ranks());
+    Table table({"pull mechanism", "runtime_s", "comm_s", "overhead_s"});
+    for (const bool rdma : {false, true}) {
+      sim::SimOptions options = base;
+      options.async_rdma = rdma;
+      const auto async = sim::reduce(sim::simulate_async(machine, assignment, options));
+      table.add_row({std::string(rdma ? "RDMA (2 RTT, no callee CPU)" : "RPC (1 RTT + service)"),
+                     async.runtime, async.comm_avg, async.overhead_avg});
+    }
+    table.print("ablation 2 — RPC vs RDMA-style one-sided lookup+get");
+  }
+
+  // --- 3. pull aggregation vs network latency ---
+  {
+    const sim::SimAssignment assignment =
+        sim::assign(context.workload, machine.total_ranks());
+    Table table({"internode latency", "batch", "async_runtime_s", "async_comm_s"});
+    for (const double latency : {1.6e-6, 1e-4}) {
+      std::size_t best_batch = 1;
+      double best_runtime = 1e100;
+      for (const std::size_t batch : {1, 4, 16, 64}) {
+        sim::MachineParams slow = machine;
+        slow.internode_latency = latency;
+        sim::SimOptions options = base;
+        options.async_batch = batch;
+        const auto async = sim::reduce(sim::simulate_async(slow, assignment, options));
+        table.add_row({format_seconds(latency), static_cast<std::uint64_t>(batch),
+                       async.runtime, async.comm_avg});
+        if (async.runtime < best_runtime) {
+          best_runtime = async.runtime;
+          best_batch = batch;
+        }
+      }
+      std::printf("[ablation] at %s latency the best batch size is %zu\n",
+                  format_seconds(latency).c_str(), best_batch);
+    }
+    table.print("ablation 3 — pull aggregation pays off as latency grows (§5)");
+  }
+  return 0;
+}

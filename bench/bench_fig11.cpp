@@ -1,0 +1,54 @@
+// Figure 11: maximum per-core memory footprint (log scale) of the two
+// engines, strong scaling Human CCS, against the application-available
+// memory per core (solid line) and the estimated memory needed to exchange
+// all reads at once (dashed line).
+//
+// Paper shapes: BSP pins at the capacity while memory-limited (8-32
+// nodes), then tracks the estimate once a single exchange fits (64-512
+// nodes). Async stays flat and low (< 256 MB per core) across scales.
+
+#include <cstdio>
+
+#include "figlib.hpp"
+
+using namespace gnb;
+
+int main(int argc, char** argv) {
+  Cli cli("bench_fig11", "Max per-core memory footprint (Fig. 11)");
+  auto scale = cli.opt<double>("scale", 10, "divide paper workload counts by this");
+  auto seed = cli.opt<std::uint64_t>("seed", 42, "workload RNG seed");
+  auto csv = cli.opt<std::string>("csv", "", "optional CSV output path");
+  cli.parse(argc, argv);
+
+  const auto context = bench::make_context(wl::human_ccs_spec(), *scale, *seed);
+  const std::uint64_t capacity = bench::ccs_capacity(context);
+
+  Table table({"nodes", "bsp_peak", "async_peak", "capacity", "exchange_estimate",
+               "bsp_rounds"});
+  std::uint64_t async_max = 0;
+  for (const std::size_t nodes : {8, 16, 32, 64, 128, 256, 512}) {
+    sim::MachineParams machine = bench::scaled_machine(context, nodes);
+    machine.memory_per_core = capacity;
+    sim::SimOptions options;
+    options.calibration = context.calibration;
+    const sim::SimAssignment assignment =
+        sim::assign(context.workload, machine.total_ranks());
+    const sim::Breakdown bsp = sim::reduce(sim::simulate_bsp(machine, assignment, options));
+    const sim::Breakdown async =
+        sim::reduce(sim::simulate_async(machine, assignment, options));
+    const std::uint64_t estimate = sim::estimated_exchange_memory(assignment);
+    async_max = std::max(async_max, async.peak_memory_max);
+    table.add_row({std::to_string(nodes),
+                   format_bytes(static_cast<double>(bsp.peak_memory_max)),
+                   format_bytes(static_cast<double>(async.peak_memory_max)),
+                   format_bytes(static_cast<double>(capacity)),
+                   format_bytes(static_cast<double>(estimate)),
+                   static_cast<std::uint64_t>(bsp.rounds)});
+  }
+  std::printf("[fig11] async peak stays <= %s across scales (paper: < 256 MB at full "
+              "workload scale)\n",
+              format_bytes(static_cast<double>(async_max)).c_str());
+  table.print("Figure 11 — max per-core memory footprint, Human CCS");
+  if (!csv->empty()) table.write_csv(*csv);
+  return 0;
+}

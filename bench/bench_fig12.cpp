@@ -1,0 +1,41 @@
+// Figure 12: memory footprint (absolute, left axis) together with overall
+// runtime (right axis), strong scaling Human CCS.
+//
+// Paper shapes: Async keeps a lower, near-fixed memory footprint while
+// achieving lower runtime via communication-computation overlap; the two
+// engines converge at the largest scale (512 nodes / 32K cores).
+
+#include <cstdio>
+
+#include "figlib.hpp"
+
+using namespace gnb;
+
+int main(int argc, char** argv) {
+  Cli cli("bench_fig12", "Memory footprint and runtime overlay (Fig. 12)");
+  auto scale = cli.opt<double>("scale", 10, "divide paper workload counts by this");
+  auto seed = cli.opt<std::uint64_t>("seed", 42, "workload RNG seed");
+  auto csv = cli.opt<std::string>("csv", "", "optional CSV output path");
+  cli.parse(argc, argv);
+
+  const auto context = bench::make_context(wl::human_ccs_spec(), *scale, *seed);
+  const std::uint64_t capacity = bench::ccs_capacity(context);
+
+  Table table({"nodes", "bsp_mem", "async_mem", "bsp_runtime_s", "async_runtime_s",
+               "async/bsp_runtime"});
+  for (const std::size_t nodes : {8, 16, 32, 64, 128, 256, 512}) {
+    sim::MachineParams machine = bench::scaled_machine(context, nodes);
+    machine.memory_per_core = capacity;
+    sim::SimOptions options;
+    options.calibration = context.calibration;
+    const auto pair = bench::simulate_pair(context, machine, options);
+    table.add_row({std::to_string(nodes),
+                   format_bytes(static_cast<double>(pair.bsp.peak_memory_max)),
+                   format_bytes(static_cast<double>(pair.async.peak_memory_max)),
+                   pair.bsp.runtime, pair.async.runtime,
+                   pair.async.runtime / pair.bsp.runtime});
+  }
+  table.print("Figure 12 — memory footprint and runtime, Human CCS");
+  if (!csv->empty()) table.write_csv(*csv);
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 4: single-node runtime breakdowns on two problem sizes
+// (E. coli 30x and E. coli 100x), 64 application cores.
+//
+// Paper shapes: the larger problem is ~94% compute-dominated versus ~90%
+// for the smaller one; the two codes differ by ~1 s (< 0.3%) on the larger
+// problem.
+
+#include <cstdio>
+
+#include "figlib.hpp"
+
+using namespace gnb;
+
+int main(int argc, char** argv) {
+  Cli cli("bench_fig4", "1-node breakdowns on 2 problem sizes (Fig. 4)");
+  auto seed = cli.opt<std::uint64_t>("seed", 42, "workload RNG seed");
+  auto scale100 = cli.opt<double>("scale100", 4,
+                                  "scale divisor for the 100x workload (task count only; "
+                                  "1 = paper-size, slower to generate)");
+  cli.parse(argc, argv);
+
+  Table table({"dataset", "engine", "runtime_s", "compute_s", "overhead_s", "comm_s",
+               "sync_s", "compute_%", "rounds"});
+
+  for (const bool big : {false, true}) {
+    const wl::DatasetSpec spec = big ? wl::ecoli100x_spec() : wl::ecoli30x_spec();
+    const double scale = big ? *scale100 : 1.0;
+    const auto context = bench::make_context(spec, scale, *seed);
+    sim::MachineParams machine = sim::cori_knl(1);
+    sim::SimOptions options;
+    options.calibration = context.calibration;
+    options.os_noise = 0.004;
+    const auto pair = bench::simulate_pair(context, machine, options);
+    for (const auto& [name, b] :
+         {std::pair{"BSP", pair.bsp}, std::pair{"Async", pair.async}}) {
+      table.add_row({spec.name, std::string(name), b.runtime, b.compute_avg, b.overhead_avg,
+                     b.comm_avg, b.sync_avg, 100.0 * b.compute_avg / b.runtime,
+                     static_cast<std::uint64_t>(b.rounds)});
+    }
+    std::printf("[fig4] %s: compute share BSP %.1f%%, engine diff %.3f%% (paper: %s)\n",
+                spec.name.c_str(), 100.0 * pair.bsp.compute_avg / pair.bsp.runtime,
+                100.0 * std::abs(pair.bsp.runtime - pair.async.runtime) /
+                    std::min(pair.bsp.runtime, pair.async.runtime),
+                big ? "~94% compute, diff < 0.3%" : "~90% compute, diff < 0.1%");
+  }
+  table.print("Figure 4 — single-node breakdown, E. coli 30x vs 100x (64 cores)");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Figure 6: difference between the maximum and minimum bulk-synchronous
+// exchange loads (received read bytes per core), strong scaling Human CCS.
+//
+// Paper shape: a large, persistent gap between the min and max exchange
+// loads across scales — variable read lengths drive communication load
+// imbalance on top of the computational one.
+
+#include <cstdio>
+
+#include "figlib.hpp"
+
+using namespace gnb;
+
+int main(int argc, char** argv) {
+  Cli cli("bench_fig6", "BSP exchange-load imbalance (Fig. 6)");
+  auto scale = cli.opt<double>("scale", 10, "divide paper workload counts by this");
+  auto seed = cli.opt<std::uint64_t>("seed", 42, "workload RNG seed");
+  auto csv = cli.opt<std::string>("csv", "", "optional CSV output path");
+  cli.parse(argc, argv);
+
+  const auto context = bench::make_context(wl::human_ccs_spec(), *scale, *seed);
+
+  Table table({"nodes", "recv_min", "recv_max", "max-min", "max/min"});
+  for (const std::size_t nodes : {8, 16, 32, 64, 128, 256, 512}) {
+    const sim::MachineParams machine = bench::scaled_machine(context, nodes);
+    const sim::SimAssignment assignment =
+        sim::assign(context.workload, machine.total_ranks());
+    const sim::ExchangeLoad load = sim::exchange_load(assignment);
+    table.add_row({std::to_string(nodes), format_bytes(static_cast<double>(load.min_bytes)),
+                   format_bytes(static_cast<double>(load.max_bytes)),
+                   format_bytes(static_cast<double>(load.max_bytes - load.min_bytes)),
+                   load.min_bytes ? static_cast<double>(load.max_bytes) /
+                                        static_cast<double>(load.min_bytes)
+                                  : 0.0});
+  }
+  table.print("Figure 6 — BSP exchange load (received bytes per core), Human CCS");
+  if (!csv->empty()) table.write_csv(*csv);
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 7: total average communication latency, strong scaling Human CCS
+// with computation skipped (the comm-benchmarking mode of §4.3).
+//
+// Paper shapes: the bulk-synchronous latency starts lower but scales
+// *sublinearly* from 8-512 nodes; the asynchronous latency scales with the
+// workload (per-rank lookups fall as 1/P), producing a performance
+// crossover between 32 and 64 nodes.
+
+#include <cstdio>
+
+#include "figlib.hpp"
+
+using namespace gnb;
+
+int main(int argc, char** argv) {
+  Cli cli("bench_fig7", "Comm-only latency, BSP vs Async (Fig. 7)");
+  auto scale = cli.opt<double>("scale", 10, "divide paper workload counts by this");
+  auto seed = cli.opt<std::uint64_t>("seed", 42, "workload RNG seed");
+  auto window = cli.opt<std::uint64_t>("window", 64, "async outstanding-request cap");
+  auto csv = cli.opt<std::string>("csv", "", "optional CSV output path");
+  cli.parse(argc, argv);
+
+  const auto context = bench::make_context(wl::human_ccs_spec(), *scale, *seed);
+  const std::uint64_t capacity = bench::ccs_capacity(context);
+
+  Table table({"nodes", "bsp_comm_s", "async_comm_s", "async/bsp"});
+  std::size_t crossover = 0;
+  for (const std::size_t nodes : {8, 16, 32, 64, 128, 256, 512}) {
+    sim::MachineParams machine = bench::scaled_machine(context, nodes);
+    machine.memory_per_core = capacity;
+    sim::SimOptions options;
+    options.calibration = context.calibration;
+    options.skip_compute = true;
+    options.async_window = *window;
+    const auto pair = bench::simulate_pair(context, machine, options);
+    // With compute skipped, the whole phase is communication + residual
+    // overhead; compare total average visible time.
+    const double bsp_latency = pair.bsp.comm_avg + pair.bsp.overhead_avg;
+    const double async_latency = pair.async.comm_avg + pair.async.overhead_avg;
+    table.add_row({std::to_string(nodes), bsp_latency, async_latency,
+                   bsp_latency > 0 ? async_latency / bsp_latency : 0.0});
+    if (crossover == 0 && async_latency < bsp_latency) crossover = nodes;
+  }
+  if (crossover != 0)
+    std::printf("[fig7] async latency drops below BSP at %zu nodes "
+                "(paper: crossover between 32 and 64 nodes)\n", crossover);
+  else
+    std::printf("[fig7] no crossover observed (paper: between 32 and 64 nodes)\n");
+  table.print("Figure 7 — communication latency with computation skipped, Human CCS");
+  if (!csv->empty()) table.write_csv(*csv);
+  return 0;
+}

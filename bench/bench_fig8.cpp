@@ -1,0 +1,52 @@
+// Figure 8: comparative runtime breakdown strong scaling E. coli 100x,
+// 1 -> 128 nodes (64 -> 8K cores).
+//
+// Paper shapes to reproduce:
+//   * ~40x speedup at 128 nodes over 1 node; absolute parity of compute
+//     and sync between the two codes;
+//   * BSP visible communication grows from ~1% of runtime (1 node) to
+//     >24% (128 nodes) even though memory allows a single exchange;
+//   * Async hides most latency (<7% visible at 128 nodes) and is up to
+//     ~12% more efficient.
+
+#include <cstdio>
+
+#include "figlib.hpp"
+
+using namespace gnb;
+
+int main(int argc, char** argv) {
+  Cli cli("bench_fig8", "Strong scaling E. coli 100x, 1-128 nodes (Fig. 8)");
+  auto scale = cli.opt<double>("scale", 10, "divide paper workload counts by this");
+  auto seed = cli.opt<std::uint64_t>("seed", 42, "workload RNG seed");
+  auto csv = cli.opt<std::string>("csv", "", "optional CSV output path");
+  cli.parse(argc, argv);
+
+  const auto context = bench::make_context(wl::ecoli100x_spec(), *scale, *seed);
+
+  Table table({"nodes", "engine", "runtime_s", "compute_s", "overhead_s", "comm_s", "sync_s",
+               "comm_%", "rounds"});
+  double bsp_1node = 0;
+  for (const std::size_t nodes : {1, 2, 4, 8, 16, 32, 64, 128}) {
+    sim::MachineParams machine = bench::scaled_machine(context, nodes);
+    // Fig-8 premise: enough memory at every scale for a single exchange.
+    machine.memory_per_core = ~std::uint64_t{0} >> 1;
+    sim::SimOptions options;
+    options.calibration = context.calibration;
+    const auto pair = bench::simulate_pair(context, machine, options);
+    bench::add_breakdown_rows(table, nodes, pair);
+    if (nodes == 1) bsp_1node = pair.bsp.runtime;
+    if (nodes == 128) {
+      std::printf("[fig8] 128-node speedup: BSP %.1fx, Async %.1fx (paper ~40x)\n",
+                  bsp_1node / pair.bsp.runtime, bsp_1node / pair.async.runtime);
+      std::printf("[fig8] comm share at 128 nodes: BSP %.1f%% (paper >24%%), Async %.1f%% "
+                  "(paper <7%%)\n",
+                  100 * pair.bsp.comm_fraction(), 100 * pair.async.comm_fraction());
+      std::printf("[fig8] Async efficiency gain at 128 nodes: %.1f%% (paper: up to 12%%)\n",
+                  100 * (1 - pair.async.runtime / pair.bsp.runtime));
+    }
+  }
+  table.print("Figure 8 — E. coli 100x strong scaling breakdown");
+  if (!csv->empty()) table.write_csv(*csv);
+  return 0;
+}

@@ -1,0 +1,213 @@
+// Kernel microbenchmarks (google-benchmark): the X-drop seed-and-extend
+// kernel on true overlaps and false-positive candidates, the exact
+// Smith-Waterman baseline, k-mer extraction/counting, and sequence
+// pack/serialize — the per-task building blocks whose costs drive the
+// application-level models.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "align/affine.hpp"
+#include "align/cigar.hpp"
+#include "align/exact.hpp"
+#include "align/xdrop.hpp"
+#include "kmer/counter.hpp"
+#include "kmer/minimizer.hpp"
+#include "seq/read_store.hpp"
+#include "util/rng.hpp"
+#include "wl/genome.hpp"
+#include "wl/sampler.hpp"
+
+using namespace gnb;
+
+namespace {
+
+struct BenchData {
+  std::vector<std::uint8_t> a_true, b_true;  // overlapping pair
+  align::Seed seed_true;
+  std::vector<std::uint8_t> a_false, b_false;  // unrelated pair
+  align::Seed seed_false;
+  seq::ReadStore reads;
+};
+
+const BenchData& data() {
+  static const BenchData instance = [] {
+    BenchData d;
+    Xoshiro256 rng(123);
+    wl::GenomeParams gp;
+    gp.length = 60'000;
+    gp.repeat_fraction = 0;
+    const seq::Sequence genome = wl::generate_genome(gp, rng);
+    wl::ReadSimParams rp;
+    rp.coverage = 4;
+    rp.mean_length = 3000;
+    rp.error_rate = 0.12;
+    rp.shuffle = false;
+    wl::SampledDataset ds = wl::sample_reads(genome, rp, rng);
+
+    // Find a strongly overlapping same-strand pair for the true case.
+    for (std::size_t i = 0; i + 1 < ds.reads.size() && d.a_true.empty(); ++i) {
+      for (std::size_t j = i + 1; j < ds.reads.size(); ++j) {
+        if (ds.origins[i].reverse_strand != ds.origins[j].reverse_strand) continue;
+        if (wl::true_overlap(ds.origins[i], ds.origins[j]) < 1500) continue;
+        d.a_true = ds.reads.get(static_cast<seq::ReadId>(i)).sequence.unpack();
+        d.b_true = ds.reads.get(static_cast<seq::ReadId>(j)).sequence.unpack();
+        // Brute-force a short exact anchor.
+        constexpr std::uint32_t k = 13;
+        for (std::uint32_t pa = 0; pa + k < d.a_true.size() && d.seed_true.length == 0;
+             pa += 19) {
+          for (std::uint32_t pb = 0; pb + k < d.b_true.size(); pb += 1) {
+            if (std::equal(d.a_true.begin() + pa, d.a_true.begin() + pa + k,
+                           d.b_true.begin() + pb)) {
+              d.seed_true = align::Seed{pa, pb, k, false};
+              break;
+            }
+          }
+        }
+        if (d.seed_true.length == 0) d.a_true.clear();
+        break;
+      }
+    }
+
+    // Unrelated pair: reads from far-apart genome regions.
+    d.a_false.assign(3000, 0);
+    d.b_false.assign(3000, 0);
+    for (auto& c : d.a_false) c = static_cast<std::uint8_t>(rng.below(4));
+    for (auto& c : d.b_false) c = static_cast<std::uint8_t>(rng.below(4));
+    // Plant a fake 17-mer match in the middle (a false-positive seed).
+    for (std::uint32_t t = 0; t < 17; ++t) d.b_false[1500 + t] = d.a_false[1500 + t];
+    d.seed_false = align::Seed{1500, 1500, 17, false};
+
+    for (std::size_t i = 0; i < std::min<std::size_t>(ds.reads.size(), 40); ++i) {
+      const auto& read = ds.reads.get(static_cast<seq::ReadId>(i));
+      d.reads.add(read.name, read.sequence);
+    }
+    return d;
+  }();
+  return instance;
+}
+
+void BM_XdropTrueOverlap(benchmark::State& state) {
+  const BenchData& d = data();
+  if (d.a_true.empty()) {
+    state.SkipWithError("no overlapping pair found");
+    return;
+  }
+  std::uint64_t cells = 0;
+  for (auto _ : state) {
+    const auto alignment = align::xdrop_align(d.a_true, d.b_true, d.seed_true, {});
+    benchmark::DoNotOptimize(alignment.score);
+    cells += alignment.cells;
+  }
+  state.counters["cells/s"] =
+      benchmark::Counter(static_cast<double>(cells), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_XdropTrueOverlap);
+
+void BM_XdropFalsePositive(benchmark::State& state) {
+  const BenchData& d = data();
+  std::uint64_t cells = 0;
+  for (auto _ : state) {
+    const auto alignment = align::xdrop_align(d.a_false, d.b_false, d.seed_false, {});
+    benchmark::DoNotOptimize(alignment.score);
+    cells += alignment.cells;
+  }
+  // Early termination: cells per call should be orders of magnitude below
+  // the full DP size (9M cells for 3k x 3k).
+  state.counters["cells/call"] = static_cast<double>(cells) /
+                                 static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_XdropFalsePositive);
+
+void BM_SmithWatermanExact(benchmark::State& state) {
+  const BenchData& d = data();
+  // Exact O(nm) on 1/4-length slices to keep the bench quick.
+  const std::span<const std::uint8_t> a(d.a_false.data(), 750);
+  const std::span<const std::uint8_t> b(d.b_false.data(), 750);
+  for (auto _ : state) {
+    const auto result = align::smith_waterman(a, b);
+    benchmark::DoNotOptimize(result.score);
+  }
+  state.counters["cells/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 750 * 750, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SmithWatermanExact);
+
+void BM_KmerCounting(benchmark::State& state) {
+  const BenchData& d = data();
+  for (auto _ : state) {
+    kmer::KmerCounter counter;
+    counter.count_reads(d.reads.reads(), 17);
+    benchmark::DoNotOptimize(counter.distinct());
+  }
+  state.counters["bases/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(d.reads.total_bases()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_KmerCounting);
+
+void BM_AffineSmithWaterman(benchmark::State& state) {
+  const BenchData& d = data();
+  const std::span<const std::uint8_t> a(d.a_false.data(), 750);
+  const std::span<const std::uint8_t> b(d.b_false.data(), 750);
+  for (auto _ : state) {
+    const auto result = align::affine_smith_waterman(a, b);
+    benchmark::DoNotOptimize(result.score);
+  }
+  state.counters["cells/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 750 * 750, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_AffineSmithWaterman);
+
+void BM_BandedTraceback(benchmark::State& state) {
+  const BenchData& d = data();
+  if (d.a_true.empty()) {
+    state.SkipWithError("no overlapping pair found");
+    return;
+  }
+  // Re-align the overlap region with traceback (the error-correction
+  // kernel): both sequences truncated to equal-ish windows.
+  const std::size_t window = std::min<std::size_t>(
+      1'500, std::min(d.a_true.size(), d.b_true.size()));
+  const std::span<const std::uint8_t> a(d.a_true.data(), window);
+  const std::span<const std::uint8_t> b(d.b_true.data(), window);
+  for (auto _ : state) {
+    const auto result = align::banded_global_traceback(a, b, 200);
+    benchmark::DoNotOptimize(result.score);
+  }
+  state.counters["bases/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(window),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BandedTraceback);
+
+void BM_MinimizerExtraction(benchmark::State& state) {
+  const BenchData& d = data();
+  const seq::Read& read = d.reads.get(0);
+  for (auto _ : state) {
+    const auto minimizers = kmer::extract_minimizers(read, 15, 10);
+    benchmark::DoNotOptimize(minimizers.size());
+  }
+  state.counters["bases/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(read.length()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MinimizerExtraction);
+
+void BM_ReadSerializeRoundtrip(benchmark::State& state) {
+  const BenchData& d = data();
+  const seq::Read& read = d.reads.get(0);
+  for (auto _ : state) {
+    std::vector<std::uint8_t> buffer;
+    seq::serialize_read(read, buffer);
+    std::size_t offset = 0;
+    const seq::Read back = seq::deserialize_read(buffer, offset);
+    benchmark::DoNotOptimize(back.id);
+  }
+}
+BENCHMARK(BM_ReadSerializeRoundtrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+#include "figlib.hpp"
+
+#include <cmath>
+
+#include "sim/assignment.hpp"
+#include "util/log.hpp"
+
+namespace gnb::bench {
+
+FigureContext make_context(const wl::DatasetSpec& spec, double scale, std::uint64_t seed) {
+  FigureContext context;
+  context.spec = spec;
+  context.scale = scale;
+  context.seed = seed;
+  context.workload = wl::model_workload(spec, scale, seed);
+  context.calibration = core::calibrate_cost_model(seed);
+  log::info(spec.name, ": model workload ", context.workload.read_lengths.size(), " reads, ",
+            context.workload.tasks.size(), " tasks (1/", scale, " of paper), kernel ",
+            context.calibration.cells_per_second / 1e6, " Mcells/s");
+  return context;
+}
+
+sim::MachineParams scaled_machine(const FigureContext& context, std::size_t nodes) {
+  sim::MachineParams machine = sim::cori_knl(nodes);
+  const double scale = context.scale;
+  machine.cores_per_node = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::llround(64.0 / scale)));
+  machine.nic_bandwidth /= scale;
+  machine.intranode_bandwidth /= scale;
+  machine.global_bw_per_node /= scale;
+  machine.a2a_setup_per_peer *= scale;  // the real run has scale-x more peers
+  return machine;
+}
+
+std::uint64_t ccs_capacity(const FigureContext& context) {
+  // Capacity such that the BSP exchange first fits in a single superstep
+  // at 64 nodes — the paper's crossover (memory-limited at 8-32 nodes,
+  // single-round from 64 on). The workload is scaled, so the 1.4 GB
+  // absolute line is replaced by this workload-relative equivalent.
+  const sim::MachineParams machine64 = scaled_machine(context, 64);
+  const sim::SimAssignment assignment =
+      sim::assign(context.workload, machine64.total_ranks());
+  return static_cast<std::uint64_t>(
+      1.02 * static_cast<double>(sim::single_round_capacity(assignment)));
+}
+
+PairResult simulate_pair(const FigureContext& context, const sim::MachineParams& machine,
+                         const sim::SimOptions& options) {
+  const sim::SimAssignment assignment =
+      sim::assign(context.workload, machine.total_ranks());
+  PairResult pair;
+  pair.bsp = sim::reduce(sim::simulate_bsp(machine, assignment, options));
+  pair.async = sim::reduce(sim::simulate_async(machine, assignment, options));
+  return pair;
+}
+
+void add_breakdown_rows(Table& table, std::size_t nodes, const PairResult& pair) {
+  const auto row = [&](const char* name, const sim::Breakdown& b) {
+    table.add_row({std::to_string(nodes), std::string(name), b.runtime, b.compute_avg,
+                   b.overhead_avg, b.comm_avg, b.sync_avg,
+                   100.0 * b.comm_fraction(), static_cast<std::uint64_t>(b.rounds)});
+  };
+  row("BSP", pair.bsp);
+  row("Async", pair.async);
+}
+
+}  // namespace gnb::bench

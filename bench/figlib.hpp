@@ -1,0 +1,63 @@
+#pragma once
+// Shared harness for the per-figure benchmark binaries.
+//
+// Every bench regenerates one paper table/figure: it builds the model
+// workload for the figure's dataset, sweeps the figure's node counts, runs
+// both engine models, and prints the same rows/series the paper reports
+// (plus a CSV next to the binary when --csv is given). Absolute seconds are
+// host-calibrated; the *shapes* are the reproduction target (DESIGN.md §4).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/calibrate.hpp"
+#include "sim/machine.hpp"
+#include "sim/perf_model.hpp"
+#include "sim/report.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "wl/presets.hpp"
+
+namespace gnb::bench {
+
+struct FigureContext {
+  wl::DatasetSpec spec;
+  wl::SimWorkload workload;
+  core::CostCalibration calibration;
+  double scale = 20;
+  std::uint64_t seed = 42;
+};
+
+/// Build the context for a dataset: generate the model workload at
+/// 1/scale of the paper's counts and calibrate the kernel time base.
+FigureContext make_context(const wl::DatasetSpec& spec, double scale, std::uint64_t seed);
+
+/// A 1/scale *slice* of a Cori-KNL machine with `nodes` nodes: the model
+/// workload is 1/scale of the paper's, so each node keeps 64/scale
+/// application cores with 1/scale of the NIC and global bandwidth (and a
+/// per-peer alltoallv setup cost inflated by scale, since the real run has
+/// scale-times more peers). Per-rank task counts, read counts, exchange
+/// bytes and bandwidth shares then match the paper's magnitudes at every
+/// node count, which is what the breakdown shapes depend on. Per-core
+/// memory stays at the real 1.4 GB.
+sim::MachineParams scaled_machine(const FigureContext& context, std::size_t nodes);
+
+/// Per-core memory override used by the Human-CCS figures: the estimated
+/// all-at-once exchange footprint midway (geometric) between 32 and 64
+/// nodes, so that BSP is memory-limited at 8-32 nodes and single-round from
+/// 64 nodes on, as in the paper (Figs 9-11).
+std::uint64_t ccs_capacity(const FigureContext& context);
+
+/// One BSP + one Async simulation at `nodes`, with shared options.
+struct PairResult {
+  sim::Breakdown bsp;
+  sim::Breakdown async;
+};
+PairResult simulate_pair(const FigureContext& context, const sim::MachineParams& machine,
+                         const sim::SimOptions& options);
+
+/// Standard breakdown table: one row per (nodes, engine).
+void add_breakdown_rows(Table& table, std::size_t nodes, const PairResult& pair);
+
+}  // namespace gnb::bench

@@ -1,0 +1,109 @@
+// Machine explorer: what-if studies on the machine model, exploring the
+// design questions the paper's §5 raises but leaves to future work:
+//
+//   1. network latency sweep — "on a high-latency network we would expect
+//      more aggregation to be necessary";
+//   2. computation-speedup sweep — "for the asynchronous approach, overall
+//      runtime improves with alignment optimizations until average message
+//      latency exceeds the average pairwise alignment computation rate";
+//   3. async outstanding-request window sweep (the §4.3 tuning knob);
+//   4. BSP aggregation-budget sweep (memory vs supersteps).
+//
+// Run: ./build/examples/machine_explorer [--nodes=64] [--scale=20]
+
+#include <cstdio>
+
+#include "core/calibrate.hpp"
+#include "sim/perf_model.hpp"
+#include "sim/report.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "wl/presets.hpp"
+
+using namespace gnb;
+
+int main(int argc, char** argv) {
+  Cli cli("machine_explorer", "What-if sweeps on the machine performance model");
+  auto nodes = cli.opt<std::uint64_t>("nodes", 64, "node count for the sweeps");
+  auto scale = cli.opt<double>("scale", 20, "divide paper workload counts by this");
+  auto seed = cli.opt<std::uint64_t>("seed", 42, "workload RNG seed");
+  cli.parse(argc, argv);
+
+  const wl::DatasetSpec spec = wl::human_ccs_spec();
+  const wl::SimWorkload workload = wl::model_workload(spec, *scale, *seed);
+  const core::CostCalibration calibration = core::calibrate_cost_model(*seed);
+
+  auto make_machine = [&](std::size_t node_count) {
+    sim::MachineParams machine = sim::cori_knl(node_count);
+    machine.cores_per_node = std::max<std::size_t>(1, static_cast<std::size_t>(64.0 / *scale));
+    machine.nic_bandwidth /= *scale;
+    machine.intranode_bandwidth /= *scale;
+    machine.global_bw_per_node /= *scale;
+    machine.a2a_setup_per_peer *= *scale;
+    return machine;
+  };
+  const sim::MachineParams machine = make_machine(*nodes);
+  const sim::SimAssignment assignment = sim::assign(workload, machine.total_ranks());
+  sim::SimOptions base;
+  base.calibration = calibration;
+
+  // --- 1. latency sweep ---
+  {
+    Table table({"internode latency", "bsp_runtime_s", "async_runtime_s", "async_comm_s",
+                 "async wins?"});
+    for (const double latency : {1.6e-6, 8e-6, 4e-5, 2e-4, 1e-3}) {
+      sim::MachineParams m = machine;
+      m.internode_latency = latency;
+      const auto bsp = sim::reduce(sim::simulate_bsp(m, assignment, base));
+      const auto async = sim::reduce(sim::simulate_async(m, assignment, base));
+      table.add_row({format_seconds(latency), bsp.runtime, async.runtime, async.comm_avg,
+                     async.runtime < bsp.runtime ? std::string("yes") : std::string("no")});
+    }
+    table.print("latency sweep — higher latency eventually demands aggregation (BSP)");
+  }
+
+  // --- 2. computation-speedup sweep (e.g. GPU/vectorized kernels) ---
+  {
+    Table table({"kernel speedup", "bsp_runtime_s", "bsp_comm_%", "async_runtime_s",
+                 "async_comm_%"});
+    for (const double speedup : {1.0, 2.0, 4.0, 8.0, 16.0, 64.0}) {
+      sim::SimOptions options = base;
+      options.calibration.cells_per_second = calibration.cells_per_second * speedup;
+      const auto bsp = sim::reduce(sim::simulate_bsp(machine, assignment, options));
+      const auto async = sim::reduce(sim::simulate_async(machine, assignment, options));
+      table.add_row({speedup, bsp.runtime, 100 * bsp.comm_fraction(), async.runtime,
+                     100 * async.comm_fraction()});
+    }
+    table.print("kernel-speedup sweep — compute optimizations expose communication");
+  }
+
+  // --- 3. async window sweep (max outstanding RPCs) ---
+  {
+    Table table({"window", "async_runtime_s", "async_comm_s", "async_peak_mem"});
+    for (const std::size_t window : {1, 4, 16, 64, 256, 1024}) {
+      sim::SimOptions options = base;
+      options.async_window = window;
+      const auto async = sim::reduce(sim::simulate_async(machine, assignment, options));
+      table.add_row({static_cast<std::uint64_t>(window), async.runtime, async.comm_avg,
+                     format_bytes(static_cast<double>(async.peak_memory_max))});
+    }
+    table.print("async outstanding-request window sweep (paper §4.3 knob)");
+  }
+
+  // --- 4. BSP aggregation-budget sweep ---
+  {
+    Table table({"round budget", "rounds", "bsp_runtime_s", "bsp_comm_s", "bsp_peak_mem"});
+    const sim::SimAssignment& a = assignment;
+    const std::uint64_t full = sim::single_round_capacity(a);
+    for (const double frac : {0.02, 0.05, 0.1, 0.25, 0.5, 1.0}) {
+      sim::SimOptions options = base;
+      options.bsp_round_budget = static_cast<std::uint64_t>(frac * static_cast<double>(full));
+      const auto bsp = sim::reduce(sim::simulate_bsp(machine, a, options));
+      table.add_row({format_bytes(frac * static_cast<double>(full)),
+                     static_cast<std::uint64_t>(bsp.rounds), bsp.runtime, bsp.comm_avg,
+                     format_bytes(static_cast<double>(bsp.peak_memory_max))});
+    }
+    table.print("BSP aggregation-budget sweep — memory buys fewer, cheaper supersteps");
+  }
+  return 0;
+}

@@ -1,0 +1,109 @@
+#include "align/affine.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+namespace gnb::align {
+
+namespace {
+constexpr std::int32_t kNegInf = std::numeric_limits<std::int32_t>::min() / 4;
+
+struct Cell {
+  std::int32_t score = 0;
+  std::uint32_t oa = 0, ob = 0;  // origin of the best path through here
+};
+}  // namespace
+
+LocalAlignment affine_smith_waterman(std::span<const std::uint8_t> a,
+                                     std::span<const std::uint8_t> b,
+                                     const AffineScoring& scoring) {
+  LocalAlignment best;
+  const std::size_t nb = b.size();
+
+  // Three-state Gotoh: M (match/mismatch), E (gap in a, horizontal),
+  // F (gap in b, vertical). Local: all floored at zero via M restart.
+  std::vector<Cell> m_prev(nb + 1), m_curr(nb + 1);
+  std::vector<Cell> f_prev(nb + 1), f_curr(nb + 1);
+  for (std::size_t j = 0; j <= nb; ++j) {
+    m_prev[j] = Cell{0, 0, static_cast<std::uint32_t>(j)};
+    f_prev[j] = Cell{kNegInf, 0, static_cast<std::uint32_t>(j)};
+  }
+
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    m_curr[0] = Cell{0, static_cast<std::uint32_t>(i), 0};
+    f_curr[0] = Cell{kNegInf, static_cast<std::uint32_t>(i), 0};
+    Cell e{kNegInf, 0, 0};  // E state for the current row, running
+    for (std::size_t j = 1; j <= nb; ++j) {
+      // E: gap in a (consume b[j-1]); open from M or extend E.
+      const std::int32_t e_open = m_curr[j - 1].score + scoring.gap_open;
+      const std::int32_t e_extend = e.score + scoring.gap_extend;
+      e = e_open >= e_extend ? Cell{e_open, m_curr[j - 1].oa, m_curr[j - 1].ob}
+                             : Cell{e_extend, e.oa, e.ob};
+      // F: gap in b (consume a[i-1]); open from M or extend F.
+      const std::int32_t f_open = m_prev[j].score + scoring.gap_open;
+      const std::int32_t f_extend = f_prev[j].score + scoring.gap_extend;
+      f_curr[j] = f_open >= f_extend ? Cell{f_open, m_prev[j].oa, m_prev[j].ob}
+                                     : Cell{f_extend, f_prev[j].oa, f_prev[j].ob};
+      // M: diagonal from best of {M, E, F} at (i-1, j-1)... in Gotoh's
+      // formulation M(i,j) = max(M,E,F)(i-1,j-1) + sub, floored at 0.
+      // We fold E/F of the previous cell into m_prev by taking the max
+      // when writing m (standard H-matrix formulation):
+      const std::int32_t sub = scoring.substitution(a[i - 1], b[j - 1]);
+      Cell cell{0, static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(j)};
+      if (const std::int32_t diag = m_prev[j - 1].score + sub; diag > cell.score)
+        cell = Cell{diag, m_prev[j - 1].oa, m_prev[j - 1].ob};
+      if (e.score > cell.score) cell = e;
+      if (f_curr[j].score > cell.score) cell = f_curr[j];
+      m_curr[j] = cell;  // H matrix: best of all states, local floor 0
+      ++best.cells;
+      if (cell.score > best.score) {
+        best.score = cell.score;
+        best.a_begin = cell.oa;
+        best.b_begin = cell.ob;
+        best.a_end = static_cast<std::uint32_t>(i);
+        best.b_end = static_cast<std::uint32_t>(j);
+      }
+    }
+    std::swap(m_prev, m_curr);
+    std::swap(f_prev, f_curr);
+  }
+  return best;
+}
+
+std::int32_t affine_global_score(std::span<const std::uint8_t> a,
+                                 std::span<const std::uint8_t> b,
+                                 const AffineScoring& scoring) {
+  const std::size_t nb = b.size();
+  std::vector<std::int32_t> m_prev(nb + 1), m_curr(nb + 1);
+  std::vector<std::int32_t> e_prev(nb + 1), e_curr(nb + 1);
+  std::vector<std::int32_t> f_prev(nb + 1), f_curr(nb + 1);
+
+  m_prev[0] = 0;
+  e_prev[0] = f_prev[0] = kNegInf;
+  for (std::size_t j = 1; j <= nb; ++j) {
+    e_prev[j] = scoring.gap_open + static_cast<std::int32_t>(j - 1) * scoring.gap_extend;
+    m_prev[j] = e_prev[j];
+    f_prev[j] = kNegInf;
+  }
+
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    f_curr[0] = scoring.gap_open + static_cast<std::int32_t>(i - 1) * scoring.gap_extend;
+    m_curr[0] = f_curr[0];
+    e_curr[0] = kNegInf;
+    for (std::size_t j = 1; j <= nb; ++j) {
+      e_curr[j] = std::max(m_curr[j - 1] + scoring.gap_open,
+                           e_curr[j - 1] + scoring.gap_extend);
+      f_curr[j] = std::max(m_prev[j] + scoring.gap_open, f_prev[j] + scoring.gap_extend);
+      const std::int32_t diag =
+          m_prev[j - 1] + scoring.substitution(a[i - 1], b[j - 1]);
+      m_curr[j] = std::max({diag, e_curr[j], f_curr[j]});
+    }
+    std::swap(m_prev, m_curr);
+    std::swap(e_prev, e_curr);
+    std::swap(f_prev, f_curr);
+  }
+  return m_prev[nb];
+}
+
+}  // namespace gnb::align

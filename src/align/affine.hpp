@@ -1,0 +1,41 @@
+#pragma once
+// Affine-gap local alignment (Gotoh's algorithm).
+//
+// Long-read error processes favor runs of insertions/deletions, which a
+// linear gap penalty over-punishes. The affine model charges gap_open for
+// starting a gap and gap_extend per additional base, the standard scheme
+// in production aligners. Provided as an alternative scoring backend for
+// the overlap stage and as a richer baseline for the kernel benchmarks.
+
+#include <cstdint>
+#include <span>
+
+#include "align/exact.hpp"
+#include "align/scoring.hpp"
+
+namespace gnb::align {
+
+struct AffineScoring {
+  std::int32_t match = 1;
+  std::int32_t mismatch = -2;
+  std::int32_t gap_open = -3;    // charged on the first base of a gap
+  std::int32_t gap_extend = -1;  // charged on every subsequent base
+
+  [[nodiscard]] constexpr std::int32_t substitution(std::uint8_t x, std::uint8_t y) const {
+    if (x == seq::kN || y == seq::kN) return mismatch;
+    return x == y ? match : mismatch;
+  }
+};
+
+/// Smith-Waterman-Gotoh: best local alignment under affine gaps. Linear
+/// memory; coordinates recovered by origin tracking like smith_waterman.
+LocalAlignment affine_smith_waterman(std::span<const std::uint8_t> a,
+                                     std::span<const std::uint8_t> b,
+                                     const AffineScoring& scoring = {});
+
+/// Global (end-to-end) score under affine gaps, linear memory.
+std::int32_t affine_global_score(std::span<const std::uint8_t> a,
+                                 std::span<const std::uint8_t> b,
+                                 const AffineScoring& scoring = {});
+
+}  // namespace gnb::align

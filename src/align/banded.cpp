@@ -1,0 +1,57 @@
+#include "align/banded.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace gnb::align {
+
+namespace {
+constexpr std::int32_t kNegInf = std::numeric_limits<std::int32_t>::min() / 4;
+}
+
+BandedResult banded_global(std::span<const std::uint8_t> a, std::span<const std::uint8_t> b,
+                           std::size_t band, const Scoring& scoring) {
+  BandedResult result;
+  const std::size_t na = a.size();
+  const std::size_t nb = b.size();
+  // A global path exists inside the band only if the length difference fits.
+  const std::size_t diff = na > nb ? na - nb : nb - na;
+  GNB_THROW_IF(diff > band, "banded_global: band " << band << " narrower than length difference "
+                                                   << diff);
+
+  std::vector<std::int32_t> prev(nb + 1, kNegInf), curr(nb + 1, kNegInf);
+  for (std::size_t j = 0; j <= std::min(band, nb); ++j)
+    prev[j] = static_cast<std::int32_t>(j) * scoring.gap;
+
+  for (std::size_t i = 1; i <= na; ++i) {
+    const std::size_t lo = i > band ? i - band : 0;
+    const std::size_t hi = std::min(nb, i + band);
+    std::fill(curr.begin(), curr.end(), kNegInf);
+    std::int32_t row_best = kNegInf;
+    for (std::size_t j = lo; j <= hi; ++j) {
+      std::int32_t s;
+      if (j == 0) {
+        s = static_cast<std::int32_t>(i) * scoring.gap;
+      } else {
+        const std::int32_t diag =
+            prev[j - 1] > kNegInf ? prev[j - 1] + scoring.substitution(a[i - 1], b[j - 1]) : kNegInf;
+        const std::int32_t up = prev[j] > kNegInf ? prev[j] + scoring.gap : kNegInf;
+        const std::int32_t left = curr[j - 1] > kNegInf ? curr[j - 1] + scoring.gap : kNegInf;
+        s = std::max({diag, up, left});
+      }
+      curr[j] = s;
+      row_best = std::max(row_best, s);
+      ++result.cells;
+    }
+    if ((curr[lo] == row_best && lo > 0) || (curr[hi] == row_best && hi < nb))
+      result.band_sufficient = false;
+    std::swap(prev, curr);
+  }
+  result.score = prev[nb];
+  return result;
+}
+
+}  // namespace gnb::align

@@ -1,0 +1,26 @@
+#pragma once
+// Fixed-band global alignment, an intermediate between the exact O(nm) DP
+// and the adaptive X-drop band. Used in tests to sanity-check the X-drop
+// extension on true overlaps (with a band wider than the expected edit
+// density, the banded score matches the unbanded one).
+
+#include <cstdint>
+#include <span>
+
+#include "align/scoring.hpp"
+
+namespace gnb::align {
+
+struct BandedResult {
+  std::int32_t score = 0;
+  std::uint64_t cells = 0;
+  bool band_sufficient = true;  // false if the optimum may have left the band
+};
+
+/// Global alignment restricted to |i - j| <= band. Returns the global score
+/// within the band; `band_sufficient` is false when the band edge achieved
+/// the row maximum somewhere (the unbanded optimum may then be better).
+BandedResult banded_global(std::span<const std::uint8_t> a, std::span<const std::uint8_t> b,
+                           std::size_t band, const Scoring& scoring = kDefaultScoring);
+
+}  // namespace gnb::align

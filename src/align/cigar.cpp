@@ -1,0 +1,183 @@
+#include "align/cigar.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace gnb::align {
+
+namespace {
+constexpr std::int32_t kNegInf = std::numeric_limits<std::int32_t>::min() / 4;
+
+enum Dir : std::uint8_t { kDiag = 0, kUp = 1, kLeft = 2, kNone = 3 };
+}  // namespace
+
+char cigar_char(CigarOp op) {
+  switch (op) {
+    case CigarOp::kMatch:     return '=';
+    case CigarOp::kMismatch:  return 'X';
+    case CigarOp::kInsertion: return 'I';
+    case CigarOp::kDeletion:  return 'D';
+  }
+  return '?';
+}
+
+std::string cigar_string(const Cigar& cigar) {
+  std::ostringstream oss;
+  for (const CigarRun& run : cigar) oss << run.length << cigar_char(run.op);
+  return oss.str();
+}
+
+std::uint64_t cigar_query_span(const Cigar& cigar) {
+  std::uint64_t span = 0;
+  for (const CigarRun& run : cigar)
+    if (run.op != CigarOp::kDeletion) span += run.length;
+  return span;
+}
+
+std::uint64_t cigar_target_span(const Cigar& cigar) {
+  std::uint64_t span = 0;
+  for (const CigarRun& run : cigar)
+    if (run.op != CigarOp::kInsertion) span += run.length;
+  return span;
+}
+
+double cigar_identity(const Cigar& cigar) {
+  std::uint64_t matches = 0, columns = 0;
+  for (const CigarRun& run : cigar) {
+    columns += run.length;
+    if (run.op == CigarOp::kMatch) matches += run.length;
+  }
+  return columns ? static_cast<double>(matches) / static_cast<double>(columns) : 0.0;
+}
+
+bool cigar_consistent(const Cigar& cigar, std::span<const std::uint8_t> a,
+                      std::span<const std::uint8_t> b) {
+  std::size_t i = 0, j = 0;
+  for (const CigarRun& run : cigar) {
+    switch (run.op) {
+      case CigarOp::kMatch:
+      case CigarOp::kMismatch:
+        if (i + run.length > a.size() || j + run.length > b.size()) return false;
+        for (std::uint32_t t = 0; t < run.length; ++t) {
+          // N never counts as a match (scoring treats it as mismatch).
+          const bool equal =
+              a[i + t] == b[j + t] && a[i + t] != seq::kN && b[j + t] != seq::kN;
+          if (equal != (run.op == CigarOp::kMatch)) return false;
+        }
+        i += run.length;
+        j += run.length;
+        break;
+      case CigarOp::kInsertion:
+        if (i + run.length > a.size()) return false;
+        i += run.length;
+        break;
+      case CigarOp::kDeletion:
+        if (j + run.length > b.size()) return false;
+        j += run.length;
+        break;
+    }
+  }
+  return i == a.size() && j == b.size();
+}
+
+TracebackResult banded_global_traceback(std::span<const std::uint8_t> a,
+                                        std::span<const std::uint8_t> b, std::size_t band,
+                                        const Scoring& scoring) {
+  const std::size_t na = a.size();
+  const std::size_t nb = b.size();
+  const std::size_t diff = na > nb ? na - nb : nb - na;
+  GNB_THROW_IF(diff > band, "banded traceback: band " << band << " narrower than length "
+                                                      << "difference " << diff);
+  const std::size_t width = 2 * band + 1;
+
+  TracebackResult result;
+  // Direction matrix: row i stores columns j in [i-band, i+band] at offset
+  // j - i + band.
+  std::vector<std::uint8_t> dir((na + 1) * width, kNone);
+  const auto dir_at = [&](std::size_t i, std::size_t j) -> std::uint8_t& {
+    return dir[i * width + (j + band - i)];
+  };
+
+  std::vector<std::int32_t> prev(nb + 1, kNegInf), curr(nb + 1, kNegInf);
+  for (std::size_t j = 0; j <= std::min(band, nb); ++j) {
+    prev[j] = static_cast<std::int32_t>(j) * scoring.gap;
+    dir_at(0, j) = j == 0 ? kNone : kLeft;
+  }
+
+  for (std::size_t i = 1; i <= na; ++i) {
+    const std::size_t lo = i > band ? i - band : 0;
+    const std::size_t hi = std::min(nb, i + band);
+    std::fill(curr.begin(), curr.end(), kNegInf);
+    for (std::size_t j = lo; j <= hi; ++j) {
+      if (j == 0) {
+        curr[0] = static_cast<std::int32_t>(i) * scoring.gap;
+        dir_at(i, 0) = kUp;
+        ++result.cells;
+        continue;
+      }
+      std::int32_t best = kNegInf;
+      std::uint8_t direction = kNone;
+      // Diagonal is valid when (i-1, j-1) was inside the band.
+      if (prev[j - 1] > kNegInf) {
+        best = prev[j - 1] + scoring.substitution(a[i - 1], b[j - 1]);
+        direction = kDiag;
+      }
+      if (j <= i + band - 1 && prev[j] > kNegInf) {  // (i-1, j) in band
+        if (const std::int32_t up = prev[j] + scoring.gap; up > best) {
+          best = up;
+          direction = kUp;
+        }
+      }
+      if (curr[j - 1] > kNegInf) {
+        if (const std::int32_t left = curr[j - 1] + scoring.gap; left > best) {
+          best = left;
+          direction = kLeft;
+        }
+      }
+      curr[j] = best;
+      dir_at(i, j) = direction;
+      ++result.cells;
+    }
+    std::swap(prev, curr);
+  }
+  result.score = prev[nb];
+
+  // Traceback from (na, nb).
+  Cigar reversed;
+  auto push = [&](CigarOp op) {
+    if (!reversed.empty() && reversed.back().op == op) {
+      ++reversed.back().length;
+    } else {
+      reversed.push_back(CigarRun{op, 1});
+    }
+  };
+  std::size_t i = na, j = nb;
+  while (i != 0 || j != 0) {
+    const std::uint8_t direction = dir_at(i, j);
+    GNB_CHECK_MSG(direction != kNone, "traceback escaped the band at (" << i << "," << j << ")");
+    switch (direction) {
+      case kDiag: {
+        const bool equal = a[i - 1] == b[j - 1] && a[i - 1] != seq::kN && b[j - 1] != seq::kN;
+        push(equal ? CigarOp::kMatch : CigarOp::kMismatch);
+        --i;
+        --j;
+        break;
+      }
+      case kUp:
+        push(CigarOp::kInsertion);
+        --i;
+        break;
+      default:
+        push(CigarOp::kDeletion);
+        --j;
+        break;
+    }
+  }
+  result.cigar.assign(reversed.rbegin(), reversed.rend());
+  return result;
+}
+
+}  // namespace gnb::align

@@ -1,0 +1,107 @@
+#include "align/exact.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace gnb::align {
+
+LocalAlignment smith_waterman(std::span<const std::uint8_t> a, std::span<const std::uint8_t> b,
+                              const Scoring& scoring) {
+  LocalAlignment best;
+  const std::size_t nb = b.size();
+
+  struct Cell {
+    std::int32_t score = 0;
+    std::uint32_t oa = 0, ob = 0;  // origin of this cell's best path
+  };
+  std::vector<Cell> prev(nb + 1), curr(nb + 1);
+  for (std::size_t j = 0; j <= nb; ++j) prev[j] = Cell{0, 0, static_cast<std::uint32_t>(j)};
+
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    curr[0] = Cell{0, static_cast<std::uint32_t>(i), 0};
+    for (std::size_t j = 1; j <= nb; ++j) {
+      const std::int32_t sub = scoring.substitution(a[i - 1], b[j - 1]);
+      Cell cell{0, static_cast<std::uint32_t>(i - 1), static_cast<std::uint32_t>(j - 1)};
+      if (const std::int32_t diag = prev[j - 1].score + sub; diag > cell.score)
+        cell = Cell{diag, prev[j - 1].oa, prev[j - 1].ob};
+      if (const std::int32_t up = prev[j].score + scoring.gap; up > cell.score)
+        cell = Cell{up, prev[j].oa, prev[j].ob};
+      if (const std::int32_t left = curr[j - 1].score + scoring.gap; left > cell.score)
+        cell = Cell{left, curr[j - 1].oa, curr[j - 1].ob};
+      if (cell.score == 0) cell = Cell{0, static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(j)};
+      curr[j] = cell;
+      ++best.cells;
+      if (cell.score > best.score) {
+        best.score = cell.score;
+        best.a_begin = cell.oa;
+        best.b_begin = cell.ob;
+        best.a_end = static_cast<std::uint32_t>(i);
+        best.b_end = static_cast<std::uint32_t>(j);
+      }
+    }
+    std::swap(prev, curr);
+  }
+  return best;
+}
+
+std::int32_t needleman_wunsch_score(std::span<const std::uint8_t> a,
+                                    std::span<const std::uint8_t> b, const Scoring& scoring) {
+  const std::size_t nb = b.size();
+  std::vector<std::int32_t> prev(nb + 1), curr(nb + 1);
+  for (std::size_t j = 0; j <= nb; ++j) prev[j] = static_cast<std::int32_t>(j) * scoring.gap;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    curr[0] = static_cast<std::int32_t>(i) * scoring.gap;
+    for (std::size_t j = 1; j <= nb; ++j) {
+      curr[j] = std::max({prev[j - 1] + scoring.substitution(a[i - 1], b[j - 1]),
+                          prev[j] + scoring.gap, curr[j - 1] + scoring.gap});
+    }
+    std::swap(prev, curr);
+  }
+  return prev[nb];
+}
+
+namespace {
+/// Best score extending from (0,0) over prefixes, allowed to stop anywhere
+/// (the "extension" objective the X-drop DP optimizes with X = infinity).
+std::int32_t best_extension_score(std::span<const std::uint8_t> a,
+                                  std::span<const std::uint8_t> b, const Scoring& scoring) {
+  const std::size_t nb = b.size();
+  std::vector<std::int32_t> prev(nb + 1), curr(nb + 1);
+  std::int32_t best = 0;
+  for (std::size_t j = 0; j <= nb; ++j) prev[j] = static_cast<std::int32_t>(j) * scoring.gap;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    curr[0] = static_cast<std::int32_t>(i) * scoring.gap;
+    for (std::size_t j = 1; j <= nb; ++j) {
+      curr[j] = std::max({prev[j - 1] + scoring.substitution(a[i - 1], b[j - 1]),
+                          prev[j] + scoring.gap, curr[j - 1] + scoring.gap});
+      best = std::max(best, curr[j]);
+    }
+    best = std::max(best, curr[0]);
+    std::swap(prev, curr);
+  }
+  return best;
+}
+}  // namespace
+
+std::int32_t anchored_best_score(std::span<const std::uint8_t> a,
+                                 std::span<const std::uint8_t> b, const Seed& seed,
+                                 const Scoring& scoring) {
+  GNB_CHECK(seed.a_pos + seed.length <= a.size());
+  GNB_CHECK(seed.b_pos + seed.length <= b.size());
+  std::int32_t seed_score = 0;
+  for (std::uint16_t i = 0; i < seed.length; ++i)
+    seed_score += scoring.substitution(a[seed.a_pos + i], b[seed.b_pos + i]);
+
+  std::vector<std::uint8_t> ra(a.begin(), a.begin() + seed.a_pos);
+  std::reverse(ra.begin(), ra.end());
+  std::vector<std::uint8_t> rb(b.begin(), b.begin() + seed.b_pos);
+  std::reverse(rb.begin(), rb.end());
+
+  return seed_score + best_extension_score(ra, rb, scoring) +
+         best_extension_score(a.subspan(seed.a_pos + seed.length),
+                              b.subspan(seed.b_pos + seed.length), scoring);
+}
+
+}  // namespace gnb::align

@@ -1,0 +1,43 @@
+#pragma once
+// Exact quadratic dynamic-programming baselines.
+//
+// Smith–Waterman (local) and Needleman–Wunsch (global) with linear gap
+// penalties. These are the O(n^2) algorithms the paper contrasts against
+// seed-and-extend (§2); here they serve as (1) correctness oracles for the
+// X-drop kernel in tests and (2) the baseline in the kernel benchmarks.
+
+#include <cstdint>
+#include <span>
+
+#include "align/result.hpp"
+#include "align/scoring.hpp"
+
+namespace gnb::align {
+
+struct LocalAlignment {
+  std::int32_t score = 0;
+  std::uint32_t a_begin = 0, a_end = 0;  // half-open aligned range on a
+  std::uint32_t b_begin = 0, b_end = 0;
+  std::uint64_t cells = 0;
+};
+
+/// Smith–Waterman local alignment. Linear memory; start coordinates are
+/// recovered by tracking the origin of each cell's best path.
+LocalAlignment smith_waterman(std::span<const std::uint8_t> a,
+                              std::span<const std::uint8_t> b,
+                              const Scoring& scoring = kDefaultScoring);
+
+/// Needleman–Wunsch global alignment score (end-to-end), linear memory.
+std::int32_t needleman_wunsch_score(std::span<const std::uint8_t> a,
+                                    std::span<const std::uint8_t> b,
+                                    const Scoring& scoring = kDefaultScoring);
+
+/// Best local-alignment score constrained to paths through (a_pos, b_pos)
+/// aligned positions — an oracle for "best seed-anchored alignment", used
+/// to validate xdrop_align with a large X on small inputs. Quadratic time
+/// and memory in the two fragment lengths.
+std::int32_t anchored_best_score(std::span<const std::uint8_t> a,
+                                 std::span<const std::uint8_t> b, const Seed& seed,
+                                 const Scoring& scoring = kDefaultScoring);
+
+}  // namespace gnb::align

@@ -1,0 +1,49 @@
+#include "align/overlap.hpp"
+
+#include <algorithm>
+
+namespace gnb::align {
+
+const char* to_string(OverlapKind kind) {
+  switch (kind) {
+    case OverlapKind::kDovetailAB:   return "dovetail A->B";
+    case OverlapKind::kDovetailBA:   return "dovetail B->A";
+    case OverlapKind::kContainsB:    return "B contained in A";
+    case OverlapKind::kContainedInB: return "A contained in B";
+  }
+  return "?";
+}
+
+OverlapKind classify_overlap(const Alignment& alignment, std::size_t a_len, std::size_t b_len,
+                             std::size_t slack) {
+  const bool a_left = alignment.a_begin <= slack;                 // A's start reached
+  const bool a_right = alignment.a_end + slack >= a_len;          // A's end reached
+  const bool b_left = alignment.b_begin <= slack;
+  const bool b_right = alignment.b_end + slack >= b_len;
+
+  if (b_left && b_right) return OverlapKind::kContainsB;
+  if (a_left && a_right) return OverlapKind::kContainedInB;
+  // Suffix of A aligns to prefix of B when A's right end and B's left end
+  // are inside the alignment.
+  if (a_right && b_left) return OverlapKind::kDovetailAB;
+  if (b_right && a_left) return OverlapKind::kDovetailBA;
+  // Neither end pairing is clean: pick the direction by which read extends
+  // further past the alignment (spurious/partial overlap).
+  const std::size_t a_tail = a_len - alignment.a_end;
+  const std::size_t b_head = alignment.b_begin;
+  return a_tail <= b_head ? OverlapKind::kDovetailAB : OverlapKind::kDovetailBA;
+}
+
+std::size_t overhang(const Alignment& alignment, std::size_t a_len, std::size_t b_len) {
+  // For a perfect dovetail A->B: nothing of A after the alignment end, and
+  // nothing of B before the alignment begin (or the symmetric case).
+  const std::size_t ab =
+      (a_len - alignment.a_end) + alignment.b_begin;  // A->B interpretation
+  const std::size_t ba =
+      (b_len - alignment.b_end) + alignment.a_begin;  // B->A interpretation
+  const std::size_t contain_b = alignment.b_begin + (b_len - alignment.b_end);
+  const std::size_t contain_a = alignment.a_begin + (a_len - alignment.a_end);
+  return std::min(std::min(ab, ba), std::min(contain_a, contain_b));
+}
+
+}  // namespace gnb::align

@@ -1,0 +1,22 @@
+#pragma once
+// Overlap classification (paper Fig. 2): given an alignment between two
+// reads, decide whether one read is contained in the other or whether they
+// dovetail (suffix of one over prefix of the other), and in which
+// direction.
+
+#include "align/result.hpp"
+
+namespace gnb::align {
+
+/// Classify an alignment between reads of lengths `a_len` and `b_len`.
+/// `slack` is the number of unaligned bases tolerated at an end before we
+/// stop calling that end "reached" (sequencing errors fray read ends).
+OverlapKind classify_overlap(const Alignment& alignment, std::size_t a_len, std::size_t b_len,
+                             std::size_t slack = 50);
+
+/// Number of overhang bases, i.e. unaligned sequence on the "inner" side of
+/// the overlap — large overhangs indicate a spurious (false-positive)
+/// alignment rather than a true overlap.
+std::size_t overhang(const Alignment& alignment, std::size_t a_len, std::size_t b_len);
+
+}  // namespace gnb::align

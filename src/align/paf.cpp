@@ -1,0 +1,90 @@
+#include "align/paf.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace gnb::align {
+
+PafRecord to_paf(const AlignmentRecord& record, const seq::ReadStore& reads) {
+  const seq::Read& query = reads.get(record.read_a);
+  const seq::Read& target = reads.get(record.read_b);
+  const Alignment& alignment = record.alignment;
+
+  PafRecord paf;
+  paf.query_name = query.name;
+  paf.query_length = query.length();
+  paf.query_begin = alignment.a_begin;
+  paf.query_end = alignment.a_end;
+  paf.reverse_strand = alignment.b_reversed;
+  paf.target_name = target.name;
+  paf.target_length = target.length();
+  if (alignment.b_reversed) {
+    // Alignment coordinates are on the reverse complement of the target;
+    // PAF wants forward-strand target coordinates.
+    paf.target_begin = target.length() - alignment.b_end;
+    paf.target_end = target.length() - alignment.b_begin;
+  } else {
+    paf.target_begin = alignment.b_begin;
+    paf.target_end = alignment.b_end;
+  }
+  paf.block_length = std::max(alignment.a_span(), alignment.b_span());
+  // With +1/-1/-1 scoring: matches ~ (block + score) / 2 (exact when the
+  // alignment has no indels; a standard approximation otherwise).
+  const auto block = static_cast<std::int64_t>(paf.block_length);
+  paf.matches = static_cast<std::uint64_t>(
+      std::max<std::int64_t>(0, (block + alignment.score) / 2));
+  paf.score = alignment.score;
+  return paf;
+}
+
+std::string format_paf(const PafRecord& record) {
+  std::ostringstream oss;
+  oss << record.query_name << '\t' << record.query_length << '\t' << record.query_begin
+      << '\t' << record.query_end << '\t' << (record.reverse_strand ? '-' : '+') << '\t'
+      << record.target_name << '\t' << record.target_length << '\t' << record.target_begin
+      << '\t' << record.target_end << '\t' << record.matches << '\t' << record.block_length
+      << '\t' << record.mapq << "\tAS:i:" << record.score;
+  return oss.str();
+}
+
+PafRecord parse_paf(const std::string& line) {
+  std::istringstream iss(line);
+  std::vector<std::string> fields;
+  std::string field;
+  while (std::getline(iss, field, '\t')) fields.push_back(field);
+  GNB_THROW_IF(fields.size() < 12, "PAF: expected >= 12 fields, got " << fields.size());
+
+  PafRecord record;
+  try {
+    record.query_name = fields[0];
+    record.query_length = std::stoull(fields[1]);
+    record.query_begin = std::stoull(fields[2]);
+    record.query_end = std::stoull(fields[3]);
+    GNB_THROW_IF(fields[4] != "+" && fields[4] != "-", "PAF: bad strand '" << fields[4] << "'");
+    record.reverse_strand = fields[4] == "-";
+    record.target_name = fields[5];
+    record.target_length = std::stoull(fields[6]);
+    record.target_begin = std::stoull(fields[7]);
+    record.target_end = std::stoull(fields[8]);
+    record.matches = std::stoull(fields[9]);
+    record.block_length = std::stoull(fields[10]);
+    record.mapq = static_cast<std::uint32_t>(std::stoul(fields[11]));
+  } catch (const std::logic_error& e) {
+    throw Error(std::string("PAF: malformed numeric field: ") + e.what());
+  }
+  for (std::size_t i = 12; i < fields.size(); ++i) {
+    if (fields[i].rfind("AS:i:", 0) == 0)
+      record.score = static_cast<std::int32_t>(std::stol(fields[i].substr(5)));
+  }
+  return record;
+}
+
+void write_paf(std::ostream& out, std::span<const AlignmentRecord> records,
+               const seq::ReadStore& reads) {
+  for (const auto& record : records) out << format_paf(to_paf(record, reads)) << '\n';
+  GNB_THROW_IF(!out, "PAF write failed");
+}
+
+}  // namespace gnb::align

@@ -1,0 +1,51 @@
+#pragma once
+// PAF (Pairwise mApping Format) output — the de-facto interchange format
+// for read overlaps (minimap2, miniasm). Emitting PAF makes this library
+// usable inside existing genomics pipelines, per the paper's stated goal
+// that "the code can be used for many-to-many long read alignment with
+// general inputs".
+//
+// Columns: qname qlen qstart qend strand tname tlen tstart tend
+//          nmatch alnlen mapq [tags...]
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "align/result.hpp"
+#include "seq/read_store.hpp"
+
+namespace gnb::align {
+
+struct PafRecord {
+  std::string query_name;
+  std::uint64_t query_length = 0;
+  std::uint64_t query_begin = 0;
+  std::uint64_t query_end = 0;
+  bool reverse_strand = false;
+  std::string target_name;
+  std::uint64_t target_length = 0;
+  std::uint64_t target_begin = 0;
+  std::uint64_t target_end = 0;
+  std::uint64_t matches = 0;    // approximated from score for X-drop output
+  std::uint64_t block_length = 0;
+  std::uint32_t mapq = 255;
+  std::int32_t score = 0;       // emitted as AS:i tag
+};
+
+/// Convert an accepted alignment to a PAF record (read A = query, read B =
+/// target). Coordinates on a reverse-strand target are flipped back to
+/// the target's forward coordinates, as PAF requires.
+PafRecord to_paf(const AlignmentRecord& record, const seq::ReadStore& reads);
+
+/// Serialize one record as a PAF line (no trailing newline).
+std::string format_paf(const PafRecord& record);
+
+/// Parse one PAF line; throws gnb::Error on malformed input.
+PafRecord parse_paf(const std::string& line);
+
+/// Write records for all alignments to a stream, one line each.
+void write_paf(std::ostream& out, std::span<const AlignmentRecord> records,
+               const seq::ReadStore& reads);
+
+}  // namespace gnb::align

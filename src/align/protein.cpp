@@ -1,0 +1,90 @@
+#include "align/protein.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace gnb::align {
+
+namespace {
+// Groups over kProteinLetters = "ARNDCQEGHILKMFPSTWYV":
+//   0 hydrophobic: A I L M F V (and G)
+//   1 polar:       N Q S T Y C
+//   2 positive:    R K H
+//   3 negative:    D E
+//   4 special:     W P
+constexpr std::uint8_t kGroups[20] = {
+    0,  // A
+    2,  // R
+    1,  // N
+    3,  // D
+    1,  // C
+    1,  // Q
+    3,  // E
+    0,  // G
+    2,  // H
+    0,  // I
+    0,  // L
+    2,  // K
+    0,  // M
+    0,  // F
+    4,  // P
+    1,  // S
+    1,  // T
+    4,  // W
+    1,  // Y
+    0,  // V
+};
+}  // namespace
+
+std::uint8_t amino_group(std::uint8_t code) {
+  GNB_CHECK_MSG(code < 20, "amino-acid code out of range: " << int{code});
+  return kGroups[code];
+}
+
+std::int32_t ProteinScoring::substitution(std::uint8_t x, std::uint8_t y) const {
+  if (x == y) return identity;
+  if (amino_group(x) == amino_group(y)) return same_group;
+  return different;
+}
+
+LocalAlignment protein_smith_waterman(std::span<const std::uint8_t> a,
+                                      std::span<const std::uint8_t> b,
+                                      const ProteinScoring& scoring) {
+  LocalAlignment best;
+  const std::size_t nb = b.size();
+  struct Cell {
+    std::int32_t score = 0;
+    std::uint32_t oa = 0, ob = 0;
+  };
+  std::vector<Cell> prev(nb + 1), curr(nb + 1);
+  for (std::size_t j = 0; j <= nb; ++j) prev[j] = Cell{0, 0, static_cast<std::uint32_t>(j)};
+
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    curr[0] = Cell{0, static_cast<std::uint32_t>(i), 0};
+    for (std::size_t j = 1; j <= nb; ++j) {
+      Cell cell{0, static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(j)};
+      if (const std::int32_t diag = prev[j - 1].score + scoring.substitution(a[i - 1], b[j - 1]);
+          diag > cell.score)
+        cell = Cell{diag, prev[j - 1].oa, prev[j - 1].ob};
+      if (const std::int32_t up = prev[j].score + scoring.gap; up > cell.score)
+        cell = Cell{up, prev[j].oa, prev[j].ob};
+      if (const std::int32_t left = curr[j - 1].score + scoring.gap; left > cell.score)
+        cell = Cell{left, curr[j - 1].oa, curr[j - 1].ob};
+      curr[j] = cell;
+      ++best.cells;
+      if (cell.score > best.score) {
+        best.score = cell.score;
+        best.a_begin = cell.oa;
+        best.b_begin = cell.ob;
+        best.a_end = static_cast<std::uint32_t>(i);
+        best.b_end = static_cast<std::uint32_t>(j);
+      }
+    }
+    std::swap(prev, curr);
+  }
+  return best;
+}
+
+}  // namespace gnb::align

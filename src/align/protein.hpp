@@ -1,0 +1,41 @@
+#pragma once
+// Protein-alphabet alignment support.
+//
+// The paper positions protein searches in massive data sets (MMseqs2-style)
+// as a sibling Generalized N-Body problem with a 20-character alphabet
+// (§2). This header provides a compact BLOSUM-like substitution model over
+// the 20 amino-acid codes and a Smith-Waterman local aligner using it, so
+// the same many-to-many machinery can be demonstrated on protein workloads
+// (see examples/protein_search.cpp).
+
+#include <cstdint>
+#include <span>
+
+#include "align/exact.hpp"
+#include "seq/alphabet.hpp"
+
+namespace gnb::align {
+
+/// Simplified BLOSUM-style scheme: identity scores high, substitutions
+/// within a physico-chemical group score mildly positive, everything else
+/// negative; linear gaps.
+struct ProteinScoring {
+  std::int32_t identity = 4;
+  std::int32_t same_group = 1;
+  std::int32_t different = -2;
+  std::int32_t gap = -3;
+
+  /// Score of aligning amino-acid codes `x` and `y` (0-19).
+  [[nodiscard]] std::int32_t substitution(std::uint8_t x, std::uint8_t y) const;
+};
+
+/// Physico-chemical group of an amino-acid code (hydrophobic, polar,
+/// positive, negative, special), used by ProteinScoring::same_group.
+std::uint8_t amino_group(std::uint8_t code);
+
+/// Smith-Waterman local alignment over amino-acid codes.
+LocalAlignment protein_smith_waterman(std::span<const std::uint8_t> a,
+                                      std::span<const std::uint8_t> b,
+                                      const ProteinScoring& scoring = {});
+
+}  // namespace gnb::align

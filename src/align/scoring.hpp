@@ -1,0 +1,30 @@
+#pragma once
+// Scoring schemes for pairwise alignment.
+//
+// Linear gap penalties, matching the configuration used for X-drop
+// seed-and-extend in BELLA/diBELLA-style pipelines. Substitutions that
+// involve 'N' (code 4) always score as mismatches: the sequencer emitted N
+// precisely because the base call was unreliable.
+
+#include <cstdint>
+
+#include "seq/alphabet.hpp"
+
+namespace gnb::align {
+
+struct Scoring {
+  std::int32_t match = 1;      // reward (>0)
+  std::int32_t mismatch = -1;  // penalty (<0)
+  std::int32_t gap = -1;       // linear gap penalty per base (<0)
+
+  /// Score of substituting code `x` by code `y`.
+  [[nodiscard]] constexpr std::int32_t substitution(std::uint8_t x, std::uint8_t y) const {
+    if (x == seq::kN || y == seq::kN) return mismatch;
+    return x == y ? match : mismatch;
+  }
+};
+
+/// Default long-read overlap scoring (BELLA uses +1/-1/-1 for X-drop).
+inline constexpr Scoring kDefaultScoring{};
+
+}  // namespace gnb::align

@@ -1,0 +1,169 @@
+#include "align/xdrop.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace gnb::align {
+
+namespace {
+constexpr std::int32_t kNegInf = std::numeric_limits<std::int32_t>::min() / 4;
+}
+
+Extension xdrop_extend(std::span<const std::uint8_t> a, std::span<const std::uint8_t> b,
+                       const XDropParams& params) {
+  Extension ext;
+  if (a.empty() || b.empty()) return ext;
+
+  const Scoring& sc = params.scoring;
+  const std::int32_t x = params.x;
+  GNB_CHECK_MSG(x >= 0, "X-drop threshold must be non-negative");
+
+  const std::size_t nb = b.size();
+
+  // Row i aligns a[0..i) against prefixes of b. `prev` holds row i-1 over
+  // the live column interval [lo, hi]; columns outside are pruned.
+  // Column j corresponds to b[0..j). Scratch rows are thread-local and kept
+  // at the invariant "everything is kNegInf" between calls, so each call
+  // touches only its live band instead of O(|b|) memory.
+  static thread_local std::vector<std::int32_t> prev;
+  static thread_local std::vector<std::int32_t> curr;
+  if (prev.size() < nb + 1) {
+    prev.assign(nb + 1, kNegInf);
+    curr.assign(nb + 1, kNegInf);
+  }
+
+  std::int32_t best = 0;
+  std::uint32_t best_i = 0, best_j = 0;
+
+  // Row 0: pure gaps in a (insertions of b).
+  std::size_t lo = 0, hi = 0;
+  prev[0] = 0;
+  for (std::size_t j = 1; j <= nb; ++j) {
+    const std::int32_t s = static_cast<std::int32_t>(j) * sc.gap;
+    if (s < best - x) break;
+    prev[j] = s;
+    hi = j;
+    ++ext.cells;
+  }
+
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    // The live interval can extend one column right of the previous row's.
+    const std::size_t row_lo = lo;
+    const std::size_t row_hi = std::min(hi + 1, nb);
+    std::size_t new_lo = row_hi + 1;  // sentinel: empty until a cell survives
+    std::size_t new_hi = row_lo;
+
+    for (std::size_t j = row_lo; j <= row_hi; ++j) {
+      std::int32_t s = kNegInf;
+      if (j == 0) {
+        s = static_cast<std::int32_t>(i) * sc.gap;  // all-gap left edge
+      } else {
+        const std::int32_t diag =
+            prev[j - 1] > kNegInf ? prev[j - 1] + sc.substitution(a[i - 1], b[j - 1]) : kNegInf;
+        const std::int32_t up = prev[j] > kNegInf ? prev[j] + sc.gap : kNegInf;
+        const std::int32_t left =
+            (j > row_lo && curr[j - 1] > kNegInf) ? curr[j - 1] + sc.gap : kNegInf;
+        s = std::max({diag, up, left});
+      }
+      ++ext.cells;
+      if (s < best - x) {
+        curr[j] = kNegInf;
+        continue;
+      }
+      curr[j] = s;
+      new_lo = std::min(new_lo, j);
+      new_hi = std::max(new_hi, j);
+      if (s > best) {
+        best = s;
+        best_i = static_cast<std::uint32_t>(i);
+        best_j = static_cast<std::uint32_t>(j);
+      }
+    }
+
+    if (new_lo > new_hi) {  // every cell dropped: early termination
+      std::fill(prev.begin() + static_cast<std::ptrdiff_t>(row_lo),
+                prev.begin() + static_cast<std::ptrdiff_t>(row_hi) + 1, kNegInf);
+      lo = 1;
+      hi = 0;  // mark window already cleaned
+      break;
+    }
+    // Reset the columns we wrote before swapping (only the live window).
+    for (std::size_t j = row_lo; j <= row_hi; ++j) {
+      prev[j] = curr[j];
+      curr[j] = kNegInf;
+    }
+    // Clear stale prev cells that fall outside the new interval.
+    if (new_lo > row_lo) std::fill(prev.begin() + static_cast<std::ptrdiff_t>(row_lo),
+                                   prev.begin() + static_cast<std::ptrdiff_t>(new_lo), kNegInf);
+    if (new_hi < row_hi) std::fill(prev.begin() + static_cast<std::ptrdiff_t>(new_hi) + 1,
+                                   prev.begin() + static_cast<std::ptrdiff_t>(row_hi) + 1, kNegInf);
+    lo = new_lo;
+    hi = new_hi;
+  }
+
+  // Restore the scratch invariant: clear whatever remains of the live band.
+  if (lo <= hi)
+    std::fill(prev.begin() + static_cast<std::ptrdiff_t>(lo),
+              prev.begin() + static_cast<std::ptrdiff_t>(hi) + 1, kNegInf);
+  prev[0] = kNegInf;  // row 0 wrote prev[0] even when the band moved right
+
+  ext.score = best;
+  ext.a_len = best_i;
+  ext.b_len = best_j;
+  return ext;
+}
+
+Alignment xdrop_align(std::span<const std::uint8_t> a, std::span<const std::uint8_t> b_oriented,
+                      const Seed& seed, const XDropParams& params) {
+  GNB_CHECK_MSG(seed.a_pos + seed.length <= a.size(),
+                "seed exceeds sequence a: pos " << seed.a_pos << " len " << seed.length
+                                                << " size " << a.size());
+  GNB_CHECK_MSG(seed.b_pos + seed.length <= b_oriented.size(),
+                "seed exceeds sequence b: pos " << seed.b_pos << " len " << seed.length
+                                                << " size " << b_oriented.size());
+
+  Alignment result;
+  result.b_reversed = seed.b_reversed;
+
+  // Score the seed region by direct comparison: the seed was found in
+  // 2-bit k-mer space, so N positions (rare) still score as mismatches.
+  std::int32_t seed_score = 0;
+  for (std::uint16_t i = 0; i < seed.length; ++i)
+    seed_score += params.scoring.substitution(a[seed.a_pos + i], b_oriented[seed.b_pos + i]);
+
+  // Leftward extension: reversed prefixes before the seed.
+  std::vector<std::uint8_t> ra(a.begin(), a.begin() + seed.a_pos);
+  std::reverse(ra.begin(), ra.end());
+  std::vector<std::uint8_t> rb(b_oriented.begin(), b_oriented.begin() + seed.b_pos);
+  std::reverse(rb.begin(), rb.end());
+  const Extension left = xdrop_extend(ra, rb, params);
+
+  // Rightward extension: suffixes after the seed.
+  const Extension right =
+      xdrop_extend(a.subspan(seed.a_pos + seed.length),
+                   b_oriented.subspan(seed.b_pos + seed.length), params);
+
+  result.score = seed_score + left.score + right.score;
+  result.cells = left.cells + right.cells;
+  result.a_begin = seed.a_pos - left.a_len;
+  result.a_end = seed.a_pos + seed.length + right.a_len;
+  result.b_begin = seed.b_pos - left.b_len;
+  result.b_end = seed.b_pos + seed.length + right.b_len;
+  return result;
+}
+
+Alignment xdrop_align(const seq::Sequence& a, const seq::Sequence& b, const Seed& seed,
+                      const XDropParams& params) {
+  const std::vector<std::uint8_t> ua = a.unpack();
+  std::vector<std::uint8_t> ub = b.unpack();
+  if (seed.b_reversed) {
+    std::reverse(ub.begin(), ub.end());
+    for (auto& code : ub) code = seq::dna_complement(code);
+  }
+  return xdrop_align(ua, ub, seed, params);
+}
+
+}  // namespace gnb::align

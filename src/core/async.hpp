@@ -1,0 +1,26 @@
+#pragma once
+// Asynchronous many-to-many alignment engine (paper §3.2).
+//
+// Tasks are indexed under the remote read they need; the engine issues an
+// asynchronous RPC pull per distinct remote read (never more than once per
+// read) with a completion callback that runs every alignment involving
+// that read as soon as it arrives. Local-local tasks are computed inside
+// the first phase of a split-phase barrier — during time that would
+// otherwise be spent waiting — and a single exit barrier keeps every
+// rank's partition serviceable until all tasks complete. The "pull"
+// direction bounds memory: at most `max_outstanding` replies are ever in
+// flight toward this rank.
+
+#include "core/engine.hpp"
+#include "rt/world.hpp"
+
+namespace gnb::core {
+
+/// SPMD body: run the asynchronous engine on this rank's tasks.
+/// `my_tasks` must satisfy the owner invariant w.r.t. `bounds`.
+EngineResult async_align(rt::Rank& rank, const seq::ReadStore& store,
+                         const std::vector<seq::ReadId>& bounds,
+                         const std::vector<kmer::AlignTask>& my_tasks,
+                         const EngineConfig& config);
+
+}  // namespace gnb::core

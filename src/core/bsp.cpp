@@ -1,0 +1,138 @@
+#include "core/bsp.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "util/error.hpp"
+#include "util/wire.hpp"
+
+namespace gnb::core {
+
+namespace {
+using kmer::AlignTask;
+using rt::Bytes;
+}  // namespace
+
+EngineResult bsp_align(rt::Rank& rank, const seq::ReadStore& store,
+                       const std::vector<seq::ReadId>& bounds,
+                       const std::vector<kmer::AlignTask>& my_tasks,
+                       const EngineConfig& config) {
+  EngineResult result;
+  const std::size_t p = rank.nranks();
+  const std::uint32_t me = rank.id();
+
+  // --- organize tasks: local-local vs needing one remote read ---
+  rank.timers().overhead.start();
+  std::vector<const AlignTask*> local_tasks;
+  // remote read id -> tasks that need it
+  std::unordered_map<seq::ReadId, std::vector<const AlignTask*>> by_remote;
+  // owner rank -> deduplicated remote read ids needed from it
+  std::vector<std::vector<seq::ReadId>> needed(p);
+  for (const AlignTask& task : my_tasks) {
+    const std::size_t owner_a = seq::partition_owner(bounds, task.a);
+    const std::size_t owner_b = seq::partition_owner(bounds, task.b);
+    GNB_CHECK_MSG(owner_a == me || owner_b == me, "owner invariant violated");
+    if (owner_a == me && owner_b == me) {
+      local_tasks.push_back(&task);
+      continue;
+    }
+    const seq::ReadId remote = owner_a == me ? task.b : task.a;
+    auto [it, inserted] = by_remote.try_emplace(remote);
+    if (inserted) needed[owner_a == me ? owner_b : owner_a].push_back(remote);
+    it->second.push_back(&task);
+  }
+  rank.timers().overhead.stop();
+
+  // --- request exchange: tell each owner which reads to send me ---
+  std::vector<Bytes> request_msgs(p);
+  for (std::size_t dst = 0; dst < p; ++dst) {
+    std::sort(needed[dst].begin(), needed[dst].end());
+    for (const seq::ReadId id : needed[dst]) wire::put<std::uint32_t>(request_msgs[dst], id);
+  }
+  const std::vector<Bytes> request_bufs = rank.alltoallv(std::move(request_msgs));
+
+  // Per-destination queues of reads this rank must serve, FIFO.
+  struct ServeQueue {
+    std::vector<seq::ReadId> ids;
+    std::size_t next = 0;
+  };
+  std::vector<ServeQueue> to_serve(p);
+  std::uint64_t unsent = 0;
+  for (std::size_t src = 0; src < p; ++src) {
+    std::size_t offset = 0;
+    while (offset < request_bufs[src].size())
+      to_serve[src].ids.push_back(wire::get<std::uint32_t>(request_bufs[src], offset));
+    unsent += to_serve[src].ids.size();
+  }
+
+  // --- local-local tasks: no communication required ---
+  for (const AlignTask* task : local_tasks) {
+    execute_task(*task, local_read(store, bounds, me, task->a),
+                 local_read(store, bounds, me, task->b), config, rank.timers(), result);
+  }
+
+  // --- dynamically-sized exchange-compute supersteps ---
+  while (rank.allreduce_sum(static_cast<double>(unsent)) > 0) {
+    ++result.rounds;
+
+    // Pack reads round-robin across destinations until the round budget is
+    // exhausted (aggregation buffers are the dominant BSP memory term).
+    std::vector<Bytes> send(p);
+    std::uint64_t packed = 0;
+    bool more = true;
+    while (more && packed < config.bsp_round_budget) {
+      more = false;
+      for (std::size_t dst = 0; dst < p && packed < config.bsp_round_budget; ++dst) {
+        ServeQueue& queue = to_serve[dst];
+        if (queue.next >= queue.ids.size()) continue;
+        const seq::Read& read = local_read(store, bounds, me, queue.ids[queue.next]);
+        seq::serialize_read(read, send[dst]);
+        packed += seq::serialized_read_bytes(read);
+        ++queue.next;
+        --unsent;
+        more = true;
+      }
+    }
+    for (const Bytes& buffer : send) rank.memory().charge(buffer.size());
+    const std::uint64_t sent_bytes = packed;
+
+    std::vector<Bytes> received = rank.alltoallv(std::move(send));
+    rank.memory().release(sent_bytes);
+    std::uint64_t received_bytes = 0;
+    for (const Bytes& buffer : received) received_bytes += buffer.size();
+    rank.memory().charge(received_bytes);
+    result.exchange_bytes_received += received_bytes;
+    result.messages += p;  // one aggregated buffer per peer per round
+
+    // "All pairwise alignments associated with each received read are
+    // computed together, when the respective read is accessed from the
+    // message buffer."
+    for (const Bytes& buffer : received) {
+      std::size_t offset = 0;
+      while (offset < buffer.size()) {
+        rank.timers().overhead.start();
+        const seq::Read remote = seq::deserialize_read(buffer, offset);
+        const auto it = by_remote.find(remote.id);
+        GNB_CHECK_MSG(it != by_remote.end(), "received unrequested read " << remote.id);
+        rank.timers().overhead.stop();
+        for (const AlignTask* task : it->second) {
+          const bool remote_is_a = task->a == remote.id;
+          const seq::Read& other =
+              local_read(store, bounds, me, remote_is_a ? task->b : task->a);
+          if (remote_is_a)
+            execute_task(*task, remote, other, config, rank.timers(), result);
+          else
+            execute_task(*task, other, remote, config, rank.timers(), result);
+        }
+      }
+    }
+    rank.memory().release(received_bytes);
+  }
+
+  // Final synchronization: end of the bulk-synchronous phase.
+  rank.barrier();
+  return result;
+}
+
+}  // namespace gnb::core

@@ -1,0 +1,24 @@
+#pragma once
+// Bulk-synchronous many-to-many alignment engine (paper §3.1).
+//
+// Reads are exchanged in an irregular all-to-all and alignments computed
+// independently in parallel. Message aggregation maximizes bandwidth
+// utilization and amortizes message costs; when the aggregate exchange
+// exceeds the per-rank memory budget, the engine runs multiple
+// dynamically-sized exchange-compute supersteps. "All pairwise alignments
+// associated with each received read are computed together, when the
+// respective read is accessed from the message buffer."
+
+#include "core/engine.hpp"
+#include "rt/world.hpp"
+
+namespace gnb::core {
+
+/// SPMD body: run the bulk-synchronous engine on this rank's tasks.
+/// `my_tasks` must satisfy the owner invariant w.r.t. `bounds`.
+EngineResult bsp_align(rt::Rank& rank, const seq::ReadStore& store,
+                       const std::vector<seq::ReadId>& bounds,
+                       const std::vector<kmer::AlignTask>& my_tasks,
+                       const EngineConfig& config);
+
+}  // namespace gnb::core

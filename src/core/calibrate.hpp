@@ -1,0 +1,24 @@
+#pragma once
+// Cost-model calibration: ties the machine simulator's virtual clock to the
+// real X-drop kernel on this host.
+//
+// The simulator expresses task costs in DP cells (see wl::TaskModelParams);
+// this measures how many cells per second the real kernel evaluates, and
+// the fixed per-task overhead (data-structure traversal, orientation and
+// kernel invocation — the paper's "Computation (Overhead)").
+
+#include <cstdint>
+
+namespace gnb::core {
+
+struct CostCalibration {
+  double cells_per_second = 2e8;   // kernel throughput
+  double overhead_per_task = 3e-6; // seconds per task outside the kernel
+};
+
+/// Measure the real kernel for at least `min_seconds` of thread CPU time.
+/// Deterministic inputs from `seed`; the measured rate is host-dependent
+/// by design (it is the simulator's time base).
+CostCalibration calibrate_cost_model(std::uint64_t seed = 42, double min_seconds = 0.2);
+
+}  // namespace gnb::core

@@ -1,0 +1,45 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+
+#include "rt/phase.hpp"
+#include "util/error.hpp"
+
+namespace gnb::core {
+
+const seq::Read& local_read(const seq::ReadStore& store, const std::vector<seq::ReadId>& bounds,
+                            std::uint32_t rank_id, seq::ReadId id) {
+  GNB_CHECK_MSG(seq::partition_owner(bounds, id) == rank_id,
+                "rank " << rank_id << " accessed remote read " << id
+                        << " without communication");
+  return store.get(id);
+}
+
+void execute_task(const kmer::AlignTask& task, const seq::Read& read_a,
+                  const seq::Read& read_b, const EngineConfig& config,
+                  rt::PhaseTimers& timers, EngineResult& result) {
+  GNB_CHECK(read_a.id == task.a && read_b.id == task.b);
+
+  // Traversal/orientation overhead: unpack and (if needed) orient b.
+  timers.overhead.start();
+  const std::vector<std::uint8_t> codes_a = read_a.sequence.unpack();
+  std::vector<std::uint8_t> codes_b = read_b.sequence.unpack();
+  if (task.seed.b_reversed) {
+    std::reverse(codes_b.begin(), codes_b.end());
+    for (auto& code : codes_b) code = seq::dna_complement(code);
+  }
+  timers.overhead.stop();
+
+  ++result.tasks_done;
+  if (config.skip_compute) return;
+
+  timers.compute.start();
+  const align::Alignment alignment = align::xdrop_align(codes_a, codes_b, task.seed, config.xdrop);
+  timers.compute.stop();
+
+  result.cells += alignment.cells;
+  if (config.filter.accepts(alignment))
+    result.accepted.push_back(align::AlignmentRecord{task.a, task.b, alignment});
+}
+
+}  // namespace gnb::core

@@ -1,0 +1,62 @@
+#pragma once
+// Shared configuration and result types for the two many-to-many alignment
+// engines (bulk-synchronous and asynchronous).
+
+#include <cstdint>
+#include <vector>
+
+#include "align/result.hpp"
+#include "align/xdrop.hpp"
+#include "kmer/candidates.hpp"
+#include "rt/phase.hpp"
+#include "seq/read_store.hpp"
+
+namespace gnb::core {
+
+struct EngineConfig {
+  align::XDropParams xdrop;
+  align::AlignmentFilter filter{/*min_score=*/50, /*min_overlap=*/100};
+
+  /// §4.3 communication-benchmarking mode: "executes everything except the
+  /// pairwise alignment computation".
+  bool skip_compute = false;
+
+  /// BSP only: per-rank byte budget for one exchange round (send + receive
+  /// aggregation buffers). When the full irregular exchange does not fit,
+  /// the engine performs multiple dynamically-sized exchange-compute
+  /// supersteps, as in the paper's refactored DiBELLA stage 3.
+  std::uint64_t bsp_round_budget = 64ull << 20;
+
+  /// Async only: cap on outstanding outgoing RPCs ("limits on outgoing
+  /// requests", §4.3).
+  std::size_t max_outstanding = 64;
+};
+
+/// Per-rank outcome of an engine run. Phase timings and peak memory live
+/// in the rank's instrumentation (rt::PhaseTimers / MemoryMeter).
+struct EngineResult {
+  std::vector<align::AlignmentRecord> accepted;
+  std::uint64_t tasks_done = 0;
+  std::uint64_t cells = 0;                    // DP cells evaluated
+  std::uint64_t exchange_bytes_received = 0;  // BSP: Fig-6 loads; Async: reply bytes
+  std::uint64_t rounds = 0;                   // BSP supersteps executed
+  std::uint64_t messages = 0;                 // RPCs or exchange buffers sent
+};
+
+/// Fetch a read this rank owns; aborts if `id` is not in the rank's
+/// partition — the distributed-memory discipline both engines must obey
+/// even though the threaded runtime shares one address space.
+const seq::Read& local_read(const seq::ReadStore& store,
+                            const std::vector<seq::ReadId>& bounds, std::uint32_t rank_id,
+                            seq::ReadId id);
+
+/// Execute one alignment task: orient `read_b`, run the X-drop kernel, and
+/// record the alignment if it passes the filter. Data-structure traversal
+/// and orientation are charged to timers.overhead, the kernel to
+/// timers.compute ("Computation (Overhead)" vs "Computation (Alignment)").
+/// With config.skip_compute the kernel call is skipped (§4.3 mode).
+void execute_task(const kmer::AlignTask& task, const seq::Read& read_a,
+                  const seq::Read& read_b, const EngineConfig& config,
+                  rt::PhaseTimers& timers, EngineResult& result);
+
+}  // namespace gnb::core

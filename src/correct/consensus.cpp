@@ -1,0 +1,220 @@
+#include "correct/consensus.hpp"
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <memory>
+
+#include "align/cigar.hpp"
+#include "util/error.hpp"
+
+namespace gnb::correct {
+
+namespace {
+
+// Vote slots: bases 0-4 (A,C,G,T,N) plus deletion.
+constexpr std::size_t kDelete = 5;
+constexpr std::size_t kSlots = 6;
+
+struct Pileup {
+  std::vector<std::array<std::uint32_t, kSlots>> column;  // per read position
+  // Single-base insertion votes *after* position p: counts per base.
+  std::vector<std::array<std::uint32_t, 5>> insert_after;
+
+  explicit Pileup(std::size_t length) : column(length), insert_after(length + 1) {
+    for (auto& c : column) c.fill(0);
+    for (auto& c : insert_after) c.fill(0);
+  }
+};
+
+/// Walk the partner->read CIGAR and register votes.
+void add_votes(Pileup& pileup, const align::Cigar& cigar,
+               std::span<const std::uint8_t> partner_codes, std::uint32_t partner_begin,
+               std::uint32_t read_begin) {
+  std::size_t p = partner_begin;  // partner cursor ('a' side of the CIGAR)
+  std::size_t r = read_begin;     // read cursor ('b' side)
+  for (const align::CigarRun& run : cigar) {
+    switch (run.op) {
+      case align::CigarOp::kMatch:
+      case align::CigarOp::kMismatch:
+        for (std::uint32_t t = 0; t < run.length; ++t)
+          ++pileup.column[r + t][partner_codes[p + t]];
+        p += run.length;
+        r += run.length;
+        break;
+      case align::CigarOp::kInsertion: {
+        // Partner has extra bases: a vote to insert after read position
+        // r-1 (only the first base of the run is proposed — longer
+        // insertions converge over multiple correction rounds).
+        const std::uint8_t base = partner_codes[p];
+        if (base < 5) ++pileup.insert_after[r][base];
+        p += run.length;
+        break;
+      }
+      case align::CigarOp::kDeletion:
+        // Partner lacks these read bases: deletion votes.
+        for (std::uint32_t t = 0; t < run.length; ++t) ++pileup.column[r + t][kDelete];
+        r += run.length;
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+seq::Sequence correct_read(const seq::Sequence& read, std::span<const Evidence> evidence,
+                           const CorrectionParams& params, CorrectionStats* stats) {
+  const std::vector<std::uint8_t> own = read.unpack();
+  Pileup pileup(own.size());
+
+  for (const Evidence& ev : evidence) {
+    GNB_CHECK(ev.partner != nullptr);
+    GNB_CHECK_MSG(ev.read_end <= own.size() && ev.read_begin <= ev.read_end,
+                  "evidence range out of bounds");
+    const std::vector<std::uint8_t> partner_codes = ev.partner->unpack();
+    GNB_CHECK(ev.partner_end <= partner_codes.size() && ev.partner_begin <= ev.partner_end);
+
+    const std::span<const std::uint8_t> x(partner_codes.data() + ev.partner_begin,
+                                          ev.partner_end - ev.partner_begin);
+    const std::span<const std::uint8_t> y(own.data() + ev.read_begin,
+                                          ev.read_end - ev.read_begin);
+    if (x.empty() || y.empty()) continue;
+    const std::size_t longer = std::max(x.size(), y.size());
+    const std::size_t diff = x.size() > y.size() ? x.size() - y.size() : y.size() - x.size();
+    const std::size_t band = std::max<std::size_t>(
+        diff + 4, params.band_extra + static_cast<std::size_t>(params.band_frac *
+                                                               static_cast<double>(longer)));
+    const align::TracebackResult tb = align::banded_global_traceback(x, y, band);
+    add_votes(pileup, tb.cigar, partner_codes, ev.partner_begin, ev.read_begin);
+  }
+
+  // Consensus sweep.
+  std::vector<std::uint8_t> corrected;
+  corrected.reserve(own.size() + own.size() / 16);
+  CorrectionStats local;
+  local.positions_total = own.size();
+
+  auto apply_insertions = [&](std::size_t gap_index, std::uint32_t coverage_hint) {
+    const auto& ins = pileup.insert_after[gap_index];
+    std::size_t best = 0;
+    for (std::size_t base = 1; base < 5; ++base)
+      if (ins[base] > ins[best]) best = base;
+    const double needed = params.majority * std::max<double>(coverage_hint, 1.0);
+    if (ins[best] > 0 && static_cast<double>(ins[best]) >= needed &&
+        ins[best] >= params.min_coverage) {
+      corrected.push_back(static_cast<std::uint8_t>(best));
+      ++local.insertions;
+    }
+  };
+
+  // Coverage at position 0's left gap uses position 0's column coverage.
+  for (std::size_t pos = 0; pos <= own.size(); ++pos) {
+    std::uint32_t coverage = 0;
+    if (pos < own.size())
+      for (const auto votes : pileup.column[pos]) coverage += votes;
+    else if (!own.empty())
+      for (const auto votes : pileup.column[pos - 1]) coverage += votes;
+    apply_insertions(pos, coverage);
+    if (pos == own.size()) break;
+
+    auto votes = pileup.column[pos];
+    votes[own[pos]] += params.self_weight;
+    const std::uint32_t total = coverage + params.self_weight;
+    if (coverage + params.self_weight >= params.min_coverage + params.self_weight &&
+        coverage > 0) {
+      ++local.positions_covered;
+      std::size_t best = 0;
+      for (std::size_t slot = 1; slot < kSlots; ++slot)
+        if (votes[slot] > votes[best]) best = slot;
+      const bool strong =
+          static_cast<double>(votes[best]) >= params.majority * static_cast<double>(total);
+      if (strong && best == kDelete) {
+        ++local.deletions;
+        continue;  // drop the base
+      }
+      if (strong && best != own[pos] && best < 5) {
+        corrected.push_back(static_cast<std::uint8_t>(best));
+        ++local.substitutions;
+        continue;
+      }
+    }
+    corrected.push_back(own[pos]);
+  }
+
+  if (stats != nullptr) {
+    ++stats->reads_processed;
+    stats->substitutions += local.substitutions;
+    stats->deletions += local.deletions;
+    stats->insertions += local.insertions;
+    stats->positions_covered += local.positions_covered;
+    stats->positions_total += local.positions_total;
+    if (local.substitutions + local.deletions + local.insertions > 0) ++stats->reads_changed;
+  }
+  return seq::Sequence::from_codes(corrected);
+}
+
+CorrectedSet correct_reads(const seq::ReadStore& store,
+                           std::span<const align::AlignmentRecord> records,
+                           const CorrectionParams& params) {
+  // Evidence lists per read. Oriented partner sequences are materialized
+  // lazily per record (reverse complements are cheap at read scale).
+  std::vector<std::vector<Evidence>> evidence(store.size());
+  // Owning storage for reverse-complemented partners.
+  std::vector<std::unique_ptr<seq::Sequence>> oriented;
+
+  for (const auto& record : records) {
+    const align::Alignment& alignment = record.alignment;
+    const seq::Read& read_a = store.get(record.read_a);
+    const seq::Read& read_b = store.get(record.read_b);
+    const auto la = static_cast<std::uint32_t>(read_a.length());
+    const auto lb = static_cast<std::uint32_t>(read_b.length());
+
+    // Evidence for A: partner is B in the alignment's orientation.
+    {
+      Evidence ev;
+      if (alignment.b_reversed) {
+        oriented.push_back(
+            std::make_unique<seq::Sequence>(read_b.sequence.reverse_complement()));
+        ev.partner = oriented.back().get();
+      } else {
+        ev.partner = &read_b.sequence;
+      }
+      ev.read_begin = alignment.a_begin;
+      ev.read_end = alignment.a_end;
+      ev.partner_begin = alignment.b_begin;
+      ev.partner_end = alignment.b_end;
+      evidence[record.read_a].push_back(ev);
+    }
+    // Evidence for B: partner is A, brought into B's forward frame.
+    {
+      Evidence ev;
+      if (alignment.b_reversed) {
+        // Alignment lives in rc(B) coordinates: flip the range onto B
+        // forward and reverse-complement the partner segment's frame.
+        oriented.push_back(
+            std::make_unique<seq::Sequence>(read_a.sequence.reverse_complement()));
+        ev.partner = oriented.back().get();
+        ev.read_begin = lb - alignment.b_end;
+        ev.read_end = lb - alignment.b_begin;
+        ev.partner_begin = la - alignment.a_end;
+        ev.partner_end = la - alignment.a_begin;
+      } else {
+        ev.partner = &read_a.sequence;
+        ev.read_begin = alignment.b_begin;
+        ev.read_end = alignment.b_end;
+        ev.partner_begin = alignment.a_begin;
+        ev.partner_end = alignment.a_end;
+      }
+      evidence[record.read_b].push_back(ev);
+    }
+  }
+
+  CorrectedSet out;
+  out.reads.reserve(store.size());
+  for (const seq::Read& read : store.reads())
+    out.reads.push_back(
+        correct_read(read.sequence, evidence[read.id], params, &out.stats));
+  return out;
+}
+
+}  // namespace gnb::correct

@@ -1,0 +1,123 @@
+#include "graph/assembler.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "util/error.hpp"
+
+namespace gnb::graph {
+
+namespace {
+
+/// Whether `u -> next(u)` is an unambiguous unitig step.
+std::optional<OverlapEdge> unique_step(const OverlapGraph& graph, NodeId u) {
+  if (graph.out_degree(u) != 1) return std::nullopt;
+  const OverlapEdge edge = graph.out_edges(u).front();
+  if (graph.in_degree(edge.to) != 1) return std::nullopt;
+  return edge;
+}
+
+}  // namespace
+
+std::vector<Contig> extract_unitigs(const OverlapGraph& graph,
+                                    std::span<const std::size_t> read_lengths) {
+  const std::size_t n = graph.n_reads();
+  std::vector<bool> used(n, false);
+  std::vector<Contig> contigs;
+
+  // A read starts a unitig (in orientation d) when it cannot be uniquely
+  // extended backwards: in-degree != 1, or the predecessor branches.
+  auto is_start = [&](NodeId node) {
+    const NodeId back = node_complement(node);
+    const auto step_back = unique_step(graph, back);
+    return !step_back.has_value();
+  };
+
+  auto walk = [&](NodeId start) {
+    Contig contig;
+    contig.path.push_back(start);
+    contig.length = read_lengths[node_read(start)];
+    used[node_read(start)] = true;
+    NodeId current = start;
+    while (true) {
+      const auto step = unique_step(graph, current);
+      if (!step.has_value()) break;
+      const NodeId next = step->to;
+      if (used[node_read(next)]) break;  // circular component: stop
+      const std::size_t next_len = read_lengths[node_read(next)];
+      const std::uint32_t advance =
+          next_len > step->overlap ? static_cast<std::uint32_t>(next_len - step->overlap) : 0;
+      contig.path.push_back(next);
+      contig.advances.push_back(advance);
+      contig.length += advance;
+      used[node_read(next)] = true;
+      current = next;
+    }
+    return contig;
+  };
+
+  // Pass 1: proper unitig starts.
+  for (seq::ReadId read = 0; read < n; ++read) {
+    if (used[read] || graph.is_contained(read)) continue;
+    for (const bool reverse : {false, true}) {
+      const NodeId node = make_node(read, reverse);
+      if (!used[read] && is_start(node)) {
+        contigs.push_back(walk(node));
+        break;
+      }
+    }
+  }
+  // Pass 2: whatever remains sits on cycles; break each arbitrarily.
+  for (seq::ReadId read = 0; read < n; ++read) {
+    if (used[read] || graph.is_contained(read)) continue;
+    contigs.push_back(walk(make_node(read, false)));
+  }
+  return contigs;
+}
+
+seq::Sequence contig_sequence(const Contig& contig, const seq::ReadStore& reads) {
+  GNB_CHECK(!contig.path.empty());
+  auto oriented = [&](NodeId node) {
+    const seq::Sequence& raw = reads.get(node_read(node)).sequence;
+    return node_reverse(node) ? raw.reverse_complement() : raw;
+  };
+
+  std::vector<std::uint8_t> bases;
+  const seq::Sequence first = oriented(contig.path.front());
+  {
+    const auto codes = first.unpack();
+    bases.insert(bases.end(), codes.begin(), codes.end());
+  }
+  for (std::size_t i = 1; i < contig.path.size(); ++i) {
+    const seq::Sequence read = oriented(contig.path[i]);
+    const std::uint32_t advance = contig.advances[i - 1];
+    const auto codes = read.unpack();
+    const std::size_t skip = codes.size() > advance ? codes.size() - advance : 0;
+    bases.insert(bases.end(), codes.begin() + static_cast<std::ptrdiff_t>(skip), codes.end());
+  }
+  return seq::Sequence::from_codes(bases);
+}
+
+AssemblyStats assembly_stats(const std::vector<Contig>& contigs) {
+  AssemblyStats stats;
+  stats.contigs = contigs.size();
+  std::vector<std::uint64_t> lengths;
+  lengths.reserve(contigs.size());
+  for (const Contig& contig : contigs) {
+    stats.total_length += contig.length;
+    stats.longest = std::max(stats.longest, contig.length);
+    lengths.push_back(contig.length);
+  }
+  std::sort(lengths.rbegin(), lengths.rend());
+  std::uint64_t cumulative = 0;
+  for (const std::uint64_t len : lengths) {
+    cumulative += len;
+    if (2 * cumulative >= stats.total_length) {
+      stats.n50 = len;
+      break;
+    }
+  }
+  return stats;
+}
+
+}  // namespace gnb::graph

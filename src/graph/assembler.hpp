@@ -1,0 +1,43 @@
+#pragma once
+// Unitig extraction and assembly statistics on the overlap graph — a
+// minimal de novo assembler demonstrating the paper's motivating
+// downstream use of many-to-many read alignment.
+//
+// A *unitig* is a maximal unbranched path: every interior junction has
+// out-degree 1 and its successor in-degree 1, so the path is the unique
+// unambiguous reconstruction of that genome region.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/overlap_graph.hpp"
+#include "seq/read_store.hpp"
+
+namespace gnb::graph {
+
+struct Contig {
+  std::vector<NodeId> path;    // oriented reads, in walk order
+  std::vector<std::uint32_t> advances;  // bases each subsequent read adds
+  std::uint64_t length = 0;    // total contig length in bases
+};
+
+struct AssemblyStats {
+  std::size_t contigs = 0;
+  std::uint64_t total_length = 0;
+  std::uint64_t longest = 0;
+  std::uint64_t n50 = 0;  // standard contiguity metric
+};
+
+/// Extract all unitigs. Every non-contained read belongs to exactly one
+/// unitig (possibly a singleton). Deterministic output order.
+std::vector<Contig> extract_unitigs(const OverlapGraph& graph,
+                                    std::span<const std::size_t> read_lengths);
+
+/// Reconstruct a contig's base sequence by splicing oriented reads at
+/// their overlap offsets. Approximate around indels (offsets come from
+/// alignment spans), which is standard for layout-stage assembly.
+seq::Sequence contig_sequence(const Contig& contig, const seq::ReadStore& reads);
+
+AssemblyStats assembly_stats(const std::vector<Contig>& contigs);
+
+}  // namespace gnb::graph

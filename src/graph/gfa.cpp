@@ -1,0 +1,47 @@
+#include "graph/gfa.hpp"
+
+#include <ostream>
+
+#include "util/error.hpp"
+
+namespace gnb::graph {
+
+void write_gfa(std::ostream& out, const OverlapGraph& graph, const seq::ReadStore& reads,
+               const GfaOptions& options) {
+  out << "H\tVN:Z:1.0\n";
+  GNB_CHECK_MSG(reads.size() >= graph.n_reads(), "read store smaller than graph");
+
+  for (seq::ReadId id = 0; id < graph.n_reads(); ++id) {
+    if (graph.is_contained(id)) continue;
+    const seq::Read& read = reads.get(id);
+    out << "S\t" << read.name << '\t';
+    if (options.with_sequences) {
+      out << read.sequence.to_string() << '\n';
+    } else {
+      out << "*\tLN:i:" << read.length() << '\n';
+    }
+  }
+
+  // GFA links: L from fromOrient to toOrient overlap. Our directed edge
+  // u -> v ("suffix of oriented u overlaps prefix of oriented v") maps to
+  // from = read(u) with orient '+' if forward, to = read(v) likewise.
+  // Each edge and its mirror describe the same link; emit each link once
+  // by keeping the representative with the smaller (from, to) encoding.
+  for (seq::ReadId id = 0; id < graph.n_reads(); ++id) {
+    if (graph.is_contained(id)) continue;
+    for (const bool reverse : {false, true}) {
+      const NodeId u = make_node(id, reverse);
+      for (const OverlapEdge& edge : graph.out_edges(u)) {
+        if (edge.reduced && !options.include_reduced) continue;
+        const NodeId mirror_from = node_complement(edge.to);
+        if (mirror_from < u) continue;  // mirror already emitted
+        out << "L\t" << reads.get(node_read(u)).name << '\t'
+            << (node_reverse(u) ? '-' : '+') << '\t' << reads.get(node_read(edge.to)).name
+            << '\t' << (node_reverse(edge.to) ? '-' : '+') << '\t' << edge.overlap << "M\n";
+      }
+    }
+  }
+  GNB_THROW_IF(!out, "GFA write failed");
+}
+
+}  // namespace gnb::graph

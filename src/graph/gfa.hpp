@@ -1,0 +1,29 @@
+#pragma once
+// GFA1 output for the string graph — the interchange format consumed by
+// miniasm, Bandage and other assembly tooling.
+//
+//   S <name> <sequence|*> [LN:i:<len>]
+//   L <from> <+/-> <to> <+/-> <overlap>M
+//
+// Contained reads are omitted (they carry no edges); reduced edges are
+// omitted by default.
+
+#include <iosfwd>
+
+#include "graph/overlap_graph.hpp"
+#include "seq/read_store.hpp"
+
+namespace gnb::graph {
+
+struct GfaOptions {
+  /// Emit full sequences on S lines ('*' + LN tag otherwise).
+  bool with_sequences = false;
+  /// Also emit edges eliminated by transitive reduction/pruning.
+  bool include_reduced = false;
+};
+
+/// Write the graph as GFA1. Segment names are the read names from `reads`.
+void write_gfa(std::ostream& out, const OverlapGraph& graph, const seq::ReadStore& reads,
+               const GfaOptions& options = {});
+
+}  // namespace gnb::graph

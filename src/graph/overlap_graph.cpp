@@ -1,0 +1,159 @@
+#include "graph/overlap_graph.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/error.hpp"
+
+namespace gnb::graph {
+
+OverlapGraph::OverlapGraph(std::span<const align::AlignmentRecord> records,
+                           std::span<const std::size_t> read_lengths,
+                           std::uint32_t min_overlap, std::uint32_t max_overhang,
+                           std::uint32_t end_slack) {
+  n_reads_ = read_lengths.size();
+  stats_.reads = n_reads_;
+  contained_.assign(n_reads_, false);
+  adjacency_.assign(2 * n_reads_, {});
+
+  // Pass 1: containment. A contained read adds no assembly information;
+  // its overlaps are subsumed by its container's.
+  for (const auto& record : records) {
+    GNB_CHECK(record.read_a < n_reads_ && record.read_b < n_reads_);
+    const std::size_t la = read_lengths[record.read_a];
+    const std::size_t lb = read_lengths[record.read_b];
+    if (align::overhang(record.alignment, la, lb) > max_overhang) continue;
+    const auto kind = align::classify_overlap(record.alignment, la, lb, end_slack);
+    if (kind == align::OverlapKind::kContainsB) {
+      contained_[record.read_b] = true;
+    } else if (kind == align::OverlapKind::kContainedInB) {
+      contained_[record.read_a] = true;
+    }
+  }
+  for (bool c : contained_) stats_.contained += c ? 1 : 0;
+
+  // Pass 2: dovetail edges between non-contained reads.
+  for (const auto& record : records) {
+    if (contained_[record.read_a] || contained_[record.read_b]) continue;
+    const std::size_t la = read_lengths[record.read_a];
+    const std::size_t lb = read_lengths[record.read_b];
+    const align::Alignment& alignment = record.alignment;
+    if (align::overhang(alignment, la, lb) > max_overhang) continue;
+    if (alignment.overlap_length() < min_overlap) continue;
+
+    const NodeId a_fwd = make_node(record.read_a, false);
+    const NodeId a_rev = make_node(record.read_a, true);
+    // b in the orientation the alignment was computed in:
+    const NodeId b_oriented = make_node(record.read_b, alignment.b_reversed);
+
+    const auto kind = align::classify_overlap(alignment, la, lb, end_slack);
+    if (kind == align::OverlapKind::kDovetailAB) {
+      // suffix of A matches prefix of oriented B.
+      add_edge(a_fwd, b_oriented, alignment.overlap_length(), alignment.score);
+      add_edge(node_complement(b_oriented), a_rev, alignment.overlap_length(),
+               alignment.score);
+    } else if (kind == align::OverlapKind::kDovetailBA) {
+      // suffix of oriented B matches prefix of A.
+      add_edge(b_oriented, a_fwd, alignment.overlap_length(), alignment.score);
+      add_edge(a_rev, node_complement(b_oriented), alignment.overlap_length(),
+               alignment.score);
+    }
+  }
+}
+
+void OverlapGraph::add_edge(NodeId from, NodeId to, std::uint32_t overlap,
+                            std::int32_t score) {
+  // Keep only the strongest edge per (from, to) pair.
+  for (OverlapEdge& edge : adjacency_[from]) {
+    if (edge.to == to) {
+      if (score > edge.score) {
+        edge.overlap = overlap;
+        edge.score = score;
+      }
+      return;
+    }
+  }
+  adjacency_[from].push_back(OverlapEdge{from, to, overlap, score, false});
+  ++stats_.dovetail_edges;
+}
+
+std::vector<OverlapEdge> OverlapGraph::out_edges(NodeId node) const {
+  std::vector<OverlapEdge> live;
+  for (const OverlapEdge& edge : adjacency_[node])
+    if (!edge.reduced) live.push_back(edge);
+  std::sort(live.begin(), live.end(), [](const OverlapEdge& x, const OverlapEdge& y) {
+    return x.overlap > y.overlap;
+  });
+  return live;
+}
+
+std::size_t OverlapGraph::out_degree(NodeId node) const {
+  std::size_t degree = 0;
+  for (const OverlapEdge& edge : adjacency_[node]) degree += edge.reduced ? 0 : 1;
+  return degree;
+}
+
+std::size_t OverlapGraph::reduce_transitive(std::uint32_t fuzz) {
+  std::size_t removed = 0;
+  for (NodeId u = 0; u < adjacency_.size(); ++u) {
+    auto& edges_u = adjacency_[u];
+    if (edges_u.size() < 2) continue;
+    // Larger overlap = nearer neighbor: v "explains" w when going through
+    // v still covers w's (smaller) overlap.
+    std::unordered_map<NodeId, std::size_t> index;
+    for (std::size_t i = 0; i < edges_u.size(); ++i)
+      if (!edges_u[i].reduced) index.emplace(edges_u[i].to, i);
+    for (const auto& [v, vi] : index) {
+      const std::uint32_t ovl_uv = edges_u[vi].overlap;
+      for (const OverlapEdge& vw : adjacency_[v]) {
+        if (vw.reduced) continue;
+        const auto it = index.find(vw.to);
+        if (it == index.end() || it->first == v) continue;
+        OverlapEdge& uw = edges_u[it->second];
+        if (uw.reduced) continue;
+        // u->v->w explains u->w when w is no nearer than v.
+        if (uw.overlap <= ovl_uv + fuzz && node_read(vw.to) != node_read(u)) {
+          uw.reduced = true;
+          ++removed;
+        }
+      }
+    }
+  }
+  stats_.reduced_edges += removed;
+  return removed;
+}
+
+std::size_t OverlapGraph::prune_best_overlap() {
+  std::size_t removed = 0;
+  // Keep each node's best out-edge; then enforce mirror consistency by
+  // also keeping only the best in-edge (= best out-edge of the
+  // complement), dropping edges that lost either race.
+  std::vector<NodeId> best_out(adjacency_.size(), static_cast<NodeId>(-1));
+  for (NodeId u = 0; u < adjacency_.size(); ++u) {
+    const OverlapEdge* best = nullptr;
+    for (const OverlapEdge& edge : adjacency_[u]) {
+      if (edge.reduced) continue;
+      if (best == nullptr || edge.overlap > best->overlap ||
+          (edge.overlap == best->overlap && edge.to < best->to)) {
+        best = &edge;
+      }
+    }
+    if (best != nullptr) best_out[u] = best->to;
+  }
+  for (NodeId u = 0; u < adjacency_.size(); ++u) {
+    for (OverlapEdge& edge : adjacency_[u]) {
+      if (edge.reduced) continue;
+      // Survive only as u's best out AND as the mirror's best out.
+      const bool is_best_out = best_out[u] == edge.to;
+      const bool is_best_in = best_out[node_complement(edge.to)] == node_complement(u);
+      if (!is_best_out || !is_best_in) {
+        edge.reduced = true;
+        ++removed;
+      }
+    }
+  }
+  stats_.reduced_edges += removed;
+  return removed;
+}
+
+}  // namespace gnb::graph

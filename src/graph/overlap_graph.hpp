@@ -1,0 +1,98 @@
+#pragma once
+// Overlap (string) graph over accepted alignments — the downstream
+// consumer the paper motivates ("identifying overlaps among the reads and
+// computing their alignments is critical ... for reconstructing a more
+// complete representation of the genome from the reads (de novo
+// assembly)", §2).
+//
+// Classical construction: contained reads are removed; each remaining
+// read appears as two *oriented nodes* (forward and reverse-complement);
+// a dovetail overlap "suffix of oriented u matches prefix of oriented v"
+// becomes the directed edge u -> v plus its mirror ~v -> ~u; transitively
+// implied edges are discarded (Myers-style reduction).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "align/overlap.hpp"
+#include "align/result.hpp"
+#include "seq/read_store.hpp"
+
+namespace gnb::graph {
+
+/// Oriented read: read id * 2 + (1 if reverse-complement).
+using NodeId = std::uint64_t;
+
+constexpr NodeId make_node(seq::ReadId read, bool reverse) {
+  return (static_cast<NodeId>(read) << 1) | (reverse ? 1 : 0);
+}
+constexpr seq::ReadId node_read(NodeId node) { return static_cast<seq::ReadId>(node >> 1); }
+constexpr bool node_reverse(NodeId node) { return (node & 1) != 0; }
+/// The same read in the opposite orientation.
+constexpr NodeId node_complement(NodeId node) { return node ^ 1; }
+
+/// Directed dovetail edge: the suffix of oriented `from` overlaps the
+/// prefix of oriented `to` by `overlap` bases.
+struct OverlapEdge {
+  NodeId from = 0;
+  NodeId to = 0;
+  std::uint32_t overlap = 0;
+  std::int32_t score = 0;
+  bool reduced = false;  // eliminated by transitive reduction
+};
+
+struct GraphStats {
+  std::size_t reads = 0;
+  std::size_t contained = 0;       // removed: contained in another read
+  std::size_t dovetail_edges = 0;  // directed edges before reduction
+  std::size_t reduced_edges = 0;   // removed by transitive reduction
+  [[nodiscard]] std::size_t final_edges() const { return dovetail_edges - reduced_edges; }
+};
+
+class OverlapGraph {
+ public:
+  /// Build from accepted alignments. `read_lengths[id]` must cover every
+  /// referenced read. `min_overlap` drops weak edges; `max_overhang`
+  /// rejects alignments with too much unaligned sequence on the inner
+  /// side of the overlap (spurious/repeat-induced candidates).
+  OverlapGraph(std::span<const align::AlignmentRecord> records,
+               std::span<const std::size_t> read_lengths, std::uint32_t min_overlap = 100,
+               std::uint32_t max_overhang = 150, std::uint32_t end_slack = 50);
+
+  [[nodiscard]] const GraphStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t n_reads() const { return n_reads_; }
+  [[nodiscard]] bool is_contained(seq::ReadId id) const { return contained_[id]; }
+
+  /// Surviving (non-reduced) out-edges of an oriented node.
+  [[nodiscard]] std::vector<OverlapEdge> out_edges(NodeId node) const;
+  /// Number of surviving out-edges (cheaper than materializing them).
+  [[nodiscard]] std::size_t out_degree(NodeId node) const;
+  /// Number of surviving in-edges of an oriented node (mirror symmetry:
+  /// in-degree(v) == out-degree(~v)).
+  [[nodiscard]] std::size_t in_degree(NodeId node) const {
+    return out_degree(node_complement(node));
+  }
+
+  /// Myers-style transitive reduction: mark edge u->w reduced when edges
+  /// u->v and v->w exist with overlap(u,w) <= overlap(u,v) + fuzz.
+  /// Returns the number of newly reduced directed edges.
+  std::size_t reduce_transitive(std::uint32_t fuzz = 60);
+
+  /// Best-overlap-graph pruning (BOG/miniasm style): keep only the
+  /// largest-overlap out-edge of every oriented node (and, by mirror
+  /// symmetry, the best in-edge of every node), turning the graph into
+  /// chains plus junction ties. Returns edges newly reduced. Apply after
+  /// reduce_transitive.
+  std::size_t prune_best_overlap();
+
+ private:
+  void add_edge(NodeId from, NodeId to, std::uint32_t overlap, std::int32_t score);
+
+  std::size_t n_reads_ = 0;
+  std::vector<bool> contained_;
+  std::vector<std::vector<OverlapEdge>> adjacency_;  // by NodeId
+  GraphStats stats_;
+};
+
+}  // namespace gnb::graph

@@ -1,0 +1,38 @@
+#include "kmer/counter.hpp"
+
+namespace gnb::kmer {
+
+void KmerCounter::count_reads(const std::vector<seq::Read>& reads, std::uint32_t k) {
+  for (const auto& read : reads)
+    for_each_kmer(read, k, [this](const Kmer& km, const Occurrence&) { add(km); });
+}
+
+void KmerCounter::merge(const KmerCounter& other) {
+  for (const auto& [km, n] : other.counts_) counts_[km] += n;
+}
+
+std::uint64_t KmerCounter::count(const Kmer& km) const {
+  const auto it = counts_.find(km);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+std::uint64_t KmerCounter::total() const {
+  std::uint64_t sum = 0;
+  for (const auto& [km, n] : counts_) sum += n;
+  return sum;
+}
+
+CountHistogram KmerCounter::histogram() const {
+  CountHistogram hist;
+  for (const auto& [km, n] : counts_) hist.add(n);
+  return hist;
+}
+
+std::vector<Kmer> KmerCounter::retained(std::uint64_t lo, std::uint64_t hi) const {
+  std::vector<Kmer> keep;
+  for (const auto& [km, n] : counts_)
+    if (n >= lo && n <= hi) keep.push_back(km);
+  return keep;
+}
+
+}  // namespace gnb::kmer

@@ -1,0 +1,46 @@
+#pragma once
+// K-mer counting and the multiplicity histogram.
+//
+// DiBELLA computes a k-mer histogram between pipeline stages 1 and 2 and
+// filters k-mers (seeds) on user criteria (paper §3). KmerCounter is the
+// local building block; the distributed version in gnb::pipeline shards
+// k-mers across ranks by hash and runs one KmerCounter per rank.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "kmer/extract.hpp"
+#include "kmer/kmer.hpp"
+#include "util/histogram.hpp"
+
+namespace gnb::kmer {
+
+class KmerCounter {
+ public:
+  void add(const Kmer& km, std::uint64_t count = 1) { counts_[km] += count; }
+
+  /// Count every k-mer of every read in [first, last).
+  void count_reads(const std::vector<seq::Read>& reads, std::uint32_t k);
+
+  void merge(const KmerCounter& other);
+
+  [[nodiscard]] std::uint64_t count(const Kmer& km) const;
+  [[nodiscard]] std::size_t distinct() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t total() const;
+
+  /// Multiplicity spectrum: multiplicity -> number of distinct k-mers.
+  [[nodiscard]] CountHistogram histogram() const;
+
+  /// K-mers whose multiplicity lies in [lo, hi] inclusive.
+  [[nodiscard]] std::vector<Kmer> retained(std::uint64_t lo, std::uint64_t hi) const;
+
+  [[nodiscard]] const std::unordered_map<Kmer, std::uint64_t, KmerHash>& counts() const {
+    return counts_;
+  }
+
+ private:
+  std::unordered_map<Kmer, std::uint64_t, KmerHash> counts_;
+};
+
+}  // namespace gnb::kmer

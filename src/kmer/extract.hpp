@@ -1,0 +1,30 @@
+#pragma once
+// K-mer extraction: slide a window of length k over a read, one base at a
+// time (paper §2), emitting the canonical k-mer for every window that
+// contains no 'N'.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "kmer/kmer.hpp"
+#include "seq/read_store.hpp"
+
+namespace gnb::kmer {
+
+/// One k-mer occurrence inside a read.
+struct Occurrence {
+  seq::ReadId read = seq::kInvalidRead;
+  std::uint32_t pos = 0;   // offset of the window start in the read
+  bool reversed = false;   // canonical form is the reverse complement
+};
+
+/// Invoke `sink(canonical_kmer, occurrence)` for every N-free window of
+/// length k in `read`.
+void for_each_kmer(const seq::Read& read, std::uint32_t k,
+                   const std::function<void(const Kmer&, const Occurrence&)>& sink);
+
+/// All canonical k-mers of a read (convenience for tests and counting).
+std::vector<Kmer> extract_kmers(const seq::Read& read, std::uint32_t k);
+
+}  // namespace gnb::kmer

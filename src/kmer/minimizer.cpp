@@ -1,0 +1,55 @@
+#include "kmer/minimizer.hpp"
+
+#include <deque>
+
+#include "util/error.hpp"
+
+namespace gnb::kmer {
+
+std::vector<Minimizer> extract_minimizers(const seq::Read& read, std::uint32_t k,
+                                          std::uint32_t w) {
+  GNB_CHECK_MSG(w >= 1, "minimizer window must be >= 1");
+  // Collect the k-mer stream first (N windows already skipped); then run a
+  // monotonic-deque sliding minimum over hashes. Runs of skipped windows
+  // (from Ns) reset the window, matching the definition on each N-free
+  // segment.
+  struct Entry {
+    std::uint64_t hash;
+    std::size_t index;  // position in `stream`
+  };
+  std::vector<Minimizer> stream;
+  for_each_kmer(read, k, [&](const Kmer& km, const Occurrence& occ) {
+    stream.push_back(Minimizer{km, occ});
+  });
+
+  std::vector<Minimizer> out;
+  std::deque<Entry> window;
+  std::size_t segment_start = 0;
+  std::size_t last_emitted = static_cast<std::size_t>(-1);
+
+  auto emit = [&](std::size_t index) {
+    if (index != last_emitted) {
+      out.push_back(stream[index]);
+      last_emitted = index;
+    }
+  };
+
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    // Detect a gap in positions (an N broke the k-mer run): reset.
+    if (i > 0 && stream[i].occurrence.pos != stream[i - 1].occurrence.pos + 1) {
+      window.clear();
+      segment_start = i;
+      last_emitted = static_cast<std::size_t>(-1);
+    }
+    const std::uint64_t hash = mix64(stream[i].kmer.bits());
+    while (!window.empty() && window.back().hash >= hash) window.pop_back();
+    window.push_back(Entry{hash, i});
+    // Window of the last w k-mers within this segment.
+    const std::size_t window_lo = (i - segment_start + 1 >= w) ? i + 1 - w : segment_start;
+    while (window.front().index < window_lo) window.pop_front();
+    if (i - segment_start + 1 >= w) emit(window.front().index);
+  }
+  return out;
+}
+
+}  // namespace gnb::kmer

@@ -1,0 +1,33 @@
+#pragma once
+// Windowed minimizers (Roberts et al. 2004; used by minimap2/MECAT-style
+// overlappers the paper cites as alternative candidate-discovery schemes).
+//
+// Of every window of `w` consecutive k-mers, keep the one with the
+// smallest hash. Two sequences sharing an exact stretch of >= w+k-1 bases
+// are guaranteed to share a minimizer, so posting-list work shrinks by
+// ~2/(w+1) without losing long matches — a principled alternative to the
+// fraction sketching knob in PostingIndex.
+
+#include <cstdint>
+#include <vector>
+
+#include "kmer/extract.hpp"
+#include "kmer/kmer.hpp"
+#include "seq/read_store.hpp"
+
+namespace gnb::kmer {
+
+struct Minimizer {
+  Kmer kmer;         // canonical form
+  Occurrence occurrence;
+};
+
+/// All (w,k)-minimizers of a read, deduplicated (a k-mer instance that is
+/// minimal in several windows is reported once), in position order.
+std::vector<Minimizer> extract_minimizers(const seq::Read& read, std::uint32_t k,
+                                          std::uint32_t w);
+
+/// Expected sampling density 2/(w+1): handy for tests and sizing.
+constexpr double minimizer_density(std::uint32_t w) { return 2.0 / (w + 1.0); }
+
+}  // namespace gnb::kmer

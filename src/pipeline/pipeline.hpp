@@ -1,0 +1,59 @@
+#pragma once
+// The DiBELLA pre-alignment pipeline (paper §3):
+//   stage 1: partition reads uniformly by size (data-independent);
+//   stage 2: k-mer histogram + BELLA filtering; discover alignment tasks;
+//   stage 3: redistribute tasks preserving the owner invariant — every task
+//            is assigned to a rank that owns at least one of its two reads,
+//            with task *counts* roughly balanced across ranks.
+//
+// This header is the serial (single-process) reference implementation; the
+// distributed version over gnb::rt lives in distributed.hpp and must
+// produce the same task set.
+
+#include <cstdint>
+#include <vector>
+
+#include "kmer/bella_filter.hpp"
+#include "kmer/candidates.hpp"
+#include "seq/read_store.hpp"
+
+namespace gnb::pipeline {
+
+struct PipelineConfig {
+  std::uint32_t k = 17;
+  /// Retained k-mer multiplicity band; fill from kmer::reliable_bounds.
+  std::uint64_t lo = 2;
+  std::uint64_t hi = 8;
+  /// Fraction sketching rate for posting lists (1 = exhaustive).
+  double keep_frac = 1.0;
+};
+
+struct TaskSet {
+  /// Partition boundaries: rank r owns reads [bounds[r], bounds[r+1]).
+  std::vector<seq::ReadId> bounds;
+  /// Tasks assigned to each rank (owner invariant holds).
+  std::vector<std::vector<kmer::AlignTask>> per_rank;
+
+  [[nodiscard]] std::uint64_t total_tasks() const;
+  /// All tasks, sorted by (a, b) — for comparing pipelines.
+  [[nodiscard]] std::vector<kmer::AlignTask> sorted_union() const;
+};
+
+/// Stage 1: size-balanced partition of `store` over `nranks`.
+std::vector<seq::ReadId> compute_bounds(const seq::ReadStore& store, std::size_t nranks);
+
+/// Stages 2-3, serially: discover tasks and assign them to ranks. The
+/// assignment rule is greedy: each task goes to whichever of its two
+/// owners currently holds fewer tasks (ties to the smaller rank id).
+TaskSet run_serial(const seq::ReadStore& store, const PipelineConfig& config,
+                   std::size_t nranks);
+
+/// Stage 3 in isolation: assign already-discovered tasks to ranks.
+std::vector<std::vector<kmer::AlignTask>> assign_tasks(
+    const std::vector<kmer::AlignTask>& tasks, const std::vector<seq::ReadId>& bounds);
+
+/// Check the owner invariant: rank r's tasks each involve a read owned by
+/// r. Aborts (GNB_CHECK) on violation; used by tests and debug paths.
+void check_owner_invariant(const TaskSet& tasks);
+
+}  // namespace gnb::pipeline

@@ -1,0 +1,50 @@
+#pragma once
+// Per-rank phase instrumentation, mirroring the paper's runtime breakdowns:
+// alignment computation, computation overhead (data-structure traversal,
+// kernel invocation), communication, and synchronization.
+
+#include "util/memory.hpp"
+#include "util/timer.hpp"
+
+namespace gnb::rt {
+
+struct PhaseTimers {
+  Stopwatch compute;    // "Computation (Alignment)"
+  Stopwatch overhead;   // "Computation (Overhead)"
+  Stopwatch comm;       // visible communication latency
+  Stopwatch sync;       // barrier / exit-barrier waiting
+
+  [[nodiscard]] double total() const {
+    return compute.total() + overhead.total() + comm.total() + sync.total();
+  }
+
+  void reset() {
+    compute.reset();
+    overhead.reset();
+    comm.reset();
+    sync.reset();
+  }
+};
+
+/// Snapshot of one rank's breakdown, for global reductions.
+struct PhaseBreakdown {
+  double compute = 0;
+  double overhead = 0;
+  double comm = 0;
+  double sync = 0;
+  std::uint64_t peak_memory = 0;
+
+  [[nodiscard]] double total() const { return compute + overhead + comm + sync; }
+};
+
+inline PhaseBreakdown snapshot(const PhaseTimers& timers, const MemoryMeter& memory) {
+  PhaseBreakdown b;
+  b.compute = timers.compute.total();
+  b.overhead = timers.overhead.total();
+  b.comm = timers.comm.total();
+  b.sync = timers.sync.total();
+  b.peak_memory = memory.peak();
+  return b;
+}
+
+}  // namespace gnb::rt

@@ -1,0 +1,74 @@
+#include "rt/rpc.hpp"
+
+#include <memory>
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace gnb::rt {
+
+void RpcEndpoint::register_handler(std::uint32_t handler_id, Handler handler) {
+  handlers_[handler_id] = std::move(handler);
+}
+
+void RpcEndpoint::call(std::uint32_t target, std::uint32_t handler_id, Bytes payload,
+                       Callback callback) {
+  GNB_CHECK_MSG(target < peers_->size(), "rpc target " << target << " out of range");
+  Request request;
+  request.src = self_;
+  request.reqid = next_reqid_++;
+  request.handler = handler_id;
+  ++messages_sent_;
+  bytes_sent_ += payload.size();
+  request.payload = std::move(payload);
+  pending_.emplace(request.reqid, std::move(callback));
+  (*peers_)[target]->enqueue_request(std::move(request));
+}
+
+void RpcEndpoint::enqueue_request(Request request) {
+  std::lock_guard<std::mutex> lock(inbox_mutex_);
+  inbox_requests_.push_back(std::move(request));
+}
+
+void RpcEndpoint::enqueue_reply(Reply reply) {
+  std::lock_guard<std::mutex> lock(inbox_mutex_);
+  inbox_replies_.push_back(std::move(reply));
+}
+
+std::size_t RpcEndpoint::progress() {
+  std::vector<Request> requests;
+  std::vector<Reply> replies;
+  {
+    std::lock_guard<std::mutex> lock(inbox_mutex_);
+    requests.swap(inbox_requests_);
+    replies.swap(inbox_replies_);
+  }
+
+  for (auto& request : requests) {
+    const auto it = handlers_.find(request.handler);
+    GNB_CHECK_MSG(it != handlers_.end(), "no handler registered for id " << request.handler);
+    Reply reply;
+    reply.reqid = request.reqid;
+    reply.payload = it->second(request.src, request.payload);
+    ++requests_served_;
+    (*peers_)[request.src]->enqueue_reply(std::move(reply));
+  }
+
+  for (auto& reply : replies) {
+    const auto it = pending_.find(reply.reqid);
+    GNB_CHECK_MSG(it != pending_.end(), "reply for unknown request " << reply.reqid);
+    Callback callback = std::move(it->second);
+    pending_.erase(it);
+    callback(std::move(reply.payload));
+  }
+  return requests.size() + replies.size();
+}
+
+void RpcEndpoint::throttle(std::size_t limit) {
+  GNB_CHECK(limit >= 1);
+  while (pending_.size() >= limit) {
+    if (progress() == 0) std::this_thread::yield();
+  }
+}
+
+}  // namespace gnb::rt

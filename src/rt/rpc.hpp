@@ -1,0 +1,90 @@
+#pragma once
+// UPC++-style remote procedure calls over shared memory.
+//
+// Mirrors the programming model the paper's asynchronous code relies on
+// (§3.2): a rank issues an asynchronous RPC to look up data owned by a
+// remote rank and attaches a callback; *application-level polling*
+// (progress()) is required both to serve incoming requests and to run
+// completion callbacks — exactly the UPC++/GASNet-EX contract. Delivery is
+// reliable and FIFO per (source, target) pair.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace gnb::rt {
+
+class RpcEndpoint {
+ public:
+  using Bytes = std::vector<std::uint8_t>;
+  /// Executed on the *callee* during its progress(); returns the reply.
+  using Handler = std::function<Bytes(std::uint32_t src, std::span<const std::uint8_t>)>;
+  /// Executed on the *caller* during its progress() when the reply lands.
+  using Callback = std::function<void(Bytes)>;
+
+  RpcEndpoint(std::uint32_t self, std::vector<std::unique_ptr<RpcEndpoint>>* peers)
+      : self_(self), peers_(peers) {}
+
+  /// Register the handler invoked for requests with this id.
+  void register_handler(std::uint32_t handler_id, Handler handler);
+
+  /// Issue an asynchronous request; `callback` runs during a later
+  /// progress() on this rank.
+  void call(std::uint32_t target, std::uint32_t handler_id, Bytes payload, Callback callback);
+
+  /// Requests issued whose callbacks have not yet run.
+  [[nodiscard]] std::size_t outstanding() const { return pending_.size(); }
+
+  /// Serve queued inbound requests and run queued reply callbacks.
+  /// Returns the number of events processed.
+  std::size_t progress();
+
+  /// Block (polling progress) until fewer than `limit` requests are
+  /// outstanding — the "limits on outgoing requests" runtime knob (§4.3).
+  void throttle(std::size_t limit);
+
+  /// Drain: poll until outstanding() == 0.
+  void drain() { throttle(1); }
+
+  // --- statistics ---
+  [[nodiscard]] std::uint64_t messages_sent() const { return messages_sent_; }
+  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
+  [[nodiscard]] std::uint64_t requests_served() const { return requests_served_; }
+
+ private:
+  struct Request {
+    std::uint32_t src = 0;
+    std::uint64_t reqid = 0;
+    std::uint32_t handler = 0;
+    Bytes payload;
+  };
+  struct Reply {
+    std::uint64_t reqid = 0;
+    Bytes payload;
+  };
+
+  void enqueue_request(Request request);
+  void enqueue_reply(Reply reply);
+
+  std::uint32_t self_;
+  std::vector<std::unique_ptr<RpcEndpoint>>* peers_;
+
+  std::unordered_map<std::uint32_t, Handler> handlers_;        // owner thread only
+  std::unordered_map<std::uint64_t, Callback> pending_;        // owner thread only
+  std::uint64_t next_reqid_ = 1;
+
+  std::mutex inbox_mutex_;  // guards the two inbound queues
+  std::vector<Request> inbox_requests_;
+  std::vector<Reply> inbox_replies_;
+
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t requests_served_ = 0;
+};
+
+}  // namespace gnb::rt

@@ -1,0 +1,186 @@
+#include "rt/world.hpp"
+
+#include <exception>
+#include <thread>
+
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace gnb::rt {
+
+World::World(std::size_t nranks)
+    : nranks_(nranks),
+      barrier_(static_cast<std::ptrdiff_t>(nranks)),
+      mail_(nranks * nranks),
+      u64_slots_(nranks * nranks, 0),
+      dbl_slots_(nranks, 0) {
+  GNB_CHECK_MSG(nranks >= 1, "world needs at least one rank");
+  endpoints_.reserve(nranks);
+  for (std::size_t r = 0; r < nranks; ++r)
+    endpoints_.push_back(std::make_unique<RpcEndpoint>(static_cast<std::uint32_t>(r), &endpoints_));
+}
+
+World::~World() = default;
+
+std::size_t Rank::nranks() const { return world_.nranks_; }
+
+void Rank::barrier() {
+  WallTimer wait;
+  world_.barrier_.arrive_and_wait();
+  timers_.sync.add(wait.seconds());
+}
+
+double Rank::allreduce_sum(double local) {
+  const auto values = allgather(local);
+  double sum = 0;
+  for (double v : values) sum += v;
+  return sum;
+}
+
+double Rank::allreduce_min(double local) {
+  const auto values = allgather(local);
+  double best = values[0];
+  for (double v : values) best = std::min(best, v);
+  return best;
+}
+
+double Rank::allreduce_max(double local) {
+  const auto values = allgather(local);
+  double best = values[0];
+  for (double v : values) best = std::max(best, v);
+  return best;
+}
+
+std::vector<double> Rank::allgather(double local) {
+  world_.dbl_slots_[id_] = local;
+  world_.barrier_.arrive_and_wait();
+  std::vector<double> values = world_.dbl_slots_;
+  world_.barrier_.arrive_and_wait();
+  return values;
+}
+
+std::vector<Bytes> Rank::alltoallv(std::vector<Bytes> send) {
+  GNB_CHECK_MSG(send.size() == world_.nranks_,
+                "alltoallv: send has " << send.size() << " buffers for " << world_.nranks_
+                                       << " ranks");
+  WallTimer wait;
+  const std::size_t p = world_.nranks_;
+  for (std::size_t dst = 0; dst < p; ++dst)
+    world_.mail_[dst * p + id_] = std::move(send[dst]);
+  world_.barrier_.arrive_and_wait();
+  std::vector<Bytes> received(p);
+  for (std::size_t src = 0; src < p; ++src)
+    received[src] = std::move(world_.mail_[id_ * p + src]);
+  world_.barrier_.arrive_and_wait();
+  timers_.comm.add(wait.seconds());
+  return received;
+}
+
+std::vector<std::uint64_t> Rank::alltoall(const std::vector<std::uint64_t>& send) {
+  GNB_CHECK(send.size() == world_.nranks_);
+  WallTimer wait;
+  const std::size_t p = world_.nranks_;
+  for (std::size_t dst = 0; dst < p; ++dst) world_.u64_slots_[dst * p + id_] = send[dst];
+  world_.barrier_.arrive_and_wait();
+  std::vector<std::uint64_t> received(p);
+  for (std::size_t src = 0; src < p; ++src) received[src] = world_.u64_slots_[id_ * p + src];
+  world_.barrier_.arrive_and_wait();
+  timers_.comm.add(wait.seconds());
+  return received;
+}
+
+Bytes Rank::broadcast(Bytes buffer, RankId root) {
+  WallTimer wait;
+  const std::size_t p = world_.nranks_;
+  if (id_ == root) {
+    for (std::size_t dst = 0; dst < p; ++dst)
+      world_.mail_[dst * p + root] = buffer;  // copy per destination
+  }
+  world_.barrier_.arrive_and_wait();
+  Bytes received = std::move(world_.mail_[id_ * p + root]);
+  world_.barrier_.arrive_and_wait();
+  timers_.comm.add(wait.seconds());
+  return received;
+}
+
+std::vector<Bytes> Rank::gather(Bytes local, RankId root) {
+  WallTimer wait;
+  const std::size_t p = world_.nranks_;
+  world_.mail_[root * p + id_] = std::move(local);
+  world_.barrier_.arrive_and_wait();
+  std::vector<Bytes> received;
+  if (id_ == root) {
+    received.resize(p);
+    for (std::size_t src = 0; src < p; ++src)
+      received[src] = std::move(world_.mail_[root * p + src]);
+  }
+  world_.barrier_.arrive_and_wait();
+  timers_.comm.add(wait.seconds());
+  return received;
+}
+
+double Rank::exscan_sum(double local) {
+  const auto values = allgather(local);
+  double prefix = 0;
+  for (RankId r = 0; r < id_; ++r) prefix += values[r];
+  return prefix;
+}
+
+RpcEndpoint& Rank::rpc() { return *world_.endpoints_[id_]; }
+
+void Rank::split_barrier_arrive() {
+  world_.split_arrivals_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void Rank::split_barrier_wait() {
+  // All ranks have executed the same number of arrivals when the counter
+  // reaches a multiple of P owed by this rank's local phase count.
+  split_phase_ += 1;
+  const std::uint64_t needed = split_phase_ * world_.nranks_;
+  WallTimer wait;
+  while (world_.split_arrivals_.load(std::memory_order_acquire) < needed) {
+    if (rpc().progress() == 0) std::this_thread::yield();
+  }
+  timers_.sync.add(wait.seconds());
+}
+
+void Rank::service_barrier() {
+  split_barrier_arrive();
+  split_barrier_wait();
+}
+
+void World::run(const std::function<void(Rank&)>& body) {
+  split_arrivals_.store(0, std::memory_order_relaxed);
+  for (auto& slot : mail_) slot.clear();
+
+  std::vector<std::unique_ptr<Rank>> ranks;
+  ranks.reserve(nranks_);
+  for (std::size_t r = 0; r < nranks_; ++r)
+    ranks.push_back(std::make_unique<Rank>(*this, static_cast<RankId>(r)));
+
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(nranks_);
+    for (std::size_t r = 0; r < nranks_; ++r) {
+      threads.emplace_back([&, r] {
+        try {
+          body(*ranks[r]);
+        } catch (const std::exception& e) {
+          // A dead rank would deadlock the others at the next barrier;
+          // there is no recovery story in an SPMD phase, so fail fast.
+          std::fprintf(stderr, "rank %zu threw: %s; aborting world\n", r, e.what());
+          std::abort();
+        } catch (...) {
+          std::fprintf(stderr, "rank %zu threw; aborting world\n", r);
+          std::abort();
+        }
+      });
+    }
+  }  // jthreads join here
+
+  breakdowns_.clear();
+  breakdowns_.reserve(nranks_);
+  for (const auto& rank : ranks) breakdowns_.push_back(snapshot(rank->timers_, rank->memory_));
+}
+
+}  // namespace gnb::rt

@@ -1,0 +1,135 @@
+#pragma once
+// Threaded SPMD runtime: a World of P ranks running the same function, with
+// MPI-style collectives over shared-memory mailboxes.
+//
+// This substitutes for MPI in the paper's bulk-synchronous code path (see
+// DESIGN.md): alltoall/alltoallv have the same semantics (every rank
+// contributes one buffer per destination; bytes are conserved; the call
+// synchronizes), and the irregular exchange sizes are first-class. Ranks
+// are std::jthread's, so the runtime is exercised with real concurrency in
+// tests even though scaling *figures* come from the machine simulator.
+
+#include <barrier>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "rt/phase.hpp"
+#include "rt/rpc.hpp"
+#include "util/memory.hpp"
+
+namespace gnb::rt {
+
+using RankId = std::uint32_t;
+using Bytes = std::vector<std::uint8_t>;
+
+class World;
+
+/// Per-rank handle passed to the SPMD body. All collective methods must be
+/// called by every rank of the world, in the same order.
+class Rank {
+ public:
+  Rank(World& world, RankId id) : world_(world), id_(id) {}
+  Rank(const Rank&) = delete;
+  Rank& operator=(const Rank&) = delete;
+
+  [[nodiscard]] RankId id() const { return id_; }
+  [[nodiscard]] std::size_t nranks() const;
+
+  // --- collectives ---
+  /// Synchronizing barrier; waiting time is charged to timers().sync.
+  void barrier();
+
+  /// Sum / min / max reductions over one double per rank.
+  double allreduce_sum(double local);
+  double allreduce_min(double local);
+  double allreduce_max(double local);
+
+  /// Gather one value from every rank (returned on all ranks).
+  std::vector<double> allgather(double local);
+
+  /// Irregular all-to-all byte exchange (MPI_Alltoallv analogue):
+  /// `send[r]` goes to rank r; returns the buffers received, indexed by
+  /// source. Charged to timers().comm.
+  std::vector<Bytes> alltoallv(std::vector<Bytes> send);
+
+  /// Regular all-to-all of one uint64 per peer (MPI_Alltoall analogue,
+  /// used to exchange sizes ahead of an alltoallv).
+  std::vector<std::uint64_t> alltoall(const std::vector<std::uint64_t>& send);
+
+  /// One-to-all broadcast of a byte buffer from `root` (MPI_Bcast).
+  Bytes broadcast(Bytes buffer, RankId root);
+
+  /// All-to-one gather of byte buffers onto `root` (MPI_Gatherv); other
+  /// ranks receive an empty vector.
+  std::vector<Bytes> gather(Bytes local, RankId root);
+
+  /// Exclusive prefix sum over one value per rank (MPI_Exscan): rank r
+  /// receives the sum of ranks [0, r). Rank 0 receives 0.
+  double exscan_sum(double local);
+
+  // --- asynchronous one-sided layer ---
+  /// This rank's RPC endpoint (issue requests, poll progress).
+  RpcEndpoint& rpc();
+
+  /// Split-phase barrier, entry side: signals arrival without waiting.
+  void split_barrier_arrive();
+  /// Split-phase barrier, completion side: polls rpc progress while
+  /// waiting for all ranks; waiting time is charged to timers().sync.
+  void split_barrier_wait();
+
+  /// Exit barrier for asynchronous phases: arrive, then keep serving RPC
+  /// progress until every rank has arrived (the paper's "single exit
+  /// barrier ensures the partitioned reads remain available to all
+  /// parallel processors until all tasks are complete").
+  void service_barrier();
+
+  // --- instrumentation ---
+  PhaseTimers& timers() { return timers_; }
+  MemoryMeter& memory() { return memory_; }
+
+ private:
+  friend class World;
+  World& world_;
+  RankId id_;
+  std::uint64_t split_phase_ = 0;  // split/service barriers completed locally
+  PhaseTimers timers_;
+  MemoryMeter memory_;
+};
+
+/// A group of P ranks. Construct, then run one or more SPMD regions.
+class World {
+ public:
+  explicit World(std::size_t nranks);
+  ~World();
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  [[nodiscard]] std::size_t nranks() const { return nranks_; }
+
+  /// Run `body(rank)` on every rank concurrently; returns when all ranks
+  /// finish. Exceptions thrown by any rank are rethrown here (first wins).
+  void run(const std::function<void(Rank&)>& body);
+
+  /// Per-rank phase breakdowns from the last run().
+  [[nodiscard]] const std::vector<PhaseBreakdown>& breakdowns() const { return breakdowns_; }
+
+ private:
+  friend class Rank;
+
+  std::size_t nranks_;
+  std::barrier<> barrier_;
+  // Mailboxes: slot (dst, src) for alltoallv payloads.
+  std::vector<Bytes> mail_;
+  std::vector<std::uint64_t> u64_slots_;
+  std::vector<double> dbl_slots_;
+  // Split/service barrier state.
+  std::atomic<std::uint64_t> split_arrivals_{0};
+  std::vector<std::unique_ptr<RpcEndpoint>> endpoints_;
+  std::vector<PhaseBreakdown> breakdowns_;
+};
+
+}  // namespace gnb::rt

@@ -1,0 +1,98 @@
+#include "seq/read_store.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace gnb::seq {
+
+ReadId ReadStore::add(std::string name, Sequence sequence) {
+  const auto id = static_cast<ReadId>(reads_.size());
+  total_bases_ += sequence.size();
+  reads_.push_back(Read{id, std::move(name), std::move(sequence)});
+  return id;
+}
+
+const Read& ReadStore::get(ReadId id) const {
+  GNB_CHECK_MSG(id < reads_.size(), "read id " << id << " out of range " << reads_.size());
+  return reads_[id];
+}
+
+std::size_t ReadStore::footprint_bytes() const {
+  std::size_t bytes = sizeof(ReadStore);
+  for (const auto& r : reads_) bytes += sizeof(Read) + r.name.size() + r.sequence.footprint_bytes();
+  return bytes;
+}
+
+std::vector<ReadId> partition_by_size(std::span<const std::size_t> read_lengths,
+                                      std::size_t nranks) {
+  GNB_CHECK(nranks > 0);
+  const std::uint64_t total =
+      std::accumulate(read_lengths.begin(), read_lengths.end(), std::uint64_t{0});
+  std::vector<ReadId> bounds(nranks + 1, 0);
+  // Greedy sweep: close a rank's range once its share reaches the ideal
+  // running prefix. Contiguity mirrors DiBELLA's streaming input split.
+  std::uint64_t prefix = 0;
+  std::size_t rank = 0;
+  for (std::size_t i = 0; i < read_lengths.size(); ++i) {
+    // Threshold for rank `rank` is the ideal cumulative load after it.
+    while (rank + 1 < nranks &&
+           prefix >= (total * (rank + 1)) / nranks) {
+      bounds[++rank] = static_cast<ReadId>(i);
+    }
+    prefix += read_lengths[i];
+  }
+  for (std::size_t r = rank + 1; r <= nranks; ++r)
+    bounds[r] = static_cast<ReadId>(read_lengths.size());
+  bounds[0] = 0;
+  bounds[nranks] = static_cast<ReadId>(read_lengths.size());
+  return bounds;
+}
+
+std::size_t partition_owner(std::span<const ReadId> bounds, ReadId id) {
+  GNB_CHECK(bounds.size() >= 2);
+  const auto it = std::upper_bound(bounds.begin(), bounds.end(), id);
+  GNB_CHECK_MSG(it != bounds.begin() && it != bounds.end(),
+                "read id " << id << " outside partition");
+  return static_cast<std::size_t>(std::distance(bounds.begin(), it)) - 1;
+}
+
+namespace {
+template <typename T>
+void put_le(std::vector<std::uint8_t>& out, T value) {
+  for (std::size_t i = 0; i < sizeof(T); ++i)
+    out.push_back(static_cast<std::uint8_t>((value >> (8 * i)) & 0xFF));
+}
+
+template <typename T>
+T get_le(std::span<const std::uint8_t> in, std::size_t& offset) {
+  GNB_THROW_IF(offset + sizeof(T) > in.size(), "read deserialize: truncated buffer");
+  T value = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i)
+    value |= static_cast<T>(in[offset + i]) << (8 * i);
+  offset += sizeof(T);
+  return value;
+}
+}  // namespace
+
+void serialize_read(const Read& read, std::vector<std::uint8_t>& out) {
+  put_le<std::uint32_t>(out, read.id);
+  read.sequence.serialize(out);
+}
+
+Read deserialize_read(std::span<const std::uint8_t> in, std::size_t& offset) {
+  Read read;
+  read.id = get_le<std::uint32_t>(in, offset);
+  read.sequence = Sequence::deserialize(in, offset);
+  return read;
+}
+
+std::size_t serialized_read_bytes(const Read& read) {
+  const std::size_t words = (read.sequence.size() + 31) / 32;
+  return sizeof(std::uint32_t) /*id*/ + sizeof(std::uint64_t) /*len*/ +
+         sizeof(std::uint32_t) /*n count*/ + words * sizeof(std::uint64_t) +
+         read.sequence.n_count() * sizeof(std::uint32_t);
+}
+
+}  // namespace gnb::seq

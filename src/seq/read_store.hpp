@@ -1,0 +1,70 @@
+#pragma once
+// Read identifiers, the in-memory read set, and DiBELLA's stage-1
+// size-balanced partitioning.
+//
+// DiBELLA's first stage "partitions the input reads uniformly by size — a
+// data-independent strategy in that no characteristic other than size in
+// memory is considered" (paper §3). partition_by_size reproduces that:
+// contiguous ranges of reads whose total base counts are as even as
+// possible across P ranks.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "seq/sequence.hpp"
+
+namespace gnb::seq {
+
+/// Global read identifier, dense in [0, N).
+using ReadId = std::uint32_t;
+inline constexpr ReadId kInvalidRead = static_cast<ReadId>(-1);
+
+struct Read {
+  ReadId id = kInvalidRead;
+  std::string name;
+  Sequence sequence;
+
+  [[nodiscard]] std::size_t length() const { return sequence.size(); }
+};
+
+/// Owning container for a set of reads with dense ids.
+class ReadStore {
+ public:
+  /// Append a read; its id is assigned densely and returned.
+  ReadId add(std::string name, Sequence sequence);
+
+  [[nodiscard]] std::size_t size() const { return reads_.size(); }
+  [[nodiscard]] bool empty() const { return reads_.empty(); }
+  [[nodiscard]] const Read& get(ReadId id) const;
+  [[nodiscard]] const std::vector<Read>& reads() const { return reads_; }
+
+  /// Sum of read lengths (bases).
+  [[nodiscard]] std::uint64_t total_bases() const { return total_bases_; }
+
+  /// Approximate heap footprint in bytes.
+  [[nodiscard]] std::size_t footprint_bytes() const;
+
+ private:
+  std::vector<Read> reads_;
+  std::uint64_t total_bases_ = 0;
+};
+
+/// Contiguous partition of reads [0, N) over P ranks, balanced by total
+/// bases. Returns P+1 boundaries: rank r owns ids [bounds[r], bounds[r+1]).
+std::vector<ReadId> partition_by_size(std::span<const std::size_t> read_lengths,
+                                      std::size_t nranks);
+
+/// Owner lookup for a partition produced by partition_by_size.
+std::size_t partition_owner(std::span<const ReadId> bounds, ReadId id);
+
+// --- flat serialization of (id, sequence) pairs for exchange buffers ---
+void serialize_read(const Read& read, std::vector<std::uint8_t>& out);
+/// Deserializes a read written by serialize_read; the name is not shipped
+/// over the wire (ids are global), so the result's name is empty.
+Read deserialize_read(std::span<const std::uint8_t> in, std::size_t& offset);
+/// Serialized size of a read in bytes, without materializing the buffer.
+std::size_t serialized_read_bytes(const Read& read);
+
+}  // namespace gnb::seq

@@ -1,0 +1,103 @@
+#include "sim/assignment.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "seq/read_store.hpp"
+#include "util/error.hpp"
+
+namespace gnb::sim {
+
+std::uint64_t RankWork::total_cells() const {
+  std::uint64_t sum = local_cells;
+  for (const Pull& pull : pulls) sum += pull.cells;
+  return sum;
+}
+
+std::uint64_t RankWork::total_tasks() const {
+  std::uint64_t sum = local_tasks;
+  for (const Pull& pull : pulls) sum += pull.tasks;
+  return sum;
+}
+
+std::uint64_t RankWork::pull_bytes() const {
+  std::uint64_t sum = 0;
+  for (const Pull& pull : pulls) sum += pull.bytes;
+  return sum;
+}
+
+std::uint64_t SimAssignment::cross_node_bytes(std::size_t cores_per_node) const {
+  std::uint64_t sum = 0;
+  for (std::size_t r = 0; r < ranks.size(); ++r) {
+    for (const Pull& pull : ranks[r].pulls) {
+      if (r / cores_per_node != pull.owner / cores_per_node) sum += pull.bytes;
+    }
+  }
+  return sum;
+}
+
+SimAssignment assign(const wl::SimWorkload& workload, std::size_t nranks,
+                     BalancePolicy policy) {
+  GNB_CHECK(nranks >= 1);
+  const std::size_t n_reads = workload.read_lengths.size();
+
+  // Stage 1: size-balanced contiguous partition (DiBELLA's blind split).
+  std::vector<std::size_t> lengths(n_reads);
+  for (std::size_t i = 0; i < n_reads; ++i) lengths[i] = workload.read_lengths[i];
+  const std::vector<seq::ReadId> bounds = seq::partition_by_size(lengths, nranks);
+
+  SimAssignment assignment;
+  assignment.read_owner.resize(n_reads);
+  for (std::size_t r = 0; r < nranks; ++r)
+    for (seq::ReadId id = bounds[r]; id < bounds[r + 1]; ++id)
+      assignment.read_owner[id] = static_cast<std::uint32_t>(r);
+
+  assignment.ranks.resize(nranks);
+  assignment.serve_count.assign(nranks, 0);
+  assignment.serve_bytes.assign(nranks, 0);
+  for (std::size_t i = 0; i < n_reads; ++i)
+    assignment.ranks[assignment.read_owner[i]].partition_bytes += workload.read_bytes(
+        static_cast<std::uint32_t>(i));
+
+  // Stage 3: greedy count-balanced assignment with the owner invariant.
+  std::vector<std::uint64_t> load(nranks, 0);
+  // Group tasks by (assigned rank, remote read) as we go: per-rank local
+  // hash of remote read -> pull slot.
+  std::vector<std::unordered_map<std::uint32_t, std::size_t>> pull_slot(nranks);
+
+  for (const wl::SimTask& task : workload.tasks) {
+    const std::uint32_t owner_a = assignment.read_owner[task.a];
+    const std::uint32_t owner_b = assignment.read_owner[task.b];
+    std::uint32_t dst = owner_a;
+    if (owner_b != owner_a &&
+        (load[owner_b] < load[owner_a] ||
+         (load[owner_b] == load[owner_a] && owner_b < owner_a))) {
+      dst = owner_b;
+    }
+    load[dst] += policy == BalancePolicy::kCostBalanced ? task.cells : 1;
+    RankWork& work = assignment.ranks[dst];
+    if (owner_a == owner_b) {
+      work.local_cells += task.cells;
+      ++work.local_tasks;
+      continue;
+    }
+    const std::uint32_t remote = dst == owner_a ? task.b : task.a;
+    const std::uint32_t remote_owner = dst == owner_a ? owner_b : owner_a;
+    auto [it, inserted] = pull_slot[dst].try_emplace(remote, work.pulls.size());
+    if (inserted) {
+      Pull pull;
+      pull.read = remote;
+      pull.owner = remote_owner;
+      pull.bytes = workload.read_bytes(remote);
+      work.pulls.push_back(pull);
+      ++assignment.serve_count[remote_owner];
+      assignment.serve_bytes[remote_owner] += pull.bytes;
+    }
+    Pull& pull = work.pulls[it->second];
+    pull.cells += task.cells;
+    ++pull.tasks;
+  }
+  return assignment;
+}
+
+}  // namespace gnb::sim

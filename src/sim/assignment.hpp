@@ -1,0 +1,64 @@
+#pragma once
+// Distribute a model workload over P simulated ranks, mirroring the real
+// pipeline: size-balanced read partition (stage 1) and owner-invariant,
+// count-balanced task assignment (stage 3); then group each rank's tasks
+// by the remote read they require — the structure both engines consume.
+
+#include <cstdint>
+#include <vector>
+
+#include "wl/task_model.hpp"
+
+namespace gnb::sim {
+
+/// One remote-read pull as seen by a rank: where the read lives, how many
+/// bytes it is on the wire, and the alignment work unlocked by it.
+struct Pull {
+  std::uint32_t read = 0;
+  std::uint32_t owner = 0;      // rank that owns the read
+  std::uint64_t bytes = 0;      // serialized read size
+  std::uint64_t cells = 0;      // total DP cells across tasks needing it
+  std::uint32_t tasks = 0;      // number of such tasks
+};
+
+struct RankWork {
+  std::uint64_t local_cells = 0;   // tasks with both reads local
+  std::uint32_t local_tasks = 0;
+  std::vector<Pull> pulls;         // one entry per distinct remote read
+  std::uint64_t partition_bytes = 0;  // serialized size of owned reads
+
+  [[nodiscard]] std::uint64_t total_cells() const;
+  [[nodiscard]] std::uint64_t total_tasks() const;
+  [[nodiscard]] std::uint64_t pull_bytes() const;  // Fig-6 exchange load
+};
+
+struct SimAssignment {
+  std::vector<std::uint32_t> read_owner;  // rank per read id
+  std::vector<RankWork> ranks;
+  /// serves[r]: number of distinct (requester, read) lookups rank r must
+  /// answer, and the bytes it must ship — the server-side load.
+  std::vector<std::uint64_t> serve_count;
+  std::vector<std::uint64_t> serve_bytes;
+
+  [[nodiscard]] std::size_t nranks() const { return ranks.size(); }
+  /// Total bytes crossing node boundaries given `cores_per_node`.
+  [[nodiscard]] std::uint64_t cross_node_bytes(std::size_t cores_per_node) const;
+};
+
+/// How stage-3 balances tasks between the two candidate owners.
+enum class BalancePolicy {
+  /// The paper's static heuristic: balance task *counts* ("the work is
+  /// partitioned statically by number of alignments", §4.2). Cost
+  /// variability then surfaces as load imbalance.
+  kCountBalanced,
+  /// The future-work alternative the paper motivates (§5): balance by
+  /// estimated task *cost* (modeled DP cells). An idealized stand-in for
+  /// dynamic/semi-static balancing with zero runtime overhead.
+  kCostBalanced,
+};
+
+/// Build the per-rank structure for `nranks` ranks.
+SimAssignment assign(const wl::SimWorkload& workload, std::size_t nranks,
+                     BalancePolicy policy = BalancePolicy::kCountBalanced);
+
+}  // namespace gnb::sim

@@ -1,0 +1,21 @@
+#include "sim/machine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gnb::sim {
+
+double MachineParams::bisection_bandwidth() const {
+  if (nodes <= 1) return intranode_bandwidth;
+  const auto n = static_cast<double>(nodes);
+  const double effective_per_node = global_bw_per_node * std::pow(n, -dragonfly_delta);
+  return std::max(1.0, n * effective_per_node / 2.0);
+}
+
+MachineParams cori_knl(std::size_t nodes) {
+  MachineParams machine;
+  machine.nodes = std::max<std::size_t>(1, nodes);
+  return machine;
+}
+
+}  // namespace gnb::sim

@@ -1,0 +1,103 @@
+#pragma once
+// Performance models of the two engines on the machine model.
+//
+// Deterministic, analytic-per-rank models (no wall clock): every rank gets
+// a virtual timeline split into the paper's categories — alignment
+// computation, computation overhead, visible communication, and
+// synchronization (waiting for the slowest rank at phase/round ends).
+//
+// BSP ("maximize bandwidth utilization, amortize message costs"):
+//   * one request exchange, then K exchange-compute supersteps where K is
+//     forced by the per-core memory budget (aggregation buffers);
+//   * per-round comm: alltoallv software setup that scales with P, packing
+//     memcpy, and wire time at the worst of per-NIC share and bisection
+//     share — large aggregated messages run at full bandwidth;
+//   * alignments for received reads are computed inside the round;
+//   * the round barrier converts compute imbalance into sync time.
+//
+// Async ("maximize injection, hide latency with computation"):
+//   * one RPC pull per distinct remote read, windowed (max outstanding);
+//   * each message pays CPU injection/callback cost, the callee pays
+//     service cost; wire time runs at a small-message-derated bandwidth;
+//   * network time overlaps the rank's own compute; only the excess is
+//     visible communication, plus the first-reply ramp;
+//   * the single exit barrier converts end-time imbalance into sync.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/calibrate.hpp"
+#include "sim/assignment.hpp"
+#include "sim/machine.hpp"
+
+namespace gnb::sim {
+
+struct SimOptions {
+  core::CostCalibration calibration;
+  /// §4.3 comm-benchmarking mode: drop the alignment-kernel time.
+  bool skip_compute = false;
+  /// BSP: per-round aggregation budget in bytes; 0 derives it from the
+  /// machine's memory_per_core minus the rank's resident partition.
+  std::uint64_t bsp_round_budget = 0;
+  /// Async: cap on outstanding outgoing RPCs (the paper's §4.3 knob).
+  std::size_t async_window = 64;
+  /// Async variant: aggregate this many pulls per message to the same
+  /// owner (the "more aggregation on high-latency networks" direction the
+  /// paper's §5 anticipates). 1 = the paper's one-RPC-per-read design.
+  std::size_t async_batch = 1;
+  /// Async variant: RDMA-style one-sided pulls instead of RPCs — no callee
+  /// CPU service, but a data-structure lookup needs an extra round trip
+  /// (index get, then data get), the trade-off of Kalia et al. the paper
+  /// cites and leaves to future work (§3.2).
+  bool async_rdma = false;
+  /// Effective bandwidth fraction achieved by per-read-sized RPC replies
+  /// versus large aggregated buffers.
+  double small_message_efficiency = 0.35;
+  /// Same idea on the global (bisection) channel: per-read messages carry
+  /// header and routing overhead that aggregated buffers amortize.
+  double small_message_bisection_efficiency = 0.65;
+  /// Fraction of a rank's busy time during which the network can actually
+  /// stream in the async engine: progress happens only at polling points,
+  /// so overlap is imperfect.
+  double overlap_efficiency = 0.25;
+  /// Packing/unpacking memcpy bandwidth for BSP aggregation buffers (B/s).
+  double pack_bandwidth = 2.0e9;
+  /// OS noise: per-rank multiplicative jitter on busy time, uniform in
+  /// [0, os_noise]. Models the system-overhead isolation study (Fig. 3).
+  double os_noise = 0.002;
+  std::uint64_t noise_seed = 7;
+};
+
+/// One rank's virtual-time breakdown (seconds) and peak memory (bytes).
+struct RankTimeline {
+  double compute = 0;   // "Computation (Alignment)"
+  double overhead = 0;  // "Computation (Overhead)"
+  double comm = 0;      // visible communication latency
+  double sync = 0;      // barrier waiting (load imbalance)
+  std::uint64_t peak_memory = 0;
+
+  [[nodiscard]] double total() const { return compute + overhead + comm + sync; }
+};
+
+struct SimResult {
+  std::vector<RankTimeline> ranks;
+  double runtime = 0;        // phase duration = max rank total
+  std::uint64_t rounds = 0;  // BSP supersteps (1 when memory suffices)
+};
+
+SimResult simulate_bsp(const MachineParams& machine, const SimAssignment& assignment,
+                       const SimOptions& options);
+
+SimResult simulate_async(const MachineParams& machine, const SimAssignment& assignment,
+                         const SimOptions& options);
+
+/// The Fig-11 dashed line: estimated memory to exchange all reads at once =
+/// total exchange load / P + average input partition size.
+std::uint64_t estimated_exchange_memory(const SimAssignment& assignment);
+
+/// Smallest per-core memory that lets the BSP engine complete the whole
+/// exchange in a single superstep at this assignment: the worst rank's
+/// resident structures plus its aggregation buffers.
+std::uint64_t single_round_capacity(const SimAssignment& assignment);
+
+}  // namespace gnb::sim

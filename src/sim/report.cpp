@@ -1,0 +1,42 @@
+#include "sim/report.hpp"
+
+#include <algorithm>
+
+namespace gnb::sim {
+
+Breakdown reduce(const SimResult& result) {
+  Breakdown breakdown;
+  breakdown.runtime = result.runtime;
+  breakdown.rounds = result.rounds;
+  RunningStats compute, overhead, comm, sync;
+  for (const RankTimeline& t : result.ranks) {
+    compute.add(t.compute);
+    overhead.add(t.overhead);
+    comm.add(t.comm);
+    sync.add(t.sync);
+    breakdown.peak_memory_max = std::max(breakdown.peak_memory_max, t.peak_memory);
+  }
+  breakdown.compute_avg = compute.mean();
+  breakdown.overhead_avg = overhead.mean();
+  breakdown.comm_avg = comm.mean();
+  breakdown.sync_avg = sync.mean();
+  breakdown.compute_min = compute.min();
+  breakdown.compute_max = compute.max();
+  breakdown.load_imbalance = compute.imbalance();
+  return breakdown;
+}
+
+ExchangeLoad exchange_load(const SimAssignment& assignment) {
+  ExchangeLoad load;
+  load.min_bytes = ~std::uint64_t{0};
+  for (const RankWork& work : assignment.ranks) {
+    const std::uint64_t bytes = work.pull_bytes();
+    load.min_bytes = std::min(load.min_bytes, bytes);
+    load.max_bytes = std::max(load.max_bytes, bytes);
+    load.total_bytes += bytes;
+  }
+  if (assignment.ranks.empty()) load.min_bytes = 0;
+  return load;
+}
+
+}  // namespace gnb::sim

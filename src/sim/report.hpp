@@ -1,0 +1,39 @@
+#pragma once
+// Reductions of per-rank timelines into the quantities the paper plots.
+
+#include <cstdint>
+
+#include "sim/assignment.hpp"
+#include "sim/perf_model.hpp"
+#include "util/stats.hpp"
+
+namespace gnb::sim {
+
+/// Global reduction of a simulation run (the paper computes these via
+/// MPI reductions, excluded from timed regions).
+struct Breakdown {
+  double runtime = 0;       // phase duration
+  double compute_avg = 0;   // mean "Computation (Alignment)" across ranks
+  double overhead_avg = 0;  // mean "Computation (Overhead)"
+  double comm_avg = 0;      // mean visible communication
+  double sync_avg = 0;      // mean synchronization (imbalance waiting)
+  double compute_min = 0, compute_max = 0;  // Fig-5 extremes
+  double load_imbalance = 1;                // max/mean of per-rank compute
+  std::uint64_t peak_memory_max = 0;        // Fig-11 max per-core footprint
+  std::uint64_t rounds = 1;
+
+  [[nodiscard]] double comm_fraction() const { return runtime > 0 ? comm_avg / runtime : 0; }
+};
+
+Breakdown reduce(const SimResult& result);
+
+/// Fig-6 quantity: min and max per-rank exchange load (received bytes).
+struct ExchangeLoad {
+  std::uint64_t min_bytes = 0;
+  std::uint64_t max_bytes = 0;
+  std::uint64_t total_bytes = 0;
+};
+
+ExchangeLoad exchange_load(const SimAssignment& assignment);
+
+}  // namespace gnb::sim

@@ -1,0 +1,103 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace gnb {
+
+Cli::Cli(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void Cli::add_option(const std::string& name, const std::string& help,
+                     const std::string& default_text,
+                     std::function<void(const std::string&)> apply) {
+  options_.push_back(Option{name, help, default_text, false, std::move(apply)});
+}
+
+std::shared_ptr<bool> Cli::flag(const std::string& name, const std::string& help) {
+  auto slot = std::make_shared<bool>(false);
+  Option o;
+  o.name = name;
+  o.help = help;
+  o.default_text = "false";
+  o.is_flag = true;
+  o.apply = [slot](const std::string&) { *slot = true; };
+  options_.push_back(std::move(o));
+  return slot;
+}
+
+std::string Cli::usage() const {
+  std::ostringstream oss;
+  oss << program_ << " — " << description_ << "\n\nOptions:\n";
+  for (const auto& o : options_) {
+    oss << "  --" << o.name;
+    if (!o.is_flag) oss << "=<value>";
+    oss << "  (default: " << o.default_text << ")\n      " << o.help << "\n";
+  }
+  oss << "  --help\n      Show this message.\n";
+  return oss.str();
+}
+
+void Cli::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      std::exit(0);
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected positional argument: %s\n%s", arg.c_str(), usage().c_str());
+      std::exit(2);
+    }
+    arg = arg.substr(2);
+    std::string name = arg;
+    std::string value;
+    bool have_value = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      have_value = true;
+    }
+    Option* match = nullptr;
+    for (auto& o : options_)
+      if (o.name == name) match = &o;
+    if (match == nullptr) {
+      std::fprintf(stderr, "unknown option: --%s\n%s", name.c_str(), usage().c_str());
+      std::exit(2);
+    }
+    if (!match->is_flag && !have_value) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "option --%s requires a value\n", name.c_str());
+        std::exit(2);
+      }
+      value = argv[++i];
+    }
+    try {
+      match->apply(value);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bad value for --%s: %s\n", name.c_str(), e.what());
+      std::exit(2);
+    }
+  }
+}
+
+template <> std::int64_t Cli::parse_value<std::int64_t>(const std::string& t) { return std::stoll(t); }
+template <> int Cli::parse_value<int>(const std::string& t) { return std::stoi(t); }
+template <> std::uint64_t Cli::parse_value<std::uint64_t>(const std::string& t) { return std::stoull(t); }
+template <> double Cli::parse_value<double>(const std::string& t) { return std::stod(t); }
+template <> std::string Cli::parse_value<std::string>(const std::string& t) { return t; }
+
+template <> std::string Cli::to_string<std::int64_t>(const std::int64_t& v) { return std::to_string(v); }
+template <> std::string Cli::to_string<int>(const int& v) { return std::to_string(v); }
+template <> std::string Cli::to_string<std::uint64_t>(const std::uint64_t& v) { return std::to_string(v); }
+template <> std::string Cli::to_string<double>(const double& v) {
+  std::ostringstream oss;
+  oss << v;
+  return oss.str();
+}
+template <> std::string Cli::to_string<std::string>(const std::string& v) { return v; }
+
+}  // namespace gnb

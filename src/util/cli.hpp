@@ -1,0 +1,76 @@
+#pragma once
+// Tiny declarative command-line parser used by examples and benches.
+//
+//   gnb::Cli cli("bench_fig8", "Strong scaling E. coli 100x");
+//   auto nodes = cli.opt<int>("nodes", 128, "max node count");
+//   auto seed  = cli.opt<std::uint64_t>("seed", 42, "dataset RNG seed");
+//   cli.parse(argc, argv);            // exits with usage on --help / error
+//   run(*nodes, *seed);
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace gnb {
+
+class Cli {
+ public:
+  Cli(std::string program, std::string description);
+
+  /// Register an option `--name=value` (or `--name value`) with a default.
+  /// The returned shared_ptr is filled at parse() time.
+  template <typename T>
+  std::shared_ptr<T> opt(const std::string& name, T default_value, const std::string& help) {
+    auto slot = std::make_shared<T>(default_value);
+    add_option(name, help, to_string(default_value),
+               [slot](const std::string& text) { *slot = parse_value<T>(text); });
+    return slot;
+  }
+
+  /// Register a boolean flag `--name` (no value).
+  std::shared_ptr<bool> flag(const std::string& name, const std::string& help);
+
+  /// Parse argv. On `--help` prints usage and exits(0); on error prints
+  /// usage and exits(2).
+  void parse(int argc, char** argv);
+
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  struct Option {
+    std::string name;
+    std::string help;
+    std::string default_text;
+    bool is_flag = false;
+    std::function<void(const std::string&)> apply;
+  };
+
+  void add_option(const std::string& name, const std::string& help,
+                  const std::string& default_text, std::function<void(const std::string&)> apply);
+
+  template <typename T>
+  static T parse_value(const std::string& text);
+  template <typename T>
+  static std::string to_string(const T& value);
+
+  std::string program_;
+  std::string description_;
+  std::vector<Option> options_;
+};
+
+template <> std::int64_t Cli::parse_value<std::int64_t>(const std::string&);
+template <> int Cli::parse_value<int>(const std::string&);
+template <> std::uint64_t Cli::parse_value<std::uint64_t>(const std::string&);
+template <> double Cli::parse_value<double>(const std::string&);
+template <> std::string Cli::parse_value<std::string>(const std::string&);
+
+template <> std::string Cli::to_string<std::int64_t>(const std::int64_t&);
+template <> std::string Cli::to_string<int>(const int&);
+template <> std::string Cli::to_string<std::uint64_t>(const std::uint64_t&);
+template <> std::string Cli::to_string<double>(const double&);
+template <> std::string Cli::to_string<std::string>(const std::string&);
+
+}  // namespace gnb

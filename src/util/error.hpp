@@ -1,0 +1,58 @@
+#pragma once
+// Error-handling helpers: checked invariants that abort with a message.
+//
+// GNB_CHECK is used for conditions that indicate a programming error or a
+// violated invariant; it is active in all build types because silent
+// corruption in a parallel runtime is far more expensive than the branch.
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace gnb {
+
+/// Thrown by GNB_THROW_IF and by recoverable library errors (bad input files,
+/// malformed sequences, invalid configuration).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  std::fprintf(stderr, "GNB_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg.empty() ? "" : " — ", msg.c_str());
+  std::abort();
+}
+}  // namespace detail
+
+}  // namespace gnb
+
+/// Abort with a diagnostic if `cond` is false. Always enabled.
+#define GNB_CHECK(cond)                                                 \
+  do {                                                                  \
+    if (!(cond)) ::gnb::detail::check_failed(#cond, __FILE__, __LINE__, {}); \
+  } while (0)
+
+/// Abort with a diagnostic and a formatted message if `cond` is false.
+#define GNB_CHECK_MSG(cond, msg)                                        \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::ostringstream gnb_oss_;                                      \
+      gnb_oss_ << msg;                                                  \
+      ::gnb::detail::check_failed(#cond, __FILE__, __LINE__, gnb_oss_.str()); \
+    }                                                                   \
+  } while (0)
+
+/// Throw gnb::Error with a formatted message if `cond` is true.
+#define GNB_THROW_IF(cond, msg)            \
+  do {                                     \
+    if (cond) {                            \
+      std::ostringstream gnb_oss_;         \
+      gnb_oss_ << msg;                     \
+      throw ::gnb::Error(gnb_oss_.str()); \
+    }                                      \
+  } while (0)

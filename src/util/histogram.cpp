@@ -1,0 +1,60 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace gnb {
+
+void CountHistogram::merge(const CountHistogram& other) {
+  for (const auto& [key, weight] : other.bins_) bins_[key] += weight;
+}
+
+std::uint64_t CountHistogram::count(std::uint64_t key) const {
+  const auto it = bins_.find(key);
+  return it == bins_.end() ? 0 : it->second;
+}
+
+std::uint64_t CountHistogram::total() const {
+  std::uint64_t sum = 0;
+  for (const auto& [key, weight] : bins_) sum += weight;
+  return sum;
+}
+
+std::uint64_t CountHistogram::total_in(std::uint64_t lo, std::uint64_t hi) const {
+  std::uint64_t sum = 0;
+  for (auto it = bins_.lower_bound(lo); it != bins_.end() && it->first <= hi; ++it)
+    sum += it->second;
+  return sum;
+}
+
+BinnedHistogram::BinnedHistogram(double lo, double hi, std::size_t nbins)
+    : lo_(lo), hi_(hi), bin_width_((hi - lo) / static_cast<double>(nbins)), counts_(nbins, 0) {
+  GNB_CHECK_MSG(hi > lo && nbins > 0, "invalid histogram bounds");
+}
+
+void BinnedHistogram::add(double value) {
+  auto bin = static_cast<std::ptrdiff_t>((value - lo_) / bin_width_);
+  bin = std::clamp<std::ptrdiff_t>(bin, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+double BinnedHistogram::bin_lo(std::size_t bin) const { return lo_ + bin_width_ * static_cast<double>(bin); }
+double BinnedHistogram::bin_hi(std::size_t bin) const { return bin_lo(bin) + bin_width_; }
+
+std::string BinnedHistogram::render(std::size_t width) const {
+  std::uint64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream oss;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const auto bar = static_cast<std::size_t>(static_cast<double>(counts_[b]) /
+                                              static_cast<double>(peak) * static_cast<double>(width));
+    oss << "[" << bin_lo(b) << ", " << bin_hi(b) << ") " << std::string(bar, '#') << " "
+        << counts_[b] << "\n";
+  }
+  return oss.str();
+}
+
+}  // namespace gnb

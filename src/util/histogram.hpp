@@ -1,0 +1,52 @@
+#pragma once
+// Integer-keyed histogram (for k-mer multiplicity spectra) and a fixed-bin
+// histogram for continuous quantities (task costs, message sizes).
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gnb {
+
+/// Sparse histogram over non-negative integer keys, e.g. k-mer multiplicity
+/// -> number of distinct k-mers with that multiplicity.
+class CountHistogram {
+ public:
+  void add(std::uint64_t key, std::uint64_t weight = 1) { bins_[key] += weight; }
+  void merge(const CountHistogram& other);
+
+  [[nodiscard]] std::uint64_t count(std::uint64_t key) const;
+  [[nodiscard]] std::uint64_t total() const;
+  /// Total weight of keys in [lo, hi] inclusive.
+  [[nodiscard]] std::uint64_t total_in(std::uint64_t lo, std::uint64_t hi) const;
+  [[nodiscard]] const std::map<std::uint64_t, std::uint64_t>& bins() const { return bins_; }
+  [[nodiscard]] bool empty() const { return bins_.empty(); }
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> bins_;
+};
+
+/// Fixed-width binned histogram over [lo, hi); values outside clamp to the
+/// edge bins. Used for reporting task cost and message size distributions.
+class BinnedHistogram {
+ public:
+  BinnedHistogram(double lo, double hi, std::size_t nbins);
+
+  void add(double value);
+  [[nodiscard]] std::size_t nbins() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bin_count(std::size_t bin) const { return counts_.at(bin); }
+  [[nodiscard]] double bin_lo(std::size_t bin) const;
+  [[nodiscard]] double bin_hi(std::size_t bin) const;
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+
+  /// Multi-line ASCII rendering for logs and bench output.
+  [[nodiscard]] std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_, hi_, bin_width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace gnb

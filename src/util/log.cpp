@@ -1,0 +1,40 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+
+namespace gnb::log {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(Level::kInfo)};
+std::mutex g_emit_mutex;
+
+const char* level_tag(Level level) {
+  switch (level) {
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo:  return "INFO ";
+    case Level::kWarn:  return "WARN ";
+    case Level::kError: return "ERROR";
+    default:            return "?????";
+  }
+}
+
+}  // namespace
+
+void set_level(Level level) { g_level.store(static_cast<int>(level), std::memory_order_relaxed); }
+
+Level level() { return static_cast<Level>(g_level.load(std::memory_order_relaxed)); }
+
+namespace detail {
+void emit(Level lvl, std::string_view message) {
+  using clock = std::chrono::steady_clock;
+  static const auto t0 = clock::now();
+  const double secs = std::chrono::duration<double>(clock::now() - t0).count();
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fprintf(stderr, "[%9.3f] %s %.*s\n", secs, level_tag(lvl),
+               static_cast<int>(message.size()), message.data());
+}
+}  // namespace detail
+
+}  // namespace gnb::log

@@ -1,0 +1,37 @@
+#pragma once
+// Minimal leveled, thread-safe logger.
+//
+// Usage:
+//   gnb::log::info("loaded ", n, " reads");
+//   gnb::log::set_level(gnb::log::Level::kDebug);
+
+#include <mutex>
+#include <sstream>
+#include <string_view>
+
+namespace gnb::log {
+
+enum class Level : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Set the global minimum level that is emitted.
+void set_level(Level level);
+Level level();
+
+namespace detail {
+void emit(Level level, std::string_view message);
+}
+
+template <typename... Args>
+void write(Level lvl, Args&&... args) {
+  if (static_cast<int>(lvl) < static_cast<int>(level())) return;
+  std::ostringstream oss;
+  (oss << ... << args);
+  detail::emit(lvl, oss.str());
+}
+
+template <typename... Args> void debug(Args&&... args) { write(Level::kDebug, std::forward<Args>(args)...); }
+template <typename... Args> void info(Args&&... args)  { write(Level::kInfo, std::forward<Args>(args)...); }
+template <typename... Args> void warn(Args&&... args)  { write(Level::kWarn, std::forward<Args>(args)...); }
+template <typename... Args> void error(Args&&... args) { write(Level::kError, std::forward<Args>(args)...); }
+
+}  // namespace gnb::log

@@ -1,0 +1,19 @@
+#include "util/memory.hpp"
+
+#include <cstdio>
+#include <unistd.h>
+
+namespace gnb {
+
+std::uint64_t process_rss_bytes() {
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  unsigned long long size = 0;
+  unsigned long long resident = 0;
+  const int got = std::fscanf(f, "%llu %llu", &size, &resident);
+  std::fclose(f);
+  if (got != 2) return 0;
+  return resident * static_cast<std::uint64_t>(sysconf(_SC_PAGESIZE));
+}
+
+}  // namespace gnb

@@ -1,0 +1,58 @@
+#pragma once
+// Lightweight per-component memory accounting.
+//
+// The paper's Figures 11-12 report maximum per-core memory footprint; our
+// runtime and simulator use MemoryMeter to track live and high-water bytes
+// for each rank's communication buffers and data structures.
+
+#include <atomic>
+#include <cstdint>
+
+namespace gnb {
+
+/// Tracks live bytes and the high-water mark. Thread-safe; a meter is
+/// typically owned by one rank but may be charged from callbacks.
+class MemoryMeter {
+ public:
+  void charge(std::uint64_t bytes) {
+    const std::uint64_t now = live_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    std::uint64_t peak = peak_.load(std::memory_order_relaxed);
+    while (now > peak && !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+    }
+  }
+
+  void release(std::uint64_t bytes) { live_.fetch_sub(bytes, std::memory_order_relaxed); }
+
+  [[nodiscard]] std::uint64_t live() const { return live_.load(std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t peak() const { return peak_.load(std::memory_order_relaxed); }
+
+  void reset() {
+    live_.store(0, std::memory_order_relaxed);
+    peak_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> live_{0};
+  std::atomic<std::uint64_t> peak_{0};
+};
+
+/// RAII charge: charges on construction, releases on destruction.
+class ScopedAllocation {
+ public:
+  ScopedAllocation(MemoryMeter& meter, std::uint64_t bytes) : meter_(meter), bytes_(bytes) {
+    meter_.charge(bytes_);
+  }
+  ~ScopedAllocation() { meter_.release(bytes_); }
+  ScopedAllocation(const ScopedAllocation&) = delete;
+  ScopedAllocation& operator=(const ScopedAllocation&) = delete;
+
+ private:
+  MemoryMeter& meter_;
+  std::uint64_t bytes_;
+};
+
+/// Resident set size of this process in bytes (from /proc/self/statm);
+/// returns 0 if unavailable.
+std::uint64_t process_rss_bytes();
+
+}  // namespace gnb

@@ -1,0 +1,116 @@
+#pragma once
+// Deterministic, fast pseudo-random number generation.
+//
+// All experiment code in this repository derives randomness from Xoshiro256ss
+// seeded via SplitMix64 so that every dataset, task-cost sample and simulated
+// schedule is reproducible from a single user-visible seed.
+
+#include <cstdint>
+#include <cmath>
+#include <limits>
+
+namespace gnb {
+
+/// SplitMix64: used to expand a single 64-bit seed into generator state.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97f4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Xoshiro256** — public-domain generator by Blackman & Vigna.
+/// Satisfies UniformRandomBitGenerator, so it composes with <random>.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x853C49E6748FEA9BULL) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return std::numeric_limits<result_type>::max(); }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>((*this)() >> 11) * 0x1.0p-53; }
+
+  /// Uniform integer in [0, n) without modulo bias (Lemire's method).
+  std::uint64_t below(std::uint64_t n) {
+    if (n == 0) return 0;
+    unsigned __int128 m = static_cast<unsigned __int128>((*this)()) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = (0 - n) % n;
+      while (lo < threshold) {
+        m = static_cast<unsigned __int128>((*this)()) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Standard normal via Marsaglia polar method.
+  double normal() {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    double u, v, s;
+    do {
+      u = 2.0 * uniform() - 1.0;
+      v = 2.0 * uniform() - 1.0;
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double mul = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * mul;
+    have_spare_ = true;
+    return u * mul;
+  }
+
+  /// Log-normal: exp(N(mu, sigma)). Read lengths in long-read datasets are
+  /// well-approximated by this family.
+  double lognormal(double mu, double sigma) { return std::exp(mu + sigma * normal()); }
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Geometric number of failures before first success (p in (0,1]).
+  std::uint64_t geometric(double p) {
+    if (p >= 1.0) return 0;
+    return static_cast<std::uint64_t>(std::log1p(-uniform()) / std::log1p(-p));
+  }
+
+  /// Split off an independent child generator (for per-rank streams).
+  Xoshiro256 split() {
+    std::uint64_t s = (*this)();
+    return Xoshiro256(s);
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  std::uint64_t state_[4]{};
+  bool have_spare_ = false;
+  double spare_ = 0;
+};
+
+}  // namespace gnb

@@ -1,0 +1,34 @@
+#include "util/stats.hpp"
+
+#include "util/error.hpp"
+
+namespace gnb {
+
+RunningStats reduce(std::span<const double> per_rank) {
+  RunningStats stats;
+  for (double v : per_rank) stats.add(v);
+  return stats;
+}
+
+double median(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  const std::size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + static_cast<std::ptrdiff_t>(mid), values.end());
+  double hi = values[mid];
+  if (values.size() % 2 == 1) return hi;
+  const double lo = *std::max_element(values.begin(), values.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (lo + hi);
+}
+
+double percentile(std::vector<double> values, double pct) {
+  GNB_CHECK_MSG(pct >= 0.0 && pct <= 100.0, "percentile out of range: " << pct);
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double rank = pct / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+}  // namespace gnb

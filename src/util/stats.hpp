@@ -1,0 +1,80 @@
+#pragma once
+// Streaming statistics and load-imbalance metrics.
+//
+// The paper reports min / max / average / sum reductions across parallel
+// processors and defines load imbalance as max/mean of per-processor load.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace gnb {
+
+/// Single-pass running statistics (Welford for mean/variance).
+class RunningStats {
+ public:
+  void add(double x) {
+    ++count_;
+    sum_ += x;
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+  }
+
+  void merge(const RunningStats& other) {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    const auto n1 = static_cast<double>(count_);
+    const auto n2 = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double n = n1 + n2;
+    mean_ += delta * n2 / n;
+    m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    count_ += other.count_;
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const { return count_ ? mean_ : 0.0; }
+  [[nodiscard]] double min() const { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }
+  [[nodiscard]] double variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+
+  /// Load imbalance factor: max / mean (1.0 == perfectly balanced).
+  [[nodiscard]] double imbalance() const { return mean() > 0 ? max() / mean() : 1.0; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Reduce a per-rank vector into RunningStats, as the paper's global
+/// reductions do (excluded from runtime in their analysis; cheap here).
+RunningStats reduce(std::span<const double> per_rank);
+
+/// Exact median (copies; fine for per-rank or per-run vectors).
+double median(std::vector<double> values);
+
+/// Percentile in [0,100] with linear interpolation.
+double percentile(std::vector<double> values, double pct);
+
+}  // namespace gnb

@@ -1,0 +1,128 @@
+#include "util/table.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace gnb {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  GNB_CHECK(!headers_.empty());
+}
+
+Table& Table::add_row(std::vector<Cell> cells) {
+  GNB_CHECK_MSG(cells.size() == headers_.size(),
+                "row has " << cells.size() << " cells, expected " << headers_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::cell_text(const Cell& cell) {
+  return std::visit(
+      [](const auto& value) -> std::string {
+        using T = std::decay_t<decltype(value)>;
+        if constexpr (std::is_same_v<T, std::string>) {
+          return value;
+        } else if constexpr (std::is_same_v<T, double>) {
+          std::ostringstream oss;
+          oss << std::setprecision(5) << value;
+          return oss.str();
+        } else {
+          return std::to_string(value);
+        }
+      },
+      cell);
+}
+
+std::string Table::pretty() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  std::vector<std::vector<std::string>> texts;
+  texts.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> line;
+    line.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line.push_back(cell_text(row[c]));
+      widths[c] = std::max(widths[c], line.back().size());
+    }
+    texts.push_back(std::move(line));
+  }
+  std::ostringstream oss;
+  auto emit_line = [&](const std::vector<std::string>& line) {
+    for (std::size_t c = 0; c < line.size(); ++c) {
+      oss << std::left << std::setw(static_cast<int>(widths[c]) + 2) << line[c];
+    }
+    oss << "\n";
+  };
+  emit_line(headers_);
+  std::size_t rule = 0;
+  for (auto w : widths) rule += w + 2;
+  oss << std::string(rule, '-') << "\n";
+  for (const auto& line : texts) emit_line(line);
+  return oss.str();
+}
+
+std::string Table::csv() const {
+  auto quote = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  std::ostringstream oss;
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    oss << (c ? "," : "") << quote(headers_[c]);
+  oss << "\n";
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      oss << (c ? "," : "") << quote(cell_text(row[c]));
+    oss << "\n";
+  }
+  return oss.str();
+}
+
+void Table::print(const std::string& title) const {
+  std::printf("\n== %s ==\n%s", title.c_str(), pretty().c_str());
+  std::fflush(stdout);
+}
+
+void Table::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  GNB_THROW_IF(!out, "cannot open for writing: " << path);
+  out << csv();
+  GNB_THROW_IF(!out, "write failed: " << path);
+}
+
+std::string format_seconds(double seconds) {
+  char buf[64];
+  if (seconds >= 1.0)
+    std::snprintf(buf, sizeof buf, "%.3f s", seconds);
+  else if (seconds >= 1e-3)
+    std::snprintf(buf, sizeof buf, "%.3f ms", seconds * 1e3);
+  else
+    std::snprintf(buf, sizeof buf, "%.1f us", seconds * 1e6);
+  return buf;
+}
+
+std::string format_bytes(double bytes) {
+  char buf[64];
+  if (bytes >= 1e9)
+    std::snprintf(buf, sizeof buf, "%.2f GB", bytes / (1024.0 * 1024.0 * 1024.0));
+  else if (bytes >= 1e6)
+    std::snprintf(buf, sizeof buf, "%.2f MB", bytes / (1024.0 * 1024.0));
+  else if (bytes >= 1e3)
+    std::snprintf(buf, sizeof buf, "%.2f KB", bytes / 1024.0);
+  else
+    std::snprintf(buf, sizeof buf, "%.0f B", bytes);
+  return buf;
+}
+
+}  // namespace gnb

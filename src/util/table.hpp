@@ -1,0 +1,49 @@
+#pragma once
+// Aligned plain-text tables and CSV emission for bench output. Every bench
+// binary prints the rows/series of the paper table/figure it regenerates
+// through this class, so output formats stay uniform.
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace gnb {
+
+class Table {
+ public:
+  using Cell = std::variant<std::string, double, std::int64_t, std::uint64_t>;
+
+  explicit Table(std::vector<std::string> headers);
+
+  Table& add_row(std::vector<Cell> cells);
+
+  /// Render with aligned columns, suitable for terminals/logs.
+  [[nodiscard]] std::string pretty() const;
+
+  /// Render as CSV (RFC-4180-ish quoting).
+  [[nodiscard]] std::string csv() const;
+
+  /// Print `pretty()` to stdout with a title banner.
+  void print(const std::string& title) const;
+
+  /// Write CSV to a file path; throws gnb::Error on I/O failure.
+  void write_csv(const std::string& path) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t cols() const { return headers_.size(); }
+
+ private:
+  static std::string cell_text(const Cell& cell);
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+/// Format seconds with adaptive precision ("12.3 s", "45.1 ms", "680 us").
+std::string format_seconds(double seconds);
+
+/// Format a byte count ("1.5 GB", "320 MB", "4.2 KB").
+std::string format_bytes(double bytes);
+
+}  // namespace gnb

@@ -1,0 +1,66 @@
+#pragma once
+// Wall-clock and per-thread CPU timers, plus an accumulating stopwatch used
+// for per-rank phase breakdowns (compute / communication / synchronization /
+// overhead), mirroring the instrumentation in the paper's two codes.
+
+#include <chrono>
+#include <cstdint>
+#include <ctime>
+
+namespace gnb {
+
+/// Monotonic wall-clock timer; seconds since construction or last reset().
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Per-thread CPU time in seconds (CLOCK_THREAD_CPUTIME_ID). Unlike wall
+/// time this is meaningful even when ranks oversubscribe physical cores.
+inline double thread_cpu_seconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
+}
+
+/// Accumulating stopwatch: pairs of start()/stop() add into a running total.
+class Stopwatch {
+ public:
+  void start() { t0_ = thread_cpu_seconds(); running_ = true; }
+  void stop() {
+    if (!running_) return;
+    total_ += thread_cpu_seconds() - t0_;
+    running_ = false;
+  }
+  void add(double seconds) { total_ += seconds; }
+  [[nodiscard]] double total() const { return total_; }
+  void reset() { total_ = 0; running_ = false; }
+
+ private:
+  double total_ = 0;
+  double t0_ = 0;
+  bool running_ = false;
+};
+
+/// RAII scope guard that charges elapsed thread-CPU time to a Stopwatch.
+class ScopedCharge {
+ public:
+  explicit ScopedCharge(Stopwatch& sw) : sw_(sw), t0_(thread_cpu_seconds()) {}
+  ~ScopedCharge() { sw_.add(thread_cpu_seconds() - t0_); }
+  ScopedCharge(const ScopedCharge&) = delete;
+  ScopedCharge& operator=(const ScopedCharge&) = delete;
+
+ private:
+  Stopwatch& sw_;
+  double t0_;
+};
+
+}  // namespace gnb

@@ -1,0 +1,29 @@
+#pragma once
+// Little-endian wire packing helpers for exchange buffers and RPC payloads.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace gnb::wire {
+
+template <typename T>
+void put(std::vector<std::uint8_t>& out, T value) {
+  static_assert(std::is_unsigned_v<T> || std::is_same_v<T, std::uint8_t>);
+  for (std::size_t i = 0; i < sizeof(T); ++i)
+    out.push_back(static_cast<std::uint8_t>((value >> (8 * i)) & 0xFF));
+}
+
+template <typename T>
+T get(std::span<const std::uint8_t> in, std::size_t& offset) {
+  GNB_THROW_IF(offset + sizeof(T) > in.size(), "wire: truncated buffer at offset " << offset);
+  T value = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i)
+    value |= static_cast<T>(in[offset + i]) << (8 * i);
+  offset += sizeof(T);
+  return value;
+}
+
+}  // namespace gnb::wire

@@ -1,0 +1,30 @@
+#include "wl/genome.hpp"
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace gnb::wl {
+
+seq::Sequence generate_genome(const GenomeParams& params, Xoshiro256& rng) {
+  GNB_CHECK(params.length > 0);
+  std::vector<std::uint8_t> codes(params.length);
+  for (auto& code : codes) code = static_cast<std::uint8_t>(rng.below(4));
+
+  if (params.repeat_fraction > 0 && params.length > 2 * params.repeat_length) {
+    const auto target =
+        static_cast<std::size_t>(params.repeat_fraction * static_cast<double>(params.length));
+    std::size_t copied = 0;
+    while (copied < target) {
+      const std::size_t len = std::min(params.repeat_length, params.length / 4);
+      const auto src = static_cast<std::size_t>(rng.below(params.length - len));
+      const auto dst = static_cast<std::size_t>(rng.below(params.length - len));
+      if (src == dst) continue;
+      for (std::size_t i = 0; i < len; ++i) codes[dst + i] = codes[src + i];
+      copied += len;
+    }
+  }
+  return seq::Sequence::from_codes(codes);
+}
+
+}  // namespace gnb::wl

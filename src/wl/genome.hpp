@@ -1,0 +1,28 @@
+#pragma once
+// Synthetic reference genomes.
+//
+// Substitution for the paper's real datasets (see DESIGN.md): a uniform
+// random genome with optional repeat structure. Repeats matter because
+// they produce the high-multiplicity k-mers that the BELLA filter must
+// discard, and false-positive candidate pairs downstream — both of which
+// drive the cost variability the paper studies.
+
+#include <cstdint>
+
+#include "seq/sequence.hpp"
+#include "util/rng.hpp"
+
+namespace gnb::wl {
+
+struct GenomeParams {
+  std::size_t length = 100'000;
+  /// Fraction of the genome covered by copies of repeat segments.
+  double repeat_fraction = 0.05;
+  std::size_t repeat_length = 500;
+};
+
+/// Generate a genome: uniform random bases, then overwrite random windows
+/// with copies of earlier segments until `repeat_fraction` is reached.
+seq::Sequence generate_genome(const GenomeParams& params, Xoshiro256& rng);
+
+}  // namespace gnb::wl

@@ -1,0 +1,116 @@
+#include "wl/presets.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace gnb::wl {
+
+DatasetSpec tiny_spec() {
+  DatasetSpec spec;
+  spec.name = "tiny";
+  spec.species = "synthetic";
+  spec.genome = GenomeParams{20'000, 0.03, 300};
+  spec.reads.coverage = 10;
+  spec.reads.mean_length = 700;
+  spec.reads.min_length = 200;
+  spec.reads.error_rate = 0.10;
+  spec.k = 15;
+  spec.model.n_reads = 400;
+  spec.model.n_tasks = 3'000;
+  spec.model.mean_length = 700;
+  spec.model.error_rate = 0.10;
+  return spec;
+}
+
+DatasetSpec ecoli30x_spec() {
+  DatasetSpec spec;
+  spec.name = "ecoli30x_sim";
+  spec.species = "Escherichia coli (synthetic analogue)";
+  // Real-generation scale: ~1/46 of the E. coli genome at full 30x depth.
+  spec.genome = GenomeParams{100'000, 0.05, 500};
+  spec.reads.coverage = 30;
+  spec.reads.mean_length = 1200;
+  spec.reads.min_length = 300;
+  spec.reads.error_rate = 0.12;
+  spec.k = 17;
+  spec.keep_frac = 0.5;
+  spec.paper_reads = 16'890;
+  spec.paper_tasks = 2'270'260;
+  // Model scale: paper counts; benches divide by --scale.
+  spec.model.n_reads = 16'890;
+  spec.model.n_tasks = 2'270'260;
+  spec.model.mean_length = 8200;  // 4.64 Mbp x 30 / 16,890 reads
+  spec.model.sigma_log = 0.40;
+  spec.model.error_rate = 0.15;
+  spec.model.fp_rate = 0.15;
+  return spec;
+}
+
+DatasetSpec ecoli100x_spec() {
+  DatasetSpec spec;
+  spec.name = "ecoli100x_sim";
+  spec.species = "Escherichia coli (synthetic analogue)";
+  spec.genome = GenomeParams{100'000, 0.05, 500};
+  spec.reads.coverage = 100;
+  spec.reads.mean_length = 1200;
+  spec.reads.min_length = 300;
+  spec.reads.error_rate = 0.12;
+  spec.k = 17;
+  spec.keep_frac = 0.15;  // high coverage -> heavy posting lists; sketch
+  spec.paper_reads = 91'394;
+  spec.paper_tasks = 24'869'171;  // ~11x the 30x task count
+  spec.model.n_reads = 91'394;
+  spec.model.n_tasks = 24'869'171;
+  spec.model.mean_length = 5100;  // 4.64 Mbp x 100 / 91,394 reads
+  spec.model.sigma_log = 0.45;
+  spec.model.error_rate = 0.15;
+  spec.model.fp_rate = 0.15;
+  return spec;
+}
+
+DatasetSpec human_ccs_spec() {
+  DatasetSpec spec;
+  spec.name = "human_ccs_sim";
+  spec.species = "Homo sapiens (synthetic analogue)";
+  // CCS (HiFi) reads: long and accurate, low depth, repeat-rich genome.
+  spec.genome = GenomeParams{2'800'000, 0.15, 2000};
+  spec.reads.coverage = 5;
+  spec.reads.mean_length = 2500;
+  spec.reads.min_length = 800;
+  spec.reads.error_rate = 0.02;
+  spec.k = 17;
+  spec.keep_frac = 0.25;
+  spec.paper_reads = 1'148'839;
+  spec.paper_tasks = 87'621'409;
+  spec.model.n_reads = 1'148'839;
+  spec.model.n_tasks = 87'621'409;
+  spec.model.mean_length = 13'500;  // ~3.1 Gbp x 5 / 1.15 M reads
+  spec.model.sigma_log = 0.25;      // CCS length distribution is tight
+  spec.model.error_rate = 0.02;
+  spec.model.fp_rate = 0.40;        // repeat-driven spurious candidates
+  spec.model.hot_task_frac = 0.15;  // human repeats are many but BELLA-capped
+  return spec;
+}
+
+std::vector<DatasetSpec> paper_specs() {
+  return {ecoli30x_spec(), ecoli100x_spec(), human_ccs_spec()};
+}
+
+SampledDataset synthesize(const DatasetSpec& spec, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  const seq::Sequence genome = generate_genome(spec.genome, rng);
+  return sample_reads(genome, spec.reads, rng);
+}
+
+SimWorkload model_workload(const DatasetSpec& spec, double scale, std::uint64_t seed) {
+  GNB_CHECK_MSG(scale >= 1.0, "scale must be >= 1");
+  TaskModelParams params = spec.model;
+  params.n_reads = std::max<std::uint64_t>(
+      2, static_cast<std::uint64_t>(std::llround(static_cast<double>(params.n_reads) / scale)));
+  params.n_tasks = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::llround(static_cast<double>(params.n_tasks) / scale)));
+  return generate_sim_workload(params, seed);
+}
+
+}  // namespace gnb::wl

@@ -1,0 +1,61 @@
+#pragma once
+// Dataset presets mirroring the paper's Table 1 workloads.
+//
+// Each preset carries (a) generation parameters for a *real* scaled-down
+// dataset — actual bases, run through the actual k-mer pipeline and
+// aligner — and (b) parameters for the *statistical task model* used by the
+// machine simulator at paper-scale rank counts, plus the paper's reference
+// numbers for side-by-side reporting. See DESIGN.md §2 for the
+// substitution rationale.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "wl/genome.hpp"
+#include "wl/sampler.hpp"
+#include "wl/task_model.hpp"
+
+namespace gnb::wl {
+
+struct DatasetSpec {
+  std::string name;
+  std::string species;
+
+  // --- real (scaled) generation ---
+  GenomeParams genome;
+  ReadSimParams reads;
+  std::uint32_t k = 17;
+  /// Fraction-sketching rate for posting lists (see kmer::PostingIndex).
+  double keep_frac = 1.0;
+
+  // --- paper reference values (Table 1) ---
+  std::uint64_t paper_reads = 0;
+  std::uint64_t paper_tasks = 0;
+
+  // --- statistical model at paper scale (divided by a scale factor) ---
+  TaskModelParams model;
+};
+
+/// Tiny dataset for unit/integration tests (seconds end-to-end).
+DatasetSpec tiny_spec();
+
+/// E. coli 30x analogue: 1-node-scale workload (Figs 3-4 left).
+DatasetSpec ecoli30x_spec();
+
+/// E. coli 100x analogue: ~11x the tasks of the 30x set (Fig 4, Fig 8).
+DatasetSpec ecoli100x_spec();
+
+/// Human CCS analogue: the large strong-scaling workload (Figs 5-12).
+DatasetSpec human_ccs_spec();
+
+/// All three paper workloads, in Table-1 order.
+std::vector<DatasetSpec> paper_specs();
+
+/// Generate the real (scaled) dataset for a spec.
+SampledDataset synthesize(const DatasetSpec& spec, std::uint64_t seed);
+
+/// Model workload at `1/scale` of the paper's read/task counts.
+SimWorkload model_workload(const DatasetSpec& spec, double scale, std::uint64_t seed);
+
+}  // namespace gnb::wl

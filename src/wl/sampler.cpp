@@ -1,0 +1,113 @@
+#include "wl/sampler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace gnb::wl {
+
+namespace {
+
+/// Apply the sequencer error model to a perfect fragment.
+std::vector<std::uint8_t> corrupt(std::span<const std::uint8_t> fragment,
+                                  const ReadSimParams& params, Xoshiro256& rng) {
+  std::vector<std::uint8_t> out;
+  out.reserve(fragment.size() + fragment.size() / 8);
+  const double p_err = params.error_rate;
+  const double total = params.sub_frac + params.ins_frac + params.del_frac;
+  const double p_sub = p_err * params.sub_frac / total;
+  const double p_ins = p_err * params.ins_frac / total;
+  const double p_del = p_err * params.del_frac / total;
+
+  for (const std::uint8_t base : fragment) {
+    const double roll = rng.uniform();
+    if (roll < p_del) continue;  // base dropped
+    if (roll < p_del + p_ins) {
+      out.push_back(static_cast<std::uint8_t>(rng.below(4)));  // spurious base
+      out.push_back(base);
+      continue;
+    }
+    if (roll < p_del + p_ins + p_sub) {
+      // Substitute with a different base.
+      const auto sub = static_cast<std::uint8_t>((base + 1 + rng.below(3)) & 3);
+      out.push_back(sub);
+      continue;
+    }
+    if (rng.uniform() < params.n_rate) {
+      out.push_back(seq::kN);  // low-confidence call
+      continue;
+    }
+    out.push_back(base);
+  }
+  return out;
+}
+
+}  // namespace
+
+SampledDataset sample_reads(const seq::Sequence& genome, const ReadSimParams& params,
+                            Xoshiro256& rng) {
+  GNB_CHECK(params.coverage > 0 && params.mean_length > 0);
+  GNB_CHECK(!genome.empty());
+
+  const std::vector<std::uint8_t> ref = genome.unpack();
+  const auto target_bases =
+      static_cast<std::uint64_t>(params.coverage * static_cast<double>(genome.size()));
+  // lognormal(mu, sigma) has mean exp(mu + sigma^2/2): solve mu for the
+  // requested mean length.
+  const double mu = std::log(params.mean_length) - params.sigma_log * params.sigma_log / 2.0;
+
+  struct Draft {
+    std::vector<std::uint8_t> codes;
+    ReadOrigin origin;
+  };
+  std::vector<Draft> drafts;
+  std::uint64_t sampled_bases = 0;
+
+  while (sampled_bases < target_bases) {
+    auto len = static_cast<std::size_t>(rng.lognormal(mu, params.sigma_log));
+    len = std::clamp(len, params.min_length, std::min(params.max_length, genome.size()));
+    const auto start = static_cast<std::size_t>(rng.below(genome.size() - len + 1));
+
+    Draft draft;
+    draft.origin = ReadOrigin{start, start + len, rng.bernoulli(0.5)};
+    std::vector<std::uint8_t> fragment(ref.begin() + static_cast<std::ptrdiff_t>(start),
+                                       ref.begin() + static_cast<std::ptrdiff_t>(start + len));
+    if (draft.origin.reverse_strand) {
+      std::reverse(fragment.begin(), fragment.end());
+      for (auto& code : fragment) code = seq::dna_complement(code);
+    }
+    draft.codes = corrupt(fragment, params, rng);
+    if (draft.codes.size() < params.min_length / 2) continue;
+    sampled_bases += len;
+    drafts.push_back(std::move(draft));
+  }
+
+  // Shuffle so that read id carries no genome-position information.
+  std::vector<std::size_t> order(drafts.size());
+  std::iota(order.begin(), order.end(), 0);
+  if (params.shuffle) {
+    for (std::size_t i = order.size(); i > 1; --i)
+      std::swap(order[i - 1], order[rng.below(i)]);
+  }
+
+  SampledDataset dataset;
+  dataset.origins.reserve(drafts.size());
+  for (const std::size_t idx : order) {
+    auto& draft = drafts[idx];
+    const auto id = dataset.reads.add("read" + std::to_string(dataset.origins.size()),
+                                      seq::Sequence::from_codes(draft.codes));
+    GNB_CHECK(id == dataset.origins.size());
+    dataset.origins.push_back(draft.origin);
+  }
+  return dataset;
+}
+
+std::size_t true_overlap(const ReadOrigin& a, const ReadOrigin& b) {
+  const std::size_t begin = std::max(a.genome_begin, b.genome_begin);
+  const std::size_t end = std::min(a.genome_end, b.genome_end);
+  return end > begin ? end - begin : 0;
+}
+
+}  // namespace gnb::wl

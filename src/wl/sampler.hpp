@@ -1,0 +1,54 @@
+#pragma once
+// Long-read sampling with a sequencer error model, plus the ground-truth
+// overlap oracle used by tests.
+//
+// Models the long-read properties the paper leans on (§2): log-normally
+// distributed lengths in [10^3, 10^5], 5-35 % error rates (insertions,
+// deletions, substitutions), and 'N' insertions on low-confidence calls.
+// Each read remembers its true genome interval and strand so tests can ask
+// "should these two reads overlap, and by how much?".
+
+#include <cstdint>
+#include <vector>
+
+#include "seq/read_store.hpp"
+#include "util/rng.hpp"
+
+namespace gnb::wl {
+
+struct ReadSimParams {
+  double coverage = 30.0;       // mean sequencing depth d
+  double mean_length = 1200.0;  // mean read length in bases
+  double sigma_log = 0.35;      // sigma of log-length (length variability)
+  std::size_t min_length = 300;
+  std::size_t max_length = 100'000;
+  double error_rate = 0.15;     // total per-base error probability
+  // Split of errors between types (PacBio CLR-like by default).
+  double sub_frac = 0.3, ins_frac = 0.45, del_frac = 0.25;
+  double n_rate = 0.002;        // probability of an 'N' base call
+  /// Shuffle read ids so genome position does not correlate with id —
+  /// DiBELLA receives reads in arbitrary input-file order.
+  bool shuffle = true;
+};
+
+/// True origin of a sampled read on the reference.
+struct ReadOrigin {
+  std::size_t genome_begin = 0;  // half-open interval on the reference
+  std::size_t genome_end = 0;
+  bool reverse_strand = false;
+};
+
+struct SampledDataset {
+  seq::ReadStore reads;
+  std::vector<ReadOrigin> origins;  // indexed by ReadId
+};
+
+/// Sample reads to the requested coverage.
+SampledDataset sample_reads(const seq::Sequence& genome, const ReadSimParams& params,
+                            Xoshiro256& rng);
+
+/// Ground-truth overlap length between two reads: the intersection of
+/// their genome intervals (0 if disjoint).
+std::size_t true_overlap(const ReadOrigin& a, const ReadOrigin& b);
+
+}  // namespace gnb::wl

@@ -1,0 +1,150 @@
+#include "wl/task_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+#include "util/error.hpp"
+
+namespace gnb::wl {
+
+std::uint64_t SimWorkload::total_cells() const {
+  std::uint64_t sum = 0;
+  for (const auto& t : tasks) sum += t.cells;
+  return sum;
+}
+
+std::uint64_t SimWorkload::total_bases() const {
+  return std::accumulate(read_lengths.begin(), read_lengths.end(), std::uint64_t{0});
+}
+
+SimWorkload generate_sim_workload(const TaskModelParams& params, std::uint64_t seed) {
+  GNB_CHECK(params.n_reads >= 2);
+  GNB_CHECK(params.n_tasks >= 1);
+  Xoshiro256 rng(seed);
+
+  const auto n = params.n_reads;
+  const double mu = std::log(params.mean_length) - params.sigma_log * params.sigma_log / 2.0;
+
+  // Lengths and genome positions.
+  std::vector<std::uint32_t> lengths(n);
+  for (auto& len : lengths) {
+    const double draw = rng.lognormal(mu, params.sigma_log);
+    len = static_cast<std::uint32_t>(std::clamp(draw, params.mean_length * 0.1,
+                                                params.mean_length * 12.0));
+  }
+
+  // Genome size G chosen so E[#true-overlap pairs] ~= target. For reads of
+  // mean length L uniform on [0, G], P[ovl(i,j) >= m] ~= 2(L - m)/G, so
+  // pairs ~= C(n,2) * 2(L - m)/G = n^2 (L - m)/G (n large).
+  const double n_true_target =
+      std::max(1.0, static_cast<double>(params.n_tasks) * (1.0 - params.fp_rate));
+  const double min_ovl = params.min_overlap_frac * params.mean_length;
+  const double genome_size = std::max(
+      params.mean_length * 4.0,
+      static_cast<double>(n) * static_cast<double>(n) * (params.mean_length - min_ovl) /
+          n_true_target);
+
+  struct Placed {
+    double pos;
+    std::uint32_t id;
+  };
+  std::vector<Placed> placed(n);
+  for (std::uint32_t i = 0; i < n; ++i)
+    placed[i] = Placed{rng.uniform() * genome_size, i};
+  std::sort(placed.begin(), placed.end(),
+            [](const Placed& x, const Placed& y) { return x.pos < y.pos; });
+
+  const double band = params.band0 + params.band1 * params.error_rate;
+
+  SimWorkload workload;
+  workload.read_lengths = lengths;
+
+  // True-overlap tasks: sweep genome-ordered reads; pair each read with the
+  // following reads whose interval intersects by at least min_ovl.
+  auto jitter = [&]() {
+    return std::exp(params.jitter_sigma * rng.normal() -
+                    params.jitter_sigma * params.jitter_sigma / 2.0);
+  };
+  for (std::size_t i = 0; i < placed.size(); ++i) {
+    const double end_i = placed[i].pos + lengths[placed[i].id];
+    for (std::size_t j = i + 1; j < placed.size(); ++j) {
+      const double ovl = std::min(end_i, placed[j].pos + lengths[placed[j].id]) - placed[j].pos;
+      if (placed[j].pos >= end_i - min_ovl) break;  // no further read can overlap enough
+      if (ovl < min_ovl) continue;
+      SimTask task;
+      task.a = std::min(placed[i].id, placed[j].id);
+      task.b = std::max(placed[i].id, placed[j].id);
+      task.cells = static_cast<std::uint64_t>(std::max(1.0, ovl * band * jitter()));
+      workload.tasks.push_back(task);
+    }
+  }
+
+  // Trim or top-up with false positives to hit the exact target count.
+  // Feasibility: there are only C(n,2) distinct pairs, and the degree cap
+  // below shrinks the reachable set further; clamp and bail out rather
+  // than spin when a caller requests more tasks than can exist.
+  const std::uint64_t max_pairs = n * (n - 1) / 2;
+  const auto target = std::min(params.n_tasks, max_pairs);
+  if (workload.tasks.size() > target) {
+    // Unbiased down-sample: partial Fisher-Yates keeping the first `target`.
+    for (std::size_t i = 0; i < target; ++i) {
+      const std::size_t j = i + rng.below(workload.tasks.size() - i);
+      std::swap(workload.tasks[i], workload.tasks[j]);
+    }
+    workload.tasks.resize(target);
+  }
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(workload.tasks.size() * 2);
+  for (const auto& t : workload.tasks)
+    seen.insert((static_cast<std::uint64_t>(t.a) << 32) | t.b);
+  // Repeat hotspots: a small set of reads that attract a large share of
+  // the false-positive candidates.
+  const std::size_t hot_count = std::max<std::size_t>(
+      4, static_cast<std::size_t>(params.hot_read_frac * static_cast<double>(n)));
+  std::vector<std::uint32_t> hot_ids(hot_count);
+  for (auto& id : hot_ids) id = static_cast<std::uint32_t>(rng.below(n));
+  // The BELLA filter discards high-multiplicity k-mers precisely to bound
+  // how many candidates a repeat can spawn; cap per-read degree accordingly.
+  const double mean_degree =
+      2.0 * static_cast<double>(params.n_tasks) / static_cast<double>(n);
+  const auto degree_cap = static_cast<std::uint32_t>(8.0 * mean_degree + 16.0);
+  std::vector<std::uint32_t> degree(n, 0);
+  for (const auto& t : workload.tasks) {
+    ++degree[t.a];
+    ++degree[t.b];
+  }
+  std::uint64_t failed_attempts = 0;
+  const std::uint64_t max_failed = 200 * target + 100'000;
+  while (workload.tasks.size() < target && failed_attempts < max_failed) {
+    const auto a = static_cast<std::uint32_t>(rng.below(n));
+    const auto b = rng.uniform() < params.hot_task_frac
+                       ? hot_ids[rng.below(hot_count)]
+                       : static_cast<std::uint32_t>(rng.below(n));
+    if (a == b) {
+      ++failed_attempts;
+      continue;
+    }
+    if (degree[b] >= degree_cap || degree[a] >= degree_cap) {
+      ++failed_attempts;
+      continue;
+    }
+    SimTask task;
+    task.a = std::min(a, b);
+    task.b = std::max(a, b);
+    const std::uint64_t key = (static_cast<std::uint64_t>(task.a) << 32) | task.b;
+    if (!seen.insert(key).second) {
+      ++failed_attempts;
+      continue;
+    }
+    task.cells = static_cast<std::uint64_t>(std::max(1.0, params.fp_cells * jitter()));
+    ++degree[task.a];
+    ++degree[task.b];
+    workload.tasks.push_back(task);
+    failed_attempts = 0;
+  }
+  return workload;
+}
+
+}  // namespace gnb::wl

@@ -1,0 +1,76 @@
+#pragma once
+// Statistical task-graph model for simulator-scale workloads.
+//
+// At 512 nodes x 64 cores the paper processes 87.6M alignment tasks; on
+// this host we cannot run that pipeline for real, but the machine
+// simulator only needs each task's (read pair, DP-cell cost) and each
+// read's (length, owner). This model generates exactly that:
+//
+//  * reads get log-normal lengths and uniform positions on an implied
+//    genome sized so that the expected number of true-overlap pairs hits
+//    the target task count;
+//  * true tasks cost ~ overlap_length x band(error) cells (the X-drop band
+//    on a true overlap tracks the diagonal; its width grows with the error
+//    rate);
+//  * false-positive tasks cost a small, roughly length-independent number
+//    of cells (X-drop early termination), matching the paper's
+//    "early-termination heuristics triggered by false positives";
+//  * read ids are shuffled so id carries no locality information, like
+//    reads arriving in input-file order.
+//
+// The cost constants are calibrated against the real kernel by
+// tests/bench (see calibrate_cost_model in core).
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace gnb::wl {
+
+struct TaskModelParams {
+  std::uint64_t n_reads = 100'000;
+  std::uint64_t n_tasks = 1'000'000;
+  double mean_length = 8000;   // bases
+  double sigma_log = 0.35;
+  double error_rate = 0.15;
+  double fp_rate = 0.15;       // fraction of tasks that are false positives
+  double min_overlap_frac = 0.05;  // overlaps shorter than this x mean are not candidates
+  // Cost model (cells): true task = ovl * (band0 + band1 * error_rate),
+  // false-positive task ~ fp_cells, both with log-normal jitter. The X-drop
+  // band is at least ~2X+1 wide even on perfect matches (X=49, unit gap
+  // penalty), hence the ~100-cell floor per overlap base.
+  double band0 = 100.0;
+  double band1 = 500.0;
+  double fp_cells = 2500.0;
+  double jitter_sigma = 0.35;
+  /// Repeat hotspots: genomic repeats concentrate false-positive
+  /// candidates onto a small set of reads, whose owners become exchange
+  /// hotspots (the communication load imbalance of Fig. 6).
+  double hot_read_frac = 0.01;   // fraction of reads that are "repeat" reads
+  double hot_task_frac = 0.6;    // fraction of FP tasks hitting the hot set
+};
+
+struct SimTask {
+  std::uint32_t a = 0;        // read ids; invariant a < b
+  std::uint32_t b = 0;
+  std::uint64_t cells = 0;    // modeled DP cells for this alignment
+};
+
+struct SimWorkload {
+  std::vector<std::uint32_t> read_lengths;  // bases, indexed by read id
+  std::vector<SimTask> tasks;
+
+  [[nodiscard]] std::uint64_t total_cells() const;
+  [[nodiscard]] std::uint64_t total_bases() const;
+  /// Wire size of read `id`: the paper's codes exchange character
+  /// sequences (SeqAn consumes chars), i.e. one byte per base plus header.
+  [[nodiscard]] std::uint64_t read_bytes(std::uint32_t id) const {
+    return 16 + static_cast<std::uint64_t>(read_lengths[id]);
+  }
+};
+
+/// Generate a model workload. Deterministic in (params, seed).
+SimWorkload generate_sim_workload(const TaskModelParams& params, std::uint64_t seed);
+
+}  // namespace gnb::wl

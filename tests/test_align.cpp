@@ -1,0 +1,507 @@
+// Unit and property tests for gnb_align: the X-drop kernel against exact
+// DP oracles, scoring invariants, banded alignment, overlap classification
+// and protein scoring.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "align/affine.hpp"
+#include "align/banded.hpp"
+#include "align/exact.hpp"
+#include "align/overlap.hpp"
+#include "align/protein.hpp"
+#include "align/xdrop.hpp"
+#include "seq/sequence.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+using namespace gnb;
+using namespace gnb::align;
+
+namespace {
+
+using Codes = std::vector<std::uint8_t>;
+
+Codes random_codes(std::size_t length, Xoshiro256& rng) {
+  Codes c(length);
+  for (auto& x : c) x = static_cast<std::uint8_t>(rng.below(4));
+  return c;
+}
+
+/// Mutate with substitutions/indels at `rate`.
+Codes mutate(const Codes& src, double rate, Xoshiro256& rng) {
+  Codes out;
+  out.reserve(src.size());
+  for (const auto base : src) {
+    const double roll = rng.uniform();
+    if (roll < rate / 3) continue;
+    if (roll < 2 * rate / 3) out.push_back(static_cast<std::uint8_t>(rng.below(4)));
+    if (roll < rate) {
+      out.push_back(static_cast<std::uint8_t>((base + 1 + rng.below(3)) & 3));
+    } else {
+      out.push_back(base);
+    }
+  }
+  return out;
+}
+
+/// Find a short exact anchor between a and b by scanning.
+std::optional<Seed> find_anchor(const Codes& a, const Codes& b, std::uint16_t k) {
+  for (std::uint32_t pa = 0; pa + k <= a.size(); ++pa) {
+    for (std::uint32_t pb = 0; pb + k <= b.size(); ++pb) {
+      if (std::equal(a.begin() + pa, a.begin() + pa + k, b.begin() + pb))
+        return Seed{pa, pb, k, false};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+// ---------- xdrop_extend ----------
+
+TEST(XdropExtend, EmptyInputsScoreZero) {
+  const Codes a{0, 1, 2};
+  const Codes empty;
+  XDropParams params;
+  EXPECT_EQ(xdrop_extend(a, empty, params).score, 0);
+  EXPECT_EQ(xdrop_extend(empty, a, params).score, 0);
+}
+
+TEST(XdropExtend, PerfectMatchScoresFullLength) {
+  Xoshiro256 rng(1);
+  const Codes a = random_codes(200, rng);
+  XDropParams params;
+  const Extension ext = xdrop_extend(a, a, params);
+  EXPECT_EQ(ext.score, 200);
+  EXPECT_EQ(ext.a_len, 200u);
+  EXPECT_EQ(ext.b_len, 200u);
+}
+
+TEST(XdropExtend, UnrelatedSequencesTerminateEarly) {
+  Xoshiro256 rng(2);
+  const Codes a = random_codes(3000, rng);
+  const Codes b = random_codes(3000, rng);
+  XDropParams params;
+  const Extension ext = xdrop_extend(a, b, params);
+  // Full DP would be 9M cells; the X-drop band must collapse long before
+  // that (occasional lucky stretches extend the band's life, so this is a
+  // ratio bound, not a tiny constant).
+  EXPECT_LT(ext.cells, 9'000'000u / 8);
+}
+
+TEST(XdropExtend, ScratchIsCleanAcrossCalls) {
+  // Regression guard for the thread-local scratch reuse: the same result
+  // must come out whether or not a different extension ran before.
+  Xoshiro256 rng(3);
+  const Codes a = random_codes(500, rng);
+  const Codes b = mutate(a, 0.1, rng);
+  XDropParams params;
+  const Extension fresh = xdrop_extend(a, b, params);
+  const Codes junk1 = random_codes(800, rng);
+  const Codes junk2 = random_codes(900, rng);
+  (void)xdrop_extend(junk1, junk2, params);
+  const Extension again = xdrop_extend(a, b, params);
+  EXPECT_EQ(fresh.score, again.score);
+  EXPECT_EQ(fresh.a_len, again.a_len);
+  EXPECT_EQ(fresh.b_len, again.b_len);
+}
+
+TEST(XdropExtend, ScoreNonNegative) {
+  Xoshiro256 rng(4);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Codes a = random_codes(50 + rng.below(200), rng);
+    const Codes b = random_codes(50 + rng.below(200), rng);
+    XDropParams params;
+    EXPECT_GE(xdrop_extend(a, b, params).score, 0);
+  }
+}
+
+// ---------- xdrop_align vs exact oracle ----------
+
+struct OracleCase {
+  std::uint64_t seed;
+  double error_rate;
+};
+
+class XdropOracle : public ::testing::TestWithParam<OracleCase> {};
+
+TEST_P(XdropOracle, MatchesAnchoredDpWithLargeX) {
+  Xoshiro256 rng(GetParam().seed);
+  const Codes ancestor = random_codes(300, rng);
+  const Codes a = mutate(ancestor, GetParam().error_rate, rng);
+  const Codes b = mutate(ancestor, GetParam().error_rate, rng);
+  const auto anchor = find_anchor(a, b, 10);
+  if (!anchor.has_value()) GTEST_SKIP() << "no anchor at this mutation rate";
+  XDropParams params;
+  params.x = 100'000;  // effectively unbanded: must equal the exact DP
+  const Alignment got = xdrop_align(a, b, *anchor, params);
+  const std::int32_t want = anchored_best_score(a, b, *anchor);
+  EXPECT_EQ(got.score, want);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, XdropOracle,
+    ::testing::Values(OracleCase{11, 0.0}, OracleCase{12, 0.02}, OracleCase{13, 0.05},
+                      OracleCase{14, 0.10}, OracleCase{15, 0.15}, OracleCase{16, 0.20},
+                      OracleCase{17, 0.10}, OracleCase{18, 0.05}, OracleCase{19, 0.15}));
+
+TEST(XdropAlign, DefaultXCloseToExactOnTrueOverlap) {
+  Xoshiro256 rng(21);
+  const Codes ancestor = random_codes(400, rng);
+  const Codes a = mutate(ancestor, 0.1, rng);
+  const Codes b = mutate(ancestor, 0.1, rng);
+  const auto anchor = find_anchor(a, b, 10);
+  ASSERT_TRUE(anchor.has_value());
+  const Alignment banded = xdrop_align(a, b, *anchor, XDropParams{});
+  const std::int32_t exact = anchored_best_score(a, b, *anchor);
+  EXPECT_LE(banded.score, exact);
+  EXPECT_GE(banded.score, exact - 8);  // default X rarely loses the optimum
+}
+
+TEST(XdropAlign, CoordinatesContainSeedAndAreInBounds) {
+  Xoshiro256 rng(22);
+  const Codes ancestor = random_codes(300, rng);
+  const Codes a = mutate(ancestor, 0.08, rng);
+  const Codes b = mutate(ancestor, 0.08, rng);
+  const auto anchor = find_anchor(a, b, 12);
+  ASSERT_TRUE(anchor.has_value());
+  const Alignment alignment = xdrop_align(a, b, *anchor, XDropParams{});
+  EXPECT_LE(alignment.a_begin, anchor->a_pos);
+  EXPECT_GE(alignment.a_end, anchor->a_pos + anchor->length);
+  EXPECT_LE(alignment.a_end, a.size());
+  EXPECT_LE(alignment.b_begin, anchor->b_pos);
+  EXPECT_GE(alignment.b_end, anchor->b_pos + anchor->length);
+  EXPECT_LE(alignment.b_end, b.size());
+}
+
+TEST(XdropAlign, ReverseComplementOrientation) {
+  // A read and the reverse complement of another read from the same locus
+  // must align once the seed carries b_reversed.
+  Xoshiro256 rng(23);
+  const Codes ancestor = random_codes(250, rng);
+  const Codes a = mutate(ancestor, 0.05, rng);
+  Codes b = mutate(ancestor, 0.05, rng);
+  // b as the sequencer would emit it from the other strand:
+  std::reverse(b.begin(), b.end());
+  for (auto& code : b) code = static_cast<std::uint8_t>(3 - code);
+  const seq::Sequence sa = seq::Sequence::from_codes(a);
+  const seq::Sequence sb = seq::Sequence::from_codes(b);
+
+  // Orient b (rc) and find an anchor in oriented coordinates.
+  const auto oriented = sb.reverse_complement().unpack();
+  const auto anchor = find_anchor(a, oriented, 12);
+  ASSERT_TRUE(anchor.has_value());
+  Seed seed = *anchor;
+  seed.b_reversed = true;
+  const Alignment alignment = xdrop_align(sa, sb, seed, XDropParams{});
+  EXPECT_TRUE(alignment.b_reversed);
+  // The two reads share ~250 mutated bases: expect a strong alignment.
+  EXPECT_GT(alignment.score, 120);
+}
+
+TEST(XdropAlign, SeedAtSequenceEdges) {
+  const Codes a{0, 1, 2, 3, 0, 1, 2, 3};
+  const Codes b{0, 1, 2, 3, 0, 1, 2, 3};
+  // Seed at the very start…
+  Alignment front = xdrop_align(a, b, Seed{0, 0, 4, false}, XDropParams{});
+  EXPECT_EQ(front.score, 8);
+  // …and at the very end.
+  Alignment back = xdrop_align(a, b, Seed{4, 4, 4, false}, XDropParams{});
+  EXPECT_EQ(back.score, 8);
+}
+
+TEST(XdropAlign, IdenticalSequencesFullScore) {
+  Xoshiro256 rng(25);
+  const Codes a = random_codes(128, rng);
+  const Alignment alignment = xdrop_align(a, a, Seed{60, 60, 10, false}, XDropParams{});
+  EXPECT_EQ(alignment.score, 128);
+  EXPECT_EQ(alignment.a_begin, 0u);
+  EXPECT_EQ(alignment.a_end, 128u);
+}
+
+TEST(XdropAlign, SymmetricUnderSwap) {
+  Xoshiro256 rng(26);
+  const Codes ancestor = random_codes(200, rng);
+  const Codes a = mutate(ancestor, 0.1, rng);
+  const Codes b = mutate(ancestor, 0.1, rng);
+  const auto anchor = find_anchor(a, b, 10);
+  ASSERT_TRUE(anchor.has_value());
+  const Alignment ab = xdrop_align(a, b, *anchor, XDropParams{});
+  const Seed swapped{anchor->b_pos, anchor->a_pos, anchor->length, false};
+  const Alignment ba = xdrop_align(b, a, swapped, XDropParams{});
+  EXPECT_EQ(ab.score, ba.score);
+}
+
+// ---------- exact DP ----------
+
+TEST(SmithWaterman, KnownSmallCase) {
+  // a: ACGT, b: CG -> local alignment CG, score 2 (match=1).
+  const Codes a{0, 1, 2, 3};
+  const Codes b{1, 2};
+  const LocalAlignment r = smith_waterman(a, b);
+  EXPECT_EQ(r.score, 2);
+  EXPECT_EQ(r.a_begin, 1u);
+  EXPECT_EQ(r.a_end, 3u);
+  EXPECT_EQ(r.b_begin, 0u);
+  EXPECT_EQ(r.b_end, 2u);
+}
+
+TEST(SmithWaterman, ScoreNonNegativeAndBounded) {
+  Xoshiro256 rng(31);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Codes a = random_codes(60 + rng.below(80), rng);
+    const Codes b = random_codes(60 + rng.below(80), rng);
+    const LocalAlignment r = smith_waterman(a, b);
+    EXPECT_GE(r.score, 0);
+    EXPECT_LE(r.score, static_cast<std::int32_t>(std::min(a.size(), b.size())));
+  }
+}
+
+TEST(SmithWaterman, CoordinatesRecoverScore) {
+  // Re-running SW on the reported sub-ranges must reach the same score.
+  Xoshiro256 rng(32);
+  const Codes ancestor = random_codes(120, rng);
+  const Codes a = mutate(ancestor, 0.1, rng);
+  const Codes b = mutate(ancestor, 0.1, rng);
+  const LocalAlignment r = smith_waterman(a, b);
+  ASSERT_GT(r.score, 0);
+  const Codes sub_a(a.begin() + r.a_begin, a.begin() + r.a_end);
+  const Codes sub_b(b.begin() + r.b_begin, b.begin() + r.b_end);
+  EXPECT_EQ(smith_waterman(sub_a, sub_b).score, r.score);
+}
+
+TEST(NeedlemanWunsch, KnownCases) {
+  const Codes a{0, 1, 2, 3};
+  EXPECT_EQ(needleman_wunsch_score(a, a), 4);
+  const Codes empty;
+  EXPECT_EQ(needleman_wunsch_score(a, empty), -4);  // all gaps
+  const Codes b{0, 1, 3};  // one deletion
+  EXPECT_EQ(needleman_wunsch_score(a, b), 2);       // 3 matches - 1 gap
+}
+
+TEST(NeedlemanWunsch, NeverAboveSmithWaterman) {
+  Xoshiro256 rng(33);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Codes a = random_codes(50, rng);
+    const Codes b = random_codes(50, rng);
+    EXPECT_LE(needleman_wunsch_score(a, b), smith_waterman(a, b).score);
+  }
+}
+
+TEST(AnchoredOracle, SeedOnlyWhenNothingExtends) {
+  const Codes a{0, 0, 1, 2, 3, 3};
+  const Codes b{1, 1, 1, 2, 0, 0};
+  // Seed covering b[2..4) == a[2..4) == {1,2}.
+  const Seed seed{2, 2, 2, false};
+  const std::int32_t score = anchored_best_score(a, b, seed);
+  EXPECT_GE(score, 2);
+}
+
+// ---------- banded ----------
+
+TEST(Banded, MatchesNwWhenBandIsWide) {
+  Xoshiro256 rng(41);
+  const Codes ancestor = random_codes(150, rng);
+  const Codes a = mutate(ancestor, 0.08, rng);
+  const Codes b = mutate(ancestor, 0.08, rng);
+  const BandedResult banded = banded_global(a, b, std::max(a.size(), b.size()));
+  EXPECT_EQ(banded.score, needleman_wunsch_score(a, b));
+}
+
+TEST(Banded, NarrowBandNeverBeatsExact) {
+  Xoshiro256 rng(42);
+  const Codes ancestor = random_codes(150, rng);
+  const Codes a = mutate(ancestor, 0.1, rng);
+  const Codes b = mutate(ancestor, 0.1, rng);
+  const std::size_t diff = a.size() > b.size() ? a.size() - b.size() : b.size() - a.size();
+  const BandedResult banded = banded_global(a, b, diff + 4);
+  EXPECT_LE(banded.score, needleman_wunsch_score(a, b));
+}
+
+TEST(Banded, TooNarrowBandThrows) {
+  const Codes a(20, 0);
+  const Codes b(5, 0);
+  EXPECT_THROW(banded_global(a, b, 3), Error);
+}
+
+TEST(Banded, CellCountBoundedByBand) {
+  const Codes a(200, 1), b(200, 1);
+  const BandedResult r = banded_global(a, b, 5);
+  EXPECT_LE(r.cells, 200u * 11 + 11);
+}
+
+// ---------- overlap classification ----------
+
+namespace {
+Alignment make_alignment(std::uint32_t ab, std::uint32_t ae, std::uint32_t bb,
+                         std::uint32_t be) {
+  Alignment alignment;
+  alignment.a_begin = ab;
+  alignment.a_end = ae;
+  alignment.b_begin = bb;
+  alignment.b_end = be;
+  alignment.score = 100;
+  return alignment;
+}
+}  // namespace
+
+TEST(Overlap, DovetailAtoB) {
+  // Suffix of A (600..1000) matches prefix of B (0..400).
+  const auto kind = classify_overlap(make_alignment(600, 1000, 0, 400), 1000, 900, 30);
+  EXPECT_EQ(kind, OverlapKind::kDovetailAB);
+}
+
+TEST(Overlap, DovetailBtoA) {
+  const auto kind = classify_overlap(make_alignment(0, 400, 500, 900), 1000, 900, 30);
+  EXPECT_EQ(kind, OverlapKind::kDovetailBA);
+}
+
+TEST(Overlap, Containment) {
+  EXPECT_EQ(classify_overlap(make_alignment(200, 700, 0, 500), 1000, 500, 30),
+            OverlapKind::kContainsB);
+  EXPECT_EQ(classify_overlap(make_alignment(0, 500, 200, 700), 500, 1000, 30),
+            OverlapKind::kContainedInB);
+}
+
+TEST(Overlap, SlackToleratesFrayedEnds) {
+  // 20 unaligned bases at A's end should still read as dovetail A->B.
+  const auto kind = classify_overlap(make_alignment(600, 980, 15, 400), 1000, 900, 30);
+  EXPECT_EQ(kind, OverlapKind::kDovetailAB);
+}
+
+TEST(Overlap, OverhangZeroForPerfectDovetail) {
+  EXPECT_EQ(overhang(make_alignment(600, 1000, 0, 400), 1000, 900), 0u);
+  EXPECT_GT(overhang(make_alignment(300, 500, 300, 500), 1000, 1000), 0u);
+}
+
+TEST(Overlap, ToStringCoversAllKinds) {
+  for (auto kind : {OverlapKind::kDovetailAB, OverlapKind::kDovetailBA,
+                    OverlapKind::kContainsB, OverlapKind::kContainedInB}) {
+    EXPECT_STRNE(to_string(kind), "?");
+  }
+}
+
+// ---------- scoring / filter ----------
+
+TEST(Scoring, SubstitutionTable) {
+  const Scoring s;
+  EXPECT_EQ(s.substitution(0, 0), s.match);
+  EXPECT_EQ(s.substitution(0, 1), s.mismatch);
+  EXPECT_EQ(s.substitution(seq::kN, seq::kN), s.mismatch);  // N never matches
+  EXPECT_EQ(s.substitution(2, seq::kN), s.mismatch);
+}
+
+TEST(Filter, ThresholdsAreInclusive) {
+  const AlignmentFilter filter{100, 50};
+  Alignment alignment = make_alignment(0, 50, 0, 50);
+  alignment.score = 100;
+  EXPECT_TRUE(filter.accepts(alignment));
+  alignment.score = 99;
+  EXPECT_FALSE(filter.accepts(alignment));
+  alignment.score = 100;
+  alignment.a_end = 49;
+  alignment.b_end = 48;  // overlap length (49+48)/2 = 48 < 50
+  EXPECT_FALSE(filter.accepts(alignment));
+}
+
+// ---------- protein ----------
+
+TEST(Protein, ScoringIdentityAndGroups) {
+  const ProteinScoring s;
+  const auto L = seq::protein_encode('L');
+  const auto I = seq::protein_encode('I');
+  const auto D = seq::protein_encode('D');
+  EXPECT_EQ(s.substitution(L, L), s.identity);
+  EXPECT_EQ(s.substitution(L, I), s.same_group);  // both hydrophobic
+  EXPECT_EQ(s.substitution(L, D), s.different);
+}
+
+TEST(Protein, SmithWatermanFindsConservedRegion) {
+  Xoshiro256 rng(51);
+  std::vector<std::uint8_t> core(40);
+  for (auto& aa : core) aa = static_cast<std::uint8_t>(rng.below(20));
+  std::vector<std::uint8_t> a(20, 0), b(30, 1);
+  a.insert(a.end(), core.begin(), core.end());
+  b.insert(b.end(), core.begin(), core.end());
+  a.insert(a.end(), 25, 2);
+  const LocalAlignment r = protein_smith_waterman(a, b);
+  EXPECT_GE(r.score, 40 * 4 - 8);  // nearly the full conserved block
+}
+
+// ---------- affine gaps (Gotoh) ----------
+
+TEST(Affine, MatchesLinearWhenGapCostsCoincide) {
+  // With gap_open == gap_extend == gap, affine == linear model.
+  Xoshiro256 rng(61);
+  const Codes ancestor = random_codes(120, rng);
+  const Codes a = mutate(ancestor, 0.1, rng);
+  const Codes b = mutate(ancestor, 0.1, rng);
+  AffineScoring affine;
+  affine.match = 1;
+  affine.mismatch = -1;
+  affine.gap_open = -1;
+  affine.gap_extend = -1;
+  Scoring linear;  // defaults: 1/-1/-1
+  EXPECT_EQ(affine_smith_waterman(a, b, affine).score, smith_waterman(a, b, linear).score);
+  EXPECT_EQ(affine_global_score(a, b, affine), needleman_wunsch_score(a, b, linear));
+}
+
+TEST(Affine, LongGapCheaperThanUnderLinearModel) {
+  // One long 10-base deletion: affine charges open + 9 extends.
+  Codes a(50);
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] = static_cast<std::uint8_t>(i % 4);
+  Codes b = a;
+  b.erase(b.begin() + 20, b.begin() + 30);
+  const AffineScoring affine;  // open -3, extend -1
+  const std::int32_t got = affine_global_score(a, b, affine);
+  // 40 matches, one gap of 10: 40 - (3 + 9) = 28.
+  EXPECT_EQ(got, 28);
+}
+
+TEST(Affine, LocalScoreNonNegativeAndBounded) {
+  Xoshiro256 rng(62);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Codes a = random_codes(80, rng);
+    const Codes b = random_codes(90, rng);
+    const LocalAlignment r = affine_smith_waterman(a, b);
+    EXPECT_GE(r.score, 0);
+    EXPECT_LE(r.score, 80);
+  }
+}
+
+TEST(Affine, IdenticalSequences) {
+  Xoshiro256 rng(63);
+  const Codes a = random_codes(64, rng);
+  EXPECT_EQ(affine_smith_waterman(a, a).score, 64);
+  EXPECT_EQ(affine_global_score(a, a), 64);
+}
+
+TEST(Affine, CoordinatesRecoverScore) {
+  Xoshiro256 rng(64);
+  const Codes ancestor = random_codes(100, rng);
+  const Codes a = mutate(ancestor, 0.12, rng);
+  const Codes b = mutate(ancestor, 0.12, rng);
+  const LocalAlignment r = affine_smith_waterman(a, b);
+  ASSERT_GT(r.score, 0);
+  const Codes sub_a(a.begin() + r.a_begin, a.begin() + r.a_end);
+  const Codes sub_b(b.begin() + r.b_begin, b.begin() + r.b_end);
+  EXPECT_EQ(affine_smith_waterman(sub_a, sub_b).score, r.score);
+}
+
+TEST(Affine, GlobalNeverAboveLocal) {
+  Xoshiro256 rng(65);
+  const Codes a = random_codes(60, rng);
+  const Codes b = random_codes(60, rng);
+  EXPECT_LE(affine_global_score(a, b), affine_smith_waterman(a, b).score);
+}
+
+TEST(Protein, RandomProteinsScoreLow) {
+  Xoshiro256 rng(52);
+  std::vector<std::uint8_t> a(100), b(100);
+  for (auto& aa : a) aa = static_cast<std::uint8_t>(rng.below(20));
+  for (auto& aa : b) aa = static_cast<std::uint8_t>(rng.below(20));
+  const LocalAlignment r = protein_smith_waterman(a, b);
+  EXPECT_LT(r.score, 40);
+}

@@ -1,0 +1,244 @@
+// Tests for the two many-to-many alignment engines: agreement with each
+// other and with a serial reference, multi-round BSP under tight memory
+// budgets, the comm-only mode, and cost calibration.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "core/async.hpp"
+#include "core/bsp.hpp"
+#include "core/calibrate.hpp"
+#include "kmer/bella_filter.hpp"
+#include "pipeline/pipeline.hpp"
+#include "rt/world.hpp"
+#include "wl/presets.hpp"
+
+using namespace gnb;
+using namespace gnb::core;
+
+namespace {
+
+struct Fixture {
+  wl::SampledDataset dataset;
+  pipeline::PipelineConfig pipeline_config;
+};
+
+const Fixture& fixture() {
+  static const Fixture f = [] {
+    Fixture fx;
+    wl::DatasetSpec spec = wl::tiny_spec();
+    spec.genome.length = 12'000;
+    spec.reads.coverage = 8;
+    fx.dataset = wl::synthesize(spec, 21);
+    const auto bounds = kmer::reliable_bounds(
+        kmer::BellaParams{spec.reads.coverage, spec.reads.error_rate, spec.k, 1e-3});
+    fx.pipeline_config.k = spec.k;
+    fx.pipeline_config.lo = bounds.lo;
+    fx.pipeline_config.hi = bounds.hi;
+    return fx;
+  }();
+  return f;
+}
+
+std::vector<align::AlignmentRecord> sorted(std::vector<align::AlignmentRecord> records) {
+  std::sort(records.begin(), records.end(),
+            [](const align::AlignmentRecord& x, const align::AlignmentRecord& y) {
+              return std::tie(x.read_a, x.read_b) < std::tie(y.read_a, y.read_b);
+            });
+  return records;
+}
+
+struct RunOutcome {
+  std::vector<align::AlignmentRecord> accepted;
+  std::uint64_t tasks_done = 0;
+  std::uint64_t cells = 0;
+  std::uint64_t rounds_max = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t exchange_bytes = 0;
+};
+
+RunOutcome run_engine(bool async_mode, std::size_t nranks, const EngineConfig& config,
+                      const Fixture& f) {
+  const pipeline::TaskSet tasks =
+      pipeline::run_serial(f.dataset.reads, f.pipeline_config, nranks);
+  rt::World world(nranks);
+  std::vector<EngineResult> results(nranks);
+  world.run([&](rt::Rank& rank) {
+    results[rank.id()] =
+        async_mode ? async_align(rank, f.dataset.reads, tasks.bounds,
+                                 tasks.per_rank[rank.id()], config)
+                   : bsp_align(rank, f.dataset.reads, tasks.bounds, tasks.per_rank[rank.id()],
+                               config);
+  });
+  RunOutcome outcome;
+  for (auto& result : results) {
+    outcome.accepted.insert(outcome.accepted.end(), result.accepted.begin(),
+                            result.accepted.end());
+    outcome.tasks_done += result.tasks_done;
+    outcome.cells += result.cells;
+    outcome.messages += result.messages;
+    outcome.exchange_bytes += result.exchange_bytes_received;
+    outcome.rounds_max = std::max(outcome.rounds_max, result.rounds);
+  }
+  outcome.accepted = sorted(std::move(outcome.accepted));
+  return outcome;
+}
+
+/// Serial reference: run every task directly with the kernel.
+std::vector<align::AlignmentRecord> serial_reference(const EngineConfig& config,
+                                                     const Fixture& f) {
+  const pipeline::TaskSet tasks =
+      pipeline::run_serial(f.dataset.reads, f.pipeline_config, 1);
+  std::vector<align::AlignmentRecord> accepted;
+  for (const auto& task : tasks.per_rank[0]) {
+    const align::Alignment alignment =
+        align::xdrop_align(f.dataset.reads.get(task.a).sequence,
+                           f.dataset.reads.get(task.b).sequence, task.seed, config.xdrop);
+    if (config.filter.accepts(alignment))
+      accepted.push_back(align::AlignmentRecord{task.a, task.b, alignment});
+  }
+  return sorted(std::move(accepted));
+}
+
+void expect_same_records(const std::vector<align::AlignmentRecord>& x,
+                         const std::vector<align::AlignmentRecord>& y) {
+  ASSERT_EQ(x.size(), y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_EQ(x[i].read_a, y[i].read_a);
+    EXPECT_EQ(x[i].read_b, y[i].read_b);
+    EXPECT_EQ(x[i].alignment.score, y[i].alignment.score);
+    EXPECT_EQ(x[i].alignment.a_begin, y[i].alignment.a_begin);
+    EXPECT_EQ(x[i].alignment.b_end, y[i].alignment.b_end);
+  }
+}
+
+EngineConfig default_config() {
+  EngineConfig config;
+  config.filter = align::AlignmentFilter{50, 100};
+  return config;
+}
+
+}  // namespace
+
+class EngineAgreement : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EngineAgreement, BspEqualsAsyncEqualsSerial) {
+  const EngineConfig config = default_config();
+  const auto bsp = run_engine(false, GetParam(), config, fixture());
+  const auto async = run_engine(true, GetParam(), config, fixture());
+  const auto reference = serial_reference(config, fixture());
+  expect_same_records(bsp.accepted, reference);
+  expect_same_records(async.accepted, reference);
+  EXPECT_EQ(bsp.tasks_done, async.tasks_done);
+  EXPECT_EQ(bsp.cells, async.cells);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, EngineAgreement, ::testing::Values(1, 2, 3, 5, 8));
+
+TEST(Engines, TightBudgetForcesMultipleRoundsSameResult) {
+  EngineConfig tight = default_config();
+  tight.bsp_round_budget = 4'096;  // a few reads per round
+  const auto bsp = run_engine(false, 4, tight, fixture());
+  EXPECT_GT(bsp.rounds_max, 1u);
+  const auto reference = serial_reference(default_config(), fixture());
+  expect_same_records(bsp.accepted, reference);
+}
+
+TEST(Engines, GenerousBudgetSingleRound) {
+  EngineConfig config = default_config();
+  config.bsp_round_budget = 1ull << 30;
+  const auto bsp = run_engine(false, 4, config, fixture());
+  EXPECT_EQ(bsp.rounds_max, 1u);
+}
+
+TEST(Engines, CommOnlyModeSkipsAlignment) {
+  EngineConfig config = default_config();
+  config.skip_compute = true;
+  const auto bsp = run_engine(false, 3, config, fixture());
+  const auto async = run_engine(true, 3, config, fixture());
+  EXPECT_TRUE(bsp.accepted.empty());
+  EXPECT_TRUE(async.accepted.empty());
+  EXPECT_EQ(bsp.cells, 0u);
+  EXPECT_EQ(async.cells, 0u);
+  // ...but everything else still happened: tasks traversed, bytes moved.
+  EXPECT_GT(bsp.tasks_done, 0u);
+  EXPECT_EQ(bsp.tasks_done, async.tasks_done);
+  EXPECT_GT(bsp.exchange_bytes, 0u);
+  EXPECT_GT(async.exchange_bytes, 0u);
+}
+
+TEST(Engines, AsyncWindowOneStillCorrect) {
+  EngineConfig config = default_config();
+  config.max_outstanding = 1;
+  const auto async = run_engine(true, 4, config, fixture());
+  const auto reference = serial_reference(default_config(), fixture());
+  expect_same_records(async.accepted, reference);
+}
+
+TEST(Engines, StricterFilterAcceptsSubset) {
+  EngineConfig loose = default_config();
+  EngineConfig strict = default_config();
+  strict.filter = align::AlignmentFilter{200, 400};
+  const auto all = run_engine(false, 2, loose, fixture());
+  const auto few = run_engine(false, 2, strict, fixture());
+  EXPECT_LT(few.accepted.size(), all.accepted.size());
+  for (const auto& record : few.accepted) {
+    EXPECT_GE(record.alignment.score, 200);
+    EXPECT_GE(record.alignment.overlap_length(), 400u);
+  }
+}
+
+TEST(Engines, TasksDoneMatchesTaskCount) {
+  const auto tasks = pipeline::run_serial(fixture().dataset.reads,
+                                          fixture().pipeline_config, 3);
+  const auto bsp = run_engine(false, 3, default_config(), fixture());
+  EXPECT_EQ(bsp.tasks_done, tasks.total_tasks());
+}
+
+TEST(Engines, AsyncPullsEachRemoteReadOnce) {
+  // messages == number of distinct (rank, remote read) pairs <= tasks.
+  const auto async = run_engine(true, 4, default_config(), fixture());
+  const auto tasks = pipeline::run_serial(fixture().dataset.reads,
+                                          fixture().pipeline_config, 4);
+  EXPECT_LE(async.messages, tasks.total_tasks());
+  EXPECT_GT(async.messages, 0u);
+}
+
+TEST(Engines, ExchangeBytesMatchBetweenModes) {
+  // Async replies carry exactly the reads BSP would ship (each remote read
+  // once per needing rank), so total exchanged payload must match.
+  const auto bsp = run_engine(false, 4, default_config(), fixture());
+  const auto async = run_engine(true, 4, default_config(), fixture());
+  EXPECT_EQ(bsp.exchange_bytes, async.exchange_bytes);
+}
+
+TEST(Engines, DeterministicAcrossRuns) {
+  const auto first = run_engine(false, 4, default_config(), fixture());
+  const auto second = run_engine(false, 4, default_config(), fixture());
+  expect_same_records(first.accepted, second.accepted);
+}
+
+TEST(LocalRead, GuardsAgainstRemoteAccess) {
+  const auto& f = fixture();
+  const auto bounds = pipeline::compute_bounds(f.dataset.reads, 2);
+  // Rank 0 asking for a read owned by rank 1 must abort.
+  const seq::ReadId foreign = bounds[1];
+  EXPECT_DEATH((void)local_read(f.dataset.reads, bounds, 0, foreign), "");
+}
+
+TEST(Calibration, ProducesPlausibleRates) {
+  const CostCalibration calibration = calibrate_cost_model(1, 0.05);
+  EXPECT_GT(calibration.cells_per_second, 1e6);
+  EXPECT_LT(calibration.cells_per_second, 1e11);
+  EXPECT_GT(calibration.overhead_per_task, 0);
+  EXPECT_LT(calibration.overhead_per_task, 1e-2);
+}
+
+TEST(Calibration, DeterministicInputsStableRate) {
+  const CostCalibration a = calibrate_cost_model(3, 0.05);
+  const CostCalibration b = calibrate_cost_model(3, 0.05);
+  // Timing varies, but the measured rate should be the same order.
+  EXPECT_LT(std::abs(std::log10(a.cells_per_second / b.cells_per_second)), 0.7);
+}

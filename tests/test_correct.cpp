@@ -1,0 +1,305 @@
+// Tests for CIGAR/traceback alignment and overlap-based error correction.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "align/banded.hpp"
+#include "align/cigar.hpp"
+#include "core/bsp.hpp"
+#include "correct/consensus.hpp"
+#include "kmer/bella_filter.hpp"
+#include "pipeline/pipeline.hpp"
+#include "rt/world.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "wl/genome.hpp"
+#include "wl/presets.hpp"
+
+using namespace gnb;
+using namespace gnb::align;
+
+namespace {
+
+using Codes = std::vector<std::uint8_t>;
+
+Codes random_codes(std::size_t length, Xoshiro256& rng) {
+  Codes c(length);
+  for (auto& x : c) x = static_cast<std::uint8_t>(rng.below(4));
+  return c;
+}
+
+Codes mutate(const Codes& src, double rate, Xoshiro256& rng) {
+  Codes out;
+  for (const auto base : src) {
+    const double roll = rng.uniform();
+    if (roll < rate / 3) continue;
+    if (roll < 2 * rate / 3) out.push_back(static_cast<std::uint8_t>(rng.below(4)));
+    if (roll < rate) {
+      out.push_back(static_cast<std::uint8_t>((base + 1 + rng.below(3)) & 3));
+    } else {
+      out.push_back(base);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------- CIGAR basics ----------
+
+TEST(Cigar, StringAndSpans) {
+  const Cigar cigar{{CigarOp::kMatch, 12}, {CigarOp::kMismatch, 1}, {CigarOp::kDeletion, 3},
+                    {CigarOp::kMatch, 9},  {CigarOp::kInsertion, 2}};
+  EXPECT_EQ(cigar_string(cigar), "12=1X3D9=2I");
+  EXPECT_EQ(cigar_query_span(cigar), 12u + 1 + 9 + 2);
+  EXPECT_EQ(cigar_target_span(cigar), 12u + 1 + 3 + 9);
+  EXPECT_NEAR(cigar_identity(cigar), 21.0 / 27.0, 1e-12);
+}
+
+TEST(Cigar, ConsistencyChecker) {
+  const Codes a{0, 1, 2, 3};
+  const Codes b{0, 1, 1, 3};
+  const Cigar good{{CigarOp::kMatch, 2}, {CigarOp::kMismatch, 1}, {CigarOp::kMatch, 1}};
+  EXPECT_TRUE(cigar_consistent(good, a, b));
+  const Cigar wrong_label{{CigarOp::kMatch, 4}};
+  EXPECT_FALSE(cigar_consistent(wrong_label, a, b));
+  const Cigar wrong_span{{CigarOp::kMatch, 2}};
+  EXPECT_FALSE(cigar_consistent(wrong_span, a, b));
+}
+
+// ---------- banded traceback ----------
+
+TEST(Traceback, IdenticalSequencesAllMatch) {
+  Xoshiro256 rng(1);
+  const Codes a = random_codes(200, rng);
+  const TracebackResult r = banded_global_traceback(a, a, 8);
+  EXPECT_EQ(r.score, 200);
+  ASSERT_EQ(r.cigar.size(), 1u);
+  EXPECT_EQ(r.cigar[0].op, CigarOp::kMatch);
+  EXPECT_EQ(r.cigar[0].length, 200u);
+}
+
+TEST(Traceback, SingleSubstitution) {
+  Codes a{0, 1, 2, 3, 0, 1, 2, 3};
+  Codes b = a;
+  b[3] = 0;
+  const TracebackResult r = banded_global_traceback(a, b, 4);
+  EXPECT_EQ(r.score, 7 - 1);
+  EXPECT_EQ(cigar_string(r.cigar), "3=1X4=");
+}
+
+TEST(Traceback, SingleDeletionInB) {
+  Codes a{0, 1, 2, 3, 0, 1, 2, 3};
+  Codes b = a;
+  b.erase(b.begin() + 4);
+  const TracebackResult r = banded_global_traceback(a, b, 4);
+  EXPECT_EQ(r.score, 7 - 1);
+  EXPECT_TRUE(cigar_consistent(r.cigar, a, b));
+  // Exactly one 1-base insertion (a has the extra base).
+  std::size_t insertions = 0;
+  for (const auto& run : r.cigar)
+    if (run.op == CigarOp::kInsertion) insertions += run.length;
+  EXPECT_EQ(insertions, 1u);
+}
+
+TEST(Traceback, ScoreMatchesScoreOnlyBandedAligner) {
+  Xoshiro256 rng(2);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Codes ancestor = random_codes(150, rng);
+    const Codes a = mutate(ancestor, 0.08, rng);
+    const Codes b = mutate(ancestor, 0.08, rng);
+    const std::size_t diff = a.size() > b.size() ? a.size() - b.size() : b.size() - a.size();
+    const std::size_t band = diff + 30;
+    const TracebackResult tb = banded_global_traceback(a, b, band);
+    EXPECT_EQ(tb.score, banded_global(a, b, band).score);
+    EXPECT_TRUE(cigar_consistent(tb.cigar, a, b));
+    // The transcript's score re-derives the DP score.
+    std::int32_t rescored = 0;
+    for (const auto& run : tb.cigar) {
+      switch (run.op) {
+        case CigarOp::kMatch: rescored += static_cast<std::int32_t>(run.length); break;
+        case CigarOp::kMismatch: rescored -= static_cast<std::int32_t>(run.length); break;
+        default: rescored -= static_cast<std::int32_t>(run.length); break;
+      }
+    }
+    EXPECT_EQ(rescored, tb.score);
+  }
+}
+
+TEST(Traceback, BandTooNarrowThrows) {
+  const Codes a(30, 0);
+  const Codes b(10, 0);
+  EXPECT_THROW(banded_global_traceback(a, b, 5), Error);
+}
+
+TEST(Traceback, EmptyInputs) {
+  const Codes a;
+  const Codes b{0, 1};
+  const TracebackResult r = banded_global_traceback(a, b, 4);
+  EXPECT_EQ(r.score, -2);
+  EXPECT_EQ(cigar_string(r.cigar), "2D");
+  const TracebackResult rr = banded_global_traceback(b, a, 4);
+  EXPECT_EQ(cigar_string(rr.cigar), "2I");
+}
+
+// ---------- correct_read unit cases ----------
+
+namespace {
+
+correct::Evidence full_evidence(const seq::Sequence& partner, std::uint32_t read_len) {
+  correct::Evidence ev;
+  ev.partner = &partner;
+  ev.read_begin = 0;
+  ev.read_end = read_len;
+  ev.partner_begin = 0;
+  ev.partner_end = static_cast<std::uint32_t>(partner.size());
+  return ev;
+}
+
+}  // namespace
+
+TEST(CorrectRead, FixesSingleSubstitution) {
+  Xoshiro256 rng(11);
+  const Codes truth = random_codes(120, rng);
+  Codes noisy = truth;
+  noisy[60] = static_cast<std::uint8_t>((noisy[60] + 1) & 3);
+  const seq::Sequence read = seq::Sequence::from_codes(noisy);
+  const seq::Sequence partner = seq::Sequence::from_codes(truth);
+
+  std::vector<correct::Evidence> evidence(4, full_evidence(partner, 120));
+  correct::CorrectionParams params;
+  params.min_coverage = 3;
+  const seq::Sequence fixed = correct::correct_read(read, evidence, params);
+  EXPECT_EQ(fixed, seq::Sequence::from_codes(truth));
+}
+
+TEST(CorrectRead, RemovesInsertedBase) {
+  Xoshiro256 rng(12);
+  const Codes truth = random_codes(100, rng);
+  Codes noisy = truth;
+  noisy.insert(noisy.begin() + 40, static_cast<std::uint8_t>(rng.below(4)));
+  const seq::Sequence read = seq::Sequence::from_codes(noisy);
+  const seq::Sequence partner = seq::Sequence::from_codes(truth);
+  std::vector<correct::Evidence> evidence(
+      4, full_evidence(partner, static_cast<std::uint32_t>(noisy.size())));
+  const seq::Sequence fixed = correct::correct_read(read, evidence, {});
+  EXPECT_EQ(fixed, seq::Sequence::from_codes(truth));
+}
+
+TEST(CorrectRead, RestoresDeletedBase) {
+  Xoshiro256 rng(13);
+  const Codes truth = random_codes(100, rng);
+  Codes noisy = truth;
+  noisy.erase(noisy.begin() + 55);
+  const seq::Sequence read = seq::Sequence::from_codes(noisy);
+  const seq::Sequence partner = seq::Sequence::from_codes(truth);
+  std::vector<correct::Evidence> evidence(
+      4, full_evidence(partner, static_cast<std::uint32_t>(noisy.size())));
+  const seq::Sequence fixed = correct::correct_read(read, evidence, {});
+  EXPECT_EQ(fixed, seq::Sequence::from_codes(truth));
+}
+
+TEST(CorrectRead, LowCoverageLeavesReadAlone) {
+  Xoshiro256 rng(14);
+  const Codes truth = random_codes(80, rng);
+  Codes noisy = truth;
+  noisy[10] = static_cast<std::uint8_t>((noisy[10] + 2) & 3);
+  const seq::Sequence read = seq::Sequence::from_codes(noisy);
+  const seq::Sequence partner = seq::Sequence::from_codes(truth);
+  // Only 1 partner < min_coverage 3: no change.
+  std::vector<correct::Evidence> evidence(1, full_evidence(partner, 80));
+  const seq::Sequence fixed = correct::correct_read(read, evidence, {});
+  EXPECT_EQ(fixed, read);
+}
+
+TEST(CorrectRead, DisagreeingPartnersDoNotOverride) {
+  Xoshiro256 rng(15);
+  const Codes truth = random_codes(60, rng);
+  const seq::Sequence read = seq::Sequence::from_codes(truth);
+  // Four partners each mutated differently: no majority against the read.
+  std::vector<seq::Sequence> partners;
+  for (int i = 0; i < 4; ++i)
+    partners.push_back(seq::Sequence::from_codes(mutate(truth, 0.25, rng)));
+  std::vector<correct::Evidence> evidence;
+  for (const auto& partner : partners) {
+    correct::Evidence ev = full_evidence(partner, 60);
+    evidence.push_back(ev);
+  }
+  correct::CorrectionParams params;
+  params.majority = 0.75;
+  const seq::Sequence fixed = correct::correct_read(read, evidence, params);
+  // The read should survive mostly unchanged.
+  const auto before = read.unpack();
+  const auto after = fixed.unpack();
+  std::size_t same = 0;
+  for (std::size_t i = 0; i < std::min(before.size(), after.size()); ++i)
+    same += before[i] == after[i] ? 1 : 0;
+  EXPECT_GT(same, before.size() * 8 / 10);
+}
+
+// ---------- end-to-end correction quality ----------
+
+TEST(CorrectReads, ImprovesIdentityAgainstGroundTruth) {
+  // Sample noisy reads from a genome, overlap them, correct them, and
+  // verify reads moved closer to their true fragments.
+  wl::DatasetSpec spec = wl::tiny_spec();
+  spec.genome.length = 12'000;
+  spec.reads.coverage = 12;
+  spec.reads.error_rate = 0.06;
+  spec.reads.n_rate = 0;
+  const wl::SampledDataset dataset = wl::synthesize(spec, 41);
+
+  // Need the genome again for ground truth: regenerate deterministically.
+  Xoshiro256 rng(41);
+  const seq::Sequence genome = wl::generate_genome(spec.genome, rng);
+
+  const auto band = kmer::reliable_bounds(
+      kmer::BellaParams{spec.reads.coverage, spec.reads.error_rate, spec.k, 1e-3});
+  pipeline::PipelineConfig config;
+  config.k = spec.k;
+  config.lo = band.lo;
+  config.hi = band.hi;
+  const pipeline::TaskSet tasks = pipeline::run_serial(dataset.reads, config, 2);
+  core::EngineConfig engine;
+  engine.filter = align::AlignmentFilter{80, 150};
+  std::vector<align::AlignmentRecord> records;
+  {
+    rt::World world(2);
+    std::vector<std::vector<align::AlignmentRecord>> per_rank(2);
+    world.run([&](rt::Rank& rank) {
+      per_rank[rank.id()] = core::bsp_align(rank, dataset.reads, tasks.bounds,
+                                            tasks.per_rank[rank.id()], engine)
+                                .accepted;
+    });
+    for (auto& part : per_rank) records.insert(records.end(), part.begin(), part.end());
+  }
+
+  const correct::CorrectedSet corrected = correct::correct_reads(dataset.reads, records);
+  ASSERT_EQ(corrected.reads.size(), dataset.reads.size());
+  EXPECT_GT(corrected.stats.reads_changed, 0u);
+
+  auto identity_to_truth = [&](const seq::Sequence& read, const wl::ReadOrigin& origin) {
+    seq::Sequence fragment =
+        genome.subseq(origin.genome_begin, origin.genome_end - origin.genome_begin);
+    if (origin.reverse_strand) fragment = fragment.reverse_complement();
+    const auto a = read.unpack();
+    const auto b = fragment.unpack();
+    const std::size_t diff = a.size() > b.size() ? a.size() - b.size() : b.size() - a.size();
+    const TracebackResult tb = banded_global_traceback(a, b, diff + 80);
+    return cigar_identity(tb.cigar);
+  };
+
+  double before = 0, after = 0;
+  std::size_t measured = 0;
+  for (seq::ReadId id = 0; id < dataset.reads.size() && measured < 40; ++id) {
+    before += identity_to_truth(dataset.reads.get(id).sequence, dataset.origins[id]);
+    after += identity_to_truth(corrected.reads[id], dataset.origins[id]);
+    ++measured;
+  }
+  before /= static_cast<double>(measured);
+  after /= static_cast<double>(measured);
+  EXPECT_GT(after, before + 0.01) << "correction did not improve identity: " << before
+                                  << " -> " << after;
+  EXPECT_GT(after, 0.97);
+}

@@ -1,0 +1,201 @@
+// Integration tests: the full flow — synthetic dataset -> distributed
+// pipeline -> both engines -> quality against ground truth — plus
+// FASTA-file round trips into the pipeline and end-to-end reproducibility.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <tuple>
+
+#include "align/overlap.hpp"
+#include "core/async.hpp"
+#include "core/bsp.hpp"
+#include "kmer/bella_filter.hpp"
+#include "pipeline/distributed.hpp"
+#include "pipeline/pipeline.hpp"
+#include "rt/world.hpp"
+#include "seq/fasta.hpp"
+#include "wl/presets.hpp"
+
+using namespace gnb;
+
+namespace {
+
+struct FlowResult {
+  std::vector<align::AlignmentRecord> accepted;
+  std::uint64_t tasks = 0;
+};
+
+FlowResult run_flow(const wl::SampledDataset& dataset, std::size_t nranks, bool async_mode,
+                    bool distributed_pipeline, std::uint32_t k = 15) {
+  const auto kmer_bounds = kmer::reliable_bounds(kmer::BellaParams{10, 0.10, k, 1e-3});
+  pipeline::PipelineConfig config;
+  config.k = k;
+  config.lo = kmer_bounds.lo;
+  config.hi = kmer_bounds.hi;
+
+  pipeline::TaskSet tasks;
+  if (distributed_pipeline) {
+    tasks.bounds = pipeline::compute_bounds(dataset.reads, nranks);
+    tasks.per_rank.resize(nranks);
+    rt::World world(nranks);
+    world.run([&](rt::Rank& rank) {
+      tasks.per_rank[rank.id()] =
+          pipeline::run_distributed(rank, dataset.reads, config, tasks.bounds);
+    });
+  } else {
+    tasks = pipeline::run_serial(dataset.reads, config, nranks);
+  }
+  pipeline::check_owner_invariant(tasks);
+
+  core::EngineConfig engine;
+  engine.filter = align::AlignmentFilter{60, 120};
+  FlowResult flow;
+  flow.tasks = tasks.total_tasks();
+  rt::World world(nranks);
+  std::vector<std::vector<align::AlignmentRecord>> accepted(nranks);
+  world.run([&](rt::Rank& rank) {
+    core::EngineResult result =
+        async_mode ? core::async_align(rank, dataset.reads, tasks.bounds,
+                                       tasks.per_rank[rank.id()], engine)
+                   : core::bsp_align(rank, dataset.reads, tasks.bounds,
+                                     tasks.per_rank[rank.id()], engine);
+    accepted[rank.id()] = std::move(result.accepted);
+  });
+  for (auto& records : accepted)
+    flow.accepted.insert(flow.accepted.end(), records.begin(), records.end());
+  std::sort(flow.accepted.begin(), flow.accepted.end(),
+            [](const align::AlignmentRecord& x, const align::AlignmentRecord& y) {
+              return std::tie(x.read_a, x.read_b) < std::tie(y.read_a, y.read_b);
+            });
+  return flow;
+}
+
+const wl::SampledDataset& dataset() {
+  static const wl::SampledDataset ds = [] {
+    wl::DatasetSpec spec = wl::tiny_spec();
+    spec.genome.length = 18'000;
+    spec.reads.coverage = 10;
+    return wl::synthesize(spec, 31);
+  }();
+  return ds;
+}
+
+}  // namespace
+
+TEST(Integration, FullFlowBspEqualsAsync) {
+  const auto bsp = run_flow(dataset(), 4, false, true);
+  const auto async = run_flow(dataset(), 4, true, true);
+  ASSERT_EQ(bsp.accepted.size(), async.accepted.size());
+  for (std::size_t i = 0; i < bsp.accepted.size(); ++i) {
+    EXPECT_EQ(bsp.accepted[i].read_a, async.accepted[i].read_a);
+    EXPECT_EQ(bsp.accepted[i].read_b, async.accepted[i].read_b);
+    EXPECT_EQ(bsp.accepted[i].alignment.score, async.accepted[i].alignment.score);
+  }
+}
+
+TEST(Integration, DistributedPipelineMatchesSerialDownstream) {
+  const auto serial = run_flow(dataset(), 3, false, false);
+  const auto distributed = run_flow(dataset(), 3, false, true);
+  EXPECT_EQ(serial.tasks, distributed.tasks);
+  ASSERT_EQ(serial.accepted.size(), distributed.accepted.size());
+  for (std::size_t i = 0; i < serial.accepted.size(); ++i)
+    EXPECT_EQ(serial.accepted[i].alignment.score, distributed.accepted[i].alignment.score);
+}
+
+TEST(Integration, QualityAgainstGroundTruth) {
+  const auto flow = run_flow(dataset(), 4, false, true);
+  ASSERT_GT(flow.accepted.size(), 0u);
+  std::size_t true_positive = 0;
+  for (const auto& record : flow.accepted) {
+    if (wl::true_overlap(dataset().origins[record.read_a],
+                         dataset().origins[record.read_b]) >= 150)
+      ++true_positive;
+  }
+  std::size_t truth_pairs = 0;
+  for (std::size_t i = 0; i < dataset().origins.size(); ++i)
+    for (std::size_t j = i + 1; j < dataset().origins.size(); ++j)
+      if (wl::true_overlap(dataset().origins[i], dataset().origins[j]) >= 150) ++truth_pairs;
+  const double precision =
+      static_cast<double>(true_positive) / static_cast<double>(flow.accepted.size());
+  const double recall =
+      static_cast<double>(true_positive) / static_cast<double>(truth_pairs);
+  EXPECT_GT(precision, 0.7) << "too many spurious overlaps accepted";
+  EXPECT_GT(recall, 0.5) << "too many true overlaps missed";
+}
+
+TEST(Integration, RunsTwiceIdentically) {
+  const auto first = run_flow(dataset(), 2, true, true);
+  const auto second = run_flow(dataset(), 2, true, true);
+  ASSERT_EQ(first.accepted.size(), second.accepted.size());
+  for (std::size_t i = 0; i < first.accepted.size(); ++i) {
+    EXPECT_EQ(first.accepted[i].read_a, second.accepted[i].read_a);
+    EXPECT_EQ(first.accepted[i].alignment.score, second.accepted[i].alignment.score);
+    EXPECT_EQ(first.accepted[i].alignment.a_begin, second.accepted[i].alignment.a_begin);
+  }
+}
+
+TEST(Integration, FastaRoundTripIntoPipeline) {
+  // Write the dataset to FASTA, read it back, and verify the pipeline
+  // produces identical task counts — file I/O does not perturb anything.
+  std::ostringstream out;
+  seq::FastaWriter writer(out);
+  for (const auto& read : dataset().reads.reads())
+    writer.write(seq::FastaRecord{read.name, "", read.sequence});
+
+  std::istringstream in(out.str());
+  seq::FastaReader reader(in);
+  seq::ReadStore reloaded;
+  while (auto record = reader.next()) reloaded.add(record->name, record->sequence);
+  ASSERT_EQ(reloaded.size(), dataset().reads.size());
+
+  pipeline::PipelineConfig config;
+  config.k = 15;
+  config.lo = 2;
+  config.hi = 10;
+  const auto from_memory = pipeline::run_serial(dataset().reads, config, 2);
+  const auto from_file = pipeline::run_serial(reloaded, config, 2);
+  EXPECT_EQ(from_memory.total_tasks(), from_file.total_tasks());
+}
+
+TEST(Integration, OverlapKindsArePlausible) {
+  const auto flow = run_flow(dataset(), 2, false, true);
+  std::size_t dovetails = 0, containments = 0;
+  for (const auto& record : flow.accepted) {
+    const auto kind = align::classify_overlap(
+        record.alignment, dataset().reads.get(record.read_a).length(),
+        dataset().reads.get(record.read_b).length());
+    if (kind == align::OverlapKind::kDovetailAB || kind == align::OverlapKind::kDovetailBA)
+      ++dovetails;
+    else
+      ++containments;
+  }
+  // Random read placement yields mostly dovetails with some containments.
+  EXPECT_GT(dovetails, containments / 4);
+}
+
+TEST(Integration, ScalesFromOneToManyRanksIdentically) {
+  const auto one = run_flow(dataset(), 1, false, true);
+  const auto many = run_flow(dataset(), 8, false, true);
+  EXPECT_EQ(one.tasks, many.tasks);
+  ASSERT_EQ(one.accepted.size(), many.accepted.size());
+  for (std::size_t i = 0; i < one.accepted.size(); ++i)
+    EXPECT_EQ(one.accepted[i].alignment.score, many.accepted[i].alignment.score);
+}
+
+TEST(Integration, ModelAndRealWorkloadsAgreeOnShape) {
+  // The statistical task model and the real pipeline should produce task
+  // graphs of the same flavor: tasks/read within an order of magnitude.
+  const auto flow = run_flow(dataset(), 2, false, false);
+  const double real_tasks_per_read =
+      static_cast<double>(flow.tasks) / static_cast<double>(dataset().reads.size());
+  wl::TaskModelParams params;
+  params.n_reads = dataset().reads.size();
+  params.n_tasks = flow.tasks;
+  const auto model = wl::generate_sim_workload(params, 3);
+  const double model_tasks_per_read =
+      static_cast<double>(model.tasks.size()) /
+      static_cast<double>(model.read_lengths.size());
+  EXPECT_NEAR(real_tasks_per_read, model_tasks_per_read, real_tasks_per_read * 0.01 + 1e-9);
+}

@@ -1,0 +1,158 @@
+// Tests for the DiBELLA pipeline: serial reference, task assignment with
+// the owner invariant, and serial/distributed equivalence.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "kmer/bella_filter.hpp"
+#include "pipeline/distributed.hpp"
+#include "pipeline/pipeline.hpp"
+#include "rt/world.hpp"
+#include "wl/presets.hpp"
+
+using namespace gnb;
+using namespace gnb::pipeline;
+
+namespace {
+
+struct Fixture {
+  wl::SampledDataset dataset;
+  PipelineConfig config;
+};
+
+const Fixture& fixture() {
+  static const Fixture f = [] {
+    Fixture fx;
+    wl::DatasetSpec spec = wl::tiny_spec();
+    spec.genome.length = 15'000;
+    spec.reads.coverage = 8;
+    fx.dataset = wl::synthesize(spec, 11);
+    const auto bounds = kmer::reliable_bounds(
+        kmer::BellaParams{spec.reads.coverage, spec.reads.error_rate, spec.k, 1e-3});
+    fx.config.k = spec.k;
+    fx.config.lo = bounds.lo;
+    fx.config.hi = bounds.hi;
+    fx.config.keep_frac = 1.0;
+    return fx;
+  }();
+  return f;
+}
+
+bool tasks_equal(const kmer::AlignTask& x, const kmer::AlignTask& y) {
+  return x.a == y.a && x.b == y.b && x.seed.a_pos == y.seed.a_pos &&
+         x.seed.b_pos == y.seed.b_pos && x.seed.length == y.seed.length &&
+         x.seed.b_reversed == y.seed.b_reversed;
+}
+
+}  // namespace
+
+TEST(Pipeline, BoundsCoverStore) {
+  const auto& f = fixture();
+  const auto bounds = compute_bounds(f.dataset.reads, 4);
+  ASSERT_EQ(bounds.size(), 5u);
+  EXPECT_EQ(bounds.front(), 0u);
+  EXPECT_EQ(bounds.back(), f.dataset.reads.size());
+}
+
+TEST(Pipeline, SerialSatisfiesOwnerInvariant) {
+  const auto& f = fixture();
+  const TaskSet tasks = run_serial(f.dataset.reads, f.config, 4);
+  check_owner_invariant(tasks);  // aborts on violation
+  EXPECT_GT(tasks.total_tasks(), 0u);
+}
+
+TEST(Pipeline, AssignBalancesCounts) {
+  const auto& f = fixture();
+  const TaskSet tasks = run_serial(f.dataset.reads, f.config, 6);
+  std::size_t max_load = 0;
+  for (const auto& per_rank : tasks.per_rank) max_load = std::max(max_load, per_rank.size());
+  // Greedy two-choice balancing under the owner invariant: hot reads pin
+  // their tasks to two ranks, so perfect balance is impossible; the max
+  // must still stay within a small factor of the mean.
+  const double mean = static_cast<double>(tasks.total_tasks()) / 6.0;
+  EXPECT_LT(static_cast<double>(max_load), 3.0 * mean + 50.0);
+}
+
+TEST(Pipeline, SerialDeterministic) {
+  const auto& f = fixture();
+  const TaskSet a = run_serial(f.dataset.reads, f.config, 3);
+  const TaskSet b = run_serial(f.dataset.reads, f.config, 3);
+  const auto ua = a.sorted_union();
+  const auto ub = b.sorted_union();
+  ASSERT_EQ(ua.size(), ub.size());
+  for (std::size_t i = 0; i < ua.size(); ++i) EXPECT_TRUE(tasks_equal(ua[i], ub[i]));
+}
+
+TEST(Pipeline, RankCountDoesNotChangeTaskSet) {
+  const auto& f = fixture();
+  const auto u2 = run_serial(f.dataset.reads, f.config, 2).sorted_union();
+  const auto u7 = run_serial(f.dataset.reads, f.config, 7).sorted_union();
+  ASSERT_EQ(u2.size(), u7.size());
+  for (std::size_t i = 0; i < u2.size(); ++i) EXPECT_TRUE(tasks_equal(u2[i], u7[i]));
+}
+
+class DistributedEquivalence : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DistributedEquivalence, MatchesSerialTaskSet) {
+  const auto& f = fixture();
+  const std::size_t nranks = GetParam();
+  const TaskSet serial = run_serial(f.dataset.reads, f.config, nranks);
+  const auto serial_union = serial.sorted_union();
+
+  const auto bounds = compute_bounds(f.dataset.reads, nranks);
+  TaskSet distributed;
+  distributed.bounds = bounds;
+  distributed.per_rank.resize(nranks);
+  rt::World world(nranks);
+  world.run([&](rt::Rank& rank) {
+    distributed.per_rank[rank.id()] =
+        run_distributed(rank, f.dataset.reads, f.config, bounds);
+  });
+  check_owner_invariant(distributed);
+  const auto distributed_union = distributed.sorted_union();
+
+  ASSERT_EQ(distributed_union.size(), serial_union.size());
+  for (std::size_t i = 0; i < serial_union.size(); ++i)
+    EXPECT_TRUE(tasks_equal(distributed_union[i], serial_union[i]))
+        << "task " << i << " differs: (" << serial_union[i].a << "," << serial_union[i].b
+        << ") vs (" << distributed_union[i].a << "," << distributed_union[i].b << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, DistributedEquivalence, ::testing::Values(1, 2, 3, 5, 8));
+
+TEST(Pipeline, SketchingPreservesMostTasks) {
+  const auto& f = fixture();
+  PipelineConfig sketched = f.config;
+  sketched.keep_frac = 0.3;
+  const auto full = run_serial(f.dataset.reads, f.config, 2).total_tasks();
+  const auto with_sketch = run_serial(f.dataset.reads, sketched, 2).total_tasks();
+  EXPECT_GT(with_sketch, full / 2);  // overlaps share many k-mers
+  EXPECT_LE(with_sketch, full);
+}
+
+TEST(Pipeline, EmptyStoreYieldsNoTasks) {
+  seq::ReadStore empty;
+  PipelineConfig config;
+  const TaskSet tasks = run_serial(empty, config, 3);
+  EXPECT_EQ(tasks.total_tasks(), 0u);
+  EXPECT_EQ(tasks.bounds.back(), 0u);
+}
+
+TEST(Pipeline, SingleReadYieldsNoTasks) {
+  seq::ReadStore store;
+  store.add("only", seq::Sequence::from_string("ACGTACGTACGTACGTACGTACGTACGT"));
+  PipelineConfig config;
+  config.k = 15;
+  config.lo = 1;
+  config.hi = 100;
+  EXPECT_EQ(run_serial(store, config, 2).total_tasks(), 0u);
+}
+
+TEST(Pipeline, MoreRanksThanReads) {
+  const auto& f = fixture();
+  // Way more ranks than needed: must not crash, invariant must hold.
+  const TaskSet tasks = run_serial(f.dataset.reads, f.config, 64);
+  check_owner_invariant(tasks);
+  EXPECT_GT(tasks.total_tasks(), 0u);
+}

@@ -1,0 +1,424 @@
+// Tests for the machine simulator: machine model geometry, workload
+// assignment invariants, and the BSP/async performance models.
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "sim/assignment.hpp"
+#include "sim/machine.hpp"
+#include "sim/perf_model.hpp"
+#include "sim/report.hpp"
+#include "wl/presets.hpp"
+
+using namespace gnb;
+using namespace gnb::sim;
+
+namespace {
+
+wl::SimWorkload small_workload(std::uint64_t seed = 1) {
+  wl::TaskModelParams params;
+  params.n_reads = 2'000;
+  params.n_tasks = 20'000;
+  params.mean_length = 4'000;
+  return wl::generate_sim_workload(params, seed);
+}
+
+SimOptions default_options() {
+  SimOptions options;
+  options.calibration.cells_per_second = 2e8;
+  options.calibration.overhead_per_task = 3e-6;
+  return options;
+}
+
+}  // namespace
+
+// ---------- machine ----------
+
+TEST(Machine, GeometryHelpers) {
+  MachineParams machine = cori_knl(4);
+  EXPECT_EQ(machine.total_ranks(), 4u * 64);
+  EXPECT_EQ(machine.node_of(0), 0u);
+  EXPECT_EQ(machine.node_of(63), 0u);
+  EXPECT_EQ(machine.node_of(64), 1u);
+  EXPECT_TRUE(machine.same_node(0, 63));
+  EXPECT_FALSE(machine.same_node(63, 64));
+}
+
+TEST(Machine, LatencyIntraVsInter) {
+  const MachineParams machine = cori_knl(2);
+  EXPECT_LT(machine.latency(0, 1), machine.latency(0, 64));
+}
+
+TEST(Machine, BisectionGrowsSublinearly) {
+  const double b8 = cori_knl(8).bisection_bandwidth();
+  const double b64 = cori_knl(64).bisection_bandwidth();
+  const double b512 = cori_knl(512).bisection_bandwidth();
+  EXPECT_GT(b64, b8);
+  EXPECT_GT(b512, b64);
+  // Sublinear: 8x the nodes gives less than 8x the bisection.
+  EXPECT_LT(b64 / b8, 8.0);
+  EXPECT_LT(b512 / b64, 8.0);
+}
+
+TEST(Machine, SingleNodeBisectionIsIntranode) {
+  const MachineParams machine = cori_knl(1);
+  EXPECT_DOUBLE_EQ(machine.bisection_bandwidth(), machine.intranode_bandwidth);
+}
+
+// ---------- assignment ----------
+
+class AssignRanks : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AssignRanks, ConservationInvariants) {
+  const auto workload = small_workload();
+  const SimAssignment assignment = assign(workload, GetParam());
+  ASSERT_EQ(assignment.nranks(), GetParam());
+  ASSERT_EQ(assignment.read_owner.size(), workload.read_lengths.size());
+
+  // Every task lands somewhere exactly once.
+  std::uint64_t tasks_total = 0, cells_total = 0;
+  for (const auto& work : assignment.ranks) {
+    tasks_total += work.total_tasks();
+    cells_total += work.total_cells();
+  }
+  EXPECT_EQ(tasks_total, workload.tasks.size());
+  EXPECT_EQ(cells_total, workload.total_cells());
+
+  // Serve side mirrors pull side.
+  std::uint64_t pulls = 0, pull_bytes = 0, serves = 0, serve_bytes = 0;
+  for (std::size_t r = 0; r < assignment.nranks(); ++r) {
+    pulls += assignment.ranks[r].pulls.size();
+    pull_bytes += assignment.ranks[r].pull_bytes();
+    serves += assignment.serve_count[r];
+    serve_bytes += assignment.serve_bytes[r];
+  }
+  EXPECT_EQ(pulls, serves);
+  EXPECT_EQ(pull_bytes, serve_bytes);
+
+  // Partition bytes account for every read.
+  std::uint64_t partition_total = 0;
+  for (const auto& work : assignment.ranks) partition_total += work.partition_bytes;
+  std::uint64_t expected = 0;
+  for (std::uint32_t i = 0; i < workload.read_lengths.size(); ++i)
+    expected += workload.read_bytes(i);
+  EXPECT_EQ(partition_total, expected);
+}
+
+TEST_P(AssignRanks, PullsAreDeduplicatedPerRank) {
+  const SimAssignment assignment = assign(small_workload(), GetParam());
+  for (const auto& work : assignment.ranks) {
+    std::unordered_set<std::uint32_t> reads;
+    for (const auto& pull : work.pulls) {
+      EXPECT_TRUE(reads.insert(pull.read).second) << "duplicate pull";
+      EXPECT_NE(pull.owner, static_cast<std::uint32_t>(-1));
+    }
+  }
+}
+
+TEST_P(AssignRanks, PullOwnersAreCorrect) {
+  const SimAssignment assignment = assign(small_workload(), GetParam());
+  for (std::size_t r = 0; r < assignment.nranks(); ++r) {
+    for (const auto& pull : assignment.ranks[r].pulls) {
+      EXPECT_EQ(pull.owner, assignment.read_owner[pull.read]);
+      EXPECT_NE(pull.owner, r) << "a rank never pulls its own read";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, AssignRanks, ::testing::Values(1, 2, 7, 64, 256));
+
+TEST(Assign, SingleRankHasNoPulls) {
+  const SimAssignment assignment = assign(small_workload(), 1);
+  EXPECT_TRUE(assignment.ranks[0].pulls.empty());
+  EXPECT_EQ(assignment.ranks[0].total_tasks(), small_workload().tasks.size());
+}
+
+TEST(Assign, CrossNodeBytesZeroOnOneNode) {
+  const SimAssignment assignment = assign(small_workload(), 64);
+  EXPECT_EQ(assignment.cross_node_bytes(64), 0u);
+  EXPECT_GT(assignment.cross_node_bytes(16), 0u);
+}
+
+TEST(Assign, TaskCountsBalanced) {
+  const SimAssignment assignment = assign(small_workload(), 16);
+  std::uint64_t lo = ~0ull, hi = 0;
+  for (const auto& work : assignment.ranks) {
+    lo = std::min<std::uint64_t>(lo, work.total_tasks());
+    hi = std::max<std::uint64_t>(hi, work.total_tasks());
+  }
+  EXPECT_LT(hi, 2 * lo + 20);
+}
+
+// ---------- performance models ----------
+
+TEST(PerfModel, TimelineAccountingIsConsistent) {
+  const auto workload = small_workload();
+  const MachineParams machine = cori_knl(2);
+  const SimAssignment assignment = assign(workload, machine.total_ranks());
+  for (const bool async_mode : {false, true}) {
+    const SimResult result = async_mode
+                                 ? simulate_async(machine, assignment, default_options())
+                                 : simulate_bsp(machine, assignment, default_options());
+    ASSERT_EQ(result.ranks.size(), machine.total_ranks());
+    EXPECT_GT(result.runtime, 0.0);
+    for (const auto& timeline : result.ranks) {
+      EXPECT_GE(timeline.compute, 0.0);
+      EXPECT_GE(timeline.overhead, 0.0);
+      EXPECT_GE(timeline.comm, 0.0);
+      EXPECT_GE(timeline.sync, -1e-12);
+      // Every rank's total is (close to) the phase duration: whoever ends
+      // early waits in sync.
+      EXPECT_NEAR(timeline.total(), result.runtime, result.runtime * 0.05 + 1e-9);
+      EXPECT_GT(timeline.peak_memory, 0u);
+    }
+  }
+}
+
+TEST(PerfModel, Deterministic) {
+  const auto workload = small_workload();
+  const MachineParams machine = cori_knl(4);
+  const SimAssignment assignment = assign(workload, machine.total_ranks());
+  const SimResult a = simulate_bsp(machine, assignment, default_options());
+  const SimResult b = simulate_bsp(machine, assignment, default_options());
+  EXPECT_DOUBLE_EQ(a.runtime, b.runtime);
+  EXPECT_EQ(a.rounds, b.rounds);
+}
+
+TEST(PerfModel, StrongScalingReducesRuntime) {
+  const auto workload = small_workload();
+  double prev_bsp = 1e100, prev_async = 1e100;
+  for (const std::size_t nodes : {1, 2, 4}) {
+    const MachineParams machine = cori_knl(nodes);
+    const SimAssignment assignment = assign(workload, machine.total_ranks());
+    const double bsp = simulate_bsp(machine, assignment, default_options()).runtime;
+    const double async = simulate_async(machine, assignment, default_options()).runtime;
+    EXPECT_LT(bsp, prev_bsp);
+    EXPECT_LT(async, prev_async);
+    prev_bsp = bsp;
+    prev_async = async;
+  }
+}
+
+TEST(PerfModel, SkipComputeZeroesComputeTime) {
+  const auto workload = small_workload();
+  const MachineParams machine = cori_knl(2);
+  const SimAssignment assignment = assign(workload, machine.total_ranks());
+  SimOptions options = default_options();
+  options.skip_compute = true;
+  for (const bool async_mode : {false, true}) {
+    const SimResult result = async_mode ? simulate_async(machine, assignment, options)
+                                        : simulate_bsp(machine, assignment, options);
+    for (const auto& timeline : result.ranks) EXPECT_DOUBLE_EQ(timeline.compute, 0.0);
+  }
+}
+
+TEST(PerfModel, RoundsGrowAsBudgetShrinks) {
+  const auto workload = small_workload();
+  const MachineParams machine = cori_knl(2);
+  const SimAssignment assignment = assign(workload, machine.total_ranks());
+  SimOptions options = default_options();
+  std::uint64_t prev_rounds = 0;
+  for (const std::uint64_t budget : {1ull << 30, 1ull << 22, 1ull << 19, 1ull << 17}) {
+    options.bsp_round_budget = budget;
+    const SimResult result = simulate_bsp(machine, assignment, options);
+    EXPECT_GE(result.rounds, prev_rounds);
+    prev_rounds = result.rounds;
+  }
+  EXPECT_GT(prev_rounds, 1u);
+}
+
+TEST(PerfModel, MultiRoundCostsMoreCommThanSingleRound) {
+  const auto workload = small_workload();
+  const MachineParams machine = cori_knl(2);
+  const SimAssignment assignment = assign(workload, machine.total_ranks());
+  SimOptions generous = default_options();
+  generous.bsp_round_budget = 1ull << 30;
+  SimOptions tight = default_options();
+  tight.bsp_round_budget = 1ull << 17;
+  const auto single = reduce(simulate_bsp(machine, assignment, generous));
+  const auto multi = reduce(simulate_bsp(machine, assignment, tight));
+  EXPECT_GT(multi.comm_avg, single.comm_avg);
+}
+
+TEST(PerfModel, SingleRoundCapacityIsSufficient) {
+  const auto workload = small_workload();
+  const MachineParams base = cori_knl(2);
+  const SimAssignment assignment = assign(workload, base.total_ranks());
+  MachineParams machine = base;
+  machine.memory_per_core = single_round_capacity(assignment) + 1;
+  SimOptions options = default_options();
+  options.bsp_round_budget = 0;  // derive from memory
+  const SimResult result = simulate_bsp(machine, assignment, options);
+  EXPECT_EQ(result.rounds, 1u);
+}
+
+TEST(PerfModel, BelowCapacityForcesMultipleRounds) {
+  const auto workload = small_workload();
+  const MachineParams base = cori_knl(2);
+  const SimAssignment assignment = assign(workload, base.total_ranks());
+  MachineParams machine = base;
+  machine.memory_per_core = single_round_capacity(assignment) / 3;
+  SimOptions options = default_options();
+  options.bsp_round_budget = 0;
+  const SimResult result = simulate_bsp(machine, assignment, options);
+  EXPECT_GT(result.rounds, 1u);
+}
+
+TEST(PerfModel, AsyncMemoryBelowBspMemory) {
+  const auto workload = small_workload();
+  const MachineParams machine = cori_knl(2);
+  const SimAssignment assignment = assign(workload, machine.total_ranks());
+  const auto bsp = reduce(simulate_bsp(machine, assignment, default_options()));
+  const auto async = reduce(simulate_async(machine, assignment, default_options()));
+  EXPECT_LT(async.peak_memory_max, bsp.peak_memory_max);
+}
+
+TEST(PerfModel, AsyncWindowGrowsMemory) {
+  const auto workload = small_workload();
+  const MachineParams machine = cori_knl(2);
+  const SimAssignment assignment = assign(workload, machine.total_ranks());
+  SimOptions narrow = default_options();
+  narrow.async_window = 2;
+  SimOptions wide = default_options();
+  wide.async_window = 512;
+  const auto small_mem = reduce(simulate_async(machine, assignment, narrow));
+  const auto big_mem = reduce(simulate_async(machine, assignment, wide));
+  EXPECT_LT(small_mem.peak_memory_max, big_mem.peak_memory_max);
+}
+
+TEST(PerfModel, EstimatedExchangeMemoryShrinksWithRanks) {
+  const auto workload = small_workload();
+  const std::uint64_t at_64 = estimated_exchange_memory(assign(workload, 64));
+  const std::uint64_t at_256 = estimated_exchange_memory(assign(workload, 256));
+  EXPECT_GT(at_64, at_256);
+}
+
+TEST(PerfModel, HigherLatencyHurtsAsync) {
+  const auto workload = small_workload();
+  const MachineParams base = cori_knl(4);
+  const SimAssignment assignment = assign(workload, base.total_ranks());
+  SimOptions options = default_options();
+  options.skip_compute = true;  // nothing to hide behind: latency is visible
+  MachineParams slow = base;
+  slow.internode_latency = 5e-4;
+  const auto fast_net = reduce(simulate_async(base, assignment, options));
+  const auto slow_net = reduce(simulate_async(slow, assignment, options));
+  EXPECT_GT(slow_net.runtime, fast_net.runtime);
+}
+
+TEST(PerfModel, OsNoiseIncreasesSync) {
+  const auto workload = small_workload();
+  const MachineParams machine = cori_knl(1);
+  const SimAssignment assignment = assign(workload, machine.total_ranks());
+  SimOptions quiet = default_options();
+  quiet.os_noise = 0.0;
+  SimOptions noisy = default_options();
+  // Large noise so the jitter dominates the workload's own imbalance
+  // (small noise can deterministically land on the already-loaded ranks
+  // and slightly *shrink* the spread).
+  noisy.os_noise = 0.5;
+  const auto q = reduce(simulate_bsp(machine, assignment, quiet));
+  const auto n = reduce(simulate_bsp(machine, assignment, noisy));
+  EXPECT_GT(n.sync_avg, q.sync_avg);
+}
+
+TEST(PerfModel, CostBalancedReducesImbalance) {
+  const auto workload = small_workload();
+  const MachineParams machine = cori_knl(2);
+  const SimAssignment by_count =
+      assign(workload, machine.total_ranks(), BalancePolicy::kCountBalanced);
+  const SimAssignment by_cost =
+      assign(workload, machine.total_ranks(), BalancePolicy::kCostBalanced);
+  SimOptions options = default_options();
+  options.os_noise = 0;
+  const auto count_run = reduce(simulate_bsp(machine, by_count, options));
+  const auto cost_run = reduce(simulate_bsp(machine, by_cost, options));
+  EXPECT_LT(cost_run.load_imbalance, count_run.load_imbalance);
+  EXPECT_LT(cost_run.sync_avg, count_run.sync_avg);
+}
+
+TEST(PerfModel, CostBalancedKeepsConservation) {
+  const auto workload = small_workload();
+  const SimAssignment assignment = assign(workload, 16, BalancePolicy::kCostBalanced);
+  std::uint64_t cells = 0;
+  for (const auto& work : assignment.ranks) cells += work.total_cells();
+  EXPECT_EQ(cells, workload.total_cells());
+}
+
+TEST(PerfModel, RdmaDropsCalleeServiceCost) {
+  const auto workload = small_workload();
+  const MachineParams machine = cori_knl(2);
+  const SimAssignment assignment = assign(workload, machine.total_ranks());
+  SimOptions rpc = default_options();
+  SimOptions rdma = default_options();
+  rdma.async_rdma = true;
+  const auto rpc_run = reduce(simulate_async(machine, assignment, rpc));
+  const auto rdma_run = reduce(simulate_async(machine, assignment, rdma));
+  EXPECT_LT(rdma_run.overhead_avg, rpc_run.overhead_avg);
+}
+
+TEST(PerfModel, RdmaPaysDoubleLatencyWhenExposed) {
+  const auto workload = small_workload();
+  MachineParams machine = cori_knl(4);
+  machine.internode_latency = 2e-4;  // high-latency network exposes RTTs
+  const SimAssignment assignment = assign(workload, machine.total_ranks());
+  SimOptions rpc = default_options();
+  rpc.skip_compute = true;
+  rpc.async_window = 1;  // serialize round trips
+  SimOptions rdma = rpc;
+  rdma.async_rdma = true;
+  const auto rpc_run = reduce(simulate_async(machine, assignment, rpc));
+  const auto rdma_run = reduce(simulate_async(machine, assignment, rdma));
+  EXPECT_GT(rdma_run.comm_avg, rpc_run.comm_avg);
+}
+
+TEST(PerfModel, BatchingReducesPerMessageCosts) {
+  const auto workload = small_workload();
+  const MachineParams machine = cori_knl(4);
+  const SimAssignment assignment = assign(workload, machine.total_ranks());
+  SimOptions single = default_options();
+  single.skip_compute = true;
+  SimOptions batched = single;
+  batched.async_batch = 32;
+  const auto one = reduce(simulate_async(machine, assignment, single));
+  const auto many = reduce(simulate_async(machine, assignment, batched));
+  EXPECT_LE(many.comm_avg, one.comm_avg);
+  EXPECT_LE(many.overhead_avg, one.overhead_avg);
+}
+
+TEST(PerfModel, RankMismatchAborts) {
+  const auto workload = small_workload();
+  const SimAssignment assignment = assign(workload, 3);  // != machine ranks
+  EXPECT_DEATH((void)simulate_bsp(cori_knl(2), assignment, default_options()), "");
+}
+
+TEST(Report, ReduceAggregatesCorrectly) {
+  SimResult result;
+  result.runtime = 10;
+  result.rounds = 2;
+  RankTimeline t1;
+  t1.compute = 4;
+  t1.peak_memory = 100;
+  RankTimeline t2;
+  t2.compute = 8;
+  t2.peak_memory = 300;
+  result.ranks = {t1, t2};
+  const Breakdown b = reduce(result);
+  EXPECT_DOUBLE_EQ(b.compute_avg, 6.0);
+  EXPECT_DOUBLE_EQ(b.compute_min, 4.0);
+  EXPECT_DOUBLE_EQ(b.compute_max, 8.0);
+  EXPECT_DOUBLE_EQ(b.load_imbalance, 8.0 / 6.0);
+  EXPECT_EQ(b.peak_memory_max, 300u);
+  EXPECT_EQ(b.rounds, 2u);
+}
+
+TEST(Report, ExchangeLoadMinMax) {
+  const auto workload = small_workload();
+  const SimAssignment assignment = assign(workload, 32);
+  const ExchangeLoad load = exchange_load(assignment);
+  EXPECT_LE(load.min_bytes, load.max_bytes);
+  std::uint64_t total = 0;
+  for (const auto& work : assignment.ranks) total += work.pull_bytes();
+  EXPECT_EQ(load.total_bytes, total);
+}

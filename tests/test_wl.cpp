@@ -1,0 +1,358 @@
+// Unit and property tests for gnb_wl: genome generation, read sampling
+// with the sequencer error model, the ground-truth oracle, dataset presets
+// and the statistical task model.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <unordered_set>
+
+#include "kmer/counter.hpp"
+#include "wl/genome.hpp"
+#include "wl/presets.hpp"
+#include "wl/sampler.hpp"
+#include "wl/task_model.hpp"
+
+using namespace gnb;
+using namespace gnb::wl;
+
+// ---------- genome ----------
+
+TEST(Genome, HasRequestedLength) {
+  Xoshiro256 rng(1);
+  GenomeParams params;
+  params.length = 12345;
+  params.repeat_fraction = 0;
+  EXPECT_EQ(generate_genome(params, rng).size(), 12345u);
+}
+
+TEST(Genome, DeterministicForSeed) {
+  GenomeParams params;
+  params.length = 5000;
+  Xoshiro256 rng1(42), rng2(42);
+  EXPECT_EQ(generate_genome(params, rng1), generate_genome(params, rng2));
+}
+
+TEST(Genome, AllFourBasesAppear) {
+  Xoshiro256 rng(2);
+  GenomeParams params;
+  params.length = 10000;
+  const auto codes = generate_genome(params, rng).unpack();
+  std::array<int, 4> counts{};
+  for (auto code : codes) ++counts[code];
+  for (int count : counts) EXPECT_GT(count, 2000);
+}
+
+TEST(Genome, RepeatsRaiseKmerMultiplicity) {
+  Xoshiro256 rng1(3), rng2(3);
+  GenomeParams plain;
+  plain.length = 50000;
+  plain.repeat_fraction = 0;
+  GenomeParams repetitive = plain;
+  repetitive.repeat_fraction = 0.3;
+  repetitive.repeat_length = 800;
+
+  auto max_multiplicity = [](const seq::Sequence& genome) {
+    kmer::KmerCounter counter;
+    counter.count_reads({seq::Read{0, "g", genome}}, 21);
+    std::uint64_t best = 0;
+    for (const auto& [km, n] : counter.counts()) best = std::max(best, n);
+    return best;
+  };
+  EXPECT_GT(max_multiplicity(generate_genome(repetitive, rng2)),
+            max_multiplicity(generate_genome(plain, rng1)));
+}
+
+// ---------- read sampling ----------
+
+TEST(Sampler, CoverageApproximatelyMet) {
+  Xoshiro256 rng(5);
+  GenomeParams gp;
+  gp.length = 30000;
+  const auto genome = generate_genome(gp, rng);
+  ReadSimParams rp;
+  rp.coverage = 12;
+  rp.mean_length = 900;
+  const SampledDataset ds = sample_reads(genome, rp, rng);
+  const double achieved =
+      static_cast<double>(ds.reads.total_bases()) / static_cast<double>(genome.size());
+  EXPECT_NEAR(achieved, 12.0, 2.5);
+}
+
+TEST(Sampler, OriginsMatchReadCount) {
+  Xoshiro256 rng(6);
+  GenomeParams gp;
+  gp.length = 20000;
+  const auto genome = generate_genome(gp, rng);
+  ReadSimParams rp;
+  rp.coverage = 5;
+  const SampledDataset ds = sample_reads(genome, rp, rng);
+  EXPECT_EQ(ds.reads.size(), ds.origins.size());
+  for (const auto& origin : ds.origins) {
+    EXPECT_LT(origin.genome_begin, origin.genome_end);
+    EXPECT_LE(origin.genome_end, genome.size());
+  }
+}
+
+TEST(Sampler, ErrorFreeReadsMatchReference) {
+  Xoshiro256 rng(7);
+  GenomeParams gp;
+  gp.length = 20000;
+  const auto genome = generate_genome(gp, rng);
+  ReadSimParams rp;
+  rp.coverage = 3;
+  rp.error_rate = 0;
+  rp.n_rate = 0;
+  rp.shuffle = false;
+  const SampledDataset ds = sample_reads(genome, rp, rng);
+  ASSERT_GT(ds.reads.size(), 0u);
+  for (std::size_t i = 0; i < ds.reads.size(); ++i) {
+    const auto& origin = ds.origins[i];
+    seq::Sequence fragment =
+        genome.subseq(origin.genome_begin, origin.genome_end - origin.genome_begin);
+    if (origin.reverse_strand) fragment = fragment.reverse_complement();
+    EXPECT_EQ(ds.reads.get(static_cast<seq::ReadId>(i)).sequence, fragment);
+  }
+}
+
+TEST(Sampler, ErrorRateChangesContent) {
+  Xoshiro256 rng(8);
+  GenomeParams gp;
+  gp.length = 15000;
+  const auto genome = generate_genome(gp, rng);
+  ReadSimParams noisy;
+  noisy.coverage = 2;
+  noisy.error_rate = 0.25;
+  noisy.shuffle = false;
+  const SampledDataset ds = sample_reads(genome, noisy, rng);
+  bool any_differs = false;
+  for (std::size_t i = 0; i < ds.reads.size() && !any_differs; ++i) {
+    const auto& origin = ds.origins[i];
+    seq::Sequence fragment =
+        genome.subseq(origin.genome_begin, origin.genome_end - origin.genome_begin);
+    if (origin.reverse_strand) fragment = fragment.reverse_complement();
+    any_differs = !(ds.reads.get(static_cast<seq::ReadId>(i)).sequence == fragment);
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(Sampler, LengthsRespectClamps) {
+  Xoshiro256 rng(9);
+  GenomeParams gp;
+  gp.length = 40000;
+  const auto genome = generate_genome(gp, rng);
+  ReadSimParams rp;
+  rp.coverage = 4;
+  rp.mean_length = 800;
+  rp.min_length = 400;
+  rp.max_length = 1600;
+  rp.error_rate = 0;
+  const SampledDataset ds = sample_reads(genome, rp, rng);
+  for (const auto& origin : ds.origins) {
+    const std::size_t span = origin.genome_end - origin.genome_begin;
+    EXPECT_GE(span, 400u);
+    EXPECT_LE(span, 1600u);
+  }
+}
+
+TEST(Sampler, BothStrandsSampled) {
+  Xoshiro256 rng(10);
+  GenomeParams gp;
+  gp.length = 30000;
+  const auto genome = generate_genome(gp, rng);
+  ReadSimParams rp;
+  rp.coverage = 8;
+  const SampledDataset ds = sample_reads(genome, rp, rng);
+  std::size_t reverse = 0;
+  for (const auto& origin : ds.origins) reverse += origin.reverse_strand ? 1 : 0;
+  EXPECT_GT(reverse, ds.origins.size() / 5);
+  EXPECT_LT(reverse, 4 * ds.origins.size() / 5);
+}
+
+TEST(Sampler, NRateInsertsNs) {
+  Xoshiro256 rng(11);
+  GenomeParams gp;
+  gp.length = 20000;
+  const auto genome = generate_genome(gp, rng);
+  ReadSimParams rp;
+  rp.coverage = 3;
+  rp.error_rate = 0;
+  rp.n_rate = 0.05;
+  const SampledDataset ds = sample_reads(genome, rp, rng);
+  std::size_t n_total = 0;
+  for (const auto& read : ds.reads.reads()) n_total += read.sequence.n_count();
+  EXPECT_GT(n_total, ds.reads.total_bases() / 100);
+}
+
+TEST(TrueOverlap, IntersectionSemantics) {
+  const ReadOrigin a{100, 500, false};
+  const ReadOrigin b{400, 900, true};
+  const ReadOrigin c{600, 700, false};
+  EXPECT_EQ(true_overlap(a, b), 100u);
+  EXPECT_EQ(true_overlap(b, a), 100u);  // symmetric
+  EXPECT_EQ(true_overlap(a, c), 0u);    // disjoint
+  EXPECT_EQ(true_overlap(a, a), 400u);  // self
+}
+
+// ---------- task model ----------
+
+class TaskModel : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TaskModel, ExactCountsAndInvariants) {
+  TaskModelParams params;
+  params.n_reads = 500;
+  params.n_tasks = 4000;
+  const SimWorkload w = generate_sim_workload(params, GetParam());
+  EXPECT_EQ(w.read_lengths.size(), 500u);
+  EXPECT_EQ(w.tasks.size(), 4000u);
+  std::unordered_set<std::uint64_t> pairs;
+  for (const auto& task : w.tasks) {
+    EXPECT_LT(task.a, task.b);
+    EXPECT_LT(task.b, 500u);
+    EXPECT_GE(task.cells, 1u);
+    EXPECT_TRUE(pairs.insert((static_cast<std::uint64_t>(task.a) << 32) | task.b).second)
+        << "duplicate pair";
+  }
+}
+
+TEST_P(TaskModel, DeterministicInSeed) {
+  TaskModelParams params;
+  params.n_reads = 300;
+  params.n_tasks = 2000;
+  const SimWorkload w1 = generate_sim_workload(params, GetParam());
+  const SimWorkload w2 = generate_sim_workload(params, GetParam());
+  ASSERT_EQ(w1.tasks.size(), w2.tasks.size());
+  for (std::size_t i = 0; i < w1.tasks.size(); ++i) {
+    EXPECT_EQ(w1.tasks[i].a, w2.tasks[i].a);
+    EXPECT_EQ(w1.tasks[i].b, w2.tasks[i].b);
+    EXPECT_EQ(w1.tasks[i].cells, w2.tasks[i].cells);
+  }
+  EXPECT_EQ(w1.read_lengths, w2.read_lengths);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TaskModel, ::testing::Values(1u, 42u, 1337u));
+
+TEST(TaskModel, DifferentSeedsDiffer) {
+  TaskModelParams params;
+  params.n_reads = 300;
+  params.n_tasks = 2000;
+  const SimWorkload w1 = generate_sim_workload(params, 1);
+  const SimWorkload w2 = generate_sim_workload(params, 2);
+  bool differs = w1.read_lengths != w2.read_lengths;
+  for (std::size_t i = 0; i < w1.tasks.size() && !differs; ++i)
+    differs = w1.tasks[i].a != w2.tasks[i].a || w1.tasks[i].cells != w2.tasks[i].cells;
+  EXPECT_TRUE(differs);
+}
+
+TEST(TaskModel, MeanLengthApproximatelyRequested) {
+  TaskModelParams params;
+  params.n_reads = 20000;
+  params.n_tasks = 1000;
+  params.mean_length = 5000;
+  const SimWorkload w = generate_sim_workload(params, 5);
+  const double mean =
+      static_cast<double>(w.total_bases()) / static_cast<double>(w.read_lengths.size());
+  EXPECT_NEAR(mean, 5000.0, 300.0);
+}
+
+TEST(TaskModel, HigherErrorMeansCostlierTrueTasks) {
+  TaskModelParams low, high;
+  low.n_reads = high.n_reads = 400;
+  low.n_tasks = high.n_tasks = 3000;
+  low.error_rate = 0.02;
+  high.error_rate = 0.25;
+  const auto w_low = generate_sim_workload(low, 9);
+  const auto w_high = generate_sim_workload(high, 9);
+  EXPECT_GT(w_high.total_cells(), w_low.total_cells());
+}
+
+TEST(TaskModel, FalsePositivesAreCheap) {
+  TaskModelParams params;
+  params.n_reads = 400;
+  params.n_tasks = 3000;
+  params.fp_rate = 0.5;
+  const SimWorkload w = generate_sim_workload(params, 11);
+  std::size_t cheap = 0, expensive = 0;
+  for (const auto& task : w.tasks) {
+    if (task.cells < 3 * static_cast<std::uint64_t>(params.fp_cells)) ++cheap;
+    if (task.cells > 20 * static_cast<std::uint64_t>(params.fp_cells)) ++expensive;
+  }
+  EXPECT_GT(cheap, w.tasks.size() / 5);
+  EXPECT_GT(expensive, w.tasks.size() / 10);
+}
+
+TEST(TaskModel, DegreeCapHolds) {
+  TaskModelParams params;
+  params.n_reads = 300;
+  params.n_tasks = 5000;
+  params.fp_rate = 0.8;
+  params.hot_task_frac = 0.9;
+  const SimWorkload w = generate_sim_workload(params, 13);
+  const double mean_degree = 2.0 * 5000 / 300;
+  std::vector<std::uint32_t> degree(300, 0);
+  for (const auto& task : w.tasks) {
+    ++degree[task.a];
+    ++degree[task.b];
+  }
+  const auto cap = static_cast<std::uint32_t>(8.0 * mean_degree + 16.0);
+  // True-overlap tasks are not capped; allow headroom over the FP cap.
+  for (auto d : degree) EXPECT_LE(d, 2 * cap);
+}
+
+TEST(TaskModel, ReadBytesFormula) {
+  TaskModelParams params;
+  params.n_reads = 10;
+  params.n_tasks = 5;
+  const SimWorkload w = generate_sim_workload(params, 15);
+  for (std::uint32_t i = 0; i < 10; ++i)
+    EXPECT_EQ(w.read_bytes(i), 16u + w.read_lengths[i]);
+}
+
+// ---------- presets ----------
+
+TEST(Presets, PaperReferenceValues) {
+  const auto specs = paper_specs();
+  ASSERT_EQ(specs.size(), 3u);
+  EXPECT_EQ(specs[0].paper_reads, 16890u);
+  EXPECT_EQ(specs[1].paper_tasks, 24869171u);
+  EXPECT_EQ(specs[2].paper_reads, 1148839u);
+  const double ratio = static_cast<double>(specs[1].paper_tasks) /
+                       static_cast<double>(specs[0].paper_tasks);
+  EXPECT_NEAR(ratio, 11.0, 0.3);
+}
+
+TEST(Presets, ModelWorkloadScalesCounts) {
+  const auto spec = ecoli30x_spec();
+  const SimWorkload w = model_workload(spec, 20, 1);
+  EXPECT_NEAR(static_cast<double>(w.read_lengths.size()),
+              static_cast<double>(spec.model.n_reads) / 20.0, 1.0);
+  EXPECT_NEAR(static_cast<double>(w.tasks.size()),
+              static_cast<double>(spec.model.n_tasks) / 20.0, 1.0);
+}
+
+TEST(TaskModel, InfeasibleTargetClampsInsteadOfSpinning) {
+  // More tasks requested than C(n,2) distinct pairs exist: the generator
+  // must terminate and produce at most the feasible number.
+  TaskModelParams params;
+  params.n_reads = 40;  // C(40,2) = 780
+  params.n_tasks = 10000;
+  const SimWorkload w = generate_sim_workload(params, 3);
+  EXPECT_LE(w.tasks.size(), 780u);
+  EXPECT_GT(w.tasks.size(), 300u);  // still fills most of the feasible set
+}
+
+TEST(Presets, TinySynthesizesQuickly) {
+  const SampledDataset ds = synthesize(tiny_spec(), 77);
+  EXPECT_GT(ds.reads.size(), 50u);
+  EXPECT_LT(ds.reads.size(), 5000u);
+}
+
+TEST(Presets, SynthesizeDeterministic) {
+  const SampledDataset a = synthesize(tiny_spec(), 5);
+  const SampledDataset b = synthesize(tiny_spec(), 5);
+  ASSERT_EQ(a.reads.size(), b.reads.size());
+  for (std::size_t i = 0; i < a.reads.size(); ++i)
+    EXPECT_EQ(a.reads.get(static_cast<seq::ReadId>(i)).sequence,
+              b.reads.get(static_cast<seq::ReadId>(i)).sequence);
+}

@@ -1,0 +1,260 @@
+// gnbody — command-line front end, usable in genomics pipelines:
+//
+//   gnbody simulate  --genome 100000 --coverage 20 --out reads.fa
+//       synthesize a long-read dataset to FASTA
+//   gnbody overlap   --in reads.fa --out overlaps.paf
+//       many-to-many overlap: k-mer pipeline + BSP/Async engine, PAF out
+//   gnbody assemble  --in reads.fa --out contigs.fa [--gfa graph.gfa]
+//       overlap + string graph + unitigs, contigs to FASTA
+//   gnbody correct   --in reads.fa --out corrected.fa
+//       consensus error correction from the overlap pileup
+//
+// The paper's stated goal: "the code can be used for many-to-many long
+// read alignment with general inputs" — this binary is that entry point.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <tuple>
+
+#include "align/paf.hpp"
+#include "correct/consensus.hpp"
+#include "graph/gfa.hpp"
+#include "core/async.hpp"
+#include "core/bsp.hpp"
+#include "graph/assembler.hpp"
+#include "graph/overlap_graph.hpp"
+#include "kmer/bella_filter.hpp"
+#include "pipeline/pipeline.hpp"
+#include "rt/world.hpp"
+#include "seq/fasta.hpp"
+#include "util/cli.hpp"
+#include "util/log.hpp"
+#include "wl/genome.hpp"
+#include "wl/sampler.hpp"
+
+using namespace gnb;
+
+namespace {
+
+seq::ReadStore load_fasta(const std::string& path) {
+  std::ifstream in(path);
+  GNB_THROW_IF(!in, "cannot open input: " << path);
+  seq::ReadStore store;
+  const bool fastq = path.size() > 3 && (path.ends_with(".fq") || path.ends_with(".fastq"));
+  if (fastq) {
+    seq::FastqReader reader(in);
+    while (auto record = reader.next()) store.add(record->name, std::move(record->sequence));
+  } else {
+    seq::FastaReader reader(in);
+    while (auto record = reader.next()) store.add(record->name, std::move(record->sequence));
+  }
+  GNB_THROW_IF(store.empty(), "no reads in " << path);
+  return store;
+}
+
+std::vector<align::AlignmentRecord> run_overlap(const seq::ReadStore& reads,
+                                                std::size_t ranks, std::uint32_t k,
+                                                double coverage, double error,
+                                                const std::string& engine_name,
+                                                std::int32_t min_score,
+                                                std::uint32_t min_overlap) {
+  const auto band =
+      kmer::reliable_bounds(kmer::BellaParams{coverage, error, k, 1e-3});
+  log::info("k-mer filter: k=", k, ", reliable band [", band.lo, ", ", band.hi, "]");
+  pipeline::PipelineConfig config;
+  config.k = k;
+  config.lo = band.lo;
+  config.hi = band.hi;
+  const pipeline::TaskSet tasks = pipeline::run_serial(reads, config, ranks);
+  log::info("discovered ", tasks.total_tasks(), " alignment tasks");
+
+  core::EngineConfig engine;
+  engine.filter = align::AlignmentFilter{min_score, min_overlap};
+  const bool async_mode = engine_name == "async";
+  GNB_THROW_IF(!async_mode && engine_name != "bsp",
+               "unknown engine '" << engine_name << "' (use bsp or async)");
+
+  std::vector<align::AlignmentRecord> records;
+  rt::World world(ranks);
+  std::vector<std::vector<align::AlignmentRecord>> per_rank(ranks);
+  world.run([&](rt::Rank& rank) {
+    per_rank[rank.id()] =
+        (async_mode ? core::async_align(rank, reads, tasks.bounds,
+                                        tasks.per_rank[rank.id()], engine)
+                    : core::bsp_align(rank, reads, tasks.bounds, tasks.per_rank[rank.id()],
+                                      engine))
+            .accepted;
+  });
+  for (auto& part : per_rank) records.insert(records.end(), part.begin(), part.end());
+  std::sort(records.begin(), records.end(),
+            [](const align::AlignmentRecord& x, const align::AlignmentRecord& y) {
+              return std::tie(x.read_a, x.read_b) < std::tie(y.read_a, y.read_b);
+            });
+  log::info("accepted ", records.size(), " overlaps");
+  return records;
+}
+
+int cmd_simulate(int argc, char** argv) {
+  Cli cli("gnbody simulate", "Synthesize a long-read dataset to FASTA");
+  auto genome_len = cli.opt<std::uint64_t>("genome", 100'000, "genome length (bases)");
+  auto coverage = cli.opt<double>("coverage", 20, "sequencing depth");
+  auto error = cli.opt<double>("error", 0.12, "per-base error rate");
+  auto mean_len = cli.opt<double>("mean-length", 1'500, "mean read length");
+  auto repeats = cli.opt<double>("repeats", 0.05, "genome repeat fraction");
+  auto seed = cli.opt<std::uint64_t>("seed", 1, "RNG seed");
+  auto out = cli.opt<std::string>("out", "reads.fa", "output FASTA path");
+  cli.parse(argc, argv);
+
+  Xoshiro256 rng(*seed);
+  wl::GenomeParams gp;
+  gp.length = *genome_len;
+  gp.repeat_fraction = *repeats;
+  const seq::Sequence genome = wl::generate_genome(gp, rng);
+  wl::ReadSimParams rp;
+  rp.coverage = *coverage;
+  rp.error_rate = *error;
+  rp.mean_length = *mean_len;
+  const wl::SampledDataset dataset = wl::sample_reads(genome, rp, rng);
+
+  std::ofstream file(*out);
+  GNB_THROW_IF(!file, "cannot open output: " << *out);
+  seq::FastaWriter writer(file);
+  for (const auto& read : dataset.reads.reads())
+    writer.write(seq::FastaRecord{read.name, "", read.sequence});
+  log::info("wrote ", dataset.reads.size(), " reads (", dataset.reads.total_bases(),
+            " bases) to ", *out);
+  return 0;
+}
+
+int cmd_overlap(int argc, char** argv) {
+  Cli cli("gnbody overlap", "Many-to-many long-read overlap, PAF output");
+  auto in = cli.opt<std::string>("in", "reads.fa", "input FASTA/FASTQ");
+  auto out = cli.opt<std::string>("out", "overlaps.paf", "output PAF path");
+  auto ranks = cli.opt<std::uint64_t>("ranks", 4, "SPMD ranks (threads)");
+  auto k = cli.opt<std::uint64_t>("k", 17, "k-mer length (<= 32)");
+  auto coverage = cli.opt<double>("coverage", 20, "assumed depth for the BELLA filter");
+  auto error = cli.opt<double>("error", 0.12, "assumed error rate for the BELLA filter");
+  auto engine = cli.opt<std::string>("engine", "bsp", "engine: bsp | async");
+  auto min_score = cli.opt<std::int64_t>("min-score", 50, "minimum alignment score");
+  auto min_overlap = cli.opt<std::uint64_t>("min-overlap", 100, "minimum overlap length");
+  cli.parse(argc, argv);
+
+  const seq::ReadStore reads = load_fasta(*in);
+  log::info("loaded ", reads.size(), " reads (", reads.total_bases(), " bases)");
+  const auto records = run_overlap(reads, *ranks, static_cast<std::uint32_t>(*k), *coverage,
+                                   *error, *engine, static_cast<std::int32_t>(*min_score),
+                                   static_cast<std::uint32_t>(*min_overlap));
+  std::ofstream file(*out);
+  GNB_THROW_IF(!file, "cannot open output: " << *out);
+  align::write_paf(file, records, reads);
+  log::info("wrote ", records.size(), " PAF records to ", *out);
+  return 0;
+}
+
+int cmd_assemble(int argc, char** argv) {
+  Cli cli("gnbody assemble", "Overlap + string graph + unitigs, contigs to FASTA");
+  auto in = cli.opt<std::string>("in", "reads.fa", "input FASTA/FASTQ");
+  auto out = cli.opt<std::string>("out", "contigs.fa", "output FASTA path");
+  auto ranks = cli.opt<std::uint64_t>("ranks", 4, "SPMD ranks (threads)");
+  auto k = cli.opt<std::uint64_t>("k", 15, "k-mer length (<= 32)");
+  auto coverage = cli.opt<double>("coverage", 20, "assumed depth for the BELLA filter");
+  auto error = cli.opt<double>("error", 0.12, "assumed error rate");
+  auto min_overlap = cli.opt<std::uint64_t>("min-overlap", 250, "graph edge threshold");
+  auto gfa = cli.opt<std::string>("gfa", "", "also write the string graph as GFA1");
+  cli.parse(argc, argv);
+
+  const seq::ReadStore reads = load_fasta(*in);
+  log::info("loaded ", reads.size(), " reads");
+  const auto records = run_overlap(reads, *ranks, static_cast<std::uint32_t>(*k), *coverage,
+                                   *error, "bsp", 100,
+                                   static_cast<std::uint32_t>(*min_overlap));
+
+  std::vector<std::size_t> lengths(reads.size());
+  for (const auto& read : reads.reads()) lengths[read.id] = read.length();
+  graph::OverlapGraph string_graph(records, lengths,
+                                   static_cast<std::uint32_t>(*min_overlap),
+                                   /*max_overhang=*/700, /*end_slack=*/60);
+  string_graph.reduce_transitive(180);
+  string_graph.prune_best_overlap();
+  if (!gfa->empty()) {
+    std::ofstream gfa_file(*gfa);
+    GNB_THROW_IF(!gfa_file, "cannot open output: " << *gfa);
+    graph::write_gfa(gfa_file, string_graph, reads);
+    log::info("wrote string graph to ", *gfa);
+  }
+  const auto contigs = graph::extract_unitigs(string_graph, lengths);
+  const auto stats = graph::assembly_stats(contigs);
+  log::info("assembly: ", stats.contigs, " contigs, total ", stats.total_length,
+            " bases, N50 ", stats.n50, ", longest ", stats.longest);
+
+  std::ofstream file(*out);
+  GNB_THROW_IF(!file, "cannot open output: " << *out);
+  seq::FastaWriter writer(file);
+  std::size_t index = 0;
+  for (const auto& contig : contigs) {
+    writer.write(seq::FastaRecord{"contig" + std::to_string(index++),
+                                  "reads=" + std::to_string(contig.path.size()),
+                                  graph::contig_sequence(contig, reads)});
+  }
+  log::info("wrote ", contigs.size(), " contigs to ", *out);
+  return 0;
+}
+
+int cmd_correct(int argc, char** argv) {
+  Cli cli("gnbody correct", "Consensus error correction from overlaps");
+  auto in = cli.opt<std::string>("in", "reads.fa", "input FASTA/FASTQ");
+  auto out = cli.opt<std::string>("out", "corrected.fa", "output FASTA path");
+  auto ranks = cli.opt<std::uint64_t>("ranks", 4, "SPMD ranks (threads)");
+  auto k = cli.opt<std::uint64_t>("k", 15, "k-mer length (<= 32)");
+  auto coverage = cli.opt<double>("coverage", 20, "assumed depth for the BELLA filter");
+  auto error = cli.opt<double>("error", 0.12, "assumed error rate");
+  cli.parse(argc, argv);
+
+  const seq::ReadStore reads = load_fasta(*in);
+  log::info("loaded ", reads.size(), " reads");
+  const auto records = run_overlap(reads, *ranks, static_cast<std::uint32_t>(*k), *coverage,
+                                   *error, "bsp", 80, 150);
+  const correct::CorrectedSet corrected = correct::correct_reads(reads, records);
+  log::info("corrected ", corrected.stats.reads_changed, "/",
+            corrected.stats.reads_processed, " reads: ", corrected.stats.substitutions,
+            " substitutions, ", corrected.stats.insertions, " insertions, ",
+            corrected.stats.deletions, " deletions");
+
+  std::ofstream file(*out);
+  GNB_THROW_IF(!file, "cannot open output: " << *out);
+  seq::FastaWriter writer(file);
+  for (seq::ReadId id = 0; id < reads.size(); ++id)
+    writer.write(seq::FastaRecord{reads.get(id).name, "corrected", corrected.reads[id]});
+  log::info("wrote ", reads.size(), " corrected reads to ", *out);
+  return 0;
+}
+
+void usage() {
+  std::fputs(
+      "gnbody — many-to-many long-read alignment toolkit\n"
+      "usage: gnbody <simulate|overlap|assemble|correct> [options]\n"
+      "       gnbody <command> --help for command options\n",
+      stderr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  try {
+    if (command == "simulate") return cmd_simulate(argc - 1, argv + 1);
+    if (command == "overlap") return cmd_overlap(argc - 1, argv + 1);
+    if (command == "assemble") return cmd_assemble(argc - 1, argv + 1);
+    if (command == "correct") return cmd_correct(argc - 1, argv + 1);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "gnbody %s: %s\n", command.c_str(), e.what());
+    return 1;
+  }
+  usage();
+  return 2;
+}
