@@ -77,7 +77,7 @@ int main(int argc, char** argv) {
         sim::MachineParams slow = machine;
         slow.internode_latency = latency;
         sim::SimOptions options = base;
-        options.async_batch = batch;
+        options.proto.async_batch = batch;
         const auto async = sim::reduce(sim::simulate_async(slow, assignment, options));
         table.add_row({format_seconds(latency), static_cast<std::uint64_t>(batch),
                        async.runtime, async.comm_avg});

@@ -21,8 +21,7 @@ int main(int argc, char** argv) {
   const auto context = bench::make_context(wl::human_ccs_spec(), *scale, *seed);
   const std::uint64_t capacity = bench::ccs_capacity(context);
 
-  Table table({"nodes", "engine", "runtime_s", "compute_s", "overhead_s", "comm_s", "sync_s",
-               "comm_%", "rounds"});
+  Table table = bench::breakdown_table();
   double gain_first = 0, gain_last = 0;
   for (const std::size_t nodes : {64, 128, 256, 512}) {
     sim::MachineParams machine = bench::scaled_machine(context, nodes);

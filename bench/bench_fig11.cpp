@@ -33,8 +33,8 @@ int main(int argc, char** argv) {
     options.calibration = context.calibration;
     const sim::SimAssignment assignment =
         sim::assign(context.workload, machine.total_ranks());
-    const sim::Breakdown bsp = sim::reduce(sim::simulate_bsp(machine, assignment, options));
-    const sim::Breakdown async =
+    const stat::Summary bsp = sim::reduce(sim::simulate_bsp(machine, assignment, options));
+    const stat::Summary async =
         sim::reduce(sim::simulate_async(machine, assignment, options));
     const std::uint64_t estimate = sim::estimated_exchange_memory(assignment);
     async_max = std::max(async_max, async.peak_memory_max);

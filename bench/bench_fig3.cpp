@@ -21,8 +21,7 @@ int main(int argc, char** argv) {
   // Full-scale 30x model workload: one node holds it comfortably.
   const auto context = bench::make_context(wl::ecoli30x_spec(), 1.0, *seed);
 
-  Table table({"cores", "engine", "runtime_s", "compute_s", "overhead_s", "comm_s", "sync_s",
-               "comm_%", "rounds"});
+  Table table(stat::breakdown_headers({"cores", "engine"}));
   double runtime64_bsp = 0, runtime64_async = 0;
   for (const std::size_t cores : {68, 64}) {
     sim::MachineParams machine = sim::cori_knl(1);

@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
     options.calibration = context.calibration;
     const sim::SimAssignment assignment =
         sim::assign(context.workload, machine.total_ranks());
-    const sim::Breakdown b = sim::reduce(sim::simulate_bsp(machine, assignment, options));
+    const stat::Summary b = sim::reduce(sim::simulate_bsp(machine, assignment, options));
     table.add_row({std::to_string(nodes), static_cast<std::uint64_t>(nodes * 64),
                    b.compute_min, b.compute_avg, b.compute_max, b.load_imbalance});
     if (nodes == 8) imbalance_first = b.load_imbalance;

@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
     sim::SimOptions options;
     options.calibration = context.calibration;
     options.skip_compute = true;
-    options.async_window = *window;
+    options.proto.async_window = *window;
     const auto pair = bench::simulate_pair(context, machine, options);
     // With compute skipped, the whole phase is communication + residual
     // overhead; compare total average visible time.

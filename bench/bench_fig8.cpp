@@ -24,8 +24,7 @@ int main(int argc, char** argv) {
 
   const auto context = bench::make_context(wl::ecoli100x_spec(), *scale, *seed);
 
-  Table table({"nodes", "engine", "runtime_s", "compute_s", "overhead_s", "comm_s", "sync_s",
-               "comm_%", "rounds"});
+  Table table = bench::breakdown_table();
   double bsp_1node = 0;
   for (const std::size_t nodes : {1, 2, 4, 8, 16, 32, 64, 128}) {
     sim::MachineParams machine = bench::scaled_machine(context, nodes);

@@ -26,8 +26,7 @@ int main(int argc, char** argv) {
               "single-round crossover at 32->64 nodes; see EXPERIMENTS.md)\n",
               format_bytes(static_cast<double>(capacity)).c_str());
 
-  Table table({"nodes", "engine", "runtime_s", "compute_s", "overhead_s", "comm_s", "sync_s",
-               "comm_%", "rounds"});
+  Table table = bench::breakdown_table();
   double max_gain = 0;
   for (const std::size_t nodes : {8, 16, 32, 64}) {
     sim::MachineParams machine = bench::scaled_machine(context, nodes);

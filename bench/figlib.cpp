@@ -54,14 +54,11 @@ PairResult simulate_pair(const FigureContext& context, const sim::MachineParams&
   return pair;
 }
 
+Table breakdown_table() { return Table(stat::breakdown_headers({"nodes", "engine"})); }
+
 void add_breakdown_rows(Table& table, std::size_t nodes, const PairResult& pair) {
-  const auto row = [&](const char* name, const sim::Breakdown& b) {
-    table.add_row({std::to_string(nodes), std::string(name), b.runtime, b.compute_avg,
-                   b.overhead_avg, b.comm_avg, b.sync_avg,
-                   100.0 * b.comm_fraction(), static_cast<std::uint64_t>(b.rounds)});
-  };
-  row("BSP", pair.bsp);
-  row("Async", pair.async);
+  stat::add_breakdown_row(table, {std::to_string(nodes), std::string("BSP")}, pair.bsp);
+  stat::add_breakdown_row(table, {std::to_string(nodes), std::string("Async")}, pair.async);
 }
 
 }  // namespace gnb::bench

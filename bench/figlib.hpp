@@ -15,6 +15,7 @@
 #include "sim/machine.hpp"
 #include "sim/perf_model.hpp"
 #include "sim/report.hpp"
+#include "stat/breakdown.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 #include "wl/presets.hpp"
@@ -51,13 +52,18 @@ std::uint64_t ccs_capacity(const FigureContext& context);
 
 /// One BSP + one Async simulation at `nodes`, with shared options.
 struct PairResult {
-  sim::Breakdown bsp;
-  sim::Breakdown async;
+  stat::Summary bsp;
+  stat::Summary async;
 };
 PairResult simulate_pair(const FigureContext& context, const sim::MachineParams& machine,
                          const sim::SimOptions& options);
 
-/// Standard breakdown table: one row per (nodes, engine).
+/// A table whose columns are stat::breakdown_headers({"nodes", "engine"}) —
+/// pair with add_breakdown_rows.
+[[nodiscard]] Table breakdown_table();
+
+/// Standard breakdown rows: one per (nodes, engine), printed through the
+/// shared stat::Breakdown table writer.
 void add_breakdown_rows(Table& table, std::size_t nodes, const PairResult& pair);
 
 }  // namespace gnb::bench

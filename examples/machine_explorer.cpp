@@ -82,7 +82,7 @@ int main(int argc, char** argv) {
     Table table({"window", "async_runtime_s", "async_comm_s", "async_peak_mem"});
     for (const std::size_t window : {1, 4, 16, 64, 256, 1024}) {
       sim::SimOptions options = base;
-      options.async_window = window;
+      options.proto.async_window = window;
       const auto async = sim::reduce(sim::simulate_async(machine, assignment, options));
       table.add_row({static_cast<std::uint64_t>(window), async.runtime, async.comm_avg,
                      format_bytes(static_cast<double>(async.peak_memory_max))});
@@ -97,7 +97,7 @@ int main(int argc, char** argv) {
     const std::uint64_t full = sim::single_round_capacity(a);
     for (const double frac : {0.02, 0.05, 0.1, 0.25, 0.5, 1.0}) {
       sim::SimOptions options = base;
-      options.bsp_round_budget = static_cast<std::uint64_t>(frac * static_cast<double>(full));
+      options.proto.bsp_round_budget = static_cast<std::uint64_t>(frac * static_cast<double>(full));
       const auto bsp = sim::reduce(sim::simulate_bsp(machine, a, options));
       table.add_row({format_bytes(frac * static_cast<double>(full)),
                      static_cast<std::uint64_t>(bsp.rounds), bsp.runtime, bsp.comm_avg,

@@ -1,8 +1,8 @@
 #include "core/async.hpp"
 
 #include <algorithm>
-#include <unordered_map>
 
+#include "proto/pull_index.hpp"
 #include "util/error.hpp"
 #include "util/wire.hpp"
 
@@ -20,89 +20,86 @@ EngineResult async_align(rt::Rank& rank, const seq::ReadStore& store,
                          const std::vector<kmer::AlignTask>& my_tasks,
                          const EngineConfig& config) {
   EngineResult result;
-  const std::size_t p = rank.nranks();
   const std::uint32_t me = rank.id();
 
-  // --- index tasks by the remote read they need (paper §3.2) ---
+  // --- index tasks by the remote read they need (paper §3.2, src/proto) ---
   rank.timers().overhead.start();
-  std::vector<const AlignTask*> local_tasks;
-  std::unordered_map<seq::ReadId, std::vector<const AlignTask*>> by_remote;
-  struct Pull {
-    seq::ReadId id;
-    std::uint32_t owner;
-  };
-  std::vector<Pull> pulls;
-  for (const AlignTask& task : my_tasks) {
-    const std::size_t owner_a = seq::partition_owner(bounds, task.a);
-    const std::size_t owner_b = seq::partition_owner(bounds, task.b);
-    GNB_CHECK_MSG(owner_a == me || owner_b == me, "owner invariant violated");
-    if (owner_a == me && owner_b == me) {
-      local_tasks.push_back(&task);
-      continue;
-    }
-    const seq::ReadId remote = owner_a == me ? task.b : task.a;
-    auto [it, inserted] = by_remote.try_emplace(remote);
-    if (inserted)
-      pulls.push_back(Pull{remote, static_cast<std::uint32_t>(owner_a == me ? owner_b : owner_a)});
-    it->second.push_back(&task);
+  proto::PullIndex index;
+  for (std::size_t t = 0; t < my_tasks.size(); ++t) {
+    const AlignTask& task = my_tasks[t];
+    const auto owner_a = static_cast<std::uint32_t>(seq::partition_owner(bounds, task.a));
+    const auto owner_b = static_cast<std::uint32_t>(seq::partition_owner(bounds, task.b));
+    index.add_task(t, task.a, task.b, owner_a, owner_b, me);
   }
-  // Deterministic issue order: ascending remote read id.
-  std::sort(pulls.begin(), pulls.end(), [](const Pull& x, const Pull& y) { return x.id < y.id; });
+  // Deterministic issue order (ascending remote read id), then the shared
+  // owner-batching decision: one RPC per pull at async_batch = 1, larger
+  // aggregated lookups otherwise.
+  index.finalize();
+  const std::vector<proto::PullBatch> batches =
+      proto::batch_pulls(index.pulls(), config.proto.async_batch);
+  proto::RequestWindow window(config.proto.async_window);
 
-  // Serve lookups into my partition: id -> serialized read.
+  // Serve lookups into my partition: id list -> concatenated reads.
   rank.rpc().register_handler(kReadLookupRpc, [&](std::uint32_t, std::span<const std::uint8_t> in) {
-    std::size_t offset = 0;
-    const auto id = wire::get<std::uint32_t>(in, offset);
     Bytes reply;
-    seq::serialize_read(local_read(store, bounds, me, id), reply);
+    std::size_t offset = 0;
+    while (offset < in.size()) {
+      const auto id = wire::get<std::uint32_t>(in, offset);
+      seq::serialize_read(local_read(store, bounds, me, id), reply);
+    }
     return reply;
   });
   rank.timers().overhead.stop();
 
   // --- split-phase barrier: compute local-local tasks while waiting ---
   rank.split_barrier_arrive();
-  for (const AlignTask* task : local_tasks) {
-    execute_task(*task, local_read(store, bounds, me, task->a),
-                 local_read(store, bounds, me, task->b), config, rank.timers(), result);
+  for (const std::size_t t : index.local_tasks()) {
+    const AlignTask& task = my_tasks[t];
+    execute_task(task, local_read(store, bounds, me, task.a),
+                 local_read(store, bounds, me, task.b), config, rank.timers(), result);
   }
   // Exit only once every rank's reads are accessible via RPC lookup.
   rank.split_barrier_wait();
 
   // --- asynchronous pulls with compute-in-callback ---
-  const auto on_reply = [&](const seq::ReadId remote_id, Bytes reply) {
+  const auto on_reply = [&](Bytes reply) {
+    window.on_reply();
     rank.memory().charge(reply.size());
     result.exchange_bytes_received += reply.size();
-    rank.timers().overhead.start();
     std::size_t offset = 0;
-    const seq::Read remote = seq::deserialize_read(reply, offset);
-    GNB_CHECK_MSG(remote.id == remote_id, "RPC returned wrong read");
-    rank.timers().overhead.stop();
-    const auto it = by_remote.find(remote.id);
-    GNB_CHECK(it != by_remote.end());
-    for (const AlignTask* task : it->second) {
-      const bool remote_is_a = task->a == remote.id;
-      const seq::Read& other = local_read(store, bounds, me, remote_is_a ? task->b : task->a);
-      if (remote_is_a)
-        execute_task(*task, remote, other, config, rank.timers(), result);
-      else
-        execute_task(*task, other, remote, config, rank.timers(), result);
+    while (offset < reply.size()) {
+      rank.timers().overhead.start();
+      const seq::Read remote = seq::deserialize_read(reply, offset);
+      rank.timers().overhead.stop();
+      const std::vector<std::size_t>& tasks = index.tasks_for(remote.id);
+      GNB_CHECK_MSG(!tasks.empty(), "RPC returned unrequested read " << remote.id);
+      for (const std::size_t t : tasks) {
+        const AlignTask& task = my_tasks[t];
+        const bool remote_is_a = task.a == remote.id;
+        const seq::Read& other = local_read(store, bounds, me, remote_is_a ? task.b : task.a);
+        if (remote_is_a)
+          execute_task(task, remote, other, config, rank.timers(), result);
+        else
+          execute_task(task, other, remote, config, rank.timers(), result);
+      }
     }
     rank.memory().release(reply.size());
   };
 
-  GNB_CHECK(p >= 1);
-  for (const Pull& pull : pulls) {
+  for (const proto::PullBatch& batch : batches) {
     // Bound outstanding requests; polling here both throttles and serves.
-    rank.rpc().throttle(config.max_outstanding);
+    rank.rpc().throttle(window.limit());
+    window.on_issue();
     Bytes payload;
-    wire::put<std::uint32_t>(payload, pull.id);
+    for (const std::uint32_t id : batch.reads) wire::put<std::uint32_t>(payload, id);
     rank.timers().comm.start();
-    rank.rpc().call(pull.owner, kReadLookupRpc, std::move(payload),
-                    [&, id = pull.id](Bytes reply) { on_reply(id, std::move(reply)); });
+    rank.rpc().call(batch.owner, kReadLookupRpc, std::move(payload),
+                    [&](Bytes reply) { on_reply(std::move(reply)); });
     rank.timers().comm.stop();
     ++result.messages;
   }
   rank.rpc().drain();
+  GNB_CHECK(window.issued() == batches.size());
 
   // --- single exit barrier: stay serviceable until everyone is done ---
   rank.service_barrier();

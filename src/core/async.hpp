@@ -1,15 +1,16 @@
 #pragma once
 // Asynchronous many-to-many alignment engine (paper §3.2).
 //
-// Tasks are indexed under the remote read they need; the engine issues an
-// asynchronous RPC pull per distinct remote read (never more than once per
-// read) with a completion callback that runs every alignment involving
-// that read as soon as it arrives. Local-local tasks are computed inside
-// the first phase of a split-phase barrier — during time that would
-// otherwise be spent waiting — and a single exit barrier keeps every
-// rank's partition serviceable until all tasks complete. The "pull"
-// direction bounds memory: at most `max_outstanding` replies are ever in
-// flight toward this rank.
+// Tasks are indexed under the remote read they need (proto::PullIndex);
+// the engine issues an asynchronous RPC pull per distinct remote read
+// (never more than once per read) — or one per proto::PullBatch when
+// config.proto.async_batch > 1 — with a completion callback that runs
+// every alignment involving each arriving read. Local-local tasks are
+// computed inside the first phase of a split-phase barrier — during time
+// that would otherwise be spent waiting — and a single exit barrier keeps
+// every rank's partition serviceable until all tasks complete. The "pull"
+// direction bounds memory: at most `config.proto.async_window` replies are
+// ever in flight toward this rank (proto::RequestWindow).
 
 #include "core/engine.hpp"
 #include "rt/world.hpp"

@@ -1,9 +1,10 @@
 #include "core/bsp.hpp"
 
 #include <algorithm>
-#include <map>
-#include <unordered_map>
 
+#include "proto/config.hpp"
+#include "proto/pull_index.hpp"
+#include "proto/round_planner.hpp"
 #include "util/error.hpp"
 #include "util/wire.hpp"
 
@@ -22,83 +23,86 @@ EngineResult bsp_align(rt::Rank& rank, const seq::ReadStore& store,
   const std::size_t p = rank.nranks();
   const std::uint32_t me = rank.id();
 
-  // --- organize tasks: local-local vs needing one remote read ---
+  // --- index tasks: local-local vs needing one remote read (src/proto) ---
   rank.timers().overhead.start();
-  std::vector<const AlignTask*> local_tasks;
-  // remote read id -> tasks that need it
-  std::unordered_map<seq::ReadId, std::vector<const AlignTask*>> by_remote;
-  // owner rank -> deduplicated remote read ids needed from it
-  std::vector<std::vector<seq::ReadId>> needed(p);
-  for (const AlignTask& task : my_tasks) {
-    const std::size_t owner_a = seq::partition_owner(bounds, task.a);
-    const std::size_t owner_b = seq::partition_owner(bounds, task.b);
-    GNB_CHECK_MSG(owner_a == me || owner_b == me, "owner invariant violated");
-    if (owner_a == me && owner_b == me) {
-      local_tasks.push_back(&task);
-      continue;
-    }
-    const seq::ReadId remote = owner_a == me ? task.b : task.a;
-    auto [it, inserted] = by_remote.try_emplace(remote);
-    if (inserted) needed[owner_a == me ? owner_b : owner_a].push_back(remote);
-    it->second.push_back(&task);
+  proto::PullIndex index;
+  for (std::size_t t = 0; t < my_tasks.size(); ++t) {
+    const AlignTask& task = my_tasks[t];
+    const auto owner_a = static_cast<std::uint32_t>(seq::partition_owner(bounds, task.a));
+    const auto owner_b = static_cast<std::uint32_t>(seq::partition_owner(bounds, task.b));
+    index.add_task(t, task.a, task.b, owner_a, owner_b, me);
   }
+  index.finalize();
   rank.timers().overhead.stop();
 
   // --- request exchange: tell each owner which reads to send me ---
+  const std::vector<std::vector<std::uint32_t>> needed = index.needed_by_owner(p);
   std::vector<Bytes> request_msgs(p);
-  for (std::size_t dst = 0; dst < p; ++dst) {
-    std::sort(needed[dst].begin(), needed[dst].end());
-    for (const seq::ReadId id : needed[dst]) wire::put<std::uint32_t>(request_msgs[dst], id);
-  }
+  for (std::size_t dst = 0; dst < p; ++dst)
+    for (const std::uint32_t id : needed[dst]) wire::put<std::uint32_t>(request_msgs[dst], id);
   const std::vector<Bytes> request_bufs = rank.alltoallv(std::move(request_msgs));
 
-  // Per-destination queues of reads this rank must serve, FIFO.
-  struct ServeQueue {
-    std::vector<seq::ReadId> ids;
-    std::size_t next = 0;
-  };
-  std::vector<ServeQueue> to_serve(p);
-  std::uint64_t unsent = 0;
+  // Per-destination FIFO serve queues, with exact wire sizes for the
+  // round planner.
+  std::vector<std::vector<seq::ReadId>> to_serve(p);
+  std::vector<std::vector<std::uint64_t>> serve_sizes(p);
+  std::vector<std::uint64_t> serve_totals(p, 0);
+  std::uint64_t serve_bytes = 0;
   for (std::size_t src = 0; src < p; ++src) {
     std::size_t offset = 0;
-    while (offset < request_bufs[src].size())
-      to_serve[src].ids.push_back(wire::get<std::uint32_t>(request_bufs[src], offset));
-    unsent += to_serve[src].ids.size();
+    while (offset < request_bufs[src].size()) {
+      const auto id = wire::get<std::uint32_t>(request_bufs[src], offset);
+      const std::uint64_t bytes = seq::serialized_read_bytes(local_read(store, bounds, me, id));
+      to_serve[src].push_back(id);
+      serve_sizes[src].push_back(bytes);
+      serve_totals[src] += bytes;
+      serve_bytes += bytes;
+    }
   }
+
+  // Sizes exchange: each requester learns how many bytes it will pull, so
+  // every rank can evaluate the shared round formula on (pull + serve) —
+  // the exact quantity the simulator budgets (proto::rounds_needed).
+  const std::vector<std::uint64_t> pull_totals = rank.alltoall(serve_totals);
+  std::uint64_t pull_bytes = 0;
+  for (const std::uint64_t bytes : pull_totals) pull_bytes += bytes;
 
   // --- local-local tasks: no communication required ---
-  for (const AlignTask* task : local_tasks) {
-    execute_task(*task, local_read(store, bounds, me, task->a),
-                 local_read(store, bounds, me, task->b), config, rank.timers(), result);
+  for (const std::size_t t : index.local_tasks()) {
+    const AlignTask& task = my_tasks[t];
+    execute_task(task, local_read(store, bounds, me, task.a),
+                 local_read(store, bounds, me, task.b), config, rank.timers(), result);
   }
 
+  // --- the shared protocol decision: round count and per-round packing ---
+  const std::uint64_t budget = proto::effective_round_budget(config.proto, 0, 0);
+  const std::uint64_t local_rounds = proto::rounds_needed(pull_bytes + serve_bytes, budget);
+  const auto nrounds = static_cast<std::uint64_t>(
+      rank.allreduce_max(static_cast<double>(local_rounds)));
+  const proto::RoundPlan plan = proto::plan_rounds(serve_sizes, nrounds);
+
   // --- dynamically-sized exchange-compute supersteps ---
-  while (rank.allreduce_sum(static_cast<double>(unsent)) > 0) {
+  std::vector<std::size_t> next(p, 0);
+  for (std::uint64_t round = 0; round < nrounds; ++round) {
+    const proto::Round& step = plan.rounds[round];
     ++result.rounds;
 
-    // Pack reads round-robin across destinations until the round budget is
-    // exhausted (aggregation buffers are the dominant BSP memory term).
     std::vector<Bytes> send(p);
     std::uint64_t packed = 0;
-    bool more = true;
-    while (more && packed < config.bsp_round_budget) {
-      more = false;
-      for (std::size_t dst = 0; dst < p && packed < config.bsp_round_budget; ++dst) {
-        ServeQueue& queue = to_serve[dst];
-        if (queue.next >= queue.ids.size()) continue;
-        const seq::Read& read = local_read(store, bounds, me, queue.ids[queue.next]);
+    for (std::size_t dst = 0; dst < p; ++dst) {
+      for (std::uint32_t i = 0; i < step.per_dest[dst]; ++i) {
+        const seq::Read& read = local_read(store, bounds, me, to_serve[dst][next[dst]]);
         seq::serialize_read(read, send[dst]);
         packed += seq::serialized_read_bytes(read);
-        ++queue.next;
-        --unsent;
-        more = true;
+        ++next[dst];
       }
     }
+    GNB_CHECK_MSG(packed == step.bytes, "executed round diverged from plan");
+    result.round_bytes.push_back(packed);
     for (const Bytes& buffer : send) rank.memory().charge(buffer.size());
-    const std::uint64_t sent_bytes = packed;
 
     std::vector<Bytes> received = rank.alltoallv(std::move(send));
-    rank.memory().release(sent_bytes);
+    rank.memory().release(packed);
     std::uint64_t received_bytes = 0;
     for (const Bytes& buffer : received) received_bytes += buffer.size();
     rank.memory().charge(received_bytes);
@@ -113,17 +117,18 @@ EngineResult bsp_align(rt::Rank& rank, const seq::ReadStore& store,
       while (offset < buffer.size()) {
         rank.timers().overhead.start();
         const seq::Read remote = seq::deserialize_read(buffer, offset);
-        const auto it = by_remote.find(remote.id);
-        GNB_CHECK_MSG(it != by_remote.end(), "received unrequested read " << remote.id);
         rank.timers().overhead.stop();
-        for (const AlignTask* task : it->second) {
-          const bool remote_is_a = task->a == remote.id;
+        const std::vector<std::size_t>& tasks = index.tasks_for(remote.id);
+        GNB_CHECK_MSG(!tasks.empty(), "received unrequested read " << remote.id);
+        for (const std::size_t t : tasks) {
+          const AlignTask& task = my_tasks[t];
+          const bool remote_is_a = task.a == remote.id;
           const seq::Read& other =
-              local_read(store, bounds, me, remote_is_a ? task->b : task->a);
+              local_read(store, bounds, me, remote_is_a ? task.b : task.a);
           if (remote_is_a)
-            execute_task(*task, remote, other, config, rank.timers(), result);
+            execute_task(task, remote, other, config, rank.timers(), result);
           else
-            execute_task(*task, other, remote, config, rank.timers(), result);
+            execute_task(task, other, remote, config, rank.timers(), result);
         }
       }
     }

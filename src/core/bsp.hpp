@@ -5,7 +5,10 @@
 // independently in parallel. Message aggregation maximizes bandwidth
 // utilization and amortizes message costs; when the aggregate exchange
 // exceeds the per-rank memory budget, the engine runs multiple
-// dynamically-sized exchange-compute supersteps. "All pairwise alignments
+// dynamically-sized exchange-compute supersteps — the round count and the
+// per-round packing both come from src/proto (proto::rounds_needed /
+// proto::plan_rounds), the same arithmetic the simulator costs. "All
+// pairwise alignments
 // associated with each received read are computed together, when the
 // respective read is accessed from the message buffer."
 

@@ -8,6 +8,7 @@
 #include "align/result.hpp"
 #include "align/xdrop.hpp"
 #include "kmer/candidates.hpp"
+#include "proto/config.hpp"
 #include "rt/phase.hpp"
 #include "seq/read_store.hpp"
 
@@ -21,15 +22,10 @@ struct EngineConfig {
   /// pairwise alignment computation".
   bool skip_compute = false;
 
-  /// BSP only: per-rank byte budget for one exchange round (send + receive
-  /// aggregation buffers). When the full irregular exchange does not fit,
-  /// the engine performs multiple dynamically-sized exchange-compute
-  /// supersteps, as in the paper's refactored DiBELLA stage 3.
-  std::uint64_t bsp_round_budget = 64ull << 20;
-
-  /// Async only: cap on outstanding outgoing RPCs ("limits on outgoing
-  /// requests", §4.3).
-  std::size_t max_outstanding = 64;
+  /// Coordination-protocol knobs (round budget, RPC window, pull batching)
+  /// — the *same* structure, defaults and arithmetic the simulator uses
+  /// (src/proto), so the executed protocol cannot drift from the costed one.
+  proto::ProtoConfig proto;
 };
 
 /// Per-rank outcome of an engine run. Phase timings and peak memory live
@@ -41,6 +37,7 @@ struct EngineResult {
   std::uint64_t exchange_bytes_received = 0;  // BSP: Fig-6 loads; Async: reply bytes
   std::uint64_t rounds = 0;                   // BSP supersteps executed
   std::uint64_t messages = 0;                 // RPCs or exchange buffers sent
+  std::vector<std::uint64_t> round_bytes;     // BSP: payload sent per superstep
 };
 
 /// Fetch a read this rank owns; aborts if `id` is not in the rank's

@@ -1,0 +1,60 @@
+#pragma once
+// The single set of coordination-protocol knobs shared by the real engines
+// (core::bsp_align / core::async_align) and the analytic machine simulator
+// (sim::simulate_bsp / sim::simulate_async). Keeping the knobs — and the
+// arithmetic that interprets them — in one place is what makes "what we
+// simulate is what we run" a checkable invariant (see tests/test_parity).
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+namespace gnb::proto {
+
+/// Fallback BSP aggregation budget when no per-core capacity is known: the
+/// real engines run on hosts the runtime does not probe, so an explicit,
+/// documented constant stands in for "memory_per_core minus resident".
+inline constexpr std::uint64_t kDefaultBspRoundBudget = 64ull << 20;
+
+/// Floor for a capacity-*derived* budget: below this, per-peer alltoallv
+/// setup dominates and the round count explodes meaninglessly. Explicit
+/// budgets are honored exactly (tests drive them below this on purpose).
+inline constexpr std::uint64_t kMinDerivedBudget = 1ull << 16;
+
+/// Coordination-protocol configuration, one set of defaults for both
+/// backends (previously core::EngineConfig and sim::SimOptions carried
+/// divergent copies of these knobs).
+struct ProtoConfig {
+  /// BSP: per-rank byte budget for one exchange-compute superstep (send +
+  /// receive aggregation buffers, the dominant BSP memory term). 0 derives
+  /// the budget from the machine's per-core capacity minus the rank's
+  /// resident structures — the paper's "all available memory" policy —
+  /// falling back to kDefaultBspRoundBudget when capacity is unknown.
+  std::uint64_t bsp_round_budget = 0;
+
+  /// Async: cap on outstanding outgoing RPCs ("limits on outgoing
+  /// requests", paper §4.3).
+  std::size_t async_window = 64;
+
+  /// Async: aggregate up to this many pulls per message to the same owner
+  /// ("on a high-latency network we would expect more aggregation to be
+  /// necessary", paper §5). 1 = the paper's one-RPC-per-read design.
+  std::size_t async_batch = 1;
+};
+
+/// Resolve the BSP round budget for one rank. `capacity_bytes` is the
+/// per-core memory capacity (0 when unknown, as in the real engines);
+/// `resident_bytes` is the rank's resident partition + task structures.
+[[nodiscard]] inline std::uint64_t effective_round_budget(const ProtoConfig& config,
+                                                          std::uint64_t capacity_bytes,
+                                                          std::uint64_t resident_bytes) {
+  if (config.bsp_round_budget != 0)
+    return std::max<std::uint64_t>(config.bsp_round_budget, 1);
+  if (capacity_bytes == 0) return kDefaultBspRoundBudget;
+  const std::uint64_t derived = capacity_bytes > resident_bytes
+                                    ? capacity_bytes - resident_bytes
+                                    : (1ull << 20);
+  return std::max(derived, kMinDerivedBudget);
+}
+
+}  // namespace gnb::proto

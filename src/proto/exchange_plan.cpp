@@ -1,0 +1,25 @@
+#include "proto/exchange_plan.hpp"
+
+#include <algorithm>
+
+#include "proto/pull_index.hpp"
+#include "proto/round_planner.hpp"
+
+namespace gnb::proto {
+
+ExchangePlan plan_exchange(const std::vector<RankExchangeInput>& ranks,
+                           const ProtoConfig& config) {
+  const auto p = static_cast<std::uint64_t>(ranks.size());
+  ExchangePlan plan;
+  for (const RankExchangeInput& rank : ranks) {
+    const std::uint64_t budget =
+        rank.budget != 0 ? rank.budget : effective_round_budget(config, 0, 0);
+    plan.rounds = std::max(plan.rounds, rounds_needed(rank.pull_bytes + rank.serve_bytes, budget));
+    plan.async_messages += batched_message_count(rank.pulls_per_owner, config.async_batch);
+    plan.exchange_bytes += rank.pull_bytes;
+  }
+  plan.bsp_messages = plan.rounds * p * p;
+  return plan;
+}
+
+}  // namespace gnb::proto

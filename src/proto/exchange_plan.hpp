@@ -1,0 +1,45 @@
+#pragma once
+// The unified exchange plan: the global protocol decisions both backends
+// share. The simulator calls plan_exchange directly on an assignment; the
+// real engines compute the identical quantities distributively (the round
+// count via allreduce_max over rounds_needed, message counts locally) —
+// tests/test_parity asserts the two agree.
+
+#include <cstdint>
+#include <vector>
+
+#include "proto/config.hpp"
+
+namespace gnb::proto {
+
+/// One rank's exchange-relevant totals, backend-agnostic.
+struct RankExchangeInput {
+  /// Bytes of remote reads this rank pulls in (receive side).
+  std::uint64_t pull_bytes = 0;
+  /// Bytes of owned reads this rank ships out (serve side).
+  std::uint64_t serve_bytes = 0;
+  /// Distinct-pull counts toward each serving peer (only nonzero entries
+  /// matter; order is irrelevant) — async message accounting.
+  std::vector<std::uint64_t> pulls_per_owner;
+  /// Resolved per-rank round budget (effective_round_budget); 0 falls back
+  /// to the config default.
+  std::uint64_t budget = 0;
+};
+
+/// Global protocol decisions for one exchange phase.
+struct ExchangePlan {
+  /// BSP supersteps: max over ranks of rounds_needed(pull + serve, budget).
+  /// 0 when no rank has anything to exchange.
+  std::uint64_t rounds = 0;
+  /// BSP: aggregated buffers on the wire = rounds * p per rank.
+  std::uint64_t bsp_messages = 0;
+  /// Async: batched pull RPCs = sum over (rank, owner) of ceil(n / batch).
+  std::uint64_t async_messages = 0;
+  /// Total payload pulled across all ranks.
+  std::uint64_t exchange_bytes = 0;
+};
+
+[[nodiscard]] ExchangePlan plan_exchange(const std::vector<RankExchangeInput>& ranks,
+                                         const ProtoConfig& config);
+
+}  // namespace gnb::proto

@@ -1,0 +1,83 @@
+#include "proto/pull_index.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace gnb::proto {
+
+void PullIndex::add_task(std::size_t task, std::uint32_t a, std::uint32_t b,
+                         std::uint32_t owner_a, std::uint32_t owner_b, std::uint32_t me,
+                         std::uint64_t bytes) {
+  GNB_CHECK_MSG(owner_a == me || owner_b == me, "owner invariant violated");
+  if (owner_a == me && owner_b == me) {
+    local_tasks_.push_back(task);
+    return;
+  }
+  const std::uint32_t remote = owner_a == me ? b : a;
+  auto [it, inserted] = tasks_by_read_.try_emplace(remote);
+  if (inserted) pulls_.push_back(PullRequest{remote, owner_a == me ? owner_b : owner_a, bytes});
+  it->second.push_back(task);
+}
+
+void PullIndex::finalize() {
+  std::sort(pulls_.begin(), pulls_.end(),
+            [](const PullRequest& x, const PullRequest& y) { return x.read < y.read; });
+}
+
+const std::vector<std::size_t>& PullIndex::tasks_for(std::uint32_t read) const {
+  static const std::vector<std::size_t> kEmpty;
+  const auto it = tasks_by_read_.find(read);
+  return it == tasks_by_read_.end() ? kEmpty : it->second;
+}
+
+std::vector<std::vector<std::uint32_t>> PullIndex::needed_by_owner(std::size_t nranks) const {
+  std::vector<std::vector<std::uint32_t>> needed(nranks);
+  // pulls_ is ascending by read id after finalize(), so each per-owner list
+  // comes out ascending too — the deterministic BSP request-message order.
+  for (const PullRequest& pull : pulls_) needed[pull.owner].push_back(pull.read);
+  return needed;
+}
+
+std::vector<std::uint64_t> PullIndex::pulls_per_owner(std::size_t nranks) const {
+  std::vector<std::uint64_t> counts(nranks, 0);
+  for (const PullRequest& pull : pulls_) ++counts[pull.owner];
+  return counts;
+}
+
+std::uint64_t PullIndex::pull_bytes() const {
+  std::uint64_t sum = 0;
+  for (const PullRequest& pull : pulls_) sum += pull.bytes;
+  return sum;
+}
+
+std::vector<PullBatch> batch_pulls(const std::vector<PullRequest>& pulls, std::size_t batch) {
+  const std::size_t limit = batch == 0 ? 1 : batch;
+  std::vector<PullBatch> batches;
+  std::unordered_map<std::uint32_t, PullBatch> open;
+  for (const PullRequest& pull : pulls) {
+    PullBatch& acc = open[pull.owner];
+    acc.owner = pull.owner;
+    acc.reads.push_back(pull.read);
+    if (acc.reads.size() >= limit) {
+      batches.push_back(std::move(acc));
+      open.erase(pull.owner);
+    }
+  }
+  // Flush partial batches deterministically: ascending owner order.
+  std::vector<std::uint32_t> owners;
+  for (const auto& [owner, acc] : open) owners.push_back(owner);
+  std::sort(owners.begin(), owners.end());
+  for (const std::uint32_t owner : owners) batches.push_back(std::move(open[owner]));
+  return batches;
+}
+
+std::uint64_t batched_message_count(const std::vector<std::uint64_t>& pulls_per_owner,
+                                    std::size_t batch) {
+  const std::uint64_t limit = batch == 0 ? 1 : batch;
+  std::uint64_t messages = 0;
+  for (const std::uint64_t n : pulls_per_owner) messages += (n + limit - 1) / limit;
+  return messages;
+}
+
+}  // namespace gnb::proto

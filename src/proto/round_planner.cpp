@@ -1,0 +1,51 @@
+#include "proto/round_planner.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace gnb::proto {
+
+std::uint64_t rounds_needed(std::uint64_t bytes, std::uint64_t budget) {
+  if (bytes == 0) return 0;
+  const std::uint64_t b = std::max<std::uint64_t>(budget, 1);
+  return (bytes + b - 1) / b;
+}
+
+RoundPlan plan_rounds(const std::vector<std::vector<std::uint64_t>>& serve_sizes,
+                      std::uint64_t nrounds) {
+  const std::size_t p = serve_sizes.size();
+  RoundPlan plan;
+  plan.rounds.resize(nrounds);
+  std::vector<std::size_t> next(p, 0);
+  std::uint64_t remaining = 0;
+  for (const auto& queue : serve_sizes)
+    for (const std::uint64_t bytes : queue) remaining += bytes;
+
+  for (std::uint64_t t = 0; t < nrounds; ++t) {
+    Round& round = plan.rounds[t];
+    round.per_dest.assign(p, 0);
+    const std::uint64_t rounds_left = nrounds - t;
+    // Even share of what is left; the last round takes everything. A round
+    // may overshoot its target by at most one read per sweep position —
+    // the same tolerance the budget check itself has (reads are atomic).
+    const std::uint64_t target = (remaining + rounds_left - 1) / rounds_left;
+    bool more = true;
+    while (more && round.bytes < target) {
+      more = false;
+      for (std::size_t dst = 0; dst < p && round.bytes < target; ++dst) {
+        if (next[dst] >= serve_sizes[dst].size()) continue;
+        round.bytes += serve_sizes[dst][next[dst]];
+        ++round.per_dest[dst];
+        ++next[dst];
+        more = true;
+      }
+    }
+    GNB_CHECK(remaining >= round.bytes);
+    remaining -= round.bytes;
+  }
+  GNB_CHECK_MSG(remaining == 0, "round plan left " << remaining << " bytes unscheduled");
+  return plan;
+}
+
+}  // namespace gnb::proto

@@ -1,0 +1,45 @@
+#pragma once
+// Memory-limited, dynamically-sized BSP superstep planning: how many
+// exchange-compute rounds a given aggregation budget forces, and exactly
+// which reads travel in which round. The real BSP engine executes the plan
+// over alltoallv; the simulator costs the same round count; the parity test
+// checks the two never drift.
+
+#include <cstdint>
+#include <vector>
+
+namespace gnb::proto {
+
+/// One superstep of one rank's send plan.
+struct Round {
+  /// Number of reads shipped to each destination this round (FIFO from the
+  /// per-destination serve queue).
+  std::vector<std::uint32_t> per_dest;
+  /// Total payload bytes packed this round.
+  std::uint64_t bytes = 0;
+};
+
+/// A full per-rank send schedule: rounds.size() == the global round count,
+/// trailing rounds may be empty (the rank still joins the collective).
+struct RoundPlan {
+  std::vector<Round> rounds;
+
+  [[nodiscard]] std::size_t nrounds() const { return rounds.size(); }
+};
+
+/// Supersteps forced by `budget` bytes of exchange state (send + receive
+/// aggregation buffers): ceil(bytes / budget); 0 when there is nothing to
+/// exchange. The global round count is the max of this over all ranks —
+/// the engine takes it via allreduce_max, the simulator via a plain max.
+[[nodiscard]] std::uint64_t rounds_needed(std::uint64_t bytes, std::uint64_t budget);
+
+/// Pack one rank's serve queues into `nrounds` rounds. `serve_sizes[dst]`
+/// lists the wire size of each read owed to `dst`, in FIFO order. Each
+/// round targets an even share of the remaining bytes (ceil(remaining /
+/// rounds_left)) and fills round-robin across destinations, one read per
+/// destination per sweep, so every destination drains at a similar rate
+/// and no single peer's buffer dominates a round.
+[[nodiscard]] RoundPlan plan_rounds(const std::vector<std::vector<std::uint64_t>>& serve_sizes,
+                                    std::uint64_t nrounds);
+
+}  // namespace gnb::proto

@@ -1,8 +1,11 @@
 #pragma once
 // Per-rank phase instrumentation, mirroring the paper's runtime breakdowns:
 // alignment computation, computation overhead (data-structure traversal,
-// kernel invocation), communication, and synchronization.
+// kernel invocation), communication, and synchronization. Snapshots land in
+// the backend-shared gnb::stat::Breakdown, the same record the simulator's
+// virtual timelines produce.
 
+#include "stat/breakdown.hpp"
 #include "util/memory.hpp"
 #include "util/timer.hpp"
 
@@ -26,19 +29,9 @@ struct PhaseTimers {
   }
 };
 
-/// Snapshot of one rank's breakdown, for global reductions.
-struct PhaseBreakdown {
-  double compute = 0;
-  double overhead = 0;
-  double comm = 0;
-  double sync = 0;
-  std::uint64_t peak_memory = 0;
-
-  [[nodiscard]] double total() const { return compute + overhead + comm + sync; }
-};
-
-inline PhaseBreakdown snapshot(const PhaseTimers& timers, const MemoryMeter& memory) {
-  PhaseBreakdown b;
+/// Snapshot one rank's breakdown for global reductions.
+inline stat::Breakdown snapshot(const PhaseTimers& timers, const MemoryMeter& memory) {
+  stat::Breakdown b;
   b.compute = timers.compute.total();
   b.overhead = timers.overhead.total();
   b.comm = timers.comm.total();

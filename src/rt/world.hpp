@@ -115,7 +115,7 @@ class World {
   void run(const std::function<void(Rank&)>& body);
 
   /// Per-rank phase breakdowns from the last run().
-  [[nodiscard]] const std::vector<PhaseBreakdown>& breakdowns() const { return breakdowns_; }
+  [[nodiscard]] const std::vector<stat::Breakdown>& breakdowns() const { return breakdowns_; }
 
  private:
   friend class Rank;
@@ -129,7 +129,7 @@ class World {
   // Split/service barrier state.
   std::atomic<std::uint64_t> split_arrivals_{0};
   std::vector<std::unique_ptr<RpcEndpoint>> endpoints_;
-  std::vector<PhaseBreakdown> breakdowns_;
+  std::vector<stat::Breakdown> breakdowns_;
 };
 
 }  // namespace gnb::rt

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "proto/pull_index.hpp"
 #include "seq/read_store.hpp"
 #include "util/error.hpp"
 
@@ -96,6 +97,51 @@ SimAssignment assign(const wl::SimWorkload& workload, std::size_t nranks,
     Pull& pull = work.pulls[it->second];
     pull.cells += task.cells;
     ++pull.tasks;
+  }
+  return assignment;
+}
+
+SimAssignment assignment_from_tasks(const std::vector<std::vector<kmer::AlignTask>>& per_rank,
+                                    const seq::ReadStore& store,
+                                    const std::vector<seq::ReadId>& bounds) {
+  const std::size_t nranks = per_rank.size();
+  GNB_CHECK(bounds.size() == nranks + 1);
+
+  SimAssignment assignment;
+  assignment.read_owner.resize(store.size());
+  for (std::size_t r = 0; r < nranks; ++r)
+    for (seq::ReadId id = bounds[r]; id < bounds[r + 1]; ++id)
+      assignment.read_owner[id] = static_cast<std::uint32_t>(r);
+
+  assignment.ranks.resize(nranks);
+  assignment.serve_count.assign(nranks, 0);
+  assignment.serve_bytes.assign(nranks, 0);
+  for (const seq::Read& read : store.reads())
+    assignment.ranks[assignment.read_owner[read.id]].partition_bytes +=
+        seq::serialized_read_bytes(read);
+
+  for (std::size_t r = 0; r < nranks; ++r) {
+    const auto me = static_cast<std::uint32_t>(r);
+    // The same indexing/dedup component the engines run, fed the same tasks.
+    proto::PullIndex index;
+    for (std::size_t t = 0; t < per_rank[r].size(); ++t) {
+      const kmer::AlignTask& task = per_rank[r][t];
+      index.add_task(t, task.a, task.b, assignment.read_owner[task.a],
+                     assignment.read_owner[task.b], me);
+    }
+    index.finalize();
+    RankWork& work = assignment.ranks[r];
+    work.local_tasks = static_cast<std::uint32_t>(index.local_tasks().size());
+    for (const proto::PullRequest& request : index.pulls()) {
+      Pull pull;
+      pull.read = request.read;
+      pull.owner = request.owner;
+      pull.bytes = seq::serialized_read_bytes(store.get(request.read));
+      pull.tasks = static_cast<std::uint32_t>(index.tasks_for(request.read).size());
+      work.pulls.push_back(pull);
+      ++assignment.serve_count[request.owner];
+      assignment.serve_bytes[request.owner] += pull.bytes;
+    }
   }
   return assignment;
 }

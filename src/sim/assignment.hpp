@@ -7,6 +7,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "kmer/candidates.hpp"
+#include "seq/read_store.hpp"
 #include "wl/task_model.hpp"
 
 namespace gnb::sim {
@@ -60,5 +62,16 @@ enum class BalancePolicy {
 /// Build the per-rank structure for `nranks` ranks.
 SimAssignment assign(const wl::SimWorkload& workload, std::size_t nranks,
                      BalancePolicy policy = BalancePolicy::kCountBalanced);
+
+/// Bridge from the *real* pipeline to the simulator: build a SimAssignment
+/// from per-rank task lists and the stage-1 read partition, with pull wire
+/// sizes taken from the actual serialized reads. The simulator then costs
+/// exactly the task/pull structure the engines execute — the backend-parity
+/// test feeds both sides from this one assignment. DP-cell counts are not
+/// known ahead of alignment, so `cells` stays 0: the adapter carries the
+/// communication structure, which is all the protocol decisions read.
+SimAssignment assignment_from_tasks(const std::vector<std::vector<kmer::AlignTask>>& per_rank,
+                                    const seq::ReadStore& store,
+                                    const std::vector<seq::ReadId>& bounds);
 
 }  // namespace gnb::sim

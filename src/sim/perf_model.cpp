@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_map>
 
+#include "proto/exchange_plan.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -111,24 +113,24 @@ SimResult simulate_bsp(const MachineParams& machine, const SimAssignment& assign
   SimResult result;
   result.ranks.resize(p);
 
-  // --- memory and the round count forced by the aggregation budget ---
-  std::uint64_t rounds = 1;
+  // --- memory and the round count forced by the aggregation budget, via
+  // the same proto arithmetic the real engine evaluates distributively ---
   std::vector<std::uint64_t> base_mem(p), exchange_mem(p);
+  std::vector<proto::RankExchangeInput> inputs(p);
   for (std::size_t r = 0; r < p; ++r) {
     const RankWork& work = assignment.ranks[r];
     base_mem[r] = bsp_base_memory(work);
     exchange_mem[r] = work.pull_bytes() + assignment.serve_bytes[r];
-    std::uint64_t budget = options.bsp_round_budget;
-    if (budget == 0) {
-      budget = machine.memory_per_core > base_mem[r]
-                   ? machine.memory_per_core - base_mem[r]
-                   : (1ull << 20);
-    }
-    budget = std::max<std::uint64_t>(budget, 1ull << 16);
-    rounds = std::max<std::uint64_t>(
-        rounds, (exchange_mem[r] + budget - 1) / budget);
+    inputs[r].pull_bytes = work.pull_bytes();
+    inputs[r].serve_bytes = assignment.serve_bytes[r];
+    inputs[r].budget =
+        proto::effective_round_budget(options.proto, machine.memory_per_core, base_mem[r]);
   }
+  const proto::ExchangePlan plan = proto::plan_exchange(inputs, options.proto);
+  const std::uint64_t rounds = std::max<std::uint64_t>(1, plan.rounds);
   result.rounds = rounds;
+  result.messages = plan.bsp_messages;
+  result.exchange_bytes = plan.exchange_bytes;
   const auto k = static_cast<double>(rounds);
   // Memory-limited multi-round exchanges lose aggregation efficiency:
   // smaller per-round messages, repeated incast ramp-up, and the per-round
@@ -197,7 +199,7 @@ SimResult simulate_bsp(const MachineParams& machine, const SimAssignment& assign
   }
 
   for (std::size_t r = 0; r < p; ++r) {
-    RankTimeline& timeline = result.ranks[r];
+    stat::Breakdown& timeline = result.ranks[r];
     timeline.compute = compute_acc[r];
     timeline.overhead = overhead_acc[r];
     timeline.comm = comm_acc[r] + request_comm;
@@ -220,7 +222,7 @@ SimResult simulate_async(const MachineParams& machine, const SimAssignment& assi
   // share; the bisection share is the same channel BSP sees. Batched pulls
   // (async_batch > 1) recover bandwidth efficiency toward aggregated-buffer
   // levels.
-  const auto batch_div = static_cast<double>(std::max<std::size_t>(1, options.async_batch));
+  const auto batch_div = static_cast<double>(std::max<std::size_t>(1, options.proto.async_batch));
   const double eff = options.small_message_efficiency +
                      (1.0 - options.small_message_efficiency) * (1.0 - 1.0 / batch_div);
   const double nic_share =
@@ -230,11 +232,27 @@ SimResult simulate_async(const MachineParams& machine, const SimAssignment& assi
       options.small_message_bisection_efficiency;
   const double inter_bw = std::max(1.0, std::min(nic_share, bisection_share));
   const double intra_bw = intranode_bw_per_rank(machine) * eff;
-  const auto window = static_cast<double>(std::max<std::size_t>(1, options.async_window));
+  const auto window = static_cast<double>(std::max<std::size_t>(1, options.proto.async_window));
 
   SimResult result;
   result.ranks.resize(p);
   result.rounds = 1;
+
+  // Message and byte accounting from the shared exchange plan: identical
+  // dedup-pull sets and per-owner batching to the real async engine.
+  std::vector<proto::RankExchangeInput> inputs(p);
+  for (std::size_t r = 0; r < p; ++r) {
+    const RankWork& work = assignment.ranks[r];
+    inputs[r].pull_bytes = work.pull_bytes();
+    inputs[r].serve_bytes = assignment.serve_bytes[r];
+    std::unordered_map<std::uint32_t, std::uint64_t> per_owner;
+    for (const Pull& pull : work.pulls) ++per_owner[pull.owner];
+    inputs[r].pulls_per_owner.reserve(per_owner.size());
+    for (const auto& [owner, count] : per_owner) inputs[r].pulls_per_owner.push_back(count);
+  }
+  const proto::ExchangePlan plan = proto::plan_exchange(inputs, options.proto);
+  result.messages = plan.async_messages;
+  result.exchange_bytes = plan.exchange_bytes;
 
   std::vector<double> total(p);
   for (std::size_t r = 0; r < p; ++r) {
@@ -294,7 +312,7 @@ SimResult simulate_async(const MachineParams& machine, const SimAssignment& assi
     const double ramp = n_pulls > 0 ? rtt : 0.0;
     const double comm = std::max(0.0, net - options.overlap_efficiency * busy) + ramp;
 
-    RankTimeline& timeline = result.ranks[r];
+    stat::Breakdown& timeline = result.ranks[r];
     timeline.compute = compute;
     timeline.overhead = overhead;
     timeline.comm = comm;

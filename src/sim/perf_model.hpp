@@ -27,8 +27,10 @@
 #include <vector>
 
 #include "core/calibrate.hpp"
+#include "proto/config.hpp"
 #include "sim/assignment.hpp"
 #include "sim/machine.hpp"
+#include "stat/breakdown.hpp"
 
 namespace gnb::sim {
 
@@ -36,15 +38,10 @@ struct SimOptions {
   core::CostCalibration calibration;
   /// §4.3 comm-benchmarking mode: drop the alignment-kernel time.
   bool skip_compute = false;
-  /// BSP: per-round aggregation budget in bytes; 0 derives it from the
-  /// machine's memory_per_core minus the rank's resident partition.
-  std::uint64_t bsp_round_budget = 0;
-  /// Async: cap on outstanding outgoing RPCs (the paper's §4.3 knob).
-  std::size_t async_window = 64;
-  /// Async variant: aggregate this many pulls per message to the same
-  /// owner (the "more aggregation on high-latency networks" direction the
-  /// paper's §5 anticipates). 1 = the paper's one-RPC-per-read design.
-  std::size_t async_batch = 1;
+  /// Coordination-protocol knobs (round budget, RPC window, pull batching)
+  /// — the same structure and defaults core::EngineConfig carries, so the
+  /// costed protocol is the executed one (src/proto).
+  proto::ProtoConfig proto;
   /// Async variant: RDMA-style one-sided pulls instead of RPCs — no callee
   /// CPU service, but a data-structure lookup needs an extra round trip
   /// (index get, then data get), the trade-off of Kalia et al. the paper
@@ -68,21 +65,14 @@ struct SimOptions {
   std::uint64_t noise_seed = 7;
 };
 
-/// One rank's virtual-time breakdown (seconds) and peak memory (bytes).
-struct RankTimeline {
-  double compute = 0;   // "Computation (Alignment)"
-  double overhead = 0;  // "Computation (Overhead)"
-  double comm = 0;      // visible communication latency
-  double sync = 0;      // barrier waiting (load imbalance)
-  std::uint64_t peak_memory = 0;
-
-  [[nodiscard]] double total() const { return compute + overhead + comm + sync; }
-};
-
+/// Per-rank virtual timelines land in the backend-shared breakdown record
+/// (gnb::stat::Breakdown), the same one rt snapshots for the real engines.
 struct SimResult {
-  std::vector<RankTimeline> ranks;
+  std::vector<stat::Breakdown> ranks;
   double runtime = 0;        // phase duration = max rank total
   std::uint64_t rounds = 0;  // BSP supersteps (1 when memory suffices)
+  std::uint64_t messages = 0;         // from the shared proto::ExchangePlan
+  std::uint64_t exchange_bytes = 0;   // total payload pulled
 };
 
 SimResult simulate_bsp(const MachineParams& machine, const SimAssignment& assignment,

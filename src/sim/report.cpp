@@ -4,26 +4,12 @@
 
 namespace gnb::sim {
 
-Breakdown reduce(const SimResult& result) {
-  Breakdown breakdown;
-  breakdown.runtime = result.runtime;
-  breakdown.rounds = result.rounds;
-  RunningStats compute, overhead, comm, sync;
-  for (const RankTimeline& t : result.ranks) {
-    compute.add(t.compute);
-    overhead.add(t.overhead);
-    comm.add(t.comm);
-    sync.add(t.sync);
-    breakdown.peak_memory_max = std::max(breakdown.peak_memory_max, t.peak_memory);
-  }
-  breakdown.compute_avg = compute.mean();
-  breakdown.overhead_avg = overhead.mean();
-  breakdown.comm_avg = comm.mean();
-  breakdown.sync_avg = sync.mean();
-  breakdown.compute_min = compute.min();
-  breakdown.compute_max = compute.max();
-  breakdown.load_imbalance = compute.imbalance();
-  return breakdown;
+stat::Summary reduce(const SimResult& result) {
+  stat::Summary summary = stat::summarize(result.ranks, result.runtime);
+  summary.rounds = result.rounds;
+  summary.messages = result.messages;
+  summary.exchange_bytes = result.exchange_bytes;
+  return summary;
 }
 
 ExchangeLoad exchange_load(const SimAssignment& assignment) {

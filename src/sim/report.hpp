@@ -1,31 +1,20 @@
 #pragma once
 // Reductions of per-rank timelines into the quantities the paper plots.
+// The reduction itself lives in gnb::stat (shared with the real runtime);
+// this header adds the simulator-specific plumbing.
 
 #include <cstdint>
 
 #include "sim/assignment.hpp"
 #include "sim/perf_model.hpp"
-#include "util/stats.hpp"
+#include "stat/breakdown.hpp"
 
 namespace gnb::sim {
 
-/// Global reduction of a simulation run (the paper computes these via
-/// MPI reductions, excluded from timed regions).
-struct Breakdown {
-  double runtime = 0;       // phase duration
-  double compute_avg = 0;   // mean "Computation (Alignment)" across ranks
-  double overhead_avg = 0;  // mean "Computation (Overhead)"
-  double comm_avg = 0;      // mean visible communication
-  double sync_avg = 0;      // mean synchronization (imbalance waiting)
-  double compute_min = 0, compute_max = 0;  // Fig-5 extremes
-  double load_imbalance = 1;                // max/mean of per-rank compute
-  std::uint64_t peak_memory_max = 0;        // Fig-11 max per-core footprint
-  std::uint64_t rounds = 1;
-
-  [[nodiscard]] double comm_fraction() const { return runtime > 0 ? comm_avg / runtime : 0; }
-};
-
-Breakdown reduce(const SimResult& result);
+/// Global reduction of a simulation run (the paper computes these via MPI
+/// reductions, excluded from timed regions): stat::summarize over the
+/// per-rank breakdowns plus the run's protocol counters.
+stat::Summary reduce(const SimResult& result);
 
 /// Fig-6 quantity: min and max per-rank exchange load (received bytes).
 struct ExchangeLoad {

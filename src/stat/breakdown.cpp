@@ -1,0 +1,53 @@
+#include "stat/breakdown.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/stats.hpp"
+
+namespace gnb::stat {
+
+Summary summarize(std::span<const Breakdown> ranks, double runtime) {
+  Summary summary;
+  RunningStats compute, overhead, comm, sync;
+  double total_max = 0;
+  for (const Breakdown& b : ranks) {
+    compute.add(b.compute);
+    overhead.add(b.overhead);
+    comm.add(b.comm);
+    sync.add(b.sync);
+    total_max = std::max(total_max, b.total());
+    summary.peak_memory_max = std::max(summary.peak_memory_max, b.peak_memory);
+  }
+  summary.runtime = runtime < 0 ? total_max : runtime;
+  summary.compute_avg = compute.mean();
+  summary.overhead_avg = overhead.mean();
+  summary.comm_avg = comm.mean();
+  summary.sync_avg = sync.mean();
+  summary.compute_min = compute.min();
+  summary.compute_max = compute.max();
+  summary.load_imbalance = compute.imbalance();
+  return summary;
+}
+
+std::vector<std::string> breakdown_headers(std::vector<std::string> labels) {
+  for (const char* column : {"runtime_s", "compute_s", "overhead_s", "comm_s", "sync_s",
+                             "comm_%", "rounds", "messages", "exchange_mb"})
+    labels.emplace_back(column);
+  return labels;
+}
+
+void add_breakdown_row(Table& table, std::vector<Table::Cell> labels, const Summary& summary) {
+  labels.emplace_back(summary.runtime);
+  labels.emplace_back(summary.compute_avg);
+  labels.emplace_back(summary.overhead_avg);
+  labels.emplace_back(summary.comm_avg);
+  labels.emplace_back(summary.sync_avg);
+  labels.emplace_back(100.0 * summary.comm_fraction());
+  labels.emplace_back(summary.rounds);
+  labels.emplace_back(summary.messages);
+  labels.emplace_back(static_cast<double>(summary.exchange_bytes) / 1e6);
+  table.add_row(std::move(labels));
+}
+
+}  // namespace gnb::stat

@@ -1,0 +1,62 @@
+#pragma once
+// The one phase-breakdown vocabulary for both backends, mirroring the
+// paper's runtime categories: alignment computation, computation overhead
+// (data-structure traversal, kernel invocation), visible communication, and
+// synchronization. The real runtime snapshots rt::PhaseTimers into a
+// Breakdown; the simulator fills one per virtual rank; sim/report,
+// bench/figlib and tools/gnbody all reduce and print through this header —
+// no binary hand-formats the four phase columns anymore.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/table.hpp"
+
+namespace gnb::stat {
+
+/// One rank's phase breakdown (seconds) and peak memory (bytes).
+struct Breakdown {
+  double compute = 0;   // "Computation (Alignment)"
+  double overhead = 0;  // "Computation (Overhead)"
+  double comm = 0;      // visible communication latency
+  double sync = 0;      // barrier / exit-barrier waiting (imbalance)
+  std::uint64_t peak_memory = 0;
+
+  [[nodiscard]] double total() const { return compute + overhead + comm + sync; }
+};
+
+/// Global reduction across ranks (the paper computes these via MPI
+/// reductions excluded from timed regions), plus the protocol counters both
+/// backends report from the shared proto::ExchangePlan.
+struct Summary {
+  double runtime = 0;       // phase duration
+  double compute_avg = 0;   // mean "Computation (Alignment)" across ranks
+  double overhead_avg = 0;  // mean "Computation (Overhead)"
+  double comm_avg = 0;      // mean visible communication
+  double sync_avg = 0;      // mean synchronization (imbalance waiting)
+  double compute_min = 0, compute_max = 0;  // Fig-5 extremes
+  double load_imbalance = 1;                // max/mean of per-rank compute
+  std::uint64_t peak_memory_max = 0;        // Fig-11 max per-core footprint
+  std::uint64_t rounds = 1;                 // BSP supersteps
+  std::uint64_t messages = 0;               // buffers / RPCs on the wire
+  std::uint64_t exchange_bytes = 0;         // total payload exchanged
+
+  [[nodiscard]] double comm_fraction() const { return runtime > 0 ? comm_avg / runtime : 0; }
+};
+
+/// Reduce per-rank breakdowns. `runtime` < 0 defaults it to the slowest
+/// rank's total (the right phase duration when sync already includes the
+/// waiting, as both backends guarantee).
+[[nodiscard]] Summary summarize(std::span<const Breakdown> ranks, double runtime = -1.0);
+
+/// The standard breakdown table schema: `labels` name the leading key
+/// columns (e.g. {"nodes", "engine"}), followed by the phase and protocol
+/// columns every binary prints identically.
+[[nodiscard]] std::vector<std::string> breakdown_headers(std::vector<std::string> labels);
+
+/// Append one row matching breakdown_headers(labels).
+void add_breakdown_row(Table& table, std::vector<Table::Cell> labels, const Summary& summary);
+
+}  // namespace gnb::stat

@@ -139,7 +139,7 @@ INSTANTIATE_TEST_SUITE_P(Ranks, EngineAgreement, ::testing::Values(1, 2, 3, 5, 8
 
 TEST(Engines, TightBudgetForcesMultipleRoundsSameResult) {
   EngineConfig tight = default_config();
-  tight.bsp_round_budget = 4'096;  // a few reads per round
+  tight.proto.bsp_round_budget = 4'096;  // a few reads per round
   const auto bsp = run_engine(false, 4, tight, fixture());
   EXPECT_GT(bsp.rounds_max, 1u);
   const auto reference = serial_reference(default_config(), fixture());
@@ -148,7 +148,7 @@ TEST(Engines, TightBudgetForcesMultipleRoundsSameResult) {
 
 TEST(Engines, GenerousBudgetSingleRound) {
   EngineConfig config = default_config();
-  config.bsp_round_budget = 1ull << 30;
+  config.proto.bsp_round_budget = 1ull << 30;
   const auto bsp = run_engine(false, 4, config, fixture());
   EXPECT_EQ(bsp.rounds_max, 1u);
 }
@@ -171,10 +171,21 @@ TEST(Engines, CommOnlyModeSkipsAlignment) {
 
 TEST(Engines, AsyncWindowOneStillCorrect) {
   EngineConfig config = default_config();
-  config.max_outstanding = 1;
+  config.proto.async_window = 1;
   const auto async = run_engine(true, 4, config, fixture());
   const auto reference = serial_reference(default_config(), fixture());
   expect_same_records(async.accepted, reference);
+}
+
+TEST(Engines, AsyncBatchedPullsStillCorrect) {
+  EngineConfig config = default_config();
+  config.proto.async_batch = 7;  // exercise multi-read request payloads
+  const auto batched = run_engine(true, 4, config, fixture());
+  const auto reference = run_engine(true, 4, default_config(), fixture());
+  expect_same_records(batched.accepted, reference.accepted);
+  // Batching shrinks message count but moves the same read payload.
+  EXPECT_LT(batched.messages, reference.messages);
+  EXPECT_EQ(batched.exchange_bytes, reference.exchange_bytes);
 }
 
 TEST(Engines, StricterFilterAcceptsSubset) {

@@ -1,0 +1,275 @@
+// Tests for the backend-agnostic coordination layer (src/proto): round
+// planning edge cases, pull indexing/dedup, batching, windowing, and the
+// unified exchange plan — including the budget == full-exchange boundary
+// where the plan collapses to one superstep, cross-checked against
+// sim::single_round_capacity.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "proto/config.hpp"
+#include "proto/exchange_plan.hpp"
+#include "proto/pull_index.hpp"
+#include "proto/round_planner.hpp"
+#include "sim/assignment.hpp"
+#include "sim/machine.hpp"
+#include "sim/perf_model.hpp"
+#include "wl/presets.hpp"
+
+using namespace gnb;
+using namespace gnb::proto;
+
+namespace {
+
+std::uint64_t plan_total(const RoundPlan& plan) {
+  std::uint64_t total = 0;
+  for (const Round& round : plan.rounds) total += round.bytes;
+  return total;
+}
+
+}  // namespace
+
+// ---------- rounds_needed ----------
+
+TEST(RoundsNeeded, ZeroBytesNeedsZeroRounds) {
+  EXPECT_EQ(rounds_needed(0, 1 << 20), 0u);
+}
+
+TEST(RoundsNeeded, CeilDivision) {
+  EXPECT_EQ(rounds_needed(100, 100), 1u);
+  EXPECT_EQ(rounds_needed(101, 100), 2u);
+  EXPECT_EQ(rounds_needed(1, 100), 1u);
+  EXPECT_EQ(rounds_needed(1000, 100), 10u);
+}
+
+TEST(RoundsNeeded, ZeroBudgetTreatedAsOneByte) {
+  EXPECT_EQ(rounds_needed(5, 0), 5u);
+}
+
+// ---------- plan_rounds ----------
+
+TEST(RoundPlanner, EvenSplitConservesBytesAndOrder) {
+  // Two destinations, uneven queues; 3 rounds.
+  const std::vector<std::vector<std::uint64_t>> serve = {{10, 10, 10, 10}, {30, 30}};
+  const RoundPlan plan = plan_rounds(serve, 3);
+  ASSERT_EQ(plan.nrounds(), 3u);
+  EXPECT_EQ(plan_total(plan), 100u);
+  // FIFO: per-destination counts across rounds sum to the queue lengths.
+  std::uint32_t d0 = 0, d1 = 0;
+  for (const Round& round : plan.rounds) {
+    d0 += round.per_dest[0];
+    d1 += round.per_dest[1];
+  }
+  EXPECT_EQ(d0, 4u);
+  EXPECT_EQ(d1, 2u);
+}
+
+TEST(RoundPlanner, BudgetBelowLargestReadStillSchedules) {
+  // One read far bigger than the budget: rounds_needed explodes, but the
+  // plan must still ship the read (reads are atomic) and leave trailing
+  // rounds empty rather than losing bytes or aborting.
+  const std::vector<std::vector<std::uint64_t>> serve = {{1000}};
+  const std::uint64_t nrounds = rounds_needed(1000, 64);  // 16 rounds
+  const RoundPlan plan = plan_rounds(serve, nrounds);
+  ASSERT_EQ(plan.nrounds(), 16u);
+  EXPECT_EQ(plan_total(plan), 1000u);
+  EXPECT_EQ(plan.rounds[0].per_dest[0], 1u);  // the read goes in round 0
+  for (std::size_t t = 1; t < plan.nrounds(); ++t) EXPECT_EQ(plan.rounds[t].bytes, 0u);
+}
+
+TEST(RoundPlanner, RankWithNothingToServeStillJoinsEveryRound) {
+  // A rank can owe nothing (zero tasks pulled *from* it) while the global
+  // round count is > 1: its plan is all-empty rounds — it still joins the
+  // collectives, it just ships no payload.
+  const std::vector<std::vector<std::uint64_t>> serve = {{}, {}};
+  const RoundPlan plan = plan_rounds(serve, 4);
+  ASSERT_EQ(plan.nrounds(), 4u);
+  for (const Round& round : plan.rounds) {
+    EXPECT_EQ(round.bytes, 0u);
+    EXPECT_EQ(round.per_dest[0] + round.per_dest[1], 0u);
+  }
+}
+
+TEST(RoundPlanner, RoundsAreBalanced) {
+  // 64 equal reads across 4 destinations into 4 rounds: the even-split
+  // target keeps every round near total/nrounds.
+  std::vector<std::vector<std::uint64_t>> serve(4);
+  for (auto& queue : serve) queue.assign(16, 100);
+  const RoundPlan plan = plan_rounds(serve, 4);
+  for (const Round& round : plan.rounds) {
+    EXPECT_GE(round.bytes, 1500u);
+    EXPECT_LE(round.bytes, 1700u);
+  }
+}
+
+// ---------- PullIndex ----------
+
+TEST(PullIndexTest, SeparatesLocalFromRemoteAndDedups) {
+  PullIndex index;
+  // me = 0; reads 0,1 owned by 0; reads 10,11 owned by 1.
+  index.add_task(0, 0, 1, 0, 0, 0);      // both local
+  index.add_task(1, 0, 10, 0, 1, 0, 8);  // pulls 10
+  index.add_task(2, 1, 10, 0, 1, 0, 8);  // needs 10 again: no new pull
+  index.add_task(3, 11, 1, 1, 0, 0, 4);  // remote read on the a side
+  index.finalize();
+
+  ASSERT_EQ(index.local_tasks().size(), 1u);
+  EXPECT_EQ(index.local_tasks()[0], 0u);
+  ASSERT_EQ(index.pulls().size(), 2u);
+  EXPECT_EQ(index.pulls()[0].read, 10u);  // ascending read order
+  EXPECT_EQ(index.pulls()[1].read, 11u);
+  EXPECT_EQ(index.pulls()[0].owner, 1u);
+  EXPECT_EQ(index.pull_bytes(), 12u);
+
+  ASSERT_EQ(index.tasks_for(10).size(), 2u);
+  EXPECT_TRUE(index.tasks_for(99).empty());
+
+  const auto needed = index.needed_by_owner(2);
+  EXPECT_TRUE(needed[0].empty());
+  ASSERT_EQ(needed[1].size(), 2u);
+  EXPECT_EQ(needed[1][0], 10u);
+
+  const auto counts = index.pulls_per_owner(2);
+  EXPECT_EQ(counts[0], 0u);
+  EXPECT_EQ(counts[1], 2u);
+}
+
+TEST(PullIndexTest, OwnerInvariantViolationAborts) {
+  PullIndex index;
+  EXPECT_DEATH(index.add_task(0, 5, 6, 1, 2, /*me=*/0), "owner invariant");
+}
+
+// ---------- batching ----------
+
+TEST(Batching, BatchOneIsOneMessagePerPullInInputOrder) {
+  const std::vector<PullRequest> pulls = {{10, 1, 0}, {20, 2, 0}, {11, 1, 0}};
+  const auto batches = batch_pulls(pulls, 1);
+  ASSERT_EQ(batches.size(), 3u);
+  EXPECT_EQ(batches[0].reads, std::vector<std::uint32_t>{10});
+  EXPECT_EQ(batches[1].reads, std::vector<std::uint32_t>{20});
+  EXPECT_EQ(batches[2].reads, std::vector<std::uint32_t>{11});
+}
+
+TEST(Batching, FillsPerOwnerAndFlushesLeftoversAscending) {
+  const std::vector<PullRequest> pulls = {{1, 2, 0}, {2, 1, 0}, {3, 2, 0},
+                                          {4, 2, 0}, {5, 0, 0}};
+  const auto batches = batch_pulls(pulls, 2);
+  // Owner 2 fills a batch of {1,3} first; leftovers flush as owners 0,1,2.
+  ASSERT_EQ(batches.size(), 4u);
+  EXPECT_EQ(batches[0].owner, 2u);
+  EXPECT_EQ(batches[0].reads, (std::vector<std::uint32_t>{1, 3}));
+  EXPECT_EQ(batches[1].owner, 0u);
+  EXPECT_EQ(batches[2].owner, 1u);
+  EXPECT_EQ(batches[3].owner, 2u);
+  EXPECT_EQ(batches[3].reads, std::vector<std::uint32_t>{4});
+}
+
+TEST(Batching, MessageCountMatchesBatchList) {
+  const std::vector<PullRequest> pulls = {{1, 2, 0}, {2, 1, 0}, {3, 2, 0},
+                                          {4, 2, 0}, {5, 0, 0}};
+  for (const std::size_t batch : {1, 2, 3, 100}) {
+    std::vector<std::uint64_t> per_owner(3, 0);
+    for (const auto& pull : pulls) ++per_owner[pull.owner];
+    EXPECT_EQ(batched_message_count(per_owner, batch), batch_pulls(pulls, batch).size());
+  }
+}
+
+// ---------- RequestWindow ----------
+
+TEST(Window, EnforcesLimitAndCountsIssues) {
+  RequestWindow window(2);
+  EXPECT_TRUE(window.can_issue());
+  window.on_issue();
+  window.on_issue();
+  EXPECT_FALSE(window.can_issue());
+  window.on_reply();
+  EXPECT_TRUE(window.can_issue());
+  window.on_issue();
+  EXPECT_EQ(window.issued(), 3u);
+  EXPECT_EQ(window.in_flight(), 2u);
+}
+
+TEST(Window, ZeroLimitClampsToOne) {
+  RequestWindow window(0);
+  EXPECT_EQ(window.limit(), 1u);
+}
+
+// ---------- effective_round_budget ----------
+
+TEST(Budget, ExplicitBudgetHonoredExactly) {
+  ProtoConfig config;
+  config.bsp_round_budget = 4'096;  // below kMinDerivedBudget on purpose
+  EXPECT_EQ(effective_round_budget(config, 1ull << 30, 0), 4'096u);
+}
+
+TEST(Budget, DerivedBudgetIsCapacityMinusResidentWithFloor) {
+  ProtoConfig config;  // bsp_round_budget = 0: derive
+  EXPECT_EQ(effective_round_budget(config, 100ull << 20, 36ull << 20), 64ull << 20);
+  // Resident swallows capacity: floored, never zero.
+  EXPECT_GE(effective_round_budget(config, 1ull << 20, 2ull << 20), kMinDerivedBudget);
+  // Unknown capacity: the documented default.
+  EXPECT_EQ(effective_round_budget(config, 0, 0), kDefaultBspRoundBudget);
+}
+
+// ---------- plan_exchange ----------
+
+TEST(ExchangePlanTest, SingleRankWorldHasNoExchange) {
+  std::vector<RankExchangeInput> ranks(1);
+  ranks[0].budget = 1 << 20;  // nothing to pull or serve
+  const ExchangePlan plan = plan_exchange(ranks, ProtoConfig{});
+  EXPECT_EQ(plan.rounds, 0u);
+  EXPECT_EQ(plan.bsp_messages, 0u);
+  EXPECT_EQ(plan.async_messages, 0u);
+  EXPECT_EQ(plan.exchange_bytes, 0u);
+}
+
+TEST(ExchangePlanTest, RoundsAreGlobalMaxOverRanks) {
+  std::vector<RankExchangeInput> ranks(3);
+  ranks[0] = {100, 100, {}, 100};  // 2 rounds
+  ranks[1] = {500, 100, {}, 100};  // 6 rounds — the straggler decides
+  ranks[2] = {0, 0, {}, 100};      // zero tasks on this rank
+  const ExchangePlan plan = plan_exchange(ranks, ProtoConfig{});
+  EXPECT_EQ(plan.rounds, 6u);
+  EXPECT_EQ(plan.bsp_messages, 6u * 3 * 3);
+  EXPECT_EQ(plan.exchange_bytes, 600u);
+}
+
+TEST(ExchangePlanTest, BudgetEqualToFullExchangeIsOneRound) {
+  std::vector<RankExchangeInput> ranks(2);
+  ranks[0] = {300, 200, {}, 500};  // budget == pull + serve exactly
+  ranks[1] = {200, 300, {}, 500};
+  const ExchangePlan plan = plan_exchange(ranks, ProtoConfig{});
+  EXPECT_EQ(plan.rounds, 1u);
+}
+
+TEST(ExchangePlanTest, SingleRoundCapacityMatchesSimBoundary) {
+  // Derive the budget from exactly the capacity sim::single_round_capacity
+  // reports: the shared planner must agree it is a one-superstep exchange —
+  // and must not at capacity - 1.
+  const auto workload = [] {
+    wl::TaskModelParams params;
+    params.n_reads = 2'000;
+    params.n_tasks = 20'000;
+    params.mean_length = 4'000;
+    return wl::generate_sim_workload(params, 1);
+  }();
+  const sim::MachineParams machine = sim::cori_knl(2);
+  const sim::SimAssignment assignment = sim::assign(workload, machine.total_ranks());
+  const std::uint64_t capacity = sim::single_round_capacity(assignment);
+
+  core::CostCalibration calibration;
+  calibration.cells_per_second = 2e8;
+  calibration.overhead_per_task = 3e-6;
+  sim::SimOptions options;
+  options.calibration = calibration;
+  options.proto.bsp_round_budget = 0;  // derive from memory
+
+  sim::MachineParams exact = machine;
+  exact.memory_per_core = capacity;
+  EXPECT_EQ(sim::simulate_bsp(exact, assignment, options).rounds, 1u);
+
+  sim::MachineParams short_by_one = machine;
+  short_by_one.memory_per_core = capacity - 1;
+  EXPECT_GT(sim::simulate_bsp(short_by_one, assignment, options).rounds, 1u);
+}

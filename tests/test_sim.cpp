@@ -220,7 +220,7 @@ TEST(PerfModel, RoundsGrowAsBudgetShrinks) {
   SimOptions options = default_options();
   std::uint64_t prev_rounds = 0;
   for (const std::uint64_t budget : {1ull << 30, 1ull << 22, 1ull << 19, 1ull << 17}) {
-    options.bsp_round_budget = budget;
+    options.proto.bsp_round_budget = budget;
     const SimResult result = simulate_bsp(machine, assignment, options);
     EXPECT_GE(result.rounds, prev_rounds);
     prev_rounds = result.rounds;
@@ -233,9 +233,9 @@ TEST(PerfModel, MultiRoundCostsMoreCommThanSingleRound) {
   const MachineParams machine = cori_knl(2);
   const SimAssignment assignment = assign(workload, machine.total_ranks());
   SimOptions generous = default_options();
-  generous.bsp_round_budget = 1ull << 30;
+  generous.proto.bsp_round_budget = 1ull << 30;
   SimOptions tight = default_options();
-  tight.bsp_round_budget = 1ull << 17;
+  tight.proto.bsp_round_budget = 1ull << 17;
   const auto single = reduce(simulate_bsp(machine, assignment, generous));
   const auto multi = reduce(simulate_bsp(machine, assignment, tight));
   EXPECT_GT(multi.comm_avg, single.comm_avg);
@@ -248,7 +248,7 @@ TEST(PerfModel, SingleRoundCapacityIsSufficient) {
   MachineParams machine = base;
   machine.memory_per_core = single_round_capacity(assignment) + 1;
   SimOptions options = default_options();
-  options.bsp_round_budget = 0;  // derive from memory
+  options.proto.bsp_round_budget = 0;  // derive from memory
   const SimResult result = simulate_bsp(machine, assignment, options);
   EXPECT_EQ(result.rounds, 1u);
 }
@@ -260,7 +260,7 @@ TEST(PerfModel, BelowCapacityForcesMultipleRounds) {
   MachineParams machine = base;
   machine.memory_per_core = single_round_capacity(assignment) / 3;
   SimOptions options = default_options();
-  options.bsp_round_budget = 0;
+  options.proto.bsp_round_budget = 0;
   const SimResult result = simulate_bsp(machine, assignment, options);
   EXPECT_GT(result.rounds, 1u);
 }
@@ -279,9 +279,9 @@ TEST(PerfModel, AsyncWindowGrowsMemory) {
   const MachineParams machine = cori_knl(2);
   const SimAssignment assignment = assign(workload, machine.total_ranks());
   SimOptions narrow = default_options();
-  narrow.async_window = 2;
+  narrow.proto.async_window = 2;
   SimOptions wide = default_options();
-  wide.async_window = 512;
+  wide.proto.async_window = 512;
   const auto small_mem = reduce(simulate_async(machine, assignment, narrow));
   const auto big_mem = reduce(simulate_async(machine, assignment, wide));
   EXPECT_LT(small_mem.peak_memory_max, big_mem.peak_memory_max);
@@ -365,7 +365,7 @@ TEST(PerfModel, RdmaPaysDoubleLatencyWhenExposed) {
   const SimAssignment assignment = assign(workload, machine.total_ranks());
   SimOptions rpc = default_options();
   rpc.skip_compute = true;
-  rpc.async_window = 1;  // serialize round trips
+  rpc.proto.async_window = 1;  // serialize round trips
   SimOptions rdma = rpc;
   rdma.async_rdma = true;
   const auto rpc_run = reduce(simulate_async(machine, assignment, rpc));
@@ -380,7 +380,7 @@ TEST(PerfModel, BatchingReducesPerMessageCosts) {
   SimOptions single = default_options();
   single.skip_compute = true;
   SimOptions batched = single;
-  batched.async_batch = 32;
+  batched.proto.async_batch = 32;
   const auto one = reduce(simulate_async(machine, assignment, single));
   const auto many = reduce(simulate_async(machine, assignment, batched));
   EXPECT_LE(many.comm_avg, one.comm_avg);
@@ -397,14 +397,14 @@ TEST(Report, ReduceAggregatesCorrectly) {
   SimResult result;
   result.runtime = 10;
   result.rounds = 2;
-  RankTimeline t1;
+  stat::Breakdown t1;
   t1.compute = 4;
   t1.peak_memory = 100;
-  RankTimeline t2;
+  stat::Breakdown t2;
   t2.compute = 8;
   t2.peak_memory = 300;
   result.ranks = {t1, t2};
-  const Breakdown b = reduce(result);
+  const stat::Summary b = reduce(result);
   EXPECT_DOUBLE_EQ(b.compute_avg, 6.0);
   EXPECT_DOUBLE_EQ(b.compute_min, 4.0);
   EXPECT_DOUBLE_EQ(b.compute_max, 8.0);

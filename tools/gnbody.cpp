@@ -28,6 +28,7 @@
 #include "pipeline/pipeline.hpp"
 #include "rt/world.hpp"
 #include "seq/fasta.hpp"
+#include "stat/breakdown.hpp"
 #include "util/cli.hpp"
 #include "util/log.hpp"
 #include "wl/genome.hpp"
@@ -53,12 +54,16 @@ seq::ReadStore load_fasta(const std::string& path) {
   return store;
 }
 
-std::vector<align::AlignmentRecord> run_overlap(const seq::ReadStore& reads,
-                                                std::size_t ranks, std::uint32_t k,
-                                                double coverage, double error,
-                                                const std::string& engine_name,
-                                                std::int32_t min_score,
-                                                std::uint32_t min_overlap) {
+struct OverlapRun {
+  std::vector<align::AlignmentRecord> records;
+  /// Measured phase breakdown + protocol counters, reduced through the same
+  /// stat sink the simulator reports use.
+  stat::Summary summary;
+};
+
+OverlapRun run_overlap(const seq::ReadStore& reads, std::size_t ranks, std::uint32_t k,
+                       double coverage, double error, const std::string& engine_name,
+                       std::int32_t min_score, std::uint32_t min_overlap) {
   const auto band =
       kmer::reliable_bounds(kmer::BellaParams{coverage, error, k, 1e-3});
   log::info("k-mer filter: k=", k, ", reliable band [", band.lo, ", ", band.hi, "]");
@@ -75,24 +80,29 @@ std::vector<align::AlignmentRecord> run_overlap(const seq::ReadStore& reads,
   GNB_THROW_IF(!async_mode && engine_name != "bsp",
                "unknown engine '" << engine_name << "' (use bsp or async)");
 
-  std::vector<align::AlignmentRecord> records;
+  OverlapRun run;
   rt::World world(ranks);
-  std::vector<std::vector<align::AlignmentRecord>> per_rank(ranks);
+  std::vector<core::EngineResult> per_rank(ranks);
   world.run([&](rt::Rank& rank) {
     per_rank[rank.id()] =
-        (async_mode ? core::async_align(rank, reads, tasks.bounds,
-                                        tasks.per_rank[rank.id()], engine)
-                    : core::bsp_align(rank, reads, tasks.bounds, tasks.per_rank[rank.id()],
-                                      engine))
-            .accepted;
+        async_mode ? core::async_align(rank, reads, tasks.bounds, tasks.per_rank[rank.id()],
+                                       engine)
+                   : core::bsp_align(rank, reads, tasks.bounds, tasks.per_rank[rank.id()],
+                                     engine);
   });
-  for (auto& part : per_rank) records.insert(records.end(), part.begin(), part.end());
-  std::sort(records.begin(), records.end(),
+  run.summary = stat::summarize(world.breakdowns());
+  for (auto& part : per_rank) {
+    run.summary.rounds = std::max(run.summary.rounds, part.rounds);
+    run.summary.messages += part.messages;
+    run.summary.exchange_bytes += part.exchange_bytes_received;
+    run.records.insert(run.records.end(), part.accepted.begin(), part.accepted.end());
+  }
+  std::sort(run.records.begin(), run.records.end(),
             [](const align::AlignmentRecord& x, const align::AlignmentRecord& y) {
               return std::tie(x.read_a, x.read_b) < std::tie(y.read_a, y.read_b);
             });
-  log::info("accepted ", records.size(), " overlaps");
-  return records;
+  log::info("accepted ", run.records.size(), " overlaps");
+  return run;
 }
 
 int cmd_simulate(int argc, char** argv) {
@@ -138,17 +148,23 @@ int cmd_overlap(int argc, char** argv) {
   auto engine = cli.opt<std::string>("engine", "bsp", "engine: bsp | async");
   auto min_score = cli.opt<std::int64_t>("min-score", 50, "minimum alignment score");
   auto min_overlap = cli.opt<std::uint64_t>("min-overlap", 100, "minimum overlap length");
+  auto breakdown = cli.flag("breakdown", "print the measured phase breakdown table");
   cli.parse(argc, argv);
 
   const seq::ReadStore reads = load_fasta(*in);
   log::info("loaded ", reads.size(), " reads (", reads.total_bases(), " bases)");
-  const auto records = run_overlap(reads, *ranks, static_cast<std::uint32_t>(*k), *coverage,
-                                   *error, *engine, static_cast<std::int32_t>(*min_score),
-                                   static_cast<std::uint32_t>(*min_overlap));
+  const auto run = run_overlap(reads, *ranks, static_cast<std::uint32_t>(*k), *coverage,
+                               *error, *engine, static_cast<std::int32_t>(*min_score),
+                               static_cast<std::uint32_t>(*min_overlap));
+  if (*breakdown) {
+    Table table(stat::breakdown_headers({"engine"}));
+    stat::add_breakdown_row(table, {*engine}, run.summary);
+    table.print("measured phase breakdown (" + std::to_string(*ranks) + " ranks)");
+  }
   std::ofstream file(*out);
   GNB_THROW_IF(!file, "cannot open output: " << *out);
-  align::write_paf(file, records, reads);
-  log::info("wrote ", records.size(), " PAF records to ", *out);
+  align::write_paf(file, run.records, reads);
+  log::info("wrote ", run.records.size(), " PAF records to ", *out);
   return 0;
 }
 
@@ -168,7 +184,8 @@ int cmd_assemble(int argc, char** argv) {
   log::info("loaded ", reads.size(), " reads");
   const auto records = run_overlap(reads, *ranks, static_cast<std::uint32_t>(*k), *coverage,
                                    *error, "bsp", 100,
-                                   static_cast<std::uint32_t>(*min_overlap));
+                                   static_cast<std::uint32_t>(*min_overlap))
+                           .records;
 
   std::vector<std::size_t> lengths(reads.size());
   for (const auto& read : reads.reads()) lengths[read.id] = read.length();
@@ -214,7 +231,8 @@ int cmd_correct(int argc, char** argv) {
   const seq::ReadStore reads = load_fasta(*in);
   log::info("loaded ", reads.size(), " reads");
   const auto records = run_overlap(reads, *ranks, static_cast<std::uint32_t>(*k), *coverage,
-                                   *error, "bsp", 80, 150);
+                                   *error, "bsp", 80, 150)
+                           .records;
   const correct::CorrectedSet corrected = correct::correct_reads(reads, records);
   log::info("corrected ", corrected.stats.reads_changed, "/",
             corrected.stats.reads_processed, " reads: ", corrected.stats.substitutions,
