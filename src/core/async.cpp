@@ -1,6 +1,8 @@
 #include "core/async.hpp"
 
 #include <algorithm>
+#include <thread>
+#include <unordered_map>
 
 #include "proto/pull_index.hpp"
 #include "util/error.hpp"
@@ -13,6 +15,21 @@ using kmer::AlignTask;
 using rt::Bytes;
 
 constexpr std::uint32_t kReadLookupRpc = 1;
+
+/// How often the completion loop scans for timed-out pulls, in progress()
+/// polls. Scanning is O(outstanding batches); amortize it.
+constexpr std::uint64_t kTimeoutScanMask = 63;
+
+/// Caller-side record of one logical pull (one proto::PullBatch). The
+/// logical id — the batch index — travels in the request and reply payloads
+/// so that retries and injected duplicates are recognizable: rt-level
+/// request ids change on every (re)issue, logical ids never do.
+struct PullState {
+  std::uint64_t issued_tick = 0;  // completion-loop tick of the last (re)issue
+  std::uint32_t attempts = 1;
+  bool done = false;
+};
+
 }  // namespace
 
 EngineResult async_align(rt::Rank& rank, const seq::ReadStore& store,
@@ -39,16 +56,41 @@ EngineResult async_align(rt::Rank& rank, const seq::ReadStore& store,
       proto::batch_pulls(index.pulls(), config.proto.async_batch);
   proto::RequestWindow window(config.proto.async_window);
 
-  // Serve lookups into my partition: id list -> concatenated reads.
-  rank.rpc().register_handler(kReadLookupRpc, [&](std::uint32_t, std::span<const std::uint8_t> in) {
-    Bytes reply;
-    std::size_t offset = 0;
-    while (offset < in.size()) {
-      const auto id = wire::get<std::uint32_t>(in, offset);
-      seq::serialize_read(local_read(store, bounds, me, id), reply);
-    }
-    return reply;
-  });
+  // At-most-once bookkeeping (the engine-side hardening fault injection
+  // forces): the caller tracks which logical pulls completed so duplicate
+  // replies — from injected duplicates or from retries whose original
+  // eventually arrived — are dropped, and the callee keeps a reply cache so
+  // duplicate requests are served identically without recomputation.
+  const bool chaos = rank.faults() != nullptr;
+  std::vector<PullState> states(batches.size());
+  std::size_t completed = 0;
+
+  // Serve lookups into my partition: [logical id][id list] -> [logical id]
+  // [concatenated reads].
+  std::unordered_map<std::uint64_t, Bytes> reply_cache;  // (src, logical) -> reply
+  rank.rpc().register_handler(
+      kReadLookupRpc, [&](std::uint32_t src, std::span<const std::uint8_t> in) {
+        std::size_t offset = 0;
+        const auto logical = wire::get<std::uint64_t>(in, offset);
+        const std::uint64_t cache_key = (static_cast<std::uint64_t>(src) << 40) ^ logical;
+        if (chaos) {
+          const auto it = reply_cache.find(cache_key);
+          if (it != reply_cache.end()) {
+            // Callee-side request dedup: a duplicate (injected or retried)
+            // is served from the cache — same bytes, no recomputation.
+            ++rank.fault_counters().duplicates;
+            return it->second;
+          }
+        }
+        Bytes reply;
+        wire::put<std::uint64_t>(reply, logical);
+        while (offset < in.size()) {
+          const auto id = wire::get<std::uint32_t>(in, offset);
+          seq::serialize_read(local_read(store, bounds, me, id), reply);
+        }
+        if (chaos) reply_cache.emplace(cache_key, reply);
+        return reply;
+      });
   rank.timers().overhead.stop();
 
   // --- split-phase barrier: compute local-local tasks while waiting ---
@@ -63,10 +105,22 @@ EngineResult async_align(rt::Rank& rank, const seq::ReadStore& store,
 
   // --- asynchronous pulls with compute-in-callback ---
   const auto on_reply = [&](Bytes reply) {
-    window.on_reply();
-    rank.memory().charge(reply.size());
-    result.exchange_bytes_received += reply.size();
     std::size_t offset = 0;
+    const auto logical = wire::get<std::uint64_t>(reply, offset);
+    GNB_CHECK_MSG(logical < states.size(), "reply for unknown pull " << logical);
+    PullState& state = states[logical];
+    if (state.done) {
+      // Duplicate completion: a second copy of the reply, or a retry racing
+      // its delayed original. At-most-once: drop it.
+      ++rank.fault_counters().duplicates;
+      return;
+    }
+    state.done = true;
+    ++completed;
+    window.on_reply();
+    const std::size_t payload_bytes = reply.size() - offset;
+    rank.memory().charge(payload_bytes);
+    result.exchange_bytes_received += payload_bytes;
     while (offset < reply.size()) {
       rank.timers().overhead.start();
       const seq::Read remote = seq::deserialize_read(reply, offset);
@@ -83,21 +137,56 @@ EngineResult async_align(rt::Rank& rank, const seq::ReadStore& store,
           execute_task(task, other, remote, config, rank.timers(), result);
       }
     }
-    rank.memory().release(reply.size());
+    rank.memory().release(payload_bytes);
   };
 
-  for (const proto::PullBatch& batch : batches) {
+  const auto issue = [&](std::size_t b) {
+    Bytes payload;
+    wire::put<std::uint64_t>(payload, b);
+    for (const std::uint32_t id : batches[b].reads) wire::put<std::uint32_t>(payload, id);
+    rank.timers().comm.start();
+    rank.rpc().call(batches[b].owner, kReadLookupRpc, std::move(payload),
+                    [&](Bytes reply) { on_reply(std::move(reply)); });
+    rank.timers().comm.stop();
+  };
+
+  for (std::size_t b = 0; b < batches.size(); ++b) {
     // Bound outstanding requests; polling here both throttles and serves.
     rank.rpc().throttle(window.limit());
     window.on_issue();
-    Bytes payload;
-    for (const std::uint32_t id : batch.reads) wire::put<std::uint32_t>(payload, id);
-    rank.timers().comm.start();
-    rank.rpc().call(batch.owner, kReadLookupRpc, std::move(payload),
-                    [&](Bytes reply) { on_reply(std::move(reply)); });
-    rank.timers().comm.stop();
+    issue(b);
     ++result.messages;
   }
+
+  // --- completion loop: poll progress, re-issue timed-out pulls ---
+  // Time is progress() polls, not the wall clock: deterministic under the
+  // runtime's control and proportional to how much serving the rank has
+  // actually done. The per-pull timeout doubles with every attempt
+  // (bounded exponential backoff); after max_retries the caller keeps
+  // polling — delivery is reliable, only untimely — and counts the event.
+  const std::uint64_t timeout = config.proto.rpc_timeout;
+  std::uint64_t tick = 0;
+  while (completed < batches.size()) {
+    if (rank.rpc().progress() == 0) std::this_thread::yield();
+    ++tick;
+    if (timeout == 0 || (tick & kTimeoutScanMask) != 0) continue;
+    for (std::size_t b = 0; b < batches.size(); ++b) {
+      PullState& state = states[b];
+      if (state.done) continue;
+      const std::uint64_t backoff =
+          timeout << std::min<std::uint32_t>(state.attempts - 1, 16);
+      if (tick - state.issued_tick < backoff) continue;
+      ++rank.fault_counters().timeouts;
+      state.issued_tick = tick;
+      if (state.attempts > config.proto.max_retries) continue;  // bounded: wait it out
+      ++state.attempts;
+      ++rank.fault_counters().retries;
+      rank.rpc().throttle(window.limit());
+      issue(b);  // same logical id: dedup keeps the retry at-most-once
+    }
+  }
+  // Flush rt-level stragglers (late duplicate replies of retried pulls) so
+  // no callback capturing this frame survives the phase.
   rank.rpc().drain();
   GNB_CHECK(window.issued() == batches.size());
 

@@ -11,6 +11,15 @@
 // every rank's partition serviceable until all tasks complete. The "pull"
 // direction bounds memory: at most `config.proto.async_window` replies are
 // ever in flight toward this rank (proto::RequestWindow).
+//
+// Robustness (exercised by rt::FaultPlan injection, tests/test_fault): each
+// pull carries a stable logical id; pulls that exceed config.proto
+// .rpc_timeout progress-polls are re-issued with bounded exponential
+// backoff (config.proto.max_retries), duplicate replies are dropped by the
+// caller, and duplicate requests are served from a callee-side reply cache
+// — so pull semantics stay at-most-once under delayed, duplicated, or
+// reordered delivery, and the alignment set is byte-identical to a
+// fault-free run.
 
 #include "core/engine.hpp"
 #include "rt/world.hpp"

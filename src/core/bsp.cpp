@@ -87,15 +87,23 @@ EngineResult bsp_align(rt::Rank& rank, const seq::ReadStore& store,
     const proto::Round& step = plan.rounds[round];
     ++result.rounds;
 
+    // Each non-empty per-destination buffer is framed with a payload
+    // checksum (util/wire.hpp) the receiver verifies before unpacking —
+    // per-round verification that aggregated exchanges arrived intact.
+    // The checksum header is framing, not payload: round/byte accounting
+    // (the quantities the simulator budgets) count serialized reads only.
     std::vector<Bytes> send(p);
     std::uint64_t packed = 0;
     for (std::size_t dst = 0; dst < p; ++dst) {
+      if (step.per_dest[dst] == 0) continue;
+      wire::begin_checksum(send[dst]);
       for (std::uint32_t i = 0; i < step.per_dest[dst]; ++i) {
         const seq::Read& read = local_read(store, bounds, me, to_serve[dst][next[dst]]);
         seq::serialize_read(read, send[dst]);
         packed += seq::serialized_read_bytes(read);
         ++next[dst];
       }
+      wire::seal_checksum(send[dst]);
     }
     GNB_CHECK_MSG(packed == step.bytes, "executed round diverged from plan");
     result.round_bytes.push_back(packed);
@@ -104,7 +112,8 @@ EngineResult bsp_align(rt::Rank& rank, const seq::ReadStore& store,
     std::vector<Bytes> received = rank.alltoallv(std::move(send));
     rank.memory().release(packed);
     std::uint64_t received_bytes = 0;
-    for (const Bytes& buffer : received) received_bytes += buffer.size();
+    for (const Bytes& buffer : received)
+      if (!buffer.empty()) received_bytes += buffer.size() - wire::kChecksumBytes;
     rank.memory().charge(received_bytes);
     result.exchange_bytes_received += received_bytes;
     result.messages += p;  // one aggregated buffer per peer per round
@@ -112,8 +121,14 @@ EngineResult bsp_align(rt::Rank& rank, const seq::ReadStore& store,
     // "All pairwise alignments associated with each received read are
     // computed together, when the respective read is accessed from the
     // message buffer."
-    for (const Bytes& buffer : received) {
+    for (std::size_t src = 0; src < p; ++src) {
+      const Bytes& buffer = received[src];
+      if (buffer.empty()) continue;
       std::size_t offset = 0;
+      if (!wire::verify_checksum(buffer, offset)) {
+        ++rank.fault_counters().checksum_failures;
+        GNB_CHECK_MSG(false, "BSP round " << round << ": corrupt payload from rank " << src);
+      }
       while (offset < buffer.size()) {
         rank.timers().overhead.start();
         const seq::Read remote = seq::deserialize_read(buffer, offset);

@@ -1,0 +1,159 @@
+#include "rt/fault.hpp"
+
+#include <charconv>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace gnb::rt {
+
+namespace {
+
+// Event-kind tags keep the per-mode hash streams independent: a request and
+// a reply with the same (src, dst, seq) must not share a fate.
+constexpr std::uint64_t kTagRequest = 0x5245515545535421ULL;
+constexpr std::uint64_t kTagReply = 0x5245504C59212121ULL;
+constexpr std::uint64_t kTagReorder = 0x52454F5244455221ULL;
+constexpr std::uint64_t kTagStraggle = 0x5354524147474C45ULL;
+
+/// One 64-bit hash of the event identity: SplitMix64 over a running state.
+std::uint64_t mix(std::uint64_t seed, std::uint64_t tag, std::uint64_t a, std::uint64_t b) {
+  std::uint64_t state = seed;
+  state ^= splitmix64(state) ^ tag;
+  state ^= splitmix64(state) ^ a;
+  state ^= splitmix64(state) ^ b;
+  return splitmix64(state);
+}
+
+/// Uniform [0, 1) from a hash (same transform Xoshiro256::uniform uses).
+double u01(std::uint64_t hash) { return static_cast<double>(hash >> 11) * 0x1.0p-53; }
+
+FaultInjector::Delivery decide(const FaultPlan& plan, std::uint64_t tag, std::uint32_t src,
+                               std::uint32_t dst, std::uint64_t seq) {
+  FaultInjector::Delivery decision;
+  const std::uint64_t pair = (static_cast<std::uint64_t>(src) << 32) | dst;
+  const std::uint64_t h_delay = mix(plan.seed, tag, pair, seq * 3);
+  const std::uint64_t h_ticks = mix(plan.seed, tag, pair, seq * 3 + 1);
+  const std::uint64_t h_dup = mix(plan.seed, tag, pair, seq * 3 + 2);
+  if (plan.delay_prob > 0 && plan.max_delay_ticks > 0 && u01(h_delay) < plan.delay_prob)
+    decision.delay_ticks = 1 + static_cast<std::uint32_t>(h_ticks % plan.max_delay_ticks);
+  decision.duplicate = plan.dup_prob > 0 && u01(h_dup) < plan.dup_prob;
+  return decision;
+}
+
+double parse_double(const std::string& text) {
+  std::size_t used = 0;
+  double value = 0;
+  try {
+    value = std::stod(text, &used);
+  } catch (const std::exception&) {
+    used = std::string::npos;
+  }
+  GNB_THROW_IF(used != text.size(), "faults: bad number '" << text << "'");
+  return value;
+}
+
+std::uint64_t parse_u64(const std::string& text) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  GNB_THROW_IF(ec != std::errc{} || ptr != text.data() + text.size(),
+               "faults: bad integer '" << text << "'");
+  return value;
+}
+
+/// Split "prob" or "prob:magnitude" into its two halves.
+void parse_prob_mag(const std::string& text, double& prob, std::uint32_t& magnitude,
+                    std::uint32_t default_magnitude) {
+  const std::size_t colon = text.find(':');
+  if (colon == std::string::npos) {
+    prob = parse_double(text);
+    magnitude = default_magnitude;
+  } else {
+    prob = parse_double(text.substr(0, colon));
+    magnitude = static_cast<std::uint32_t>(parse_u64(text.substr(colon + 1)));
+  }
+  GNB_THROW_IF(prob < 0 || prob > 1, "faults: probability out of [0,1]: " << text);
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::from_seed(std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  Xoshiro256 rng(seed ^ 0xFA417EC7ED5EEDULL);
+  plan.delay_prob = 0.10 + 0.25 * rng.uniform();
+  plan.max_delay_ticks = 2 + static_cast<std::uint32_t>(rng.below(14));
+  plan.dup_prob = 0.05 + 0.15 * rng.uniform();
+  plan.reorder_prob = 0.10 + 0.25 * rng.uniform();
+  plan.straggle_prob = 0.05 + 0.10 * rng.uniform();
+  plan.max_straggle_us = 50 + static_cast<std::uint32_t>(rng.below(250));
+  return plan;
+}
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  GNB_THROW_IF(spec.empty(), "faults: empty spec");
+  // A bare integer is shorthand for the canonical seed-derived mix.
+  if (spec.find_first_not_of("0123456789") == std::string::npos)
+    return from_seed(parse_u64(spec));
+
+  FaultPlan plan;
+  std::stringstream stream(spec);
+  std::string field;
+  while (std::getline(stream, field, ',')) {
+    const std::size_t eq = field.find('=');
+    GNB_THROW_IF(eq == std::string::npos, "faults: expected key=value, got '" << field << "'");
+    const std::string key = field.substr(0, eq);
+    const std::string value = field.substr(eq + 1);
+    if (key == "seed") {
+      plan.seed = parse_u64(value);
+    } else if (key == "delay") {
+      parse_prob_mag(value, plan.delay_prob, plan.max_delay_ticks, /*default=*/8);
+    } else if (key == "dup") {
+      plan.dup_prob = parse_double(value);
+      GNB_THROW_IF(plan.dup_prob < 0 || plan.dup_prob > 1, "faults: dup out of [0,1]");
+    } else if (key == "reorder") {
+      plan.reorder_prob = parse_double(value);
+      GNB_THROW_IF(plan.reorder_prob < 0 || plan.reorder_prob > 1,
+                   "faults: reorder out of [0,1]");
+    } else if (key == "straggle") {
+      parse_prob_mag(value, plan.straggle_prob, plan.max_straggle_us, /*default=*/200);
+    } else {
+      GNB_THROW_IF(true, "faults: unknown key '" << key << "'");
+    }
+  }
+  return plan;
+}
+
+std::string FaultPlan::to_spec() const {
+  std::ostringstream out;
+  out << "seed=" << seed << ",delay=" << delay_prob << ':' << max_delay_ticks
+      << ",dup=" << dup_prob << ",reorder=" << reorder_prob << ",straggle=" << straggle_prob
+      << ':' << max_straggle_us;
+  return out.str();
+}
+
+FaultInjector::Delivery FaultInjector::on_request(std::uint32_t src, std::uint32_t dst,
+                                                  std::uint64_t seq) const {
+  return decide(plan_, kTagRequest, src, dst, seq);
+}
+
+FaultInjector::Delivery FaultInjector::on_reply(std::uint32_t src, std::uint32_t dst,
+                                                std::uint64_t seq) const {
+  return decide(plan_, kTagReply, src, dst, seq);
+}
+
+bool FaultInjector::reorder_replies(std::uint32_t rank, std::uint64_t epoch) const {
+  if (plan_.reorder_prob <= 0) return false;
+  return u01(mix(plan_.seed, kTagReorder, rank, epoch)) < plan_.reorder_prob;
+}
+
+std::uint32_t FaultInjector::straggle_us(std::uint32_t rank, std::uint64_t entry) const {
+  if (plan_.straggle_prob <= 0 || plan_.max_straggle_us == 0) return 0;
+  const std::uint64_t h = mix(plan_.seed, kTagStraggle, rank, entry);
+  if (u01(h) >= plan_.straggle_prob) return 0;
+  return 1 + static_cast<std::uint32_t>(mix(plan_.seed, kTagStraggle ^ h, rank, entry) %
+                                        plan_.max_straggle_us);
+}
+
+}  // namespace gnb::rt

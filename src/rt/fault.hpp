@@ -1,0 +1,114 @@
+#pragma once
+// Seeded, deterministic fault injection for the shared-memory runtime.
+//
+// The real GASNet-EX/UPC++ stack the paper builds on (§3.2) guarantees
+// reliable delivery but not timeliness or ordering across pairs; runtime
+// knobs like the outgoing-request limit (§4.3) exist precisely because
+// delivery can be delayed and ranks can straggle. rt::RpcEndpoint
+// hard-codes reliable FIFO delivery, so nothing would exercise what the
+// engines do when messages are delayed, duplicated, or reordered — unless
+// we perturb the runtime on purpose.
+//
+// A FaultPlan is a small set of perturbation intensities; a FaultInjector
+// turns the plan into *per-delivery decisions* by pure hashing of the
+// (seed, kind, endpoints, sequence-number) tuple — no mutable state, so the
+// injector is trivially thread-safe and every schedule is replayable from a
+// single uint64 seed. The injected failure modes (none loses data):
+//
+//   * delay:     hold a request/reply for N progress() calls of the
+//                receiving endpoint before it becomes visible;
+//   * duplicate: deliver a request or reply twice (at-most-once semantics
+//                become the *engines'* responsibility, as on a real network
+//                where retries can duplicate);
+//   * reorder:   reverse a batch of queued replies before the receiving
+//                progress() runs them (per-pair FIFO is all GASNet
+//                promises; cross-batch order is fair game);
+//   * straggle:  pause a rank for a few hundred microseconds at
+//                barrier/alltoallv entry (OS noise, page faults, the §4.2
+//                load-imbalance amplifiers).
+//
+// Injection is a zero-cost-when-disabled hook: World holds a null injector
+// pointer by default and every check is a single branch on that pointer.
+
+#include <cstdint>
+#include <string>
+
+namespace gnb::rt {
+
+/// Perturbation intensities for one chaos run. Default-constructed plans
+/// are disabled (all probabilities zero).
+struct FaultPlan {
+  std::uint64_t seed = 0;
+
+  /// Probability that a request/reply delivery is held, and the maximum
+  /// hold in receiver progress() calls (the actual hold is hashed from the
+  /// message identity, in [1, max_delay_ticks]).
+  double delay_prob = 0;
+  std::uint32_t max_delay_ticks = 0;
+
+  /// Probability that a delivery is duplicated.
+  double dup_prob = 0;
+
+  /// Probability that one progress() batch of replies is reversed.
+  double reorder_prob = 0;
+
+  /// Probability that a rank pauses at a barrier/alltoallv entry, and the
+  /// maximum pause in microseconds.
+  double straggle_prob = 0;
+  std::uint32_t max_straggle_us = 0;
+
+  [[nodiscard]] bool enabled() const {
+    return delay_prob > 0 || dup_prob > 0 || reorder_prob > 0 || straggle_prob > 0;
+  }
+
+  /// The canonical chaos mix: every fault mode active, intensities jittered
+  /// deterministically by the seed so a matrix of seeds explores different
+  /// schedules. This is what `--faults <seed>` and the chaos suite use.
+  [[nodiscard]] static FaultPlan from_seed(std::uint64_t seed);
+
+  /// Parse a fault spec. Either a bare integer seed (-> from_seed) or a
+  /// comma-separated key=value list:
+  ///   seed=42,delay=0.2:8,dup=0.05,reorder=0.1,straggle=0.02:500
+  /// where delay is prob:max_ticks and straggle is prob:max_us.
+  /// Throws util::Error on malformed specs.
+  [[nodiscard]] static FaultPlan parse(const std::string& spec);
+
+  /// Render the plan back to a parseable spec (log lines, replay notes).
+  [[nodiscard]] std::string to_spec() const;
+};
+
+/// Stateless decision oracle over a FaultPlan. All methods are const and
+/// derive decisions by hashing message/event identities with the seed, so
+/// concurrent ranks can consult one shared injector without locks.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultPlan& plan) : plan_(plan) {}
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+  struct Delivery {
+    std::uint32_t delay_ticks = 0;  // hold for this many receiver progress() calls
+    bool duplicate = false;         // deliver a second copy
+  };
+
+  /// Decision for the `seq`-th request `src` sends to `dst`.
+  [[nodiscard]] Delivery on_request(std::uint32_t src, std::uint32_t dst,
+                                    std::uint64_t seq) const;
+
+  /// Decision for the `seq`-th reply `src` sends back to `dst`.
+  [[nodiscard]] Delivery on_reply(std::uint32_t src, std::uint32_t dst,
+                                  std::uint64_t seq) const;
+
+  /// Should the `epoch`-th progress() batch of replies on `rank` be
+  /// reversed before running its callbacks?
+  [[nodiscard]] bool reorder_replies(std::uint32_t rank, std::uint64_t epoch) const;
+
+  /// Microseconds `rank` pauses at its `entry`-th barrier/alltoallv entry
+  /// (0 = no pause).
+  [[nodiscard]] std::uint32_t straggle_us(std::uint32_t rank, std::uint64_t entry) const;
+
+ private:
+  FaultPlan plan_;
+};
+
+}  // namespace gnb::rt

@@ -1,5 +1,6 @@
 #include "rt/rpc.hpp"
 
+#include <algorithm>
 #include <memory>
 #include <thread>
 
@@ -22,17 +23,61 @@ void RpcEndpoint::call(std::uint32_t target, std::uint32_t handler_id, Bytes pay
   bytes_sent_ += payload.size();
   request.payload = std::move(payload);
   pending_.emplace(request.reqid, std::move(callback));
-  (*peers_)[target]->enqueue_request(std::move(request));
+
+  FaultInjector::Delivery fate;
+  if (injector_) {
+    if (request_seq_.size() <= target) request_seq_.resize(peers_->size(), 0);
+    fate = injector_->on_request(self_, target, request_seq_[target]++);
+  }
+  RpcEndpoint& peer = *(*peers_)[target];
+  if (fate.duplicate) {
+    ++duplicates_injected_;
+    peer.enqueue_request(request, fate.delay_ticks);  // copy, then the original
+  }
+  peer.enqueue_request(std::move(request), fate.delay_ticks);
 }
 
-void RpcEndpoint::enqueue_request(Request request) {
-  std::lock_guard<std::mutex> lock(inbox_mutex_);
-  inbox_requests_.push_back(std::move(request));
+void RpcEndpoint::send_reply(std::uint32_t dst, Reply reply) {
+  FaultInjector::Delivery fate;
+  if (injector_) fate = injector_->on_reply(self_, dst, reply_seq_++);
+  RpcEndpoint& peer = *(*peers_)[dst];
+  if (fate.duplicate) {
+    ++duplicates_injected_;
+    peer.enqueue_reply(reply, fate.delay_ticks);
+  }
+  peer.enqueue_reply(std::move(reply), fate.delay_ticks);
 }
 
-void RpcEndpoint::enqueue_reply(Reply reply) {
+void RpcEndpoint::enqueue_request(Request request, std::uint32_t delay_ticks) {
   std::lock_guard<std::mutex> lock(inbox_mutex_);
-  inbox_replies_.push_back(std::move(reply));
+  if (delay_ticks > 0) {
+    ++delayed_deliveries_;
+    held_requests_.push_back(HeldRequest{delay_ticks, std::move(request)});
+  } else {
+    inbox_requests_.push_back(std::move(request));
+  }
+}
+
+void RpcEndpoint::enqueue_reply(Reply reply, std::uint32_t delay_ticks) {
+  std::lock_guard<std::mutex> lock(inbox_mutex_);
+  if (delay_ticks > 0) {
+    ++delayed_deliveries_;
+    held_replies_.push_back(HeldReply{delay_ticks, std::move(reply)});
+  } else {
+    inbox_replies_.push_back(std::move(reply));
+  }
+}
+
+void RpcEndpoint::begin_phase() {
+  GNB_CHECK_MSG(pending_.empty(), "phase started with undrained outgoing RPCs");
+  std::lock_guard<std::mutex> lock(inbox_mutex_);
+  inbox_requests_.clear();
+  inbox_replies_.clear();
+  held_requests_.clear();
+  held_replies_.clear();
+  delayed_deliveries_ = 0;
+  duplicates_injected_ = 0;
+  orphan_replies_ = 0;
 }
 
 std::size_t RpcEndpoint::progress() {
@@ -40,9 +85,25 @@ std::size_t RpcEndpoint::progress() {
   std::vector<Reply> replies;
   {
     std::lock_guard<std::mutex> lock(inbox_mutex_);
+    // Age held deliveries by one progress call; release the expired ones.
+    // Held messages join *behind* anything already queued, preserving the
+    // real arrival order the delay created.
+    std::erase_if(held_requests_, [&](HeldRequest& held) {
+      if (--held.delay > 0) return false;
+      inbox_requests_.push_back(std::move(held.request));
+      return true;
+    });
+    std::erase_if(held_replies_, [&](HeldReply& held) {
+      if (--held.delay > 0) return false;
+      inbox_replies_.push_back(std::move(held.reply));
+      return true;
+    });
     requests.swap(inbox_requests_);
     replies.swap(inbox_replies_);
   }
+  if (injector_ && replies.size() > 1 && injector_->reorder_replies(self_, progress_epoch_))
+    std::reverse(replies.begin(), replies.end());
+  ++progress_epoch_;
 
   for (auto& request : requests) {
     const auto it = handlers_.find(request.handler);
@@ -51,12 +112,18 @@ std::size_t RpcEndpoint::progress() {
     reply.reqid = request.reqid;
     reply.payload = it->second(request.src, request.payload);
     ++requests_served_;
-    (*peers_)[request.src]->enqueue_reply(std::move(reply));
+    send_reply(request.src, std::move(reply));
   }
 
   for (auto& reply : replies) {
     const auto it = pending_.find(reply.reqid);
-    GNB_CHECK_MSG(it != pending_.end(), "reply for unknown request " << reply.reqid);
+    if (it == pending_.end()) {
+      // Without injection this is a protocol violation; under injection it
+      // is the expected shadow of a duplicated request or reply.
+      GNB_CHECK_MSG(injector_ != nullptr, "reply for unknown request " << reply.reqid);
+      ++orphan_replies_;
+      continue;
+    }
     Callback callback = std::move(it->second);
     pending_.erase(it);
     callback(std::move(reply.payload));

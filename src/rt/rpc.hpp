@@ -5,8 +5,15 @@
 // (§3.2): a rank issues an asynchronous RPC to look up data owned by a
 // remote rank and attaches a callback; *application-level polling*
 // (progress()) is required both to serve incoming requests and to run
-// completion callbacks — exactly the UPC++/GASNet-EX contract. Delivery is
-// reliable and FIFO per (source, target) pair.
+// completion callbacks — exactly the UPC++/GASNet-EX contract.
+//
+// Delivery is reliable and FIFO per (source, target) pair by default. When
+// a rt::FaultInjector is installed (chaos testing), deliveries may be
+// delayed by N receiver progress() calls, duplicated, or batch-reordered;
+// the endpoint then tolerates duplicate replies (dropped and counted as
+// orphans) instead of treating them as protocol violations, and the
+// *engines* are responsible for at-most-once application semantics (see
+// core::async_align's retry/dedup protocol).
 
 #include <atomic>
 #include <cstdint>
@@ -16,6 +23,8 @@
 #include <span>
 #include <unordered_map>
 #include <vector>
+
+#include "rt/fault.hpp"
 
 namespace gnb::rt {
 
@@ -51,10 +60,27 @@ class RpcEndpoint {
   /// Drain: poll until outstanding() == 0.
   void drain() { throttle(1); }
 
+  /// Install (or clear, with nullptr) the fault injector consulted on every
+  /// delivery. World owns the injector; endpoints only observe it.
+  void set_fault_injector(const FaultInjector* injector) { injector_ = injector; }
+
+  /// Reset per-phase state at the start of a World::run: clears inbound and
+  /// held queues (a chaos run can leave duplicate deliveries held past the
+  /// exit barrier) and the per-phase fault counters. Outstanding requests
+  /// must already be drained — engines end every phase with drain().
+  void begin_phase();
+
   // --- statistics ---
   [[nodiscard]] std::uint64_t messages_sent() const { return messages_sent_; }
   [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
   [[nodiscard]] std::uint64_t requests_served() const { return requests_served_; }
+  /// Deliveries held by the injector this phase (requests + replies).
+  [[nodiscard]] std::uint64_t delayed_deliveries() const { return delayed_deliveries_; }
+  /// Duplicate copies the injector created on sends from this endpoint.
+  [[nodiscard]] std::uint64_t duplicates_injected() const { return duplicates_injected_; }
+  /// Replies dropped because their request was already completed (the
+  /// observable footprint of duplicated deliveries at this endpoint).
+  [[nodiscard]] std::uint64_t orphan_replies() const { return orphan_replies_; }
 
  private:
   struct Request {
@@ -68,23 +94,43 @@ class RpcEndpoint {
     Bytes payload;
   };
 
-  void enqueue_request(Request request);
-  void enqueue_reply(Reply reply);
+  void enqueue_request(Request request, std::uint32_t delay_ticks);
+  void enqueue_reply(Reply reply, std::uint32_t delay_ticks);
+  void send_reply(std::uint32_t dst, Reply reply);
 
   std::uint32_t self_;
   std::vector<std::unique_ptr<RpcEndpoint>>* peers_;
+  const FaultInjector* injector_ = nullptr;
 
   std::unordered_map<std::uint32_t, Handler> handlers_;        // owner thread only
   std::unordered_map<std::uint64_t, Callback> pending_;        // owner thread only
   std::uint64_t next_reqid_ = 1;
+  std::vector<std::uint64_t> request_seq_;  // per-target send counters (owner thread)
+  std::uint64_t reply_seq_ = 0;             // reply send counter (owner thread)
+  std::uint64_t progress_epoch_ = 0;        // progress() calls (owner thread)
 
-  std::mutex inbox_mutex_;  // guards the two inbound queues
+  std::mutex inbox_mutex_;  // guards the inbound and held queues
   std::vector<Request> inbox_requests_;
   std::vector<Reply> inbox_replies_;
+  /// Deliveries held by the injector: released into the inbox after
+  /// `delay` more progress() calls on this endpoint.
+  struct HeldRequest {
+    std::uint32_t delay = 0;
+    Request request;
+  };
+  struct HeldReply {
+    std::uint32_t delay = 0;
+    Reply reply;
+  };
+  std::vector<HeldRequest> held_requests_;
+  std::vector<HeldReply> held_replies_;
 
   std::uint64_t messages_sent_ = 0;
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t requests_served_ = 0;
+  std::uint64_t delayed_deliveries_ = 0;
+  std::uint64_t duplicates_injected_ = 0;
+  std::uint64_t orphan_replies_ = 0;
 };
 
 }  // namespace gnb::rt

@@ -1,5 +1,6 @@
 #include "rt/world.hpp"
 
+#include <chrono>
 #include <exception>
 #include <thread>
 
@@ -24,7 +25,17 @@ World::~World() = default;
 
 std::size_t Rank::nranks() const { return world_.nranks_; }
 
+const FaultInjector* Rank::faults() const { return world_.injector_.get(); }
+
+void Rank::maybe_straggle() {
+  const FaultInjector* injector = world_.injector_.get();
+  if (!injector) return;
+  const std::uint32_t pause_us = injector->straggle_us(id_, straggle_entry_++);
+  if (pause_us > 0) std::this_thread::sleep_for(std::chrono::microseconds(pause_us));
+}
+
 void Rank::barrier() {
+  maybe_straggle();
   WallTimer wait;
   world_.barrier_.arrive_and_wait();
   timers_.sync.add(wait.seconds());
@@ -63,6 +74,7 @@ std::vector<Bytes> Rank::alltoallv(std::vector<Bytes> send) {
   GNB_CHECK_MSG(send.size() == world_.nranks_,
                 "alltoallv: send has " << send.size() << " buffers for " << world_.nranks_
                                        << " ranks");
+  maybe_straggle();
   WallTimer wait;
   const std::size_t p = world_.nranks_;
   for (std::size_t dst = 0; dst < p; ++dst)
@@ -78,6 +90,7 @@ std::vector<Bytes> Rank::alltoallv(std::vector<Bytes> send) {
 
 std::vector<std::uint64_t> Rank::alltoall(const std::vector<std::uint64_t>& send) {
   GNB_CHECK(send.size() == world_.nranks_);
+  maybe_straggle();
   WallTimer wait;
   const std::size_t p = world_.nranks_;
   for (std::size_t dst = 0; dst < p; ++dst) world_.u64_slots_[dst * p + id_] = send[dst];
@@ -149,9 +162,15 @@ void Rank::service_barrier() {
   split_barrier_wait();
 }
 
+void World::set_faults(const FaultPlan& plan) {
+  injector_ = plan.enabled() ? std::make_unique<FaultInjector>(plan) : nullptr;
+  for (auto& endpoint : endpoints_) endpoint->set_fault_injector(injector_.get());
+}
+
 void World::run(const std::function<void(Rank&)>& body) {
   split_arrivals_.store(0, std::memory_order_relaxed);
   for (auto& slot : mail_) slot.clear();
+  for (auto& endpoint : endpoints_) endpoint->begin_phase();
 
   std::vector<std::unique_ptr<Rank>> ranks;
   ranks.reserve(nranks_);
@@ -180,7 +199,14 @@ void World::run(const std::function<void(Rank&)>& body) {
 
   breakdowns_.clear();
   breakdowns_.reserve(nranks_);
-  for (const auto& rank : ranks) breakdowns_.push_back(snapshot(rank->timers_, rank->memory_));
+  for (std::size_t r = 0; r < nranks_; ++r) {
+    stat::Breakdown breakdown = snapshot(ranks[r]->timers_, ranks[r]->memory_);
+    breakdown.faults = ranks[r]->fault_counters_;
+    // rt-level evidence: injected duplicates surface as orphan replies on
+    // the endpoint that issued the duplicated exchange.
+    breakdown.faults.duplicates += endpoints_[r]->orphan_replies();
+    breakdowns_.push_back(breakdown);
+  }
 }
 
 }  // namespace gnb::rt

@@ -17,6 +17,7 @@
 #include <span>
 #include <vector>
 
+#include "rt/fault.hpp"
 #include "rt/phase.hpp"
 #include "rt/rpc.hpp"
 #include "util/memory.hpp"
@@ -90,14 +91,29 @@ class Rank {
   // --- instrumentation ---
   PhaseTimers& timers() { return timers_; }
   MemoryMeter& memory() { return memory_; }
+  /// Robustness counters this rank's engine protocol accumulates (retries,
+  /// timeouts, duplicates dropped, checksum failures); merged with the
+  /// endpoint-level counters into the rank's stat::Breakdown.
+  stat::FaultCounters& fault_counters() { return fault_counters_; }
+
+  /// The world's fault injector, or nullptr when chaos is disabled — the
+  /// zero-cost-when-disabled hook engines branch on.
+  [[nodiscard]] const FaultInjector* faults() const;
 
  private:
   friend class World;
+
+  /// Straggler hook: pause deterministically at collective entry when the
+  /// fault plan says this rank straggles here.
+  void maybe_straggle();
+
   World& world_;
   RankId id_;
   std::uint64_t split_phase_ = 0;  // split/service barriers completed locally
+  std::uint64_t straggle_entry_ = 0;  // collective entries seen (straggle schedule index)
   PhaseTimers timers_;
   MemoryMeter memory_;
+  stat::FaultCounters fault_counters_;
 };
 
 /// A group of P ranks. Construct, then run one or more SPMD regions.
@@ -117,6 +133,13 @@ class World {
   /// Per-rank phase breakdowns from the last run().
   [[nodiscard]] const std::vector<stat::Breakdown>& breakdowns() const { return breakdowns_; }
 
+  /// Install a fault plan for subsequent run()s (chaos testing). A disabled
+  /// plan clears injection. Must not be called while a run is in flight.
+  void set_faults(const FaultPlan& plan);
+
+  /// The active injector (nullptr when faults are disabled).
+  [[nodiscard]] const FaultInjector* faults() const { return injector_.get(); }
+
  private:
   friend class Rank;
 
@@ -130,6 +153,7 @@ class World {
   std::atomic<std::uint64_t> split_arrivals_{0};
   std::vector<std::unique_ptr<RpcEndpoint>> endpoints_;
   std::vector<stat::Breakdown> breakdowns_;
+  std::unique_ptr<FaultInjector> injector_;
 };
 
 }  // namespace gnb::rt

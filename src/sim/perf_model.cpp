@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <unordered_map>
 
 #include "proto/exchange_plan.hpp"
@@ -53,6 +54,14 @@ Traffic analyze_traffic(const MachineParams& machine, const SimAssignment& assig
 double noise_multiplier(const SimOptions& options, std::size_t rank) {
   Xoshiro256 rng(options.noise_seed * 0x9E3779B97F4A7C15ULL + rank);
   return 1.0 + options.os_noise * rng.uniform();
+}
+
+/// Straggler pause (seconds) rank `r` suffers at collective entry `entry`,
+/// from the same hash schedule the threaded runtime replays (rt::fault).
+double straggle_pause(const std::optional<rt::FaultInjector>& chaos, std::size_t r,
+                      std::uint64_t entry) {
+  if (!chaos) return 0.0;
+  return static_cast<double>(chaos->straggle_us(static_cast<std::uint32_t>(r), entry)) * 1e-6;
 }
 
 /// Per-rank internode bandwidth: the worse of the NIC share and the
@@ -143,6 +152,11 @@ SimResult simulate_bsp(const MachineParams& machine, const SimAssignment& assign
       machine.a2a_setup_per_peer * static_cast<double>(p);
 
   // --- exchange-compute supersteps ---
+  // Straggler-perturbed timelines: one straggle opportunity per rank per
+  // round, at the round barrier — the stalled rank books the pause as sync
+  // (it is not computing), every other rank waits it out through busy_max.
+  std::optional<rt::FaultInjector> chaos;
+  if (options.faults.enabled()) chaos.emplace(options.faults);
   std::vector<double> compute_acc(p, 0), overhead_acc(p, 0), comm_acc(p, 0), sync_acc(p, 0);
   double runtime = request_comm;
 
@@ -191,7 +205,9 @@ SimResult simulate_bsp(const MachineParams& machine, const SimAssignment& assign
       compute_acc[r] += compute;
       overhead_acc[r] += overhead;
       comm_acc[r] += round_comm;
-      busy[r] = compute + overhead;
+      const double pause = straggle_pause(chaos, r, round);
+      sync_acc[r] += pause;
+      busy[r] = compute + overhead + pause;
       busy_max = std::max(busy_max, busy[r]);
     }
     for (std::size_t r = 0; r < p; ++r) sync_acc[r] += busy_max - busy[r];
@@ -254,6 +270,13 @@ SimResult simulate_async(const MachineParams& machine, const SimAssignment& assi
   result.messages = plan.async_messages;
   result.exchange_bytes = plan.exchange_bytes;
 
+  // Straggler-perturbed timelines: the async engine has two collectives —
+  // the split-phase entry barrier (entry 0) and the exit/service barrier
+  // (entry 1) — each a straggle opportunity per rank, booked as that rank's
+  // own sync and as everyone else's wait through the phase maximum.
+  std::optional<rt::FaultInjector> chaos;
+  if (options.faults.enabled()) chaos.emplace(options.faults);
+  std::vector<double> stall(p, 0);
   std::vector<double> total(p);
   for (std::size_t r = 0; r < p; ++r) {
     const RankWork& work = assignment.ranks[r];
@@ -328,12 +351,14 @@ SimResult simulate_async(const MachineParams& machine, const SimAssignment& assi
         work.pulls.size() * kAsyncPullBytes +
         static_cast<std::uint64_t>(window * avg_pull_bytes);
 
-    total[r] = busy + comm;
+    stall[r] = straggle_pause(chaos, r, 0) + straggle_pause(chaos, r, 1);
+    total[r] = busy + comm + stall[r];
   }
 
   double phase = 0;
   for (double t : total) phase = std::max(phase, t);
-  for (std::size_t r = 0; r < p; ++r) result.ranks[r].sync = phase - total[r];
+  for (std::size_t r = 0; r < p; ++r)
+    result.ranks[r].sync = phase - total[r] + stall[r];
   result.runtime = phase;
   return result;
 }

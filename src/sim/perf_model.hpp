@@ -28,6 +28,7 @@
 
 #include "core/calibrate.hpp"
 #include "proto/config.hpp"
+#include "rt/fault.hpp"
 #include "sim/assignment.hpp"
 #include "sim/machine.hpp"
 #include "stat/breakdown.hpp"
@@ -63,6 +64,12 @@ struct SimOptions {
   /// [0, os_noise]. Models the system-overhead isolation study (Fig. 3).
   double os_noise = 0.002;
   std::uint64_t noise_seed = 7;
+  /// Straggler-perturbed timelines: the same rt::FaultPlan the threaded
+  /// runtime injects, consulted here for its straggle schedule (one
+  /// opportunity per rank per BSP round; entry and exit barriers for
+  /// async). Degradation under faults is thereby both executed (rt) and
+  /// simulated (here) from one replayable seed. Disabled by default.
+  rt::FaultPlan faults;
 };
 
 /// Per-rank virtual timelines land in the backend-shared breakdown record

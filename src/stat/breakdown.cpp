@@ -18,6 +18,7 @@ Summary summarize(std::span<const Breakdown> ranks, double runtime) {
     sync.add(b.sync);
     total_max = std::max(total_max, b.total());
     summary.peak_memory_max = std::max(summary.peak_memory_max, b.peak_memory);
+    summary.faults.merge(b.faults);
   }
   summary.runtime = runtime < 0 ? total_max : runtime;
   summary.compute_avg = compute.mean();
@@ -47,6 +48,20 @@ void add_breakdown_row(Table& table, std::vector<Table::Cell> labels, const Summ
   labels.emplace_back(summary.rounds);
   labels.emplace_back(summary.messages);
   labels.emplace_back(static_cast<double>(summary.exchange_bytes) / 1e6);
+  table.add_row(std::move(labels));
+}
+
+std::vector<std::string> fault_headers(std::vector<std::string> labels) {
+  for (const char* column : {"retries", "timeouts", "duplicates", "checksum_fail"})
+    labels.emplace_back(column);
+  return labels;
+}
+
+void add_fault_row(Table& table, std::vector<Table::Cell> labels, const Summary& summary) {
+  labels.emplace_back(summary.faults.retries);
+  labels.emplace_back(summary.faults.timeouts);
+  labels.emplace_back(summary.faults.duplicates);
+  labels.emplace_back(summary.faults.checksum_failures);
   table.add_row(std::move(labels));
 }
 

@@ -16,6 +16,28 @@
 
 namespace gnb::stat {
 
+/// Robustness counters, filled per rank by the runtime and the engines
+/// (retry/dedup protocol, BSP payload verification). All-zero in a healthy
+/// fault-free run; nonzero under rt::FaultPlan injection — the observable
+/// evidence that the hardening actually fired.
+struct FaultCounters {
+  std::uint64_t retries = 0;            // pull RPCs re-issued after a timeout
+  std::uint64_t timeouts = 0;           // timeout events observed by the caller
+  std::uint64_t duplicates = 0;         // duplicate deliveries/replies detected
+  std::uint64_t checksum_failures = 0;  // BSP round payloads failing verification
+
+  void merge(const FaultCounters& other) {
+    retries += other.retries;
+    timeouts += other.timeouts;
+    duplicates += other.duplicates;
+    checksum_failures += other.checksum_failures;
+  }
+
+  [[nodiscard]] bool any() const {
+    return retries || timeouts || duplicates || checksum_failures;
+  }
+};
+
 /// One rank's phase breakdown (seconds) and peak memory (bytes).
 struct Breakdown {
   double compute = 0;   // "Computation (Alignment)"
@@ -23,6 +45,7 @@ struct Breakdown {
   double comm = 0;      // visible communication latency
   double sync = 0;      // barrier / exit-barrier waiting (imbalance)
   std::uint64_t peak_memory = 0;
+  FaultCounters faults;
 
   [[nodiscard]] double total() const { return compute + overhead + comm + sync; }
 };
@@ -42,6 +65,7 @@ struct Summary {
   std::uint64_t rounds = 1;                 // BSP supersteps
   std::uint64_t messages = 0;               // buffers / RPCs on the wire
   std::uint64_t exchange_bytes = 0;         // total payload exchanged
+  FaultCounters faults;                     // summed across ranks
 
   [[nodiscard]] double comm_fraction() const { return runtime > 0 ? comm_avg / runtime : 0; }
 };
@@ -58,5 +82,12 @@ struct Summary {
 
 /// Append one row matching breakdown_headers(labels).
 void add_breakdown_row(Table& table, std::vector<Table::Cell> labels, const Summary& summary);
+
+/// The fault-counter table schema (printed by `gnbody --faults` and chaos
+/// harnesses): key columns, then retry/timeout/duplicate/checksum columns.
+[[nodiscard]] std::vector<std::string> fault_headers(std::vector<std::string> labels);
+
+/// Append one row matching fault_headers(labels).
+void add_fault_row(Table& table, std::vector<Table::Cell> labels, const Summary& summary);
 
 }  // namespace gnb::stat

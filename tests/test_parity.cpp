@@ -37,6 +37,12 @@ struct Fixture {
   sim::SimAssignment assignment;  // via the real-pipeline adapter
 };
 
+/// Shared across every test in this binary — and safe to share: the
+/// fixture is built once (thread-safe magic static), `const` thereafter,
+/// and no test mutates it; engine runs construct their own rt::World and
+/// only read the dataset/tasks. Tests therefore stay order-independent:
+/// any subset, in any order (gtest shuffle included), sees the same
+/// deterministic fixture (fixed dataset seed 33).
 const Fixture& fixture() {
   static const Fixture f = [] {
     Fixture fx;

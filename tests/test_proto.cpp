@@ -195,6 +195,43 @@ TEST(Window, ZeroLimitClampsToOne) {
   EXPECT_EQ(window.limit(), 1u);
 }
 
+TEST(Window, ThrottleBoundaryAtExactlyLimitOutstanding) {
+  // Regression for the throttle boundary: with in_flight == limit the
+  // window must be closed (not off-by-one open), one reply must open
+  // exactly one slot, and in_flight must never exceed limit through a
+  // long issue/reply interleave.
+  constexpr std::size_t kLimit = 8;
+  RequestWindow window(kLimit);
+  for (std::size_t i = 0; i < kLimit; ++i) {
+    EXPECT_TRUE(window.can_issue()) << "slot " << i;
+    window.on_issue();
+  }
+  EXPECT_EQ(window.in_flight(), kLimit);
+  EXPECT_FALSE(window.can_issue());  // limit == outstanding: closed
+  window.on_reply();
+  EXPECT_EQ(window.in_flight(), kLimit - 1);
+  EXPECT_TRUE(window.can_issue());  // exactly one slot opened
+  window.on_issue();
+  EXPECT_FALSE(window.can_issue());
+  // Sustained steady state at the boundary: reply/issue pairs keep the
+  // window saturated but never oversubscribed.
+  for (int step = 0; step < 100; ++step) {
+    window.on_reply();
+    ASSERT_TRUE(window.can_issue());
+    window.on_issue();
+    ASSERT_EQ(window.in_flight(), kLimit);
+    ASSERT_FALSE(window.can_issue());
+  }
+  EXPECT_EQ(window.issued(), kLimit + 1 + 100);
+}
+
+TEST(Window, ReplyUnderflowIsClamped) {
+  RequestWindow window(2);
+  window.on_reply();  // stray reply with nothing in flight
+  EXPECT_EQ(window.in_flight(), 0u);
+  EXPECT_TRUE(window.can_issue());
+}
+
 // ---------- effective_round_budget ----------
 
 TEST(Budget, ExplicitBudgetHonoredExactly) {

@@ -142,8 +142,9 @@ TEST_P(WorldRanks, GatherCollectsOntoRoot) {
       ASSERT_EQ(gathered.size(), p);
       for (std::size_t src = 0; src < p; ++src) {
         EXPECT_EQ(gathered[src].size(), src + 1);
-        if (!gathered[src].empty())
+        if (!gathered[src].empty()) {
           EXPECT_EQ(gathered[src][0], static_cast<std::uint8_t>(src));
+        }
       }
     } else {
       EXPECT_TRUE(gathered.empty());
@@ -290,7 +291,86 @@ TEST(Rpc, ServedCountsTracked) {
       rank.rpc().drain();
     }
     rank.service_barrier();
-    if (rank.id() == 1) EXPECT_EQ(rank.rpc().requests_served(), 10u);
+    if (rank.id() == 1) {
+      EXPECT_EQ(rank.rpc().requests_served(), 10u);
+    }
+  });
+}
+
+TEST(Rpc, StressManyRanksMixedTrafficAndThrottles) {
+  // Endpoint stress: 8 ranks hammer call/progress/throttle concurrently
+  // with varying payload sizes, varying throttle limits, and bursts of
+  // back-to-back calls — the workload the ThreadSanitizer CI job runs to
+  // flush data races out of the inbox/held-queue locking.
+  constexpr std::size_t kRanks = 8;
+  constexpr std::uint32_t kCalls = 400;
+  World world(kRanks);
+  world.run([&](Rank& rank) {
+    rank.rpc().register_handler(21, [](std::uint32_t, std::span<const std::uint8_t> in) {
+      // Echo back the payload checksum so the caller can verify integrity.
+      RpcEndpoint::Bytes reply;
+      wire::put<std::uint64_t>(reply, wire::checksum(in));
+      return reply;
+    });
+    rank.barrier();
+    std::uint64_t answered = 0;
+    Xoshiro256 rng(rank.id() * 17 + 5);
+    for (std::uint32_t i = 0; i < kCalls; ++i) {
+      rank.rpc().throttle(1 + rng.below(64));  // shifting window limits
+      const auto target = static_cast<std::uint32_t>(rng.below(kRanks));
+      RpcEndpoint::Bytes payload(rng.below(256), static_cast<std::uint8_t>(i));
+      const std::uint64_t expected = wire::checksum(payload);
+      rank.rpc().call(target, 21, std::move(payload),
+                      [&answered, expected](RpcEndpoint::Bytes reply) {
+                        std::size_t offset = 0;
+                        EXPECT_EQ(wire::get<std::uint64_t>(reply, offset), expected);
+                        ++answered;
+                      });
+      if (rng.below(4) == 0) rank.rpc().progress();  // interleave extra polls
+    }
+    rank.rpc().drain();
+    EXPECT_EQ(answered, kCalls);
+    rank.service_barrier();
+  });
+}
+
+TEST(Rpc, StressUnderFaultInjectionStillCompletesEveryCall) {
+  // Same hammering, with every injector fault mode active. The endpoint
+  // contract under injection: each call's callback still fires exactly
+  // once (duplicate replies are dropped as orphans), no delivery is lost,
+  // and the run terminates.
+  constexpr std::size_t kRanks = 4;
+  constexpr std::uint32_t kCalls = 250;
+  World world(kRanks);
+  FaultPlan plan;
+  plan.seed = 77;
+  plan.delay_prob = 0.4;
+  plan.max_delay_ticks = 12;
+  plan.dup_prob = 0.3;
+  plan.reorder_prob = 0.3;
+  world.set_faults(plan);
+  world.run([&](Rank& rank) {
+    rank.rpc().register_handler(22, [](std::uint32_t, std::span<const std::uint8_t> in) {
+      return RpcEndpoint::Bytes(in.begin(), in.end());
+    });
+    rank.barrier();
+    std::uint64_t answered = 0;
+    Xoshiro256 rng(rank.id() + 900);
+    for (std::uint32_t i = 0; i < kCalls; ++i) {
+      rank.rpc().throttle(16);
+      const auto target = static_cast<std::uint32_t>(rng.below(kRanks));
+      RpcEndpoint::Bytes payload;
+      wire::put<std::uint32_t>(payload, i);
+      rank.rpc().call(target, 22, std::move(payload),
+                      [&answered, i](RpcEndpoint::Bytes reply) {
+                        std::size_t offset = 0;
+                        EXPECT_EQ(wire::get<std::uint32_t>(reply, offset), i);
+                        ++answered;
+                      });
+    }
+    rank.rpc().drain();
+    EXPECT_EQ(answered, kCalls);
+    rank.service_barrier();
   });
 }
 

@@ -63,7 +63,8 @@ struct OverlapRun {
 
 OverlapRun run_overlap(const seq::ReadStore& reads, std::size_t ranks, std::uint32_t k,
                        double coverage, double error, const std::string& engine_name,
-                       std::int32_t min_score, std::uint32_t min_overlap) {
+                       std::int32_t min_score, std::uint32_t min_overlap,
+                       const rt::FaultPlan& faults = {}) {
   const auto band =
       kmer::reliable_bounds(kmer::BellaParams{coverage, error, k, 1e-3});
   log::info("k-mer filter: k=", k, ", reliable band [", band.lo, ", ", band.hi, "]");
@@ -82,6 +83,10 @@ OverlapRun run_overlap(const seq::ReadStore& reads, std::size_t ranks, std::uint
 
   OverlapRun run;
   rt::World world(ranks);
+  if (faults.enabled()) {
+    world.set_faults(faults);
+    log::info("fault injection on; replay with --faults ", faults.to_spec());
+  }
   std::vector<core::EngineResult> per_rank(ranks);
   world.run([&](rt::Rank& rank) {
     per_rank[rank.id()] =
@@ -149,17 +154,28 @@ int cmd_overlap(int argc, char** argv) {
   auto min_score = cli.opt<std::int64_t>("min-score", 50, "minimum alignment score");
   auto min_overlap = cli.opt<std::uint64_t>("min-overlap", 100, "minimum overlap length");
   auto breakdown = cli.flag("breakdown", "print the measured phase breakdown table");
+  auto faults = cli.opt<std::string>(
+      "faults", "",
+      "fault spec: a bare seed, or seed=..,delay=P:T,dup=P,reorder=P,straggle=P:U");
   cli.parse(argc, argv);
+
+  rt::FaultPlan plan;
+  if (!faults->empty()) plan = rt::FaultPlan::parse(*faults);
 
   const seq::ReadStore reads = load_fasta(*in);
   log::info("loaded ", reads.size(), " reads (", reads.total_bases(), " bases)");
   const auto run = run_overlap(reads, *ranks, static_cast<std::uint32_t>(*k), *coverage,
                                *error, *engine, static_cast<std::int32_t>(*min_score),
-                               static_cast<std::uint32_t>(*min_overlap));
+                               static_cast<std::uint32_t>(*min_overlap), plan);
   if (*breakdown) {
     Table table(stat::breakdown_headers({"engine"}));
     stat::add_breakdown_row(table, {*engine}, run.summary);
     table.print("measured phase breakdown (" + std::to_string(*ranks) + " ranks)");
+  }
+  if (plan.enabled()) {
+    Table table(stat::fault_headers({"engine"}));
+    stat::add_fault_row(table, {*engine}, run.summary);
+    table.print("fault-injection counters (seed " + std::to_string(plan.seed) + ")");
   }
   std::ofstream file(*out);
   GNB_THROW_IF(!file, "cannot open output: " << *out);
