@@ -1,9 +1,12 @@
 #include "core/async.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 
+#include "core/recovery.hpp"
 #include "proto/pull_index.hpp"
 #include "util/error.hpp"
 #include "util/wire.hpp"
@@ -28,6 +31,7 @@ struct PullState {
   std::uint64_t issued_tick = 0;  // completion-loop tick of the last (re)issue
   std::uint32_t attempts = 1;
   bool done = false;
+  bool exhausted = false;  // retry budget spent (counted once)
 };
 
 }  // namespace
@@ -38,6 +42,13 @@ EngineResult async_align(rt::Rank& rank, const seq::ReadStore& store,
                          const EngineConfig& config) {
   EngineResult result;
   const std::uint32_t me = rank.id();
+
+  // Recovery bookkeeping only exists under a fault plan (zero cost on the
+  // fault-free path). Constructing the context publishes this rank's phase
+  // manifest before the first crash point can fire.
+  const bool chaos = rank.faults() != nullptr;
+  std::optional<RecoveryContext> rc;
+  if (chaos) rc.emplace(rank, store, bounds, my_tasks, config);
 
   // --- index tasks by the remote read they need (paper §3.2, src/proto) ---
   rank.timers().overhead.start();
@@ -52,7 +63,7 @@ EngineResult async_align(rt::Rank& rank, const seq::ReadStore& store,
   // owner-batching decision: one RPC per pull at async_batch = 1, larger
   // aggregated lookups otherwise.
   index.finalize();
-  const std::vector<proto::PullBatch> batches =
+  std::vector<proto::PullBatch> batches =
       proto::batch_pulls(index.pulls(), config.proto.async_batch);
   proto::RequestWindow window(config.proto.async_window);
 
@@ -61,12 +72,15 @@ EngineResult async_align(rt::Rank& rank, const seq::ReadStore& store,
   // replies — from injected duplicates or from retries whose original
   // eventually arrived — are dropped, and the callee keeps a reply cache so
   // duplicate requests are served identically without recomputation.
-  const bool chaos = rank.faults() != nullptr;
   std::vector<PullState> states(batches.size());
   std::size_t completed = 0;
 
   // Serve lookups into my partition: [logical id][id list] -> [logical id]
-  // [concatenated reads].
+  // [concatenated reads]. Under chaos, ownership is the (lazily refreshed)
+  // failure-aware map: reads adopted from dead ranks are servable here, and
+  // a requested read this rank does NOT own under its view — which is at
+  // least as new as any requester's — is silently omitted from the reply;
+  // the requester detects the gap and re-pulls from the owner it sees next.
   std::unordered_map<std::uint64_t, Bytes> reply_cache;  // (src, logical) -> reply
   rank.rpc().register_handler(
       kReadLookupRpc, [&](std::uint32_t src, std::span<const std::uint8_t> in) {
@@ -86,7 +100,11 @@ EngineResult async_align(rt::Rank& rank, const seq::ReadStore& store,
         wire::put<std::uint64_t>(reply, logical);
         while (offset < in.size()) {
           const auto id = wire::get<std::uint32_t>(in, offset);
-          seq::serialize_read(local_read(store, bounds, me, id), reply);
+          if (chaos) {
+            if (const seq::Read* read = rc->owned_read(id)) seq::serialize_read(*read, reply);
+          } else {
+            seq::serialize_read(local_read(store, bounds, me, id), reply);
+          }
         }
         if (chaos) reply_cache.emplace(cache_key, reply);
         return reply;
@@ -97,13 +115,47 @@ EngineResult async_align(rt::Rank& rank, const seq::ReadStore& store,
   rank.split_barrier_arrive();
   for (const std::size_t t : index.local_tasks()) {
     const AlignTask& task = my_tasks[t];
+    const std::size_t before = result.accepted.size();
     execute_task(task, local_read(store, bounds, me, task.a),
                  local_read(store, bounds, me, task.b), config, rank.timers(), result);
+    if (rc) rc->log_completion(t, result, before);
   }
   // Exit only once every rank's reads are accessible via RPC lookup.
   rank.split_barrier_wait();
 
   // --- asynchronous pulls with compute-in-callback ---
+  // Exactly-once guard on the remote reads themselves: a read can reach
+  // this rank twice under failures (a reply racing the death notice of a
+  // re-pulled batch), and its tasks must execute once.
+  std::unordered_set<seq::ReadId> processed;
+  const auto process_read = [&](const seq::Read& remote) {
+    if (chaos && !processed.insert(remote.id).second) {
+      ++rank.fault_counters().duplicates;
+      return;
+    }
+    const std::vector<std::size_t>& tasks = index.tasks_for(remote.id);
+    GNB_CHECK_MSG(!tasks.empty(), "RPC returned unrequested read " << remote.id);
+    for (const std::size_t t : tasks) {
+      const AlignTask& task = my_tasks[t];
+      const bool remote_is_a = task.a == remote.id;
+      const seq::Read& other = local_read(store, bounds, me, remote_is_a ? task.b : task.a);
+      const std::size_t before = result.accepted.size();
+      if (remote_is_a)
+        execute_task(task, remote, other, config, rank.timers(), result);
+      else
+        execute_task(task, other, remote, config, rank.timers(), result);
+      if (rc) rc->log_completion(t, result, before);
+    }
+  };
+
+  // Failure reactions are *deferred* out of RPC callbacks into the
+  // completion loop (callbacks run inside progress(), where re-issuing
+  // would recurse): logical pulls whose peer died, and reads a partial
+  // reply omitted, queue here until the next loop pass re-routes them.
+  std::vector<std::size_t> peer_dead_pulls;
+  std::vector<seq::ReadId> orphaned_reads;
+  std::uint64_t tick = 0;  // completion-loop polls (the engine's clock)
+
   const auto on_reply = [&](Bytes reply) {
     std::size_t offset = 0;
     const auto logical = wire::get<std::uint64_t>(reply, offset);
@@ -121,23 +173,27 @@ EngineResult async_align(rt::Rank& rank, const seq::ReadStore& store,
     const std::size_t payload_bytes = reply.size() - offset;
     rank.memory().charge(payload_bytes);
     result.exchange_bytes_received += payload_bytes;
+    std::vector<seq::ReadId> served;
     while (offset < reply.size()) {
       rank.timers().overhead.start();
       const seq::Read remote = seq::deserialize_read(reply, offset);
       rank.timers().overhead.stop();
-      const std::vector<std::size_t>& tasks = index.tasks_for(remote.id);
-      GNB_CHECK_MSG(!tasks.empty(), "RPC returned unrequested read " << remote.id);
-      for (const std::size_t t : tasks) {
-        const AlignTask& task = my_tasks[t];
-        const bool remote_is_a = task.a == remote.id;
-        const seq::Read& other = local_read(store, bounds, me, remote_is_a ? task.b : task.a);
-        if (remote_is_a)
-          execute_task(task, remote, other, config, rank.timers(), result);
-        else
-          execute_task(task, other, remote, config, rank.timers(), result);
-      }
+      if (chaos) served.push_back(remote.id);
+      process_read(remote);
     }
     rank.memory().release(payload_bytes);
+    if (chaos && served.size() != batches[logical].reads.size()) {
+      // Partial service: the callee's failure-aware view no longer owned
+      // some of the requested reads. Replies preserve request order, so
+      // the omissions are the ids the two-pointer walk skips.
+      std::size_t si = 0;
+      for (const seq::ReadId id : batches[logical].reads) {
+        if (si < served.size() && served[si] == id)
+          ++si;
+        else
+          orphaned_reads.push_back(id);
+      }
+    }
   };
 
   const auto issue = [&](std::size_t b) {
@@ -146,11 +202,60 @@ EngineResult async_align(rt::Rank& rank, const seq::ReadStore& store,
     for (const std::uint32_t id : batches[b].reads) wire::put<std::uint32_t>(payload, id);
     rank.timers().comm.start();
     rank.rpc().call(batches[b].owner, kReadLookupRpc, std::move(payload),
-                    [&](Bytes reply) { on_reply(std::move(reply)); });
+                    [&, b](rt::RpcStatus status, Bytes reply) {
+                      if (status != rt::RpcStatus::kOk) {
+                        peer_dead_pulls.push_back(b);
+                        return;
+                      }
+                      on_reply(std::move(reply));
+                    });
     rank.timers().comm.stop();
   };
 
-  for (std::size_t b = 0; b < batches.size(); ++b) {
+  // Re-route failed work: a pull whose peer died releases all its reads;
+  // each orphaned read is re-pulled from the owner this rank currently
+  // sees for it — or served locally when the dead rank's shard fell to
+  // this rank. Purely unilateral (no collectives): the asynchronous phase
+  // has no synchronization points to agree at until its exit barrier.
+  const auto react_to_failures = [&] {
+    while (!peer_dead_pulls.empty() || !orphaned_reads.empty()) {
+      std::vector<std::size_t> failed;
+      failed.swap(peer_dead_pulls);
+      for (const std::size_t b : failed) {
+        PullState& state = states[b];
+        if (state.done) continue;  // the reply raced the death notice
+        state.done = true;
+        ++completed;
+        window.on_reply();
+        for (const seq::ReadId id : batches[b].reads) orphaned_reads.push_back(id);
+      }
+      std::vector<seq::ReadId> ids;
+      ids.swap(orphaned_reads);
+      std::unordered_map<std::uint32_t, std::vector<seq::ReadId>> regrouped;
+      for (const seq::ReadId id : ids) {
+        const std::uint32_t owner = rc->owner_of(id);
+        if (owner == me)
+          process_read(store.get(id));
+        else
+          regrouped[owner].push_back(id);
+      }
+      for (auto& [owner, reads] : regrouped) {
+        batches.push_back(proto::PullBatch{owner, std::move(reads)});
+        PullState fresh;
+        fresh.issued_tick = tick;
+        states.push_back(fresh);
+        // Throttling polls progress, which may fail more pulls or deliver
+        // more partial replies — the outer while picks those up.
+        rank.rpc().throttle(window.limit());
+        window.on_issue();
+        issue(batches.size() - 1);
+        ++result.messages;
+      }
+    }
+  };
+
+  const std::size_t initial_batches = batches.size();
+  for (std::size_t b = 0; b < initial_batches; ++b) {
     // Bound outstanding requests; polling here both throttles and serves.
     rank.rpc().throttle(window.limit());
     window.on_issue();
@@ -162,12 +267,25 @@ EngineResult async_align(rt::Rank& rank, const seq::ReadStore& store,
   // Time is progress() polls, not the wall clock: deterministic under the
   // runtime's control and proportional to how much serving the rank has
   // actually done. The per-pull timeout doubles with every attempt
-  // (bounded exponential backoff); after max_retries the caller keeps
-  // polling — delivery is reliable, only untimely — and counts the event.
+  // (bounded exponential backoff); once the budget is spent the event is
+  // counted and — with no fault injector to explain the silence — surfaced
+  // as a typed RpcRetriesExhaustedError instead of waiting forever. Under
+  // chaos the caller keeps polling: injected delays make late delivery the
+  // expected outcome, and peer death arrives separately as kPeerDead.
   const std::uint64_t timeout = config.proto.rpc_timeout;
-  std::uint64_t tick = 0;
+  std::size_t crash_checked = 0;
   while (completed < batches.size()) {
     if (rank.rpc().progress() == 0) std::this_thread::yield();
+    if (chaos) {
+      react_to_failures();
+      // One crash point per fully processed pull batch, taken outside the
+      // callback stack: completed work is durable before this rank can die.
+      while (crash_checked < completed) {
+        ++crash_checked;
+        rc->flush();
+        rank.crash_point();
+      }
+    }
     ++tick;
     if (timeout == 0 || (tick & kTimeoutScanMask) != 0) continue;
     for (std::size_t b = 0; b < batches.size(); ++b) {
@@ -178,7 +296,20 @@ EngineResult async_align(rt::Rank& rank, const seq::ReadStore& store,
       if (tick - state.issued_tick < backoff) continue;
       ++rank.fault_counters().timeouts;
       state.issued_tick = tick;
-      if (state.attempts > config.proto.max_retries) continue;  // bounded: wait it out
+      if (state.attempts > config.proto.max_retries) {
+        if (!state.exhausted) {
+          state.exhausted = true;
+          ++rank.fault_counters().retry_exhausted;
+          if (!chaos) {
+            std::ostringstream msg;
+            msg << "rank " << me << ": pull " << b << " to rank " << batches[b].owner
+                << " still unanswered after " << config.proto.max_retries
+                << " retries and no fault injection to explain it";
+            throw RpcRetriesExhaustedError(msg.str());
+          }
+        }
+        continue;  // chaos: delivery is reliable, only untimely — wait it out
+      }
       ++state.attempts;
       ++rank.fault_counters().retries;
       rank.rpc().throttle(window.limit());
@@ -188,10 +319,37 @@ EngineResult async_align(rt::Rank& rank, const seq::ReadStore& store,
   // Flush rt-level stragglers (late duplicate replies of retried pulls) so
   // no callback capturing this frame survives the phase.
   rank.rpc().drain();
-  GNB_CHECK(window.issued() == batches.size());
+  if (chaos) {
+    react_to_failures();  // a drained straggler may have been a partial reply
+    while (completed < batches.size()) {
+      if (rank.rpc().progress() == 0) std::this_thread::yield();
+      react_to_failures();
+    }
+    rank.rpc().drain();
+  } else {
+    GNB_CHECK(window.issued() == batches.size());
+  }
 
   // --- single exit barrier: stay serviceable until everyone is done ---
-  rank.service_barrier();
+  if (!chaos) {
+    rank.service_barrier();
+    return result;
+  }
+  // Under a fault plan the exit is an agreement loop. service_barrier keeps
+  // this rank serving pulls until every alive rank finished its own loop —
+  // only then is it safe to enter collectives (nobody needs RPC service
+  // anymore). recover() runs unconditionally: the asynchronous phase has no
+  // stamping collectives of its own, so its first gate both detects and
+  // agrees on any deaths; when nothing died it is a single cheap allreduce.
+  // The trailing barrier stamps the snapshot the loop condition reads, so
+  // continuing or breaking is unanimous.
+  for (;;) {
+    rc->flush();
+    rank.service_barrier();
+    rc->recover(result, nullptr, nullptr);
+    rank.barrier();
+    if (!rc->needs_recovery()) break;
+  }
   return result;
 }
 

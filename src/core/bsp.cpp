@@ -1,7 +1,9 @@
 #include "core/bsp.hpp"
 
 #include <algorithm>
+#include <optional>
 
+#include "core/recovery.hpp"
 #include "proto/config.hpp"
 #include "proto/pull_index.hpp"
 #include "proto/round_planner.hpp"
@@ -23,6 +25,16 @@ EngineResult bsp_align(rt::Rank& rank, const seq::ReadStore& store,
   const std::size_t p = rank.nranks();
   const std::uint32_t me = rank.id();
 
+  // Recovery bookkeeping only exists under a fault plan (zero cost on the
+  // fault-free path). Constructing the context publishes this rank's phase
+  // manifest before the first crash point can fire.
+  const bool chaos = rank.faults() != nullptr;
+  std::optional<RecoveryContext> rc;
+  if (chaos) rc.emplace(rank, store, bounds, my_tasks, config);
+  const auto checkpoint = [&] {
+    if (rc) rc->flush();
+  };
+
   // --- index tasks: local-local vs needing one remote read (src/proto) ---
   rank.timers().overhead.start();
   proto::PullIndex index;
@@ -35,11 +47,31 @@ EngineResult bsp_align(rt::Rank& rank, const seq::ReadStore& store,
   index.finalize();
   rank.timers().overhead.stop();
 
+  // Execute every pending task of an arriving remote read, logging each
+  // completion durably when chaos is on. Used for reads unpacked from
+  // exchange rounds and for reads the recovery fetch hands back.
+  const auto run_tasks_for = [&](const seq::Read& remote) {
+    const std::vector<std::size_t>& tasks = index.tasks_for(remote.id);
+    GNB_CHECK_MSG(!tasks.empty(), "received unrequested read " << remote.id);
+    for (const std::size_t t : tasks) {
+      const AlignTask& task = my_tasks[t];
+      const bool remote_is_a = task.a == remote.id;
+      const seq::Read& other = local_read(store, bounds, me, remote_is_a ? task.b : task.a);
+      const std::size_t before = result.accepted.size();
+      if (remote_is_a)
+        execute_task(task, remote, other, config, rank.timers(), result);
+      else
+        execute_task(task, other, remote, config, rank.timers(), result);
+      if (rc) rc->log_completion(t, result, before);
+    }
+  };
+
   // --- request exchange: tell each owner which reads to send me ---
   const std::vector<std::vector<std::uint32_t>> needed = index.needed_by_owner(p);
   std::vector<Bytes> request_msgs(p);
   for (std::size_t dst = 0; dst < p; ++dst)
     for (const std::uint32_t id : needed[dst]) wire::put<std::uint32_t>(request_msgs[dst], id);
+  checkpoint();
   const std::vector<Bytes> request_bufs = rank.alltoallv(std::move(request_msgs));
 
   // Per-destination FIFO serve queues, with exact wire sizes for the
@@ -63,6 +95,7 @@ EngineResult bsp_align(rt::Rank& rank, const seq::ReadStore& store,
   // Sizes exchange: each requester learns how many bytes it will pull, so
   // every rank can evaluate the shared round formula on (pull + serve) —
   // the exact quantity the simulator budgets (proto::rounds_needed).
+  checkpoint();
   const std::vector<std::uint64_t> pull_totals = rank.alltoall(serve_totals);
   std::uint64_t pull_bytes = 0;
   for (const std::uint64_t bytes : pull_totals) pull_bytes += bytes;
@@ -70,20 +103,84 @@ EngineResult bsp_align(rt::Rank& rank, const seq::ReadStore& store,
   // --- local-local tasks: no communication required ---
   for (const std::size_t t : index.local_tasks()) {
     const AlignTask& task = my_tasks[t];
+    const std::size_t before = result.accepted.size();
     execute_task(task, local_read(store, bounds, me, task.a),
                  local_read(store, bounds, me, task.b), config, rank.timers(), result);
+    if (rc) rc->log_completion(t, result, before);
   }
 
   // --- the shared protocol decision: round count and per-round packing ---
   const std::uint64_t budget = proto::effective_round_budget(config.proto, 0, 0);
   const std::uint64_t local_rounds = proto::rounds_needed(pull_bytes + serve_bytes, budget);
+  checkpoint();
   const auto nrounds = static_cast<std::uint64_t>(
       rank.allreduce_max(static_cast<double>(local_rounds)));
-  const proto::RoundPlan plan = proto::plan_rounds(serve_sizes, nrounds);
+  proto::RoundPlan plan = proto::plan_rounds(serve_sizes, nrounds);
+
+  // --- recovery hooks (all no-ops until a death is agreed on) ---
+  // FIFO delivery accounting: reads from owner o arrive exactly in
+  // needed[o] order (serve queues are built in request order and
+  // plan_rounds packs FIFO prefixes), so when o dies the reads this rank
+  // will never receive are precisely the suffix needed[o][received[o]:].
+  std::vector<std::size_t> received_count(p, 0);
+  std::vector<char> missing_reported(p, 0);
+  const auto report_missing = [&](const std::vector<char>& alive) {
+    std::vector<seq::ReadId> missing;
+    for (std::size_t o = 0; o < p; ++o) {
+      if (alive[o] || missing_reported[o] != 0) continue;
+      missing_reported[o] = 1;
+      missing.insert(missing.end(),
+                     needed[o].begin() + static_cast<std::ptrdiff_t>(received_count[o]),
+                     needed[o].end());
+    }
+    return missing;
+  };
+
+  std::uint64_t round = 0;
+  std::vector<std::size_t> next(p, 0);
+  // Re-agree on the remaining supersteps after a recovery pass: drop the
+  // FIFO prefixes already sent and everything owed to dead destinations,
+  // then rerun the shared round formula on what is left — the same memory
+  // budget governs the replanned exchange.
+  const auto replan = [&] {
+    const std::vector<char>& alive = rank.collective_alive();
+    serve_bytes = 0;
+    for (std::size_t dst = 0; dst < p; ++dst) {
+      if (!alive[dst]) {
+        to_serve[dst].clear();
+        serve_sizes[dst].clear();
+      } else {
+        to_serve[dst].erase(to_serve[dst].begin(),
+                            to_serve[dst].begin() + static_cast<std::ptrdiff_t>(next[dst]));
+        serve_sizes[dst].erase(
+            serve_sizes[dst].begin(),
+            serve_sizes[dst].begin() + static_cast<std::ptrdiff_t>(next[dst]));
+      }
+      next[dst] = 0;
+      serve_totals[dst] = 0;
+      for (const std::uint64_t bytes : serve_sizes[dst]) serve_totals[dst] += bytes;
+      serve_bytes += serve_totals[dst];
+    }
+    checkpoint();
+    const std::vector<std::uint64_t> new_pull_totals = rank.alltoall(serve_totals);
+    pull_bytes = 0;
+    for (const std::uint64_t bytes : new_pull_totals) pull_bytes += bytes;
+    checkpoint();
+    const auto new_nrounds = static_cast<std::uint64_t>(rank.allreduce_max(
+        static_cast<double>(proto::rounds_needed(pull_bytes + serve_bytes, budget))));
+    plan = proto::plan_rounds(serve_sizes, new_nrounds);
+    round = 0;
+  };
+  const auto poll_recovery = [&] {
+    while (rc && rc->needs_recovery()) {
+      rc->recover(result, report_missing, run_tasks_for);
+      replan();
+    }
+  };
+  poll_recovery();  // deaths during the request/sizes/round-count setup
 
   // --- dynamically-sized exchange-compute supersteps ---
-  std::vector<std::size_t> next(p, 0);
-  for (std::uint64_t round = 0; round < nrounds; ++round) {
+  while (round < plan.rounds.size()) {
     const proto::Round& step = plan.rounds[round];
     ++result.rounds;
 
@@ -109,6 +206,7 @@ EngineResult bsp_align(rt::Rank& rank, const seq::ReadStore& store,
     result.round_bytes.push_back(packed);
     for (const Bytes& buffer : send) rank.memory().charge(buffer.size());
 
+    checkpoint();
     std::vector<Bytes> received = rank.alltoallv(std::move(send));
     rank.memory().release(packed);
     std::uint64_t received_bytes = 0;
@@ -133,25 +231,28 @@ EngineResult bsp_align(rt::Rank& rank, const seq::ReadStore& store,
         rank.timers().overhead.start();
         const seq::Read remote = seq::deserialize_read(buffer, offset);
         rank.timers().overhead.stop();
-        const std::vector<std::size_t>& tasks = index.tasks_for(remote.id);
-        GNB_CHECK_MSG(!tasks.empty(), "received unrequested read " << remote.id);
-        for (const std::size_t t : tasks) {
-          const AlignTask& task = my_tasks[t];
-          const bool remote_is_a = task.a == remote.id;
-          const seq::Read& other =
-              local_read(store, bounds, me, remote_is_a ? task.b : task.a);
-          if (remote_is_a)
-            execute_task(task, remote, other, config, rank.timers(), result);
-          else
-            execute_task(task, other, remote, config, rank.timers(), result);
-        }
+        run_tasks_for(remote);
+        ++received_count[src];
       }
     }
     rank.memory().release(received_bytes);
+    ++round;
+    // A death at the exchange above was stamped into this rank's agreed
+    // snapshot; recover before packing the next round (so the executed
+    // rounds always match the replanned schedule).
+    poll_recovery();
   }
 
-  // Final synchronization: end of the bulk-synchronous phase.
-  rank.barrier();
+  // Final synchronization: end of the bulk-synchronous phase. Loop until
+  // the stamped snapshot agrees nothing new died — a rank dying *at* this
+  // barrier has finished its own work, but its accepted records must still
+  // be adopted from its durable log.
+  for (;;) {
+    checkpoint();
+    rank.barrier();
+    if (!rc || !rc->needs_recovery()) break;
+    poll_recovery();
+  }
   return result;
 }
 

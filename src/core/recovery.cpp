@@ -1,0 +1,401 @@
+#include "core/recovery.hpp"
+
+#include <algorithm>
+
+#include "proto/config.hpp"
+#include "proto/round_planner.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+#include "util/wire.hpp"
+
+namespace gnb::core {
+
+namespace {
+using kmer::AlignTask;
+using rt::Bytes;
+
+constexpr std::uint8_t kEntryCompletion = 1;
+constexpr std::uint8_t kEntryReexecution = 2;
+constexpr std::uint8_t kEntryClaim = 3;
+
+void put_record(Bytes& out, const align::AlignmentRecord& record) {
+  wire::put<std::uint32_t>(out, record.read_a);
+  wire::put<std::uint32_t>(out, record.read_b);
+  wire::put<std::uint32_t>(out, static_cast<std::uint32_t>(record.alignment.score));
+  wire::put<std::uint32_t>(out, record.alignment.a_begin);
+  wire::put<std::uint32_t>(out, record.alignment.a_end);
+  wire::put<std::uint32_t>(out, record.alignment.b_begin);
+  wire::put<std::uint32_t>(out, record.alignment.b_end);
+  wire::put<std::uint8_t>(out, record.alignment.b_reversed ? 1 : 0);
+  wire::put<std::uint64_t>(out, record.alignment.cells);
+}
+
+align::AlignmentRecord get_record(std::span<const std::uint8_t> in, std::size_t& offset) {
+  align::AlignmentRecord record;
+  record.read_a = wire::get<std::uint32_t>(in, offset);
+  record.read_b = wire::get<std::uint32_t>(in, offset);
+  record.alignment.score = static_cast<std::int32_t>(wire::get<std::uint32_t>(in, offset));
+  record.alignment.a_begin = wire::get<std::uint32_t>(in, offset);
+  record.alignment.a_end = wire::get<std::uint32_t>(in, offset);
+  record.alignment.b_begin = wire::get<std::uint32_t>(in, offset);
+  record.alignment.b_end = wire::get<std::uint32_t>(in, offset);
+  record.alignment.b_reversed = wire::get<std::uint8_t>(in, offset) != 0;
+  record.alignment.cells = wire::get<std::uint64_t>(in, offset);
+  return record;
+}
+
+}  // namespace
+
+RecoveryContext::RecoveryContext(rt::Rank& rank, const seq::ReadStore& store,
+                                 const std::vector<seq::ReadId>& bounds,
+                                 const std::vector<kmer::AlignTask>& my_tasks,
+                                 const EngineConfig& config)
+    : rank_(rank), store_(store), bounds_(bounds), my_tasks_(my_tasks), config_(config) {
+  map_ = proto::OwnerMap(bounds_, std::vector<char>(rank_.nranks(), 1));
+  // Publish the phase manifest before the first crash point can fire:
+  // survivors reconstruct this rank's task list from it.
+  Bytes manifest;
+  wire::put<std::uint64_t>(manifest, my_tasks_.size());
+  for (const AlignTask& task : my_tasks_) {
+    wire::put<std::uint32_t>(manifest, task.a);
+    wire::put<std::uint32_t>(manifest, task.b);
+    wire::put<std::uint32_t>(manifest, task.seed.a_pos);
+    wire::put<std::uint32_t>(manifest, task.seed.b_pos);
+    wire::put<std::uint16_t>(manifest, task.seed.length);
+    wire::put<std::uint8_t>(manifest, task.seed.b_reversed ? 1 : 0);
+  }
+  rank_.fault_counters().checkpoint_bytes +=
+      rank_.durable().write_manifest(rank_.id(), std::move(manifest));
+}
+
+void RecoveryContext::log_completion(std::size_t t, const EngineResult& result,
+                                     std::size_t accepted_before) {
+  LogEntry entry;
+  entry.kind = kEntryCompletion;
+  entry.index = static_cast<std::uint32_t>(t);
+  entry.has_record = result.accepted.size() > accepted_before;
+  if (entry.has_record) entry.record = result.accepted.back();
+  append_entry(entry);
+}
+
+void RecoveryContext::append_entry(const LogEntry& entry) {
+  wire::put<std::uint8_t>(log_buffer_, entry.kind);
+  switch (entry.kind) {
+    case kEntryCompletion:
+      wire::put<std::uint32_t>(log_buffer_, entry.index);
+      wire::put<std::uint8_t>(log_buffer_, entry.has_record ? 1 : 0);
+      if (entry.has_record) put_record(log_buffer_, entry.record);
+      break;
+    case kEntryReexecution:
+      wire::put<std::uint32_t>(log_buffer_, entry.origin);
+      wire::put<std::uint32_t>(log_buffer_, entry.index);
+      wire::put<std::uint8_t>(log_buffer_, entry.has_record ? 1 : 0);
+      if (entry.has_record) put_record(log_buffer_, entry.record);
+      break;
+    case kEntryClaim:
+      wire::put<std::uint32_t>(log_buffer_, entry.origin);
+      break;
+    default:
+      GNB_CHECK_MSG(false, "unknown log entry kind " << int(entry.kind));
+  }
+}
+
+void RecoveryContext::flush() {
+  if (log_buffer_.empty()) return;
+  rank_.fault_counters().checkpoint_bytes += rank_.durable().append_log(rank_.id(), log_buffer_);
+  log_buffer_.clear();
+}
+
+std::vector<RecoveryContext::LogEntry> RecoveryContext::parse_log(std::uint32_t r) const {
+  const Bytes bytes = rank_.durable().log(r);
+  std::vector<LogEntry> entries;
+  std::size_t offset = 0;
+  while (offset < bytes.size()) {
+    LogEntry entry;
+    entry.kind = wire::get<std::uint8_t>(bytes, offset);
+    switch (entry.kind) {
+      case kEntryCompletion:
+        entry.index = wire::get<std::uint32_t>(bytes, offset);
+        entry.has_record = wire::get<std::uint8_t>(bytes, offset) != 0;
+        if (entry.has_record) entry.record = get_record(bytes, offset);
+        break;
+      case kEntryReexecution:
+        entry.origin = wire::get<std::uint32_t>(bytes, offset);
+        entry.index = wire::get<std::uint32_t>(bytes, offset);
+        entry.has_record = wire::get<std::uint8_t>(bytes, offset) != 0;
+        if (entry.has_record) entry.record = get_record(bytes, offset);
+        break;
+      case kEntryClaim:
+        entry.origin = wire::get<std::uint32_t>(bytes, offset);
+        break;
+      default:
+        GNB_CHECK_MSG(false, "corrupt durable log: entry kind " << int(entry.kind));
+    }
+    entries.push_back(entry);
+  }
+  return entries;
+}
+
+const std::vector<kmer::AlignTask>& RecoveryContext::dead_tasks(std::uint32_t r) {
+  const auto it = dead_tasks_.find(r);
+  if (it != dead_tasks_.end()) return it->second;
+  std::vector<AlignTask> tasks;
+  const Bytes manifest = rank_.durable().manifest(r);
+  if (!manifest.empty()) {
+    std::size_t offset = 0;
+    const auto count = wire::get<std::uint64_t>(manifest, offset);
+    tasks.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      AlignTask task;
+      task.a = wire::get<std::uint32_t>(manifest, offset);
+      task.b = wire::get<std::uint32_t>(manifest, offset);
+      task.seed.a_pos = wire::get<std::uint32_t>(manifest, offset);
+      task.seed.b_pos = wire::get<std::uint32_t>(manifest, offset);
+      task.seed.length = wire::get<std::uint16_t>(manifest, offset);
+      task.seed.b_reversed = wire::get<std::uint8_t>(manifest, offset) != 0;
+      tasks.push_back(task);
+    }
+  }
+  return dead_tasks_.emplace(r, std::move(tasks)).first->second;
+}
+
+void RecoveryContext::refresh_owner_map_if_stale() {
+  const std::uint64_t now = rank_.current_epoch();
+  if (now == map_epoch_) return;
+  std::vector<char> alive(rank_.nranks());
+  for (std::uint32_t r = 0; r < rank_.nranks(); ++r)
+    alive[r] = rank_.is_alive_now(r) ? 1 : 0;
+  map_ = proto::OwnerMap(bounds_, alive);
+  map_epoch_ = now;
+}
+
+const seq::Read* RecoveryContext::owned_read(seq::ReadId id) {
+  refresh_owner_map_if_stale();
+  return map_.owns(rank_.id(), id) ? &store_.get(id) : nullptr;
+}
+
+std::uint32_t RecoveryContext::owner_of(seq::ReadId id) {
+  refresh_owner_map_if_stale();
+  return map_.owner(id);
+}
+
+void RecoveryContext::recover(
+    EngineResult& result,
+    const std::function<std::vector<seq::ReadId>(const std::vector<char>&)>& report_missing,
+    const std::function<void(const seq::Read&)>& consume) {
+  const std::uint32_t me = rank_.id();
+  const std::size_t p = rank_.nranks();
+
+  for (;;) {
+    flush();
+    // Local suspicion; the reduction makes the decision unanimous, and the
+    // gate it passes stamps the snapshot the iteration plans from. The
+    // stamped epoch can only be >= the value read here, so a death this
+    // rank saw is never lost by the agreement.
+    const bool pending_local = rank_.current_epoch() != handled_epoch_ || !missing_.empty() ||
+                               !my_lost_.empty();
+    if (rank_.allreduce_max(pending_local ? 1.0 : 0.0) < 0.5) break;
+    WallTimer recovery_timer;
+
+    const std::uint64_t s_epoch = rank_.collective_epoch();
+    const std::vector<char> s_alive = rank_.collective_alive();
+    const proto::OwnerMap map(bounds_, s_alive);
+
+    if (report_missing) {
+      const std::vector<seq::ReadId> extra = report_missing(s_alive);
+      missing_.insert(missing_.end(), extra.begin(), extra.end());
+      std::sort(missing_.begin(), missing_.end());
+      missing_.erase(std::unique(missing_.begin(), missing_.end()), missing_.end());
+    }
+
+    for (std::uint32_t r = 0; r < p; ++r) {
+      if (s_alive[r] || known_dead_.contains(r)) continue;
+      ++rank_.fault_counters().crashes;
+      known_dead_.insert(r);
+    }
+
+    // --- watermark: read the durable evidence. Every alive rank reads the
+    // same store state here (writes only happen after the agreement barrier
+    // below), so the plan computed from it is unanimous. ---
+    std::vector<proto::DeadRankState> dead_states;
+    std::unordered_map<std::uint32_t, std::size_t> dead_pos;
+    for (std::uint32_t r = 0; r < p; ++r) {
+      if (s_alive[r]) continue;
+      proto::DeadRankState state;
+      state.rank = r;
+      state.manifest_tasks = dead_tasks(r).size();
+      dead_pos.emplace(r, dead_states.size());
+      dead_states.push_back(std::move(state));
+    }
+    std::vector<std::vector<LogEntry>> logs(p);
+    for (std::uint32_t q = 0; q < p; ++q) {
+      logs[q] = parse_log(q);
+      for (const LogEntry& entry : logs[q]) {
+        if (entry.kind == kEntryCompletion && !s_alive[q])
+          dead_states[dead_pos.at(q)].completed.push_back(entry.index);
+        if (entry.kind == kEntryReexecution && dead_pos.contains(entry.origin))
+          dead_states[dead_pos.at(entry.origin)].completed.push_back(entry.index);
+        if ((entry.kind == kEntryCompletion || entry.kind == kEntryReexecution) &&
+            entry.has_record && !s_alive[q])
+          dead_states[dead_pos.at(q)].has_records = true;
+        // Claims by ranks that later died are void: their merged copies
+        // died with them.
+        if (entry.kind == kEntryClaim && s_alive[q] && dead_pos.contains(entry.origin)) {
+          auto& claimant = dead_states[dead_pos.at(entry.origin)].claimant;
+          if (!claimant) claimant = q;
+        }
+      }
+    }
+    proto::RecoveryPlan plan = proto::plan_recovery(dead_states, s_alive);
+    my_lost_ = std::move(plan.assignments[me]);
+
+    // --- agreement barrier: all evidence reads precede all writes ---
+    rank_.barrier();
+
+    // --- adopt dead logs assigned to me: emit their records exactly once
+    // and claim the log durably so no later plan re-adopts it while this
+    // rank lives ---
+    for (const proto::Adoption& adoption : plan.adoptions) {
+      if (adoption.adopter != me || merged_.contains(adoption.dead)) continue;
+      for (const LogEntry& entry : logs[adoption.dead])
+        if ((entry.kind == kEntryCompletion || entry.kind == kEntryReexecution) &&
+            entry.has_record)
+          result.accepted.push_back(entry.record);
+      merged_.insert(adoption.dead);
+      LogEntry claim;
+      claim.kind = kEntryClaim;
+      claim.origin = adoption.dead;
+      append_entry(claim);
+    }
+
+    // --- fetch: reads my lost tasks and the interrupted engine still need,
+    // requested from their owners under the agreed map and exchanged in
+    // budget-limited rounds (the same memory limit as the BSP exchange) ---
+    {
+      std::vector<seq::ReadId> still_missing;
+      for (const seq::ReadId id : missing_) {
+        if (map.owns(me, id)) {
+          // The dead owner's shard fell to me: serve myself from the store.
+          GNB_CHECK_MSG(consume != nullptr, "engine-missing read without a consumer");
+          consume(store_.get(id));
+        } else {
+          still_missing.push_back(id);
+        }
+      }
+      missing_ = std::move(still_missing);
+    }
+    std::vector<seq::ReadId> want = missing_;
+    for (const proto::TaskClaim& claim : my_lost_) {
+      const AlignTask& task = dead_tasks(claim.origin)[claim.index];
+      for (const seq::ReadId id : {task.a, task.b})
+        if (!map.owns(me, id) && !fetched_.contains(id)) want.push_back(id);
+    }
+    std::sort(want.begin(), want.end());
+    want.erase(std::unique(want.begin(), want.end()), want.end());
+
+    std::vector<Bytes> request_msgs(p);
+    for (const seq::ReadId id : want)
+      wire::put<std::uint32_t>(request_msgs[map.owner(id)], id);
+    const std::vector<Bytes> request_bufs = rank_.alltoallv(std::move(request_msgs));
+
+    std::vector<std::vector<seq::ReadId>> to_serve(p);
+    std::vector<std::vector<std::uint64_t>> serve_sizes(p);
+    std::vector<std::uint64_t> serve_totals(p, 0);
+    std::uint64_t serve_bytes = 0;
+    for (std::size_t src = 0; src < p; ++src) {
+      std::size_t offset = 0;
+      while (offset < request_bufs[src].size()) {
+        const auto id = wire::get<std::uint32_t>(request_bufs[src], offset);
+        if (!map.owns(me, id)) continue;  // stale view; the requester retries
+        const std::uint64_t bytes = seq::serialized_read_bytes(store_.get(id));
+        to_serve[src].push_back(id);
+        serve_sizes[src].push_back(bytes);
+        serve_totals[src] += bytes;
+        serve_bytes += bytes;
+      }
+    }
+    const std::vector<std::uint64_t> pull_totals = rank_.alltoall(serve_totals);
+    std::uint64_t pull_bytes = 0;
+    for (const std::uint64_t bytes : pull_totals) pull_bytes += bytes;
+    const std::uint64_t budget = proto::effective_round_budget(config_.proto, 0, 0);
+    const std::uint64_t local_rounds = proto::rounds_needed(pull_bytes + serve_bytes, budget);
+    const auto nrounds =
+        static_cast<std::uint64_t>(rank_.allreduce_max(static_cast<double>(local_rounds)));
+    const proto::RoundPlan round_plan = proto::plan_rounds(serve_sizes, nrounds);
+    std::vector<std::size_t> next(p, 0);
+    for (std::uint64_t round = 0; round < nrounds; ++round) {
+      std::vector<Bytes> send(p);
+      for (std::size_t dst = 0; dst < p; ++dst) {
+        if (round_plan.rounds[round].per_dest[dst] == 0) continue;
+        wire::begin_checksum(send[dst]);
+        for (std::uint32_t i = 0; i < round_plan.rounds[round].per_dest[dst]; ++i)
+          seq::serialize_read(store_.get(to_serve[dst][next[dst]++]), send[dst]);
+        wire::seal_checksum(send[dst]);
+      }
+      std::vector<Bytes> received = rank_.alltoallv(std::move(send));
+      for (std::size_t src = 0; src < p; ++src) {
+        const Bytes& buffer = received[src];
+        if (buffer.empty()) continue;
+        std::size_t offset = 0;
+        if (!wire::verify_checksum(buffer, offset)) {
+          ++rank_.fault_counters().checksum_failures;
+          GNB_CHECK_MSG(false, "recovery exchange: corrupt payload from rank " << src);
+        }
+        while (offset < buffer.size()) {
+          seq::Read read = seq::deserialize_read(buffer, offset);
+          fetched_.emplace(read.id, std::move(read));
+        }
+      }
+    }
+
+    // --- hand fetched reads back to the interrupted engine ---
+    {
+      std::vector<seq::ReadId> still_missing;
+      for (const seq::ReadId id : missing_) {
+        const auto it = fetched_.find(id);
+        if (it != fetched_.end()) {
+          GNB_CHECK_MSG(consume != nullptr, "engine-missing read without a consumer");
+          consume(it->second);
+        } else {
+          still_missing.push_back(id);  // its owner died mid-fetch: retry
+        }
+      }
+      missing_ = std::move(still_missing);
+    }
+
+    // --- re-execute only the lost tasks assigned to me ---
+    std::vector<proto::TaskClaim> remaining;
+    for (const proto::TaskClaim& claim : my_lost_) {
+      const AlignTask& task = dead_tasks(claim.origin)[claim.index];
+      const auto read_ptr = [&](seq::ReadId id) -> const seq::Read* {
+        if (map.owns(me, id)) return &store_.get(id);
+        const auto it = fetched_.find(id);
+        return it != fetched_.end() ? &it->second : nullptr;
+      };
+      const seq::Read* read_a = read_ptr(task.a);
+      const seq::Read* read_b = read_ptr(task.b);
+      if (read_a == nullptr || read_b == nullptr) {
+        remaining.push_back(claim);  // unfetched: replanned next iteration
+        continue;
+      }
+      const std::size_t before = result.accepted.size();
+      execute_task(task, *read_a, *read_b, config_, rank_.timers(), result);
+      ++rank_.fault_counters().tasks_reexecuted;
+      LogEntry entry;
+      entry.kind = kEntryReexecution;
+      entry.origin = claim.origin;
+      entry.index = claim.index;
+      entry.has_record = result.accepted.size() > before;
+      if (entry.has_record) entry.record = result.accepted.back();
+      append_entry(entry);
+    }
+    my_lost_ = std::move(remaining);
+    flush();
+    handled_epoch_ = s_epoch;
+    map_ = map;
+    map_epoch_ = s_epoch;
+    rank_.fault_counters().recovery_seconds += recovery_timer.seconds();
+  }
+}
+
+}  // namespace gnb::core

@@ -1,0 +1,118 @@
+#pragma once
+// core::RecoveryContext — the crash-recovery protocol both engines execute.
+//
+// The protocol (DESIGN.md §8) in one paragraph: every rank publishes a
+// phase manifest (its task list) to stable storage before the first crash
+// point, then logs each completed task — with its accepted record, if any —
+// to an append-only durable log, flushing before every collective (BSP) or
+// after every pull batch (async), so the log is always a watermark of what
+// died with the rank. When a death is observed, survivors run a collective
+// fixpoint: agree on the failure snapshot (the runtime stamps identical
+// (epoch, alive) pairs at every collective — rt::World), read the durable
+// evidence between two gates so every rank plans from identical state,
+// compute the pure proto::plan_recovery decision, adopt dead logs (merging
+// their records exactly once, guarded by durable claims), fetch the reads
+// the re-executions and the interrupted engine still need under the agreed
+// proto::OwnerMap (budget-limited alltoallv rounds — the same memory limit
+// as the BSP exchange), and re-execute only the lost tasks. Alignment is a
+// pure function of its task, task keys (a, b) are globally unique, and
+// every record is emitted by exactly one alive rank — so any crash schedule
+// yields output byte-identical to the fault-free run.
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "proto/recovery.hpp"
+#include "rt/world.hpp"
+
+namespace gnb::core {
+
+class RecoveryContext {
+ public:
+  /// Publishes this rank's phase manifest to stable storage (before any
+  /// crash point can fire).
+  RecoveryContext(rt::Rank& rank, const seq::ReadStore& store,
+                  const std::vector<seq::ReadId>& bounds,
+                  const std::vector<kmer::AlignTask>& my_tasks, const EngineConfig& config);
+
+  /// Buffer a completion entry for my_tasks[t]. If execute_task grew
+  /// result.accepted past `accepted_before`, the record rides in the entry
+  /// (so an adopter can emit it verbatim).
+  void log_completion(std::size_t t, const EngineResult& result, std::size_t accepted_before);
+
+  /// Append buffered entries to stable storage. Engines call this before
+  /// every collective / after every pull batch: work is lost with a crash
+  /// only if it was never executed, never both executed and adopted.
+  void flush();
+
+  /// Read `id` if this rank owns it under its current owner map (base
+  /// shard or adopted); nullptr otherwise. Refreshes the map lazily when
+  /// the membership epoch moved, so a server's view is always at least as
+  /// new as any requester that observed the death before asking.
+  [[nodiscard]] const seq::Read* owned_read(seq::ReadId id);
+
+  /// Current owner of `id` under this rank's (lazily refreshed) view.
+  [[nodiscard]] std::uint32_t owner_of(seq::ReadId id);
+
+  /// The membership epoch whose consequences have been fully recovered.
+  [[nodiscard]] std::uint64_t handled_epoch() const { return handled_epoch_; }
+
+  /// True when this rank's agreed snapshot has moved past handled_epoch():
+  /// the engine must run recover() (all alive ranks will agree).
+  [[nodiscard]] bool needs_recovery() const {
+    return rank_.collective_epoch() != handled_epoch_;
+  }
+
+  /// The collective recovery fixpoint. All alive ranks must call this
+  /// together. Each iteration asks `report_missing` (given the agreed alive
+  /// set — so deaths detected mid-recovery are covered too) which reads the
+  /// interrupted engine still needs from dead owners; each such read, once
+  /// fetched (or adopted), is handed to `consume` (the engine executes and
+  /// logs its pending tasks for it). Iterates until no rank has an
+  /// unhandled death, unfetched read, or unexecuted lost task — tolerating
+  /// further deaths mid-recovery. Both callbacks may be null.
+  void recover(
+      EngineResult& result,
+      const std::function<std::vector<seq::ReadId>(const std::vector<char>&)>& report_missing,
+      const std::function<void(const seq::Read&)>& consume);
+
+ private:
+  struct LogEntry {
+    std::uint8_t kind = 0;  // 1 = completion, 2 = re-execution, 3 = claim
+    std::uint32_t origin = 0;
+    std::uint32_t index = 0;
+    bool has_record = false;
+    align::AlignmentRecord record;
+  };
+
+  void append_entry(const LogEntry& entry);
+  void refresh_owner_map_if_stale();
+
+  /// Parse rank `r`'s durable log.
+  [[nodiscard]] std::vector<LogEntry> parse_log(std::uint32_t r) const;
+  /// Parse rank `r`'s manifest into tasks (cached per dead rank).
+  const std::vector<kmer::AlignTask>& dead_tasks(std::uint32_t r);
+
+  rt::Rank& rank_;
+  const seq::ReadStore& store_;
+  const std::vector<seq::ReadId>& bounds_;
+  const std::vector<kmer::AlignTask>& my_tasks_;
+  const EngineConfig& config_;
+
+  proto::OwnerMap map_;               // this rank's current ownership view
+  std::uint64_t map_epoch_ = 0;       // epoch map_ was built from
+  std::uint64_t handled_epoch_ = 0;   // epoch fully recovered
+  rt::Bytes log_buffer_;              // entries not yet flushed
+  std::unordered_set<std::uint32_t> merged_;      // dead logs this rank adopted
+  std::unordered_set<std::uint32_t> known_dead_;  // deaths already counted
+  std::unordered_map<std::uint32_t, std::vector<kmer::AlignTask>> dead_tasks_;
+  std::vector<proto::TaskClaim> my_lost_;         // assigned, not yet executed
+  std::vector<seq::ReadId> missing_;              // engine reads not yet fetched
+  std::unordered_map<seq::ReadId, seq::Read> fetched_;  // recovery-fetched reads
+};
+
+}  // namespace gnb::core

@@ -1,0 +1,308 @@
+#include "pipeline/checkpoint.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <fstream>
+#include <tuple>
+
+#include "align/xdrop.hpp"
+#include "seq/alphabet.hpp"
+#include "util/error.hpp"
+#include "util/wire.hpp"
+
+namespace gnb::pipeline {
+
+namespace {
+using Bytes = std::vector<std::uint8_t>;
+
+constexpr std::uint32_t kMagic = 0x43424E47;  // "GNBC"
+constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kKindKmerTable = 1;
+constexpr std::uint32_t kKindTasks = 2;
+constexpr std::uint32_t kKindAlignment = 3;
+
+void put_task(Bytes& out, const kmer::AlignTask& task) {
+  wire::put<std::uint32_t>(out, task.a);
+  wire::put<std::uint32_t>(out, task.b);
+  wire::put<std::uint32_t>(out, task.seed.a_pos);
+  wire::put<std::uint32_t>(out, task.seed.b_pos);
+  wire::put<std::uint16_t>(out, task.seed.length);
+  wire::put<std::uint8_t>(out, task.seed.b_reversed ? 1 : 0);
+}
+
+kmer::AlignTask get_task(std::span<const std::uint8_t> in, std::size_t& offset) {
+  kmer::AlignTask task;
+  task.a = wire::get<std::uint32_t>(in, offset);
+  task.b = wire::get<std::uint32_t>(in, offset);
+  task.seed.a_pos = wire::get<std::uint32_t>(in, offset);
+  task.seed.b_pos = wire::get<std::uint32_t>(in, offset);
+  task.seed.length = wire::get<std::uint16_t>(in, offset);
+  task.seed.b_reversed = wire::get<std::uint8_t>(in, offset) != 0;
+  return task;
+}
+
+void put_record(Bytes& out, const align::AlignmentRecord& record) {
+  wire::put<std::uint32_t>(out, record.read_a);
+  wire::put<std::uint32_t>(out, record.read_b);
+  wire::put<std::uint32_t>(out, static_cast<std::uint32_t>(record.alignment.score));
+  wire::put<std::uint32_t>(out, record.alignment.a_begin);
+  wire::put<std::uint32_t>(out, record.alignment.a_end);
+  wire::put<std::uint32_t>(out, record.alignment.b_begin);
+  wire::put<std::uint32_t>(out, record.alignment.b_end);
+  wire::put<std::uint8_t>(out, record.alignment.b_reversed ? 1 : 0);
+  wire::put<std::uint64_t>(out, record.alignment.cells);
+}
+
+align::AlignmentRecord get_record(std::span<const std::uint8_t> in, std::size_t& offset) {
+  align::AlignmentRecord record;
+  record.read_a = wire::get<std::uint32_t>(in, offset);
+  record.read_b = wire::get<std::uint32_t>(in, offset);
+  record.alignment.score = static_cast<std::int32_t>(wire::get<std::uint32_t>(in, offset));
+  record.alignment.a_begin = wire::get<std::uint32_t>(in, offset);
+  record.alignment.a_end = wire::get<std::uint32_t>(in, offset);
+  record.alignment.b_begin = wire::get<std::uint32_t>(in, offset);
+  record.alignment.b_end = wire::get<std::uint32_t>(in, offset);
+  record.alignment.b_reversed = wire::get<std::uint8_t>(in, offset) != 0;
+  record.alignment.cells = wire::get<std::uint64_t>(in, offset);
+  return record;
+}
+
+}  // namespace
+
+void save_blob(const std::filesystem::path& path, std::uint32_t kind,
+               std::uint64_t fingerprint, const std::vector<std::uint8_t>& payload) {
+  Bytes framed;
+  wire::put<std::uint32_t>(framed, kMagic);
+  wire::put<std::uint32_t>(framed, kVersion);
+  wire::put<std::uint32_t>(framed, kind);
+  wire::put<std::uint64_t>(framed, fingerprint);
+  const std::size_t checksum_start = framed.size();
+  wire::begin_checksum(framed);
+  framed.insert(framed.end(), payload.begin(), payload.end());
+  wire::seal_checksum(framed, checksum_start);
+
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    GNB_THROW_IF(!out, "checkpoint: cannot open " << tmp << " for writing");
+    out.write(reinterpret_cast<const char*>(framed.data()),
+              static_cast<std::streamsize>(framed.size()));
+    GNB_THROW_IF(!out, "checkpoint: short write to " << tmp);
+  }
+  // Atomic replace: a kill mid-save leaves either the old checkpoint or
+  // the new one, never a torn file at `path`.
+  std::filesystem::rename(tmp, path);
+}
+
+std::optional<std::vector<std::uint8_t>> load_blob(const std::filesystem::path& path,
+                                                   std::uint32_t kind,
+                                                   std::uint64_t fingerprint) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  Bytes framed((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+
+  std::size_t offset = 0;
+  GNB_THROW_IF(framed.size() < 20, "checkpoint " << path << ": truncated header");
+  GNB_THROW_IF(wire::get<std::uint32_t>(framed, offset) != kMagic,
+               "checkpoint " << path << ": bad magic");
+  GNB_THROW_IF(wire::get<std::uint32_t>(framed, offset) != kVersion,
+               "checkpoint " << path << ": unsupported version");
+  GNB_THROW_IF(wire::get<std::uint32_t>(framed, offset) != kind,
+               "checkpoint " << path << ": wrong kind");
+  if (wire::get<std::uint64_t>(framed, offset) != fingerprint)
+    return std::nullopt;  // stale: written for different inputs — recompute
+  GNB_THROW_IF(!wire::verify_checksum(framed, offset),
+               "checkpoint " << path << ": payload checksum mismatch");
+  return Bytes(framed.begin() + static_cast<std::ptrdiff_t>(offset), framed.end());
+}
+
+std::uint64_t pipeline_fingerprint(const seq::ReadStore& store, const PipelineConfig& config,
+                                   std::size_t nranks) {
+  Bytes packed;
+  wire::put<std::uint32_t>(packed, config.k);
+  wire::put<std::uint64_t>(packed, config.lo);
+  wire::put<std::uint64_t>(packed, config.hi);
+  wire::put<std::uint64_t>(packed, std::bit_cast<std::uint64_t>(config.keep_frac));
+  wire::put<std::uint64_t>(packed, nranks);
+  wire::put<std::uint64_t>(packed, store.size());
+  wire::put<std::uint64_t>(packed, store.total_bases());
+  for (const seq::Read& read : store.reads())
+    wire::put<std::uint32_t>(packed, static_cast<std::uint32_t>(read.length()));
+  return wire::checksum(packed);
+}
+
+void save_kmer_table(const std::filesystem::path& path, std::uint64_t fingerprint,
+                     const kmer::KmerCounter& counter) {
+  // Sort by (bits, k) so the blob is byte-stable regardless of hash-map
+  // iteration order.
+  std::vector<std::pair<kmer::Kmer, std::uint64_t>> entries(counter.counts().begin(),
+                                                            counter.counts().end());
+  std::sort(entries.begin(), entries.end(), [](const auto& x, const auto& y) {
+    return std::make_tuple(x.first.bits(), x.first.k()) <
+           std::make_tuple(y.first.bits(), y.first.k());
+  });
+  Bytes payload;
+  wire::put<std::uint64_t>(payload, entries.size());
+  for (const auto& [km, count] : entries) {
+    wire::put<std::uint64_t>(payload, km.bits());
+    wire::put<std::uint32_t>(payload, km.k());
+    wire::put<std::uint64_t>(payload, count);
+  }
+  save_blob(path, kKindKmerTable, fingerprint, payload);
+}
+
+std::optional<kmer::KmerCounter> load_kmer_table(const std::filesystem::path& path,
+                                                 std::uint64_t fingerprint) {
+  const auto payload = load_blob(path, kKindKmerTable, fingerprint);
+  if (!payload) return std::nullopt;
+  kmer::KmerCounter counter;
+  std::size_t offset = 0;
+  const auto count = wire::get<std::uint64_t>(*payload, offset);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto bits = wire::get<std::uint64_t>(*payload, offset);
+    const auto k = wire::get<std::uint32_t>(*payload, offset);
+    const auto multiplicity = wire::get<std::uint64_t>(*payload, offset);
+    counter.add(kmer::Kmer(bits, k), multiplicity);
+  }
+  return counter;
+}
+
+void save_tasks(const std::filesystem::path& path, std::uint64_t fingerprint,
+                const TaskSet& tasks) {
+  Bytes payload;
+  wire::put<std::uint64_t>(payload, tasks.bounds.size());
+  for (const seq::ReadId bound : tasks.bounds) wire::put<std::uint32_t>(payload, bound);
+  wire::put<std::uint64_t>(payload, tasks.per_rank.size());
+  for (const auto& rank_tasks : tasks.per_rank) {
+    wire::put<std::uint64_t>(payload, rank_tasks.size());
+    for (const kmer::AlignTask& task : rank_tasks) put_task(payload, task);
+  }
+  save_blob(path, kKindTasks, fingerprint, payload);
+}
+
+std::optional<TaskSet> load_tasks(const std::filesystem::path& path,
+                                  std::uint64_t fingerprint) {
+  const auto payload = load_blob(path, kKindTasks, fingerprint);
+  if (!payload) return std::nullopt;
+  TaskSet tasks;
+  std::size_t offset = 0;
+  const auto nbounds = wire::get<std::uint64_t>(*payload, offset);
+  for (std::uint64_t i = 0; i < nbounds; ++i)
+    tasks.bounds.push_back(wire::get<std::uint32_t>(*payload, offset));
+  const auto nranks = wire::get<std::uint64_t>(*payload, offset);
+  tasks.per_rank.resize(nranks);
+  for (std::uint64_t r = 0; r < nranks; ++r) {
+    const auto ntasks = wire::get<std::uint64_t>(*payload, offset);
+    tasks.per_rank[r].reserve(ntasks);
+    for (std::uint64_t t = 0; t < ntasks; ++t)
+      tasks.per_rank[r].push_back(get_task(*payload, offset));
+  }
+  return tasks;
+}
+
+void save_alignment_progress(const std::filesystem::path& path, std::uint64_t fingerprint,
+                             const AlignmentProgress& progress) {
+  Bytes payload;
+  wire::put<std::uint64_t>(payload, progress.watermark);
+  wire::put<std::uint64_t>(payload, progress.accepted.size());
+  for (const align::AlignmentRecord& record : progress.accepted) put_record(payload, record);
+  save_blob(path, kKindAlignment, fingerprint, payload);
+}
+
+std::optional<AlignmentProgress> load_alignment_progress(const std::filesystem::path& path,
+                                                         std::uint64_t fingerprint) {
+  const auto payload = load_blob(path, kKindAlignment, fingerprint);
+  if (!payload) return std::nullopt;
+  AlignmentProgress progress;
+  std::size_t offset = 0;
+  progress.watermark = wire::get<std::uint64_t>(*payload, offset);
+  const auto count = wire::get<std::uint64_t>(*payload, offset);
+  progress.accepted.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i)
+    progress.accepted.push_back(get_record(*payload, offset));
+  return progress;
+}
+
+CheckpointedRun run_serial_checkpointed(const seq::ReadStore& store,
+                                        const PipelineConfig& config, std::size_t nranks,
+                                        const align::XDropParams& xdrop,
+                                        const align::AlignmentFilter& filter,
+                                        const CheckpointConfig& ckpt,
+                                        std::uint64_t stop_after_tasks) {
+  std::filesystem::create_directories(ckpt.dir);
+  const std::uint64_t fingerprint = pipeline_fingerprint(store, config, nranks);
+  const std::filesystem::path kmer_path = ckpt.dir / "kmer_table.ckpt";
+  const std::filesystem::path tasks_path = ckpt.dir / "tasks.ckpt";
+  const std::filesystem::path align_path = ckpt.dir / "alignment.ckpt";
+
+  CheckpointedRun out;
+  if (auto loaded = load_tasks(tasks_path, fingerprint)) {
+    out.tasks = std::move(*loaded);
+    out.resumed_tasks = true;
+  } else {
+    // Phase: k-mer table (checkpointed separately — counting dominates the
+    // pre-alignment stages).
+    kmer::KmerCounter counter;
+    if (auto table = load_kmer_table(kmer_path, fingerprint)) {
+      counter = std::move(*table);
+    } else {
+      counter.count_reads(store.reads(), config.k);
+      save_kmer_table(kmer_path, fingerprint, counter);
+    }
+    // Phase: candidate discovery + stage-3 assignment (mirrors
+    // kmer::discover_tasks / run_serial, feeding the checkpointed table).
+    kmer::KmerSet retained;
+    for (const kmer::Kmer& km : counter.retained(config.lo, config.hi)) retained.insert(km);
+    kmer::PostingIndex index(retained, config.k, config.keep_frac);
+    for (const seq::Read& read : store.reads()) index.add_read(read);
+    std::vector<std::size_t> lengths(store.size());
+    for (const seq::Read& read : store.reads()) lengths[read.id] = read.length();
+    out.tasks.bounds = compute_bounds(store, nranks);
+    out.tasks.per_rank = assign_tasks(kmer::generate_tasks(index, lengths), out.tasks.bounds);
+    save_tasks(tasks_path, fingerprint, out.tasks);
+  }
+
+  // Phase: alignment over the deterministic task order, with a watermark
+  // checkpoint every `every` tasks.
+  const std::vector<kmer::AlignTask> order = out.tasks.sorted_union();
+  AlignmentProgress progress;
+  if (auto loaded = load_alignment_progress(align_path, fingerprint)) {
+    progress = std::move(*loaded);
+    out.resumed_watermark = progress.watermark;
+  }
+  std::uint64_t executed_now = 0;
+  for (std::uint64_t t = progress.watermark; t < order.size(); ++t) {
+    const kmer::AlignTask& task = order[t];
+    // Inlined from core::execute_task (gnb_core links gnb_pipeline, so the
+    // engine helper cannot be called from here): orient b, run the X-drop
+    // kernel, keep the record if the filter accepts.
+    const seq::Read& read_a = store.get(task.a);
+    const seq::Read& read_b = store.get(task.b);
+    const std::vector<std::uint8_t> codes_a = read_a.sequence.unpack();
+    std::vector<std::uint8_t> codes_b = read_b.sequence.unpack();
+    if (task.seed.b_reversed) {
+      std::reverse(codes_b.begin(), codes_b.end());
+      for (auto& code : codes_b) code = seq::dna_complement(code);
+    }
+    const align::Alignment alignment = align::xdrop_align(codes_a, codes_b, task.seed, xdrop);
+    if (filter.accepts(alignment))
+      progress.accepted.push_back(align::AlignmentRecord{task.a, task.b, alignment});
+    progress.watermark = t + 1;
+    ++executed_now;
+    if (ckpt.every != 0 && progress.watermark % ckpt.every == 0)
+      save_alignment_progress(align_path, fingerprint, progress);
+    if (stop_after_tasks != 0 && executed_now >= stop_after_tasks &&
+        progress.watermark < order.size()) {
+      // Killed mid-phase: no final flush — the restart resumes from the
+      // last cadence checkpoint and re-executes the tail.
+      out.progress = std::move(progress);
+      return out;
+    }
+  }
+  save_alignment_progress(align_path, fingerprint, progress);
+  out.progress = std::move(progress);
+  out.finished = true;
+  return out;
+}
+
+}  // namespace gnb::pipeline

@@ -1,0 +1,102 @@
+#pragma once
+// Phase checkpoints for the pipeline: the k-mer table, the discovered task
+// set, and the alignment watermark are persisted to disk so a killed run
+// restarts from the last completed phase instead of from scratch.
+//
+// Blobs are written atomically (temp file + rename) and framed with the
+// same payload checksum the exchange buffers use (util/wire.hpp), so a
+// kill can never leave a half-written checkpoint that parses. Every blob
+// carries a fingerprint of the inputs that produced it: a checkpoint from
+// a different read set, pipeline configuration, or rank count is treated
+// as absent (recompute and overwrite) rather than silently resumed.
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <vector>
+
+#include "align/result.hpp"
+#include "align/xdrop.hpp"
+#include "kmer/counter.hpp"
+#include "pipeline/pipeline.hpp"
+
+namespace gnb::pipeline {
+
+struct CheckpointConfig {
+  std::filesystem::path dir;
+  /// Alignment-watermark flush cadence, in executed tasks (0 = only the
+  /// final flush).
+  std::uint64_t every = 256;
+};
+
+// --- low-level checkpoint blobs ---
+/// Write `payload` to `path` under a header (magic, version, `kind`,
+/// `fingerprint`) with a payload checksum, via temp file + rename.
+void save_blob(const std::filesystem::path& path, std::uint32_t kind,
+               std::uint64_t fingerprint, const std::vector<std::uint8_t>& payload);
+
+/// Load a blob written by save_blob. Returns nullopt when the file does
+/// not exist or its fingerprint does not match (stale checkpoint: the
+/// caller recomputes). Throws gnb::Error on a corrupt header, wrong kind,
+/// unsupported version, or checksum mismatch.
+std::optional<std::vector<std::uint8_t>> load_blob(const std::filesystem::path& path,
+                                                   std::uint32_t kind,
+                                                   std::uint64_t fingerprint);
+
+/// Fingerprint binding checkpoints to their inputs: pipeline parameters,
+/// rank count, and the shape of the read set (count, total bases, and
+/// every read length) all feed it.
+[[nodiscard]] std::uint64_t pipeline_fingerprint(const seq::ReadStore& store,
+                                                 const PipelineConfig& config,
+                                                 std::size_t nranks);
+
+// --- phase artifacts ---
+void save_kmer_table(const std::filesystem::path& path, std::uint64_t fingerprint,
+                     const kmer::KmerCounter& counter);
+std::optional<kmer::KmerCounter> load_kmer_table(const std::filesystem::path& path,
+                                                 std::uint64_t fingerprint);
+
+void save_tasks(const std::filesystem::path& path, std::uint64_t fingerprint,
+                const TaskSet& tasks);
+std::optional<TaskSet> load_tasks(const std::filesystem::path& path,
+                                  std::uint64_t fingerprint);
+
+/// Alignment-phase watermark: how many tasks of the deterministic order
+/// (TaskSet::sorted_union) have fully executed, plus the records they
+/// accepted. A restart re-executes from `watermark`, so output equals the
+/// uninterrupted run's.
+struct AlignmentProgress {
+  std::uint64_t watermark = 0;
+  std::vector<align::AlignmentRecord> accepted;
+};
+void save_alignment_progress(const std::filesystem::path& path, std::uint64_t fingerprint,
+                             const AlignmentProgress& progress);
+std::optional<AlignmentProgress> load_alignment_progress(const std::filesystem::path& path,
+                                                         std::uint64_t fingerprint);
+
+/// Outcome of one checkpointed serial run (possibly interrupted).
+struct CheckpointedRun {
+  TaskSet tasks;
+  AlignmentProgress progress;
+  /// The task set was loaded from disk (stages 1-3 skipped entirely).
+  bool resumed_tasks = false;
+  /// Alignment tasks skipped because a watermark checkpoint covered them.
+  std::uint64_t resumed_watermark = 0;
+  /// False when stop_after_tasks interrupted the alignment phase.
+  bool finished = false;
+};
+
+/// The serial pipeline with phase checkpoints under `ckpt.dir`: k-mer
+/// table, then task set, then the alignment watermark (flushed every
+/// `ckpt.every` executed tasks). `stop_after_tasks` > 0 stops the run —
+/// as if killed, with no final flush — after newly executing that many
+/// alignment tasks; a subsequent call resumes from the last cadence
+/// checkpoint and must produce output identical to an uninterrupted run.
+CheckpointedRun run_serial_checkpointed(const seq::ReadStore& store,
+                                        const PipelineConfig& config, std::size_t nranks,
+                                        const align::XDropParams& xdrop,
+                                        const align::AlignmentFilter& filter,
+                                        const CheckpointConfig& ckpt,
+                                        std::uint64_t stop_after_tasks = 0);
+
+}  // namespace gnb::pipeline

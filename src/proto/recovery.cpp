@@ -1,0 +1,83 @@
+#include "proto/recovery.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/error.hpp"
+
+namespace gnb::proto {
+
+OwnerMap::OwnerMap(const std::vector<std::uint32_t>& bounds, const std::vector<char>& alive) {
+  GNB_CHECK_MSG(bounds.size() == alive.size() + 1, "owner map: bounds/alive size mismatch");
+  const std::size_t nranks = alive.size();
+  for (std::uint32_t r = 0; r < nranks; ++r)
+    if (alive[r]) survivors_.push_back(r);
+  GNB_CHECK_MSG(!survivors_.empty(), "owner map: no survivors");
+
+  for (std::uint32_t r = 0; r < nranks; ++r) {
+    const std::uint32_t begin = bounds[r];
+    const std::uint32_t end = bounds[r + 1];
+    if (alive[r]) {
+      starts_.push_back(begin);
+      owners_.push_back(r);
+      continue;
+    }
+    // Split the dead rank's interval into contiguous near-equal chunks,
+    // handed to survivors in ascending order. Adjacent empty chunks are
+    // skipped so segments stay strictly increasing.
+    const std::uint64_t len = end - begin;
+    const std::uint64_t s = survivors_.size();
+    for (std::uint64_t i = 0; i < s; ++i) {
+      const auto chunk_begin = static_cast<std::uint32_t>(begin + len * i / s);
+      const auto chunk_end = static_cast<std::uint32_t>(begin + len * (i + 1) / s);
+      if (chunk_begin == chunk_end) continue;
+      starts_.push_back(chunk_begin);
+      owners_.push_back(survivors_[i]);
+    }
+  }
+}
+
+std::uint32_t OwnerMap::owner(std::uint32_t read) const {
+  GNB_CHECK_MSG(!starts_.empty(), "owner map: empty");
+  const auto it = std::upper_bound(starts_.begin(), starts_.end(), read);
+  GNB_CHECK_MSG(it != starts_.begin(), "owner map: read " << read << " below the partition");
+  return owners_[static_cast<std::size_t>(std::distance(starts_.begin(), it)) - 1];
+}
+
+RecoveryPlan plan_recovery(const std::vector<DeadRankState>& dead,
+                           const std::vector<char>& alive) {
+  RecoveryPlan plan;
+  plan.assignments.resize(alive.size());
+
+  std::vector<std::uint32_t> survivors;
+  for (std::uint32_t r = 0; r < alive.size(); ++r)
+    if (alive[r]) survivors.push_back(r);
+  GNB_CHECK_MSG(!survivors.empty(), "recovery plan: no survivors");
+
+  // Iterate dead ranks in ascending order so the round-robin deal is the
+  // same on every rank.
+  std::vector<const DeadRankState*> ordered;
+  ordered.reserve(dead.size());
+  for (const DeadRankState& d : dead) ordered.push_back(&d);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const DeadRankState* a, const DeadRankState* b) { return a->rank < b->rank; });
+
+  std::size_t deal = 0;
+  for (const DeadRankState* d : ordered) {
+    GNB_CHECK_MSG(d->rank < alive.size() && !alive[d->rank],
+                  "recovery plan: rank " << d->rank << " is not dead");
+    if (d->has_records && !d->claimant)
+      plan.adoptions.push_back(Adoption{d->rank, survivors[d->rank % survivors.size()]});
+
+    std::unordered_set<std::uint32_t> done(d->completed.begin(), d->completed.end());
+    for (std::uint64_t index = 0; index < d->manifest_tasks; ++index) {
+      if (done.contains(static_cast<std::uint32_t>(index))) continue;
+      const std::uint32_t assignee = survivors[deal++ % survivors.size()];
+      plan.assignments[assignee].push_back(
+          TaskClaim{d->rank, static_cast<std::uint32_t>(index)});
+    }
+  }
+  return plan;
+}
+
+}  // namespace gnb::proto

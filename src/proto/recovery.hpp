@@ -1,0 +1,97 @@
+#pragma once
+// The recovery planner: pure functions from (durable evidence, agreed
+// survivor set) to a recovery decision. Both engines call these with the
+// membership snapshot stamped at a collective (rt::Rank::collective_alive),
+// so every survivor computes byte-identical plans without exchanging a
+// single message — the agreement problem is reduced to the runtime's
+// snapshot guarantee, the way the paper's BSP supersteps reduce scheduling
+// to a shared round formula.
+//
+// Two decisions live here:
+//
+//   * OwnerMap — who owns which read once ranks have died: alive ranks keep
+//     their base partition interval, each dead rank's interval is split
+//     contiguously among the survivors. A pure function of (bounds, alive),
+//     recomputed from scratch per dead-set, so maps never drift.
+//   * plan_recovery — which survivor adopts each dead rank's durable log
+//     (merging its completed-task records into live results) and which
+//     survivor re-executes each *lost* task: a task in the dead rank's
+//     manifest with no completion evidence anywhere in stable storage.
+//
+// The simulator costs these same decisions (sim/perf_model crash terms) and
+// core::RecoveryContext executes them.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace gnb::proto {
+
+/// Read ownership under failures. Alive ranks keep their base interval
+/// [bounds[r], bounds[r+1]); a dead rank's interval is split into
+/// contiguous, near-equal chunks handed to the survivors in ascending rank
+/// order. Pure function of its inputs: two ranks holding the same
+/// (bounds, alive) pair hold the same map.
+class OwnerMap {
+ public:
+  OwnerMap() = default;
+  OwnerMap(const std::vector<std::uint32_t>& bounds, const std::vector<char>& alive);
+
+  /// The rank that owns (serves) read `id` under this map.
+  [[nodiscard]] std::uint32_t owner(std::uint32_t read) const;
+
+  [[nodiscard]] bool owns(std::uint32_t rank, std::uint32_t read) const {
+    return owner(read) == rank;
+  }
+
+  /// Alive ranks, ascending.
+  [[nodiscard]] const std::vector<std::uint32_t>& survivors() const { return survivors_; }
+
+ private:
+  std::vector<std::uint32_t> starts_;  // segment begins, ascending
+  std::vector<std::uint32_t> owners_;  // owner of segment i = [starts_[i], starts_[i+1])
+  std::vector<std::uint32_t> survivors_;
+};
+
+/// One lost task: index `index` in dead rank `origin`'s phase manifest.
+struct TaskClaim {
+  std::uint32_t origin = 0;
+  std::uint32_t index = 0;
+};
+
+/// Everything stable storage says about one dead rank — its completion
+/// watermark. `completed` is the union of completion evidence for this
+/// origin: entries in its own log plus re-execution entries for it in any
+/// other log. `claimant` is the alive rank whose log claims the adoption,
+/// if any (claims written by ranks that later died are void — their merged
+/// copies died with them).
+struct DeadRankState {
+  std::uint32_t rank = 0;
+  std::uint64_t manifest_tasks = 0;
+  std::vector<std::uint32_t> completed;
+  bool has_records = false;
+  std::optional<std::uint32_t> claimant;
+};
+
+/// One log adoption: `adopter` merges `dead`'s durable records and claims
+/// the log so no later plan merges it twice.
+struct Adoption {
+  std::uint32_t dead = 0;
+  std::uint32_t adopter = 0;
+};
+
+struct RecoveryPlan {
+  std::vector<Adoption> adoptions;
+  /// assignments[r] = lost tasks rank r must re-execute (empty for dead
+  /// ranks and for survivors that drew nothing).
+  std::vector<std::vector<TaskClaim>> assignments;
+};
+
+/// Plan adoptions and lost-task re-execution. Deterministic: adoption of an
+/// unclaimed log goes to survivors[dead % survivors], lost tasks are dealt
+/// round-robin over the ascending survivor list, iterating dead ranks
+/// ascending and task indices ascending. Pure function of its inputs.
+[[nodiscard]] RecoveryPlan plan_recovery(const std::vector<DeadRankState>& dead,
+                                         const std::vector<char>& alive);
+
+}  // namespace gnb::proto

@@ -1,0 +1,77 @@
+#pragma once
+// A stable-storage stand-in for the threaded runtime: per-rank phase
+// manifests and append-only completion logs that *survive the writer's
+// death*. On a real machine this is the burst buffer / parallel file
+// system a long-running alignment phase checkpoints to; here it is a
+// mutex-guarded byte store owned by rt::World, with the same two
+// properties recovery depends on:
+//
+//   * durability — bytes written before a rank dies remain readable by the
+//     survivors (a dead rank's in-memory state is gone, its store is not);
+//   * atomic appends — an append is either fully visible or absent, never
+//     torn (writers append whole serialized entries under the lock).
+//
+// The contents are opaque to the runtime; core::RecoveryContext defines the
+// entry encoding and pipeline-level checkpoints use real files instead
+// (pipeline/checkpoint.hpp).
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace gnb::rt {
+
+class DurableStore {
+ public:
+  using Bytes = std::vector<std::uint8_t>;
+
+  /// Reset for a new phase: `nranks` empty manifests and logs.
+  void reset(std::size_t nranks) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    manifests_.assign(nranks, {});
+    logs_.assign(nranks, {});
+    bytes_written_ = 0;
+  }
+
+  /// Publish rank `r`'s phase-start manifest (overwrites; write-once per
+  /// phase by convention). Returns the bytes charged to stable storage.
+  std::uint64_t write_manifest(std::uint32_t r, Bytes bytes) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    bytes_written_ += bytes.size();
+    const auto charged = static_cast<std::uint64_t>(bytes.size());
+    manifests_[r] = std::move(bytes);
+    return charged;
+  }
+
+  [[nodiscard]] Bytes manifest(std::uint32_t r) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return manifests_[r];
+  }
+
+  /// Append serialized log entries to rank `r`'s completion log. Returns
+  /// the bytes charged.
+  std::uint64_t append_log(std::uint32_t r, const Bytes& bytes) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    logs_[r].insert(logs_[r].end(), bytes.begin(), bytes.end());
+    bytes_written_ += bytes.size();
+    return bytes.size();
+  }
+
+  [[nodiscard]] Bytes log(std::uint32_t r) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return logs_[r];
+  }
+
+  [[nodiscard]] std::uint64_t bytes_written() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return bytes_written_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Bytes> manifests_;
+  std::vector<Bytes> logs_;
+  std::uint64_t bytes_written_ = 0;
+};
+
+}  // namespace gnb::rt

@@ -101,10 +101,30 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
   std::stringstream stream(spec);
   std::string field;
   while (std::getline(stream, field, ',')) {
+    GNB_THROW_IF(field.empty(), "faults: empty field in spec '" << spec << "'");
+    // Crash events use @ rather than =: they are scheduled facts, not
+    // probabilistic intensities. crash@RANK:STEP.
+    if (field.rfind("crash@", 0) == 0) {
+      const std::string body = field.substr(6);
+      const std::size_t colon = body.find(':');
+      GNB_THROW_IF(colon == std::string::npos || colon == 0 || colon + 1 == body.size(),
+                   "faults: expected crash@RANK:STEP, got '" << field << "'");
+      CrashEvent crash;
+      crash.rank = static_cast<std::uint32_t>(parse_u64(body.substr(0, colon)));
+      crash.at_step = parse_u64(body.substr(colon + 1));
+      for (const CrashEvent& existing : plan.crashes)
+        GNB_THROW_IF(existing.rank == crash.rank,
+                     "faults: duplicate crash for rank " << crash.rank);
+      plan.crashes.push_back(crash);
+      continue;
+    }
     const std::size_t eq = field.find('=');
-    GNB_THROW_IF(eq == std::string::npos, "faults: expected key=value, got '" << field << "'");
+    GNB_THROW_IF(eq == std::string::npos,
+                 "faults: expected key=value or crash@RANK:STEP, got '" << field << "'");
     const std::string key = field.substr(0, eq);
     const std::string value = field.substr(eq + 1);
+    GNB_THROW_IF(key.empty(), "faults: missing key in '" << field << "'");
+    GNB_THROW_IF(value.empty(), "faults: missing value in '" << field << "'");
     if (key == "seed") {
       plan.seed = parse_u64(value);
     } else if (key == "delay") {
@@ -130,6 +150,7 @@ std::string FaultPlan::to_spec() const {
   out << "seed=" << seed << ",delay=" << delay_prob << ':' << max_delay_ticks
       << ",dup=" << dup_prob << ",reorder=" << reorder_prob << ",straggle=" << straggle_prob
       << ':' << max_straggle_us;
+  for (const CrashEvent& crash : crashes) out << ",crash@" << crash.rank << ':' << crash.at_step;
   return out.str();
 }
 
@@ -146,6 +167,14 @@ FaultInjector::Delivery FaultInjector::on_reply(std::uint32_t src, std::uint32_t
 bool FaultInjector::reorder_replies(std::uint32_t rank, std::uint64_t epoch) const {
   if (plan_.reorder_prob <= 0) return false;
   return u01(mix(plan_.seed, kTagReorder, rank, epoch)) < plan_.reorder_prob;
+}
+
+std::optional<std::uint64_t> FaultInjector::crash_step(std::uint32_t rank) const {
+  std::optional<std::uint64_t> earliest;
+  for (const CrashEvent& crash : plan_.crashes)
+    if (crash.rank == rank && (!earliest || crash.at_step < *earliest))
+      earliest = crash.at_step;
+  return earliest;
 }
 
 std::uint32_t FaultInjector::straggle_us(std::uint32_t rank, std::uint64_t entry) const {

@@ -31,9 +31,22 @@
 // pointer by default and every check is a single branch on that pointer.
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <vector>
 
 namespace gnb::rt {
+
+/// One scheduled rank death: `rank` dies at its `at_step`-th fault step. A
+/// fault step is a deterministic per-rank event counter the runtime
+/// advances at every collective entry (barrier, alltoallv, alltoall,
+/// allgather-family, split-barrier arrival) and, in the async engine, at
+/// every completed pull batch. The crash fires *before* the event executes,
+/// the way a process loss interrupts a collective rather than straddling it.
+struct CrashEvent {
+  std::uint32_t rank = 0;
+  std::uint64_t at_step = 0;
+};
 
 /// Perturbation intensities for one chaos run. Default-constructed plans
 /// are disabled (all probabilities zero).
@@ -57,8 +70,15 @@ struct FaultPlan {
   double straggle_prob = 0;
   std::uint32_t max_straggle_us = 0;
 
+  /// Scheduled rank deaths (at most one per rank; the earliest step wins).
+  /// Unlike the probabilistic modes these are explicit events, so a crash
+  /// schedule is replayable verbatim: `crash@2:5` in a spec kills rank 2 at
+  /// its 5th fault step on every run.
+  std::vector<CrashEvent> crashes;
+
   [[nodiscard]] bool enabled() const {
-    return delay_prob > 0 || dup_prob > 0 || reorder_prob > 0 || straggle_prob > 0;
+    return delay_prob > 0 || dup_prob > 0 || reorder_prob > 0 || straggle_prob > 0 ||
+           !crashes.empty();
   }
 
   /// The canonical chaos mix: every fault mode active, intensities jittered
@@ -67,10 +87,11 @@ struct FaultPlan {
   [[nodiscard]] static FaultPlan from_seed(std::uint64_t seed);
 
   /// Parse a fault spec. Either a bare integer seed (-> from_seed) or a
-  /// comma-separated key=value list:
-  ///   seed=42,delay=0.2:8,dup=0.05,reorder=0.1,straggle=0.02:500
-  /// where delay is prob:max_ticks and straggle is prob:max_us.
-  /// Throws util::Error on malformed specs.
+  /// comma-separated list of key=value intensities and crash events:
+  ///   seed=42,delay=0.2:8,dup=0.05,reorder=0.1,straggle=0.02:500,crash@1:3
+  /// where delay is prob:max_ticks, straggle is prob:max_us, and crash@R:S
+  /// kills rank R at its S-th fault step. Unknown keys, duplicate crash
+  /// ranks, and malformed values all throw gnb::Error with a clear message.
   [[nodiscard]] static FaultPlan parse(const std::string& spec);
 
   /// Render the plan back to a parseable spec (log lines, replay notes).
@@ -106,6 +127,18 @@ class FaultInjector {
   /// Microseconds `rank` pauses at its `entry`-th barrier/alltoallv entry
   /// (0 = no pause).
   [[nodiscard]] std::uint32_t straggle_us(std::uint32_t rank, std::uint64_t entry) const;
+
+  /// The fault step at which `rank` is scheduled to die, if any (the
+  /// earliest crash event naming the rank).
+  [[nodiscard]] std::optional<std::uint64_t> crash_step(std::uint32_t rank) const;
+
+  /// Should `rank` die now, at fault step `step`? True exactly when a crash
+  /// event fires at or before `step` (a rank cannot outrun its death by
+  /// skipping event kinds).
+  [[nodiscard]] bool crashes_at(std::uint32_t rank, std::uint64_t step) const {
+    const auto scheduled = crash_step(rank);
+    return scheduled && *scheduled <= step;
+  }
 
  private:
   FaultPlan plan_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <sstream>
 #include <thread>
 
 #include "util/error.hpp"
@@ -13,23 +14,34 @@ void RpcEndpoint::register_handler(std::uint32_t handler_id, Handler handler) {
 }
 
 void RpcEndpoint::call(std::uint32_t target, std::uint32_t handler_id, Bytes payload,
-                       Callback callback) {
-  GNB_CHECK_MSG(target < peers_->size(), "rpc target " << target << " out of range");
+                       StatusCallback callback) {
+  if (target >= peers_->size()) {
+    std::ostringstream what;
+    what << "rpc target " << target << " out of range (world size " << peers_->size() << ")";
+    throw RpcError(what.str());
+  }
   Request request;
   request.src = self_;
   request.reqid = next_reqid_++;
   request.handler = handler_id;
+  RpcEndpoint& peer = *(*peers_)[target];
+  pending_.emplace(request.reqid, Pending{target, std::move(callback)});
+  if (!peer.is_alive()) {
+    // Fail fast instead of letting the request time out through the full
+    // backoff ladder. The failure is delivered from the next progress() so
+    // callbacks never run re-entrantly inside call().
+    locally_failed_.push_back(request.reqid);
+    return;
+  }
   ++messages_sent_;
   bytes_sent_ += payload.size();
   request.payload = std::move(payload);
-  pending_.emplace(request.reqid, std::move(callback));
 
   FaultInjector::Delivery fate;
   if (injector_) {
     if (request_seq_.size() <= target) request_seq_.resize(peers_->size(), 0);
     fate = injector_->on_request(self_, target, request_seq_[target]++);
   }
-  RpcEndpoint& peer = *(*peers_)[target];
   if (fate.duplicate) {
     ++duplicates_injected_;
     peer.enqueue_request(request, fate.delay_ticks);  // copy, then the original
@@ -37,10 +49,25 @@ void RpcEndpoint::call(std::uint32_t target, std::uint32_t handler_id, Bytes pay
   peer.enqueue_request(std::move(request), fate.delay_ticks);
 }
 
+void RpcEndpoint::call(std::uint32_t target, std::uint32_t handler_id, Bytes payload,
+                       Callback callback) {
+  call(target, handler_id, std::move(payload),
+       StatusCallback([cb = std::move(callback), target](RpcStatus status, Bytes bytes) {
+         if (status == RpcStatus::kPeerDead) {
+           std::ostringstream what;
+           what << "rpc to rank " << target << " failed: peer died before replying";
+           throw RpcPeerDeadError(what.str(), target);
+         }
+         cb(std::move(bytes));
+       }));
+}
+
 void RpcEndpoint::send_reply(std::uint32_t dst, Reply reply) {
+  RpcEndpoint& peer = *(*peers_)[dst];
+  // A reply owed to a dead requester has no reader; drop it.
+  if (!peer.is_alive()) return;
   FaultInjector::Delivery fate;
   if (injector_) fate = injector_->on_reply(self_, dst, reply_seq_++);
-  RpcEndpoint& peer = *(*peers_)[dst];
   if (fate.duplicate) {
     ++duplicates_injected_;
     peer.enqueue_reply(reply, fate.delay_ticks);
@@ -68,21 +95,52 @@ void RpcEndpoint::enqueue_reply(Reply reply, std::uint32_t delay_ticks) {
   }
 }
 
+void RpcEndpoint::notify_peer_death(std::uint32_t dead_rank) {
+  std::lock_guard<std::mutex> lock(inbox_mutex_);
+  death_notices_.push_back(dead_rank);
+}
+
+void RpcEndpoint::revive() {
+  alive_.store(true, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(inbox_mutex_);
+  death_notices_.clear();
+}
+
 void RpcEndpoint::begin_phase() {
-  GNB_CHECK_MSG(pending_.empty(), "phase started with undrained outgoing RPCs");
+  // A healthy endpoint must have drained before the phase ended; one whose
+  // rank died mid-phase legitimately abandons its in-flight requests.
+  GNB_CHECK_MSG(pending_.empty() || !is_alive(),
+                "phase started with undrained outgoing RPCs");
+  pending_.clear();
+  locally_failed_.clear();
+  deaths_seen_ = false;
   std::lock_guard<std::mutex> lock(inbox_mutex_);
   inbox_requests_.clear();
   inbox_replies_.clear();
   held_requests_.clear();
   held_replies_.clear();
+  death_notices_.clear();
   delayed_deliveries_ = 0;
   duplicates_injected_ = 0;
   orphan_replies_ = 0;
+  peer_death_failures_ = 0;
+}
+
+void RpcEndpoint::fail_pending_to(std::uint32_t dead, std::vector<Pending>& failed) {
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->second.target == dead) {
+      failed.push_back(std::move(it->second));
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 std::size_t RpcEndpoint::progress() {
   std::vector<Request> requests;
   std::vector<Reply> replies;
+  std::vector<std::uint32_t> notices;
   {
     std::lock_guard<std::mutex> lock(inbox_mutex_);
     // Age held deliveries by one progress call; release the expired ones.
@@ -100,6 +158,7 @@ std::size_t RpcEndpoint::progress() {
     });
     requests.swap(inbox_requests_);
     replies.swap(inbox_replies_);
+    notices.swap(death_notices_);
   }
   if (injector_ && replies.size() > 1 && injector_->reorder_replies(self_, progress_epoch_))
     std::reverse(replies.begin(), replies.end());
@@ -115,20 +174,42 @@ std::size_t RpcEndpoint::progress() {
     send_reply(request.src, std::move(reply));
   }
 
+  // Real replies first: a reply that raced the death notice still counts.
   for (auto& reply : replies) {
     const auto it = pending_.find(reply.reqid);
     if (it == pending_.end()) {
-      // Without injection this is a protocol violation; under injection it
-      // is the expected shadow of a duplicated request or reply.
-      GNB_CHECK_MSG(injector_ != nullptr, "reply for unknown request " << reply.reqid);
+      // Without faults this is a protocol violation; under injection or
+      // after a death it is the expected shadow of a duplicated delivery or
+      // of a request already failed with kPeerDead.
+      GNB_CHECK_MSG(injector_ != nullptr || deaths_seen_,
+                    "reply for unknown request " << reply.reqid);
       ++orphan_replies_;
       continue;
     }
-    Callback callback = std::move(it->second);
+    Pending pending = std::move(it->second);
     pending_.erase(it);
-    callback(std::move(reply.payload));
+    pending.callback(RpcStatus::kOk, std::move(reply.payload));
   }
-  return requests.size() + replies.size();
+
+  // Then fail what death took: in-flight requests to peers whose notices
+  // arrived, and requests issued after the caller already saw the death.
+  std::vector<Pending> failed;
+  for (const std::uint32_t dead : notices) {
+    deaths_seen_ = true;
+    fail_pending_to(dead, failed);
+  }
+  for (const std::uint64_t reqid : locally_failed_) {
+    const auto it = pending_.find(reqid);
+    if (it == pending_.end()) continue;  // already failed via a death notice
+    deaths_seen_ = true;
+    failed.push_back(std::move(it->second));
+    pending_.erase(it);
+  }
+  locally_failed_.clear();
+  peer_death_failures_ += failed.size();
+  for (Pending& pending : failed) pending.callback(RpcStatus::kPeerDead, Bytes{});
+
+  return requests.size() + replies.size() + failed.size();
 }
 
 void RpcEndpoint::throttle(std::size_t limit) {

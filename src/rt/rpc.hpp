@@ -14,6 +14,14 @@
 // orphans) instead of treating them as protocol violations, and the
 // *engines* are responsible for at-most-once application semantics (see
 // core::async_align's retry/dedup protocol).
+//
+// Peer death is a first-class outcome, not a hang: when rt::World kills a
+// rank it marks the victim's endpoint dead and posts a death notice to
+// every surviving endpoint. The next progress() on a survivor fails all
+// in-flight requests to the dead peer with RpcStatus::kPeerDead — callers
+// learn about the loss in one poll instead of timing out through the full
+// backoff ladder — and new call()s to a dead peer fail the same way on the
+// caller's next progress(). Replies owed to a dead peer are dropped.
 
 #include <atomic>
 #include <cstdint>
@@ -28,12 +36,22 @@
 
 namespace gnb::rt {
 
+/// Completion status delivered to a request's callback.
+enum class RpcStatus : std::uint8_t {
+  kOk = 0,        // reply payload is valid
+  kPeerDead = 1,  // target died before replying; payload is empty
+};
+
 class RpcEndpoint {
  public:
   using Bytes = std::vector<std::uint8_t>;
   /// Executed on the *callee* during its progress(); returns the reply.
   using Handler = std::function<Bytes(std::uint32_t src, std::span<const std::uint8_t>)>;
-  /// Executed on the *caller* during its progress() when the reply lands.
+  /// Executed on the *caller* during its progress() when the request
+  /// completes — with the reply on kOk, with an empty payload on kPeerDead.
+  using StatusCallback = std::function<void(RpcStatus, Bytes)>;
+  /// Legacy success-only callback: peer death surfaces as a thrown
+  /// RpcPeerDeadError out of progress() instead.
   using Callback = std::function<void(Bytes)>;
 
   RpcEndpoint(std::uint32_t self, std::vector<std::unique_ptr<RpcEndpoint>>* peers)
@@ -43,14 +61,20 @@ class RpcEndpoint {
   void register_handler(std::uint32_t handler_id, Handler handler);
 
   /// Issue an asynchronous request; `callback` runs during a later
-  /// progress() on this rank.
+  /// progress() on this rank. Throws RpcError if `target` is out of range.
+  void call(std::uint32_t target, std::uint32_t handler_id, Bytes payload,
+            StatusCallback callback);
+
+  /// Success-only convenience overload: wraps `callback` so that peer death
+  /// throws RpcPeerDeadError from the progress() that observes it.
   void call(std::uint32_t target, std::uint32_t handler_id, Bytes payload, Callback callback);
 
   /// Requests issued whose callbacks have not yet run.
   [[nodiscard]] std::size_t outstanding() const { return pending_.size(); }
 
-  /// Serve queued inbound requests and run queued reply callbacks.
-  /// Returns the number of events processed.
+  /// Serve queued inbound requests and run queued reply callbacks; fail
+  /// in-flight requests to peers whose death notices arrived. Returns the
+  /// number of events processed.
   std::size_t progress();
 
   /// Block (polling progress) until fewer than `limit` requests are
@@ -67,8 +91,20 @@ class RpcEndpoint {
   /// Reset per-phase state at the start of a World::run: clears inbound and
   /// held queues (a chaos run can leave duplicate deliveries held past the
   /// exit barrier) and the per-phase fault counters. Outstanding requests
-  /// must already be drained — engines end every phase with drain().
+  /// must already be drained — engines end every phase with drain() — except
+  /// on an endpoint whose rank died mid-phase, whose pending map is dropped.
   void begin_phase();
+
+  // --- membership (driven by rt::World) ---
+  /// Is this endpoint's rank still alive? Readable from any thread.
+  [[nodiscard]] bool is_alive() const { return alive_.load(std::memory_order_acquire); }
+  /// Mark this endpoint's rank dead (called by World::kill on the victim).
+  void mark_dead() { alive_.store(false, std::memory_order_release); }
+  /// Post a death notice for `dead_rank`: the next progress() here fails
+  /// all in-flight requests targeting it. Callable from any thread.
+  void notify_peer_death(std::uint32_t dead_rank);
+  /// Restore liveness and clear death bookkeeping for the next World::run.
+  void revive();
 
   // --- statistics ---
   [[nodiscard]] std::uint64_t messages_sent() const { return messages_sent_; }
@@ -81,6 +117,9 @@ class RpcEndpoint {
   /// Replies dropped because their request was already completed (the
   /// observable footprint of duplicated deliveries at this endpoint).
   [[nodiscard]] std::uint64_t orphan_replies() const { return orphan_replies_; }
+  /// In-flight requests failed fast with kPeerDead (ISSUE: counted into
+  /// FaultCounters::rpc_failures by World::run).
+  [[nodiscard]] std::uint64_t peer_death_failures() const { return peer_death_failures_; }
 
  private:
   struct Request {
@@ -93,25 +132,39 @@ class RpcEndpoint {
     std::uint64_t reqid = 0;
     Bytes payload;
   };
+  struct Pending {
+    std::uint32_t target = 0;
+    StatusCallback callback;
+  };
 
   void enqueue_request(Request request, std::uint32_t delay_ticks);
   void enqueue_reply(Reply reply, std::uint32_t delay_ticks);
   void send_reply(std::uint32_t dst, Reply reply);
+  /// Collect the pending requests targeting `dead` for failure delivery.
+  void fail_pending_to(std::uint32_t dead, std::vector<Pending>& failed);
 
   std::uint32_t self_;
   std::vector<std::unique_ptr<RpcEndpoint>>* peers_;
   const FaultInjector* injector_ = nullptr;
+  std::atomic<bool> alive_{true};
 
-  std::unordered_map<std::uint32_t, Handler> handlers_;        // owner thread only
-  std::unordered_map<std::uint64_t, Callback> pending_;        // owner thread only
+  std::unordered_map<std::uint32_t, Handler> handlers_;  // owner thread only
+  std::unordered_map<std::uint64_t, Pending> pending_;   // owner thread only
   std::uint64_t next_reqid_ = 1;
   std::vector<std::uint64_t> request_seq_;  // per-target send counters (owner thread)
   std::uint64_t reply_seq_ = 0;             // reply send counter (owner thread)
   std::uint64_t progress_epoch_ = 0;        // progress() calls (owner thread)
+  /// Requests issued to peers already known dead: failed locally at the
+  /// start of the next progress() so callbacks never run inside call().
+  std::vector<std::uint64_t> locally_failed_;  // owner thread only
+  /// Has this endpoint observed any peer death this phase? Relaxes the
+  /// orphan-reply protocol check the way injection does.
+  bool deaths_seen_ = false;  // owner thread only
 
-  std::mutex inbox_mutex_;  // guards the inbound and held queues
+  std::mutex inbox_mutex_;  // guards the inbound, held, and notice queues
   std::vector<Request> inbox_requests_;
   std::vector<Reply> inbox_replies_;
+  std::vector<std::uint32_t> death_notices_;
   /// Deliveries held by the injector: released into the inbox after
   /// `delay` more progress() calls on this endpoint.
   struct HeldRequest {
@@ -131,6 +184,7 @@ class RpcEndpoint {
   std::uint64_t delayed_deliveries_ = 0;
   std::uint64_t duplicates_injected_ = 0;
   std::uint64_t orphan_replies_ = 0;
+  std::uint64_t peer_death_failures_ = 0;
 };
 
 }  // namespace gnb::rt

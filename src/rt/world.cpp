@@ -1,5 +1,6 @@
 #include "rt/world.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <exception>
 #include <thread>
@@ -11,21 +12,37 @@ namespace gnb::rt {
 
 World::World(std::size_t nranks)
     : nranks_(nranks),
-      barrier_(static_cast<std::ptrdiff_t>(nranks)),
       mail_(nranks * nranks),
       u64_slots_(nranks * nranks, 0),
-      dbl_slots_(nranks, 0) {
+      dbl_slots_(nranks, 0),
+      alive_(nranks, 1),
+      alive_count_(nranks),
+      last_open_alive_(nranks, 1) {
   GNB_CHECK_MSG(nranks >= 1, "world needs at least one rank");
+  split_done_.reserve(nranks);
   endpoints_.reserve(nranks);
-  for (std::size_t r = 0; r < nranks; ++r)
+  for (std::size_t r = 0; r < nranks; ++r) {
+    split_done_.push_back(std::make_unique<std::atomic<std::uint64_t>>(0));
     endpoints_.push_back(std::make_unique<RpcEndpoint>(static_cast<std::uint32_t>(r), &endpoints_));
+  }
 }
 
 World::~World() = default;
 
+Rank::Rank(World& world, RankId id)
+    : world_(world), id_(id), agreed_alive_(world.nranks(), 1) {}
+
 std::size_t Rank::nranks() const { return world_.nranks_; }
 
 const FaultInjector* Rank::faults() const { return world_.injector_.get(); }
+
+DurableStore& Rank::durable() { return world_.durable_; }
+
+std::uint64_t Rank::current_epoch() const {
+  return world_.epoch_.load(std::memory_order_acquire);
+}
+
+bool Rank::is_alive_now(RankId r) const { return world_.endpoints_[r]->is_alive(); }
 
 void Rank::maybe_straggle() {
   const FaultInjector* injector = world_.injector_.get();
@@ -34,39 +51,99 @@ void Rank::maybe_straggle() {
   if (pause_us > 0) std::this_thread::sleep_for(std::chrono::microseconds(pause_us));
 }
 
+void Rank::crash_point() {
+  const std::uint64_t step = fault_step_++;
+  const FaultInjector* injector = world_.injector_.get();
+  if (!injector) return;
+  if (injector->crashes_at(id_, step)) {
+    world_.kill(id_);
+    throw RankDeath{};
+  }
+}
+
+void World::open_gate_locked() {
+  last_open_epoch_ = epoch_.load(std::memory_order_relaxed);
+  last_open_alive_ = alive_;
+  gate_arrived_ = 0;
+  ++gate_generation_;
+  gate_cv_.notify_all();
+}
+
+void World::gate_wait(Rank& rank) {
+  std::unique_lock<std::mutex> lock(gate_mutex_);
+  const std::uint64_t generation = gate_generation_;
+  ++gate_arrived_;
+  if (gate_arrived_ >= alive_count_) {
+    open_gate_locked();
+  } else {
+    gate_cv_.wait(lock, [&] { return gate_generation_ != generation; });
+  }
+  // Copy the opener's stamp while still holding the lock: every rank that
+  // exits this gate generation holds the identical (epoch, alive) pair.
+  rank.agreed_epoch_ = last_open_epoch_;
+  rank.agreed_alive_ = last_open_alive_;
+}
+
+void World::kill(RankId id) {
+  // Endpoint first, then the epoch bump: any rank that observes the new
+  // epoch is guaranteed to also observe the endpoint's death flag.
+  endpoints_[id]->mark_dead();
+  {
+    std::lock_guard<std::mutex> lock(gate_mutex_);
+    GNB_CHECK_MSG(alive_[id], "rank " << id << " died twice");
+    alive_[id] = 0;
+    --alive_count_;
+    GNB_CHECK_MSG(alive_count_ > 0, "crash schedule killed every rank");
+    epoch_.fetch_add(1, std::memory_order_release);
+    // If the victim was the last straggler a pending gate was waiting for,
+    // open it on their behalf — the waiters must not hang for a ghost.
+    if (gate_arrived_ > 0 && gate_arrived_ >= alive_count_) open_gate_locked();
+  }
+  for (std::size_t r = 0; r < nranks_; ++r)
+    if (r != id && endpoints_[r]->is_alive())
+      endpoints_[r]->notify_peer_death(id);
+}
+
 void Rank::barrier() {
+  crash_point();
   maybe_straggle();
   WallTimer wait;
-  world_.barrier_.arrive_and_wait();
+  world_.gate_wait(*this);
   timers_.sync.add(wait.seconds());
 }
 
 double Rank::allreduce_sum(double local) {
   const auto values = allgather(local);
   double sum = 0;
-  for (double v : values) sum += v;
+  for (std::size_t r = 0; r < values.size(); ++r)
+    if (agreed_alive_[r]) sum += values[r];
   return sum;
 }
 
 double Rank::allreduce_min(double local) {
   const auto values = allgather(local);
-  double best = values[0];
-  for (double v : values) best = std::min(best, v);
+  double best = local;
+  for (std::size_t r = 0; r < values.size(); ++r)
+    if (agreed_alive_[r]) best = std::min(best, values[r]);
   return best;
 }
 
 double Rank::allreduce_max(double local) {
   const auto values = allgather(local);
-  double best = values[0];
-  for (double v : values) best = std::max(best, v);
+  double best = local;
+  for (std::size_t r = 0; r < values.size(); ++r)
+    if (agreed_alive_[r]) best = std::max(best, values[r]);
   return best;
 }
 
 std::vector<double> Rank::allgather(double local) {
+  crash_point();
   world_.dbl_slots_[id_] = local;
-  world_.barrier_.arrive_and_wait();
-  std::vector<double> values = world_.dbl_slots_;
-  world_.barrier_.arrive_and_wait();
+  world_.gate_wait(*this);
+  std::vector<double> values(world_.nranks_, 0);
+  for (std::size_t r = 0; r < world_.nranks_; ++r)
+    if (agreed_alive_[r]) values[r] = world_.dbl_slots_[r];
+  world_.gate_wait(*this);
   return values;
 }
 
@@ -74,60 +151,72 @@ std::vector<Bytes> Rank::alltoallv(std::vector<Bytes> send) {
   GNB_CHECK_MSG(send.size() == world_.nranks_,
                 "alltoallv: send has " << send.size() << " buffers for " << world_.nranks_
                                        << " ranks");
+  crash_point();
   maybe_straggle();
   WallTimer wait;
   const std::size_t p = world_.nranks_;
   for (std::size_t dst = 0; dst < p; ++dst)
     world_.mail_[dst * p + id_] = std::move(send[dst]);
-  world_.barrier_.arrive_and_wait();
+  world_.gate_wait(*this);
   std::vector<Bytes> received(p);
-  for (std::size_t src = 0; src < p; ++src)
+  for (std::size_t src = 0; src < p; ++src) {
     received[src] = std::move(world_.mail_[id_ * p + src]);
-  world_.barrier_.arrive_and_wait();
+    // A slot whose writer is dead holds stale bytes from an older
+    // collective (the victim died *before* writing this round): drop them.
+    if (!agreed_alive_[src]) received[src].clear();
+  }
+  world_.gate_wait(*this);
   timers_.comm.add(wait.seconds());
   return received;
 }
 
 std::vector<std::uint64_t> Rank::alltoall(const std::vector<std::uint64_t>& send) {
   GNB_CHECK(send.size() == world_.nranks_);
+  crash_point();
   maybe_straggle();
   WallTimer wait;
   const std::size_t p = world_.nranks_;
   for (std::size_t dst = 0; dst < p; ++dst) world_.u64_slots_[dst * p + id_] = send[dst];
-  world_.barrier_.arrive_and_wait();
-  std::vector<std::uint64_t> received(p);
-  for (std::size_t src = 0; src < p; ++src) received[src] = world_.u64_slots_[id_ * p + src];
-  world_.barrier_.arrive_and_wait();
+  world_.gate_wait(*this);
+  std::vector<std::uint64_t> received(p, 0);
+  for (std::size_t src = 0; src < p; ++src)
+    if (agreed_alive_[src]) received[src] = world_.u64_slots_[id_ * p + src];
+  world_.gate_wait(*this);
   timers_.comm.add(wait.seconds());
   return received;
 }
 
 Bytes Rank::broadcast(Bytes buffer, RankId root) {
+  crash_point();
   WallTimer wait;
   const std::size_t p = world_.nranks_;
   if (id_ == root) {
     for (std::size_t dst = 0; dst < p; ++dst)
       world_.mail_[dst * p + root] = buffer;  // copy per destination
   }
-  world_.barrier_.arrive_and_wait();
+  world_.gate_wait(*this);
   Bytes received = std::move(world_.mail_[id_ * p + root]);
-  world_.barrier_.arrive_and_wait();
+  if (!agreed_alive_[root]) received.clear();
+  world_.gate_wait(*this);
   timers_.comm.add(wait.seconds());
   return received;
 }
 
 std::vector<Bytes> Rank::gather(Bytes local, RankId root) {
+  crash_point();
   WallTimer wait;
   const std::size_t p = world_.nranks_;
   world_.mail_[root * p + id_] = std::move(local);
-  world_.barrier_.arrive_and_wait();
+  world_.gate_wait(*this);
   std::vector<Bytes> received;
   if (id_ == root) {
     received.resize(p);
-    for (std::size_t src = 0; src < p; ++src)
+    for (std::size_t src = 0; src < p; ++src) {
       received[src] = std::move(world_.mail_[root * p + src]);
+      if (!agreed_alive_[src]) received[src].clear();
+    }
   }
-  world_.barrier_.arrive_and_wait();
+  world_.gate_wait(*this);
   timers_.comm.add(wait.seconds());
   return received;
 }
@@ -135,23 +224,34 @@ std::vector<Bytes> Rank::gather(Bytes local, RankId root) {
 double Rank::exscan_sum(double local) {
   const auto values = allgather(local);
   double prefix = 0;
-  for (RankId r = 0; r < id_; ++r) prefix += values[r];
+  for (RankId r = 0; r < id_; ++r)
+    if (agreed_alive_[r]) prefix += values[r];
   return prefix;
 }
 
 RpcEndpoint& Rank::rpc() { return *world_.endpoints_[id_]; }
 
 void Rank::split_barrier_arrive() {
-  world_.split_arrivals_.fetch_add(1, std::memory_order_acq_rel);
+  crash_point();
+  world_.split_done_[id_]->fetch_add(1, std::memory_order_acq_rel);
 }
 
 void Rank::split_barrier_wait() {
-  // All ranks have executed the same number of arrivals when the counter
-  // reaches a multiple of P owed by this rank's local phase count.
+  // Every alive rank must have arrived as many times as this rank's local
+  // phase count; ranks that die while the barrier is pending are excluded
+  // on the next poll, so the wait never hangs for a ghost.
   split_phase_ += 1;
-  const std::uint64_t needed = split_phase_ * world_.nranks_;
   WallTimer wait;
-  while (world_.split_arrivals_.load(std::memory_order_acquire) < needed) {
+  for (;;) {
+    bool done = true;
+    for (std::size_t r = 0; r < world_.nranks_; ++r) {
+      if (!world_.endpoints_[r]->is_alive()) continue;
+      if (world_.split_done_[r]->load(std::memory_order_acquire) < split_phase_) {
+        done = false;
+        break;
+      }
+    }
+    if (done) break;
     if (rpc().progress() == 0) std::this_thread::yield();
   }
   timers_.sync.add(wait.seconds());
@@ -163,14 +263,34 @@ void Rank::service_barrier() {
 }
 
 void World::set_faults(const FaultPlan& plan) {
+  for (const CrashEvent& crash : plan.crashes)
+    GNB_THROW_IF(crash.rank >= nranks_,
+                 "faults: crash names rank " << crash.rank << " but the world has only "
+                                             << nranks_ << " ranks");
   injector_ = plan.enabled() ? std::make_unique<FaultInjector>(plan) : nullptr;
   for (auto& endpoint : endpoints_) endpoint->set_fault_injector(injector_.get());
 }
 
 void World::run(const std::function<void(Rank&)>& body) {
-  split_arrivals_.store(0, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(gate_mutex_);
+    gate_generation_ = 0;
+    gate_arrived_ = 0;
+    alive_.assign(nranks_, 1);
+    alive_count_ = nranks_;
+    last_open_epoch_ = 0;
+    last_open_alive_.assign(nranks_, 1);
+  }
+  epoch_.store(0, std::memory_order_release);
+  for (auto& done : split_done_) done->store(0, std::memory_order_relaxed);
   for (auto& slot : mail_) slot.clear();
-  for (auto& endpoint : endpoints_) endpoint->begin_phase();
+  std::fill(u64_slots_.begin(), u64_slots_.end(), 0);
+  std::fill(dbl_slots_.begin(), dbl_slots_.end(), 0);
+  durable_.reset(nranks_);
+  for (auto& endpoint : endpoints_) {
+    endpoint->begin_phase();  // before revive: the drained-check exempts dead endpoints
+    endpoint->revive();
+  }
 
   std::vector<std::unique_ptr<Rank>> ranks;
   ranks.reserve(nranks_);
@@ -184,9 +304,12 @@ void World::run(const std::function<void(Rank&)>& body) {
       threads.emplace_back([&, r] {
         try {
           body(*ranks[r]);
+        } catch (const RankDeath&) {
+          // A scheduled crash: the rank already removed itself from the
+          // membership and the survivors carry on without it.
         } catch (const std::exception& e) {
-          // A dead rank would deadlock the others at the next barrier;
-          // there is no recovery story in an SPMD phase, so fail fast.
+          // Any other loss has no recovery story: a silently missing rank
+          // would deadlock the others at the next collective, so fail fast.
           std::fprintf(stderr, "rank %zu threw: %s; aborting world\n", r, e.what());
           std::abort();
         } catch (...) {
@@ -203,8 +326,10 @@ void World::run(const std::function<void(Rank&)>& body) {
     stat::Breakdown breakdown = snapshot(ranks[r]->timers_, ranks[r]->memory_);
     breakdown.faults = ranks[r]->fault_counters_;
     // rt-level evidence: injected duplicates surface as orphan replies on
-    // the endpoint that issued the duplicated exchange.
+    // the endpoint that issued the duplicated exchange; peer-death
+    // fail-fasts surface as rpc failures.
     breakdown.faults.duplicates += endpoints_[r]->orphan_replies();
+    breakdown.faults.rpc_failures += endpoints_[r]->peer_death_failures();
     breakdowns_.push_back(breakdown);
   }
 }

@@ -8,8 +8,20 @@
 // synchronizes), and the irregular exchange sizes are first-class. Ranks
 // are std::jthread's, so the runtime is exercised with real concurrency in
 // tests even though scaling *figures* come from the machine simulator.
+//
+// Membership is epoch-stamped and ranks can die (rt::FaultPlan crash
+// events): a dying rank removes itself from the alive set, bumps the
+// membership epoch, notifies every endpoint, and unwinds via RankDeath.
+// Collectives synchronize through a membership-aware gate instead of a
+// fixed-width std::barrier; whichever rank opens a gate stamps the (epoch,
+// alive-set) pair under the gate lock and every rank leaving that gate
+// copies the stamp, so all ranks exiting one collective hold an *identical*
+// failure-detection snapshot — the agreement recovery decisions are built
+// on (core::RecoveryContext). Contributions from dead ranks are zeroed out
+// of reductions and exchanges using that same snapshot.
 
-#include <barrier>
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -17,6 +29,7 @@
 #include <span>
 #include <vector>
 
+#include "rt/durable.hpp"
 #include "rt/fault.hpp"
 #include "rt/phase.hpp"
 #include "rt/rpc.hpp"
@@ -27,38 +40,46 @@ namespace gnb::rt {
 using RankId = std::uint32_t;
 using Bytes = std::vector<std::uint8_t>;
 
+/// Thrown by a rank to unwind its SPMD body after it killed itself at a
+/// scheduled crash point. World::run treats it as a clean (if abrupt) exit;
+/// any other exception still aborts the world.
+struct RankDeath {};
+
 class World;
 
 /// Per-rank handle passed to the SPMD body. All collective methods must be
-/// called by every rank of the world, in the same order.
+/// called by every *alive* rank of the world, in the same order.
 class Rank {
  public:
-  Rank(World& world, RankId id) : world_(world), id_(id) {}
+  Rank(World& world, RankId id);
   Rank(const Rank&) = delete;
   Rank& operator=(const Rank&) = delete;
 
   [[nodiscard]] RankId id() const { return id_; }
   [[nodiscard]] std::size_t nranks() const;
 
-  // --- collectives ---
+  // --- collectives (each entry is a crash point and a straggle point) ---
   /// Synchronizing barrier; waiting time is charged to timers().sync.
   void barrier();
 
-  /// Sum / min / max reductions over one double per rank.
+  /// Sum / min / max reductions over one double per rank; dead ranks do not
+  /// contribute.
   double allreduce_sum(double local);
   double allreduce_min(double local);
   double allreduce_max(double local);
 
-  /// Gather one value from every rank (returned on all ranks).
+  /// Gather one value from every rank (returned on all ranks); entries for
+  /// dead ranks are zeroed.
   std::vector<double> allgather(double local);
 
   /// Irregular all-to-all byte exchange (MPI_Alltoallv analogue):
   /// `send[r]` goes to rank r; returns the buffers received, indexed by
-  /// source. Charged to timers().comm.
+  /// source (empty for dead sources). Charged to timers().comm.
   std::vector<Bytes> alltoallv(std::vector<Bytes> send);
 
   /// Regular all-to-all of one uint64 per peer (MPI_Alltoall analogue,
-  /// used to exchange sizes ahead of an alltoallv).
+  /// used to exchange sizes ahead of an alltoallv). Entries from dead
+  /// sources read as zero.
   std::vector<std::uint64_t> alltoall(const std::vector<std::uint64_t>& send);
 
   /// One-to-all broadcast of a byte buffer from `root` (MPI_Bcast).
@@ -69,7 +90,7 @@ class Rank {
   std::vector<Bytes> gather(Bytes local, RankId root);
 
   /// Exclusive prefix sum over one value per rank (MPI_Exscan): rank r
-  /// receives the sum of ranks [0, r). Rank 0 receives 0.
+  /// receives the sum of alive ranks [0, r). Rank 0 receives 0.
   double exscan_sum(double local);
 
   // --- asynchronous one-sided layer ---
@@ -79,21 +100,49 @@ class Rank {
   /// Split-phase barrier, entry side: signals arrival without waiting.
   void split_barrier_arrive();
   /// Split-phase barrier, completion side: polls rpc progress while
-  /// waiting for all ranks; waiting time is charged to timers().sync.
+  /// waiting for all alive ranks; waiting time is charged to timers().sync.
   void split_barrier_wait();
 
   /// Exit barrier for asynchronous phases: arrive, then keep serving RPC
-  /// progress until every rank has arrived (the paper's "single exit
+  /// progress until every alive rank has arrived (the paper's "single exit
   /// barrier ensures the partitioned reads remain available to all
   /// parallel processors until all tasks are complete").
   void service_barrier();
+
+  // --- failure detection ---
+  /// Advance this rank's fault-step counter and die here if the fault plan
+  /// says so. Collectives call this at entry; the async engine also calls
+  /// it once per completed pull batch, so `crash@R:S` schedules reach into
+  /// the middle of an asynchronous phase.
+  void crash_point();
+
+  /// The membership snapshot stamped at this rank's last collective: all
+  /// ranks that exited the same collective hold the identical pair, so any
+  /// decision derived from it is unanimous. Before the first collective:
+  /// epoch 0, everyone alive.
+  [[nodiscard]] std::uint64_t collective_epoch() const { return agreed_epoch_; }
+  [[nodiscard]] const std::vector<char>& collective_alive() const { return agreed_alive_; }
+
+  /// The live membership epoch — cheap to poll between collectives. Newer
+  /// than collective_epoch() when a death has not yet been agreed on.
+  [[nodiscard]] std::uint64_t current_epoch() const;
+
+  /// Best-effort current liveness of rank r (this rank's own view; other
+  /// ranks may not agree yet — use collective_alive() for decisions that
+  /// must be unanimous).
+  [[nodiscard]] bool is_alive_now(RankId r) const;
+
+  /// The world's stable-storage stand-in (phase manifests + completion
+  /// logs that survive their writer's death).
+  DurableStore& durable();
 
   // --- instrumentation ---
   PhaseTimers& timers() { return timers_; }
   MemoryMeter& memory() { return memory_; }
   /// Robustness counters this rank's engine protocol accumulates (retries,
-  /// timeouts, duplicates dropped, checksum failures); merged with the
-  /// endpoint-level counters into the rank's stat::Breakdown.
+  /// timeouts, duplicates dropped, checksum failures, recovery work);
+  /// merged with the endpoint-level counters into the rank's
+  /// stat::Breakdown.
   stat::FaultCounters& fault_counters() { return fault_counters_; }
 
   /// The world's fault injector, or nullptr when chaos is disabled — the
@@ -111,6 +160,9 @@ class Rank {
   RankId id_;
   std::uint64_t split_phase_ = 0;  // split/service barriers completed locally
   std::uint64_t straggle_entry_ = 0;  // collective entries seen (straggle schedule index)
+  std::uint64_t fault_step_ = 0;      // crash-schedule index (collectives + async batches)
+  std::uint64_t agreed_epoch_ = 0;    // stamp copied at the last gate passage
+  std::vector<char> agreed_alive_;    // stamp copied at the last gate passage
   PhaseTimers timers_;
   MemoryMeter memory_;
   stat::FaultCounters fault_counters_;
@@ -127,33 +179,64 @@ class World {
   [[nodiscard]] std::size_t nranks() const { return nranks_; }
 
   /// Run `body(rank)` on every rank concurrently; returns when all ranks
-  /// finish. Exceptions thrown by any rank are rethrown here (first wins).
+  /// finish or die. Membership, endpoints, and the durable store are reset
+  /// per run. RankDeath unwinds are expected under a crash plan; any other
+  /// exception aborts the world (a silently missing rank would deadlock).
   void run(const std::function<void(Rank&)>& body);
 
   /// Per-rank phase breakdowns from the last run().
   [[nodiscard]] const std::vector<stat::Breakdown>& breakdowns() const { return breakdowns_; }
 
   /// Install a fault plan for subsequent run()s (chaos testing). A disabled
-  /// plan clears injection. Must not be called while a run is in flight.
+  /// plan clears injection. Crash events must name ranks < nranks. Must not
+  /// be called while a run is in flight.
   void set_faults(const FaultPlan& plan);
 
   /// The active injector (nullptr when faults are disabled).
   [[nodiscard]] const FaultInjector* faults() const { return injector_.get(); }
 
+  /// The stable-storage stand-in shared by all ranks.
+  [[nodiscard]] DurableStore& durable_store() { return durable_; }
+
  private:
   friend class Rank;
 
+  /// Remove `id` from the alive set, bump the epoch, notify endpoints, and
+  /// release the gate if the victim was the last straggler it was waiting
+  /// for. Called by the dying rank itself at a crash point.
+  void kill(RankId id);
+
+  /// Membership-aware barrier: block until every alive rank arrived, then
+  /// copy the (epoch, alive) stamp the gate opener took into `rank`.
+  void gate_wait(Rank& rank);
+  /// Precondition: gate_mutex_ held. Stamp membership and wake waiters.
+  void open_gate_locked();
+
   std::size_t nranks_;
-  std::barrier<> barrier_;
   // Mailboxes: slot (dst, src) for alltoallv payloads.
   std::vector<Bytes> mail_;
   std::vector<std::uint64_t> u64_slots_;
   std::vector<double> dbl_slots_;
-  // Split/service barrier state.
-  std::atomic<std::uint64_t> split_arrivals_{0};
+
+  // Membership + gate state.
+  std::mutex gate_mutex_;
+  std::condition_variable gate_cv_;
+  std::uint64_t gate_generation_ = 0;
+  std::size_t gate_arrived_ = 0;
+  std::vector<char> alive_;        // guarded by gate_mutex_
+  std::size_t alive_count_ = 0;    // guarded by gate_mutex_
+  std::uint64_t last_open_epoch_ = 0;       // stamp of the last gate opening
+  std::vector<char> last_open_alive_;       // stamp of the last gate opening
+  std::atomic<std::uint64_t> epoch_{0};     // bumped once per death
+
+  // Split/service barrier state: per-rank arrival counters so waiters can
+  // exclude ranks that die while the barrier is pending.
+  std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> split_done_;
+
   std::vector<std::unique_ptr<RpcEndpoint>> endpoints_;
   std::vector<stat::Breakdown> breakdowns_;
   std::unique_ptr<FaultInjector> injector_;
+  DurableStore durable_;
 };
 
 }  // namespace gnb::rt

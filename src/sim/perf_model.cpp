@@ -157,7 +157,27 @@ SimResult simulate_bsp(const MachineParams& machine, const SimAssignment& assign
   // (it is not computing), every other rank waits it out through busy_max.
   std::optional<rt::FaultInjector> chaos;
   if (options.faults.enabled()) chaos.emplace(options.faults);
+
+  // Crash schedule: crash_round[r] is the first superstep rank r does not
+  // complete (== rounds when it survives the phase). The threaded runtime
+  // advances one fault step per collective entry, which in the BSP engine
+  // is one per superstep, so at_step maps directly onto rounds.
+  std::vector<std::uint64_t> crash_round(p, rounds);
+  if (chaos)
+    for (std::size_t r = 0; r < p; ++r)
+      if (const auto step = chaos->crash_step(static_cast<std::uint32_t>(r)))
+        crash_round[r] = std::min<std::uint64_t>(*step, rounds);
+
+  std::vector<double> remote_cells(p, 0), remote_tasks(p, 0);
+  for (std::size_t r = 0; r < p; ++r)
+    for (const Pull& pull : assignment.ranks[r].pulls) {
+      remote_cells[r] += static_cast<double>(pull.cells);
+      remote_tasks[r] += static_cast<double>(pull.tasks);
+    }
+
   std::vector<double> compute_acc(p, 0), overhead_acc(p, 0), comm_acc(p, 0), sync_acc(p, 0);
+  std::vector<double> recovery_acc(p, 0), reexec_tasks(p, 0);
+  std::vector<std::uint64_t> crashes_seen(p, 0);
   double runtime = request_comm;
 
   for (std::uint64_t round = 0; round < rounds; ++round) {
@@ -183,18 +203,20 @@ SimResult simulate_bsp(const MachineParams& machine, const SimAssignment& assign
       round_comm = std::max(round_comm, wire);
     }
 
-    double busy_max = 0;
-    std::vector<double> busy(p);
+    std::vector<std::size_t> survivors, deaths;
     for (std::size_t r = 0; r < p; ++r) {
+      if (crash_round[r] > round)
+        survivors.push_back(r);
+      else if (crash_round[r] == round)
+        deaths.push_back(r);
+    }
+
+    double busy_max = 0;
+    std::vector<double> busy(p, 0);
+    for (std::size_t r : survivors) {
       const RankWork& work = assignment.ranks[r];
-      double remote_cells = 0;
-      double remote_tasks = 0;
-      for (const Pull& pull : work.pulls) {
-        remote_cells += static_cast<double>(pull.cells);
-        remote_tasks += static_cast<double>(pull.tasks);
-      }
-      double compute = options.skip_compute ? 0.0 : remote_cells / k / cps;
-      double overhead = remote_tasks / k * ovh;
+      double compute = options.skip_compute ? 0.0 : remote_cells[r] / k / cps;
+      double overhead = remote_tasks[r] / k * ovh;
       if (round == 0) {  // local-local tasks run before the first exchange
         compute += options.skip_compute ? 0.0 : static_cast<double>(work.local_cells) / cps;
         overhead += static_cast<double>(work.local_tasks) * ovh;
@@ -208,9 +230,43 @@ SimResult simulate_bsp(const MachineParams& machine, const SimAssignment& assign
       const double pause = straggle_pause(chaos, r, round);
       sync_acc[r] += pause;
       busy[r] = compute + overhead + pause;
-      busy_max = std::max(busy_max, busy[r]);
     }
-    for (std::size_t r = 0; r < p; ++r) sync_acc[r] += busy_max - busy[r];
+
+    // Crash recovery: survivors detect the deaths at this superstep's
+    // collective, agree on a completion snapshot (the recover() fixpoint's
+    // collectives), adopt the dead ranks' read shards, re-pull the reads
+    // behind the lost tasks, and split the unfinished work evenly.
+    if (!deaths.empty() && !survivors.empty()) {
+      const auto s = static_cast<double>(survivors.size());
+      const double detect_comm = 3.0 * machine.a2a_setup_per_peer * static_cast<double>(p);
+      double lost_cells = 0, lost_tasks = 0, refetch_bytes = 0;
+      for (std::size_t d : deaths) {
+        const double remaining = static_cast<double>(rounds - crash_round[d]) / k;
+        lost_cells += remote_cells[d] * remaining;
+        lost_tasks += remote_tasks[d] * remaining;
+        if (crash_round[d] == 0) {
+          lost_cells += static_cast<double>(assignment.ranks[d].local_cells);
+          lost_tasks += static_cast<double>(assignment.ranks[d].local_tasks);
+        }
+        refetch_bytes += static_cast<double>(assignment.ranks[d].pull_bytes()) * remaining;
+      }
+      const double extra_compute = options.skip_compute ? 0.0 : lost_cells / s / cps;
+      const double extra_overhead = lost_tasks / s * ovh;
+      const double extra_comm = detect_comm + refetch_bytes / s / inter_bw;
+      for (std::size_t r : survivors) {
+        compute_acc[r] += extra_compute;
+        overhead_acc[r] += extra_overhead;
+        comm_acc[r] += extra_comm;
+        recovery_acc[r] += extra_compute + extra_overhead + extra_comm;
+        reexec_tasks[r] += lost_tasks / s;
+        crashes_seen[r] += deaths.size();
+        busy[r] += extra_compute + extra_overhead;
+      }
+      runtime += extra_comm;
+    }
+
+    for (std::size_t r : survivors) busy_max = std::max(busy_max, busy[r]);
+    for (std::size_t r : survivors) sync_acc[r] += busy_max - busy[r];
     runtime += round_comm + busy_max;
   }
 
@@ -221,6 +277,10 @@ SimResult simulate_bsp(const MachineParams& machine, const SimAssignment& assign
     timeline.comm = comm_acc[r] + request_comm;
     timeline.sync = sync_acc[r];
     timeline.peak_memory = base_mem[r] + exchange_mem[r] / rounds;
+    timeline.faults.crashes = crashes_seen[r];
+    timeline.faults.tasks_reexecuted =
+        static_cast<std::uint64_t>(std::llround(reexec_tasks[r]));
+    timeline.faults.recovery_seconds = recovery_acc[r];
   }
   result.runtime = runtime;
   return result;
@@ -355,10 +415,70 @@ SimResult simulate_async(const MachineParams& machine, const SimAssignment& assi
     total[r] = busy + comm + stall[r];
   }
 
+  // --- crash + recovery costing ---
+  // A rank that dies mid-phase completes only a fraction of its pulls: the
+  // async engine advances one fault step per completed pull batch plus the
+  // handful of phase-entry/exit collectives, so f ≈ at_step / (batches + 4).
+  // Survivors fail fast on their in-flight pulls to the dead rank, adopt
+  // its read shard, re-pull the reads behind its unfinished tasks, and
+  // split the re-execution at the exit-protocol agreement rounds.
+  std::vector<char> dead(p, 0);
+  if (chaos) {
+    std::vector<std::size_t> deaths, survivors;
+    std::vector<double> done_frac(p, 1.0);
+    for (std::size_t r = 0; r < p; ++r) {
+      if (const auto step = chaos->crash_step(static_cast<std::uint32_t>(r))) {
+        const double events =
+            static_cast<double>(assignment.ranks[r].pulls.size()) / batch_div + 4.0;
+        done_frac[r] = std::min(1.0, static_cast<double>(*step) / events);
+        dead[r] = 1;
+        deaths.push_back(r);
+      } else {
+        survivors.push_back(r);
+      }
+    }
+    if (!deaths.empty() && !survivors.empty()) {
+      const auto s = static_cast<double>(survivors.size());
+      double lost_compute = 0, lost_overhead = 0, lost_tasks = 0, refetch_bytes = 0;
+      for (std::size_t d : deaths) {
+        stat::Breakdown& t = result.ranks[d];
+        const double f = done_frac[d];
+        lost_compute += (1.0 - f) * t.compute;
+        lost_overhead += (1.0 - f) * t.overhead;
+        lost_tasks += (1.0 - f) * static_cast<double>(assignment.ranks[d].total_tasks());
+        refetch_bytes += (1.0 - f) * static_cast<double>(assignment.ranks[d].pull_bytes());
+        t.compute *= f;
+        t.overhead *= f;
+        t.comm *= f;
+        total[d] = t.compute + t.overhead + t.comm;  // dies; waits for nobody
+        stall[d] = 0;
+      }
+      const double agree = 2.0 * machine.a2a_setup_per_peer * static_cast<double>(p);
+      for (std::size_t r : survivors) {
+        stat::Breakdown& t = result.ranks[r];
+        const double extra_busy = (lost_compute + lost_overhead) / s;
+        const double extra_comm = agree + refetch_bytes / s / inter_bw;
+        t.compute += lost_compute / s;
+        t.overhead += lost_overhead / s;
+        t.comm += extra_comm;
+        t.faults.crashes = deaths.size();
+        t.faults.tasks_reexecuted =
+            static_cast<std::uint64_t>(std::llround(lost_tasks / s));
+        t.faults.recovery_seconds = extra_busy + extra_comm;
+        total[r] += extra_busy + extra_comm;
+      }
+    }
+  }
+
   double phase = 0;
   for (double t : total) phase = std::max(phase, t);
-  for (std::size_t r = 0; r < p; ++r)
+  for (std::size_t r = 0; r < p; ++r) {
+    if (dead[r]) {  // a dead rank never reaches the exit barrier
+      result.ranks[r].sync = 0;
+      continue;
+    }
     result.ranks[r].sync = phase - total[r] + stall[r];
+  }
   result.runtime = phase;
   return result;
 }

@@ -52,7 +52,8 @@ void add_breakdown_row(Table& table, std::vector<Table::Cell> labels, const Summ
 }
 
 std::vector<std::string> fault_headers(std::vector<std::string> labels) {
-  for (const char* column : {"retries", "timeouts", "duplicates", "checksum_fail"})
+  for (const char* column : {"retries", "timeouts", "duplicates", "checksum_fail", "crashes",
+                             "rpc_fail", "reexec", "ckpt_kb", "recovery_s"})
     labels.emplace_back(column);
   return labels;
 }
@@ -62,6 +63,11 @@ void add_fault_row(Table& table, std::vector<Table::Cell> labels, const Summary&
   labels.emplace_back(summary.faults.timeouts);
   labels.emplace_back(summary.faults.duplicates);
   labels.emplace_back(summary.faults.checksum_failures);
+  labels.emplace_back(summary.faults.crashes);
+  labels.emplace_back(summary.faults.rpc_failures);
+  labels.emplace_back(summary.faults.tasks_reexecuted);
+  labels.emplace_back(static_cast<double>(summary.faults.checkpoint_bytes) / 1e3);
+  labels.emplace_back(summary.faults.recovery_seconds);
   table.add_row(std::move(labels));
 }
 

@@ -26,15 +26,30 @@ struct FaultCounters {
   std::uint64_t duplicates = 0;         // duplicate deliveries/replies detected
   std::uint64_t checksum_failures = 0;  // BSP round payloads failing verification
 
+  // Recovery counters (crash faults; see core::RecoveryContext).
+  std::uint64_t crashes = 0;            // rank deaths this rank observed and recovered from
+  std::uint64_t rpc_failures = 0;       // in-flight pulls failed fast on peer death
+  std::uint64_t retry_exhausted = 0;    // pulls whose bounded retry budget ran out
+  std::uint64_t tasks_reexecuted = 0;   // lost tasks this rank re-executed for dead peers
+  std::uint64_t checkpoint_bytes = 0;   // bytes written to stable storage (manifests + logs)
+  double recovery_seconds = 0;          // wall time spent inside the recovery protocol
+
   void merge(const FaultCounters& other) {
     retries += other.retries;
     timeouts += other.timeouts;
     duplicates += other.duplicates;
     checksum_failures += other.checksum_failures;
+    crashes += other.crashes;
+    rpc_failures += other.rpc_failures;
+    retry_exhausted += other.retry_exhausted;
+    tasks_reexecuted += other.tasks_reexecuted;
+    checkpoint_bytes += other.checkpoint_bytes;
+    recovery_seconds += other.recovery_seconds;
   }
 
   [[nodiscard]] bool any() const {
-    return retries || timeouts || duplicates || checksum_failures;
+    return retries || timeouts || duplicates || checksum_failures || crashes ||
+           rpc_failures || retry_exhausted || tasks_reexecuted;
   }
 };
 

@@ -5,6 +5,7 @@
 // violated invariant; it is active in all build types because silent
 // corruption in a parallel runtime is far more expensive than the branch.
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -18,6 +19,31 @@ namespace gnb {
 class Error : public std::runtime_error {
  public:
   explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Base of the typed RPC failures the runtime surfaces instead of aborting:
+/// callers that opted into the legacy `void(Bytes)` callback (no status
+/// channel) receive peer-death and retry-exhaustion as exceptions they can
+/// catch, rather than a GNB_CHECK abort.
+class RpcError : public Error {
+ public:
+  explicit RpcError(const std::string& what) : Error(what) {}
+};
+
+/// An in-flight RPC can never complete because its target rank died.
+class RpcPeerDeadError : public RpcError {
+ public:
+  RpcPeerDeadError(const std::string& what, std::uint32_t peer_rank)
+      : RpcError(what), peer(peer_rank) {}
+  std::uint32_t peer;
+};
+
+/// A pull exhausted its retry budget with the peer still unresponsive (and
+/// not known dead) — the fail-fast path when no fault injector explains the
+/// silence.
+class RpcRetriesExhaustedError : public RpcError {
+ public:
+  explicit RpcRetriesExhaustedError(const std::string& what) : RpcError(what) {}
 };
 
 namespace detail {

@@ -161,6 +161,49 @@ TEST(FaultPlan, ParseRejectsMalformedSpecs) {
   EXPECT_EQ(rt::FaultPlan::parse("delay=0.5").max_delay_ticks, 8u);
 }
 
+TEST(FaultPlan, ParseCrashEventsRoundTrip) {
+  const rt::FaultPlan plan = rt::FaultPlan::parse("seed=9,crash@1:3,crash@4:0");
+  ASSERT_EQ(plan.crashes.size(), 2u);
+  EXPECT_EQ(plan.crashes[0].rank, 1u);
+  EXPECT_EQ(plan.crashes[0].at_step, 3u);
+  EXPECT_EQ(plan.crashes[1].rank, 4u);
+  EXPECT_EQ(plan.crashes[1].at_step, 0u);
+  EXPECT_TRUE(plan.enabled());  // a crash-only plan is an enabled plan
+  EXPECT_EQ(rt::FaultPlan::parse(plan.to_spec()).to_spec(), plan.to_spec());
+}
+
+TEST(FaultPlan, ParseRejectsMalformedCrashSpecs) {
+  const auto parse = [](const std::string& spec) { (void)rt::FaultPlan::parse(spec); };
+  EXPECT_THROW(parse("crash@"), gnb::Error);         // no rank:step
+  EXPECT_THROW(parse("crash@1"), gnb::Error);        // no step
+  EXPECT_THROW(parse("crash@:3"), gnb::Error);       // no rank
+  EXPECT_THROW(parse("crash@x:3"), gnb::Error);      // non-numeric rank
+  EXPECT_THROW(parse("crash@1:y"), gnb::Error);      // non-numeric step
+  EXPECT_THROW(parse("crash=1:2"), gnb::Error);      // wrong separator
+  EXPECT_THROW(parse("crash@1:2,crash@1:5"), gnb::Error);  // duplicate rank
+}
+
+TEST(FaultPlan, CrashNamingOutOfRangeRankIsRejectedAtInstall) {
+  rt::World world(2);
+  EXPECT_THROW(world.set_faults(rt::FaultPlan::parse("crash@2:0")), gnb::Error);
+  EXPECT_THROW(world.set_faults(rt::FaultPlan::parse("crash@7:1")), gnb::Error);
+  world.set_faults(rt::FaultPlan::parse("crash@1:0"));  // in range: fine
+  EXPECT_NE(world.faults(), nullptr);
+}
+
+TEST(FaultInjector, CrashStepIsEarliestEventForTheRank) {
+  rt::FaultPlan plan;
+  plan.crashes = {{3, 9}};
+  const rt::FaultInjector injector(plan);
+  EXPECT_FALSE(injector.crash_step(0).has_value());
+  ASSERT_TRUE(injector.crash_step(3).has_value());
+  EXPECT_EQ(*injector.crash_step(3), 9u);
+  EXPECT_FALSE(injector.crashes_at(3, 8));
+  EXPECT_TRUE(injector.crashes_at(3, 9));
+  // A rank cannot outrun its death by skipping event kinds.
+  EXPECT_TRUE(injector.crashes_at(3, 100));
+}
+
 // --- injector determinism ---
 
 TEST(FaultInjector, ScheduleIsAPureFunctionOfSeedAndIdentity) {

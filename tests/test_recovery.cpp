@@ -1,0 +1,534 @@
+// Crash-fault recovery suite: the planner's pure decisions (OwnerMap,
+// plan_recovery), the crash matrix over both engines (any single or double
+// crash schedule must yield an alignment set byte-identical to the
+// fault-free run, with every lost task re-executed exactly once), the
+// simulator's crash costing, and the pipeline's phase checkpoint/restart
+// (a killed run resumes from the last checkpoint and matches an
+// uninterrupted one).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <initializer_list>
+#include <iterator>
+#include <tuple>
+#include <vector>
+
+#include "core/async.hpp"
+#include "core/bsp.hpp"
+#include "kmer/bella_filter.hpp"
+#include "pipeline/checkpoint.hpp"
+#include "pipeline/pipeline.hpp"
+#include "proto/recovery.hpp"
+#include "rt/fault.hpp"
+#include "rt/world.hpp"
+#include "sim/assignment.hpp"
+#include "sim/machine.hpp"
+#include "sim/perf_model.hpp"
+#include "stat/breakdown.hpp"
+#include "util/error.hpp"
+#include "wl/presets.hpp"
+
+using namespace gnb;
+
+namespace {
+
+#if defined(__SANITIZE_THREAD__)
+#define GNB_TSAN_BUILD 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define GNB_TSAN_BUILD 1
+#endif
+#endif
+
+// ---------- planner: OwnerMap ----------
+
+std::vector<std::uint32_t> partition_bounds(std::uint32_t reads, std::uint32_t ranks) {
+  std::vector<std::uint32_t> bounds(ranks + 1);
+  for (std::uint32_t r = 0; r <= ranks; ++r)
+    bounds[r] = static_cast<std::uint32_t>(std::uint64_t{reads} * r / ranks);
+  return bounds;
+}
+
+TEST(OwnerMap, AllAliveMatchesBasePartition) {
+  const auto bounds = partition_bounds(100, 4);
+  const proto::OwnerMap map(bounds, {1, 1, 1, 1});
+  for (std::uint32_t read = 0; read < 100; ++read) {
+    std::uint32_t base = 0;
+    while (read >= bounds[base + 1]) ++base;
+    EXPECT_EQ(map.owner(read), base) << "read " << read;
+  }
+  EXPECT_EQ(map.survivors(), (std::vector<std::uint32_t>{0, 1, 2, 3}));
+}
+
+TEST(OwnerMap, DeadIntervalSplitContiguouslyAmongSurvivors) {
+  const auto bounds = partition_bounds(120, 4);
+  const proto::OwnerMap map(bounds, {1, 0, 1, 1});
+  // Alive ranks keep their base intervals.
+  for (std::uint32_t read = bounds[0]; read < bounds[1]; ++read) EXPECT_EQ(map.owner(read), 0u);
+  for (std::uint32_t read = bounds[2]; read < bounds[3]; ++read) EXPECT_EQ(map.owner(read), 2u);
+  for (std::uint32_t read = bounds[3]; read < bounds[4]; ++read) EXPECT_EQ(map.owner(read), 3u);
+  // The dead interval is covered entirely by survivors, in ascending-rank
+  // contiguous chunks of near-equal size.
+  std::vector<std::uint32_t> owners;
+  for (std::uint32_t read = bounds[1]; read < bounds[2]; ++read) {
+    const std::uint32_t owner = map.owner(read);
+    EXPECT_NE(owner, 1u);
+    if (owners.empty() || owners.back() != owner) owners.push_back(owner);
+  }
+  EXPECT_EQ(owners, (std::vector<std::uint32_t>{0, 2, 3}));
+}
+
+TEST(OwnerMap, PureFunctionOfInputs) {
+  const auto bounds = partition_bounds(997, 8);
+  const std::vector<char> alive{1, 0, 1, 1, 0, 1, 1, 1};
+  const proto::OwnerMap a(bounds, alive);
+  const proto::OwnerMap b(bounds, alive);
+  for (std::uint32_t read = 0; read < 997; ++read) EXPECT_EQ(a.owner(read), b.owner(read));
+}
+
+TEST(OwnerMap, EveryReadOwnedBySomeSurvivor) {
+  const auto bounds = partition_bounds(53, 5);  // lumpy intervals
+  const std::vector<char> alive{0, 1, 0, 1, 1};
+  const proto::OwnerMap map(bounds, alive);
+  for (std::uint32_t read = 0; read < 53; ++read) {
+    const std::uint32_t owner = map.owner(read);
+    ASSERT_LT(owner, 5u);
+    EXPECT_TRUE(alive[owner]) << "read " << read << " owned by dead rank " << owner;
+    EXPECT_TRUE(map.owns(owner, read));
+  }
+}
+
+// ---------- planner: plan_recovery ----------
+
+TEST(RecoveryPlan, NoDeadRanksYieldsEmptyPlan) {
+  const proto::RecoveryPlan plan = proto::plan_recovery({}, {1, 1, 1});
+  EXPECT_TRUE(plan.adoptions.empty());
+  ASSERT_EQ(plan.assignments.size(), 3u);
+  for (const auto& tasks : plan.assignments) EXPECT_TRUE(tasks.empty());
+}
+
+TEST(RecoveryPlan, LostTasksAreManifestMinusCompletions) {
+  proto::DeadRankState dead;
+  dead.rank = 1;
+  dead.manifest_tasks = 5;
+  dead.completed = {0, 3};  // evidence anywhere in stable storage
+  const proto::RecoveryPlan plan = proto::plan_recovery({dead}, {1, 0, 1});
+  // Lost tasks 1, 2, 4 dealt round-robin over ascending survivors {0, 2}.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> dealt;  // (assignee, index)
+  ASSERT_EQ(plan.assignments.size(), 3u);
+  EXPECT_TRUE(plan.assignments[1].empty());
+  for (const std::uint32_t r : {0u, 2u})
+    for (const proto::TaskClaim& claim : plan.assignments[r]) {
+      EXPECT_EQ(claim.origin, 1u);
+      dealt.emplace_back(r, claim.index);
+    }
+  ASSERT_EQ(dealt.size(), 3u);
+  std::vector<std::uint32_t> indices;
+  for (const auto& [r, index] : dealt) indices.push_back(index);
+  std::sort(indices.begin(), indices.end());
+  EXPECT_EQ(indices, (std::vector<std::uint32_t>{1, 2, 4}));
+}
+
+TEST(RecoveryPlan, UnclaimedLogWithRecordsGetsAnAdopter) {
+  proto::DeadRankState dead;
+  dead.rank = 2;
+  dead.manifest_tasks = 0;
+  dead.has_records = true;
+  const std::vector<char> alive{1, 1, 0, 1};
+  const proto::RecoveryPlan plan = proto::plan_recovery({dead}, alive);
+  ASSERT_EQ(plan.adoptions.size(), 1u);
+  EXPECT_EQ(plan.adoptions[0].dead, 2u);
+  // survivors[dead % survivors] = {0,1,3}[2 % 3] = 3.
+  EXPECT_EQ(plan.adoptions[0].adopter, 3u);
+}
+
+TEST(RecoveryPlan, ClaimedLogIsNotAdoptedTwice) {
+  proto::DeadRankState dead;
+  dead.rank = 0;
+  dead.has_records = true;
+  dead.claimant = 2;  // an alive rank already merged this log
+  const proto::RecoveryPlan plan = proto::plan_recovery({dead}, {0, 1, 1});
+  EXPECT_TRUE(plan.adoptions.empty());
+}
+
+TEST(RecoveryPlan, Deterministic) {
+  std::vector<proto::DeadRankState> dead(2);
+  dead[0].rank = 1;
+  dead[0].manifest_tasks = 7;
+  dead[0].has_records = true;
+  dead[1].rank = 4;
+  dead[1].manifest_tasks = 3;
+  dead[1].completed = {1};
+  const std::vector<char> alive{1, 0, 1, 1, 0, 1};
+  const proto::RecoveryPlan a = proto::plan_recovery(dead, alive);
+  const proto::RecoveryPlan b = proto::plan_recovery(dead, alive);
+  ASSERT_EQ(a.adoptions.size(), b.adoptions.size());
+  ASSERT_EQ(a.assignments.size(), b.assignments.size());
+  for (std::size_t r = 0; r < a.assignments.size(); ++r) {
+    ASSERT_EQ(a.assignments[r].size(), b.assignments[r].size());
+    for (std::size_t i = 0; i < a.assignments[r].size(); ++i) {
+      EXPECT_EQ(a.assignments[r][i].origin, b.assignments[r][i].origin);
+      EXPECT_EQ(a.assignments[r][i].index, b.assignments[r][i].index);
+    }
+  }
+}
+
+// ---------- the crash matrix: engines survive rank death ----------
+
+struct Workload {
+  wl::SampledDataset dataset;
+  pipeline::TaskSet tasks;
+};
+
+Workload make_workload(std::size_t ranks, std::uint64_t seed = 33) {
+  Workload w;
+  wl::DatasetSpec spec = wl::ecoli30x_spec();
+#ifdef GNB_TSAN_BUILD
+  spec.genome.length = 2'000;
+#else
+  spec.genome.length = 10'000;
+#endif
+  w.dataset = wl::synthesize(spec, seed);
+  pipeline::PipelineConfig config;
+  config.k = spec.k;
+  config.lo = 2;
+  config.hi = 8;
+  w.tasks = pipeline::run_serial(w.dataset.reads, config, ranks);
+  return w;
+}
+
+struct RunOutcome {
+  std::vector<align::AlignmentRecord> records;  // sorted, all ranks merged
+  stat::FaultCounters faults;                   // summed over ranks
+};
+
+RunOutcome run_engine(bool async_mode, std::size_t ranks, const Workload& w,
+                      const core::EngineConfig& config, const rt::FaultPlan& plan = {}) {
+  rt::World world(ranks);
+  if (plan.enabled()) world.set_faults(plan);
+  std::vector<core::EngineResult> results(ranks);
+  world.run([&](rt::Rank& rank) {
+    results[rank.id()] =
+        async_mode ? core::async_align(rank, w.dataset.reads, w.tasks.bounds,
+                                       w.tasks.per_rank[rank.id()], config)
+                   : core::bsp_align(rank, w.dataset.reads, w.tasks.bounds,
+                                     w.tasks.per_rank[rank.id()], config);
+  });
+  RunOutcome outcome;
+  for (const auto& result : results)
+    outcome.records.insert(outcome.records.end(), result.accepted.begin(),
+                           result.accepted.end());
+  for (const stat::Breakdown& b : world.breakdowns()) outcome.faults.merge(b.faults);
+  std::sort(outcome.records.begin(), outcome.records.end(),
+            [](const align::AlignmentRecord& x, const align::AlignmentRecord& y) {
+              return std::tie(x.read_a, x.read_b, x.alignment.score) <
+                     std::tie(y.read_a, y.read_b, y.alignment.score);
+            });
+  return outcome;
+}
+
+/// Byte-identical alignment output: a crash may change when and where
+/// tasks execute, never what is computed or how often it is emitted.
+void expect_identical(const RunOutcome& crashed, const RunOutcome& clean) {
+  ASSERT_EQ(crashed.records.size(), clean.records.size());
+  for (std::size_t i = 0; i < clean.records.size(); ++i) {
+    const align::AlignmentRecord& a = crashed.records[i];
+    const align::AlignmentRecord& b = clean.records[i];
+    ASSERT_EQ(a.read_a, b.read_a) << "record " << i;
+    ASSERT_EQ(a.read_b, b.read_b) << "record " << i;
+    EXPECT_EQ(a.alignment.score, b.alignment.score) << "record " << i;
+    EXPECT_EQ(a.alignment.a_begin, b.alignment.a_begin) << "record " << i;
+    EXPECT_EQ(a.alignment.a_end, b.alignment.a_end) << "record " << i;
+    EXPECT_EQ(a.alignment.b_begin, b.alignment.b_begin) << "record " << i;
+    EXPECT_EQ(a.alignment.b_end, b.alignment.b_end) << "record " << i;
+    EXPECT_EQ(a.alignment.b_reversed, b.alignment.b_reversed) << "record " << i;
+    EXPECT_EQ(a.alignment.cells, b.alignment.cells) << "record " << i;
+  }
+  // No task emitted twice: every (a, b) pair appears at most once.
+  for (std::size_t i = 1; i < crashed.records.size(); ++i)
+    EXPECT_FALSE(crashed.records[i - 1].read_a == crashed.records[i].read_a &&
+                 crashed.records[i - 1].read_b == crashed.records[i].read_b)
+        << "duplicate emission of pair (" << crashed.records[i].read_a << ", "
+        << crashed.records[i].read_b << ")";
+}
+
+rt::FaultPlan crash_plan(std::initializer_list<rt::CrashEvent> crashes) {
+  rt::FaultPlan plan;
+  plan.crashes = crashes;
+  return plan;
+}
+
+void run_crash_matrix(bool async_mode, std::size_t ranks, const rt::FaultPlan& plan,
+                      const core::EngineConfig& config) {
+  const Workload w = make_workload(ranks);
+  const RunOutcome clean = run_engine(async_mode, ranks, w, config);
+  ASSERT_FALSE(clean.records.empty());
+  const RunOutcome crashed = run_engine(async_mode, ranks, w, config, plan);
+  expect_identical(crashed, clean);
+  // Recovery evidence: every survivor observed the deaths, stable storage
+  // was written, and the dead ranks' unfinished tasks were re-executed.
+  EXPECT_GT(crashed.faults.crashes, 0u);
+  EXPECT_GT(crashed.faults.checkpoint_bytes, 0u);
+  std::uint64_t dead_tasks = 0;
+  for (const rt::CrashEvent& crash : plan.crashes)
+    dead_tasks += w.tasks.per_rank[crash.rank].size();
+  if (dead_tasks > 0) EXPECT_GT(crashed.faults.tasks_reexecuted, 0u);
+}
+
+class CrashMatrix : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CrashMatrix, BspSurvivesOneEarlyDeath) {
+  run_crash_matrix(false, GetParam(), crash_plan({{1, 0}}), core::EngineConfig{});
+}
+
+TEST_P(CrashMatrix, BspSurvivesOneMidPhaseDeath) {
+  run_crash_matrix(false, GetParam(), crash_plan({{1, 3}}), core::EngineConfig{});
+}
+
+TEST_P(CrashMatrix, AsyncSurvivesOneEarlyDeath) {
+  run_crash_matrix(true, GetParam(), crash_plan({{1, 0}}), core::EngineConfig{});
+}
+
+TEST_P(CrashMatrix, AsyncSurvivesOneMidPhaseDeath) {
+  run_crash_matrix(true, GetParam(), crash_plan({{1, 5}}), core::EngineConfig{});
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, CrashMatrix, ::testing::Values(2, 4, 8));
+
+class DoubleCrash : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DoubleCrash, BspSurvivesTwoDeaths) {
+  run_crash_matrix(false, GetParam(), crash_plan({{1, 0}, {2, 3}}), core::EngineConfig{});
+}
+
+TEST_P(DoubleCrash, AsyncSurvivesTwoDeaths) {
+  run_crash_matrix(true, GetParam(), crash_plan({{1, 0}, {2, 6}}), core::EngineConfig{});
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, DoubleCrash, ::testing::Values(4, 8));
+
+TEST(CrashMatrix, BspMultiRoundCrashMidExchange) {
+  // A tight round budget forces several supersteps, so the death lands in
+  // the middle of the exchange with rounds already consumed on both sides.
+  core::EngineConfig tight;
+  tight.proto.bsp_round_budget = 1 << 12;
+  run_crash_matrix(false, 4, crash_plan({{2, 5}}), tight);
+}
+
+TEST(CrashMatrix, AsyncCrashWithSmallWindow) {
+  core::EngineConfig config;
+  config.proto.async_window = 4;  // deaths interleave with throttled pulls
+  run_crash_matrix(true, 4, crash_plan({{3, 8}}), config);
+}
+
+// ---------- simulator crash costing ----------
+
+TEST(SimCrash, BspSurvivorsAbsorbDeadWork) {
+  wl::TaskModelParams params;
+  params.n_reads = 2'000;
+  params.n_tasks = 20'000;
+  params.mean_length = 4'000;
+  const auto workload = wl::generate_sim_workload(params, 1);
+  const sim::MachineParams machine = sim::cori_knl(1);
+  const sim::SimAssignment assignment = sim::assign(workload, machine.total_ranks());
+  sim::SimOptions options;
+  options.calibration.cells_per_second = 2e8;
+  options.calibration.overhead_per_task = 3e-6;
+  const sim::SimResult clean = sim::simulate_bsp(machine, assignment, options);
+  options.faults.crashes = {{5, 0}};
+  const sim::SimResult crashed = sim::simulate_bsp(machine, assignment, options);
+  EXPECT_GT(crashed.runtime, 0.0);
+  // The dead rank stops contributing; the survivors book the recovery.
+  EXPECT_LT(crashed.ranks[5].compute, clean.ranks[5].compute);
+  EXPECT_EQ(crashed.ranks[5].faults.crashes, 0u);
+  std::uint64_t reexecuted = 0;
+  for (std::size_t r = 0; r < crashed.ranks.size(); ++r) {
+    if (r == 5) continue;
+    EXPECT_EQ(crashed.ranks[r].faults.crashes, 1u);
+    EXPECT_GT(crashed.ranks[r].faults.recovery_seconds, 0.0);
+    reexecuted += crashed.ranks[r].faults.tasks_reexecuted;
+  }
+  EXPECT_GT(reexecuted, 0u);
+  // Deterministic: same plan, same costs.
+  const sim::SimResult again = sim::simulate_bsp(machine, assignment, options);
+  EXPECT_DOUBLE_EQ(crashed.runtime, again.runtime);
+}
+
+TEST(SimCrash, AsyncDeadRankWaitsForNobody) {
+  wl::TaskModelParams params;
+  params.n_reads = 2'000;
+  params.n_tasks = 20'000;
+  params.mean_length = 4'000;
+  const auto workload = wl::generate_sim_workload(params, 2);
+  const sim::MachineParams machine = sim::cori_knl(1);
+  const sim::SimAssignment assignment = sim::assign(workload, machine.total_ranks());
+  sim::SimOptions options;
+  options.calibration.cells_per_second = 2e8;
+  options.calibration.overhead_per_task = 3e-6;
+  const sim::SimResult clean = sim::simulate_async(machine, assignment, options);
+  options.faults.crashes = {{3, 1}};
+  const sim::SimResult crashed = sim::simulate_async(machine, assignment, options);
+  EXPECT_GT(crashed.runtime, 0.0);
+  EXPECT_LT(crashed.ranks[3].compute, clean.ranks[3].compute);
+  EXPECT_EQ(crashed.ranks[3].sync, 0.0);  // it never reaches the exit barrier
+  std::uint64_t reexecuted = 0;
+  for (std::size_t r = 0; r < crashed.ranks.size(); ++r) {
+    if (r == 3) continue;
+    EXPECT_EQ(crashed.ranks[r].faults.crashes, 1u);
+    EXPECT_GT(crashed.ranks[r].faults.recovery_seconds, 0.0);
+    reexecuted += crashed.ranks[r].faults.tasks_reexecuted;
+  }
+  EXPECT_GT(reexecuted, 0u);
+}
+
+// ---------- pipeline phase checkpoint / restart ----------
+
+namespace fs = std::filesystem;
+
+struct CheckpointFixture {
+  wl::SampledDataset dataset;
+  pipeline::PipelineConfig config;
+  align::XDropParams xdrop;
+  align::AlignmentFilter filter{50, 100};
+};
+
+const CheckpointFixture& checkpoint_fixture() {
+  static const CheckpointFixture f = [] {
+    CheckpointFixture fx;
+    wl::DatasetSpec spec = wl::tiny_spec();
+    spec.genome.length = 8'000;
+    spec.reads.coverage = 8;
+    fx.dataset = wl::synthesize(spec, 17);
+    const auto bounds = kmer::reliable_bounds(
+        kmer::BellaParams{spec.reads.coverage, spec.reads.error_rate, spec.k, 1e-3});
+    fx.config.k = spec.k;
+    fx.config.lo = bounds.lo;
+    fx.config.hi = bounds.hi;
+    return fx;
+  }();
+  return f;
+}
+
+fs::path fresh_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+TEST(Checkpoint, KilledRunResumesAndMatchesUninterrupted) {
+  const CheckpointFixture& f = checkpoint_fixture();
+  pipeline::CheckpointConfig straight{fresh_dir("gnb_ckpt_straight"), 16};
+  const pipeline::CheckpointedRun whole = pipeline::run_serial_checkpointed(
+      f.dataset.reads, f.config, 4, f.xdrop, f.filter, straight);
+  ASSERT_TRUE(whole.finished);
+  ASSERT_GT(whole.progress.watermark, 32u) << "workload too small to interrupt";
+
+  // Kill the run mid-alignment (no final flush — as a real kill leaves it),
+  // then restart in the same directory.
+  pipeline::CheckpointConfig killed{fresh_dir("gnb_ckpt_killed"), 16};
+  const std::uint64_t stop_after = whole.progress.watermark / 2;
+  const pipeline::CheckpointedRun partial = pipeline::run_serial_checkpointed(
+      f.dataset.reads, f.config, 4, f.xdrop, f.filter, killed, stop_after);
+  EXPECT_FALSE(partial.finished);
+
+  const pipeline::CheckpointedRun resumed = pipeline::run_serial_checkpointed(
+      f.dataset.reads, f.config, 4, f.xdrop, f.filter, killed);
+  EXPECT_TRUE(resumed.finished);
+  EXPECT_TRUE(resumed.resumed_tasks);  // stages 1-3 came from disk
+  EXPECT_GT(resumed.resumed_watermark, 0u);
+  EXPECT_LE(resumed.resumed_watermark, stop_after);
+
+  // The resumed run's output is identical to the uninterrupted run's.
+  EXPECT_EQ(resumed.progress.watermark, whole.progress.watermark);
+  ASSERT_EQ(resumed.progress.accepted.size(), whole.progress.accepted.size());
+  for (std::size_t i = 0; i < whole.progress.accepted.size(); ++i) {
+    EXPECT_EQ(resumed.progress.accepted[i].read_a, whole.progress.accepted[i].read_a);
+    EXPECT_EQ(resumed.progress.accepted[i].read_b, whole.progress.accepted[i].read_b);
+    EXPECT_EQ(resumed.progress.accepted[i].alignment.score,
+              whole.progress.accepted[i].alignment.score);
+  }
+}
+
+TEST(Checkpoint, SecondCallIsAPureResume) {
+  const CheckpointFixture& f = checkpoint_fixture();
+  pipeline::CheckpointConfig ckpt{fresh_dir("gnb_ckpt_rerun"), 16};
+  const pipeline::CheckpointedRun first = pipeline::run_serial_checkpointed(
+      f.dataset.reads, f.config, 2, f.xdrop, f.filter, ckpt);
+  ASSERT_TRUE(first.finished);
+  const pipeline::CheckpointedRun second = pipeline::run_serial_checkpointed(
+      f.dataset.reads, f.config, 2, f.xdrop, f.filter, ckpt);
+  EXPECT_TRUE(second.finished);
+  EXPECT_TRUE(second.resumed_tasks);
+  EXPECT_EQ(second.resumed_watermark, first.progress.watermark);
+  EXPECT_EQ(second.progress.accepted.size(), first.progress.accepted.size());
+}
+
+TEST(Checkpoint, FingerprintMismatchRecomputesInsteadOfResuming) {
+  const CheckpointFixture& f = checkpoint_fixture();
+  const fs::path dir = fresh_dir("gnb_ckpt_fpr");
+  pipeline::CheckpointConfig ckpt{dir, 16};
+  const pipeline::CheckpointedRun two = pipeline::run_serial_checkpointed(
+      f.dataset.reads, f.config, 2, f.xdrop, f.filter, ckpt);
+  ASSERT_TRUE(two.finished);
+  // Same directory, different rank count: the stale checkpoints must be
+  // ignored (recomputed), not resumed and not fatal.
+  const pipeline::CheckpointedRun three = pipeline::run_serial_checkpointed(
+      f.dataset.reads, f.config, 3, f.xdrop, f.filter, ckpt);
+  EXPECT_TRUE(three.finished);
+  EXPECT_FALSE(three.resumed_tasks);
+  EXPECT_EQ(three.resumed_watermark, 0u);
+}
+
+TEST(CheckpointBlob, RoundTripAndStaleFingerprint) {
+  const fs::path dir = fresh_dir("gnb_ckpt_blob");
+  fs::create_directories(dir);
+  const fs::path path = dir / "unit.ckpt";
+  const std::vector<std::uint8_t> payload{1, 2, 3, 4, 5, 250, 251, 252};
+  pipeline::save_blob(path, 9, 0xABCDu, payload);
+  const auto loaded = pipeline::load_blob(path, 9, 0xABCDu);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, payload);
+  // A fingerprint mismatch is "stale": absent, not fatal.
+  EXPECT_FALSE(pipeline::load_blob(path, 9, 0x1234u).has_value());
+  // A missing file is absent too.
+  EXPECT_FALSE(pipeline::load_blob(dir / "nope.ckpt", 9, 0xABCDu).has_value());
+}
+
+TEST(CheckpointBlob, CorruptionIsFatalNotSilent) {
+  const fs::path dir = fresh_dir("gnb_ckpt_corrupt");
+  fs::create_directories(dir);
+  const fs::path path = dir / "unit.ckpt";
+  const std::vector<std::uint8_t> payload(64, 0x5A);
+  pipeline::save_blob(path, 3, 7, payload);
+  auto bytes = [&] {
+    std::ifstream in(path, std::ios::binary);
+    return std::vector<char>((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  }();
+  ASSERT_FALSE(bytes.empty());
+  const auto rewrite = [&](std::size_t at, char with) {
+    auto copy = bytes;
+    copy[at] ^= with;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(copy.data(), static_cast<std::streamsize>(copy.size()));
+  };
+  rewrite(0, 0x01);  // magic
+  EXPECT_THROW((void)pipeline::load_blob(path, 3, 7), gnb::Error);
+  rewrite(bytes.size() - 1, 0x01);  // payload bit flip under the checksum
+  EXPECT_THROW((void)pipeline::load_blob(path, 3, 7), gnb::Error);
+  // Wrong kind on an otherwise-valid blob is a caller bug, also fatal.
+  rewrite(0, 0x00);  // restore
+  EXPECT_THROW((void)pipeline::load_blob(path, 4, 7), gnb::Error);
+  // Truncated header.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), 5);
+  }
+  EXPECT_THROW((void)pipeline::load_blob(path, 3, 7), gnb::Error);
+}
+
+}  // namespace

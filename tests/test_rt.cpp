@@ -434,3 +434,92 @@ TEST(Timers, CommChargedByAlltoallv) {
   // comm shows up in the collected breakdowns
   for (const auto& b : world.breakdowns()) EXPECT_GE(b.comm, 0.0);
 }
+
+// ---------- peer death: fail-fast RPC and durable storage ----------
+
+TEST(Rpc, CallToDeadPeerFailsFastWithPeerDead) {
+  World world(2);
+  world.set_faults(FaultPlan::parse("crash@1:0"));
+  world.run([&](Rank& rank) {
+    if (rank.id() == 1) {
+      rank.barrier();  // dies at its first collective entry (fault step 0)
+      FAIL() << "rank 1 outlived its scheduled crash";
+    }
+    // Rank 0: pull from the (dying) peer with the status-aware overload and
+    // poll until the in-flight request fails fast — no timeout involved.
+    bool done = false;
+    RpcStatus status = RpcStatus::kOk;
+    rank.rpc().call(1, 99, {1, 2, 3}, [&](RpcStatus s, RpcEndpoint::Bytes reply) {
+      status = s;
+      EXPECT_TRUE(reply.empty());
+      done = true;
+    });
+    while (!done) rank.rpc().progress();
+    EXPECT_EQ(status, RpcStatus::kPeerDead);
+    EXPECT_GE(rank.rpc().peer_death_failures(), 1u);
+  });
+}
+
+TEST(Rpc, LegacyCallbackThrowsTypedErrorOnPeerDeath) {
+  World world(2);
+  world.set_faults(FaultPlan::parse("crash@1:0"));
+  world.run([&](Rank& rank) {
+    if (rank.id() == 1) {
+      rank.barrier();  // dies at its first collective entry
+      FAIL() << "rank 1 outlived its scheduled crash";
+    }
+    rank.rpc().call(1, 99, {}, [](RpcEndpoint::Bytes) { FAIL() << "reply from the dead"; });
+    bool threw = false;
+    while (!threw && rank.rpc().outstanding() > 0) {
+      try {
+        rank.rpc().progress();
+      } catch (const RpcPeerDeadError&) {
+        threw = true;
+      }
+    }
+    EXPECT_TRUE(threw);
+  });
+}
+
+TEST(Rpc, OutOfRangeTargetThrowsTypedRpcError) {
+  World world(2);
+  world.run([&](Rank& rank) {
+    if (rank.id() != 0) return;
+    EXPECT_THROW(rank.rpc().call(2, 1, {}, [](RpcEndpoint::Bytes) {}), RpcError);
+    EXPECT_THROW(rank.rpc().call(17, 1, {}, [](RpcStatus, RpcEndpoint::Bytes) {}), RpcError);
+  });
+}
+
+TEST(DurableStore, WritesSurviveAndAppendsAccumulate) {
+  DurableStore store;
+  store.reset(2);
+  EXPECT_TRUE(store.manifest(0).empty());
+  EXPECT_TRUE(store.log(1).empty());
+  EXPECT_EQ(store.write_manifest(0, {1, 2, 3}), 3u);
+  EXPECT_EQ(store.append_log(1, {9}), 1u);
+  EXPECT_EQ(store.append_log(1, {8, 7}), 2u);
+  EXPECT_EQ(store.manifest(0), (DurableStore::Bytes{1, 2, 3}));
+  EXPECT_EQ(store.log(1), (DurableStore::Bytes{9, 8, 7}));
+  EXPECT_EQ(store.bytes_written(), 6u);
+  // reset() starts the next phase empty.
+  store.reset(3);
+  EXPECT_TRUE(store.manifest(0).empty());
+  EXPECT_TRUE(store.log(1).empty());
+  EXPECT_EQ(store.bytes_written(), 0u);
+}
+
+TEST(DurableStore, DeadWriterBytesRemainReadable) {
+  // Durability contract: bytes a rank wrote before dying stay readable by
+  // the survivors through World's store.
+  World world(2);
+  world.set_faults(FaultPlan::parse("crash@1:0"));
+  world.run([&](Rank& rank) {
+    if (rank.id() == 1) {
+      rank.durable().write_manifest(1, {42, 43});
+      rank.barrier();  // dies at its first collective entry
+      FAIL() << "rank 1 outlived its scheduled crash";
+    }
+    while (rank.is_alive_now(1)) rank.rpc().progress();
+    EXPECT_EQ(rank.durable().manifest(1), (DurableStore::Bytes{42, 43}));
+  });
+}

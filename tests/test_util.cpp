@@ -374,3 +374,77 @@ TEST(Wire, LittleEndianLayout) {
   EXPECT_EQ(buf[0], 0x04);
   EXPECT_EQ(buf[3], 0x01);
 }
+
+// ---------- wire framing (checksum-framed payloads) ----------
+
+TEST(WireFraming, EmptyPayloadRoundTrips) {
+  std::vector<std::uint8_t> buf;
+  wire::begin_checksum(buf);
+  wire::seal_checksum(buf);
+  ASSERT_EQ(buf.size(), wire::kChecksumBytes);
+  std::size_t off = 0;
+  ASSERT_TRUE(wire::verify_checksum(buf, off));
+  EXPECT_EQ(off, buf.size());  // nothing left after the header
+}
+
+TEST(WireFraming, OneBytePayloadRoundTrips) {
+  std::vector<std::uint8_t> buf;
+  wire::begin_checksum(buf);
+  buf.push_back(0xA5);
+  wire::seal_checksum(buf);
+  std::size_t off = 0;
+  ASSERT_TRUE(wire::verify_checksum(buf, off));
+  EXPECT_EQ(wire::get<std::uint8_t>(buf, off), 0xA5u);
+  EXPECT_EQ(off, buf.size());
+}
+
+TEST(WireFraming, HugePayloadRoundTrips) {
+  // Past any plausible internal 32-bit or 64-MiB assumption: the BSP
+  // engine frames whole aggregated rounds through this path.
+  constexpr std::size_t kHuge = (std::size_t{64} << 20) + 4'097;
+  std::vector<std::uint8_t> buf;
+  buf.reserve(wire::kChecksumBytes + kHuge);
+  wire::begin_checksum(buf);
+  for (std::size_t i = 0; i < kHuge; ++i)
+    buf.push_back(static_cast<std::uint8_t>(i * 0x9E37 >> 8));
+  wire::seal_checksum(buf);
+  std::size_t off = 0;
+  ASSERT_TRUE(wire::verify_checksum(buf, off));
+  EXPECT_EQ(off, wire::kChecksumBytes);
+  // A single flipped bit deep in the payload must be caught.
+  buf[wire::kChecksumBytes + kHuge / 2] ^= 0x10;
+  off = 0;
+  EXPECT_FALSE(wire::verify_checksum(buf, off));
+  EXPECT_EQ(off, 0u);
+}
+
+TEST(WireFraming, CorruptedHeaderIsRejected) {
+  std::vector<std::uint8_t> buf;
+  wire::begin_checksum(buf);
+  for (std::uint8_t i = 0; i < 32; ++i) buf.push_back(i);
+  wire::seal_checksum(buf);
+  for (std::size_t byte = 0; byte < wire::kChecksumBytes; ++byte) {
+    auto corrupt = buf;
+    corrupt[byte] ^= 0x80;
+    std::size_t off = 0;
+    EXPECT_FALSE(wire::verify_checksum(corrupt, off)) << "header byte " << byte;
+    EXPECT_EQ(off, 0u) << "offset must not advance on failure";
+  }
+  // A buffer shorter than the header cannot verify.
+  std::vector<std::uint8_t> stub(wire::kChecksumBytes - 1, 0);
+  std::size_t off = 0;
+  EXPECT_FALSE(wire::verify_checksum(stub, off));
+}
+
+TEST(WireFraming, MidBufferFrameVerifies) {
+  // Frames need not start at offset 0: recovery rounds append a framed
+  // section after a plain prefix.
+  std::vector<std::uint8_t> buf{9, 9, 9};
+  const std::size_t start = buf.size();
+  wire::begin_checksum(buf);
+  for (std::uint8_t i = 0; i < 10; ++i) buf.push_back(i);
+  wire::seal_checksum(buf, start);
+  std::size_t off = start;
+  ASSERT_TRUE(wire::verify_checksum(buf, off));
+  EXPECT_EQ(off, start + wire::kChecksumBytes);
+}

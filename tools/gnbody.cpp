@@ -156,7 +156,8 @@ int cmd_overlap(int argc, char** argv) {
   auto breakdown = cli.flag("breakdown", "print the measured phase breakdown table");
   auto faults = cli.opt<std::string>(
       "faults", "",
-      "fault spec: a bare seed, or seed=..,delay=P:T,dup=P,reorder=P,straggle=P:U");
+      "fault spec: a bare seed, or seed=..,delay=P:T,dup=P,reorder=P,straggle=P:U"
+      ",crash@R:S (kill rank R at its S-th fault step; repeatable)");
   cli.parse(argc, argv);
 
   rt::FaultPlan plan;
