@@ -13,6 +13,7 @@
 #include <cstdio>
 
 #include "figlib.hpp"
+#include "obs/json.hpp"
 
 using namespace gnb;
 
@@ -27,6 +28,7 @@ int main(int argc, char** argv) {
   const sim::MachineParams machine = bench::scaled_machine(context, *nodes);
   sim::SimOptions base;
   base.calibration = context.calibration;
+  bench::JsonReport report("ablation", context);
 
   // --- 1. balancing policy ---
   {
@@ -39,6 +41,8 @@ int main(int argc, char** argv) {
       const auto async = sim::reduce(sim::simulate_async(machine, assignment, base));
       const char* name =
           policy == sim::BalancePolicy::kCountBalanced ? "count (paper)" : "cost (idealized)";
+      report.add({{"ablation", "balance"}, {"policy", name}, {"engine", "BSP"}}, bsp);
+      report.add({{"ablation", "balance"}, {"policy", name}, {"engine", "Async"}}, async);
       table.add_row({std::string(name), std::string("BSP"), bsp.runtime, bsp.sync_avg,
                      bsp.load_imbalance});
       table.add_row({std::string(name), std::string("Async"), async.runtime, async.sync_avg,
@@ -59,6 +63,9 @@ int main(int argc, char** argv) {
       sim::SimOptions options = base;
       options.async_rdma = rdma;
       const auto async = sim::reduce(sim::simulate_async(machine, assignment, options));
+      report.add({{"ablation", "pull"}, {"mechanism", rdma ? "RDMA" : "RPC"},
+                  {"engine", "Async"}},
+                 async);
       table.add_row({std::string(rdma ? "RDMA (2 RTT, no callee CPU)" : "RPC (1 RTT + service)"),
                      async.runtime, async.comm_avg, async.overhead_avg});
     }
@@ -79,6 +86,9 @@ int main(int argc, char** argv) {
         sim::SimOptions options = base;
         options.proto.async_batch = batch;
         const auto async = sim::reduce(sim::simulate_async(slow, assignment, options));
+        report.add({{"ablation", "aggregation"}, {"latency_s", obs::json::number(latency)},
+                    {"batch", std::to_string(batch)}, {"engine", "Async"}},
+                   async);
         table.add_row({format_seconds(latency), static_cast<std::uint64_t>(batch),
                        async.runtime, async.comm_avg});
         if (async.runtime < best_runtime) {
@@ -91,5 +101,6 @@ int main(int argc, char** argv) {
     }
     table.print("ablation 3 — pull aggregation pays off as latency grows (§5)");
   }
+  report.write();
   return 0;
 }

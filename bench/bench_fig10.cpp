@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   const std::uint64_t capacity = bench::ccs_capacity(context);
 
   Table table = bench::breakdown_table();
+  bench::JsonReport report("fig10", context);
   double gain_first = 0, gain_last = 0;
   for (const std::size_t nodes : {64, 128, 256, 512}) {
     sim::MachineParams machine = bench::scaled_machine(context, nodes);
@@ -30,6 +31,7 @@ int main(int argc, char** argv) {
     options.calibration = context.calibration;
     const auto pair = bench::simulate_pair(context, machine, options);
     bench::add_breakdown_rows(table, nodes, pair);
+    report.add_pair("nodes", std::to_string(nodes), pair);
     const double gain = 1.0 - pair.async.runtime / pair.bsp.runtime;
     if (nodes == 64) gain_first = gain;
     if (nodes == 512) gain_last = gain;
@@ -42,5 +44,6 @@ int main(int argc, char** argv) {
               gain_last < gain_first ? "shrinking as in the paper" : "NOT shrinking");
   table.print("Figure 10 — Human CCS, 64-512 nodes (single superstep)");
   if (!csv->empty()) table.write_csv(*csv);
+  report.write();
   return 0;
 }

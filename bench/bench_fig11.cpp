@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
 
   Table table({"nodes", "bsp_peak", "async_peak", "capacity", "exchange_estimate",
                "bsp_rounds"});
+  bench::JsonReport report("fig11", context);
   std::uint64_t async_max = 0;
   for (const std::size_t nodes : {8, 16, 32, 64, 128, 256, 512}) {
     sim::MachineParams machine = bench::scaled_machine(context, nodes);
@@ -37,6 +38,8 @@ int main(int argc, char** argv) {
     const stat::Summary async =
         sim::reduce(sim::simulate_async(machine, assignment, options));
     const std::uint64_t estimate = sim::estimated_exchange_memory(assignment);
+    report.add({{"nodes", std::to_string(nodes)}, {"engine", "BSP"}}, bsp);
+    report.add({{"nodes", std::to_string(nodes)}, {"engine", "Async"}}, async);
     async_max = std::max(async_max, async.peak_memory_max);
     table.add_row({std::to_string(nodes),
                    format_bytes(static_cast<double>(bsp.peak_memory_max)),
@@ -50,5 +53,6 @@ int main(int argc, char** argv) {
               format_bytes(static_cast<double>(async_max)).c_str());
   table.print("Figure 11 — max per-core memory footprint, Human CCS");
   if (!csv->empty()) table.write_csv(*csv);
+  report.write();
   return 0;
 }

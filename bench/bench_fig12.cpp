@@ -23,12 +23,14 @@ int main(int argc, char** argv) {
 
   Table table({"nodes", "bsp_mem", "async_mem", "bsp_runtime_s", "async_runtime_s",
                "async/bsp_runtime"});
+  bench::JsonReport report("fig12", context);
   for (const std::size_t nodes : {8, 16, 32, 64, 128, 256, 512}) {
     sim::MachineParams machine = bench::scaled_machine(context, nodes);
     machine.memory_per_core = capacity;
     sim::SimOptions options;
     options.calibration = context.calibration;
     const auto pair = bench::simulate_pair(context, machine, options);
+    report.add_pair("nodes", std::to_string(nodes), pair);
     table.add_row({std::to_string(nodes),
                    format_bytes(static_cast<double>(pair.bsp.peak_memory_max)),
                    format_bytes(static_cast<double>(pair.async.peak_memory_max)),
@@ -37,5 +39,6 @@ int main(int argc, char** argv) {
   }
   table.print("Figure 12 — memory footprint and runtime, Human CCS");
   if (!csv->empty()) table.write_csv(*csv);
+  report.write();
   return 0;
 }

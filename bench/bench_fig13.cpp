@@ -85,6 +85,7 @@ int main(int argc, char** argv) {
   const auto context = bench::make_context(wl::human_ccs_spec(), *scale, *seed);
   const std::uint64_t capacity = bench::ccs_capacity(context);
   Table table({"nodes", "bsp_overhead_s", "async_overhead_s", "async_overhead_%runtime"});
+  bench::JsonReport report("fig13", context);
   double last_share = 0;
   for (const std::size_t nodes : {8, 16, 32, 64, 128, 256, 512}) {
     sim::MachineParams machine = bench::scaled_machine(context, nodes);
@@ -92,6 +93,7 @@ int main(int argc, char** argv) {
     sim::SimOptions options;
     options.calibration = context.calibration;
     const auto pair = bench::simulate_pair(context, machine, options);
+    report.add_pair("nodes", std::to_string(nodes), pair);
     last_share = 100 * pair.async.overhead_avg / pair.async.runtime;
     table.add_row({std::to_string(nodes), pair.bsp.overhead_avg, pair.async.overhead_avg,
                    last_share});
@@ -99,5 +101,6 @@ int main(int argc, char** argv) {
   std::printf("[fig13] async overhead share at 512 nodes: %.1f%% (paper: scales down to "
               "~4%%)\n", last_share);
   table.print("Figure 13 — data-structure traversal overhead, Human CCS");
+  report.write();
   return 0;
 }

@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   const auto context = bench::make_context(wl::ecoli30x_spec(), 1.0, *seed);
 
   Table table(stat::breakdown_headers({"cores", "engine"}));
+  bench::JsonReport report("fig3", context);
   double runtime64_bsp = 0, runtime64_async = 0;
   for (const std::size_t cores : {68, 64}) {
     sim::MachineParams machine = sim::cori_knl(1);
@@ -32,6 +33,7 @@ int main(int argc, char** argv) {
     options.os_noise = cores == 68 ? 0.062 : 0.004;
     const auto pair = bench::simulate_pair(context, machine, options);
     bench::add_breakdown_rows(table, /*nodes=*/1, pair);
+    report.add_pair("cores", std::to_string(cores), pair);
     std::printf("[fig3] %zu cores: BSP %.3f s, Async %.3f s, diff %.3f%% (paper < 0.1%%)\n",
                 cores, pair.bsp.runtime, pair.async.runtime,
                 100.0 * std::abs(pair.bsp.runtime - pair.async.runtime) /
@@ -44,5 +46,6 @@ int main(int argc, char** argv) {
   std::printf("[fig3] 64-core runtimes: BSP %.3f s, Async %.3f s\n", runtime64_bsp,
               runtime64_async);
   table.print("Figure 3 — E. coli 30x on 1 node, 68 vs 64 application cores");
+  report.write();
   return 0;
 }

@@ -6,6 +6,7 @@
 // problem.
 
 #include <cstdio>
+#include <optional>
 
 #include "figlib.hpp"
 
@@ -21,6 +22,8 @@ int main(int argc, char** argv) {
 
   Table table({"dataset", "engine", "runtime_s", "compute_s", "overhead_s", "comm_s",
                "sync_s", "compute_%", "rounds"});
+  // Two datasets share one report; config records the first (30x) context.
+  std::optional<bench::JsonReport> report;
 
   for (const bool big : {false, true}) {
     const wl::DatasetSpec spec = big ? wl::ecoli100x_spec() : wl::ecoli30x_spec();
@@ -31,6 +34,8 @@ int main(int argc, char** argv) {
     options.calibration = context.calibration;
     options.os_noise = 0.004;
     const auto pair = bench::simulate_pair(context, machine, options);
+    if (!report) report.emplace("fig4", context);
+    report->add_pair("dataset", spec.name, pair);
     for (const auto& [name, b] :
          {std::pair{"BSP", pair.bsp}, std::pair{"Async", pair.async}}) {
       table.add_row({spec.name, std::string(name), b.runtime, b.compute_avg, b.overhead_avg,
@@ -44,5 +49,6 @@ int main(int argc, char** argv) {
                 big ? "~94% compute, diff < 0.3%" : "~90% compute, diff < 0.1%");
   }
   table.print("Figure 4 — single-node breakdown, E. coli 30x vs 100x (64 cores)");
+  if (report) report->write();
   return 0;
 }

@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
 
   Table table({"nodes", "cores", "compute_min_s", "compute_avg_s", "compute_max_s",
                "load_imbalance"});
+  bench::JsonReport report("fig5", context);
   double imbalance_first = 0, imbalance_last = 0;
   for (const std::size_t nodes : {8, 16, 32, 64, 128, 256, 512}) {
     sim::MachineParams machine = bench::scaled_machine(context, nodes);
@@ -33,6 +34,7 @@ int main(int argc, char** argv) {
     const sim::SimAssignment assignment =
         sim::assign(context.workload, machine.total_ranks());
     const stat::Summary b = sim::reduce(sim::simulate_bsp(machine, assignment, options));
+    report.add({{"nodes", std::to_string(nodes)}, {"engine", "BSP"}}, b);
     table.add_row({std::to_string(nodes), static_cast<std::uint64_t>(nodes * 64),
                    b.compute_min, b.compute_avg, b.compute_max, b.load_imbalance});
     if (nodes == 8) imbalance_first = b.load_imbalance;
@@ -44,5 +46,6 @@ int main(int argc, char** argv) {
                                                : "NOT growing (paper: grows)");
   table.print("Figure 5 — cumulative seed-and-extend time extremes, Human CCS");
   if (!csv->empty()) table.write_csv(*csv);
+  report.write();
   return 0;
 }

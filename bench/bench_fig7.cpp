@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
   const std::uint64_t capacity = bench::ccs_capacity(context);
 
   Table table({"nodes", "bsp_comm_s", "async_comm_s", "async/bsp"});
+  bench::JsonReport report("fig7", context);
   std::size_t crossover = 0;
   for (const std::size_t nodes : {8, 16, 32, 64, 128, 256, 512}) {
     sim::MachineParams machine = bench::scaled_machine(context, nodes);
@@ -33,6 +34,7 @@ int main(int argc, char** argv) {
     options.skip_compute = true;
     options.proto.async_window = *window;
     const auto pair = bench::simulate_pair(context, machine, options);
+    report.add_pair("nodes", std::to_string(nodes), pair);
     // With compute skipped, the whole phase is communication + residual
     // overhead; compare total average visible time.
     const double bsp_latency = pair.bsp.comm_avg + pair.bsp.overhead_avg;
@@ -48,5 +50,6 @@ int main(int argc, char** argv) {
     std::printf("[fig7] no crossover observed (paper: between 32 and 64 nodes)\n");
   table.print("Figure 7 — communication latency with computation skipped, Human CCS");
   if (!csv->empty()) table.write_csv(*csv);
+  report.write();
   return 0;
 }

@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
   const auto context = bench::make_context(wl::ecoli100x_spec(), *scale, *seed);
 
   Table table = bench::breakdown_table();
+  bench::JsonReport report("fig8", context);
   double bsp_1node = 0;
   for (const std::size_t nodes : {1, 2, 4, 8, 16, 32, 64, 128}) {
     sim::MachineParams machine = bench::scaled_machine(context, nodes);
@@ -34,6 +35,7 @@ int main(int argc, char** argv) {
     options.calibration = context.calibration;
     const auto pair = bench::simulate_pair(context, machine, options);
     bench::add_breakdown_rows(table, nodes, pair);
+    report.add_pair("nodes", std::to_string(nodes), pair);
     if (nodes == 1) bsp_1node = pair.bsp.runtime;
     if (nodes == 128) {
       std::printf("[fig8] 128-node speedup: BSP %.1fx, Async %.1fx (paper ~40x)\n",
@@ -47,5 +49,6 @@ int main(int argc, char** argv) {
   }
   table.print("Figure 8 — E. coli 100x strong scaling breakdown");
   if (!csv->empty()) table.write_csv(*csv);
+  report.write();
   return 0;
 }

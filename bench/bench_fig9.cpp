@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
               format_bytes(static_cast<double>(capacity)).c_str());
 
   Table table = bench::breakdown_table();
+  bench::JsonReport report("fig9", context);
   double max_gain = 0;
   for (const std::size_t nodes : {8, 16, 32, 64}) {
     sim::MachineParams machine = bench::scaled_machine(context, nodes);
@@ -35,6 +36,7 @@ int main(int argc, char** argv) {
     options.calibration = context.calibration;
     const auto pair = bench::simulate_pair(context, machine, options);
     bench::add_breakdown_rows(table, nodes, pair);
+    report.add_pair("nodes", std::to_string(nodes), pair);
     const double gain = 1.0 - pair.async.runtime / pair.bsp.runtime;
     max_gain = std::max(max_gain, gain);
     std::printf("[fig9] %3zu nodes: BSP rounds=%llu comm=%4.1f%% | async gain %+5.1f%% | "
@@ -47,5 +49,6 @@ int main(int argc, char** argv) {
               "BSP comm 17-34%%)\n", 100 * max_gain);
   table.print("Figure 9 — Human CCS, 8-64 nodes (BSP memory-limited)");
   if (!csv->empty()) table.write_csv(*csv);
+  report.write();
   return 0;
 }

@@ -1,8 +1,14 @@
 #include "figlib.hpp"
 
 #include <cmath>
+#include <fstream>
+#include <sstream>
 
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/spans.hpp"
 #include "sim/assignment.hpp"
+#include "util/error.hpp"
 #include "util/log.hpp"
 
 namespace gnb::bench {
@@ -22,13 +28,7 @@ FigureContext make_context(const wl::DatasetSpec& spec, double scale, std::uint6
 
 sim::MachineParams scaled_machine(const FigureContext& context, std::size_t nodes) {
   sim::MachineParams machine = sim::cori_knl(nodes);
-  const double scale = context.scale;
-  machine.cores_per_node = std::max<std::size_t>(
-      1, static_cast<std::size_t>(std::llround(64.0 / scale)));
-  machine.nic_bandwidth /= scale;
-  machine.intranode_bandwidth /= scale;
-  machine.global_bw_per_node /= scale;
-  machine.a2a_setup_per_peer *= scale;  // the real run has scale-x more peers
+  sim::scale_slice(machine, context.scale);
   return machine;
 }
 
@@ -59,6 +59,83 @@ Table breakdown_table() { return Table(stat::breakdown_headers({"nodes", "engine
 void add_breakdown_rows(Table& table, std::size_t nodes, const PairResult& pair) {
   stat::add_breakdown_row(table, {std::to_string(nodes), std::string("BSP")}, pair.bsp);
   stat::add_breakdown_row(table, {std::to_string(nodes), std::string("Async")}, pair.async);
+}
+
+JsonReport::JsonReport(std::string name, const FigureContext& context)
+    : name_(std::move(name)) {
+  std::ostringstream config;
+  config << "{\"dataset\":";
+  obs::json::write_string(config, context.spec.name);
+  config << ",\"species\":";
+  obs::json::write_string(config, context.spec.species);
+  config << ",\"scale\":" << obs::json::number(context.scale)
+         << ",\"seed\":" << context.seed
+         << ",\"reads\":" << context.workload.read_lengths.size()
+         << ",\"tasks\":" << context.workload.tasks.size() << ",\"cells_per_second\":"
+         << obs::json::number(context.calibration.cells_per_second)
+         << ",\"overhead_per_task\":"
+         << obs::json::number(context.calibration.overhead_per_task) << "}";
+  config_json_ = config.str();
+}
+
+void JsonReport::add(Labels labels, const stat::Summary& summary) {
+  rows_.push_back({std::move(labels), summary});
+}
+
+void JsonReport::add_pair(const std::string& key, const std::string& value,
+                          const PairResult& pair) {
+  add({{key, value}, {"engine", "BSP"}}, pair.bsp);
+  add({{key, value}, {"engine", "Async"}}, pair.async);
+}
+
+namespace {
+
+void write_row(std::ostream& out, const JsonReport::Labels& labels,
+               const stat::Summary& s) {
+  out << "{\"labels\":{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i != 0) out << ",";
+    obs::json::write_string(out, labels[i].first);
+    out << ":";
+    obs::json::write_string(out, labels[i].second);
+  }
+  out << "},\"phases_s\":{\"runtime\":" << obs::json::number(s.runtime)
+      << ",\"compute_avg\":" << obs::json::number(s.compute_avg)
+      << ",\"overhead_avg\":" << obs::json::number(s.overhead_avg)
+      << ",\"comm_avg\":" << obs::json::number(s.comm_avg)
+      << ",\"sync_avg\":" << obs::json::number(s.sync_avg)
+      << ",\"compute_min\":" << obs::json::number(s.compute_min)
+      << ",\"compute_max\":" << obs::json::number(s.compute_max) << "}"
+      << ",\"load_imbalance\":" << obs::json::number(s.load_imbalance)
+      << ",\"rounds\":" << s.rounds << ",\"messages\":" << s.messages
+      << ",\"exchange_bytes\":" << s.exchange_bytes
+      << ",\"peak_memory_bytes\":" << s.peak_memory_max << ",\"metrics\":";
+  obs::MetricsRegistry registry;
+  registry.add(obs::metric::kExchangeBytes, s.exchange_bytes);
+  registry.add(obs::metric::kExchangeMessages, s.messages);
+  registry.gauge_max(obs::metric::kExchangeRounds, s.rounds);
+  registry.gauge_max(obs::metric::kMemPeakBytes, s.peak_memory_max);
+  stat::export_metrics(s.faults, registry);
+  registry.write_json(out);
+  out << "}";
+}
+
+}  // namespace
+
+void JsonReport::write(const std::string& path) const {
+  const std::string out_path = path.empty() ? "BENCH_" + name_ + ".json" : path;
+  std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+  GNB_THROW_IF(!out, "JsonReport: cannot open " + out_path);
+  out << "{\"bench\":";
+  obs::json::write_string(out, name_);
+  out << ",\"config\":" << config_json_ << ",\"rows\":[";
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    if (i != 0) out << ",";
+    write_row(out, rows_[i].labels, rows_[i].summary);
+  }
+  out << "]}\n";
+  GNB_THROW_IF(!out, "JsonReport: write failed for " + out_path);
+  log::info("bench ", name_, ": wrote ", rows_.size(), " rows to ", out_path);
 }
 
 }  // namespace gnb::bench

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/calibrate.hpp"
@@ -65,5 +66,48 @@ PairResult simulate_pair(const FigureContext& context, const sim::MachineParams&
 /// Standard breakdown rows: one per (nodes, engine), printed through the
 /// shared stat::Breakdown table writer.
 void add_breakdown_rows(Table& table, std::size_t nodes, const PairResult& pair);
+
+/// Machine-readable companion to the printed tables: collects the figure
+/// config and one entry per simulated (labels, Summary) row, then writes
+/// `BENCH_<name>.json` so the perf trajectory of every bench run is
+/// recorded, not just eyeballed. Fault counters are exported through
+/// stat::export_metrics, so the JSON uses the same "fault.*" metric names
+/// as `gnbody --metrics`.
+///
+///   {"bench":"fig5",
+///    "config":{"dataset":...,"scale":...,"seed":...,"reads":...,"tasks":...,
+///              "cells_per_second":...},
+///    "rows":[{"labels":{"nodes":"64","engine":"BSP"},
+///             "phases_s":{"runtime":...,"compute_avg":...,...},
+///             "load_imbalance":...,"rounds":...,"messages":...,
+///             "exchange_bytes":...,"peak_memory_bytes":...,
+///             "metrics":{"counters":{...},"gauges":{...},"histograms":{}}}]}
+class JsonReport {
+ public:
+  using Labels = std::vector<std::pair<std::string, std::string>>;
+
+  JsonReport(std::string name, const FigureContext& context);
+
+  /// Record one simulated configuration; `labels` are the leading key
+  /// columns of the printed table (e.g. {{"nodes","64"},{"engine","BSP"}}).
+  void add(Labels labels, const stat::Summary& summary);
+
+  /// Both engines of a PairResult under one shared leading label.
+  void add_pair(const std::string& key, const std::string& value, const PairResult& pair);
+
+  /// Write to `path`, or to "BENCH_<name>.json" when `path` is empty.
+  /// Throws gnb::Error on I/O failure.
+  void write(const std::string& path = std::string()) const;
+
+ private:
+  struct Row {
+    Labels labels;
+    stat::Summary summary;
+  };
+
+  std::string name_;
+  std::string config_json_;  // pre-rendered {"dataset":...} object
+  std::vector<Row> rows_;
+};
 
 }  // namespace gnb::bench

@@ -7,6 +7,8 @@
 #include <unordered_set>
 
 #include "core/recovery.hpp"
+#include "obs/spans.hpp"
+#include "obs/trace.hpp"
 #include "proto/pull_index.hpp"
 #include "util/error.hpp"
 #include "util/wire.hpp"
@@ -42,6 +44,7 @@ EngineResult async_align(rt::Rank& rank, const seq::ReadStore& store,
                          const EngineConfig& config) {
   EngineResult result;
   const std::uint32_t me = rank.id();
+  GNB_SPAN(obs::span::kAsyncAlign, "tasks", my_tasks.size());
 
   // Recovery bookkeeping only exists under a fault plan (zero cost on the
   // fault-free path). Constructing the context publishes this rank's phase
@@ -51,74 +54,80 @@ EngineResult async_align(rt::Rank& rank, const seq::ReadStore& store,
   if (chaos) rc.emplace(rank, store, bounds, my_tasks, config);
 
   // --- index tasks by the remote read they need (paper §3.2, src/proto) ---
-  rank.timers().overhead.start();
   proto::PullIndex index;
-  for (std::size_t t = 0; t < my_tasks.size(); ++t) {
-    const AlignTask& task = my_tasks[t];
-    const auto owner_a = static_cast<std::uint32_t>(seq::partition_owner(bounds, task.a));
-    const auto owner_b = static_cast<std::uint32_t>(seq::partition_owner(bounds, task.b));
-    index.add_task(t, task.a, task.b, owner_a, owner_b, me);
-  }
-  // Deterministic issue order (ascending remote read id), then the shared
-  // owner-batching decision: one RPC per pull at async_batch = 1, larger
-  // aggregated lookups otherwise.
-  index.finalize();
-  std::vector<proto::PullBatch> batches =
-      proto::batch_pulls(index.pulls(), config.proto.async_batch);
-  proto::RequestWindow window(config.proto.async_window);
-
+  std::vector<proto::PullBatch> batches;
   // At-most-once bookkeeping (the engine-side hardening fault injection
   // forces): the caller tracks which logical pulls completed so duplicate
   // replies — from injected duplicates or from retries whose original
   // eventually arrived — are dropped, and the callee keeps a reply cache so
   // duplicate requests are served identically without recomputation.
+  std::unordered_map<std::uint64_t, Bytes> reply_cache;  // (src, logical) -> reply
+  {
+    GNB_SPAN(obs::span::kAsyncIndex);
+    rank.timers().overhead.start();
+    for (std::size_t t = 0; t < my_tasks.size(); ++t) {
+      const AlignTask& task = my_tasks[t];
+      const auto owner_a = static_cast<std::uint32_t>(seq::partition_owner(bounds, task.a));
+      const auto owner_b = static_cast<std::uint32_t>(seq::partition_owner(bounds, task.b));
+      index.add_task(t, task.a, task.b, owner_a, owner_b, me);
+    }
+    // Deterministic issue order (ascending remote read id), then the shared
+    // owner-batching decision: one RPC per pull at async_batch = 1, larger
+    // aggregated lookups otherwise.
+    index.finalize();
+    batches = proto::batch_pulls(index.pulls(), config.proto.async_batch);
+
+    // Serve lookups into my partition: [logical id][id list] -> [logical id]
+    // [concatenated reads]. Under chaos, ownership is the (lazily refreshed)
+    // failure-aware map: reads adopted from dead ranks are servable here, and
+    // a requested read this rank does NOT own under its view — which is at
+    // least as new as any requester's — is silently omitted from the reply;
+    // the requester detects the gap and re-pulls from the owner it sees next.
+    rank.rpc().register_handler(
+        kReadLookupRpc, [&](std::uint32_t src, std::span<const std::uint8_t> in) {
+          std::size_t offset = 0;
+          const auto logical = wire::get<std::uint64_t>(in, offset);
+          const std::uint64_t cache_key = (static_cast<std::uint64_t>(src) << 40) ^ logical;
+          if (chaos) {
+            const auto it = reply_cache.find(cache_key);
+            if (it != reply_cache.end()) {
+              // Callee-side request dedup: a duplicate (injected or retried)
+              // is served from the cache — same bytes, no recomputation.
+              ++rank.fault_counters().duplicates;
+              return it->second;
+            }
+          }
+          Bytes reply;
+          wire::put<std::uint64_t>(reply, logical);
+          while (offset < in.size()) {
+            const auto id = wire::get<std::uint32_t>(in, offset);
+            if (chaos) {
+              if (const seq::Read* read = rc->owned_read(id))
+                seq::serialize_read(*read, reply);
+            } else {
+              seq::serialize_read(local_read(store, bounds, me, id), reply);
+            }
+          }
+          if (chaos) reply_cache.emplace(cache_key, reply);
+          return reply;
+        });
+    rank.timers().overhead.stop();
+  }
+  proto::RequestWindow window(config.proto.async_window);
   std::vector<PullState> states(batches.size());
   std::size_t completed = 0;
 
-  // Serve lookups into my partition: [logical id][id list] -> [logical id]
-  // [concatenated reads]. Under chaos, ownership is the (lazily refreshed)
-  // failure-aware map: reads adopted from dead ranks are servable here, and
-  // a requested read this rank does NOT own under its view — which is at
-  // least as new as any requester's — is silently omitted from the reply;
-  // the requester detects the gap and re-pulls from the owner it sees next.
-  std::unordered_map<std::uint64_t, Bytes> reply_cache;  // (src, logical) -> reply
-  rank.rpc().register_handler(
-      kReadLookupRpc, [&](std::uint32_t src, std::span<const std::uint8_t> in) {
-        std::size_t offset = 0;
-        const auto logical = wire::get<std::uint64_t>(in, offset);
-        const std::uint64_t cache_key = (static_cast<std::uint64_t>(src) << 40) ^ logical;
-        if (chaos) {
-          const auto it = reply_cache.find(cache_key);
-          if (it != reply_cache.end()) {
-            // Callee-side request dedup: a duplicate (injected or retried)
-            // is served from the cache — same bytes, no recomputation.
-            ++rank.fault_counters().duplicates;
-            return it->second;
-          }
-        }
-        Bytes reply;
-        wire::put<std::uint64_t>(reply, logical);
-        while (offset < in.size()) {
-          const auto id = wire::get<std::uint32_t>(in, offset);
-          if (chaos) {
-            if (const seq::Read* read = rc->owned_read(id)) seq::serialize_read(*read, reply);
-          } else {
-            seq::serialize_read(local_read(store, bounds, me, id), reply);
-          }
-        }
-        if (chaos) reply_cache.emplace(cache_key, reply);
-        return reply;
-      });
-  rank.timers().overhead.stop();
-
   // --- split-phase barrier: compute local-local tasks while waiting ---
   rank.split_barrier_arrive();
-  for (const std::size_t t : index.local_tasks()) {
-    const AlignTask& task = my_tasks[t];
-    const std::size_t before = result.accepted.size();
-    execute_task(task, local_read(store, bounds, me, task.a),
-                 local_read(store, bounds, me, task.b), config, rank.timers(), result);
-    if (rc) rc->log_completion(t, result, before);
+  {
+    GNB_SPAN(obs::span::kAsyncLocalTasks, "tasks", index.local_tasks().size());
+    for (const std::size_t t : index.local_tasks()) {
+      const AlignTask& task = my_tasks[t];
+      const std::size_t before = result.accepted.size();
+      execute_task(task, local_read(store, bounds, me, task.a),
+                   local_read(store, bounds, me, task.b), config, rank.timers(), result);
+      if (rc) rc->log_completion(t, result, before);
+    }
   }
   // Exit only once every rank's reads are accessible via RPC lookup.
   rank.split_barrier_wait();
@@ -170,7 +179,9 @@ EngineResult async_align(rt::Rank& rank, const seq::ReadStore& store,
     state.done = true;
     ++completed;
     window.on_reply();
+    GNB_ASYNC_END(obs::span::kRpcPull, logical);
     const std::size_t payload_bytes = reply.size() - offset;
+    rank.metrics().observe(obs::metric::kReplyBytesHist, payload_bytes);
     rank.memory().charge(payload_bytes);
     result.exchange_bytes_received += payload_bytes;
     std::vector<seq::ReadId> served;
@@ -200,6 +211,12 @@ EngineResult async_align(rt::Rank& rank, const seq::ReadStore& store,
     Bytes payload;
     wire::put<std::uint64_t>(payload, b);
     for (const std::uint32_t id : batches[b].reads) wire::put<std::uint32_t>(payload, id);
+    GNB_ASYNC_BEGIN(obs::span::kRpcPull, b);
+    // Logical pulls in flight; arrival order makes the sampled values
+    // timing-dependent, so this counter is for timeline reading, not for
+    // the golden determinism checks (those use BSP/sim).
+    GNB_COUNTER(obs::span::kCtrRpcInflight, window.issued() - completed);
+    rank.metrics().gauge_max(obs::metric::kRpcInflightMax, window.issued() - completed);
     rank.timers().comm.start();
     rank.rpc().call(batches[b].owner, kReadLookupRpc, std::move(payload),
                     [&, b](rt::RpcStatus status, Bytes reply) {
@@ -227,6 +244,7 @@ EngineResult async_align(rt::Rank& rank, const seq::ReadStore& store,
         state.done = true;
         ++completed;
         window.on_reply();
+        GNB_ASYNC_END(obs::span::kRpcPull, b);
         for (const seq::ReadId id : batches[b].reads) orphaned_reads.push_back(id);
       }
       std::vector<seq::ReadId> ids;
@@ -255,13 +273,15 @@ EngineResult async_align(rt::Rank& rank, const seq::ReadStore& store,
   };
 
   const std::size_t initial_batches = batches.size();
-  for (std::size_t b = 0; b < initial_batches; ++b) {
-    // Bound outstanding requests; polling here both throttles and serves.
-    rank.rpc().throttle(window.limit());
-    window.on_issue();
-    issue(b);
-    ++result.messages;
-  }
+  {
+    GNB_SPAN(obs::span::kAsyncPulls, "batches", initial_batches);
+    for (std::size_t b = 0; b < initial_batches; ++b) {
+      // Bound outstanding requests; polling here both throttles and serves.
+      rank.rpc().throttle(window.limit());
+      window.on_issue();
+      issue(b);
+      ++result.messages;
+    }
 
   // --- completion loop: poll progress, re-issue timed-out pulls ---
   // Time is progress() polls, not the wall clock: deterministic under the
@@ -295,6 +315,7 @@ EngineResult async_align(rt::Rank& rank, const seq::ReadStore& store,
           timeout << std::min<std::uint32_t>(state.attempts - 1, 16);
       if (tick - state.issued_tick < backoff) continue;
       ++rank.fault_counters().timeouts;
+      GNB_INSTANT(obs::span::kRpcTimeout, "pull", b);
       state.issued_tick = tick;
       if (state.attempts > config.proto.max_retries) {
         if (!state.exhausted) {
@@ -312,6 +333,7 @@ EngineResult async_align(rt::Rank& rank, const seq::ReadStore& store,
       }
       ++state.attempts;
       ++rank.fault_counters().retries;
+      GNB_INSTANT(obs::span::kRpcRetry, "pull", b, "attempt", state.attempts);
       rank.rpc().throttle(window.limit());
       issue(b);  // same logical id: dedup keeps the retry at-most-once
     }
@@ -329,10 +351,12 @@ EngineResult async_align(rt::Rank& rank, const seq::ReadStore& store,
   } else {
     GNB_CHECK(window.issued() == batches.size());
   }
+  }  // end of the async.pulls span: the phase is serviced-but-complete
 
   // --- single exit barrier: stay serviceable until everyone is done ---
   if (!chaos) {
     rank.service_barrier();
+    flush_engine_metrics(rank, result);
     return result;
   }
   // Under a fault plan the exit is an agreement loop. service_barrier keeps
@@ -350,6 +374,7 @@ EngineResult async_align(rt::Rank& rank, const seq::ReadStore& store,
     rank.barrier();
     if (!rc->needs_recovery()) break;
   }
+  flush_engine_metrics(rank, result);
   return result;
 }
 

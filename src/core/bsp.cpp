@@ -4,6 +4,8 @@
 #include <optional>
 
 #include "core/recovery.hpp"
+#include "obs/spans.hpp"
+#include "obs/trace.hpp"
 #include "proto/config.hpp"
 #include "proto/pull_index.hpp"
 #include "proto/round_planner.hpp"
@@ -24,6 +26,7 @@ EngineResult bsp_align(rt::Rank& rank, const seq::ReadStore& store,
   EngineResult result;
   const std::size_t p = rank.nranks();
   const std::uint32_t me = rank.id();
+  GNB_SPAN(obs::span::kBspAlign, "tasks", my_tasks.size());
 
   // Recovery bookkeeping only exists under a fault plan (zero cost on the
   // fault-free path). Constructing the context publishes this rank's phase
@@ -36,16 +39,19 @@ EngineResult bsp_align(rt::Rank& rank, const seq::ReadStore& store,
   };
 
   // --- index tasks: local-local vs needing one remote read (src/proto) ---
-  rank.timers().overhead.start();
   proto::PullIndex index;
-  for (std::size_t t = 0; t < my_tasks.size(); ++t) {
-    const AlignTask& task = my_tasks[t];
-    const auto owner_a = static_cast<std::uint32_t>(seq::partition_owner(bounds, task.a));
-    const auto owner_b = static_cast<std::uint32_t>(seq::partition_owner(bounds, task.b));
-    index.add_task(t, task.a, task.b, owner_a, owner_b, me);
+  {
+    GNB_SPAN(obs::span::kBspIndex);
+    rank.timers().overhead.start();
+    for (std::size_t t = 0; t < my_tasks.size(); ++t) {
+      const AlignTask& task = my_tasks[t];
+      const auto owner_a = static_cast<std::uint32_t>(seq::partition_owner(bounds, task.a));
+      const auto owner_b = static_cast<std::uint32_t>(seq::partition_owner(bounds, task.b));
+      index.add_task(t, task.a, task.b, owner_a, owner_b, me);
+    }
+    index.finalize();
+    rank.timers().overhead.stop();
   }
-  index.finalize();
-  rank.timers().overhead.stop();
 
   // Execute every pending task of an arriving remote read, logging each
   // completion durably when chaos is on. Used for reads unpacked from
@@ -68,45 +74,53 @@ EngineResult bsp_align(rt::Rank& rank, const seq::ReadStore& store,
 
   // --- request exchange: tell each owner which reads to send me ---
   const std::vector<std::vector<std::uint32_t>> needed = index.needed_by_owner(p);
-  std::vector<Bytes> request_msgs(p);
-  for (std::size_t dst = 0; dst < p; ++dst)
-    for (const std::uint32_t id : needed[dst]) wire::put<std::uint32_t>(request_msgs[dst], id);
-  checkpoint();
-  const std::vector<Bytes> request_bufs = rank.alltoallv(std::move(request_msgs));
-
-  // Per-destination FIFO serve queues, with exact wire sizes for the
-  // round planner.
   std::vector<std::vector<seq::ReadId>> to_serve(p);
   std::vector<std::vector<std::uint64_t>> serve_sizes(p);
   std::vector<std::uint64_t> serve_totals(p, 0);
   std::uint64_t serve_bytes = 0;
-  for (std::size_t src = 0; src < p; ++src) {
-    std::size_t offset = 0;
-    while (offset < request_bufs[src].size()) {
-      const auto id = wire::get<std::uint32_t>(request_bufs[src], offset);
-      const std::uint64_t bytes = seq::serialized_read_bytes(local_read(store, bounds, me, id));
-      to_serve[src].push_back(id);
-      serve_sizes[src].push_back(bytes);
-      serve_totals[src] += bytes;
-      serve_bytes += bytes;
+  std::uint64_t pull_bytes = 0;
+  {
+    GNB_SPAN(obs::span::kBspRequestExchange);
+    std::vector<Bytes> request_msgs(p);
+    for (std::size_t dst = 0; dst < p; ++dst)
+      for (const std::uint32_t id : needed[dst])
+        wire::put<std::uint32_t>(request_msgs[dst], id);
+    checkpoint();
+    const std::vector<Bytes> request_bufs = rank.alltoallv(std::move(request_msgs));
+
+    // Per-destination FIFO serve queues, with exact wire sizes for the
+    // round planner.
+    for (std::size_t src = 0; src < p; ++src) {
+      std::size_t offset = 0;
+      while (offset < request_bufs[src].size()) {
+        const auto id = wire::get<std::uint32_t>(request_bufs[src], offset);
+        const std::uint64_t bytes =
+            seq::serialized_read_bytes(local_read(store, bounds, me, id));
+        to_serve[src].push_back(id);
+        serve_sizes[src].push_back(bytes);
+        serve_totals[src] += bytes;
+        serve_bytes += bytes;
+      }
     }
+
+    // Sizes exchange: each requester learns how many bytes it will pull, so
+    // every rank can evaluate the shared round formula on (pull + serve) —
+    // the exact quantity the simulator budgets (proto::rounds_needed).
+    checkpoint();
+    const std::vector<std::uint64_t> pull_totals = rank.alltoall(serve_totals);
+    for (const std::uint64_t bytes : pull_totals) pull_bytes += bytes;
   }
 
-  // Sizes exchange: each requester learns how many bytes it will pull, so
-  // every rank can evaluate the shared round formula on (pull + serve) —
-  // the exact quantity the simulator budgets (proto::rounds_needed).
-  checkpoint();
-  const std::vector<std::uint64_t> pull_totals = rank.alltoall(serve_totals);
-  std::uint64_t pull_bytes = 0;
-  for (const std::uint64_t bytes : pull_totals) pull_bytes += bytes;
-
   // --- local-local tasks: no communication required ---
-  for (const std::size_t t : index.local_tasks()) {
-    const AlignTask& task = my_tasks[t];
-    const std::size_t before = result.accepted.size();
-    execute_task(task, local_read(store, bounds, me, task.a),
-                 local_read(store, bounds, me, task.b), config, rank.timers(), result);
-    if (rc) rc->log_completion(t, result, before);
+  {
+    GNB_SPAN(obs::span::kBspLocalTasks, "tasks", index.local_tasks().size());
+    for (const std::size_t t : index.local_tasks()) {
+      const AlignTask& task = my_tasks[t];
+      const std::size_t before = result.accepted.size();
+      execute_task(task, local_read(store, bounds, me, task.a),
+                   local_read(store, bounds, me, task.b), config, rank.timers(), result);
+      if (rc) rc->log_completion(t, result, before);
+    }
   }
 
   // --- the shared protocol decision: round count and per-round packing ---
@@ -182,6 +196,7 @@ EngineResult bsp_align(rt::Rank& rank, const seq::ReadStore& store,
   // --- dynamically-sized exchange-compute supersteps ---
   while (round < plan.rounds.size()) {
     const proto::Round& step = plan.rounds[round];
+    GNB_SPAN(obs::span::kBspRound, "round", round, "bytes", step.bytes);
     ++result.rounds;
 
     // Each non-empty per-destination buffer is framed with a payload
@@ -219,23 +234,30 @@ EngineResult bsp_align(rt::Rank& rank, const seq::ReadStore& store,
     // "All pairwise alignments associated with each received read are
     // computed together, when the respective read is accessed from the
     // message buffer."
-    for (std::size_t src = 0; src < p; ++src) {
-      const Bytes& buffer = received[src];
-      if (buffer.empty()) continue;
-      std::size_t offset = 0;
-      if (!wire::verify_checksum(buffer, offset)) {
-        ++rank.fault_counters().checksum_failures;
-        GNB_CHECK_MSG(false, "BSP round " << round << ": corrupt payload from rank " << src);
-      }
-      while (offset < buffer.size()) {
-        rank.timers().overhead.start();
-        const seq::Read remote = seq::deserialize_read(buffer, offset);
-        rank.timers().overhead.stop();
-        run_tasks_for(remote);
-        ++received_count[src];
+    {
+      GNB_SPAN(obs::span::kBspCompute);
+      for (std::size_t src = 0; src < p; ++src) {
+        const Bytes& buffer = received[src];
+        if (buffer.empty()) continue;
+        std::size_t offset = 0;
+        if (!wire::verify_checksum(buffer, offset)) {
+          ++rank.fault_counters().checksum_failures;
+          GNB_CHECK_MSG(false,
+                        "BSP round " << round << ": corrupt payload from rank " << src);
+        }
+        while (offset < buffer.size()) {
+          rank.timers().overhead.start();
+          const seq::Read remote = seq::deserialize_read(buffer, offset);
+          rank.timers().overhead.stop();
+          run_tasks_for(remote);
+          ++received_count[src];
+        }
       }
     }
     rank.memory().release(received_bytes);
+    rank.metrics().observe(obs::metric::kRoundBytesHist, packed);
+    GNB_COUNTER(obs::span::kCtrExchangeBytes, result.exchange_bytes_received);
+    GNB_COUNTER(obs::span::kCtrAlignCells, result.cells);
     ++round;
     // A death at the exchange above was stamped into this rank's agreed
     // snapshot; recover before packing the next round (so the executed
@@ -253,6 +275,7 @@ EngineResult bsp_align(rt::Rank& rank, const seq::ReadStore& store,
     if (!rc || !rc->needs_recovery()) break;
     poll_recovery();
   }
+  flush_engine_metrics(rank, result);
   return result;
 }
 

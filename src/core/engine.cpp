@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/spans.hpp"
 #include "rt/phase.hpp"
+#include "rt/world.hpp"
 #include "util/error.hpp"
 
 namespace gnb::core {
@@ -20,7 +22,9 @@ void execute_task(const kmer::AlignTask& task, const seq::Read& read_a,
                   rt::PhaseTimers& timers, EngineResult& result) {
   GNB_CHECK(read_a.id == task.a && read_b.id == task.b);
 
-  // Traversal/orientation overhead: unpack and (if needed) orient b.
+  // The whole task is traversal/orientation overhead except the alignment
+  // kernel in the middle, which is charged to compute while the overhead
+  // stopwatch is paused.
   timers.overhead.start();
   const std::vector<std::uint8_t> codes_a = read_a.sequence.unpack();
   std::vector<std::uint8_t> codes_b = read_b.sequence.unpack();
@@ -28,18 +32,34 @@ void execute_task(const kmer::AlignTask& task, const seq::Read& read_a,
     std::reverse(codes_b.begin(), codes_b.end());
     for (auto& code : codes_b) code = seq::dna_complement(code);
   }
-  timers.overhead.stop();
 
   ++result.tasks_done;
-  if (config.skip_compute) return;
+  if (config.skip_compute) {
+    timers.overhead.stop();
+    return;
+  }
 
-  timers.compute.start();
-  const align::Alignment alignment = align::xdrop_align(codes_a, codes_b, task.seed, config.xdrop);
-  timers.compute.stop();
+  align::Alignment alignment;
+  {
+    ScopedPause hold(timers.overhead);
+    ScopedCharge charge(timers.compute);
+    alignment = align::xdrop_align(codes_a, codes_b, task.seed, config.xdrop);
+  }
 
   result.cells += alignment.cells;
   if (config.filter.accepts(alignment))
     result.accepted.push_back(align::AlignmentRecord{task.a, task.b, alignment});
+  timers.overhead.stop();
+}
+
+void flush_engine_metrics(rt::Rank& rank, const EngineResult& result) {
+  obs::MetricsRegistry& registry = rank.metrics();
+  registry.add(obs::metric::kAlignTasks, result.tasks_done);
+  registry.add(obs::metric::kAlignCells, result.cells);
+  registry.add(obs::metric::kAlignAccepted, result.accepted.size());
+  registry.add(obs::metric::kExchangeBytes, result.exchange_bytes_received);
+  registry.add(obs::metric::kExchangeMessages, result.messages);
+  registry.gauge_max(obs::metric::kExchangeRounds, result.rounds);
 }
 
 }  // namespace gnb::core

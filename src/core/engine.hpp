@@ -12,6 +12,10 @@
 #include "rt/phase.hpp"
 #include "seq/read_store.hpp"
 
+namespace gnb::rt {
+class Rank;
+}
+
 namespace gnb::core {
 
 struct EngineConfig {
@@ -55,5 +59,10 @@ const seq::Read& local_read(const seq::ReadStore& store,
 void execute_task(const kmer::AlignTask& task, const seq::Read& read_a,
                   const seq::Read& read_b, const EngineConfig& config,
                   rt::PhaseTimers& timers, EngineResult& result);
+
+/// Phase-boundary metrics snapshot: both engines call this once before
+/// returning, so `gnbody --metrics` reports the same counter names
+/// (obs/spans.hpp) regardless of backend.
+void flush_engine_metrics(rt::Rank& rank, const EngineResult& result);
 
 }  // namespace gnb::core

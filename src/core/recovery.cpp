@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/spans.hpp"
+#include "obs/trace.hpp"
 #include "proto/config.hpp"
 #include "proto/round_planner.hpp"
 #include "util/error.hpp"
@@ -195,6 +197,7 @@ void RecoveryContext::recover(
     const bool pending_local = rank_.current_epoch() != handled_epoch_ || !missing_.empty() ||
                                !my_lost_.empty();
     if (rank_.allreduce_max(pending_local ? 1.0 : 0.0) < 0.5) break;
+    GNB_SPAN(obs::span::kRecovery);
     WallTimer recovery_timer;
 
     const std::uint64_t s_epoch = rank_.collective_epoch();
@@ -364,6 +367,7 @@ void RecoveryContext::recover(
     }
 
     // --- re-execute only the lost tasks assigned to me ---
+    std::uint64_t reexecuted = 0;
     std::vector<proto::TaskClaim> remaining;
     for (const proto::TaskClaim& claim : my_lost_) {
       const AlignTask& task = dead_tasks(claim.origin)[claim.index];
@@ -381,6 +385,7 @@ void RecoveryContext::recover(
       const std::size_t before = result.accepted.size();
       execute_task(task, *read_a, *read_b, config_, rank_.timers(), result);
       ++rank_.fault_counters().tasks_reexecuted;
+      ++reexecuted;
       LogEntry entry;
       entry.kind = kEntryReexecution;
       entry.origin = claim.origin;
@@ -390,6 +395,7 @@ void RecoveryContext::recover(
       append_entry(entry);
     }
     my_lost_ = std::move(remaining);
+    if (reexecuted > 0) GNB_INSTANT(obs::span::kRecoveryReexec, "tasks", reexecuted);
     flush();
     handled_epoch_ = s_epoch;
     map_ = map;

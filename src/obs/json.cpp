@@ -1,0 +1,308 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+namespace gnb::obs::json {
+
+void write_string(std::ostream& out, std::string_view s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      case '\r':
+        out << "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+std::string number(double value) {
+  if (!std::isfinite(value)) return "0";
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+const Value* Value::find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::string error;
+
+  [[nodiscard]] bool done() const { return pos >= text.size(); }
+  [[nodiscard]] char peek() const { return text[pos]; }
+
+  void skip_ws() {
+    while (!done() && (peek() == ' ' || peek() == '\t' || peek() == '\n' || peek() == '\r')) {
+      ++pos;
+    }
+  }
+
+  bool fail(std::string message) {
+    if (error.empty()) error = message + " at offset " + std::to_string(pos);
+    return false;
+  }
+
+  bool literal(std::string_view word) {
+    if (text.substr(pos, word.size()) != word) return fail("bad literal");
+    pos += word.size();
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (done() || peek() != '"') return fail("expected string");
+    ++pos;
+    while (!done() && peek() != '"') {
+      char c = peek();
+      if (c == '\\') {
+        ++pos;
+        if (done()) return fail("bad escape");
+        switch (peek()) {
+          case '"':
+            out += '"';
+            break;
+          case '\\':
+            out += '\\';
+            break;
+          case '/':
+            out += '/';
+            break;
+          case 'n':
+            out += '\n';
+            break;
+          case 't':
+            out += '\t';
+            break;
+          case 'r':
+            out += '\r';
+            break;
+          case 'b':
+          case 'f':
+            out += ' ';
+            break;
+          case 'u': {
+            if (pos + 4 >= text.size()) return fail("bad \\u escape");
+            pos += 4;  // decoded as '?': validation only needs structure
+            out += '?';
+            break;
+          }
+          default:
+            return fail("unknown escape");
+        }
+        ++pos;
+      } else {
+        out += c;
+        ++pos;
+      }
+    }
+    if (done()) return fail("unterminated string");
+    ++pos;  // closing quote
+    return true;
+  }
+
+  bool parse_value(Value& out, int depth) {
+    if (depth > 64) return fail("nesting too deep");
+    skip_ws();
+    if (done()) return fail("unexpected end of input");
+    const char c = peek();
+    if (c == '{') {
+      out.kind = Value::Kind::kObject;
+      ++pos;
+      skip_ws();
+      if (!done() && peek() == '}') {
+        ++pos;
+        return true;
+      }
+      for (;;) {
+        skip_ws();
+        std::string key;
+        if (!parse_string(key)) return false;
+        skip_ws();
+        if (done() || peek() != ':') return fail("expected ':'");
+        ++pos;
+        Value v;
+        if (!parse_value(v, depth + 1)) return false;
+        out.object.emplace_back(std::move(key), std::move(v));
+        skip_ws();
+        if (done()) return fail("unterminated object");
+        if (peek() == ',') {
+          ++pos;
+          continue;
+        }
+        if (peek() == '}') {
+          ++pos;
+          return true;
+        }
+        return fail("expected ',' or '}'");
+      }
+    }
+    if (c == '[') {
+      out.kind = Value::Kind::kArray;
+      ++pos;
+      skip_ws();
+      if (!done() && peek() == ']') {
+        ++pos;
+        return true;
+      }
+      for (;;) {
+        Value v;
+        if (!parse_value(v, depth + 1)) return false;
+        out.array.push_back(std::move(v));
+        skip_ws();
+        if (done()) return fail("unterminated array");
+        if (peek() == ',') {
+          ++pos;
+          continue;
+        }
+        if (peek() == ']') {
+          ++pos;
+          return true;
+        }
+        return fail("expected ',' or ']'");
+      }
+    }
+    if (c == '"') {
+      out.kind = Value::Kind::kString;
+      return parse_string(out.str);
+    }
+    if (c == 't') {
+      out.kind = Value::Kind::kBool;
+      out.boolean = true;
+      return literal("true");
+    }
+    if (c == 'f') {
+      out.kind = Value::Kind::kBool;
+      out.boolean = false;
+      return literal("false");
+    }
+    if (c == 'n') {
+      out.kind = Value::Kind::kNull;
+      return literal("null");
+    }
+    if (c == '-' || (c >= '0' && c <= '9')) {
+      const std::size_t start = pos;
+      if (peek() == '-') ++pos;
+      while (!done() && (std::isdigit(static_cast<unsigned char>(peek())) || peek() == '.' ||
+                         peek() == 'e' || peek() == 'E' || peek() == '+' || peek() == '-')) {
+        ++pos;
+      }
+      out.kind = Value::Kind::kNumber;
+      out.num = std::strtod(std::string(text.substr(start, pos - start)).c_str(), nullptr);
+      return true;
+    }
+    return fail("unexpected character");
+  }
+};
+
+}  // namespace
+
+std::optional<Value> parse(std::string_view text, std::string* error) {
+  Parser p;
+  p.text = text;
+  Value root;
+  if (!p.parse_value(root, 0)) {
+    if (error) *error = p.error;
+    return std::nullopt;
+  }
+  p.skip_ws();
+  if (!p.done()) {
+    if (error) *error = "trailing garbage at offset " + std::to_string(p.pos);
+    return std::nullopt;
+  }
+  return root;
+}
+
+bool validate_trace(std::string_view text, std::string* error) {
+  auto set_error = [&](std::string message) {
+    if (error) *error = std::move(message);
+    return false;
+  };
+  std::string parse_error;
+  auto doc = parse(text, &parse_error);
+  if (!doc) return set_error("not valid JSON: " + parse_error);
+  if (doc->kind != Value::Kind::kObject) return set_error("root is not an object");
+  const Value* events = doc->find("traceEvents");
+  if (!events || events->kind != Value::Kind::kArray) {
+    return set_error("missing traceEvents array");
+  }
+  // Track begin/end balance per (pid, tid).
+  std::map<std::pair<double, double>, std::vector<std::string>> stacks;
+  for (std::size_t i = 0; i < events->array.size(); ++i) {
+    const Value& event = events->array[i];
+    const std::string where = "event " + std::to_string(i);
+    if (event.kind != Value::Kind::kObject) return set_error(where + ": not an object");
+    const Value* name = event.find("name");
+    const Value* ph = event.find("ph");
+    if (!name || name->kind != Value::Kind::kString || name->str.empty()) {
+      return set_error(where + ": missing name");
+    }
+    if (!ph || ph->kind != Value::Kind::kString || ph->str.size() != 1) {
+      return set_error(where + ": missing ph");
+    }
+    if (ph->str == "M") continue;  // metadata carries pid/tid but no ts
+    const Value* ts = event.find("ts");
+    const Value* pid = event.find("pid");
+    const Value* tid = event.find("tid");
+    if (!ts || ts->kind != Value::Kind::kNumber) return set_error(where + ": missing ts");
+    if (!pid || pid->kind != Value::Kind::kNumber) return set_error(where + ": missing pid");
+    if (!tid || tid->kind != Value::Kind::kNumber) return set_error(where + ": missing tid");
+    auto& stack = stacks[{pid->num, tid->num}];
+    if (ph->str == "B") {
+      stack.push_back(name->str);
+    } else if (ph->str == "E") {
+      if (stack.empty() || stack.back() != name->str) {
+        return set_error(where + ": unbalanced end for '" + name->str + "'");
+      }
+      stack.pop_back();
+    } else if (ph->str == "X") {
+      const Value* dur = event.find("dur");
+      if (!dur || dur->kind != Value::Kind::kNumber) return set_error(where + ": X needs dur");
+    } else if (ph->str == "b" || ph->str == "e") {
+      if (!event.find("id") || !event.find("cat")) {
+        return set_error(where + ": async event needs id and cat");
+      }
+    } else if (ph->str != "i" && ph->str != "C") {
+      return set_error(where + ": unknown ph '" + ph->str + "'");
+    }
+  }
+  for (const auto& [track, stack] : stacks) {
+    if (!stack.empty()) {
+      return set_error("unclosed span '" + stack.back() + "' on a track");
+    }
+  }
+  return true;
+}
+
+}  // namespace gnb::obs::json

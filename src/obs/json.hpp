@@ -1,0 +1,48 @@
+#pragma once
+// Minimal JSON utilities for the observability layer: deterministic
+// writers (escaping, number formatting) and a small validating parser used
+// by the trace-schema tests and tools. No external dependencies; output is
+// byte-stable for identical inputs so traces can be golden-checked.
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace gnb::obs::json {
+
+/// Write `s` as a quoted JSON string, escaping control characters,
+/// backslash and quote.
+void write_string(std::ostream& out, std::string_view s);
+
+/// Deterministic textual form of a double (round-trippable, no locale).
+std::string number(double value);
+
+/// Tiny DOM for validation and tests. Not built for speed.
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;
+
+  [[nodiscard]] const Value* find(std::string_view key) const;
+};
+
+/// Parse a complete JSON document. Returns nullopt (and fills `error` when
+/// given) on malformed input or trailing garbage.
+std::optional<Value> parse(std::string_view text, std::string* error = nullptr);
+
+/// Validate a Chrome trace-event document: root object with a
+/// "traceEvents" array whose entries carry a string "name", a string "ph",
+/// and — for non-metadata events — numeric "ts"/"pid"/"tid". Begin/end
+/// events must balance per (pid, tid) track. Returns true on success;
+/// otherwise fills `error` with the first violation.
+bool validate_trace(std::string_view text, std::string* error = nullptr);
+
+}  // namespace gnb::obs::json

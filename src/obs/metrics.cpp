@@ -1,0 +1,163 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <ostream>
+
+#include "obs/json.hpp"
+
+namespace gnb::obs {
+
+void HistogramMetric::observe(std::uint64_t value) {
+  const auto bucket = static_cast<std::size_t>(std::bit_width(value));
+  ++buckets[bucket];
+  if (count == 0) {
+    min = value;
+    max = value;
+  } else {
+    min = std::min(min, value);
+    max = std::max(max, value);
+  }
+  ++count;
+  sum += value;
+}
+
+void HistogramMetric::merge(const HistogramMetric& other) {
+  if (other.count == 0) return;
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets[i] += other.buckets[i];
+  if (count == 0) {
+    min = other.min;
+    max = other.max;
+  } else {
+    min = std::min(min, other.min);
+    max = std::max(max, other.max);
+  }
+  count += other.count;
+  sum += other.sum;
+}
+
+void MetricsRegistry::add(std::string_view name, std::uint64_t delta) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+void MetricsRegistry::gauge_max(std::string_view name, std::uint64_t value) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(name), value);
+  } else {
+    it->second = std::max(it->second, value);
+  }
+}
+
+void MetricsRegistry::observe(std::string_view name, std::uint64_t value) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), HistogramMetric{}).first;
+  }
+  it->second.observe(value);
+}
+
+std::uint64_t MetricsRegistry::counter(std::string_view name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+std::uint64_t MetricsRegistry::gauge(std::string_view name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second;
+}
+
+const HistogramMetric* MetricsRegistry::histogram(std::string_view name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [name, value] : other.counters_) add(name, value);
+  for (const auto& [name, value] : other.gauges_) gauge_max(name, value);
+  for (const auto& [name, hist] : other.histograms_) {
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      histograms_.emplace(name, hist);
+    } else {
+      it->second.merge(hist);
+    }
+  }
+}
+
+void MetricsRegistry::clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+namespace {
+
+void write_uint_map(std::ostream& out,
+                    const std::map<std::string, std::uint64_t, std::less<>>& values) {
+  out << '{';
+  bool first = true;
+  for (const auto& [name, value] : values) {
+    if (!first) out << ',';
+    first = false;
+    json::write_string(out, name);
+    out << ':' << value;
+  }
+  out << '}';
+}
+
+void write_histogram(std::ostream& out, const HistogramMetric& hist) {
+  out << "{\"count\":" << hist.count << ",\"sum\":" << hist.sum << ",\"min\":" << hist.min
+      << ",\"max\":" << hist.max << ",\"log2_buckets\":{";
+  bool first = true;
+  for (std::size_t i = 0; i < HistogramMetric::kBuckets; ++i) {
+    if (hist.buckets[i] == 0) continue;
+    if (!first) out << ',';
+    first = false;
+    out << '"' << i << "\":" << hist.buckets[i];
+  }
+  out << "}}";
+}
+
+}  // namespace
+
+void MetricsRegistry::write_json(std::ostream& out) const {
+  out << "{\"counters\":";
+  write_uint_map(out, counters_);
+  out << ",\"gauges\":";
+  write_uint_map(out, gauges_);
+  out << ",\"histograms\":{";
+  bool first = true;
+  for (const auto& [name, hist] : histograms_) {
+    if (!first) out << ',';
+    first = false;
+    json::write_string(out, name);
+    out << ':';
+    write_histogram(out, hist);
+  }
+  out << "}}";
+}
+
+void write_metrics_json(std::ostream& out, std::string_view run_info_json,
+                        std::span<const MetricsPhase> phases) {
+  out << "{\"run\":" << (run_info_json.empty() ? "{}" : run_info_json) << ",\"phases\":[";
+  bool first = true;
+  for (const MetricsPhase& phase : phases) {
+    if (phase.registry == nullptr) continue;
+    if (!first) out << ',';
+    first = false;
+    out << "\n{\"phase\":";
+    json::write_string(out, phase.name);
+    out << ",\"metrics\":";
+    phase.registry->write_json(out);
+    out << '}';
+  }
+  out << "\n]}\n";
+}
+
+}  // namespace gnb::obs

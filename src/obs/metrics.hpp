@@ -1,0 +1,81 @@
+#pragma once
+// Named metrics registry: monotonic counters, gauges, and log2-bucketed
+// histograms, snapshotted at phase boundaries and dumped as JSON. One
+// registry per rank (single-writer, like the trace buffers); World merges
+// them after the phase. All iteration is name-sorted so the JSON dump is
+// deterministic for a fixed seed.
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace gnb::obs {
+
+/// Power-of-two bucketed histogram of non-negative samples. Bucket i
+/// counts values v with bit_width(v) == i, i.e. bucket 0 holds v == 0 and
+/// bucket i holds v in [2^(i-1), 2^i).
+struct HistogramMetric {
+  static constexpr std::size_t kBuckets = 65;
+  std::uint64_t buckets[kBuckets] = {};
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+
+  void observe(std::uint64_t value);
+  void merge(const HistogramMetric& other);
+};
+
+class MetricsRegistry {
+ public:
+  /// Counters are monotonic adds.
+  void add(std::string_view name, std::uint64_t delta = 1);
+  /// Gauges keep the maximum observed value (merge across ranks keeps the
+  /// global max — the interesting direction for inflight/memory gauges).
+  void gauge_max(std::string_view name, std::uint64_t value);
+  /// Histograms accumulate per-sample distributions.
+  void observe(std::string_view name, std::uint64_t value);
+
+  [[nodiscard]] std::uint64_t counter(std::string_view name) const;
+  [[nodiscard]] std::uint64_t gauge(std::string_view name) const;
+  [[nodiscard]] const HistogramMetric* histogram(std::string_view name) const;
+
+  void merge(const MetricsRegistry& other);
+  void clear();
+  [[nodiscard]] bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  [[nodiscard]] const std::map<std::string, std::uint64_t, std::less<>>& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, std::uint64_t, std::less<>>& gauges() const {
+    return gauges_;
+  }
+
+  /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  void write_json(std::ostream& out) const;
+
+ private:
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+  std::map<std::string, std::uint64_t, std::less<>> gauges_;
+  std::map<std::string, HistogramMetric, std::less<>> histograms_;
+};
+
+/// A named phase snapshot for the metrics file.
+struct MetricsPhase {
+  std::string name;
+  const MetricsRegistry* registry = nullptr;
+};
+
+/// Full metrics document: {"run":<run_info>,"phases":[{"phase":name,...}]}.
+/// `run_info_json` must already be a valid JSON object (use obs/json.hpp
+/// writers to build it); pass "{}" when there is no config to record.
+void write_metrics_json(std::ostream& out, std::string_view run_info_json,
+                        std::span<const MetricsPhase> phases);
+
+}  // namespace gnb::obs

@@ -1,0 +1,78 @@
+#pragma once
+// The span / instant / counter / metric name taxonomy — defined once so the
+// real engines and the simulator emit byte-identical names (the sim-vs-real
+// parity tests compare these sets). Names are static strings; TraceEvent
+// stores the pointer, never a copy.
+
+namespace gnb::obs::span {
+
+// Phase-level engine spans.
+inline constexpr const char* kBspAlign = "bsp.align";
+inline constexpr const char* kBspIndex = "bsp.index";
+inline constexpr const char* kBspRequestExchange = "bsp.request_exchange";
+inline constexpr const char* kBspLocalTasks = "bsp.local_tasks";
+inline constexpr const char* kBspRound = "bsp.round";
+inline constexpr const char* kBspCompute = "bsp.compute";
+inline constexpr const char* kAsyncAlign = "async.align";
+inline constexpr const char* kAsyncIndex = "async.index";
+inline constexpr const char* kAsyncLocalTasks = "async.local_tasks";
+inline constexpr const char* kAsyncPulls = "async.pulls";
+
+// Runtime collectives (emitted by rt::Rank, and by the sim at the matching
+// virtual instants).
+inline constexpr const char* kCollAlltoallv = "coll.alltoallv";
+inline constexpr const char* kCollBarrier = "coll.barrier";
+inline constexpr const char* kCollSplitBarrier = "coll.split_barrier";
+inline constexpr const char* kCollServiceBarrier = "coll.service_barrier";
+
+// Async RPC pulls: one async begin/end pair per logical batch id.
+inline constexpr const char* kRpcPull = "rpc.pull";
+
+// Recovery and checkpointing.
+inline constexpr const char* kRecovery = "recovery.recover";
+inline constexpr const char* kCkptSave = "ckpt.save";
+inline constexpr const char* kCkptLoad = "ckpt.load";
+
+// Serial pipeline stages (driver thread).
+inline constexpr const char* kStagePartition = "stage.partition";
+inline constexpr const char* kStageKmerFilter = "stage.kmer_filter";
+inline constexpr const char* kStageTaskAssign = "stage.task_assign";
+
+// Instant events (faults, retries, deaths).
+inline constexpr const char* kFaultCrash = "fault.crash";
+inline constexpr const char* kFaultStraggle = "fault.straggle";
+inline constexpr const char* kRpcRetry = "rpc.retry";
+inline constexpr const char* kRpcTimeout = "rpc.timeout";
+inline constexpr const char* kRpcPeerDeath = "rpc.peer_death";
+inline constexpr const char* kRecoveryReexec = "recovery.reexec";
+
+// Counter tracks.
+inline constexpr const char* kCtrExchangeBytes = "exchange.bytes";
+inline constexpr const char* kCtrAlignCells = "align.cells";
+inline constexpr const char* kCtrRpcInflight = "rpc.inflight";
+
+}  // namespace gnb::obs::span
+
+namespace gnb::obs::metric {
+
+// Metrics-registry names (snapshotted at phase boundaries, dumped as JSON).
+inline constexpr const char* kExchangeBytes = "exchange.bytes";
+inline constexpr const char* kExchangeMessages = "exchange.messages";
+inline constexpr const char* kExchangeRounds = "exchange.rounds";
+inline constexpr const char* kAlignTasks = "align.tasks";
+inline constexpr const char* kAlignCells = "align.cells";
+inline constexpr const char* kAlignAccepted = "align.accepted";
+inline constexpr const char* kRpcInflightMax = "rpc.inflight_max";
+inline constexpr const char* kRpcRequestsServed = "rpc.requests_served";
+inline constexpr const char* kMemPeakBytes = "mem.peak_bytes";
+inline constexpr const char* kPipelineReads = "pipeline.reads";
+inline constexpr const char* kPipelineBases = "pipeline.bases";
+inline constexpr const char* kPipelineTasks = "pipeline.tasks";
+inline constexpr const char* kReplyBytesHist = "rpc.reply_bytes";
+inline constexpr const char* kRoundBytesHist = "exchange.round_bytes";
+
+// stat::FaultCounters fields are exported under this prefix (names come
+// from the single stat::FaultCounters::fields() descriptor table).
+inline constexpr const char* kFaultPrefix = "fault.";
+
+}  // namespace gnb::obs::metric

@@ -1,0 +1,312 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "obs/json.hpp"
+
+namespace gnb::obs {
+
+namespace {
+
+// Monotonic epoch set by Tracer::enable(); ns since steady_clock's own
+// epoch. Atomic so rank threads can stamp while the driver (re)enables.
+std::atomic<std::int64_t> g_epoch_ns{0};
+
+std::int64_t steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+TraceBuffer::TraceBuffer(std::uint32_t pid, std::uint32_t tid, std::string process_label,
+                         std::string thread_label, const char* clock_domain,
+                         std::size_t capacity)
+    : pid_(pid),
+      tid_(tid),
+      process_label_(std::move(process_label)),
+      thread_label_(std::move(thread_label)),
+      clock_domain_(clock_domain),
+      capacity_(capacity) {
+  events_.reserve(capacity_);
+}
+
+void TraceBuffer::push(const TraceEvent& event) {
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(event);
+}
+
+void TraceBuffer::begin(const char* name) {
+  TraceEvent e;
+  e.name = name;
+  e.phase = TraceEvent::Phase::kBegin;
+  e.ts_ns = Tracer::now_ns();
+  push(e);
+}
+
+void TraceBuffer::begin(const char* name, const char* k0, std::uint64_t v0) {
+  TraceEvent e;
+  e.name = name;
+  e.phase = TraceEvent::Phase::kBegin;
+  e.ts_ns = Tracer::now_ns();
+  e.key0 = k0;
+  e.val0 = v0;
+  push(e);
+}
+
+void TraceBuffer::begin(const char* name, const char* k0, std::uint64_t v0, const char* k1,
+                        std::uint64_t v1) {
+  TraceEvent e;
+  e.name = name;
+  e.phase = TraceEvent::Phase::kBegin;
+  e.ts_ns = Tracer::now_ns();
+  e.key0 = k0;
+  e.val0 = v0;
+  e.key1 = k1;
+  e.val1 = v1;
+  push(e);
+}
+
+void TraceBuffer::end(const char* name) {
+  TraceEvent e;
+  e.name = name;
+  e.phase = TraceEvent::Phase::kEnd;
+  e.ts_ns = Tracer::now_ns();
+  push(e);
+}
+
+void TraceBuffer::instant(const char* name) {
+  TraceEvent e;
+  e.name = name;
+  e.phase = TraceEvent::Phase::kInstant;
+  e.ts_ns = Tracer::now_ns();
+  push(e);
+}
+
+void TraceBuffer::instant(const char* name, const char* k0, std::uint64_t v0) {
+  TraceEvent e;
+  e.name = name;
+  e.phase = TraceEvent::Phase::kInstant;
+  e.ts_ns = Tracer::now_ns();
+  e.key0 = k0;
+  e.val0 = v0;
+  push(e);
+}
+
+void TraceBuffer::instant(const char* name, const char* k0, std::uint64_t v0, const char* k1,
+                          std::uint64_t v1) {
+  TraceEvent e;
+  e.name = name;
+  e.phase = TraceEvent::Phase::kInstant;
+  e.ts_ns = Tracer::now_ns();
+  e.key0 = k0;
+  e.val0 = v0;
+  e.key1 = k1;
+  e.val1 = v1;
+  push(e);
+}
+
+void TraceBuffer::counter(const char* name, std::uint64_t value) {
+  TraceEvent e;
+  e.name = name;
+  e.phase = TraceEvent::Phase::kCounter;
+  e.ts_ns = Tracer::now_ns();
+  e.id = value;
+  push(e);
+}
+
+void TraceBuffer::async_begin(const char* name, std::uint64_t id) {
+  TraceEvent e;
+  e.name = name;
+  e.phase = TraceEvent::Phase::kAsyncBegin;
+  e.ts_ns = Tracer::now_ns();
+  e.id = id;
+  push(e);
+}
+
+void TraceBuffer::async_end(const char* name, std::uint64_t id) {
+  TraceEvent e;
+  e.name = name;
+  e.phase = TraceEvent::Phase::kAsyncEnd;
+  e.ts_ns = Tracer::now_ns();
+  e.id = id;
+  push(e);
+}
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::enable(std::size_t buffer_capacity) {
+  std::lock_guard lock(mutex_);
+  buffers_.clear();
+  capacity_ = buffer_capacity;
+  g_epoch_ns.store(steady_ns(), std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::disable() {
+  std::lock_guard lock(mutex_);
+  enabled_.store(false, std::memory_order_relaxed);
+  buffers_.clear();
+}
+
+TraceBuffer* Tracer::buffer(std::uint32_t pid, std::uint32_t tid, std::string process_label,
+                            std::string thread_label, const char* clock_domain) {
+  if (!enabled()) return nullptr;
+  std::lock_guard lock(mutex_);
+  auto& slot = buffers_[{pid, tid}];
+  if (!slot) {
+    slot = std::make_unique<TraceBuffer>(pid, tid, std::move(process_label),
+                                         std::move(thread_label), clock_domain, capacity_);
+  }
+  return slot.get();
+}
+
+std::vector<const TraceBuffer*> Tracer::buffers() const {
+  std::lock_guard lock(mutex_);
+  std::vector<const TraceBuffer*> out;
+  out.reserve(buffers_.size());
+  for (const auto& [key, buf] : buffers_) out.push_back(buf.get());
+  return out;  // map iteration order == sorted by (pid, tid)
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& [key, buf] : buffers_) total += buf->dropped();
+  return total;
+}
+
+std::int64_t Tracer::now_ns() {
+  return steady_ns() - g_epoch_ns.load(std::memory_order_relaxed);
+}
+
+namespace {
+
+// Chrome trace-event timestamps are microseconds; keep ns resolution as a
+// fractional part.
+void write_ts(std::ostream& out, std::int64_t ns) {
+  const std::int64_t us = ns / 1000;
+  const std::int64_t frac = ns % 1000;
+  out << us << '.';
+  out << (frac / 100) << (frac / 10 % 10) << (frac % 10);
+}
+
+void write_args(std::ostream& out, const TraceEvent& e) {
+  if (e.key0 == nullptr) return;
+  out << ",\"args\":{";
+  json::write_string(out, e.key0);
+  out << ':' << e.val0;
+  if (e.key1 != nullptr) {
+    out << ',';
+    json::write_string(out, e.key1);
+    out << ':' << e.val1;
+  }
+  out << '}';
+}
+
+void write_event(std::ostream& out, const TraceBuffer& buf, const TraceEvent& e) {
+  out << "{\"name\":";
+  json::write_string(out, e.name);
+  out << ",\"ph\":\"";
+  switch (e.phase) {
+    case TraceEvent::Phase::kBegin:
+      out << 'B';
+      break;
+    case TraceEvent::Phase::kEnd:
+      out << 'E';
+      break;
+    case TraceEvent::Phase::kComplete:
+      out << 'X';
+      break;
+    case TraceEvent::Phase::kInstant:
+      out << 'i';
+      break;
+    case TraceEvent::Phase::kCounter:
+      out << 'C';
+      break;
+    case TraceEvent::Phase::kAsyncBegin:
+      out << 'b';
+      break;
+    case TraceEvent::Phase::kAsyncEnd:
+      out << 'e';
+      break;
+  }
+  out << "\",\"ts\":";
+  write_ts(out, e.ts_ns);
+  out << ",\"pid\":" << buf.pid() << ",\"tid\":" << buf.tid();
+  switch (e.phase) {
+    case TraceEvent::Phase::kComplete:
+      out << ",\"dur\":";
+      write_ts(out, e.dur_ns);
+      write_args(out, e);
+      break;
+    case TraceEvent::Phase::kInstant:
+      out << ",\"s\":\"t\"";
+      write_args(out, e);
+      break;
+    case TraceEvent::Phase::kCounter:
+      // Counter series value rides in `id`; extra args become extra series.
+      out << ",\"args\":{\"value\":" << e.id;
+      if (e.key0 != nullptr) {
+        out << ',';
+        json::write_string(out, e.key0);
+        out << ':' << e.val0;
+      }
+      out << '}';
+      break;
+    case TraceEvent::Phase::kAsyncBegin:
+    case TraceEvent::Phase::kAsyncEnd:
+      out << ",\"cat\":";
+      json::write_string(out, e.name);
+      out << ",\"id\":" << e.id;
+      break;
+    default:
+      write_args(out, e);
+      break;
+  }
+  out << '}';
+}
+
+void write_metadata(std::ostream& out, const TraceBuffer& buf, bool& first) {
+  auto meta = [&](const char* what, const std::string& label, bool thread_scope) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "{\"name\":\"" << what << "\",\"ph\":\"M\",\"pid\":" << buf.pid();
+    if (thread_scope) out << ",\"tid\":" << buf.tid();
+    out << ",\"args\":{\"name\":";
+    json::write_string(out, label);
+    out << "}}";
+  };
+  meta("process_name", buf.process_label() + " [" + buf.clock_domain() + "]", false);
+  meta("thread_name", buf.thread_label(), true);
+}
+
+}  // namespace
+
+void Tracer::write_json(std::ostream& out) const {
+  std::lock_guard lock(mutex_);
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  std::uint64_t total_dropped = 0;
+  for (const auto& [key, buf] : buffers_) {
+    write_metadata(out, *buf, first);
+    total_dropped += buf->dropped();
+    for (const TraceEvent& e : buf->events()) {
+      if (!first) out << ",\n";
+      first = false;
+      write_event(out, *buf, e);
+    }
+  }
+  out << "\n],\"otherData\":{\"tool\":\"gnbody\",\"dropped_events\":\"" << total_dropped
+      << "\"}}\n";
+}
+
+}  // namespace gnb::obs

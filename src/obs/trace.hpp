@@ -1,0 +1,242 @@
+#pragma once
+// Low-overhead span tracer with Chrome trace-event / Perfetto JSON export.
+//
+// Design:
+//  - One TraceBuffer per (pid, tid) track, single-writer: each rank thread
+//    binds its own buffer (rank -> pid, core -> tid), so the hot path is a
+//    plain append into preallocated storage — no locks, no allocation.
+//  - Bounded ring: past capacity, new events are dropped (drop-newest, so
+//    the recorded prefix stays deterministic) and counted.
+//  - Dual clock domains: real engines stamp events with the monotonic
+//    clock via the GNB_* macros; the simulator pushes the same span names
+//    with explicit virtual timestamps, so a simulated 512-node run and a
+//    real 8-rank run open side-by-side in the same Perfetto UI.
+//  - GNB_TRACE=OFF (CMake) defines GNB_TRACE_ENABLED=0 and every macro
+//    compiles to nothing; the Tracer itself stays linkable so tools can
+//    still emit an (empty) valid trace.
+//
+// Trace *content* (names, ordering, counter values) is deterministic for a
+// fixed seed; only wall-clock timestamps vary between runs.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#ifndef GNB_TRACE_ENABLED
+#define GNB_TRACE_ENABLED 1
+#endif
+
+namespace gnb::obs {
+
+/// One trace event. `name` and arg keys must point at static storage
+/// (see obs/spans.hpp); the buffer never copies strings.
+struct TraceEvent {
+  enum class Phase : std::uint8_t {
+    kBegin,       // "B" — span open
+    kEnd,         // "E" — span close
+    kComplete,    // "X" — span with explicit duration (simulator)
+    kInstant,     // "i" — point event (faults, retries, deaths)
+    kCounter,     // "C" — counter sample
+    kAsyncBegin,  // "b" — async op open (rpc pulls), correlated by id
+    kAsyncEnd,    // "e" — async op close
+  };
+  const char* name = nullptr;
+  Phase phase = Phase::kBegin;
+  std::int64_t ts_ns = 0;
+  std::int64_t dur_ns = 0;  // kComplete only
+  std::uint64_t id = 0;     // async correlation id / counter value
+  const char* key0 = nullptr;
+  std::uint64_t val0 = 0;
+  const char* key1 = nullptr;
+  std::uint64_t val1 = 0;
+};
+
+/// Single-writer bounded event sink for one (pid, tid) track. Created and
+/// owned by the Tracer; written by exactly one thread at a time (the rank
+/// thread that bound it). Reads (events(), export) must happen after the
+/// writer quiesced — World::run joins rank threads before snapshotting.
+class TraceBuffer {
+ public:
+  TraceBuffer(std::uint32_t pid, std::uint32_t tid, std::string process_label,
+              std::string thread_label, const char* clock_domain, std::size_t capacity);
+
+  /// Append with an explicit timestamp (virtual clock domain).
+  void push(const TraceEvent& event);
+
+  // Convenience emitters stamping the real monotonic clock.
+  void begin(const char* name);
+  void begin(const char* name, const char* k0, std::uint64_t v0);
+  void begin(const char* name, const char* k0, std::uint64_t v0, const char* k1,
+             std::uint64_t v1);
+  void end(const char* name);
+  void instant(const char* name);
+  void instant(const char* name, const char* k0, std::uint64_t v0);
+  void instant(const char* name, const char* k0, std::uint64_t v0, const char* k1,
+               std::uint64_t v1);
+  void counter(const char* name, std::uint64_t value);
+  void async_begin(const char* name, std::uint64_t id);
+  void async_end(const char* name, std::uint64_t id);
+
+  [[nodiscard]] std::span<const TraceEvent> events() const { return events_; }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  [[nodiscard]] std::uint32_t pid() const { return pid_; }
+  [[nodiscard]] std::uint32_t tid() const { return tid_; }
+  [[nodiscard]] const std::string& process_label() const { return process_label_; }
+  [[nodiscard]] const std::string& thread_label() const { return thread_label_; }
+  [[nodiscard]] const char* clock_domain() const { return clock_domain_; }
+
+ private:
+  std::uint32_t pid_;
+  std::uint32_t tid_;
+  std::string process_label_;
+  std::string thread_label_;
+  const char* clock_domain_;
+  std::size_t capacity_;
+  std::uint64_t dropped_ = 0;
+  std::vector<TraceEvent> events_;
+};
+
+namespace detail {
+inline thread_local TraceBuffer* tl_buffer = nullptr;
+}  // namespace detail
+
+/// Process-wide trace collector. Disabled by default: buffer() returns
+/// nullptr and the macros see a null binding, so tracing costs one
+/// thread-local load when off. enable() opens a recording epoch;
+/// write_json() exports every track, sorted by (pid, tid).
+class Tracer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+  static Tracer& instance();
+
+  void enable(std::size_t buffer_capacity = kDefaultCapacity);
+  void disable();  // drops all buffers; threads must re-bind after re-enable
+  [[nodiscard]] bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Create (or return the existing) buffer for a (pid, tid) track.
+  /// Returns nullptr while disabled. Thread-safe.
+  TraceBuffer* buffer(std::uint32_t pid, std::uint32_t tid, std::string process_label,
+                      std::string thread_label, const char* clock_domain = "monotonic");
+
+  /// All tracks, sorted by (pid, tid). Valid until disable().
+  [[nodiscard]] std::vector<const TraceBuffer*> buffers() const;
+
+  /// Chrome trace-event JSON: {"traceEvents": [...], ...}. Call only when
+  /// writers are quiescent.
+  void write_json(std::ostream& out) const;
+
+  /// Total events dropped across all tracks (capacity overflow).
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  /// Bind `buffer` as the calling thread's event sink (nullptr unbinds).
+  static void bind(TraceBuffer* buf) { detail::tl_buffer = buf; }
+  [[nodiscard]] static TraceBuffer* current() { return detail::tl_buffer; }
+
+  /// Nanoseconds on the monotonic clock since enable().
+  [[nodiscard]] static std::int64_t now_ns();
+
+ private:
+  Tracer() = default;
+
+  mutable std::mutex mutex_;
+  std::atomic<bool> enabled_{false};
+  std::size_t capacity_ = kDefaultCapacity;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::unique_ptr<TraceBuffer>> buffers_;
+};
+
+/// RAII span: begin at construction, end at destruction, on the buffer
+/// bound to the constructing thread. Safe (no-op) when unbound.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) : buffer_(Tracer::current()), name_(name) {
+    if (buffer_ != nullptr) buffer_->begin(name_);
+  }
+  ScopedSpan(const char* name, const char* k0, std::uint64_t v0)
+      : buffer_(Tracer::current()), name_(name) {
+    if (buffer_ != nullptr) buffer_->begin(name_, k0, v0);
+  }
+  ScopedSpan(const char* name, const char* k0, std::uint64_t v0, const char* k1,
+             std::uint64_t v1)
+      : buffer_(Tracer::current()), name_(name) {
+    if (buffer_ != nullptr) buffer_->begin(name_, k0, v0, k1, v1);
+  }
+  ~ScopedSpan() {
+    if (buffer_ != nullptr) buffer_->end(name_);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  TraceBuffer* buffer_;
+  const char* name_;
+};
+
+}  // namespace gnb::obs
+
+// The instrumentation macros. Compiled to nothing under GNB_TRACE=OFF.
+#if GNB_TRACE_ENABLED
+
+#define GNB_OBS_CONCAT2(a, b) a##b
+#define GNB_OBS_CONCAT(a, b) GNB_OBS_CONCAT2(a, b)
+
+/// Open a RAII span for the rest of the enclosing scope:
+///   GNB_SPAN("bsp.round");  GNB_SPAN("bsp.round", "round", r, "bytes", n);
+#define GNB_SPAN(...) \
+  ::gnb::obs::ScopedSpan GNB_OBS_CONCAT(gnb_obs_span_, __LINE__)(__VA_ARGS__)
+
+#define GNB_INSTANT(...)                                                   \
+  do {                                                                     \
+    if (auto* gnb_obs_buf = ::gnb::obs::Tracer::current()) {               \
+      gnb_obs_buf->instant(__VA_ARGS__);                                   \
+    }                                                                      \
+  } while (0)
+
+#define GNB_COUNTER(name, value)                                           \
+  do {                                                                     \
+    if (auto* gnb_obs_buf = ::gnb::obs::Tracer::current()) {               \
+      gnb_obs_buf->counter((name), (value));                               \
+    }                                                                      \
+  } while (0)
+
+#define GNB_ASYNC_BEGIN(name, id)                                          \
+  do {                                                                     \
+    if (auto* gnb_obs_buf = ::gnb::obs::Tracer::current()) {               \
+      gnb_obs_buf->async_begin((name), (id));                              \
+    }                                                                      \
+  } while (0)
+
+#define GNB_ASYNC_END(name, id)                                            \
+  do {                                                                     \
+    if (auto* gnb_obs_buf = ::gnb::obs::Tracer::current()) {               \
+      gnb_obs_buf->async_end((name), (id));                                \
+    }                                                                      \
+  } while (0)
+
+#else  // !GNB_TRACE_ENABLED
+
+#define GNB_SPAN(...) \
+  do {                \
+  } while (0)
+#define GNB_INSTANT(...) \
+  do {                   \
+  } while (0)
+#define GNB_COUNTER(name, value) \
+  do {                           \
+  } while (0)
+#define GNB_ASYNC_BEGIN(name, id) \
+  do {                            \
+  } while (0)
+#define GNB_ASYNC_END(name, id) \
+  do {                          \
+  } while (0)
+
+#endif  // GNB_TRACE_ENABLED

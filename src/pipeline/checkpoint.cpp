@@ -6,6 +6,8 @@
 #include <tuple>
 
 #include "align/xdrop.hpp"
+#include "obs/spans.hpp"
+#include "obs/trace.hpp"
 #include "seq/alphabet.hpp"
 #include "util/error.hpp"
 #include "util/wire.hpp"
@@ -71,6 +73,7 @@ align::AlignmentRecord get_record(std::span<const std::uint8_t> in, std::size_t&
 
 void save_blob(const std::filesystem::path& path, std::uint32_t kind,
                std::uint64_t fingerprint, const std::vector<std::uint8_t>& payload) {
+  GNB_SPAN(obs::span::kCkptSave, "bytes", payload.size(), "kind", kind);
   Bytes framed;
   wire::put<std::uint32_t>(framed, kMagic);
   wire::put<std::uint32_t>(framed, kVersion);
@@ -97,6 +100,7 @@ void save_blob(const std::filesystem::path& path, std::uint32_t kind,
 std::optional<std::vector<std::uint8_t>> load_blob(const std::filesystem::path& path,
                                                    std::uint32_t kind,
                                                    std::uint64_t fingerprint) {
+  GNB_SPAN(obs::span::kCkptLoad, "kind", kind);
   std::ifstream in(path, std::ios::binary);
   if (!in) return std::nullopt;
   Bytes framed((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());

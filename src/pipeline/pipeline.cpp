@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <tuple>
 
+#include "obs/spans.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace gnb::pipeline {
@@ -57,10 +59,19 @@ std::vector<std::vector<kmer::AlignTask>> assign_tasks(
 TaskSet run_serial(const seq::ReadStore& store, const PipelineConfig& config,
                    std::size_t nranks) {
   TaskSet result;
-  result.bounds = compute_bounds(store, nranks);
-  const std::vector<kmer::AlignTask> tasks =
-      kmer::discover_tasks(store, config.k, config.lo, config.hi, config.keep_frac);
-  result.per_rank = assign_tasks(tasks, result.bounds);
+  {
+    GNB_SPAN(obs::span::kStagePartition, "reads", store.size());
+    result.bounds = compute_bounds(store, nranks);
+  }
+  std::vector<kmer::AlignTask> tasks;
+  {
+    GNB_SPAN(obs::span::kStageKmerFilter, "k", config.k);
+    tasks = kmer::discover_tasks(store, config.k, config.lo, config.hi, config.keep_frac);
+  }
+  {
+    GNB_SPAN(obs::span::kStageTaskAssign, "tasks", tasks.size());
+    result.per_rank = assign_tasks(tasks, result.bounds);
+  }
   return result;
 }
 

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <thread>
 
+#include "obs/spans.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace gnb::rt {
@@ -207,6 +209,9 @@ std::size_t RpcEndpoint::progress() {
   }
   locally_failed_.clear();
   peer_death_failures_ += failed.size();
+  if (!failed.empty()) {
+    GNB_INSTANT(obs::span::kRpcPeerDeath, "failed", failed.size());
+  }
   for (Pending& pending : failed) pending.callback(RpcStatus::kPeerDead, Bytes{});
 
   return requests.size() + replies.size() + failed.size();

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <exception>
+#include <string>
 #include <thread>
 
+#include "obs/spans.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/timer.hpp"
 
@@ -48,7 +51,10 @@ void Rank::maybe_straggle() {
   const FaultInjector* injector = world_.injector_.get();
   if (!injector) return;
   const std::uint32_t pause_us = injector->straggle_us(id_, straggle_entry_++);
-  if (pause_us > 0) std::this_thread::sleep_for(std::chrono::microseconds(pause_us));
+  if (pause_us > 0) {
+    GNB_INSTANT(obs::span::kFaultStraggle, "us", pause_us);
+    std::this_thread::sleep_for(std::chrono::microseconds(pause_us));
+  }
 }
 
 void Rank::crash_point() {
@@ -56,6 +62,7 @@ void Rank::crash_point() {
   const FaultInjector* injector = world_.injector_.get();
   if (!injector) return;
   if (injector->crashes_at(id_, step)) {
+    GNB_INSTANT(obs::span::kFaultCrash, "step", step);
     world_.kill(id_);
     throw RankDeath{};
   }
@@ -105,6 +112,7 @@ void World::kill(RankId id) {
 }
 
 void Rank::barrier() {
+  GNB_SPAN(obs::span::kCollBarrier);
   crash_point();
   maybe_straggle();
   WallTimer wait;
@@ -151,6 +159,7 @@ std::vector<Bytes> Rank::alltoallv(std::vector<Bytes> send) {
   GNB_CHECK_MSG(send.size() == world_.nranks_,
                 "alltoallv: send has " << send.size() << " buffers for " << world_.nranks_
                                        << " ranks");
+  GNB_SPAN(obs::span::kCollAlltoallv);
   crash_point();
   maybe_straggle();
   WallTimer wait;
@@ -240,6 +249,7 @@ void Rank::split_barrier_wait() {
   // Every alive rank must have arrived as many times as this rank's local
   // phase count; ranks that die while the barrier is pending are excluded
   // on the next poll, so the wait never hangs for a ghost.
+  GNB_SPAN(obs::span::kCollSplitBarrier);
   split_phase_ += 1;
   WallTimer wait;
   for (;;) {
@@ -258,6 +268,7 @@ void Rank::split_barrier_wait() {
 }
 
 void Rank::service_barrier() {
+  GNB_SPAN(obs::span::kCollServiceBarrier);
   split_barrier_arrive();
   split_barrier_wait();
 }
@@ -302,6 +313,15 @@ void World::run(const std::function<void(Rank&)>& body) {
     threads.reserve(nranks_);
     for (std::size_t r = 0; r < nranks_; ++r) {
       threads.emplace_back([&, r] {
+        // Each rank thread owns one trace track: rank -> pid, core -> tid
+        // (one core per rank in the threaded runtime). Real runs stamp the
+        // monotonic clock; the simulator emits the same span names on a
+        // virtual clock (see sim/perf_model.cpp).
+        obs::Tracer& tracer = obs::Tracer::instance();
+        if (tracer.enabled()) {
+          obs::Tracer::bind(tracer.buffer(static_cast<std::uint32_t>(r), 0,
+                                          "rank " + std::to_string(r), "core 0"));
+        }
         try {
           body(*ranks[r]);
         } catch (const RankDeath&) {
@@ -316,12 +336,14 @@ void World::run(const std::function<void(Rank&)>& body) {
           std::fprintf(stderr, "rank %zu threw; aborting world\n", r);
           std::abort();
         }
+        obs::Tracer::bind(nullptr);
       });
     }
   }  // jthreads join here
 
   breakdowns_.clear();
   breakdowns_.reserve(nranks_);
+  metrics_.clear();
   for (std::size_t r = 0; r < nranks_; ++r) {
     stat::Breakdown breakdown = snapshot(ranks[r]->timers_, ranks[r]->memory_);
     breakdown.faults = ranks[r]->fault_counters_;
@@ -331,6 +353,15 @@ void World::run(const std::function<void(Rank&)>& body) {
     breakdown.faults.duplicates += endpoints_[r]->orphan_replies();
     breakdown.faults.rpc_failures += endpoints_[r]->peer_death_failures();
     breakdowns_.push_back(breakdown);
+
+    // Phase-boundary metrics snapshot: the rank's own registry, the fault
+    // counters (exported through the single descriptor table), and the
+    // endpoint's RPC counters.
+    obs::MetricsRegistry& registry = ranks[r]->metrics_;
+    stat::export_metrics(breakdown.faults, registry);
+    registry.add(obs::metric::kRpcRequestsServed, endpoints_[r]->requests_served());
+    registry.gauge_max(obs::metric::kMemPeakBytes, breakdown.peak_memory);
+    metrics_.merge(registry);
   }
 }
 

@@ -29,6 +29,7 @@
 #include <span>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "rt/durable.hpp"
 #include "rt/fault.hpp"
 #include "rt/phase.hpp"
@@ -145,6 +146,12 @@ class Rank {
   /// stat::Breakdown.
   stat::FaultCounters& fault_counters() { return fault_counters_; }
 
+  /// This rank's metrics registry (single-writer, like the trace buffer):
+  /// engines add named counters/gauges/histograms here; World::run merges
+  /// every rank's registry — plus the fault and endpoint counters — into
+  /// World::metrics() after the phase.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+
   /// The world's fault injector, or nullptr when chaos is disabled — the
   /// zero-cost-when-disabled hook engines branch on.
   [[nodiscard]] const FaultInjector* faults() const;
@@ -166,6 +173,7 @@ class Rank {
   PhaseTimers timers_;
   MemoryMeter memory_;
   stat::FaultCounters fault_counters_;
+  obs::MetricsRegistry metrics_;
 };
 
 /// A group of P ranks. Construct, then run one or more SPMD regions.
@@ -186,6 +194,11 @@ class World {
 
   /// Per-rank phase breakdowns from the last run().
   [[nodiscard]] const std::vector<stat::Breakdown>& breakdowns() const { return breakdowns_; }
+
+  /// Merged metrics snapshot from the last run(): every rank's registry
+  /// plus stat::export_metrics(fault counters) and the per-endpoint RPC
+  /// counters, under the names in obs/spans.hpp.
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const { return metrics_; }
 
   /// Install a fault plan for subsequent run()s (chaos testing). A disabled
   /// plan clears injection. Crash events must name ranks < nranks. Must not
@@ -235,6 +248,7 @@ class World {
 
   std::vector<std::unique_ptr<RpcEndpoint>> endpoints_;
   std::vector<stat::Breakdown> breakdowns_;
+  obs::MetricsRegistry metrics_;
   std::unique_ptr<FaultInjector> injector_;
   DurableStore durable_;
 };

@@ -18,4 +18,14 @@ MachineParams cori_knl(std::size_t nodes) {
   return machine;
 }
 
+void scale_slice(MachineParams& machine, double scale) {
+  machine.cores_per_node = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::llround(static_cast<double>(machine.cores_per_node) /
+                                               scale)));
+  machine.nic_bandwidth /= scale;
+  machine.intranode_bandwidth /= scale;
+  machine.global_bw_per_node /= scale;
+  machine.a2a_setup_per_peer *= scale;
+}
+
 }  // namespace gnb::sim

@@ -71,4 +71,12 @@ struct MachineParams {
 /// Cori-KNL-like machine with `nodes` nodes (64 app cores each).
 MachineParams cori_knl(std::size_t nodes);
 
+/// In-place 1/scale *slice* of a machine: each node keeps cores/scale
+/// application cores with 1/scale of the NIC, intranode and global
+/// bandwidth, and a per-peer alltoallv setup cost inflated by scale (the
+/// unsliced run has scale-times more peers). Per-core memory is untouched.
+/// Per-rank task counts, exchange bytes and bandwidth shares of a 1/scale
+/// workload then match the full-size magnitudes at every node count.
+void scale_slice(MachineParams& machine, double scale);
+
 }  // namespace gnb::sim

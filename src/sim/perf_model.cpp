@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <optional>
+#include <string>
 #include <unordered_map>
 
+#include "obs/spans.hpp"
+#include "obs/trace.hpp"
 #include "proto/exchange_plan.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -12,6 +15,79 @@
 namespace gnb::sim {
 
 namespace {
+
+/// Virtual-clock trace emission: one Perfetto process per simulated node,
+/// one thread track per rank, stamped with the model's analytic timeline
+/// instead of the wall clock. Active only when SimOptions::trace is set
+/// AND the process Tracer is recording (and GNB_TRACE is compiled in).
+class SimTracer {
+ public:
+  SimTracer(const MachineParams& machine, std::size_t nranks, bool want) {
+#if GNB_TRACE_ENABLED
+    obs::Tracer& tracer = obs::Tracer::instance();
+    if (!want || !tracer.enabled()) return;
+    buffers_.resize(nranks, nullptr);
+    for (std::size_t r = 0; r < nranks; ++r) {
+      const auto node = static_cast<std::uint32_t>(machine.node_of(r));
+      const auto core = static_cast<std::uint32_t>(r % machine.cores_per_node);
+      buffers_[r] = tracer.buffer(node, core, "sim node " + std::to_string(node),
+                                  "core " + std::to_string(core), "virtual");
+    }
+#else
+    (void)machine;
+    (void)nranks;
+    (void)want;
+#endif
+  }
+
+  [[nodiscard]] bool on() const { return !buffers_.empty(); }
+
+  /// "X" span on rank r's track: [t0, t0 + dur], seconds of virtual time.
+  void complete(std::size_t r, const char* name, double t0, double dur,
+                const char* k0 = nullptr, std::uint64_t v0 = 0) {
+    if (!on() || buffers_[r] == nullptr) return;
+    obs::TraceEvent e;
+    e.name = name;
+    e.phase = obs::TraceEvent::Phase::kComplete;
+    e.ts_ns = to_ns(t0);
+    e.dur_ns = to_ns(dur);
+    e.key0 = k0;
+    e.val0 = v0;
+    buffers_[r]->push(e);
+  }
+
+  void instant(std::size_t r, const char* name, double t, const char* k0 = nullptr,
+               std::uint64_t v0 = 0) {
+    if (!on() || buffers_[r] == nullptr) return;
+    obs::TraceEvent e;
+    e.name = name;
+    e.phase = obs::TraceEvent::Phase::kInstant;
+    e.ts_ns = to_ns(t);
+    e.key0 = k0;
+    e.val0 = v0;
+    buffers_[r]->push(e);
+  }
+
+  /// "b"/"e" async pair on rank r's track (rpc pulls).
+  void async_pair(std::size_t r, const char* name, std::uint64_t id, double t0, double t1) {
+    if (!on() || buffers_[r] == nullptr) return;
+    obs::TraceEvent e;
+    e.name = name;
+    e.phase = obs::TraceEvent::Phase::kAsyncBegin;
+    e.ts_ns = to_ns(t0);
+    e.id = id;
+    buffers_[r]->push(e);
+    e.phase = obs::TraceEvent::Phase::kAsyncEnd;
+    e.ts_ns = to_ns(t1);
+    buffers_[r]->push(e);
+  }
+
+ private:
+  static std::int64_t to_ns(double seconds) {
+    return static_cast<std::int64_t>(std::llround(seconds * 1e9));
+  }
+  std::vector<obs::TraceBuffer*> buffers_;
+};
 
 /// Approximate resident bytes of the task bookkeeping structures.
 /// BSP uses flat arrays (paper §4.6); async uses pointer-based std
@@ -121,6 +197,7 @@ SimResult simulate_bsp(const MachineParams& machine, const SimAssignment& assign
 
   SimResult result;
   result.ranks.resize(p);
+  SimTracer strace(machine, p, options.trace);
 
   // --- memory and the round count forced by the aggregation budget, via
   // the same proto arithmetic the real engine evaluates distributively ---
@@ -150,6 +227,13 @@ SimResult simulate_bsp(const MachineParams& machine, const SimAssignment& assign
   // --- request exchange (read-id lists): software setup dominates ---
   const double request_comm =
       machine.a2a_setup_per_peer * static_cast<double>(p);
+  if (strace.on()) {
+    for (std::size_t r = 0; r < p; ++r) {
+      strace.complete(r, obs::span::kBspIndex, 0.0, 0.0);
+      strace.complete(r, obs::span::kBspRequestExchange, 0.0, request_comm);
+      strace.complete(r, obs::span::kCollAlltoallv, 0.0, request_comm);
+    }
+  }
 
   // --- exchange-compute supersteps ---
   // Straggler-perturbed timelines: one straggle opportunity per rank per
@@ -177,10 +261,12 @@ SimResult simulate_bsp(const MachineParams& machine, const SimAssignment& assign
 
   std::vector<double> compute_acc(p, 0), overhead_acc(p, 0), comm_acc(p, 0), sync_acc(p, 0);
   std::vector<double> recovery_acc(p, 0), reexec_tasks(p, 0);
+  std::vector<double> local_split(p, 0);  // round-0 local-local share, for the trace
   std::vector<std::uint64_t> crashes_seen(p, 0);
   double runtime = request_comm;
 
   for (std::uint64_t round = 0; round < rounds; ++round) {
+    const double round_start = runtime;
     // MPI_Alltoallv is collective: no rank's call returns before the
     // slowest rank's data has moved, so the *maximum* per-rank wire time
     // is what every rank observes as communication. Exchange-load
@@ -213,23 +299,33 @@ SimResult simulate_bsp(const MachineParams& machine, const SimAssignment& assign
 
     double busy_max = 0;
     std::vector<double> busy(p, 0);
+    std::vector<double> busy_base(p, 0);  // pre-recovery busy, for the trace
     for (std::size_t r : survivors) {
       const RankWork& work = assignment.ranks[r];
       double compute = options.skip_compute ? 0.0 : remote_cells[r] / k / cps;
       double overhead = remote_tasks[r] / k * ovh;
       if (round == 0) {  // local-local tasks run before the first exchange
-        compute += options.skip_compute ? 0.0 : static_cast<double>(work.local_cells) / cps;
-        overhead += static_cast<double>(work.local_tasks) * ovh;
+        const double local_compute =
+            options.skip_compute ? 0.0 : static_cast<double>(work.local_cells) / cps;
+        const double local_overhead = static_cast<double>(work.local_tasks) * ovh;
+        compute += local_compute;
+        overhead += local_overhead;
+        local_split[r] = local_compute + local_overhead;
       }
       const double m = noise_multiplier(options, r);
       compute *= m;
       overhead *= m;
+      if (round == 0) local_split[r] *= m;
       compute_acc[r] += compute;
       overhead_acc[r] += overhead;
       comm_acc[r] += round_comm;
       const double pause = straggle_pause(chaos, r, round);
       sync_acc[r] += pause;
       busy[r] = compute + overhead + pause;
+      busy_base[r] = busy[r];
+      if (pause > 0)
+        strace.instant(r, obs::span::kFaultStraggle, round_start + round_comm, "us",
+                       static_cast<std::uint64_t>(std::llround(pause * 1e6)));
     }
 
     // Crash recovery: survivors detect the deaths at this superstep's
@@ -257,9 +353,14 @@ SimResult simulate_bsp(const MachineParams& machine, const SimAssignment& assign
         compute_acc[r] += extra_compute;
         overhead_acc[r] += extra_overhead;
         comm_acc[r] += extra_comm;
-        recovery_acc[r] += extra_compute + extra_overhead + extra_comm;
+        const double recovery_time = extra_compute + extra_overhead + extra_comm;
+        recovery_acc[r] += recovery_time;
         reexec_tasks[r] += lost_tasks / s;
         crashes_seen[r] += deaths.size();
+        strace.complete(r, obs::span::kRecovery, round_start + round_comm + busy[r],
+                        recovery_time);
+        strace.instant(r, obs::span::kRecoveryReexec, round_start + round_comm + busy[r],
+                       "tasks", static_cast<std::uint64_t>(std::llround(lost_tasks / s)));
         busy[r] += extra_compute + extra_overhead;
       }
       runtime += extra_comm;
@@ -268,6 +369,32 @@ SimResult simulate_bsp(const MachineParams& machine, const SimAssignment& assign
     for (std::size_t r : survivors) busy_max = std::max(busy_max, busy[r]);
     for (std::size_t r : survivors) sync_acc[r] += busy_max - busy[r];
     runtime += round_comm + busy_max;
+
+    if (strace.on()) {
+      for (std::size_t d : deaths)
+        strace.instant(d, obs::span::kFaultCrash, round_start, "step", crash_round[d]);
+      for (std::size_t r : survivors) {
+        strace.complete(r, obs::span::kBspRound, round_start, runtime - round_start, "round",
+                        round);
+        strace.complete(r, obs::span::kCollAlltoallv, round_start, round_comm);
+        const double c0 = round_start + round_comm;
+        if (round == 0) {
+          strace.complete(r, obs::span::kBspLocalTasks, c0, local_split[r]);
+          strace.complete(r, obs::span::kBspCompute, c0 + local_split[r],
+                          busy_base[r] - local_split[r]);
+        } else {
+          strace.complete(r, obs::span::kBspCompute, c0, busy_base[r]);
+        }
+      }
+    }
+  }
+
+  if (strace.on()) {
+    for (std::size_t r = 0; r < p; ++r) {
+      strace.complete(r, obs::span::kCollBarrier, runtime, 0.0);
+      strace.complete(r, obs::span::kBspAlign, 0.0, runtime, "tasks",
+                      assignment.ranks[r].total_tasks());
+    }
   }
 
   for (std::size_t r = 0; r < p; ++r) {
@@ -313,6 +440,7 @@ SimResult simulate_async(const MachineParams& machine, const SimAssignment& assi
   SimResult result;
   result.ranks.resize(p);
   result.rounds = 1;
+  SimTracer strace(machine, p, options.trace);
 
   // Message and byte accounting from the shared exchange plan: identical
   // dedup-pull sets and per-owner batching to the real async engine.
@@ -480,6 +608,53 @@ SimResult simulate_async(const MachineParams& machine, const SimAssignment& assi
     result.ranks[r].sync = phase - total[r] + stall[r];
   }
   result.runtime = phase;
+
+  // Virtual timeline per rank, mirroring the real async engine's span
+  // taxonomy: entry split-barrier, local-local tasks, the windowed pull
+  // stream, then the exit/service barrier absorbing end-time imbalance.
+  if (strace.on()) {
+    for (std::size_t r = 0; r < p; ++r) {
+      const RankWork& work = assignment.ranks[r];
+      const stat::Breakdown& t = result.ranks[r];
+      const double entry_stall = dead[r] ? 0.0 : straggle_pause(chaos, r, 0);
+      const double busy_end = entry_stall + t.compute + t.overhead + t.comm;
+      strace.complete(r, obs::span::kAsyncIndex, 0.0, 0.0);
+      strace.complete(r, obs::span::kCollSplitBarrier, 0.0, entry_stall);
+      if (stall[r] > 0)
+        strace.instant(r, obs::span::kFaultStraggle, 0.0, "us",
+                       static_cast<std::uint64_t>(std::llround(stall[r] * 1e6)));
+      const double structure_factor =
+          1.0 + 0.18 * std::log2(1.0 + static_cast<double>(work.total_tasks()) / 256.0);
+      double local_busy = static_cast<double>(work.local_tasks) * ovh * structure_factor;
+      if (!options.skip_compute) local_busy += static_cast<double>(work.local_cells) / cps;
+      local_busy = std::clamp(local_busy, 0.0, std::max(0.0, busy_end - entry_stall));
+      strace.complete(r, obs::span::kAsyncLocalTasks, entry_stall, local_busy);
+      const double pulls_start = entry_stall + local_busy;
+      strace.complete(r, obs::span::kAsyncPulls, pulls_start,
+                      std::max(0.0, busy_end - pulls_start), "batches",
+                      static_cast<std::uint64_t>(std::llround(
+                          static_cast<double>(work.pulls.size()) / batch_div)));
+      if (!work.pulls.empty())
+        strace.async_pair(r, obs::span::kRpcPull, r, pulls_start, busy_end);
+      if (dead[r]) {
+        strace.instant(r, obs::span::kFaultCrash, busy_end, "step",
+                       chaos->crash_step(static_cast<std::uint32_t>(r)).value_or(0));
+        strace.complete(r, obs::span::kAsyncAlign, 0.0, busy_end, "tasks",
+                        work.total_tasks());
+        continue;
+      }
+      if (t.faults.recovery_seconds > 0) {
+        strace.complete(r, obs::span::kRecovery, busy_end - t.faults.recovery_seconds,
+                        t.faults.recovery_seconds);
+        strace.instant(r, obs::span::kRecoveryReexec, busy_end - t.faults.recovery_seconds,
+                       "tasks", t.faults.tasks_reexecuted);
+      }
+      const double exit_sync = std::max(0.0, phase - busy_end);
+      strace.complete(r, obs::span::kCollServiceBarrier, busy_end, exit_sync);
+      strace.complete(r, obs::span::kCollSplitBarrier, busy_end, exit_sync);
+      strace.complete(r, obs::span::kAsyncAlign, 0.0, phase, "tasks", work.total_tasks());
+    }
+  }
   return result;
 }
 

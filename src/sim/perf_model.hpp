@@ -70,6 +70,11 @@ struct SimOptions {
   /// async). Degradation under faults is thereby both executed (rt) and
   /// simulated (here) from one replayable seed. Disabled by default.
   rt::FaultPlan faults;
+  /// Emit the engines' span taxonomy (obs/spans.hpp) into the process
+  /// Tracer at *virtual* timestamps — one "sim node N" process per node,
+  /// one "core C" track per rank — so a simulated run opens side-by-side
+  /// with a real one in Perfetto. Requires obs::Tracer to be enabled.
+  bool trace = false;
 };
 
 /// Per-rank virtual timelines land in the backend-shared breakdown record

@@ -1,11 +1,37 @@
 #include "stat/breakdown.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <string>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "util/stats.hpp"
 
 namespace gnb::stat {
+
+std::span<const FaultCounters::Field> FaultCounters::fields() {
+  static constexpr Field kFields[] = {
+      {"retries", "retries", 1.0, true, &FaultCounters::retries},
+      {"timeouts", "timeouts", 1.0, true, &FaultCounters::timeouts},
+      {"duplicates", "duplicates", 1.0, true, &FaultCounters::duplicates},
+      {"checksum_failures", "checksum_fail", 1.0, true, &FaultCounters::checksum_failures},
+      {"crashes", "crashes", 1.0, true, &FaultCounters::crashes},
+      {"rpc_failures", "rpc_fail", 1.0, true, &FaultCounters::rpc_failures},
+      {"retry_exhausted", nullptr, 1.0, true, &FaultCounters::retry_exhausted},
+      {"tasks_reexecuted", "reexec", 1.0, true, &FaultCounters::tasks_reexecuted},
+      {"checkpoint_bytes", "ckpt_kb", 1e-3, false, &FaultCounters::checkpoint_bytes},
+  };
+  return kFields;
+}
+
+void export_metrics(const FaultCounters& faults, obs::MetricsRegistry& registry) {
+  for (const FaultCounters::Field& f : FaultCounters::fields()) {
+    registry.add(std::string("fault.") + f.name, faults.*f.member);
+  }
+  registry.add("fault.recovery_us",
+               static_cast<std::uint64_t>(std::llround(faults.recovery_seconds * 1e6)));
+}
 
 Summary summarize(std::span<const Breakdown> ranks, double runtime) {
   Summary summary;
@@ -52,21 +78,22 @@ void add_breakdown_row(Table& table, std::vector<Table::Cell> labels, const Summ
 }
 
 std::vector<std::string> fault_headers(std::vector<std::string> labels) {
-  for (const char* column : {"retries", "timeouts", "duplicates", "checksum_fail", "crashes",
-                             "rpc_fail", "reexec", "ckpt_kb", "recovery_s"})
-    labels.emplace_back(column);
+  for (const FaultCounters::Field& f : FaultCounters::fields()) {
+    if (f.column != nullptr) labels.emplace_back(f.column);
+  }
+  labels.emplace_back("recovery_s");
   return labels;
 }
 
 void add_fault_row(Table& table, std::vector<Table::Cell> labels, const Summary& summary) {
-  labels.emplace_back(summary.faults.retries);
-  labels.emplace_back(summary.faults.timeouts);
-  labels.emplace_back(summary.faults.duplicates);
-  labels.emplace_back(summary.faults.checksum_failures);
-  labels.emplace_back(summary.faults.crashes);
-  labels.emplace_back(summary.faults.rpc_failures);
-  labels.emplace_back(summary.faults.tasks_reexecuted);
-  labels.emplace_back(static_cast<double>(summary.faults.checkpoint_bytes) / 1e3);
+  for (const FaultCounters::Field& f : FaultCounters::fields()) {
+    if (f.column == nullptr) continue;
+    if (f.column_scale == 1.0) {
+      labels.emplace_back(summary.faults.*f.member);
+    } else {
+      labels.emplace_back(static_cast<double>(summary.faults.*f.member) * f.column_scale);
+    }
+  }
   labels.emplace_back(summary.faults.recovery_seconds);
   table.add_row(std::move(labels));
 }

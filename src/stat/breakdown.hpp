@@ -14,6 +14,10 @@
 
 #include "util/table.hpp"
 
+namespace gnb::obs {
+class MetricsRegistry;
+}
+
 namespace gnb::stat {
 
 /// Robustness counters, filled per rank by the runtime and the engines
@@ -34,24 +38,38 @@ struct FaultCounters {
   std::uint64_t checkpoint_bytes = 0;   // bytes written to stable storage (manifests + logs)
   double recovery_seconds = 0;          // wall time spent inside the recovery protocol
 
+  /// The single source of truth for the integer counters: metric name,
+  /// optional table column (nullptr = not printed, e.g. retry_exhausted),
+  /// column scale factor, whether the counter indicates fault activity
+  /// (any()), and the member it describes. merge(), any(), the fault
+  /// tables, and the obs metrics export all iterate this array — a counter
+  /// added here shows up everywhere at once.
+  struct Field {
+    const char* name;          // metrics-registry name ("fault." prefix added on export)
+    const char* column;        // fault-table header, nullptr to omit
+    double column_scale;       // table prints value * scale (e.g. bytes -> KB)
+    bool in_any;               // counts as "faults happened" for any()
+    std::uint64_t FaultCounters::*member;
+  };
+  [[nodiscard]] static std::span<const Field> fields();
+
   void merge(const FaultCounters& other) {
-    retries += other.retries;
-    timeouts += other.timeouts;
-    duplicates += other.duplicates;
-    checksum_failures += other.checksum_failures;
-    crashes += other.crashes;
-    rpc_failures += other.rpc_failures;
-    retry_exhausted += other.retry_exhausted;
-    tasks_reexecuted += other.tasks_reexecuted;
-    checkpoint_bytes += other.checkpoint_bytes;
+    for (const Field& f : fields()) this->*f.member += other.*f.member;
     recovery_seconds += other.recovery_seconds;
   }
 
   [[nodiscard]] bool any() const {
-    return retries || timeouts || duplicates || checksum_failures || crashes ||
-           rpc_failures || retry_exhausted || tasks_reexecuted;
+    for (const Field& f : fields()) {
+      if (f.in_any && this->*f.member != 0) return true;
+    }
+    return false;
   }
 };
+
+/// Export every fault counter into a metrics registry under "fault.<name>"
+/// (recovery_seconds becomes the integer counter "fault.recovery_us"), so
+/// `gnbody --metrics` and the fault tables can never disagree on names.
+void export_metrics(const FaultCounters& faults, obs::MetricsRegistry& registry);
 
 /// One rank's phase breakdown (seconds) and peak memory (bytes).
 struct Breakdown {

@@ -333,6 +333,71 @@ TEST(Timer, StopwatchAccumulates) {
   EXPECT_DOUBLE_EQ(sw.total(), 0.0);
 }
 
+TEST(Timer, StopwatchStartStopCharges) {
+  Stopwatch sw;
+  EXPECT_FALSE(sw.running());
+  sw.start();
+  EXPECT_TRUE(sw.running());
+  volatile double x = 1;
+  for (int i = 0; i < 100'000; ++i) x = x * 1.0000001;
+  sw.stop();
+  EXPECT_FALSE(sw.running());
+  EXPECT_GT(sw.total(), 0.0);
+}
+
+TEST(Timer, StopwatchPauseSuspendsCharging) {
+  Stopwatch sw;
+  sw.start();
+  sw.pause();
+  EXPECT_TRUE(sw.paused());
+  const double at_pause = sw.total();
+  // Anything elapsed while paused must not be charged.
+  volatile double x = 1;
+  for (int i = 0; i < 500'000; ++i) x = x * 1.0000001;
+  sw.resume();
+  EXPECT_FALSE(sw.paused());
+  sw.stop();
+  EXPECT_GE(sw.total(), at_pause);
+  // Pause/resume outside a running interval are no-ops.
+  Stopwatch idle;
+  idle.pause();
+  idle.resume();
+  EXPECT_FALSE(idle.running());
+  EXPECT_DOUBLE_EQ(idle.total(), 0.0);
+}
+
+TEST(Timer, StopwatchStopWhilePausedKeepsPausedCharge) {
+  Stopwatch sw;
+  sw.start();
+  sw.pause();
+  const double charged = sw.total();
+  sw.stop();  // stop during pause: the paused tail is not charged
+  EXPECT_DOUBLE_EQ(sw.total(), charged);
+  EXPECT_FALSE(sw.running());
+}
+
+TEST(Timer, ScopedPauseRestoresCharging) {
+  Stopwatch sw;
+  sw.start();
+  {
+    ScopedPause pause(sw);
+    EXPECT_TRUE(sw.paused());
+  }
+  EXPECT_FALSE(sw.paused());
+  EXPECT_TRUE(sw.running());
+  sw.stop();
+}
+
+TEST(Timer, ScopedChargeAddsElapsed) {
+  Stopwatch sw;
+  {
+    ScopedCharge charge(sw);
+    volatile double x = 1;
+    for (int i = 0; i < 100'000; ++i) x = x * 1.0000001;
+  }
+  EXPECT_GT(sw.total(), 0.0);
+}
+
 TEST(Timer, ThreadCpuAdvancesUnderWork) {
   const double t0 = thread_cpu_seconds();
   volatile double x = 1;

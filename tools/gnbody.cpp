@@ -11,27 +11,45 @@
 //
 // The paper's stated goal: "the code can be used for many-to-many long
 // read alignment with general inputs" — this binary is that entry point.
+//
+//   gnbody sim       --dataset human-ccs --nodes 64 --engine bsp
+//       cost-model simulation of one engine phase at cluster scale
+//
+// `overlap` and `sim` both take --trace out.json / --metrics out.json:
+// the same span taxonomy lands in the same Perfetto JSON, stamped with the
+// monotonic clock (real run) or the model's virtual clock (sim run).
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <tuple>
 
 #include "align/paf.hpp"
-#include "correct/consensus.hpp"
-#include "graph/gfa.hpp"
 #include "core/async.hpp"
 #include "core/bsp.hpp"
+#include "core/calibrate.hpp"
+#include "correct/consensus.hpp"
 #include "graph/assembler.hpp"
+#include "graph/gfa.hpp"
 #include "graph/overlap_graph.hpp"
 #include "kmer/bella_filter.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/spans.hpp"
+#include "obs/trace.hpp"
 #include "pipeline/pipeline.hpp"
 #include "rt/world.hpp"
 #include "seq/fasta.hpp"
+#include "sim/assignment.hpp"
+#include "sim/machine.hpp"
+#include "sim/perf_model.hpp"
+#include "sim/report.hpp"
 #include "stat/breakdown.hpp"
 #include "util/cli.hpp"
 #include "util/log.hpp"
 #include "wl/genome.hpp"
+#include "wl/presets.hpp"
 #include "wl/sampler.hpp"
 
 using namespace gnb;
@@ -59,6 +77,9 @@ struct OverlapRun {
   /// Measured phase breakdown + protocol counters, reduced through the same
   /// stat sink the simulator reports use.
   stat::Summary summary;
+  /// Phase-boundary metrics snapshots for --metrics (obs/metrics.hpp).
+  obs::MetricsRegistry pipeline_metrics;
+  obs::MetricsRegistry align_metrics;
 };
 
 OverlapRun run_overlap(const seq::ReadStore& reads, std::size_t ranks, std::uint32_t k,
@@ -75,13 +96,17 @@ OverlapRun run_overlap(const seq::ReadStore& reads, std::size_t ranks, std::uint
   const pipeline::TaskSet tasks = pipeline::run_serial(reads, config, ranks);
   log::info("discovered ", tasks.total_tasks(), " alignment tasks");
 
+  OverlapRun run;
+  run.pipeline_metrics.add(obs::metric::kPipelineReads, reads.size());
+  run.pipeline_metrics.add(obs::metric::kPipelineBases, reads.total_bases());
+  run.pipeline_metrics.add(obs::metric::kPipelineTasks, tasks.total_tasks());
+
   core::EngineConfig engine;
   engine.filter = align::AlignmentFilter{min_score, min_overlap};
   const bool async_mode = engine_name == "async";
   GNB_THROW_IF(!async_mode && engine_name != "bsp",
                "unknown engine '" << engine_name << "' (use bsp or async)");
 
-  OverlapRun run;
   rt::World world(ranks);
   if (faults.enabled()) {
     world.set_faults(faults);
@@ -96,6 +121,7 @@ OverlapRun run_overlap(const seq::ReadStore& reads, std::size_t ranks, std::uint
                                      engine);
   });
   run.summary = stat::summarize(world.breakdowns());
+  run.align_metrics.merge(world.metrics());
   for (auto& part : per_rank) {
     run.summary.rounds = std::max(run.summary.rounds, part.rounds);
     run.summary.messages += part.messages;
@@ -154,6 +180,9 @@ int cmd_overlap(int argc, char** argv) {
   auto min_score = cli.opt<std::int64_t>("min-score", 50, "minimum alignment score");
   auto min_overlap = cli.opt<std::uint64_t>("min-overlap", 100, "minimum overlap length");
   auto breakdown = cli.flag("breakdown", "print the measured phase breakdown table");
+  auto trace = cli.opt<std::string>(
+      "trace", "", "write a Perfetto/Chrome trace-event JSON (monotonic clock)");
+  auto metrics = cli.opt<std::string>("metrics", "", "write a metrics-snapshot JSON");
   auto faults = cli.opt<std::string>(
       "faults", "",
       "fault spec: a bare seed, or seed=..,delay=P:T,dup=P,reorder=P,straggle=P:U"
@@ -163,11 +192,46 @@ int cmd_overlap(int argc, char** argv) {
   rt::FaultPlan plan;
   if (!faults->empty()) plan = rt::FaultPlan::parse(*faults);
 
+  // Open the recording epoch before the pipeline runs and bind a driver
+  // track (pid = nranks, after the rank pids) so the serial stage spans
+  // land on their own Perfetto row next to the rank timelines.
+  if (!trace->empty()) {
+    obs::Tracer& tracer = obs::Tracer::instance();
+    tracer.enable();
+    obs::Tracer::bind(
+        tracer.buffer(static_cast<std::uint32_t>(*ranks), 0, "driver", "main"));
+  }
+
   const seq::ReadStore reads = load_fasta(*in);
   log::info("loaded ", reads.size(), " reads (", reads.total_bases(), " bases)");
   const auto run = run_overlap(reads, *ranks, static_cast<std::uint32_t>(*k), *coverage,
                                *error, *engine, static_cast<std::int32_t>(*min_score),
                                static_cast<std::uint32_t>(*min_overlap), plan);
+
+  if (!trace->empty()) {
+    obs::Tracer::bind(nullptr);
+    std::ofstream file(*trace);
+    GNB_THROW_IF(!file, "cannot open output: " << *trace);
+    obs::Tracer::instance().write_json(file);
+    obs::Tracer::instance().disable();
+    log::info("wrote trace to ", *trace);
+  }
+  if (!metrics->empty()) {
+    std::ostringstream info;
+    info << "{\"command\":\"overlap\",\"engine\":";
+    obs::json::write_string(info, *engine);
+    info << ",\"input\":";
+    obs::json::write_string(info, *in);
+    info << ",\"ranks\":" << *ranks << ",\"k\":" << *k << ",\"reads\":" << reads.size()
+         << ",\"clock\":\"monotonic\"}";
+    const obs::MetricsPhase phases[] = {{"pipeline", &run.pipeline_metrics},
+                                        {"align", &run.align_metrics}};
+    std::ofstream file(*metrics);
+    GNB_THROW_IF(!file, "cannot open output: " << *metrics);
+    obs::write_metrics_json(file, info.str(), phases);
+    log::info("wrote metrics to ", *metrics);
+  }
+
   if (*breakdown) {
     Table table(stat::breakdown_headers({"engine"}));
     stat::add_breakdown_row(table, {*engine}, run.summary);
@@ -265,10 +329,97 @@ int cmd_correct(int argc, char** argv) {
   return 0;
 }
 
+wl::DatasetSpec spec_by_name(const std::string& name) {
+  if (name == "tiny") return wl::tiny_spec();
+  if (name == "ecoli30x") return wl::ecoli30x_spec();
+  if (name == "ecoli100x") return wl::ecoli100x_spec();
+  GNB_THROW_IF(name != "human-ccs",
+               "unknown dataset '" << name << "' (tiny | ecoli30x | ecoli100x | human-ccs)");
+  return wl::human_ccs_spec();
+}
+
+int cmd_sim(int argc, char** argv) {
+  Cli cli("gnbody sim", "Cost-model simulation of one engine phase at cluster scale");
+  auto dataset =
+      cli.opt<std::string>("dataset", "tiny", "tiny | ecoli30x | ecoli100x | human-ccs");
+  auto nodes = cli.opt<std::uint64_t>("nodes", 64, "simulated node count");
+  auto engine = cli.opt<std::string>("engine", "bsp", "engine: bsp | async");
+  auto scale = cli.opt<double>("scale", 20, "model workload at 1/scale of the paper's counts");
+  auto seed = cli.opt<std::uint64_t>("seed", 42, "workload + calibration seed");
+  auto trace = cli.opt<std::string>("trace", "",
+                                    "write a Perfetto/Chrome trace-event JSON (virtual clock)");
+  auto metrics = cli.opt<std::string>("metrics", "", "write a metrics-snapshot JSON");
+  auto faults = cli.opt<std::string>("faults", "", "fault spec (same syntax as overlap)");
+  cli.parse(argc, argv);
+
+  const wl::DatasetSpec spec = spec_by_name(*dataset);
+  const wl::SimWorkload workload = wl::model_workload(spec, *scale, *seed);
+  sim::MachineParams machine = sim::cori_knl(*nodes);
+  sim::scale_slice(machine, *scale);
+  const sim::SimAssignment assignment = sim::assign(workload, machine.total_ranks());
+  log::info(spec.name, ": ", workload.read_lengths.size(), " model reads, ",
+            workload.tasks.size(), " tasks on ", machine.total_ranks(), " virtual ranks (",
+            *nodes, " nodes)");
+
+  sim::SimOptions options;
+  options.calibration = core::calibrate_cost_model(*seed);
+  if (!faults->empty()) options.faults = rt::FaultPlan::parse(*faults);
+  const bool async_mode = *engine == "async";
+  GNB_THROW_IF(!async_mode && *engine != "bsp",
+               "unknown engine '" << *engine << "' (use bsp or async)");
+  if (!trace->empty()) {
+    obs::Tracer::instance().enable();
+    options.trace = true;
+  }
+
+  const sim::SimResult result = async_mode ? sim::simulate_async(machine, assignment, options)
+                                           : sim::simulate_bsp(machine, assignment, options);
+  const stat::Summary summary = sim::reduce(result);
+  Table table(stat::breakdown_headers({"nodes", "engine"}));
+  stat::add_breakdown_row(table, {std::to_string(*nodes), *engine}, summary);
+  table.print("simulated phase breakdown (virtual clock)");
+  if (summary.faults.any()) {
+    Table fault_table(stat::fault_headers({"engine"}));
+    stat::add_fault_row(fault_table, {*engine}, summary);
+    fault_table.print("simulated fault counters");
+  }
+
+  if (!trace->empty()) {
+    std::ofstream file(*trace);
+    GNB_THROW_IF(!file, "cannot open output: " << *trace);
+    obs::Tracer::instance().write_json(file);
+    obs::Tracer::instance().disable();
+    log::info("wrote virtual-clock trace to ", *trace);
+  }
+  if (!metrics->empty()) {
+    obs::MetricsRegistry registry;
+    registry.add(obs::metric::kExchangeBytes, summary.exchange_bytes);
+    registry.add(obs::metric::kExchangeMessages, summary.messages);
+    registry.gauge_max(obs::metric::kExchangeRounds, summary.rounds);
+    registry.add(obs::metric::kAlignTasks, workload.tasks.size());
+    registry.gauge_max(obs::metric::kMemPeakBytes, summary.peak_memory_max);
+    stat::export_metrics(summary.faults, registry);
+    std::ostringstream info;
+    info << "{\"command\":\"sim\",\"dataset\":";
+    obs::json::write_string(info, spec.name);
+    info << ",\"engine\":";
+    obs::json::write_string(info, *engine);
+    info << ",\"nodes\":" << *nodes << ",\"ranks\":" << machine.total_ranks()
+         << ",\"scale\":" << obs::json::number(*scale) << ",\"seed\":" << *seed
+         << ",\"clock\":\"virtual\"}";
+    const obs::MetricsPhase phases[] = {{"align", &registry}};
+    std::ofstream file(*metrics);
+    GNB_THROW_IF(!file, "cannot open output: " << *metrics);
+    obs::write_metrics_json(file, info.str(), phases);
+    log::info("wrote metrics to ", *metrics);
+  }
+  return 0;
+}
+
 void usage() {
   std::fputs(
       "gnbody — many-to-many long-read alignment toolkit\n"
-      "usage: gnbody <simulate|overlap|assemble|correct> [options]\n"
+      "usage: gnbody <simulate|overlap|assemble|correct|sim> [options]\n"
       "       gnbody <command> --help for command options\n",
       stderr);
 }
@@ -286,6 +437,7 @@ int main(int argc, char** argv) {
     if (command == "overlap") return cmd_overlap(argc - 1, argv + 1);
     if (command == "assemble") return cmd_assemble(argc - 1, argv + 1);
     if (command == "correct") return cmd_correct(argc - 1, argv + 1);
+    if (command == "sim") return cmd_sim(argc - 1, argv + 1);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "gnbody %s: %s\n", command.c_str(), e.what());
     return 1;
