@@ -7,16 +7,23 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
 
 #include "align/affine.hpp"
 #include "align/cigar.hpp"
 #include "align/exact.hpp"
 #include "align/xdrop.hpp"
+#include "core/bsp.hpp"
 #include "kmer/counter.hpp"
 #include "kmer/minimizer.hpp"
+#include "pipeline/pipeline.hpp"
+#include "rt/world.hpp"
 #include "seq/read_store.hpp"
 #include "util/rng.hpp"
 #include "wl/genome.hpp"
+#include "wl/presets.hpp"
 #include "wl/sampler.hpp"
 
 using namespace gnb;
@@ -208,6 +215,141 @@ void BM_ReadSerializeRoundtrip(benchmark::State& state) {
 }
 BENCHMARK(BM_ReadSerializeRoundtrip);
 
+// --- read cache + alignment pool: whole-task throughput --------------------
+//
+// The microbenchmarks above time isolated kernels; this case times the full
+// per-task path through core::TaskRunner (decode -> cache -> pool -> merge)
+// on an E. coli preset with many tasks per read, and records the cache's
+// effect on tasks/s. The X-drop threshold is tightened so the extension
+// terminates quickly and the row isolates the decode/dispatch costs the
+// cache and pool exist to amortize — the kernel itself is already costed by
+// BM_XdropTrueOverlap.
+
+struct CachePoolCase {
+  std::size_t threads = 1;
+  std::uint64_t cache_bytes = 0;
+  std::uint64_t tasks = 0;
+  double seconds = 0;
+  double tasks_per_s = 0;
+  double hit_rate = 0;
+};
+
+struct CachePoolWorkload {
+  wl::SampledDataset dataset;
+  pipeline::TaskSet tasks;
+};
+
+CachePoolWorkload make_cache_pool_workload() {
+  wl::DatasetSpec spec = wl::ecoli30x_spec();
+  spec.genome.length = 20'000;  // quick single-rank slice of the preset
+  // Long reads put the decode cost (proportional to read length) in charge;
+  // each read still participates in many candidate pairs at 30x.
+  spec.reads.mean_length = 6'000;
+  spec.reads.min_length = 1'500;
+  CachePoolWorkload w;
+  w.dataset = wl::synthesize(spec, 7);
+  pipeline::PipelineConfig config;
+  config.k = spec.k;
+  config.lo = 2;
+  config.hi = 8;
+  w.tasks = pipeline::run_serial(w.dataset.reads, config, /*ranks=*/1);
+  return w;
+}
+
+CachePoolCase run_cache_pool_case(const CachePoolWorkload& w, std::size_t threads,
+                                  std::uint64_t cache_bytes) {
+  core::EngineConfig config;
+  // Terminate extensions almost immediately (negative expected slope at the
+  // dataset's error rate + a tiny drop threshold): the DP never chases the
+  // overlap, so the per-task cost is decode + dispatch, the thing this row
+  // isolates.
+  config.xdrop.x = 5;
+  config.xdrop.scoring.mismatch = -9;
+  config.xdrop.scoring.gap = -9;  // no cheap-gap detour around the penalty
+  config.proto.compute_threads = threads;
+  config.proto.read_cache_bytes = cache_bytes;
+  CachePoolCase result;
+  result.threads = threads;
+  result.cache_bytes = cache_bytes;
+  // Best of three runs: the case is short, so take the least-perturbed one.
+  for (int rep = 0; rep < 3; ++rep) {
+    rt::World world(1);
+    core::EngineResult engine_result;
+    const auto start = std::chrono::steady_clock::now();
+    world.run([&](rt::Rank& rank) {
+      engine_result = core::bsp_align(rank, w.dataset.reads, w.tasks.bounds,
+                                      w.tasks.per_rank[0], config);
+    });
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    if (rep == 0 || elapsed.count() < result.seconds) {
+      result.tasks = engine_result.tasks_done;
+      result.seconds = elapsed.count();
+      result.hit_rate = engine_result.compute.hit_rate();
+    }
+  }
+  result.tasks_per_s =
+      result.seconds > 0 ? static_cast<double>(result.tasks) / result.seconds : 0;
+  return result;
+}
+
+void append_cache_pool_row(std::string& json, const char* label,
+                           const CachePoolCase& c, bool trailing_comma) {
+  char buffer[512];
+  std::snprintf(buffer, sizeof(buffer),
+                "    {\"labels\":{\"case\":\"%s\"},\"threads\":%zu,"
+                "\"cache_bytes\":%llu,\"tasks\":%llu,\"seconds\":%.6f,"
+                "\"tasks_per_s\":%.1f,\"cache_hit_rate\":%.4f}%s\n",
+                label, c.threads, static_cast<unsigned long long>(c.cache_bytes),
+                static_cast<unsigned long long>(c.tasks), c.seconds, c.tasks_per_s,
+                c.hit_rate, trailing_comma ? "," : "");
+  json += buffer;
+}
+
+/// Run the cache/pool case pair and write the `BENCH_kernels.json` row the
+/// perf trajectory tracks: serial with a starved cache (every lookup
+/// re-decodes, the pre-cache behavior) vs the pooled cached configuration.
+void write_cache_pool_report() {
+  const CachePoolWorkload w = make_cache_pool_workload();
+  // cache_bytes=1 starves the cache: every entry is evicted as soon as the
+  // next lookup arrives, so each task re-decodes both reads (old behavior).
+  const CachePoolCase serial = run_cache_pool_case(w, /*threads=*/1, /*cache_bytes=*/1);
+  const CachePoolCase pooled = run_cache_pool_case(w, /*threads=*/4, /*cache_bytes=*/0);
+  const double speedup =
+      serial.tasks_per_s > 0 ? pooled.tasks_per_s / serial.tasks_per_s : 0;
+
+  std::string json;
+  json += "{\n  \"bench\":\"kernels\",\n";
+  char config_line[256];
+  std::snprintf(config_line, sizeof(config_line),
+                "  \"config\":{\"dataset\":\"ecoli30x\",\"genome_length\":20000,"
+                "\"reads\":%zu,\"tasks\":%llu},\n",
+                w.dataset.reads.size(),
+                static_cast<unsigned long long>(serial.tasks));
+  json += config_line;
+  json += "  \"rows\":[\n";
+  append_cache_pool_row(json, "align_tasks_serial_uncached", serial, true);
+  append_cache_pool_row(json, "align_tasks_pool4_cached", pooled, false);
+  json += "  ],\n";
+  char tail[128];
+  std::snprintf(tail, sizeof(tail), "  \"pool_cache_speedup\":%.2f\n}\n", speedup);
+  json += tail;
+
+  std::ofstream out("BENCH_kernels.json");
+  out << json;
+  std::printf(
+      "cache/pool: serial-uncached %.0f tasks/s, pool4-cached %.0f tasks/s "
+      "(%.2fx, hit rate %.1f%%) -> BENCH_kernels.json\n",
+      serial.tasks_per_s, pooled.tasks_per_s, speedup, pooled.hit_rate * 100);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  write_cache_pool_report();
+  return 0;
+}

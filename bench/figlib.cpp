@@ -7,6 +7,7 @@
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/spans.hpp"
+#include "proto/config.hpp"
 #include "sim/assignment.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
@@ -20,6 +21,7 @@ FigureContext make_context(const wl::DatasetSpec& spec, double scale, std::uint6
   context.seed = seed;
   context.workload = wl::model_workload(spec, scale, seed);
   context.calibration = core::calibrate_cost_model(seed);
+  context.compute_threads = proto::compute_threads_from_env(1);
   log::info(spec.name, ": model workload ", context.workload.read_lengths.size(), " reads, ",
             context.workload.tasks.size(), " tasks (1/", scale, " of paper), kernel ",
             context.calibration.cells_per_second / 1e6, " Mcells/s");
@@ -48,9 +50,11 @@ PairResult simulate_pair(const FigureContext& context, const sim::MachineParams&
                          const sim::SimOptions& options) {
   const sim::SimAssignment assignment =
       sim::assign(context.workload, machine.total_ranks());
+  sim::SimOptions opts = options;
+  if (opts.proto.compute_threads <= 1) opts.proto.compute_threads = context.compute_threads;
   PairResult pair;
-  pair.bsp = sim::reduce(sim::simulate_bsp(machine, assignment, options));
-  pair.async = sim::reduce(sim::simulate_async(machine, assignment, options));
+  pair.bsp = sim::reduce(sim::simulate_bsp(machine, assignment, opts));
+  pair.async = sim::reduce(sim::simulate_async(machine, assignment, opts));
   return pair;
 }
 
@@ -74,7 +78,8 @@ JsonReport::JsonReport(std::string name, const FigureContext& context)
          << ",\"tasks\":" << context.workload.tasks.size() << ",\"cells_per_second\":"
          << obs::json::number(context.calibration.cells_per_second)
          << ",\"overhead_per_task\":"
-         << obs::json::number(context.calibration.overhead_per_task) << "}";
+         << obs::json::number(context.calibration.overhead_per_task)
+         << ",\"compute_threads\":" << context.compute_threads << "}";
   config_json_ = config.str();
 }
 
@@ -116,6 +121,7 @@ void write_row(std::ostream& out, const JsonReport::Labels& labels,
   registry.gauge_max(obs::metric::kExchangeRounds, s.rounds);
   registry.gauge_max(obs::metric::kMemPeakBytes, s.peak_memory_max);
   stat::export_metrics(s.faults, registry);
+  stat::export_metrics(s.compute_layer, registry);
   registry.write_json(out);
   out << "}";
 }

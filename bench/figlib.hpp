@@ -29,6 +29,10 @@ struct FigureContext {
   core::CostCalibration calibration;
   double scale = 20;
   std::uint64_t seed = 42;
+  /// Modeled intra-rank alignment workers (proto::compute_threads);
+  /// make_context seeds it from GNB_COMPUTE_THREADS so a bench sweep can
+  /// flip the knob without per-binary flags.
+  std::size_t compute_threads = 1;
 };
 
 /// Build the context for a dataset: generate the model workload at

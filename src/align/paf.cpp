@@ -1,5 +1,6 @@
 #include "align/paf.hpp"
 
+#include <algorithm>
 #include <ostream>
 #include <sstream>
 
@@ -7,7 +8,8 @@
 
 namespace gnb::align {
 
-PafRecord to_paf(const AlignmentRecord& record, const seq::ReadStore& reads) {
+PafRecord to_paf(const AlignmentRecord& record, const seq::ReadStore& reads,
+                 const Scoring& scoring) {
   const seq::Read& query = reads.get(record.read_a);
   const seq::Read& target = reads.get(record.read_b);
   const Alignment& alignment = record.alignment;
@@ -30,11 +32,18 @@ PafRecord to_paf(const AlignmentRecord& record, const seq::ReadStore& reads) {
     paf.target_end = alignment.b_end;
   }
   paf.block_length = std::max(alignment.a_span(), alignment.b_span());
-  // With +1/-1/-1 scoring: matches ~ (block + score) / 2 (exact when the
-  // alignment has no indels; a standard approximation otherwise).
+  // Invert the scoring scheme to estimate matches: treating the block as M
+  // matches and (block - M) mismatches, score = M*match + (block - M)*mismatch,
+  // so M = (score - block*mismatch) / (match - mismatch). Exact when the
+  // alignment has no indels; a standard approximation otherwise, clamped to
+  // the block length. (Reduces to (block + score) / 2 for +1/-1 scoring.)
   const auto block = static_cast<std::int64_t>(paf.block_length);
-  paf.matches = static_cast<std::uint64_t>(
-      std::max<std::int64_t>(0, (block + alignment.score) / 2));
+  const std::int64_t denom =
+      static_cast<std::int64_t>(scoring.match) - static_cast<std::int64_t>(scoring.mismatch);
+  std::int64_t matches = block;
+  if (denom > 0)
+    matches = (alignment.score - block * static_cast<std::int64_t>(scoring.mismatch)) / denom;
+  paf.matches = static_cast<std::uint64_t>(std::clamp<std::int64_t>(matches, 0, block));
   paf.score = alignment.score;
   return paf;
 }
@@ -82,8 +91,8 @@ PafRecord parse_paf(const std::string& line) {
 }
 
 void write_paf(std::ostream& out, std::span<const AlignmentRecord> records,
-               const seq::ReadStore& reads) {
-  for (const auto& record : records) out << format_paf(to_paf(record, reads)) << '\n';
+               const seq::ReadStore& reads, const Scoring& scoring) {
+  for (const auto& record : records) out << format_paf(to_paf(record, reads, scoring)) << '\n';
   GNB_THROW_IF(!out, "PAF write failed");
 }
 

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "align/result.hpp"
+#include "align/scoring.hpp"
 #include "seq/read_store.hpp"
 
 namespace gnb::align {
@@ -35,8 +36,12 @@ struct PafRecord {
 
 /// Convert an accepted alignment to a PAF record (read A = query, read B =
 /// target). Coordinates on a reverse-strand target are flipped back to
-/// the target's forward coordinates, as PAF requires.
-PafRecord to_paf(const AlignmentRecord& record, const seq::ReadStore& reads);
+/// the target's forward coordinates, as PAF requires. `scoring` must be the
+/// scheme the alignment was computed with: the `matches` estimate is derived
+/// from the score by inverting it, so a non-default scheme changes the
+/// result.
+PafRecord to_paf(const AlignmentRecord& record, const seq::ReadStore& reads,
+                 const Scoring& scoring = kDefaultScoring);
 
 /// Serialize one record as a PAF line (no trailing newline).
 std::string format_paf(const PafRecord& record);
@@ -46,6 +51,6 @@ PafRecord parse_paf(const std::string& line);
 
 /// Write records for all alignments to a stream, one line each.
 void write_paf(std::ostream& out, std::span<const AlignmentRecord> records,
-               const seq::ReadStore& reads);
+               const seq::ReadStore& reads, const Scoring& scoring = kDefaultScoring);
 
 }  // namespace gnb::align

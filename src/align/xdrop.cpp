@@ -1,6 +1,7 @@
 #include "align/xdrop.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
 #include <vector>
 
@@ -10,6 +11,57 @@ namespace gnb::align {
 
 namespace {
 constexpr std::int32_t kNegInf = std::numeric_limits<std::int32_t>::min() / 4;
+
+// Scratch rows are per-thread (one copy per pool worker). They grow to the
+// longest `b` in flight, but must not stay at the high-watermark forever: a
+// single pathological read would otherwise pin O(L) int32 cells on every
+// worker for the rest of the process. Shrink when the current allocation is
+// more than kScratchShrinkFactor times the request, but never below
+// kScratchFloorCells (re-allocation churn is worse than a few KiB resident).
+constexpr std::size_t kScratchFloorCells = 4096;
+constexpr std::size_t kScratchShrinkFactor = 4;
+
+thread_local std::vector<std::int32_t> t_prev;
+thread_local std::vector<std::int32_t> t_curr;
+
+std::atomic<std::uint64_t> g_scratch_peak_bytes{0};
+
+void note_scratch_bytes(std::uint64_t bytes) {
+  std::uint64_t seen = g_scratch_peak_bytes.load(std::memory_order_relaxed);
+  while (bytes > seen &&
+         !g_scratch_peak_bytes.compare_exchange_weak(seen, bytes, std::memory_order_relaxed)) {
+  }
+}
+
+/// Restores the "everything is kNegInf" invariant if the extension unwinds
+/// mid-row (a throwing scoring hook, a check failure): the partial band the
+/// loop wrote would otherwise poison every later call on this thread.
+struct ScratchGuard {
+  ~ScratchGuard() {
+    if (!armed) return;
+    std::fill(t_prev.begin(), t_prev.end(), kNegInf);
+    std::fill(t_curr.begin(), t_curr.end(), kNegInf);
+  }
+  bool armed = true;
+};
+}  // namespace
+
+namespace detail {
+
+void (*xdrop_row_hook)(std::size_t row) = nullptr;
+
+std::size_t scratch_cells() { return t_prev.size() + t_curr.size(); }
+
+bool scratch_invariant_holds() {
+  const auto is_neg_inf = [](std::int32_t v) { return v == kNegInf; };
+  return std::all_of(t_prev.begin(), t_prev.end(), is_neg_inf) &&
+         std::all_of(t_curr.begin(), t_curr.end(), is_neg_inf);
+}
+
+}  // namespace detail
+
+std::uint64_t scratch_peak_bytes() {
+  return g_scratch_peak_bytes.load(std::memory_order_relaxed);
 }
 
 Extension xdrop_extend(std::span<const std::uint8_t> a, std::span<const std::uint8_t> b,
@@ -28,12 +80,20 @@ Extension xdrop_extend(std::span<const std::uint8_t> a, std::span<const std::uin
   // Column j corresponds to b[0..j). Scratch rows are thread-local and kept
   // at the invariant "everything is kNegInf" between calls, so each call
   // touches only its live band instead of O(|b|) memory.
-  static thread_local std::vector<std::int32_t> prev;
-  static thread_local std::vector<std::int32_t> curr;
-  if (prev.size() < nb + 1) {
-    prev.assign(nb + 1, kNegInf);
-    curr.assign(nb + 1, kNegInf);
+  std::vector<std::int32_t>& prev = t_prev;
+  std::vector<std::int32_t>& curr = t_curr;
+  const std::size_t want = nb + 1;
+  if (prev.size() < want) {
+    prev.assign(want, kNegInf);
+    curr.assign(want, kNegInf);
+  } else if (prev.size() > kScratchFloorCells && prev.size() / kScratchShrinkFactor > want) {
+    const std::size_t target = std::max(want, kScratchFloorCells);
+    std::vector<std::int32_t>(target, kNegInf).swap(prev);
+    std::vector<std::int32_t>(target, kNegInf).swap(curr);
   }
+  note_scratch_bytes(static_cast<std::uint64_t>(prev.capacity() + curr.capacity()) *
+                     sizeof(std::int32_t));
+  ScratchGuard guard;
 
   std::int32_t best = 0;
   std::uint32_t best_i = 0, best_j = 0;
@@ -50,6 +110,7 @@ Extension xdrop_extend(std::span<const std::uint8_t> a, std::span<const std::uin
   }
 
   for (std::size_t i = 1; i <= a.size(); ++i) {
+    if (detail::xdrop_row_hook) detail::xdrop_row_hook(i);
     // The live interval can extend one column right of the previous row's.
     const std::size_t row_lo = lo;
     const std::size_t row_hi = std::min(hi + 1, nb);
@@ -109,6 +170,7 @@ Extension xdrop_extend(std::span<const std::uint8_t> a, std::span<const std::uin
     std::fill(prev.begin() + static_cast<std::ptrdiff_t>(lo),
               prev.begin() + static_cast<std::ptrdiff_t>(hi) + 1, kNegInf);
   prev[0] = kNegInf;  // row 0 wrote prev[0] even when the band moved right
+  guard.armed = false;
 
   ext.score = best;
   ext.a_len = best_i;
@@ -157,12 +219,8 @@ Alignment xdrop_align(std::span<const std::uint8_t> a, std::span<const std::uint
 
 Alignment xdrop_align(const seq::Sequence& a, const seq::Sequence& b, const Seed& seed,
                       const XDropParams& params) {
-  const std::vector<std::uint8_t> ua = a.unpack();
-  std::vector<std::uint8_t> ub = b.unpack();
-  if (seed.b_reversed) {
-    std::reverse(ub.begin(), ub.end());
-    for (auto& code : ub) code = seq::dna_complement(code);
-  }
+  const std::vector<std::uint8_t> ua = seq::oriented_codes(a, false);
+  const std::vector<std::uint8_t> ub = seq::oriented_codes(b, seed.b_reversed);
   return xdrop_align(ua, ub, seed, params);
 }
 

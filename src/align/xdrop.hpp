@@ -47,8 +47,25 @@ Alignment xdrop_align(std::span<const std::uint8_t> a,
                       const XDropParams& params = {});
 
 /// Convenience overload operating on packed sequences; handles unpacking
-/// and reverse-complement orientation internally.
+/// and reverse-complement orientation internally (via seq::oriented_codes).
 Alignment xdrop_align(const seq::Sequence& a, const seq::Sequence& b, const Seed& seed,
                       const XDropParams& params = {});
+
+/// Process-wide high watermark of per-thread DP scratch bytes (all threads).
+/// Exported by the engines as the `align.scratch_bytes` max-gauge.
+std::uint64_t scratch_peak_bytes();
+
+namespace detail {
+/// Test seam: invoked with the row index at the top of every DP row of
+/// xdrop_extend. A throwing hook simulates a failure mid-extension for the
+/// scratch-invariant exception-safety tests. Per-process, not thread-safe to
+/// mutate while extensions run; tests set and restore it around a call.
+extern void (*xdrop_row_hook)(std::size_t row);
+/// Current calling-thread scratch footprint in cells (both rows).
+std::size_t scratch_cells();
+/// True when every scratch cell of the calling thread is kNegInf — the
+/// invariant xdrop_extend must uphold between calls, even via exceptions.
+bool scratch_invariant_holds();
+}  // namespace detail
 
 }  // namespace gnb::align

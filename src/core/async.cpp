@@ -117,17 +117,16 @@ EngineResult async_align(rt::Rank& rank, const seq::ReadStore& store,
   std::vector<PullState> states(batches.size());
   std::size_t completed = 0;
 
+  // The shared intra-rank compute layer: decoded-read cache + worker pool.
+  // Under chaos it drains synchronously per submission, so completion-log
+  // order and crash placement are the serial engine's.
+  TaskRunner runner(rank, store, bounds, my_tasks, config, result, rc ? &*rc : nullptr);
+
   // --- split-phase barrier: compute local-local tasks while waiting ---
   rank.split_barrier_arrive();
   {
     GNB_SPAN(obs::span::kAsyncLocalTasks, "tasks", index.local_tasks().size());
-    for (const std::size_t t : index.local_tasks()) {
-      const AlignTask& task = my_tasks[t];
-      const std::size_t before = result.accepted.size();
-      execute_task(task, local_read(store, bounds, me, task.a),
-                   local_read(store, bounds, me, task.b), config, rank.timers(), result);
-      if (rc) rc->log_completion(t, result, before);
-    }
+    runner.run_local_tasks(index.local_tasks());
   }
   // Exit only once every rank's reads are accessible via RPC lookup.
   rank.split_barrier_wait();
@@ -144,17 +143,9 @@ EngineResult async_align(rt::Rank& rank, const seq::ReadStore& store,
     }
     const std::vector<std::size_t>& tasks = index.tasks_for(remote.id);
     GNB_CHECK_MSG(!tasks.empty(), "RPC returned unrequested read " << remote.id);
-    for (const std::size_t t : tasks) {
-      const AlignTask& task = my_tasks[t];
-      const bool remote_is_a = task.a == remote.id;
-      const seq::Read& other = local_read(store, bounds, me, remote_is_a ? task.b : task.a);
-      const std::size_t before = result.accepted.size();
-      if (remote_is_a)
-        execute_task(task, remote, other, config, rank.timers(), result);
-      else
-        execute_task(task, other, remote, config, rank.timers(), result);
-      if (rc) rc->log_completion(t, result, before);
-    }
+    // The runner's cache pins the decoded codes, so pooled slots may
+    // outlive the reply-buffer temporary this callback hands in.
+    runner.run_tasks(remote, tasks);
   };
 
   // Failure reactions are *deferred* out of RPC callbacks into the
@@ -296,6 +287,9 @@ EngineResult async_align(rt::Rank& rank, const seq::ReadStore& store,
   std::size_t crash_checked = 0;
   while (completed < batches.size()) {
     if (rank.rpc().progress() == 0) std::this_thread::yield();
+    // Merge finished pool batches between polls: the pull stream keeps
+    // flowing while workers chew on earlier replies.
+    runner.poll();
     if (chaos) {
       react_to_failures();
       // One crash point per fully processed pull batch, taken outside the
@@ -352,6 +346,20 @@ EngineResult async_align(rt::Rank& rank, const seq::ReadStore& store,
     GNB_CHECK(window.issued() == batches.size());
   }
   }  // end of the async.pulls span: the phase is serviced-but-complete
+
+  // Drain the pool before the exit barrier, staying RPC-serviceable: peers
+  // may still be pulling reads from this rank while its workers finish.
+  // The span is emitted iff workers are active — the simulator mirrors the
+  // same gate (span-name parity).
+  if (runner.pooled()) {
+    GNB_SPAN(obs::span::kComputePool);
+    while (!runner.drained()) {
+      if (rank.rpc().progress() == 0) std::this_thread::yield();
+      runner.poll();
+    }
+  }
+  runner.drain();
+  runner.flush();
 
   // --- single exit barrier: stay serviceable until everyone is done ---
   if (!chaos) {

@@ -53,23 +53,20 @@ EngineResult bsp_align(rt::Rank& rank, const seq::ReadStore& store,
     rank.timers().overhead.stop();
   }
 
+  // The shared intra-rank compute layer: decoded-read cache + worker pool.
+  // Under chaos it drains synchronously per submission, so completion-log
+  // order and crash placement are the serial engine's.
+  TaskRunner runner(rank, store, bounds, my_tasks, config, result, rc ? &*rc : nullptr);
+
   // Execute every pending task of an arriving remote read, logging each
   // completion durably when chaos is on. Used for reads unpacked from
-  // exchange rounds and for reads the recovery fetch hands back.
+  // exchange rounds and for reads the recovery fetch hands back. The
+  // arriving read's codes are pinned by the runner's cache, so pooled slots
+  // may outlive the deserialized temporary.
   const auto run_tasks_for = [&](const seq::Read& remote) {
     const std::vector<std::size_t>& tasks = index.tasks_for(remote.id);
     GNB_CHECK_MSG(!tasks.empty(), "received unrequested read " << remote.id);
-    for (const std::size_t t : tasks) {
-      const AlignTask& task = my_tasks[t];
-      const bool remote_is_a = task.a == remote.id;
-      const seq::Read& other = local_read(store, bounds, me, remote_is_a ? task.b : task.a);
-      const std::size_t before = result.accepted.size();
-      if (remote_is_a)
-        execute_task(task, remote, other, config, rank.timers(), result);
-      else
-        execute_task(task, other, remote, config, rank.timers(), result);
-      if (rc) rc->log_completion(t, result, before);
-    }
+    runner.run_tasks(remote, tasks);
   };
 
   // --- request exchange: tell each owner which reads to send me ---
@@ -114,13 +111,7 @@ EngineResult bsp_align(rt::Rank& rank, const seq::ReadStore& store,
   // --- local-local tasks: no communication required ---
   {
     GNB_SPAN(obs::span::kBspLocalTasks, "tasks", index.local_tasks().size());
-    for (const std::size_t t : index.local_tasks()) {
-      const AlignTask& task = my_tasks[t];
-      const std::size_t before = result.accepted.size();
-      execute_task(task, local_read(store, bounds, me, task.a),
-                   local_read(store, bounds, me, task.b), config, rank.timers(), result);
-      if (rc) rc->log_completion(t, result, before);
-    }
+    runner.run_local_tasks(index.local_tasks());
   }
 
   // --- the shared protocol decision: round count and per-round packing ---
@@ -255,15 +246,30 @@ EngineResult bsp_align(rt::Rank& rank, const seq::ReadStore& store,
       }
     }
     rank.memory().release(received_bytes);
+    // Merge whatever the workers finished while this round exchanged and
+    // unpacked; the remaining tail overlaps the next round's alltoallv.
+    runner.poll();
     rank.metrics().observe(obs::metric::kRoundBytesHist, packed);
     GNB_COUNTER(obs::span::kCtrExchangeBytes, result.exchange_bytes_received);
     GNB_COUNTER(obs::span::kCtrAlignCells, result.cells);
+    GNB_COUNTER(obs::span::kCtrCacheBytes, runner.cache().stats().bytes);
     ++round;
     // A death at the exchange above was stamped into this rank's agreed
     // snapshot; recover before packing the next round (so the executed
     // rounds always match the replanned schedule).
     poll_recovery();
   }
+
+  // Drain the pool before the exit synchronization: the last rounds' tail
+  // compute runs here, under the span the simulator mirrors (emitted iff
+  // workers are active — the span-name parity tests compare the gate).
+  if (runner.pooled()) {
+    GNB_SPAN(obs::span::kComputePool);
+    runner.drain();
+  } else {
+    runner.drain();
+  }
+  runner.flush();
 
   // Final synchronization: end of the bulk-synchronous phase. Loop until
   // the stamped snapshot agrees nothing new died — a rank dying *at* this

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/recovery.hpp"
 #include "obs/spans.hpp"
 #include "rt/phase.hpp"
 #include "rt/world.hpp"
@@ -26,12 +27,9 @@ void execute_task(const kmer::AlignTask& task, const seq::Read& read_a,
   // kernel in the middle, which is charged to compute while the overhead
   // stopwatch is paused.
   timers.overhead.start();
-  const std::vector<std::uint8_t> codes_a = read_a.sequence.unpack();
-  std::vector<std::uint8_t> codes_b = read_b.sequence.unpack();
-  if (task.seed.b_reversed) {
-    std::reverse(codes_b.begin(), codes_b.end());
-    for (auto& code : codes_b) code = seq::dna_complement(code);
-  }
+  const std::vector<std::uint8_t> codes_a = seq::oriented_codes(read_a.sequence, false);
+  const std::vector<std::uint8_t> codes_b =
+      seq::oriented_codes(read_b.sequence, task.seed.b_reversed);
 
   ++result.tasks_done;
   if (config.skip_compute) {
@@ -60,6 +58,169 @@ void flush_engine_metrics(rt::Rank& rank, const EngineResult& result) {
   registry.add(obs::metric::kExchangeBytes, result.exchange_bytes_received);
   registry.add(obs::metric::kExchangeMessages, result.messages);
   registry.gauge_max(obs::metric::kExchangeRounds, result.rounds);
+  // Process-wide DP scratch watermark: every rank reports the same value,
+  // gauge_max keeps the merge well-defined.
+  registry.gauge_max(obs::metric::kAlignScratchBytes, align::scratch_peak_bytes());
+  // Cache/pool counters flow through the rank like the fault counters:
+  // World::run copies them into the breakdown and exports the metrics.
+  rank.compute_counters() = result.compute;
+}
+
+TaskRunner::TaskRunner(rt::Rank& rank, const seq::ReadStore& store,
+                       const std::vector<seq::ReadId>& bounds,
+                       const std::vector<kmer::AlignTask>& my_tasks,
+                       const EngineConfig& config, EngineResult& result,
+                       RecoveryContext* recovery)
+    : rank_(rank),
+      store_(store),
+      bounds_(bounds),
+      my_tasks_(my_tasks),
+      config_(config),
+      result_(result),
+      recovery_(recovery),
+      cache_(config.proto.read_cache_bytes),
+      // skip_compute has no kernels to offload: stay inline so §4.3 runs
+      // keep their exact serial shape (and spawn no idle workers).
+      pool_(config.skip_compute ? 1 : std::max<std::size_t>(1, config.proto.compute_threads),
+            config.xdrop) {}
+
+AlignSlot TaskRunner::make_slot(std::size_t t, const seq::Read& remote, bool have_remote) {
+  const kmer::AlignTask& task = my_tasks_[t];
+  const bool remote_is_a = have_remote && task.a == remote.id;
+  const bool remote_is_b = have_remote && !remote_is_a;
+  const seq::Read& read_a =
+      remote_is_a ? remote : local_read(store_, bounds_, rank_.id(), task.a);
+  const seq::Read& read_b =
+      remote_is_b ? remote : local_read(store_, bounds_, rank_.id(), task.b);
+  GNB_CHECK(read_a.id == task.a && read_b.id == task.b);
+  AlignSlot slot;
+  slot.task_index = t;
+  slot.seed = task.seed;
+  slot.a = cache_.get(read_a, false);
+  slot.b = cache_.get(read_b, task.seed.b_reversed);
+  return slot;
+}
+
+void TaskRunner::merge_slot(const AlignSlot& slot) {
+  ++result_.tasks_done;
+  const std::size_t before = result_.accepted.size();
+  if (!config_.skip_compute) {
+    result_.cells += slot.alignment.cells;
+    if (config_.filter.accepts(slot.alignment)) {
+      const kmer::AlignTask& task = my_tasks_[slot.task_index];
+      result_.accepted.push_back(align::AlignmentRecord{task.a, task.b, slot.alignment});
+    }
+  }
+  if (recovery_ != nullptr) recovery_->log_completion(slot.task_index, result_, before);
+}
+
+void TaskRunner::execute_and_merge(AlignSlot& slot) {
+  // Inline path: the caller's overhead stopwatch is running; the kernel is
+  // charged to compute while overhead is paused — exactly execute_task's
+  // attribution.
+  if (!config_.skip_compute) {
+    ScopedPause hold(rank_.timers().overhead);
+    ScopedCharge charge(rank_.timers().compute);
+    slot.alignment = align::xdrop_align(*slot.a, *slot.b, slot.seed, config_.xdrop);
+  }
+  merge_slot(slot);
+}
+
+void TaskRunner::run_local_tasks(const std::vector<std::size_t>& tasks) {
+  if (!pooled()) {
+    for (const std::size_t t : tasks) {
+      rank_.timers().overhead.start();
+      AlignSlot slot = make_slot(t, seq::Read{}, false);
+      execute_and_merge(slot);
+      rank_.timers().overhead.stop();
+    }
+    return;
+  }
+  // Chunked batches: large enough to amortize queue traffic, small enough
+  // that merges (and under recovery, completion logs) interleave.
+  constexpr std::size_t kSlotsPerBatch = 32;
+  for (std::size_t begin = 0; begin < tasks.size(); begin += kSlotsPerBatch) {
+    const std::size_t end = std::min(tasks.size(), begin + kSlotsPerBatch);
+    rank_.timers().overhead.start();
+    auto batch = std::make_unique<AlignPool::Batch>();
+    batch->slots.reserve(end - begin);
+    for (std::size_t i = begin; i < end; ++i)
+      batch->slots.push_back(make_slot(tasks[i], seq::Read{}, false));
+    rank_.timers().overhead.stop();
+    submit(std::move(batch));
+  }
+}
+
+void TaskRunner::run_tasks(const seq::Read& remote, std::span<const std::size_t> tasks) {
+  if (!pooled()) {
+    for (const std::size_t t : tasks) {
+      rank_.timers().overhead.start();
+      AlignSlot slot = make_slot(t, remote, true);
+      execute_and_merge(slot);
+      rank_.timers().overhead.stop();
+    }
+    return;
+  }
+  rank_.timers().overhead.start();
+  auto batch = std::make_unique<AlignPool::Batch>();
+  batch->slots.reserve(tasks.size());
+  for (const std::size_t t : tasks) batch->slots.push_back(make_slot(t, remote, true));
+  rank_.timers().overhead.stop();
+  submit(std::move(batch));
+}
+
+void TaskRunner::submit(std::unique_ptr<AlignPool::Batch> batch) {
+  pool_.submit(std::move(batch));
+  if (recovery_ != nullptr) {
+    // Recovery mode: completion-log order and crash-point placement must
+    // match the serial engine, so every submission completes before the
+    // engine moves on. The workers still execute the kernels (the thread
+    // interplay TSan must see), only the overlap is given up.
+    drain();
+    return;
+  }
+  poll();
+  // Bound unmerged work: pending slots pin decoded codes via their cache
+  // handles, so a producer far ahead of the workers would grow the heap.
+  constexpr std::size_t kMaxPendingBatches = 64;
+  while (pool_.pending() > kMaxPendingBatches) merge_batch(pool_.wait_pop());
+}
+
+void TaskRunner::poll() {
+  if (!pooled()) return;
+  while (std::unique_ptr<AlignPool::Batch> batch = pool_.try_pop())
+    merge_batch(std::move(batch));
+}
+
+void TaskRunner::drain() {
+  if (!pooled()) return;
+  while (std::unique_ptr<AlignPool::Batch> batch = pool_.wait_pop())
+    merge_batch(std::move(batch));
+}
+
+bool TaskRunner::drained() const { return !pooled() || pool_.pending() == 0; }
+
+void TaskRunner::merge_batch(std::unique_ptr<AlignPool::Batch> batch) {
+  if (batch->error) std::rethrow_exception(batch->error);
+  rank_.timers().overhead.start();
+  for (const AlignSlot& slot : batch->slots) merge_slot(slot);
+  rank_.timers().overhead.stop();
+}
+
+void TaskRunner::flush() {
+  GNB_CHECK_MSG(drained(), "TaskRunner::flush before drain");
+  // Workers never touch the rank's stopwatches; their aggregate kernel time
+  // lands in the compute phase here, at the boundary.
+  rank_.timers().compute.add(pool_.worker_seconds());
+  stat::ComputeCounters& c = result_.compute;
+  c.threads = pool_.threads();
+  const ReadCache::Stats& stats = cache_.stats();
+  c.cache_hits = stats.hits;
+  c.cache_misses = stats.misses;
+  c.cache_evictions = stats.evictions;
+  c.cache_peak_bytes = stats.peak_bytes;
+  c.pool_tasks = pool_.tasks_executed();
+  c.pool_batches = pool_.batches_submitted();
 }
 
 }  // namespace gnb::core

@@ -3,20 +3,27 @@
 // engines (bulk-synchronous and asynchronous).
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "align/result.hpp"
 #include "align/xdrop.hpp"
+#include "core/align_pool.hpp"
+#include "core/read_cache.hpp"
 #include "kmer/candidates.hpp"
 #include "proto/config.hpp"
 #include "rt/phase.hpp"
 #include "seq/read_store.hpp"
+#include "stat/breakdown.hpp"
 
 namespace gnb::rt {
 class Rank;
 }
 
 namespace gnb::core {
+
+class RecoveryContext;
 
 struct EngineConfig {
   align::XDropParams xdrop;
@@ -42,6 +49,7 @@ struct EngineResult {
   std::uint64_t rounds = 0;                   // BSP supersteps executed
   std::uint64_t messages = 0;                 // RPCs or exchange buffers sent
   std::vector<std::uint64_t> round_bytes;     // BSP: payload sent per superstep
+  stat::ComputeCounters compute;              // cache/pool accounting (TaskRunner::flush)
 };
 
 /// Fetch a read this rank owns; aborts if `id` is not in the rank's
@@ -64,5 +72,70 @@ void execute_task(const kmer::AlignTask& task, const seq::Read& read_a,
 /// returning, so `gnbody --metrics` reports the same counter names
 /// (obs/spans.hpp) regardless of backend.
 void flush_engine_metrics(rt::Rank& rank, const EngineResult& result);
+
+/// The intra-rank compute layer both engines share: resolves alignment
+/// tasks to decoded code buffers through a per-rank ReadCache (each read
+/// unpacked at most once per orientation per phase) and executes the X-drop
+/// kernels either inline (compute_threads <= 1: byte-for-byte today's
+/// serial behavior, including timer attribution) or on an AlignPool whose
+/// batches complete while the engine keeps exchanging.
+///
+/// Determinism contract: tasks are submitted in the engine's serial
+/// execution order and batch results are merged in that same FIFO order, so
+/// result.accepted / cells / tasks_done are byte-identical at any thread
+/// count. Under recovery (`recovery != nullptr`) every submission drains
+/// synchronously before returning, so completion-log order and crash-point
+/// placement match the serial engine exactly.
+class TaskRunner {
+ public:
+  TaskRunner(rt::Rank& rank, const seq::ReadStore& store,
+             const std::vector<seq::ReadId>& bounds,
+             const std::vector<kmer::AlignTask>& my_tasks, const EngineConfig& config,
+             EngineResult& result, RecoveryContext* recovery);
+
+  /// Run tasks whose both reads are rank-local, in `tasks` order.
+  void run_local_tasks(const std::vector<std::size_t>& tasks);
+
+  /// Run every listed task pairing the arriving (possibly remote,
+  /// temporary) read with one of ours, in `tasks` order. The read's codes
+  /// are pinned by the cache, so deferred pool slots outlive `remote`.
+  void run_tasks(const seq::Read& remote, std::span<const std::size_t> tasks);
+
+  /// Merge every already-completed batch (non-blocking).
+  void poll();
+  /// Block until every submitted batch is merged. Engines that must stay
+  /// RPC-serviceable interleave progress() with poll()/drained() instead.
+  void drain();
+  [[nodiscard]] bool drained() const;
+
+  /// Whether worker threads are active (compute_threads > 1 and the kernel
+  /// is actually run) — the gate for the compute.pool span, mirrored by the
+  /// simulator.
+  [[nodiscard]] bool pooled() const { return pool_.pooled(); }
+
+  /// Phase-boundary flush (call once, after the final drain): charge the
+  /// workers' aggregate kernel seconds to timers.compute and fold cache and
+  /// pool accounting into result.compute.
+  void flush();
+
+  [[nodiscard]] const ReadCache& cache() const { return cache_; }
+
+ private:
+  void execute_and_merge(AlignSlot& slot);
+  void merge_slot(const AlignSlot& slot);
+  void merge_batch(std::unique_ptr<AlignPool::Batch> batch);
+  void submit(std::unique_ptr<AlignPool::Batch> batch);
+  [[nodiscard]] AlignSlot make_slot(std::size_t t, const seq::Read& remote, bool have_remote);
+
+  rt::Rank& rank_;
+  const seq::ReadStore& store_;
+  const std::vector<seq::ReadId>& bounds_;
+  const std::vector<kmer::AlignTask>& my_tasks_;
+  const EngineConfig& config_;
+  EngineResult& result_;
+  RecoveryContext* recovery_;
+  ReadCache cache_;
+  AlignPool pool_;
+};
 
 }  // namespace gnb::core

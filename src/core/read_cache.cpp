@@ -1,0 +1,42 @@
+#include "core/read_cache.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace gnb::core {
+
+ReadCache::Codes ReadCache::get(const seq::Read& read, bool reverse_complement) {
+  const Key key = make_key(read.id, reverse_complement);
+  if (const auto it = map_.find(key); it != map_.end()) {
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->codes;
+  }
+
+  ++stats_.misses;
+  auto codes = std::make_shared<const std::vector<std::uint8_t>>(
+      seq::oriented_codes(read.sequence, reverse_complement));
+  stats_.bytes += codes->size();
+  stats_.peak_bytes = std::max(stats_.peak_bytes, stats_.bytes);
+  lru_.push_front(Entry{key, codes});
+  map_.emplace(key, lru_.begin());
+
+  // Evict from the cold end until back under budget — but never the entry
+  // just inserted (the bound is soft by one oversized read).
+  while (max_bytes_ != 0 && stats_.bytes > max_bytes_ && lru_.size() > 1) {
+    const Entry& victim = lru_.back();
+    stats_.bytes -= victim.codes->size();
+    ++stats_.evictions;
+    map_.erase(victim.key);
+    lru_.pop_back();
+  }
+  return codes;
+}
+
+void ReadCache::clear() {
+  lru_.clear();
+  map_.clear();
+  stats_.bytes = 0;
+}
+
+}  // namespace gnb::core

@@ -1,0 +1,78 @@
+#pragma once
+// Per-rank cache of decoded read code vectors.
+//
+// Every alignment task needs both of its reads as contiguous code buffers,
+// with read B possibly reverse-complemented — and a read touched by k tasks
+// previously paid the O(L) unpack (and orientation) k times (the per-task
+// overhead diBELLA identifies as the scaling tax). The cache decodes each
+// (read, orientation) pair at most once per phase, LRU-evicting by byte
+// budget. Entries are handed out as shared_ptr so an in-flight AlignPool
+// slot keeps its codes alive even if the entry is evicted underneath it.
+//
+// Single-threaded by design: only the rank thread inserts/looks up (pool
+// workers receive already-resolved shared_ptr handles), so there is no lock.
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "seq/read_store.hpp"
+
+namespace gnb::core {
+
+class ReadCache {
+ public:
+  using Codes = std::shared_ptr<const std::vector<std::uint8_t>>;
+
+  /// Cumulative accounting, exported into stat::ComputeCounters at the
+  /// engine's phase boundary.
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t bytes = 0;       // current resident code bytes
+    std::uint64_t peak_bytes = 0;  // high watermark of `bytes`
+  };
+
+  /// `max_bytes` bounds resident code bytes (0 = unbounded). The bound is
+  /// soft by one entry: the entry being inserted is never evicted, so a
+  /// single read longer than the whole budget still works.
+  explicit ReadCache(std::uint64_t max_bytes) : max_bytes_(max_bytes) {}
+
+  /// Decoded codes of `read`, reverse-complemented when requested. Decodes
+  /// via seq::oriented_codes on miss; both orientations are cached
+  /// independently (a read pulled as A forward and B reverse pays twice,
+  /// once per orientation).
+  Codes get(const seq::Read& read, bool reverse_complement);
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t entries() const { return map_.size(); }
+  [[nodiscard]] std::uint64_t max_bytes() const { return max_bytes_; }
+
+  /// Drop everything (keeps cumulative hit/miss/eviction counts; resident
+  /// drops are not counted as evictions).
+  void clear();
+
+ private:
+  // Key packs (id << 1) | reverse_complement.
+  using Key = std::uint64_t;
+  struct Entry {
+    Key key = 0;
+    Codes codes;
+  };
+  using LruList = std::list<Entry>;
+
+  static Key make_key(seq::ReadId id, bool reverse_complement) {
+    return (static_cast<Key>(id) << 1) | static_cast<Key>(reverse_complement);
+  }
+
+  std::uint64_t max_bytes_;
+  LruList lru_;  // front = most recent
+  std::unordered_map<Key, LruList::iterator> map_;
+  Stats stats_;
+};
+
+}  // namespace gnb::core

@@ -28,6 +28,13 @@ inline constexpr const char* kCollServiceBarrier = "coll.service_barrier";
 // Async RPC pulls: one async begin/end pair per logical batch id.
 inline constexpr const char* kRpcPull = "rpc.pull";
 
+// Intra-rank compute layer. The pool-drain span is emitted iff
+// compute_threads > 1, by the real engines and the sim under the same
+// condition (the sim-vs-real parity tests compare span-name sets, so the
+// gate must match exactly). Cache activity is counters/metrics only —
+// parity-exempt, since the sim has no cache to mirror.
+inline constexpr const char* kComputePool = "compute.pool";
+
 // Recovery and checkpointing.
 inline constexpr const char* kRecovery = "recovery.recover";
 inline constexpr const char* kCkptSave = "ckpt.save";
@@ -50,6 +57,7 @@ inline constexpr const char* kRecoveryReexec = "recovery.reexec";
 inline constexpr const char* kCtrExchangeBytes = "exchange.bytes";
 inline constexpr const char* kCtrAlignCells = "align.cells";
 inline constexpr const char* kCtrRpcInflight = "rpc.inflight";
+inline constexpr const char* kCtrCacheBytes = "cache.bytes";
 
 }  // namespace gnb::obs::span
 
@@ -70,6 +78,17 @@ inline constexpr const char* kPipelineBases = "pipeline.bases";
 inline constexpr const char* kPipelineTasks = "pipeline.tasks";
 inline constexpr const char* kReplyBytesHist = "rpc.reply_bytes";
 inline constexpr const char* kRoundBytesHist = "exchange.round_bytes";
+inline constexpr const char* kAlignScratchBytes = "align.scratch_bytes";
+
+// stat::ComputeCounters fields (read cache + worker pool) are exported
+// under these names by the same descriptor-table mechanism as fault.*.
+inline constexpr const char* kCacheHits = "cache.hits";
+inline constexpr const char* kCacheMisses = "cache.misses";
+inline constexpr const char* kCacheEvictions = "cache.evictions";
+inline constexpr const char* kCachePeakBytes = "cache.peak_bytes";
+inline constexpr const char* kPoolTasks = "pool.tasks";
+inline constexpr const char* kPoolBatches = "pool.batches";
+inline constexpr const char* kPoolThreads = "pool.threads";
 
 // stat::FaultCounters fields are exported under this prefix (names come
 // from the single stat::FaultCounters::fields() descriptor table).

@@ -1,0 +1,21 @@
+#include "proto/config.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace gnb::proto {
+
+std::size_t compute_threads_from_env(std::size_t fallback) {
+  const char* raw = std::getenv("GNB_COMPUTE_THREADS");
+  if (raw == nullptr || *raw == '\0') return fallback;
+  try {
+    const unsigned long long value = std::stoull(raw);
+    if (value == 0) return fallback;
+    return static_cast<std::size_t>(value);
+  } catch (const std::logic_error&) {
+    return fallback;
+  }
+}
+
+}  // namespace gnb::proto

@@ -21,6 +21,15 @@ inline constexpr std::uint64_t kDefaultBspRoundBudget = 64ull << 20;
 /// budgets are honored exactly (tests drive them below this on purpose).
 inline constexpr std::uint64_t kMinDerivedBudget = 1ull << 16;
 
+/// Test/CI hook: resolve a compute-thread count from the
+/// GNB_COMPUTE_THREADS environment variable (unset, empty, zero, or
+/// unparsable → `fallback`). ProtoConfig's default `compute_threads` is
+/// seeded through this, so the TSan job can drive the whole default-config
+/// test matrix through the worker pool without touching every fixture;
+/// tests that assert *serial* semantics pin `compute_threads = 1`
+/// explicitly.
+std::size_t compute_threads_from_env(std::size_t fallback = 1);
+
 /// Coordination-protocol configuration, one set of defaults for both
 /// backends (previously core::EngineConfig and sim::SimOptions carried
 /// divergent copies of these knobs).
@@ -52,6 +61,21 @@ struct ProtoConfig {
   /// Async: maximum re-issues per pull. Once exhausted the caller keeps
   /// polling (delivery is reliable, only untimely) and counts the timeout.
   std::size_t max_retries = 3;
+
+  /// Intra-rank compute workers (core::AlignPool): alignment-task batches
+  /// are drained by this many threads while BSP continues its exchange
+  /// rounds and async continues issuing pulls — the paper's "overlap
+  /// communication with computation" at the rank level. 1 executes tasks
+  /// inline on the rank thread (the pre-pool behavior); any value yields
+  /// byte-identical output because slot results are merged in task-index
+  /// order. The simulator scales its compute term by the same knob. The
+  /// default is 1 (serial), overridable host-wide via GNB_COMPUTE_THREADS.
+  std::size_t compute_threads = compute_threads_from_env(1);
+
+  /// Byte bound on the per-rank decoded-read cache (core::ReadCache):
+  /// forward and reverse-complement code vectors, LRU-evicted once the
+  /// bound is exceeded. 0 = unbounded.
+  std::uint64_t read_cache_bytes = 32ull << 20;
 };
 
 /// Resolve the BSP round budget for one rank. `capacity_bytes` is the

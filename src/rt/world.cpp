@@ -352,13 +352,15 @@ void World::run(const std::function<void(Rank&)>& body) {
     // fail-fasts surface as rpc failures.
     breakdown.faults.duplicates += endpoints_[r]->orphan_replies();
     breakdown.faults.rpc_failures += endpoints_[r]->peer_death_failures();
+    breakdown.compute_layer = ranks[r]->compute_counters_;
     breakdowns_.push_back(breakdown);
 
     // Phase-boundary metrics snapshot: the rank's own registry, the fault
-    // counters (exported through the single descriptor table), and the
-    // endpoint's RPC counters.
+    // and compute-layer counters (exported through their descriptor
+    // tables), and the endpoint's RPC counters.
     obs::MetricsRegistry& registry = ranks[r]->metrics_;
     stat::export_metrics(breakdown.faults, registry);
+    stat::export_metrics(breakdown.compute_layer, registry);
     registry.add(obs::metric::kRpcRequestsServed, endpoints_[r]->requests_served());
     registry.gauge_max(obs::metric::kMemPeakBytes, breakdown.peak_memory);
     metrics_.merge(registry);

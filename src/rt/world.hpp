@@ -146,6 +146,12 @@ class Rank {
   /// stat::Breakdown.
   stat::FaultCounters& fault_counters() { return fault_counters_; }
 
+  /// Intra-rank compute-layer counters (read-cache hits/misses, worker-pool
+  /// throughput) the engines fill at their phase boundary; copied into the
+  /// rank's stat::Breakdown and exported as cache.* / pool.* metrics by
+  /// World::run, exactly like the fault counters.
+  stat::ComputeCounters& compute_counters() { return compute_counters_; }
+
   /// This rank's metrics registry (single-writer, like the trace buffer):
   /// engines add named counters/gauges/histograms here; World::run merges
   /// every rank's registry — plus the fault and endpoint counters — into
@@ -173,6 +179,7 @@ class Rank {
   PhaseTimers timers_;
   MemoryMeter memory_;
   stat::FaultCounters fault_counters_;
+  stat::ComputeCounters compute_counters_;
   obs::MetricsRegistry metrics_;
 };
 

@@ -138,6 +138,15 @@ Sequence Sequence::deserialize(std::span<const std::uint8_t> in, std::size_t& of
   return s;
 }
 
+std::vector<std::uint8_t> oriented_codes(const Sequence& s, bool reverse_complement) {
+  std::vector<std::uint8_t> codes = s.unpack();
+  if (reverse_complement) {
+    std::reverse(codes.begin(), codes.end());
+    for (auto& code : codes) code = dna_complement(code);
+  }
+  return codes;
+}
+
 double n_fraction(const Sequence& s) {
   if (s.empty()) return 0.0;
   std::size_t n = 0;

@@ -80,4 +80,9 @@ class Sequence {
 /// Fraction of positions in `s` that are N.
 double n_fraction(const Sequence& s);
 
+/// Unpack `s` into contiguous codes, reverse-complemented when requested.
+/// The single orientation path shared by the aligner's Sequence overload and
+/// the engine-side read cache, so the two cannot drift.
+std::vector<std::uint8_t> oriented_codes(const Sequence& s, bool reverse_complement);
+
 }  // namespace gnb::seq

@@ -194,6 +194,13 @@ SimResult simulate_bsp(const MachineParams& machine, const SimAssignment& assign
   const double ovh = options.calibration.overhead_per_task;
   const double inter_bw = internode_bw_per_rank(machine);
   const double intra_bw = intranode_bw_per_rank(machine);
+  // Intra-rank compute layer (proto::compute_threads): kernels scale with
+  // the worker count, and a pooled rank keeps aligning while the next
+  // superstep's alltoallv moves bytes. thread_div is exactly 1.0 when the
+  // knob is off, so the serial model is reproduced bit-for-bit.
+  const auto threads = std::max<std::size_t>(1, options.proto.compute_threads);
+  const auto thread_div = static_cast<double>(threads);
+  const bool pooled = threads > 1 && !options.skip_compute;
 
   SimResult result;
   result.ranks.resize(p);
@@ -302,11 +309,12 @@ SimResult simulate_bsp(const MachineParams& machine, const SimAssignment& assign
     std::vector<double> busy_base(p, 0);  // pre-recovery busy, for the trace
     for (std::size_t r : survivors) {
       const RankWork& work = assignment.ranks[r];
-      double compute = options.skip_compute ? 0.0 : remote_cells[r] / k / cps;
+      double compute = options.skip_compute ? 0.0 : remote_cells[r] / k / cps / thread_div;
       double overhead = remote_tasks[r] / k * ovh;
       if (round == 0) {  // local-local tasks run before the first exchange
         const double local_compute =
-            options.skip_compute ? 0.0 : static_cast<double>(work.local_cells) / cps;
+            options.skip_compute ? 0.0
+                                 : static_cast<double>(work.local_cells) / cps / thread_div;
         const double local_overhead = static_cast<double>(work.local_tasks) * ovh;
         compute += local_compute;
         overhead += local_overhead;
@@ -346,7 +354,8 @@ SimResult simulate_bsp(const MachineParams& machine, const SimAssignment& assign
         }
         refetch_bytes += static_cast<double>(assignment.ranks[d].pull_bytes()) * remaining;
       }
-      const double extra_compute = options.skip_compute ? 0.0 : lost_cells / s / cps;
+      const double extra_compute =
+          options.skip_compute ? 0.0 : lost_cells / s / cps / thread_div;
       const double extra_overhead = lost_tasks / s * ovh;
       const double extra_comm = detect_comm + refetch_bytes / s / inter_bw;
       for (std::size_t r : survivors) {
@@ -368,7 +377,16 @@ SimResult simulate_bsp(const MachineParams& machine, const SimAssignment& assign
 
     for (std::size_t r : survivors) busy_max = std::max(busy_max, busy[r]);
     for (std::size_t r : survivors) sync_acc[r] += busy_max - busy[r];
-    runtime += round_comm + busy_max;
+    if (pooled && round + 1 < rounds) {
+      // Pool workers drain the round's batches while the next superstep's
+      // exchange is on the wire: up to overlap_efficiency of the wire time
+      // hides busy time. The last round has no following exchange to hide
+      // behind — its drain is fully visible (the compute.pool span).
+      runtime += round_comm +
+                 std::max(0.0, busy_max - options.overlap_efficiency * round_comm);
+    } else {
+      runtime += round_comm + busy_max;
+    }
 
     if (strace.on()) {
       for (std::size_t d : deaths)
@@ -391,6 +409,9 @@ SimResult simulate_bsp(const MachineParams& machine, const SimAssignment& assign
 
   if (strace.on()) {
     for (std::size_t r = 0; r < p; ++r) {
+      // Same gate as the real engine's TaskRunner::pooled(): the final
+      // drain before the exit barrier, emitted iff workers are active.
+      if (pooled) strace.complete(r, obs::span::kComputePool, runtime, 0.0);
       strace.complete(r, obs::span::kCollBarrier, runtime, 0.0);
       strace.complete(r, obs::span::kBspAlign, 0.0, runtime, "tasks",
                       assignment.ranks[r].total_tasks());
@@ -399,6 +420,7 @@ SimResult simulate_bsp(const MachineParams& machine, const SimAssignment& assign
 
   for (std::size_t r = 0; r < p; ++r) {
     stat::Breakdown& timeline = result.ranks[r];
+    timeline.compute_layer.threads = threads;
     timeline.compute = compute_acc[r];
     timeline.overhead = overhead_acc[r];
     timeline.comm = comm_acc[r] + request_comm;
@@ -436,6 +458,16 @@ SimResult simulate_async(const MachineParams& machine, const SimAssignment& assi
   const double inter_bw = std::max(1.0, std::min(nic_share, bisection_share));
   const double intra_bw = intranode_bw_per_rank(machine) * eff;
   const auto window = static_cast<double>(std::max<std::size_t>(1, options.proto.async_window));
+  // Intra-rank compute layer: kernels scale with the worker count, and a
+  // pooled rank overlaps pulls with compute more aggressively (the rank
+  // thread stays on the RPC stream while workers align). thread_div is
+  // exactly 1.0 when the knob is off — the serial model bit-for-bit.
+  const auto threads = std::max<std::size_t>(1, options.proto.compute_threads);
+  const auto thread_div = static_cast<double>(threads);
+  const bool pooled = threads > 1 && !options.skip_compute;
+  const double overlap_eff =
+      pooled ? std::min(0.9, options.overlap_efficiency * thread_div)
+             : options.overlap_efficiency;
 
   SimResult result;
   result.ranks.resize(p);
@@ -473,7 +505,8 @@ SimResult simulate_async(const MachineParams& machine, const SimAssignment& assi
 
     // --- CPU busy time ---
     double compute =
-        options.skip_compute ? 0.0 : static_cast<double>(work.total_cells()) / cps;
+        options.skip_compute ? 0.0
+                             : static_cast<double>(work.total_cells()) / cps / thread_div;
     // Pointer-based container traversal degrades with structure size
     // (cache misses grow with the task index); flat arrays do not. This is
     // why the paper's Fig-13 overhead *share* shrinks as strong scaling
@@ -521,12 +554,13 @@ SimResult simulate_async(const MachineParams& machine, const SimAssignment& assi
     // Visible latency: whatever the (imperfect) overlap with computation
     // cannot hide, plus the first-reply ramp-up.
     const double ramp = n_pulls > 0 ? rtt : 0.0;
-    const double comm = std::max(0.0, net - options.overlap_efficiency * busy) + ramp;
+    const double comm = std::max(0.0, net - overlap_eff * busy) + ramp;
 
     stat::Breakdown& timeline = result.ranks[r];
     timeline.compute = compute;
     timeline.overhead = overhead;
     timeline.comm = comm;
+    timeline.compute_layer.threads = threads;
 
     // --- memory: partition + pointer-based task index + a bounded window
     // of in-flight replies ("no more than 1 remote read in-memory at any
@@ -649,6 +683,8 @@ SimResult simulate_async(const MachineParams& machine, const SimAssignment& assi
         strace.instant(r, obs::span::kRecoveryReexec, busy_end - t.faults.recovery_seconds,
                        "tasks", t.faults.tasks_reexecuted);
       }
+      // Pool drain before the exit barrier — same gate as the real engine.
+      if (pooled) strace.complete(r, obs::span::kComputePool, busy_end, 0.0);
       const double exit_sync = std::max(0.0, phase - busy_end);
       strace.complete(r, obs::span::kCollServiceBarrier, busy_end, exit_sync);
       strace.complete(r, obs::span::kCollSplitBarrier, busy_end, exit_sync);

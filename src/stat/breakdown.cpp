@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "obs/spans.hpp"
 #include "util/stats.hpp"
 
 namespace gnb::stat {
@@ -33,6 +34,28 @@ void export_metrics(const FaultCounters& faults, obs::MetricsRegistry& registry)
                static_cast<std::uint64_t>(std::llround(faults.recovery_seconds * 1e6)));
 }
 
+std::span<const ComputeCounters::Field> ComputeCounters::fields() {
+  static constexpr Field kFields[] = {
+      {obs::metric::kPoolThreads, "threads", 1.0, true, &ComputeCounters::threads},
+      {obs::metric::kCacheHits, "cache_hits", 1.0, false, &ComputeCounters::cache_hits},
+      {obs::metric::kCacheMisses, "cache_miss", 1.0, false, &ComputeCounters::cache_misses},
+      {obs::metric::kCacheEvictions, "evictions", 1.0, false, &ComputeCounters::cache_evictions},
+      {obs::metric::kCachePeakBytes, "cache_kb", 1e-3, true, &ComputeCounters::cache_peak_bytes},
+      {obs::metric::kPoolTasks, "pool_tasks", 1.0, false, &ComputeCounters::pool_tasks},
+      {obs::metric::kPoolBatches, nullptr, 1.0, false, &ComputeCounters::pool_batches},
+  };
+  return kFields;
+}
+
+void export_metrics(const ComputeCounters& compute, obs::MetricsRegistry& registry) {
+  for (const ComputeCounters::Field& f : ComputeCounters::fields()) {
+    if (f.merge_max)
+      registry.gauge_max(f.name, compute.*f.member);
+    else
+      registry.add(f.name, compute.*f.member);
+  }
+}
+
 Summary summarize(std::span<const Breakdown> ranks, double runtime) {
   Summary summary;
   RunningStats compute, overhead, comm, sync;
@@ -45,6 +68,7 @@ Summary summarize(std::span<const Breakdown> ranks, double runtime) {
     total_max = std::max(total_max, b.total());
     summary.peak_memory_max = std::max(summary.peak_memory_max, b.peak_memory);
     summary.faults.merge(b.faults);
+    summary.compute_layer.merge(b.compute_layer);
   }
   summary.runtime = runtime < 0 ? total_max : runtime;
   summary.compute_avg = compute.mean();
@@ -95,6 +119,27 @@ void add_fault_row(Table& table, std::vector<Table::Cell> labels, const Summary&
     }
   }
   labels.emplace_back(summary.faults.recovery_seconds);
+  table.add_row(std::move(labels));
+}
+
+std::vector<std::string> compute_headers(std::vector<std::string> labels) {
+  for (const ComputeCounters::Field& f : ComputeCounters::fields()) {
+    if (f.column != nullptr) labels.emplace_back(f.column);
+  }
+  labels.emplace_back("hit_%");
+  return labels;
+}
+
+void add_compute_row(Table& table, std::vector<Table::Cell> labels, const Summary& summary) {
+  for (const ComputeCounters::Field& f : ComputeCounters::fields()) {
+    if (f.column == nullptr) continue;
+    if (f.column_scale == 1.0) {
+      labels.emplace_back(summary.compute_layer.*f.member);
+    } else {
+      labels.emplace_back(static_cast<double>(summary.compute_layer.*f.member) * f.column_scale);
+    }
+  }
+  labels.emplace_back(100.0 * summary.compute_layer.hit_rate());
   table.add_row(std::move(labels));
 }
 

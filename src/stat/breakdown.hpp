@@ -71,6 +71,49 @@ struct FaultCounters {
 /// `gnbody --metrics` and the fault tables can never disagree on names.
 void export_metrics(const FaultCounters& faults, obs::MetricsRegistry& registry);
 
+/// Intra-rank compute-layer counters, filled per rank by the engines from
+/// core::ReadCache / core::AlignPool accounting (the simulator fills only
+/// `threads` — it has no cache or pool to measure). Same descriptor-table
+/// discipline as FaultCounters: merge(), the compute tables, and the obs
+/// metrics export all iterate fields().
+struct ComputeCounters {
+  std::uint64_t threads = 1;           // compute workers per rank (max on merge)
+  std::uint64_t cache_hits = 0;        // decoded-read cache lookups served
+  std::uint64_t cache_misses = 0;      // lookups that paid the O(L) decode
+  std::uint64_t cache_evictions = 0;   // entries LRU-evicted over the byte bound
+  std::uint64_t cache_peak_bytes = 0;  // resident high watermark (max on merge)
+  std::uint64_t pool_tasks = 0;        // tasks executed by pool workers
+  std::uint64_t pool_batches = 0;      // batches drained through the pool
+
+  struct Field {
+    const char* name;          // metrics-registry name (obs/spans.hpp taxonomy)
+    const char* column;        // compute-table header, nullptr to omit
+    double column_scale;       // table prints value * scale
+    bool merge_max;            // merge by max (per-rank gauges) instead of sum
+    std::uint64_t ComputeCounters::*member;
+  };
+  [[nodiscard]] static std::span<const Field> fields();
+
+  void merge(const ComputeCounters& other) {
+    for (const Field& f : fields()) {
+      if (f.merge_max)
+        this->*f.member = this->*f.member > other.*f.member ? this->*f.member : other.*f.member;
+      else
+        this->*f.member += other.*f.member;
+    }
+  }
+
+  /// Cache hit rate in [0, 1]; 0 when the cache saw no lookups.
+  [[nodiscard]] double hit_rate() const {
+    const std::uint64_t lookups = cache_hits + cache_misses;
+    return lookups == 0 ? 0.0 : static_cast<double>(cache_hits) / static_cast<double>(lookups);
+  }
+};
+
+/// Export every compute counter into a metrics registry under its taxonomy
+/// name (cache.hits, pool.tasks, ...).
+void export_metrics(const ComputeCounters& compute, obs::MetricsRegistry& registry);
+
 /// One rank's phase breakdown (seconds) and peak memory (bytes).
 struct Breakdown {
   double compute = 0;   // "Computation (Alignment)"
@@ -79,6 +122,7 @@ struct Breakdown {
   double sync = 0;      // barrier / exit-barrier waiting (imbalance)
   std::uint64_t peak_memory = 0;
   FaultCounters faults;
+  ComputeCounters compute_layer;  // cache/pool activity (engines fill per rank)
 
   [[nodiscard]] double total() const { return compute + overhead + comm + sync; }
 };
@@ -99,6 +143,7 @@ struct Summary {
   std::uint64_t messages = 0;               // buffers / RPCs on the wire
   std::uint64_t exchange_bytes = 0;         // total payload exchanged
   FaultCounters faults;                     // summed across ranks
+  ComputeCounters compute_layer;            // cache/pool counters merged across ranks
 
   [[nodiscard]] double comm_fraction() const { return runtime > 0 ? comm_avg / runtime : 0; }
 };
@@ -122,5 +167,12 @@ void add_breakdown_row(Table& table, std::vector<Table::Cell> labels, const Summ
 
 /// Append one row matching fault_headers(labels).
 void add_fault_row(Table& table, std::vector<Table::Cell> labels, const Summary& summary);
+
+/// The compute-layer table schema (cache hit rate, pool throughput):
+/// key columns, then threads/cache/pool columns.
+[[nodiscard]] std::vector<std::string> compute_headers(std::vector<std::string> labels);
+
+/// Append one row matching compute_headers(labels).
+void add_compute_row(Table& table, std::vector<Table::Cell> labels, const Summary& summary);
 
 }  // namespace gnb::stat

@@ -5,13 +5,16 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "align/affine.hpp"
 #include "align/banded.hpp"
 #include "align/exact.hpp"
 #include "align/overlap.hpp"
+#include "align/paf.hpp"
 #include "align/protein.hpp"
 #include "align/xdrop.hpp"
+#include "seq/read_store.hpp"
 #include "seq/sequence.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -106,6 +109,51 @@ TEST(XdropExtend, ScratchIsCleanAcrossCalls) {
   EXPECT_EQ(fresh.score, again.score);
   EXPECT_EQ(fresh.a_len, again.a_len);
   EXPECT_EQ(fresh.b_len, again.b_len);
+}
+
+TEST(XdropExtend, ScratchShrinksAfterPathologicalRead) {
+  // A single huge `b` grows the thread-local rows to O(|b|); the next small
+  // extension must release the watermark (down to the floor), or every pool
+  // worker that ever saw a long read pins that memory for the process life.
+  XDropParams params;
+  const Codes tiny{0, 1};
+  const Codes huge(200'000, 0);
+  (void)xdrop_extend(tiny, huge, params);
+  EXPECT_GE(align::detail::scratch_cells(), 200'001u);
+  EXPECT_GE(scratch_peak_bytes(),
+            static_cast<std::uint64_t>(align::detail::scratch_cells()) * sizeof(std::int32_t));
+  const Codes small(64, 1);
+  (void)xdrop_extend(small, small, params);
+  EXPECT_LT(align::detail::scratch_cells(), 20'000u);  // shrunk to the floor
+  EXPECT_TRUE(align::detail::scratch_invariant_holds());
+  // The floor is never deallocated: repeated small calls stay put.
+  const std::size_t floor = align::detail::scratch_cells();
+  (void)xdrop_extend(small, small, params);
+  EXPECT_EQ(align::detail::scratch_cells(), floor);
+}
+
+TEST(XdropExtend, ScratchInvariantSurvivesMidExtensionException) {
+  Xoshiro256 rng(71);
+  const Codes a = random_codes(300, rng);
+  const Codes b = mutate(a, 0.05, rng);
+  XDropParams params;
+  const Extension clean = xdrop_extend(a, b, params);
+  ASSERT_TRUE(align::detail::scratch_invariant_holds());
+
+  // Fail mid-extension: the guard must wipe the partially written band so
+  // the kNegInf between-calls invariant survives the unwind.
+  align::detail::xdrop_row_hook = [](std::size_t row) {
+    if (row == 40) throw std::runtime_error("injected mid-extension failure");
+  };
+  EXPECT_THROW((void)xdrop_extend(a, b, params), std::runtime_error);
+  align::detail::xdrop_row_hook = nullptr;
+  EXPECT_TRUE(align::detail::scratch_invariant_holds());
+
+  // And the next extension on this thread is unpoisoned.
+  const Extension again = xdrop_extend(a, b, params);
+  EXPECT_EQ(clean.score, again.score);
+  EXPECT_EQ(clean.a_len, again.a_len);
+  EXPECT_EQ(clean.b_len, again.b_len);
 }
 
 TEST(XdropExtend, ScoreNonNegative) {
@@ -495,6 +543,76 @@ TEST(Affine, GlobalNeverAboveLocal) {
   const Codes a = random_codes(60, rng);
   const Codes b = random_codes(60, rng);
   EXPECT_LE(affine_global_score(a, b), affine_smith_waterman(a, b).score);
+}
+
+// ---------- PAF match-count derivation ----------
+
+namespace {
+seq::ReadStore two_read_store(std::size_t len_a, std::size_t len_b) {
+  Xoshiro256 rng(81);
+  seq::ReadStore store;
+  store.add("read_a", seq::Sequence::from_codes(random_codes(len_a, rng)));
+  store.add("read_b", seq::Sequence::from_codes(random_codes(len_b, rng)));
+  return store;
+}
+}  // namespace
+
+TEST(Paf, MatchesDerivedFromActualScoring) {
+  // Regression: to_paf used to hard-wire the +1/-1 default into the matches
+  // estimate. Under match=2/mismatch=-3, a 100-column block of 90 matches
+  // and 10 mismatches scores 90*2 - 10*3 = 150; inverting must give 90 back.
+  const seq::ReadStore reads = two_read_store(100, 100);
+  AlignmentRecord record;
+  record.read_a = 0;
+  record.read_b = 1;
+  record.alignment = make_alignment(0, 100, 0, 100);
+  record.alignment.score = 150;
+
+  Scoring scoring;
+  scoring.match = 2;
+  scoring.mismatch = -3;
+  EXPECT_EQ(to_paf(record, reads, scoring).matches, 90u);
+
+  // The old formula ((block + score) / 2, i.e. the +1/-1 inversion) would
+  // claim 125 "matches" in a 100-column block — over block_length.
+  EXPECT_EQ(to_paf(record, reads).matches, 100u);  // default scoring: clamped
+}
+
+TEST(Paf, MatchesClampedToBlockLength) {
+  const seq::ReadStore reads = two_read_store(60, 60);
+  AlignmentRecord record;
+  record.read_a = 0;
+  record.read_b = 1;
+  record.alignment = make_alignment(0, 50, 0, 50);
+  record.alignment.score = 50;  // perfect 50-match block at +1/-1
+  const PafRecord perfect = to_paf(record, reads);
+  EXPECT_EQ(perfect.matches, 50u);
+  EXPECT_EQ(perfect.block_length, 50u);
+
+  record.alignment.score = -200;  // hostile score: clamp at zero
+  EXPECT_EQ(to_paf(record, reads).matches, 0u);
+}
+
+TEST(Paf, RoundTripsThroughFormatAndParse) {
+  const seq::ReadStore reads = two_read_store(80, 90);
+  AlignmentRecord record;
+  record.read_a = 0;
+  record.read_b = 1;
+  record.alignment = make_alignment(5, 70, 10, 80);
+  record.alignment.score = 42;
+  record.alignment.b_reversed = true;
+  Scoring scoring;
+  scoring.match = 5;
+  scoring.mismatch = -4;
+  const PafRecord out = to_paf(record, reads, scoring);
+  const PafRecord back = parse_paf(format_paf(out));
+  EXPECT_EQ(back.matches, out.matches);
+  EXPECT_EQ(back.block_length, out.block_length);
+  EXPECT_EQ(back.score, out.score);
+  EXPECT_TRUE(back.reverse_strand);
+  // Reverse-strand target coordinates are reported on the forward strand.
+  EXPECT_EQ(back.target_begin, 90u - 80u);
+  EXPECT_EQ(back.target_end, 90u - 10u);
 }
 
 TEST(Protein, RandomProteinsScoreLow) {

@@ -327,6 +327,34 @@ TEST(Chaos, ResultsAreByteIdenticalUnderInjection) {
   }
 }
 
+TEST(Chaos, ComputeThreadsStayByteIdenticalUnderInjection) {
+  // The worker pool must not perturb results even when the fault layer is
+  // scrambling delivery: at every thread count the accepted set equals the
+  // serial fault-free run, and the fault layer stays active (the exact
+  // observation counts — where a duplicate gets dropped, say — are timing-
+  // dependent and legitimately move with the thread count).
+  constexpr std::size_t kRanks = 4;
+  const Workload w = make_workload(kRanks);
+  const rt::FaultPlan plan = rt::FaultPlan::from_seed(7);
+  for (const bool async_mode : {false, true}) {
+    core::EngineConfig serial;
+    serial.proto.compute_threads = 1;
+    const RunOutcome clean = run_engine(async_mode, kRanks, w, serial);
+    ASSERT_FALSE(clean.records.empty());
+    for (const std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+      core::EngineConfig pooled;
+      pooled.proto.compute_threads = threads;
+      SCOPED_TRACE((async_mode ? "async" : "bsp") + std::string(" threads=") +
+                   std::to_string(threads));
+      const RunOutcome chaos = run_engine(async_mode, kRanks, w, pooled, plan);
+      expect_identical(chaos, clean);
+      // BSP has no RPCs for the injector to duplicate or time out; only the
+      // async engine is expected to observe fault events in its counters.
+      if (async_mode) EXPECT_TRUE(chaos.faults.any());
+    }
+  }
+}
+
 TEST(Chaos, HeavyDuplicationIsDeduplicated) {
   constexpr std::size_t kRanks = 4;
   const Workload w = make_workload(kRanks);

@@ -9,7 +9,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
+#include <tuple>
 #include <vector>
 
 #include "core/async.hpp"
@@ -157,6 +159,92 @@ TEST(FuzzParity, SingleRankRunsExchangeNothing) {
     EXPECT_EQ(bsp.bytes, 0u);
     EXPECT_EQ(async.bytes, 0u);
     EXPECT_EQ(async.messages, plan.async_messages);
+  }
+}
+
+namespace {
+
+/// Full-compute run returning raw per-rank results (per-rank accepted order
+/// preserved — the byte-identity surface).
+std::vector<core::EngineResult> run_full(bool async_mode, const Workload& w,
+                                         const core::EngineConfig& config) {
+  rt::World world(w.ranks);
+  std::vector<core::EngineResult> results(w.ranks);
+  world.run([&](rt::Rank& rank) {
+    results[rank.id()] =
+        async_mode ? core::async_align(rank, w.dataset.reads, w.tasks.bounds,
+                                       w.tasks.per_rank[rank.id()], config)
+                   : core::bsp_align(rank, w.dataset.reads, w.tasks.bounds,
+                                     w.tasks.per_rank[rank.id()], config);
+  });
+  return results;
+}
+
+/// Stable full-field order for in-rank comparison: BSP merges are
+/// deterministic, but async merges in reply-arrival order, which varies run
+/// to run even at one thread — the contract is per-rank *multiset* identity.
+std::vector<align::AlignmentRecord> full_sorted(std::vector<align::AlignmentRecord> records) {
+  std::sort(records.begin(), records.end(),
+            [](const align::AlignmentRecord& x, const align::AlignmentRecord& y) {
+              return std::tie(x.read_a, x.read_b, x.alignment.score, x.alignment.cells,
+                              x.alignment.a_begin, x.alignment.b_begin) <
+                     std::tie(y.read_a, y.read_b, y.alignment.score, y.alignment.cells,
+                              y.alignment.a_begin, y.alignment.b_begin);
+            });
+  return records;
+}
+
+void expect_byte_identical(const std::vector<core::EngineResult>& base,
+                           const std::vector<core::EngineResult>& got,
+                           bool sort_within_rank) {
+  ASSERT_EQ(base.size(), got.size());
+  for (std::size_t r = 0; r < base.size(); ++r) {
+    EXPECT_EQ(base[r].tasks_done, got[r].tasks_done) << "rank " << r;
+    EXPECT_EQ(base[r].cells, got[r].cells) << "rank " << r;
+    ASSERT_EQ(base[r].accepted.size(), got[r].accepted.size()) << "rank " << r;
+    const auto xs = sort_within_rank ? full_sorted(base[r].accepted) : base[r].accepted;
+    const auto ys = sort_within_rank ? full_sorted(got[r].accepted) : got[r].accepted;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const align::AlignmentRecord& a = xs[i];
+      const align::AlignmentRecord& b = ys[i];
+      EXPECT_TRUE(a.read_a == b.read_a && a.read_b == b.read_b &&
+                  a.alignment.score == b.alignment.score &&
+                  a.alignment.cells == b.alignment.cells &&
+                  a.alignment.a_begin == b.alignment.a_begin &&
+                  a.alignment.a_end == b.alignment.a_end &&
+                  a.alignment.b_begin == b.alignment.b_begin &&
+                  a.alignment.b_end == b.alignment.b_end &&
+                  a.alignment.b_reversed == b.alignment.b_reversed)
+          << "rank " << r << " record " << i << " diverged";
+    }
+  }
+}
+
+}  // namespace
+
+TEST(FuzzParity, ComputeThreadsByteIdenticalAcrossWorkloads) {
+  // The determinism contract of core::TaskRunner: at any thread count, each
+  // rank's accepted records, tasks_done and cells equal the serial
+  // engine's — in exact order for BSP (deterministic submission order),
+  // as a multiset for async — across randomized workloads and both
+  // backends.
+  constexpr std::uint64_t kTrials = 3;
+  for (std::uint64_t trial = 0; trial < kTrials; ++trial) {
+    const Workload w = make_workload(trial);
+    for (const bool async_mode : {false, true}) {
+      core::EngineConfig serial;  // full compute
+      serial.proto.compute_threads = 1;
+      const auto base = run_full(async_mode, w, serial);
+      for (const std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+        core::EngineConfig pooled;
+        pooled.proto.compute_threads = threads;
+        SCOPED_TRACE("trial=" + std::to_string(trial) +
+                     " engine=" + (async_mode ? "async" : "bsp") +
+                     " threads=" + std::to_string(threads));
+        expect_byte_identical(base, run_full(async_mode, w, pooled),
+                              /*sort_within_rank=*/async_mode);
+      }
+    }
   }
 }
 

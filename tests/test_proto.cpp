@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <numeric>
 
 #include "proto/config.hpp"
@@ -309,4 +310,40 @@ TEST(ExchangePlanTest, SingleRoundCapacityMatchesSimBoundary) {
   sim::MachineParams short_by_one = machine;
   short_by_one.memory_per_core = capacity - 1;
   EXPECT_GT(sim::simulate_bsp(short_by_one, assignment, options).rounds, 1u);
+}
+
+// ---------- compute_threads plumbing ----------
+
+TEST(ProtoConfig, ComputeThreadsFromEnv) {
+  unsetenv("GNB_COMPUTE_THREADS");
+  EXPECT_EQ(compute_threads_from_env(1), 1u);
+  EXPECT_EQ(compute_threads_from_env(3), 3u);  // fallback passes through
+  setenv("GNB_COMPUTE_THREADS", "4", 1);
+  EXPECT_EQ(compute_threads_from_env(1), 4u);
+  setenv("GNB_COMPUTE_THREADS", "0", 1);  // zero is not a thread count
+  EXPECT_EQ(compute_threads_from_env(2), 2u);
+  setenv("GNB_COMPUTE_THREADS", "junk", 1);
+  EXPECT_EQ(compute_threads_from_env(2), 2u);
+  setenv("GNB_COMPUTE_THREADS", "", 1);
+  EXPECT_EQ(compute_threads_from_env(5), 5u);
+  unsetenv("GNB_COMPUTE_THREADS");
+}
+
+TEST(ProtoConfig, ComputeThreadsDefaultsSerial) {
+  unsetenv("GNB_COMPUTE_THREADS");  // the default is env-seeded
+  const ProtoConfig config;
+  EXPECT_EQ(config.compute_threads, 1u);
+  EXPECT_GT(config.read_cache_bytes, 0u);  // caching on by default
+}
+
+TEST(ProtoConfig, ComputeThreadsDefaultSeededFromEnv) {
+  // The CI hook: exporting GNB_COMPUTE_THREADS drives every
+  // default-constructed config (and with it the whole default-config test
+  // matrix) through the worker pool.
+  setenv("GNB_COMPUTE_THREADS", "4", 1);
+  const ProtoConfig from_env;
+  EXPECT_EQ(from_env.compute_threads, 4u);
+  unsetenv("GNB_COMPUTE_THREADS");
+  const ProtoConfig serial;
+  EXPECT_EQ(serial.compute_threads, 1u);
 }

@@ -157,6 +157,19 @@ TEST(Sequence, NFraction) {
   EXPECT_DOUBLE_EQ(n_fraction(Sequence()), 0.0);
 }
 
+TEST(Sequence, OrientedCodesMatchesBothOrientations) {
+  // The one decode helper every consumer (engine, xdrop overload, read
+  // cache) shares: forward == unpack(), rc == reverse_complement().unpack().
+  Xoshiro256 rng(7);
+  for (const std::size_t length : {1u, 32u, 33u, 257u}) {
+    const Sequence seq = Sequence::from_string(random_dna(length, rng, /*n_rate=*/0.05));
+    EXPECT_EQ(oriented_codes(seq, false), seq.unpack());
+    EXPECT_EQ(oriented_codes(seq, true), seq.reverse_complement().unpack());
+  }
+  EXPECT_TRUE(oriented_codes(Sequence(), false).empty());
+  EXPECT_TRUE(oriented_codes(Sequence(), true).empty());
+}
+
 // ---------- FASTA / FASTQ ----------
 
 TEST(Fasta, ParsesMultilineRecords) {

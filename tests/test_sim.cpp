@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <unordered_set>
 
 #include "sim/assignment.hpp"
@@ -421,4 +422,71 @@ TEST(Report, ExchangeLoadMinMax) {
   std::uint64_t total = 0;
   for (const auto& work : assignment.ranks) total += work.pull_bytes();
   EXPECT_EQ(load.total_bytes, total);
+}
+
+// ---------- compute_threads in the cost model ----------
+
+TEST(PerfModel, ComputeThreadsOneIsByteIdentical) {
+  // The T=1 path must be the exact serial model: every divisor is exactly
+  // 1.0 and no pooled branch is taken, so the doubles are bit-equal.
+  unsetenv("GNB_COMPUTE_THREADS");  // compare the true default against T=1
+  const auto workload = small_workload();
+  const MachineParams machine = cori_knl(2);
+  const SimAssignment assignment = assign(workload, machine.total_ranks());
+  const SimOptions base = default_options();
+  SimOptions explicit_one = base;
+  explicit_one.proto.compute_threads = 1;
+  for (const bool async_mode : {false, true}) {
+    const SimResult a = async_mode ? simulate_async(machine, assignment, base)
+                                   : simulate_bsp(machine, assignment, base);
+    const SimResult b = async_mode ? simulate_async(machine, assignment, explicit_one)
+                                   : simulate_bsp(machine, assignment, explicit_one);
+    EXPECT_EQ(a.runtime, b.runtime);
+    ASSERT_EQ(a.ranks.size(), b.ranks.size());
+    for (std::size_t r = 0; r < a.ranks.size(); ++r) {
+      EXPECT_EQ(a.ranks[r].compute, b.ranks[r].compute);
+      EXPECT_EQ(a.ranks[r].overhead, b.ranks[r].overhead);
+      EXPECT_EQ(a.ranks[r].comm, b.ranks[r].comm);
+      EXPECT_EQ(a.ranks[r].sync, b.ranks[r].sync);
+      EXPECT_EQ(b.ranks[r].compute_layer.threads, 1u);
+    }
+  }
+}
+
+TEST(PerfModel, MoreComputeThreadsNeverSlower) {
+  const auto workload = small_workload();
+  const MachineParams machine = cori_knl(2);
+  const SimAssignment assignment = assign(workload, machine.total_ranks());
+  SimOptions serial = default_options();
+  serial.proto.compute_threads = 1;  // pin: GNB_COMPUTE_THREADS may be set
+  SimOptions pooled = default_options();
+  pooled.proto.compute_threads = 4;
+  for (const bool async_mode : {false, true}) {
+    const SimResult one = async_mode ? simulate_async(machine, assignment, serial)
+                                     : simulate_bsp(machine, assignment, serial);
+    const SimResult four = async_mode ? simulate_async(machine, assignment, pooled)
+                                      : simulate_bsp(machine, assignment, pooled);
+    EXPECT_LE(four.runtime, one.runtime);
+    // Kernel seconds scale with the workers; compare per-rank compute.
+    for (std::size_t r = 0; r < one.ranks.size(); ++r) {
+      EXPECT_NEAR(four.ranks[r].compute, one.ranks[r].compute / 4.0,
+                  1e-9 * one.ranks[r].compute + 1e-12);
+      EXPECT_EQ(four.ranks[r].compute_layer.threads, 4u);
+    }
+  }
+}
+
+TEST(PerfModel, SkipComputeIgnoresComputeThreads) {
+  const auto workload = small_workload();
+  const MachineParams machine = cori_knl(2);
+  const SimAssignment assignment = assign(workload, machine.total_ranks());
+  SimOptions serial = default_options();
+  serial.skip_compute = true;
+  SimOptions pooled = serial;
+  pooled.proto.compute_threads = 8;
+  // No kernels to scale or overlap: the comm-only phase is unchanged.
+  EXPECT_EQ(simulate_bsp(machine, assignment, serial).runtime,
+            simulate_bsp(machine, assignment, pooled).runtime);
+  EXPECT_EQ(simulate_async(machine, assignment, serial).runtime,
+            simulate_async(machine, assignment, pooled).runtime);
 }

@@ -39,6 +39,7 @@
 #include "obs/spans.hpp"
 #include "obs/trace.hpp"
 #include "pipeline/pipeline.hpp"
+#include "proto/config.hpp"
 #include "rt/world.hpp"
 #include "seq/fasta.hpp"
 #include "sim/assignment.hpp"
@@ -74,6 +75,9 @@ seq::ReadStore load_fasta(const std::string& path) {
 
 struct OverlapRun {
   std::vector<align::AlignmentRecord> records;
+  /// The scoring the engine actually aligned with — PAF residue-match
+  /// counts are derived from it, not from a hard-wired default.
+  align::Scoring scoring;
   /// Measured phase breakdown + protocol counters, reduced through the same
   /// stat sink the simulator reports use.
   stat::Summary summary;
@@ -85,7 +89,7 @@ struct OverlapRun {
 OverlapRun run_overlap(const seq::ReadStore& reads, std::size_t ranks, std::uint32_t k,
                        double coverage, double error, const std::string& engine_name,
                        std::int32_t min_score, std::uint32_t min_overlap,
-                       const rt::FaultPlan& faults = {}) {
+                       std::size_t compute_threads = 1, const rt::FaultPlan& faults = {}) {
   const auto band =
       kmer::reliable_bounds(kmer::BellaParams{coverage, error, k, 1e-3});
   log::info("k-mer filter: k=", k, ", reliable band [", band.lo, ", ", band.hi, "]");
@@ -103,6 +107,8 @@ OverlapRun run_overlap(const seq::ReadStore& reads, std::size_t ranks, std::uint
 
   core::EngineConfig engine;
   engine.filter = align::AlignmentFilter{min_score, min_overlap};
+  engine.proto.compute_threads = compute_threads;
+  run.scoring = engine.xdrop.scoring;
   const bool async_mode = engine_name == "async";
   GNB_THROW_IF(!async_mode && engine_name != "bsp",
                "unknown engine '" << engine_name << "' (use bsp or async)");
@@ -179,6 +185,9 @@ int cmd_overlap(int argc, char** argv) {
   auto engine = cli.opt<std::string>("engine", "bsp", "engine: bsp | async");
   auto min_score = cli.opt<std::int64_t>("min-score", 50, "minimum alignment score");
   auto min_overlap = cli.opt<std::uint64_t>("min-overlap", 100, "minimum overlap length");
+  auto compute_threads = cli.opt<std::uint64_t>(
+      "compute-threads", proto::compute_threads_from_env(1),
+      "alignment workers per rank (1 = inline serial; env GNB_COMPUTE_THREADS)");
   auto breakdown = cli.flag("breakdown", "print the measured phase breakdown table");
   auto trace = cli.opt<std::string>(
       "trace", "", "write a Perfetto/Chrome trace-event JSON (monotonic clock)");
@@ -206,7 +215,8 @@ int cmd_overlap(int argc, char** argv) {
   log::info("loaded ", reads.size(), " reads (", reads.total_bases(), " bases)");
   const auto run = run_overlap(reads, *ranks, static_cast<std::uint32_t>(*k), *coverage,
                                *error, *engine, static_cast<std::int32_t>(*min_score),
-                               static_cast<std::uint32_t>(*min_overlap), plan);
+                               static_cast<std::uint32_t>(*min_overlap), *compute_threads,
+                               plan);
 
   if (!trace->empty()) {
     obs::Tracer::bind(nullptr);
@@ -236,6 +246,9 @@ int cmd_overlap(int argc, char** argv) {
     Table table(stat::breakdown_headers({"engine"}));
     stat::add_breakdown_row(table, {*engine}, run.summary);
     table.print("measured phase breakdown (" + std::to_string(*ranks) + " ranks)");
+    Table compute_table(stat::compute_headers({"engine"}));
+    stat::add_compute_row(compute_table, {*engine}, run.summary);
+    compute_table.print("compute layer (read cache + alignment pool)");
   }
   if (plan.enabled()) {
     Table table(stat::fault_headers({"engine"}));
@@ -244,7 +257,7 @@ int cmd_overlap(int argc, char** argv) {
   }
   std::ofstream file(*out);
   GNB_THROW_IF(!file, "cannot open output: " << *out);
-  align::write_paf(file, run.records, reads);
+  align::write_paf(file, run.records, reads, run.scoring);
   log::info("wrote ", run.records.size(), " PAF records to ", *out);
   return 0;
 }
@@ -345,6 +358,9 @@ int cmd_sim(int argc, char** argv) {
   auto nodes = cli.opt<std::uint64_t>("nodes", 64, "simulated node count");
   auto engine = cli.opt<std::string>("engine", "bsp", "engine: bsp | async");
   auto scale = cli.opt<double>("scale", 20, "model workload at 1/scale of the paper's counts");
+  auto compute_threads = cli.opt<std::uint64_t>(
+      "compute-threads", proto::compute_threads_from_env(1),
+      "modeled alignment workers per rank (env GNB_COMPUTE_THREADS)");
   auto seed = cli.opt<std::uint64_t>("seed", 42, "workload + calibration seed");
   auto trace = cli.opt<std::string>("trace", "",
                                     "write a Perfetto/Chrome trace-event JSON (virtual clock)");
@@ -363,6 +379,7 @@ int cmd_sim(int argc, char** argv) {
 
   sim::SimOptions options;
   options.calibration = core::calibrate_cost_model(*seed);
+  options.proto.compute_threads = *compute_threads;
   if (!faults->empty()) options.faults = rt::FaultPlan::parse(*faults);
   const bool async_mode = *engine == "async";
   GNB_THROW_IF(!async_mode && *engine != "bsp",
@@ -382,6 +399,11 @@ int cmd_sim(int argc, char** argv) {
     Table fault_table(stat::fault_headers({"engine"}));
     stat::add_fault_row(fault_table, {*engine}, summary);
     fault_table.print("simulated fault counters");
+  }
+  if (*compute_threads > 1) {
+    Table compute_table(stat::compute_headers({"engine"}));
+    stat::add_compute_row(compute_table, {*engine}, summary);
+    compute_table.print("modeled compute layer");
   }
 
   if (!trace->empty()) {
