@@ -12,6 +12,7 @@
 #include <fstream>
 
 #include "align/affine.hpp"
+#include "align/batch.hpp"
 #include "align/cigar.hpp"
 #include "align/exact.hpp"
 #include "align/xdrop.hpp"
@@ -215,6 +216,144 @@ void BM_ReadSerializeRoundtrip(benchmark::State& state) {
 }
 BENCHMARK(BM_ReadSerializeRoundtrip);
 
+// --- batch aligner: scalar vs inter-sequence SIMD --------------------------
+//
+// Times the same task list through both align::BatchAligner backends. The
+// SIMD backend stripes eight independent extensions across vector lanes, so
+// its advantage shows up on realistic batches (many live extensions), not on
+// the single-pair cases above. Lane occupancy reports how full the lanes
+// stayed: retired lanes idle until the whole width refills.
+
+struct BatchKernelWorkload {
+  // Owned storage; `tasks` holds spans into it, so it is built only after the
+  // storage vector stops growing (the inner vectors' heap buffers are stable,
+  // but spans are taken in a second pass for clarity).
+  std::vector<std::vector<std::uint8_t>> storage;
+  std::vector<align::Seed> seeds;
+  std::vector<align::AlignTask> tasks;
+};
+
+BatchKernelWorkload make_batch_kernel_workload() {
+  BatchKernelWorkload w;
+  Xoshiro256 rng(321);
+  wl::GenomeParams gp;
+  gp.length = 80'000;
+  gp.repeat_fraction = 0;
+  const seq::Sequence genome = wl::generate_genome(gp, rng);
+  wl::ReadSimParams rp;
+  rp.coverage = 6;
+  rp.mean_length = 1'500;
+  rp.error_rate = 0.12;
+  rp.shuffle = false;
+  const wl::SampledDataset ds = wl::sample_reads(genome, rp, rng);
+
+  for (std::size_t i = 0; i + 1 < ds.reads.size() && w.seeds.size() < 64; ++i) {
+    for (std::size_t j = i + 1; j < ds.reads.size(); ++j) {
+      if (ds.origins[i].reverse_strand != ds.origins[j].reverse_strand) continue;
+      if (wl::true_overlap(ds.origins[i], ds.origins[j]) < 600) continue;
+      auto a = ds.reads.get(static_cast<seq::ReadId>(i)).sequence.unpack();
+      auto b = ds.reads.get(static_cast<seq::ReadId>(j)).sequence.unpack();
+      align::Seed seed{};
+      constexpr std::uint32_t k = 13;
+      for (std::uint32_t pa = 0; pa + k < a.size() && seed.length == 0; pa += 17) {
+        for (std::uint32_t pb = 0; pb + k < b.size(); pb += 1) {
+          if (std::equal(a.begin() + pa, a.begin() + pa + k, b.begin() + pb)) {
+            seed = align::Seed{pa, pb, static_cast<std::uint16_t>(k), false};
+            break;
+          }
+        }
+      }
+      if (seed.length == 0) break;
+      w.storage.push_back(std::move(a));
+      w.storage.push_back(std::move(b));
+      w.seeds.push_back(seed);
+      break;  // at most one pair per i
+    }
+  }
+  for (std::size_t p = 0; p < w.seeds.size(); ++p)
+    w.tasks.push_back(
+        align::AlignTask{w.storage[2 * p], w.storage[2 * p + 1], w.seeds[p]});
+  return w;
+}
+
+const BatchKernelWorkload& batch_kernel_workload() {
+  static const BatchKernelWorkload instance = make_batch_kernel_workload();
+  return instance;
+}
+
+void run_batch_kernel_bench(benchmark::State& state, proto::BatchAlignerKind kind) {
+  const BatchKernelWorkload& w = batch_kernel_workload();
+  if (w.tasks.empty()) {
+    state.SkipWithError("no overlapping pairs found");
+    return;
+  }
+  const auto backend = align::make_batch_aligner(kind, {});
+  for (auto _ : state) {
+    const auto results = backend->align(w.tasks);
+    benchmark::DoNotOptimize(results.data());
+  }
+  const align::BatchStats stats = backend->stats();
+  state.counters["cells/s"] =
+      benchmark::Counter(static_cast<double>(stats.cells), benchmark::Counter::kIsRate);
+  state.counters["lane_occupancy"] = stats.occupancy();
+  state.SetLabel(backend->info().name);
+}
+
+void BM_BatchXdropScalar(benchmark::State& state) {
+  run_batch_kernel_bench(state, proto::BatchAlignerKind::kScalar);
+}
+BENCHMARK(BM_BatchXdropScalar);
+
+void BM_BatchXdropSimd(benchmark::State& state) {
+  run_batch_kernel_bench(state, proto::BatchAlignerKind::kSimd);
+}
+BENCHMARK(BM_BatchXdropSimd);
+
+struct BatchKernelCase {
+  align::BatchAlignerInfo info;
+  std::uint64_t tasks = 0;
+  std::uint64_t cells = 0;
+  double seconds = 0;
+  double mcells_per_s = 0;
+  double occupancy = 0;
+};
+
+BatchKernelCase run_batch_kernel_case(const BatchKernelWorkload& w,
+                                      proto::BatchAlignerKind kind) {
+  const auto backend = align::make_batch_aligner(kind, {});
+  BatchKernelCase result;
+  result.info = backend->info();
+  const auto start = std::chrono::steady_clock::now();
+  double elapsed = 0;
+  while (elapsed < 0.3) {
+    const auto results = backend->align(w.tasks);
+    benchmark::DoNotOptimize(results.data());
+    elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+                  .count();
+  }
+  const align::BatchStats stats = backend->stats();
+  result.tasks = stats.tasks;
+  result.cells = stats.cells;
+  result.seconds = elapsed;
+  result.mcells_per_s = elapsed > 0 ? static_cast<double>(stats.cells) / elapsed / 1e6 : 0;
+  result.occupancy = stats.occupancy();
+  return result;
+}
+
+void append_batch_kernel_row(std::string& json, const char* label,
+                             const BatchKernelCase& c, bool trailing_comma) {
+  char buffer[512];
+  std::snprintf(buffer, sizeof(buffer),
+                "    {\"labels\":{\"case\":\"%s\"},\"backend\":\"%s\",\"lanes\":%u,"
+                "\"tasks\":%llu,\"cells\":%llu,\"seconds\":%.6f,"
+                "\"mcells_per_s\":%.1f,\"lane_occupancy\":%.4f}%s\n",
+                label, c.info.name, c.info.lanes,
+                static_cast<unsigned long long>(c.tasks),
+                static_cast<unsigned long long>(c.cells), c.seconds, c.mcells_per_s,
+                c.occupancy, trailing_comma ? "," : "");
+  json += buffer;
+}
+
 // --- read cache + alignment pool: whole-task throughput --------------------
 //
 // The microbenchmarks above time isolated kernels; this case times the full
@@ -306,9 +445,11 @@ void append_cache_pool_row(std::string& json, const char* label,
   json += buffer;
 }
 
-/// Run the cache/pool case pair and write the `BENCH_kernels.json` row the
-/// perf trajectory tracks: serial with a starved cache (every lookup
-/// re-decodes, the pre-cache behavior) vs the pooled cached configuration.
+/// Run the cache/pool case pair plus the scalar-vs-SIMD batch kernel pair and
+/// write the `BENCH_kernels.json` rows the perf trajectory tracks: serial
+/// with a starved cache (every lookup re-decodes, the pre-cache behavior) vs
+/// the pooled cached configuration, and the batch x-drop kernel through both
+/// BatchAligner backends with cells/s and lane occupancy.
 void write_cache_pool_report() {
   const CachePoolWorkload w = make_cache_pool_workload();
   // cache_bytes=1 starves the cache: every entry is evicted as soon as the
@@ -318,21 +459,34 @@ void write_cache_pool_report() {
   const double speedup =
       serial.tasks_per_s > 0 ? pooled.tasks_per_s / serial.tasks_per_s : 0;
 
+  const BatchKernelWorkload& bw = batch_kernel_workload();
+  const BatchKernelCase kernel_scalar =
+      run_batch_kernel_case(bw, proto::BatchAlignerKind::kScalar);
+  const BatchKernelCase kernel_simd =
+      run_batch_kernel_case(bw, proto::BatchAlignerKind::kSimd);
+  const double kernel_speedup = kernel_scalar.mcells_per_s > 0
+                                    ? kernel_simd.mcells_per_s / kernel_scalar.mcells_per_s
+                                    : 0;
+
   std::string json;
   json += "{\n  \"bench\":\"kernels\",\n";
   char config_line[256];
   std::snprintf(config_line, sizeof(config_line),
                 "  \"config\":{\"dataset\":\"ecoli30x\",\"genome_length\":20000,"
-                "\"reads\":%zu,\"tasks\":%llu},\n",
+                "\"reads\":%zu,\"tasks\":%llu,\"kernel_pairs\":%zu},\n",
                 w.dataset.reads.size(),
-                static_cast<unsigned long long>(serial.tasks));
+                static_cast<unsigned long long>(serial.tasks), bw.tasks.size());
   json += config_line;
   json += "  \"rows\":[\n";
   append_cache_pool_row(json, "align_tasks_serial_uncached", serial, true);
-  append_cache_pool_row(json, "align_tasks_pool4_cached", pooled, false);
+  append_cache_pool_row(json, "align_tasks_pool4_cached", pooled, true);
+  append_batch_kernel_row(json, "batch_xdrop_scalar", kernel_scalar, true);
+  append_batch_kernel_row(json, "batch_xdrop_simd", kernel_simd, false);
   json += "  ],\n";
-  char tail[128];
-  std::snprintf(tail, sizeof(tail), "  \"pool_cache_speedup\":%.2f\n}\n", speedup);
+  char tail[192];
+  std::snprintf(tail, sizeof(tail),
+                "  \"pool_cache_speedup\":%.2f,\n  \"simd_kernel_speedup\":%.2f\n}\n",
+                speedup, kernel_speedup);
   json += tail;
 
   std::ofstream out("BENCH_kernels.json");
@@ -341,6 +495,11 @@ void write_cache_pool_report() {
       "cache/pool: serial-uncached %.0f tasks/s, pool4-cached %.0f tasks/s "
       "(%.2fx, hit rate %.1f%%) -> BENCH_kernels.json\n",
       serial.tasks_per_s, pooled.tasks_per_s, speedup, pooled.hit_rate * 100);
+  std::printf(
+      "batch kernel: %s %.1f Mcells/s vs %s %.1f Mcells/s (%.2fx, occupancy "
+      "%.1f%%) -> BENCH_kernels.json\n",
+      kernel_scalar.info.name, kernel_scalar.mcells_per_s, kernel_simd.info.name,
+      kernel_simd.mcells_per_s, kernel_speedup, kernel_simd.occupancy * 100);
 }
 
 }  // namespace

@@ -10,7 +10,7 @@
 namespace gnb::align {
 
 namespace {
-constexpr std::int32_t kNegInf = std::numeric_limits<std::int32_t>::min() / 4;
+constexpr std::int32_t kNegInf = detail::kNegInf;
 
 // Scratch rows are per-thread (one copy per pool worker). They grow to the
 // longest `b` in flight, but must not stay at the high-watermark forever: a
@@ -103,10 +103,14 @@ Extension xdrop_extend(std::span<const std::uint8_t> a, std::span<const std::uin
   prev[0] = 0;
   for (std::size_t j = 1; j <= nb; ++j) {
     const std::int32_t s = static_cast<std::int32_t>(j) * sc.gap;
+    // Count every evaluated cell — including the boundary cell whose drop
+    // terminates the row — exactly as the main loop below does. Keeping the
+    // accounting rule uniform is what lets the batched backends reproduce
+    // `cells` bit-for-bit (and keeps the calibrated cost model honest).
+    ++ext.cells;
     if (s < best - x) break;
     prev[j] = s;
     hi = j;
-    ++ext.cells;
   }
 
   for (std::size_t i = 1; i <= a.size(); ++i) {

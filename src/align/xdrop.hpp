@@ -12,6 +12,7 @@
 // giving average-case O(n) behaviour.
 
 #include <cstdint>
+#include <limits>
 #include <span>
 
 #include "align/result.hpp"
@@ -56,6 +57,11 @@ Alignment xdrop_align(const seq::Sequence& a, const seq::Sequence& b, const Seed
 std::uint64_t scratch_peak_bytes();
 
 namespace detail {
+/// The DP "minus infinity": deep enough that adding a penalty cannot wrap,
+/// shared by the scalar kernel and the lane-batched backends (which must
+/// reproduce the scalar cell values bit-for-bit).
+inline constexpr std::int32_t kNegInf = std::numeric_limits<std::int32_t>::min() / 4;
+
 /// Test seam: invoked with the row index at the top of every DP row of
 /// xdrop_extend. A throwing hook simulates a failure mid-extension for the
 /// scratch-invariant exception-safety tests. Per-process, not thread-safe to

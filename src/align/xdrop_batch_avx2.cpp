@@ -1,0 +1,69 @@
+// AVX2 instantiation of the lane engine: 8 extensions striped across one
+// ymm register. This TU is compiled with -mavx2 (gated by the GNB_SIMD
+// CMake option plus a compiler check); nothing outside it may require AVX2,
+// and callers must consult align::cpu_supports_avx2() before dispatching
+// here — the rest of the binary stays runnable on baseline x86-64.
+//
+// Every op maps 1:1 onto the ScalarLaneOps reference semantics (exact int32
+// arithmetic, all-ones/all-zeros masks), so the template instantiation is
+// bit-identical to the portable and scalar kernels by construction. The two
+// per-step gathers are the only memory-lane divergence: masked gathers skip
+// inactive lanes entirely, which both keeps retired lanes from faulting and
+// matches the reference's `mask ? load : 0`.
+
+#include "align/xdrop_batch.hpp"
+
+#if defined(GNB_HAVE_AVX2_TU)
+
+#include <immintrin.h>
+
+namespace gnb::align::detail {
+namespace {
+
+struct Avx2LaneOps {
+  static constexpr int W = 8;
+  using V = __m256i;
+
+  static V broadcast(std::int32_t x) { return _mm256_set1_epi32(x); }
+  static V load(const std::int32_t* p) {
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  }
+  static void store(std::int32_t* p, V x) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), x);
+  }
+  static V add(V a, V b) { return _mm256_add_epi32(a, b); }
+  static V sub(V a, V b) { return _mm256_sub_epi32(a, b); }
+  static V min(V a, V b) { return _mm256_min_epi32(a, b); }
+  static V max(V a, V b) { return _mm256_max_epi32(a, b); }
+  static V cmpgt(V a, V b) { return _mm256_cmpgt_epi32(a, b); }
+  static V cmpeq(V a, V b) { return _mm256_cmpeq_epi32(a, b); }
+  static V and_(V a, V b) { return _mm256_and_si256(a, b); }
+  static V or_(V a, V b) { return _mm256_or_si256(a, b); }
+  static V andnot(V m, V x) { return _mm256_andnot_si256(m, x); }
+  static V blend(V m, V a, V b) { return _mm256_blendv_epi8(b, a, m); }
+  template <int kBits>
+  static V srli(V a) {
+    return _mm256_srli_epi32(a, kBits);
+  }
+  static V mask_gather(const std::int32_t* base, V idx, V m) {
+    return _mm256_mask_i32gather_epi32(_mm256_setzero_si256(), base, idx, m, 4);
+  }
+  static V mask_gather_bytes(const std::uint8_t* base, V idx, V m) {
+    return _mm256_mask_i32gather_epi32(_mm256_setzero_si256(),
+                                       reinterpret_cast<const int*>(base), idx, m, 1);
+  }
+  static int movemask(V m) { return _mm256_movemask_ps(_mm256_castsi256_ps(m)); }
+};
+
+}  // namespace
+
+void run_extension_batch_avx2(std::span<const ExtJob> jobs, const std::uint8_t* b_arena,
+                              const XDropParams& params, std::span<Extension> out,
+                              std::vector<std::int32_t>& scratch_a,
+                              std::vector<std::int32_t>& scratch_b, BatchStats& stats) {
+  run_extension_batch<Avx2LaneOps>(jobs, b_arena, params, out, scratch_a, scratch_b, stats);
+}
+
+}  // namespace gnb::align::detail
+
+#endif  // GNB_HAVE_AVX2_TU

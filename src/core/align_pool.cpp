@@ -7,8 +7,9 @@
 
 namespace gnb::core {
 
-AlignPool::AlignPool(std::size_t threads, align::XDropParams params)
-    : threads_(threads == 0 ? 1 : threads), params_(params) {
+AlignPool::AlignPool(std::size_t threads, align::XDropParams params,
+                     proto::BatchAlignerKind kind)
+    : threads_(threads == 0 ? 1 : threads), params_(params), kind_(kind) {
   if (!pooled()) return;
   workers_.reserve(threads_);
   for (std::size_t i = 0; i < threads_; ++i)
@@ -21,22 +22,22 @@ AlignPool::~AlignPool() {
     stop_ = true;
   }
   work_cv_.notify_all();
-  // jthreads join on destruction; queued-but-unexecuted slots are discarded
-  // (reachable only when an engine unwinds through an exception — results
-  // are never read in that case).
+  // jthreads join on destruction; queued-but-unexecuted batches are
+  // discarded (reachable only when an engine unwinds through an exception —
+  // results are never read in that case).
 }
 
 void AlignPool::submit(std::unique_ptr<Batch> batch) {
   GNB_CHECK_MSG(pooled(), "AlignPool::submit without workers (threads <= 1)");
   Batch* raw = batch.get();
   const std::size_t slots = raw->slots.size();
-  raw->remaining = slots;
+  raw->done = slots == 0;
   {
     std::lock_guard lock(mu_);
     ++batches_submitted_;
     tasks_executed_ += slots;
     queue_.push_back(std::move(batch));
-    for (std::size_t i = 0; i < slots; ++i) work_.emplace_back(raw, i);
+    if (slots != 0) work_.push_back(raw);
   }
   if (slots == 0)
     done_cv_.notify_all();  // empty batch: complete on arrival
@@ -46,7 +47,7 @@ void AlignPool::submit(std::unique_ptr<Batch> batch) {
 
 std::unique_ptr<AlignPool::Batch> AlignPool::try_pop() {
   std::lock_guard lock(mu_);
-  if (queue_.empty() || queue_.front()->remaining != 0) return nullptr;
+  if (queue_.empty() || !queue_.front()->done) return nullptr;
   std::unique_ptr<Batch> batch = std::move(queue_.front());
   queue_.pop_front();
   return batch;
@@ -55,7 +56,7 @@ std::unique_ptr<AlignPool::Batch> AlignPool::try_pop() {
 std::unique_ptr<AlignPool::Batch> AlignPool::wait_pop() {
   std::unique_lock lock(mu_);
   if (queue_.empty()) return nullptr;
-  done_cv_.wait(lock, [&] { return queue_.front()->remaining == 0; });
+  done_cv_.wait(lock, [&] { return queue_.front()->done; });
   std::unique_ptr<Batch> batch = std::move(queue_.front());
   queue_.pop_front();
   return batch;
@@ -81,34 +82,54 @@ std::uint64_t AlignPool::batches_submitted() const {
   return batches_submitted_;
 }
 
+align::BatchStats AlignPool::kernel_stats() const {
+  std::lock_guard lock(mu_);
+  return kernel_stats_;
+}
+
 void AlignPool::worker_loop() {
+  // One backend per worker: BatchAligner instances own kernel scratch and
+  // are single-threaded by contract.
+  const std::unique_ptr<align::BatchAligner> aligner =
+      align::make_batch_aligner(kind_, params_);
+  align::BatchStats reported;  // stats already folded into kernel_stats_
+  std::vector<align::AlignTask> tasks;
   for (;;) {
     Batch* batch = nullptr;
-    std::size_t index = 0;
     {
       std::unique_lock lock(mu_);
       work_cv_.wait(lock, [&] { return stop_ || !work_.empty(); });
       if (stop_) return;
-      std::tie(batch, index) = work_.front();
+      batch = work_.front();
       work_.pop_front();
     }
 
-    AlignSlot& slot = batch->slots[index];
     std::exception_ptr error;
     const auto t0 = std::chrono::steady_clock::now();
     try {
-      slot.alignment = align::xdrop_align(*slot.a, *slot.b, slot.seed, params_);
+      tasks.clear();
+      tasks.reserve(batch->slots.size());
+      for (const AlignSlot& slot : batch->slots)
+        tasks.push_back(align::AlignTask{*slot.a, *slot.b, slot.seed});
+      const std::vector<align::Alignment> results = aligner->align(tasks);
+      for (std::size_t i = 0; i < batch->slots.size(); ++i)
+        batch->slots[i].alignment = results[i];
     } catch (...) {
       error = std::current_exception();
     }
-    const double seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    const align::BatchStats delta = aligner->stats() - reported;
+    reported = aligner->stats();
 
     bool front_done = false;
     {
       std::lock_guard lock(mu_);
       worker_seconds_ += seconds;
+      kernel_stats_ += delta;
       if (error && !batch->error) batch->error = error;
-      front_done = --batch->remaining == 0 && !queue_.empty() && queue_.front().get() == batch;
+      batch->done = true;
+      front_done = !queue_.empty() && queue_.front().get() == batch;
     }
     // Waking wait_pop only when the *front* batch completes keeps the FIFO
     // contract cheap; try_pop never blocks, so out-of-order completions are

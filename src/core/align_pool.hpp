@@ -4,11 +4,15 @@
 // The paper overlaps communication with alignment compute inside each rank;
 // the pool is that overlap: the rank thread resolves tasks to decoded code
 // buffers (ReadCache handles) and submits them as ordered batches, then
-// keeps running its exchange protocol while workers drain the X-drop
-// kernels. Determinism is structural, not accidental: slots carry their
-// task index, batches complete in FIFO submission order, and the engine
-// merges per-slot results in that order — so EngineResult is byte-identical
-// at any thread count.
+// keeps running its exchange protocol while workers drain the alignment
+// kernels. A worker claims a whole batch and hands it to its own
+// align::BatchAligner backend — batches, not single tasks, are the unit of
+// dispatch, which is what lets the SIMD backend stripe the batch across
+// vector lanes. Determinism is structural, not accidental: slots carry
+// their task index, batches complete in FIFO submission order, the engine
+// merges per-slot results in that order, and every backend returns
+// bit-identical Alignments — so EngineResult is byte-identical at any
+// thread count and any backend.
 //
 // The pool spawns workers only for threads > 1; the engines execute slots
 // inline (today's serial behavior, including timer attribution) otherwise.
@@ -23,9 +27,11 @@
 #include <thread>
 #include <vector>
 
+#include "align/batch.hpp"
 #include "align/result.hpp"
 #include "align/xdrop.hpp"
 #include "core/read_cache.hpp"
+#include "proto/config.hpp"
 
 namespace gnb::core {
 
@@ -51,10 +57,13 @@ class AlignPool {
 
    private:
     friend class AlignPool;
-    std::size_t remaining = 0;
+    bool done = true;  // submit() arms this; empty batches stay complete
   };
 
-  AlignPool(std::size_t threads, align::XDropParams params);
+  /// `kind` must already be resolved (align::resolve_batch_aligner); each
+  /// worker constructs its own backend instance from it.
+  AlignPool(std::size_t threads, align::XDropParams params,
+            proto::BatchAlignerKind kind = proto::BatchAlignerKind::kScalar);
   ~AlignPool();
   AlignPool(const AlignPool&) = delete;
   AlignPool& operator=(const AlignPool&) = delete;
@@ -81,22 +90,26 @@ class AlignPool {
   [[nodiscard]] std::uint64_t tasks_executed() const;
   /// Batches submitted to workers.
   [[nodiscard]] std::uint64_t batches_submitted() const;
+  /// Kernel accounting summed across all workers' backends.
+  [[nodiscard]] align::BatchStats kernel_stats() const;
 
  private:
   void worker_loop();
 
   const std::size_t threads_;
   const align::XDropParams params_;
+  const proto::BatchAlignerKind kind_;
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;  // workers: work available or stopping
   std::condition_variable done_cv_;  // wait_pop: front batch completed
-  std::deque<std::unique_ptr<Batch>> queue_;           // submission order
-  std::deque<std::pair<Batch*, std::size_t>> work_;    // (batch, slot) items
+  std::deque<std::unique_ptr<Batch>> queue_;  // submission order
+  std::deque<Batch*> work_;                   // batches awaiting a worker
   bool stop_ = false;
   double worker_seconds_ = 0;
   std::uint64_t tasks_executed_ = 0;
   std::uint64_t batches_submitted_ = 0;
+  align::BatchStats kernel_stats_;
 
   std::vector<std::jthread> workers_;  // last member: joins before teardown
 };

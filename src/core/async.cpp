@@ -349,16 +349,21 @@ EngineResult async_align(rt::Rank& rank, const seq::ReadStore& store,
 
   // Drain the pool before the exit barrier, staying RPC-serviceable: peers
   // may still be pulling reads from this rank while its workers finish.
-  // The span is emitted iff workers are active — the simulator mirrors the
-  // same gate (span-name parity).
-  if (runner.pooled()) {
-    GNB_SPAN(obs::span::kComputePool);
-    while (!runner.drained()) {
-      if (rank.rpc().progress() == 0) std::this_thread::yield();
-      runner.poll();
+  // compute.batch is emitted iff the kernels ran at all, compute.pool iff
+  // workers are active — the simulator mirrors both gates (span parity).
+  if (!config.skip_compute) {
+    GNB_SPAN(obs::span::kComputeBatch);
+    if (runner.pooled()) {
+      GNB_SPAN(obs::span::kComputePool);
+      while (!runner.drained()) {
+        if (rank.rpc().progress() == 0) std::this_thread::yield();
+        runner.poll();
+      }
     }
+    runner.drain();
+  } else {
+    runner.drain();
   }
-  runner.drain();
   runner.flush();
 
   // --- single exit barrier: stay serviceable until everyone is done ---

@@ -261,11 +261,17 @@ EngineResult bsp_align(rt::Rank& rank, const seq::ReadStore& store,
   }
 
   // Drain the pool before the exit synchronization: the last rounds' tail
-  // compute runs here, under the span the simulator mirrors (emitted iff
-  // workers are active — the span-name parity tests compare the gate).
-  if (runner.pooled()) {
-    GNB_SPAN(obs::span::kComputePool);
-    runner.drain();
+  // compute runs here, under the spans the simulator mirrors (compute.batch
+  // iff the kernels ran at all, compute.pool iff workers are active — the
+  // span-name parity tests compare both gates).
+  if (!config.skip_compute) {
+    GNB_SPAN(obs::span::kComputeBatch);
+    if (runner.pooled()) {
+      GNB_SPAN(obs::span::kComputePool);
+      runner.drain();
+    } else {
+      runner.drain();
+    }
   } else {
     runner.drain();
   }

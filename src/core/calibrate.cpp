@@ -1,8 +1,11 @@
 #include "core/calibrate.hpp"
 
 #include <algorithm>
+#include <memory>
+#include <span>
 #include <vector>
 
+#include "align/batch.hpp"
 #include "align/xdrop.hpp"
 #include "seq/sequence.hpp"
 #include "util/rng.hpp"
@@ -12,7 +15,8 @@
 
 namespace gnb::core {
 
-CostCalibration calibrate_cost_model(std::uint64_t seed, double min_seconds) {
+CostCalibration calibrate_cost_model(std::uint64_t seed, double min_seconds,
+                                     proto::BatchAlignerKind kind) {
   Xoshiro256 rng(seed);
   wl::GenomeParams genome_params;
   genome_params.length = 20'000;
@@ -67,16 +71,27 @@ CostCalibration calibrate_cost_model(std::uint64_t seed, double min_seconds) {
   CostCalibration calibration;
   if (pairs.empty()) return calibration;  // fall back to defaults
 
+  // Time the kernel through the batch seam in engine-shaped batches (the
+  // TaskRunner submits 32-slot chunks), so the measured rate is the rate
+  // the engine's selected backend actually delivers.
   const align::XDropParams params;
+  const std::unique_ptr<align::BatchAligner> backend = align::make_batch_aligner(kind, params);
+  std::vector<align::AlignTask> tasks_buf;
+  tasks_buf.reserve(pairs.size());
+  for (const Pair& pair : pairs)
+    tasks_buf.push_back(align::AlignTask{pair.a, pair.b, pair.seed});
+  constexpr std::size_t kBatch = 32;
   std::uint64_t cells = 0;
   std::uint64_t tasks = 0;
   const double t0 = thread_cpu_seconds();
   double elapsed = 0;
   while (elapsed < min_seconds) {
-    for (const Pair& pair : pairs) {
-      const align::Alignment alignment = align::xdrop_align(pair.a, pair.b, pair.seed, params);
-      cells += alignment.cells;
-      ++tasks;
+    for (std::size_t begin = 0; begin < tasks_buf.size(); begin += kBatch) {
+      const std::size_t end = std::min(tasks_buf.size(), begin + kBatch);
+      const std::vector<align::Alignment> results = backend->align(
+          std::span<const align::AlignTask>(tasks_buf).subspan(begin, end - begin));
+      for (const align::Alignment& alignment : results) cells += alignment.cells;
+      tasks += end - begin;
     }
     elapsed = thread_cpu_seconds() - t0;
   }

@@ -9,6 +9,8 @@
 
 #include <cstdint>
 
+#include "proto/config.hpp"
+
 namespace gnb::core {
 
 struct CostCalibration {
@@ -18,7 +20,11 @@ struct CostCalibration {
 
 /// Measure the real kernel for at least `min_seconds` of thread CPU time.
 /// Deterministic inputs from `seed`; the measured rate is host-dependent
-/// by design (it is the simulator's time base).
-CostCalibration calibrate_cost_model(std::uint64_t seed = 42, double min_seconds = 0.2);
+/// by design (it is the simulator's time base). The tasks run through the
+/// selected align::BatchAligner backend (`kind`, kAuto resolved at runtime)
+/// in engine-shaped batches, so cells_per_second reflects the kernel the
+/// engine will actually execute — SIMD hosts calibrate to SIMD throughput.
+CostCalibration calibrate_cost_model(std::uint64_t seed = 42, double min_seconds = 0.2,
+                                     proto::BatchAlignerKind kind = proto::BatchAlignerKind::kAuto);
 
 }  // namespace gnb::core

@@ -78,11 +78,13 @@ TaskRunner::TaskRunner(rt::Rank& rank, const seq::ReadStore& store,
       config_(config),
       result_(result),
       recovery_(recovery),
+      kind_(align::resolve_batch_aligner(config.proto.batch_aligner)),
       cache_(config.proto.read_cache_bytes),
       // skip_compute has no kernels to offload: stay inline so §4.3 runs
       // keep their exact serial shape (and spawn no idle workers).
       pool_(config.skip_compute ? 1 : std::max<std::size_t>(1, config.proto.compute_threads),
-            config.xdrop) {}
+            config.xdrop, kind_),
+      aligner_(align::make_batch_aligner(kind_, config.xdrop)) {}
 
 AlignSlot TaskRunner::make_slot(std::size_t t, const seq::Read& remote, bool have_remote) {
   const kmer::AlignTask& task = my_tasks_[t];
@@ -114,34 +116,42 @@ void TaskRunner::merge_slot(const AlignSlot& slot) {
   if (recovery_ != nullptr) recovery_->log_completion(slot.task_index, result_, before);
 }
 
-void TaskRunner::execute_and_merge(AlignSlot& slot) {
-  // Inline path: the caller's overhead stopwatch is running; the kernel is
-  // charged to compute while overhead is paused — exactly execute_task's
-  // attribution.
+void TaskRunner::run_inline(std::vector<AlignSlot>& slots) {
+  // Inline path: the caller's overhead stopwatch is running; the kernel
+  // batch is charged to compute while overhead is paused — the same
+  // attribution execute_task uses, at batch granularity.
   if (!config_.skip_compute) {
+    task_buf_.clear();
+    task_buf_.reserve(slots.size());
+    for (const AlignSlot& slot : slots)
+      task_buf_.push_back(align::AlignTask{*slot.a, *slot.b, slot.seed});
     ScopedPause hold(rank_.timers().overhead);
     ScopedCharge charge(rank_.timers().compute);
-    slot.alignment = align::xdrop_align(*slot.a, *slot.b, slot.seed, config_.xdrop);
+    const std::vector<align::Alignment> results = aligner_->align(task_buf_);
+    for (std::size_t i = 0; i < slots.size(); ++i) slots[i].alignment = results[i];
   }
-  merge_slot(slot);
+  for (const AlignSlot& slot : slots) merge_slot(slot);
 }
 
 void TaskRunner::run_local_tasks(const std::vector<std::size_t>& tasks) {
-  if (!pooled()) {
-    for (const std::size_t t : tasks) {
-      rank_.timers().overhead.start();
-      AlignSlot slot = make_slot(t, seq::Read{}, false);
-      execute_and_merge(slot);
-      rank_.timers().overhead.stop();
-    }
-    return;
-  }
-  // Chunked batches: large enough to amortize queue traffic, small enough
-  // that merges (and under recovery, completion logs) interleave.
+  // Chunked batches: large enough to amortize queue traffic (and keep SIMD
+  // lanes fed), small enough that merges (and under recovery, completion
+  // logs) interleave. Inline and pooled modes cut identical batch
+  // boundaries, so kernel accounting is comparable across thread counts.
   constexpr std::size_t kSlotsPerBatch = 32;
+  std::vector<AlignSlot> slots;
   for (std::size_t begin = 0; begin < tasks.size(); begin += kSlotsPerBatch) {
     const std::size_t end = std::min(tasks.size(), begin + kSlotsPerBatch);
     rank_.timers().overhead.start();
+    if (!pooled()) {
+      slots.clear();
+      slots.reserve(end - begin);
+      for (std::size_t i = begin; i < end; ++i)
+        slots.push_back(make_slot(tasks[i], seq::Read{}, false));
+      run_inline(slots);
+      rank_.timers().overhead.stop();
+      continue;
+    }
     auto batch = std::make_unique<AlignPool::Batch>();
     batch->slots.reserve(end - begin);
     for (std::size_t i = begin; i < end; ++i)
@@ -153,12 +163,12 @@ void TaskRunner::run_local_tasks(const std::vector<std::size_t>& tasks) {
 
 void TaskRunner::run_tasks(const seq::Read& remote, std::span<const std::size_t> tasks) {
   if (!pooled()) {
-    for (const std::size_t t : tasks) {
-      rank_.timers().overhead.start();
-      AlignSlot slot = make_slot(t, remote, true);
-      execute_and_merge(slot);
-      rank_.timers().overhead.stop();
-    }
+    rank_.timers().overhead.start();
+    std::vector<AlignSlot> slots;
+    slots.reserve(tasks.size());
+    for (const std::size_t t : tasks) slots.push_back(make_slot(t, remote, true));
+    run_inline(slots);
+    rank_.timers().overhead.stop();
     return;
   }
   rank_.timers().overhead.start();
@@ -221,6 +231,18 @@ void TaskRunner::flush() {
   c.cache_peak_bytes = stats.peak_bytes;
   c.pool_tasks = pool_.tasks_executed();
   c.pool_batches = pool_.batches_submitted();
+  // Kernel accounting: pooled work lands in the workers' backends, inline
+  // work in aligner_; exactly one of the two is nonzero per phase.
+  align::BatchStats kernel = pool_.kernel_stats();
+  kernel += aligner_->stats();
+  const align::BatchAlignerInfo info = aligner_->info();
+  c.kernel_backend = info.backend_id;
+  c.kernel_lanes = info.lanes;
+  c.kernel_batches = kernel.batches;
+  c.kernel_tasks = kernel.tasks;
+  c.kernel_cells = kernel.cells;
+  c.kernel_lane_steps = kernel.lane_steps;
+  c.kernel_lane_steps_active = kernel.lane_steps_active;
 }
 
 }  // namespace gnb::core

@@ -7,6 +7,7 @@
 #include <span>
 #include <vector>
 
+#include "align/batch.hpp"
 #include "align/result.hpp"
 #include "align/xdrop.hpp"
 #include "core/align_pool.hpp"
@@ -75,15 +76,18 @@ void flush_engine_metrics(rt::Rank& rank, const EngineResult& result);
 
 /// The intra-rank compute layer both engines share: resolves alignment
 /// tasks to decoded code buffers through a per-rank ReadCache (each read
-/// unpacked at most once per orientation per phase) and executes the X-drop
-/// kernels either inline (compute_threads <= 1: byte-for-byte today's
-/// serial behavior, including timer attribution) or on an AlignPool whose
-/// batches complete while the engine keeps exchanging.
+/// unpacked at most once per orientation per phase) and hands *batches* of
+/// tasks to an align::BatchAligner backend — either inline
+/// (compute_threads <= 1: same serial timer attribution as before) or on an
+/// AlignPool whose batches complete while the engine keeps exchanging. The
+/// backend (scalar / SIMD lane-batched) comes from
+/// config.proto.batch_aligner, resolved once at construction.
 ///
 /// Determinism contract: tasks are submitted in the engine's serial
-/// execution order and batch results are merged in that same FIFO order, so
-/// result.accepted / cells / tasks_done are byte-identical at any thread
-/// count. Under recovery (`recovery != nullptr`) every submission drains
+/// execution order, batch results are merged in that same FIFO order, and
+/// every backend returns bit-identical Alignments — so result.accepted /
+/// cells / tasks_done are byte-identical at any thread count and backend.
+/// Under recovery (`recovery != nullptr`) every submission drains
 /// synchronously before returning, so completion-log order and crash-point
 /// placement match the serial engine exactly.
 class TaskRunner {
@@ -121,7 +125,7 @@ class TaskRunner {
   [[nodiscard]] const ReadCache& cache() const { return cache_; }
 
  private:
-  void execute_and_merge(AlignSlot& slot);
+  void run_inline(std::vector<AlignSlot>& slots);
   void merge_slot(const AlignSlot& slot);
   void merge_batch(std::unique_ptr<AlignPool::Batch> batch);
   void submit(std::unique_ptr<AlignPool::Batch> batch);
@@ -134,8 +138,11 @@ class TaskRunner {
   const EngineConfig& config_;
   EngineResult& result_;
   RecoveryContext* recovery_;
+  const proto::BatchAlignerKind kind_;  // resolved backend (never kAuto)
   ReadCache cache_;
   AlignPool pool_;
+  std::unique_ptr<align::BatchAligner> aligner_;  // inline (non-pooled) backend
+  std::vector<align::AlignTask> task_buf_;        // inline batch staging
 };
 
 }  // namespace gnb::core

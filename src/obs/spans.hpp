@@ -34,6 +34,10 @@ inline constexpr const char* kRpcPull = "rpc.pull";
 // gate must match exactly). Cache activity is counters/metrics only —
 // parity-exempt, since the sim has no cache to mirror.
 inline constexpr const char* kComputePool = "compute.pool";
+// One span over the batch-aligner kernel drain of a phase, emitted iff the
+// engine ran the compute at all (skip_compute off) — same gate in the real
+// engines and the sim, for the same parity reason as kComputePool.
+inline constexpr const char* kComputeBatch = "compute.batch";
 
 // Recovery and checkpointing.
 inline constexpr const char* kRecovery = "recovery.recover";
@@ -89,6 +93,13 @@ inline constexpr const char* kCachePeakBytes = "cache.peak_bytes";
 inline constexpr const char* kPoolTasks = "pool.tasks";
 inline constexpr const char* kPoolBatches = "pool.batches";
 inline constexpr const char* kPoolThreads = "pool.threads";
+inline constexpr const char* kKernelBackend = "kernel.backend";
+inline constexpr const char* kKernelLanes = "kernel.lanes";
+inline constexpr const char* kKernelBatches = "kernel.batches";
+inline constexpr const char* kKernelTasks = "kernel.tasks";
+inline constexpr const char* kKernelCells = "kernel.cells";
+inline constexpr const char* kKernelLaneSteps = "kernel.lane_steps";
+inline constexpr const char* kKernelLaneStepsActive = "kernel.lane_steps_active";
 
 // stat::FaultCounters fields are exported under this prefix (names come
 // from the single stat::FaultCounters::fields() descriptor table).

@@ -18,4 +18,26 @@ std::size_t compute_threads_from_env(std::size_t fallback) {
   }
 }
 
+const char* to_string(BatchAlignerKind kind) {
+  switch (kind) {
+    case BatchAlignerKind::kScalar: return "scalar";
+    case BatchAlignerKind::kSimd: return "simd";
+    case BatchAlignerKind::kAuto: return "auto";
+  }
+  return "auto";
+}
+
+std::optional<BatchAlignerKind> parse_batch_aligner(std::string_view name) {
+  if (name == "scalar") return BatchAlignerKind::kScalar;
+  if (name == "simd") return BatchAlignerKind::kSimd;
+  if (name == "auto") return BatchAlignerKind::kAuto;
+  return std::nullopt;
+}
+
+BatchAlignerKind batch_aligner_from_env(BatchAlignerKind fallback) {
+  const char* raw = std::getenv("GNB_BATCH_ALIGNER");
+  if (raw == nullptr || *raw == '\0') return fallback;
+  return parse_batch_aligner(raw).value_or(fallback);
+}
+
 }  // namespace gnb::proto

@@ -8,6 +8,8 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <optional>
+#include <string_view>
 
 namespace gnb::proto {
 
@@ -29,6 +31,28 @@ inline constexpr std::uint64_t kMinDerivedBudget = 1ull << 16;
 /// tests that assert *serial* semantics pin `compute_threads = 1`
 /// explicitly.
 std::size_t compute_threads_from_env(std::size_t fallback = 1);
+
+/// Which alignment-kernel backend the compute layer batches tasks through
+/// (align::BatchAligner). `kAuto` resolves at runtime to the widest backend
+/// the host CPU supports; every backend is bit-identical to the scalar
+/// oracle, so the knob is a pure throughput choice.
+enum class BatchAlignerKind : std::uint8_t {
+  kScalar,  // one xdrop_align call per task (the byte-identity oracle)
+  kSimd,    // inter-sequence lane-batched kernel (AVX2 when available)
+  kAuto,    // runtime CPU dispatch: simd when the host supports it
+};
+
+[[nodiscard]] const char* to_string(BatchAlignerKind kind);
+
+/// Parse "scalar" | "simd" | "auto"; nullopt on anything else.
+[[nodiscard]] std::optional<BatchAlignerKind> parse_batch_aligner(std::string_view name);
+
+/// Resolve the backend kind from the GNB_BATCH_ALIGNER environment variable
+/// (unset, empty, or unparsable → `fallback`). ProtoConfig's default
+/// `batch_aligner` is seeded through this, so CI legs can force the whole
+/// default-config test matrix through one backend without touching every
+/// fixture; results are bit-identical either way (tests/test_fuzz_parity).
+BatchAlignerKind batch_aligner_from_env(BatchAlignerKind fallback = BatchAlignerKind::kAuto);
 
 /// Coordination-protocol configuration, one set of defaults for both
 /// backends (previously core::EngineConfig and sim::SimOptions carried
@@ -71,6 +95,12 @@ struct ProtoConfig {
   /// order. The simulator scales its compute term by the same knob. The
   /// default is 1 (serial), overridable host-wide via GNB_COMPUTE_THREADS.
   std::size_t compute_threads = compute_threads_from_env(1);
+
+  /// Alignment-kernel backend for the batched compute path (inline and
+  /// pooled). Any choice yields byte-identical results; kAuto picks the
+  /// fastest backend the host CPU supports. Overridable host-wide via
+  /// GNB_BATCH_ALIGNER (scalar | simd | auto).
+  BatchAlignerKind batch_aligner = batch_aligner_from_env(BatchAlignerKind::kAuto);
 
   /// Byte bound on the per-rank decoded-read cache (core::ReadCache):
   /// forward and reverse-complement code vectors, LRU-evicted once the

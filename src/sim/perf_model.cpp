@@ -409,8 +409,10 @@ SimResult simulate_bsp(const MachineParams& machine, const SimAssignment& assign
 
   if (strace.on()) {
     for (std::size_t r = 0; r < p; ++r) {
-      // Same gate as the real engine's TaskRunner::pooled(): the final
-      // drain before the exit barrier, emitted iff workers are active.
+      // Same gates as the real engine: compute.batch iff the kernels ran
+      // at all, compute.pool iff workers are active — the final drain
+      // before the exit barrier.
+      if (!options.skip_compute) strace.complete(r, obs::span::kComputeBatch, runtime, 0.0);
       if (pooled) strace.complete(r, obs::span::kComputePool, runtime, 0.0);
       strace.complete(r, obs::span::kCollBarrier, runtime, 0.0);
       strace.complete(r, obs::span::kBspAlign, 0.0, runtime, "tasks",
@@ -683,7 +685,9 @@ SimResult simulate_async(const MachineParams& machine, const SimAssignment& assi
         strace.instant(r, obs::span::kRecoveryReexec, busy_end - t.faults.recovery_seconds,
                        "tasks", t.faults.tasks_reexecuted);
       }
-      // Pool drain before the exit barrier — same gate as the real engine.
+      // Kernel/pool drain before the exit barrier — same gates as the real
+      // engine (compute.batch: kernels ran; compute.pool: workers active).
+      if (!options.skip_compute) strace.complete(r, obs::span::kComputeBatch, busy_end, 0.0);
       if (pooled) strace.complete(r, obs::span::kComputePool, busy_end, 0.0);
       const double exit_sync = std::max(0.0, phase - busy_end);
       strace.complete(r, obs::span::kCollServiceBarrier, busy_end, exit_sync);

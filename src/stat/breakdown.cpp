@@ -43,8 +43,27 @@ std::span<const ComputeCounters::Field> ComputeCounters::fields() {
       {obs::metric::kCachePeakBytes, "cache_kb", 1e-3, true, &ComputeCounters::cache_peak_bytes},
       {obs::metric::kPoolTasks, "pool_tasks", 1.0, false, &ComputeCounters::pool_tasks},
       {obs::metric::kPoolBatches, nullptr, 1.0, false, &ComputeCounters::pool_batches},
+      // Kernel counters print through the dedicated kernel table (backend
+      // needs name mapping, occupancy is a ratio) — no compute-table column.
+      {obs::metric::kKernelBackend, nullptr, 1.0, true, &ComputeCounters::kernel_backend},
+      {obs::metric::kKernelLanes, nullptr, 1.0, true, &ComputeCounters::kernel_lanes},
+      {obs::metric::kKernelBatches, nullptr, 1.0, false, &ComputeCounters::kernel_batches},
+      {obs::metric::kKernelTasks, nullptr, 1.0, false, &ComputeCounters::kernel_tasks},
+      {obs::metric::kKernelCells, nullptr, 1.0, false, &ComputeCounters::kernel_cells},
+      {obs::metric::kKernelLaneSteps, nullptr, 1.0, false, &ComputeCounters::kernel_lane_steps},
+      {obs::metric::kKernelLaneStepsActive, nullptr, 1.0, false,
+       &ComputeCounters::kernel_lane_steps_active},
   };
   return kFields;
+}
+
+const char* ComputeCounters::kernel_backend_name(std::uint64_t id) {
+  switch (id) {
+    case 0: return "scalar";
+    case 1: return "simd-portable";
+    case 2: return "simd-avx2";
+    default: return "unknown";
+  }
 }
 
 void export_metrics(const ComputeCounters& compute, obs::MetricsRegistry& registry) {
@@ -140,6 +159,24 @@ void add_compute_row(Table& table, std::vector<Table::Cell> labels, const Summar
     }
   }
   labels.emplace_back(100.0 * summary.compute_layer.hit_rate());
+  table.add_row(std::move(labels));
+}
+
+std::vector<std::string> kernel_headers(std::vector<std::string> labels) {
+  for (const char* column :
+       {"backend", "lanes", "batches", "tasks", "Mcells", "occupancy_%"})
+    labels.emplace_back(column);
+  return labels;
+}
+
+void add_kernel_row(Table& table, std::vector<Table::Cell> labels, const Summary& summary) {
+  const ComputeCounters& c = summary.compute_layer;
+  labels.emplace_back(ComputeCounters::kernel_backend_name(c.kernel_backend));
+  labels.emplace_back(c.kernel_lanes);
+  labels.emplace_back(c.kernel_batches);
+  labels.emplace_back(c.kernel_tasks);
+  labels.emplace_back(static_cast<double>(c.kernel_cells) / 1e6);
+  labels.emplace_back(100.0 * c.lane_occupancy());
   table.add_row(std::move(labels));
 }
 

@@ -85,6 +85,18 @@ struct ComputeCounters {
   std::uint64_t pool_tasks = 0;        // tasks executed by pool workers
   std::uint64_t pool_batches = 0;      // batches drained through the pool
 
+  // Batch-aligner kernel accounting (align::BatchAligner::stats). The
+  // backend id and lane width are per-rank capabilities (max on merge);
+  // the rest are work sums. lane_steps vs lane_steps_active gives the
+  // SIMD lane occupancy the kernel table prints.
+  std::uint64_t kernel_backend = 0;           // 0 scalar, 1 simd-portable, 2 simd-avx2
+  std::uint64_t kernel_lanes = 1;             // extensions striped per register
+  std::uint64_t kernel_batches = 0;           // align() calls
+  std::uint64_t kernel_tasks = 0;             // tasks aligned through the seam
+  std::uint64_t kernel_cells = 0;             // DP cells evaluated by the kernel
+  std::uint64_t kernel_lane_steps = 0;        // (lane, DP-step) slots issued
+  std::uint64_t kernel_lane_steps_active = 0; // slots that evaluated a live cell
+
   struct Field {
     const char* name;          // metrics-registry name (obs/spans.hpp taxonomy)
     const char* column;        // compute-table header, nullptr to omit
@@ -108,6 +120,19 @@ struct ComputeCounters {
     const std::uint64_t lookups = cache_hits + cache_misses;
     return lookups == 0 ? 0.0 : static_cast<double>(cache_hits) / static_cast<double>(lookups);
   }
+
+  /// Kernel lane occupancy in [0, 1]; 1 when no lane steps were issued
+  /// (scalar backend, or no work).
+  [[nodiscard]] double lane_occupancy() const {
+    return kernel_lane_steps == 0 ? 1.0
+                                  : static_cast<double>(kernel_lane_steps_active) /
+                                        static_cast<double>(kernel_lane_steps);
+  }
+
+  /// Human-readable name for a kernel_backend code (the inverse of
+  /// align::BatchAlignerInfo::backend_id, kept here so stat does not link
+  /// against align).
+  [[nodiscard]] static const char* kernel_backend_name(std::uint64_t id);
 };
 
 /// Export every compute counter into a metrics registry under its taxonomy
@@ -174,5 +199,12 @@ void add_fault_row(Table& table, std::vector<Table::Cell> labels, const Summary&
 
 /// Append one row matching compute_headers(labels).
 void add_compute_row(Table& table, std::vector<Table::Cell> labels, const Summary& summary);
+
+/// The batch-aligner kernel table schema: key columns, then backend, lane
+/// width, batches, tasks, cells and lane-occupancy columns.
+[[nodiscard]] std::vector<std::string> kernel_headers(std::vector<std::string> labels);
+
+/// Append one row matching kernel_headers(labels).
+void add_kernel_row(Table& table, std::vector<Table::Cell> labels, const Summary& summary);
 
 }  // namespace gnb::stat

@@ -14,6 +14,8 @@
 #include <tuple>
 #include <vector>
 
+#include "align/batch.hpp"
+#include "align/xdrop.hpp"
 #include "core/async.hpp"
 #include "core/bsp.hpp"
 #include "pipeline/pipeline.hpp"
@@ -242,6 +244,146 @@ TEST(FuzzParity, ComputeThreadsByteIdenticalAcrossWorkloads) {
                      " engine=" + (async_mode ? "async" : "bsp") +
                      " threads=" + std::to_string(threads));
         expect_byte_identical(base, run_full(async_mode, w, pooled),
+                              /*sort_within_rank=*/async_mode);
+      }
+    }
+  }
+}
+
+namespace {
+
+/// Randomized task list for the kernel-level backend sweep. Sequences carry
+/// occasional N codes, pairs are a mix of mutated copies (live, wide bands)
+/// and unrelated sequence (early termination), and seeds sit at random
+/// interior anchors with random orientation flags.
+struct KernelFuzz {
+  std::vector<std::vector<std::uint8_t>> storage;  // 2 per task, stable
+  std::vector<align::Seed> seeds;
+  align::XDropParams params;
+
+  [[nodiscard]] std::vector<align::AlignTask> tasks() const {
+    std::vector<align::AlignTask> out;
+    out.reserve(seeds.size());
+    for (std::size_t t = 0; t < seeds.size(); ++t)
+      out.push_back(align::AlignTask{storage[2 * t], storage[2 * t + 1], seeds[t]});
+    return out;
+  }
+};
+
+std::vector<std::uint8_t> random_codes(Xoshiro256& rng, std::size_t n) {
+  std::vector<std::uint8_t> codes(n);
+  for (auto& code : codes)
+    code = rng.below(48) == 0 ? std::uint8_t{4}  // sprinkle Ns
+                              : static_cast<std::uint8_t>(rng.below(4));
+  return codes;
+}
+
+KernelFuzz make_kernel_fuzz(std::uint64_t trial, std::size_t n_tasks) {
+  Xoshiro256 rng(0xBA7C4ULL * (trial + 1));
+  KernelFuzz fuzz;
+  fuzz.params.x = std::int32_t{10} << rng.below(4);  // 10..80
+  fuzz.params.scoring.match = 1 + static_cast<std::int32_t>(rng.below(3));
+  fuzz.params.scoring.mismatch = -1 - static_cast<std::int32_t>(rng.below(4));
+  fuzz.params.scoring.gap = -1 - static_cast<std::int32_t>(rng.below(4));
+  for (std::size_t t = 0; t < n_tasks; ++t) {
+    const std::size_t na = 60 + rng.below(540);
+    std::vector<std::uint8_t> a = random_codes(rng, na);
+    std::vector<std::uint8_t> b;
+    if (rng.below(4) != 0) {
+      // Related: mutated copy of `a` at ~12% error.
+      b = a;
+      for (auto& code : b)
+        if (rng.below(8) == 0) code = static_cast<std::uint8_t>(rng.below(4));
+    } else {
+      b = random_codes(rng, 60 + rng.below(540));
+    }
+    // Plant an exact anchor at random interior positions.
+    const std::uint16_t k = static_cast<std::uint16_t>(11 + rng.below(7));
+    const std::uint32_t pa = static_cast<std::uint32_t>(rng.below(a.size() - k));
+    const std::uint32_t pb = static_cast<std::uint32_t>(rng.below(b.size() - k));
+    for (std::uint32_t i = 0; i < k; ++i) b[pb + i] = a[pa + i];
+    fuzz.storage.push_back(std::move(a));
+    fuzz.storage.push_back(std::move(b));
+    fuzz.seeds.push_back(align::Seed{pa, pb, k, rng.below(2) == 1});
+  }
+  return fuzz;
+}
+
+void expect_alignments_identical(const std::vector<align::Alignment>& base,
+                                 const std::vector<align::Alignment>& got) {
+  ASSERT_EQ(base.size(), got.size());
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_TRUE(base[i].score == got[i].score && base[i].a_begin == got[i].a_begin &&
+                base[i].a_end == got[i].a_end && base[i].b_begin == got[i].b_begin &&
+                base[i].b_end == got[i].b_end &&
+                base[i].b_reversed == got[i].b_reversed &&
+                base[i].cells == got[i].cells)
+        << "task " << i << ": scalar {score=" << base[i].score << " a=["
+        << base[i].a_begin << "," << base[i].a_end << ") b=[" << base[i].b_begin
+        << "," << base[i].b_end << ") cells=" << base[i].cells << "} vs simd {score="
+        << got[i].score << " a=[" << got[i].a_begin << "," << got[i].a_end << ") b=["
+        << got[i].b_begin << "," << got[i].b_end << ") cells=" << got[i].cells << "}";
+  }
+}
+
+}  // namespace
+
+TEST(FuzzParity, BatchAlignerBackendsBitIdenticalAcrossScoringAndBatchSizes) {
+  // The tentpole contract of the SIMD lane engine: for randomized reads,
+  // randomized Scoring/x parameters and every batch-size shape (partial lane
+  // width, exact width, width+1, multiple refills), the SIMD backend's
+  // Alignment output — score, coordinates, per-task cells — equals the
+  // scalar backend's bit for bit. The scalar backend itself is pinned to
+  // xdrop_align by construction (test_align covers that seam).
+  const std::size_t batch_sizes[] = {1, 7, 8, 9, 16, 33};
+  std::uint64_t trial = 0;
+  for (const std::size_t n_tasks : batch_sizes) {
+    for (std::uint64_t rep = 0; rep < 3; ++rep, ++trial) {
+      const KernelFuzz fuzz = make_kernel_fuzz(trial, n_tasks);
+      SCOPED_TRACE("trial=" + std::to_string(trial) + " tasks=" + std::to_string(n_tasks) +
+                   " x=" + std::to_string(fuzz.params.x) +
+                   " match=" + std::to_string(fuzz.params.scoring.match) +
+                   " mismatch=" + std::to_string(fuzz.params.scoring.mismatch) +
+                   " gap=" + std::to_string(fuzz.params.scoring.gap));
+      const std::vector<align::AlignTask> tasks = fuzz.tasks();
+      const auto scalar =
+          align::make_batch_aligner(proto::BatchAlignerKind::kScalar, fuzz.params);
+      const auto simd =
+          align::make_batch_aligner(proto::BatchAlignerKind::kSimd, fuzz.params);
+      expect_alignments_identical(scalar->align(tasks), simd->align(tasks));
+      // The backends also agree with the per-task oracle.
+      const std::vector<align::Alignment> direct = [&] {
+        std::vector<align::Alignment> out;
+        for (const align::AlignTask& task : tasks)
+          out.push_back(align::xdrop_align(task.a, task.b, task.seed, fuzz.params));
+        return out;
+      }();
+      expect_alignments_identical(direct, scalar->align(tasks));
+    }
+  }
+}
+
+TEST(FuzzParity, SimdBackendByteIdenticalAtEngineLevel) {
+  // End-to-end: swapping the batch aligner under the engines must not change
+  // a single byte of any rank's EngineResult, serial or pooled, BSP or
+  // async. (Same comparison discipline as the compute-threads test: exact
+  // order for BSP, multiset for async.)
+  constexpr std::uint64_t kTrials = 2;
+  for (std::uint64_t trial = 0; trial < kTrials; ++trial) {
+    const Workload w = make_workload(trial);
+    for (const bool async_mode : {false, true}) {
+      core::EngineConfig scalar;
+      scalar.proto.compute_threads = 1;
+      scalar.proto.batch_aligner = proto::BatchAlignerKind::kScalar;
+      const auto base = run_full(async_mode, w, scalar);
+      for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+        core::EngineConfig simd;
+        simd.proto.compute_threads = threads;
+        simd.proto.batch_aligner = proto::BatchAlignerKind::kSimd;
+        SCOPED_TRACE("trial=" + std::to_string(trial) +
+                     " engine=" + (async_mode ? "async" : "bsp") +
+                     " threads=" + std::to_string(threads));
+        expect_byte_identical(base, run_full(async_mode, w, simd),
                               /*sort_within_rank=*/async_mode);
       }
     }

@@ -25,6 +25,7 @@
 #include <sstream>
 #include <tuple>
 
+#include "align/batch.hpp"
 #include "align/paf.hpp"
 #include "core/async.hpp"
 #include "core/bsp.hpp"
@@ -73,6 +74,12 @@ seq::ReadStore load_fasta(const std::string& path) {
   return store;
 }
 
+proto::BatchAlignerKind parse_batch_aligner_cli(const std::string& name) {
+  const auto kind = proto::parse_batch_aligner(name);
+  GNB_THROW_IF(!kind, "unknown batch aligner '" << name << "' (use scalar | simd | auto)");
+  return *kind;
+}
+
 struct OverlapRun {
   std::vector<align::AlignmentRecord> records;
   /// The scoring the engine actually aligned with — PAF residue-match
@@ -89,7 +96,8 @@ struct OverlapRun {
 OverlapRun run_overlap(const seq::ReadStore& reads, std::size_t ranks, std::uint32_t k,
                        double coverage, double error, const std::string& engine_name,
                        std::int32_t min_score, std::uint32_t min_overlap,
-                       std::size_t compute_threads = 1, const rt::FaultPlan& faults = {}) {
+                       std::size_t compute_threads = 1, const rt::FaultPlan& faults = {},
+                       proto::BatchAlignerKind batch_aligner = proto::BatchAlignerKind::kAuto) {
   const auto band =
       kmer::reliable_bounds(kmer::BellaParams{coverage, error, k, 1e-3});
   log::info("k-mer filter: k=", k, ", reliable band [", band.lo, ", ", band.hi, "]");
@@ -108,6 +116,8 @@ OverlapRun run_overlap(const seq::ReadStore& reads, std::size_t ranks, std::uint
   core::EngineConfig engine;
   engine.filter = align::AlignmentFilter{min_score, min_overlap};
   engine.proto.compute_threads = compute_threads;
+  engine.proto.batch_aligner = batch_aligner;
+  log::info(align::batch_aligner_report(batch_aligner));
   run.scoring = engine.xdrop.scoring;
   const bool async_mode = engine_name == "async";
   GNB_THROW_IF(!async_mode && engine_name != "bsp",
@@ -188,6 +198,9 @@ int cmd_overlap(int argc, char** argv) {
   auto compute_threads = cli.opt<std::uint64_t>(
       "compute-threads", proto::compute_threads_from_env(1),
       "alignment workers per rank (1 = inline serial; env GNB_COMPUTE_THREADS)");
+  auto batch_aligner = cli.opt<std::string>(
+      "batch-aligner", proto::to_string(proto::batch_aligner_from_env()),
+      "alignment kernel backend: scalar | simd | auto (env GNB_BATCH_ALIGNER)");
   auto breakdown = cli.flag("breakdown", "print the measured phase breakdown table");
   auto trace = cli.opt<std::string>(
       "trace", "", "write a Perfetto/Chrome trace-event JSON (monotonic clock)");
@@ -216,7 +229,7 @@ int cmd_overlap(int argc, char** argv) {
   const auto run = run_overlap(reads, *ranks, static_cast<std::uint32_t>(*k), *coverage,
                                *error, *engine, static_cast<std::int32_t>(*min_score),
                                static_cast<std::uint32_t>(*min_overlap), *compute_threads,
-                               plan);
+                               plan, parse_batch_aligner_cli(*batch_aligner));
 
   if (!trace->empty()) {
     obs::Tracer::bind(nullptr);
@@ -249,6 +262,9 @@ int cmd_overlap(int argc, char** argv) {
     Table compute_table(stat::compute_headers({"engine"}));
     stat::add_compute_row(compute_table, {*engine}, run.summary);
     compute_table.print("compute layer (read cache + alignment pool)");
+    Table kernel_table(stat::kernel_headers({"engine"}));
+    stat::add_kernel_row(kernel_table, {*engine}, run.summary);
+    kernel_table.print("alignment kernel (batch aligner)");
   }
   if (plan.enabled()) {
     Table table(stat::fault_headers({"engine"}));
@@ -361,6 +377,9 @@ int cmd_sim(int argc, char** argv) {
   auto compute_threads = cli.opt<std::uint64_t>(
       "compute-threads", proto::compute_threads_from_env(1),
       "modeled alignment workers per rank (env GNB_COMPUTE_THREADS)");
+  auto batch_aligner = cli.opt<std::string>(
+      "batch-aligner", proto::to_string(proto::batch_aligner_from_env()),
+      "kernel backend to calibrate against: scalar | simd | auto (env GNB_BATCH_ALIGNER)");
   auto seed = cli.opt<std::uint64_t>("seed", 42, "workload + calibration seed");
   auto trace = cli.opt<std::string>("trace", "",
                                     "write a Perfetto/Chrome trace-event JSON (virtual clock)");
@@ -377,9 +396,12 @@ int cmd_sim(int argc, char** argv) {
             workload.tasks.size(), " tasks on ", machine.total_ranks(), " virtual ranks (",
             *nodes, " nodes)");
 
+  const proto::BatchAlignerKind kernel_kind = parse_batch_aligner_cli(*batch_aligner);
+  log::info(align::batch_aligner_report(kernel_kind));
   sim::SimOptions options;
-  options.calibration = core::calibrate_cost_model(*seed);
+  options.calibration = core::calibrate_cost_model(*seed, 0.2, kernel_kind);
   options.proto.compute_threads = *compute_threads;
+  options.proto.batch_aligner = kernel_kind;
   if (!faults->empty()) options.faults = rt::FaultPlan::parse(*faults);
   const bool async_mode = *engine == "async";
   GNB_THROW_IF(!async_mode && *engine != "bsp",
