@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <optional>
+#include <unordered_map>
 
 #include "util/error.hpp"
 
@@ -19,19 +20,19 @@ std::optional<OverlapEdge> unique_step(const OverlapGraph& graph, NodeId u) {
 
 }  // namespace
 
-std::vector<Contig> extract_unitigs(const OverlapGraph& graph,
-                                    std::span<const std::size_t> read_lengths) {
-  const std::size_t n = graph.n_reads();
-  std::vector<bool> used(n, false);
+std::vector<Contig> unitigs_from_steps(std::size_t n_reads, const std::vector<bool>& contained,
+                                       std::span<const UnitigStep> steps,
+                                       std::span<const std::size_t> read_lengths) {
+  GNB_CHECK(contained.size() == n_reads);
+  std::unordered_map<NodeId, UnitigStep> next;
+  for (const UnitigStep& step : steps) next.emplace(step.from, step);
+  std::vector<bool> used(n_reads, false);
   std::vector<Contig> contigs;
 
   // A read starts a unitig (in orientation d) when it cannot be uniquely
-  // extended backwards: in-degree != 1, or the predecessor branches.
-  auto is_start = [&](NodeId node) {
-    const NodeId back = node_complement(node);
-    const auto step_back = unique_step(graph, back);
-    return !step_back.has_value();
-  };
+  // extended backwards: in-degree != 1, or the predecessor branches —
+  // i.e. the complement orientation has no step.
+  auto is_start = [&](NodeId node) { return !next.contains(node_complement(node)); };
 
   auto walk = [&](NodeId start) {
     Contig contig;
@@ -40,25 +41,27 @@ std::vector<Contig> extract_unitigs(const OverlapGraph& graph,
     used[node_read(start)] = true;
     NodeId current = start;
     while (true) {
-      const auto step = unique_step(graph, current);
-      if (!step.has_value()) break;
-      const NodeId next = step->to;
-      if (used[node_read(next)]) break;  // circular component: stop
-      const std::size_t next_len = read_lengths[node_read(next)];
+      const auto it = next.find(current);
+      if (it == next.end()) break;
+      const NodeId target = it->second.to;
+      if (used[node_read(target)]) break;  // circular component: stop
+      const std::size_t next_len = read_lengths[node_read(target)];
       const std::uint32_t advance =
-          next_len > step->overlap ? static_cast<std::uint32_t>(next_len - step->overlap) : 0;
-      contig.path.push_back(next);
+          next_len > it->second.overlap
+              ? static_cast<std::uint32_t>(next_len - it->second.overlap)
+              : 0;
+      contig.path.push_back(target);
       contig.advances.push_back(advance);
       contig.length += advance;
-      used[node_read(next)] = true;
-      current = next;
+      used[node_read(target)] = true;
+      current = target;
     }
     return contig;
   };
 
   // Pass 1: proper unitig starts.
-  for (seq::ReadId read = 0; read < n; ++read) {
-    if (used[read] || graph.is_contained(read)) continue;
+  for (seq::ReadId read = 0; read < n_reads; ++read) {
+    if (used[read] || contained[read]) continue;
     for (const bool reverse : {false, true}) {
       const NodeId node = make_node(read, reverse);
       if (!used[read] && is_start(node)) {
@@ -68,11 +71,23 @@ std::vector<Contig> extract_unitigs(const OverlapGraph& graph,
     }
   }
   // Pass 2: whatever remains sits on cycles; break each arbitrarily.
-  for (seq::ReadId read = 0; read < n; ++read) {
-    if (used[read] || graph.is_contained(read)) continue;
+  for (seq::ReadId read = 0; read < n_reads; ++read) {
+    if (used[read] || contained[read]) continue;
     contigs.push_back(walk(make_node(read, false)));
   }
   return contigs;
+}
+
+std::vector<Contig> extract_unitigs(const OverlapGraph& graph,
+                                    std::span<const std::size_t> read_lengths) {
+  std::vector<UnitigStep> steps;
+  for (NodeId node = 0; node < 2 * graph.n_reads(); ++node) {
+    const auto step = unique_step(graph, node);
+    if (step.has_value()) steps.push_back(UnitigStep{node, step->to, step->overlap});
+  }
+  std::vector<bool> contained(graph.n_reads(), false);
+  for (seq::ReadId id = 0; id < graph.n_reads(); ++id) contained[id] = graph.is_contained(id);
+  return unitigs_from_steps(graph.n_reads(), contained, steps, read_lengths);
 }
 
 seq::Sequence contig_sequence(const Contig& contig, const seq::ReadStore& reads) {

@@ -19,6 +19,8 @@ struct Contig {
   std::vector<NodeId> path;    // oriented reads, in walk order
   std::vector<std::uint32_t> advances;  // bases each subsequent read adds
   std::uint64_t length = 0;    // total contig length in bases
+
+  bool operator==(const Contig&) const = default;
 };
 
 struct AssemblyStats {
@@ -26,7 +28,30 @@ struct AssemblyStats {
   std::uint64_t total_length = 0;
   std::uint64_t longest = 0;
   std::uint64_t n50 = 0;  // standard contiguity metric
+
+  bool operator==(const AssemblyStats&) const = default;
 };
+
+/// One unambiguous unitig step u -> to: u's single surviving out-edge,
+/// whose target also has in-degree 1. The step set fully determines the
+/// unitig decomposition — the distributed extractor gathers per-rank steps
+/// to rank 0 and replays the exact walk the serial extractor runs.
+struct UnitigStep {
+  NodeId from = 0;
+  NodeId to = 0;
+  std::uint32_t overlap = 0;
+
+  bool operator==(const UnitigStep&) const = default;
+};
+
+/// Walk the step relation into unitigs — the shared core of the serial and
+/// distributed extractors (byte-identical by construction). Deterministic:
+/// pass 1 scans reads ascending (forward orientation first) for nodes that
+/// cannot be uniquely extended backwards; pass 2 breaks remaining cycles
+/// at the lowest unused read id, forward orientation.
+std::vector<Contig> unitigs_from_steps(std::size_t n_reads, const std::vector<bool>& contained,
+                                       std::span<const UnitigStep> steps,
+                                       std::span<const std::size_t> read_lengths);
 
 /// Extract all unitigs. Every non-contained read belongs to exactly one
 /// unitig (possibly a singleton). Deterministic output order.

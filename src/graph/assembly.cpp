@@ -1,0 +1,32 @@
+#include "graph/assembly.hpp"
+
+#include <sstream>
+
+namespace gnb::graph {
+
+AssemblyResult assemble_serial(std::span<const align::AlignmentRecord> records,
+                               const seq::ReadStore& reads, const AssemblyOptions& options) {
+  std::vector<std::size_t> lengths(reads.size());
+  for (seq::ReadId id = 0; id < reads.size(); ++id) lengths[id] = reads.get(id).length();
+
+  OverlapGraph graph(records, lengths, options.min_overlap, options.max_overhang,
+                     options.end_slack);
+  graph.reduce_transitive(options.fuzz);
+  if (options.prune) graph.prune_best_overlap();
+
+  AssemblyResult result;
+  result.graph_stats = graph.stats();
+  result.contained.assign(reads.size(), false);
+  for (seq::ReadId id = 0; id < reads.size(); ++id)
+    result.contained[id] = graph.is_contained(id);
+  result.edges = graph.live_edges();
+  result.contigs = extract_unitigs(graph, lengths);
+  result.stats = assembly_stats(result.contigs);
+
+  std::ostringstream gfa;
+  write_gfa(gfa, reads.size(), result.contained, result.edges, reads, options.gfa);
+  result.gfa = gfa.str();
+  return result;
+}
+
+}  // namespace gnb::graph

@@ -1,0 +1,49 @@
+#pragma once
+// The serial assembly oracle: one entry point that runs the whole
+// post-alignment pipeline — string graph build, Myers transitive
+// reduction, optional best-overlap pruning, unitig extraction, stats and
+// GFA — and returns every intermediate artifact in canonical order. The
+// distributed phases (pipeline/assembly.hpp) must reproduce this result
+// byte-for-byte at any rank count; the parity tests compare the two
+// structs member by member and the GFA text as raw bytes.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "align/result.hpp"
+#include "graph/assembler.hpp"
+#include "graph/gfa.hpp"
+#include "graph/overlap_graph.hpp"
+#include "seq/read_store.hpp"
+
+namespace gnb::graph {
+
+struct AssemblyOptions {
+  std::uint32_t min_overlap = 100;
+  std::uint32_t max_overhang = 150;
+  std::uint32_t end_slack = 50;
+  std::uint32_t fuzz = 60;   // transitive-reduction fuzz (Myers)
+  bool prune = false;        // best-overlap pruning after reduction
+  GfaOptions gfa;            // GFA formatting knobs
+};
+
+struct AssemblyResult {
+  GraphStats graph_stats;
+  std::vector<bool> contained;     // per read
+  std::vector<OverlapEdge> edges;  // live edges, canonical listing order
+  std::vector<Contig> contigs;     // serial extraction order
+  AssemblyStats stats;
+  std::string gfa;  // exact GFA bytes
+
+  bool operator==(const AssemblyResult&) const = default;
+};
+
+/// Run the serial pipeline over accepted alignment records. `records` may
+/// arrive in any order — the graph build is order-independent (one record
+/// per unordered read pair upstream).
+AssemblyResult assemble_serial(std::span<const align::AlignmentRecord> records,
+                               const seq::ReadStore& reads,
+                               const AssemblyOptions& options = {});
+
+}  // namespace gnb::graph

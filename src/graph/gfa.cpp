@@ -6,13 +6,15 @@
 
 namespace gnb::graph {
 
-void write_gfa(std::ostream& out, const OverlapGraph& graph, const seq::ReadStore& reads,
+void write_gfa(std::ostream& out, std::size_t n_reads, const std::vector<bool>& contained,
+               std::span<const OverlapEdge> edges, const seq::ReadStore& reads,
                const GfaOptions& options) {
   out << "H\tVN:Z:1.0\n";
-  GNB_CHECK_MSG(reads.size() >= graph.n_reads(), "read store smaller than graph");
+  GNB_CHECK_MSG(reads.size() >= n_reads, "read store smaller than graph");
+  GNB_CHECK(contained.size() == n_reads);
 
-  for (seq::ReadId id = 0; id < graph.n_reads(); ++id) {
-    if (graph.is_contained(id)) continue;
+  for (seq::ReadId id = 0; id < n_reads; ++id) {
+    if (contained[id]) continue;
     const seq::Read& read = reads.get(id);
     out << "S\t" << read.name << '\t';
     if (options.with_sequences) {
@@ -27,21 +29,22 @@ void write_gfa(std::ostream& out, const OverlapGraph& graph, const seq::ReadStor
   // from = read(u) with orient '+' if forward, to = read(v) likewise.
   // Each edge and its mirror describe the same link; emit each link once
   // by keeping the representative with the smaller (from, to) encoding.
-  for (seq::ReadId id = 0; id < graph.n_reads(); ++id) {
-    if (graph.is_contained(id)) continue;
-    for (const bool reverse : {false, true}) {
-      const NodeId u = make_node(id, reverse);
-      for (const OverlapEdge& edge : graph.out_edges(u)) {
-        if (edge.reduced && !options.include_reduced) continue;
-        const NodeId mirror_from = node_complement(edge.to);
-        if (mirror_from < u) continue;  // mirror already emitted
-        out << "L\t" << reads.get(node_read(u)).name << '\t'
-            << (node_reverse(u) ? '-' : '+') << '\t' << reads.get(node_read(edge.to)).name
-            << '\t' << (node_reverse(edge.to) ? '-' : '+') << '\t' << edge.overlap << "M\n";
-      }
-    }
+  for (const OverlapEdge& edge : edges) {
+    if (edge.reduced && !options.include_reduced) continue;
+    if (node_complement(edge.to) < edge.from) continue;  // mirror already emitted
+    out << "L\t" << reads.get(node_read(edge.from)).name << '\t'
+        << (node_reverse(edge.from) ? '-' : '+') << '\t'
+        << reads.get(node_read(edge.to)).name << '\t' << (node_reverse(edge.to) ? '-' : '+')
+        << '\t' << edge.overlap << "M\n";
   }
   GNB_THROW_IF(!out, "GFA write failed");
+}
+
+void write_gfa(std::ostream& out, const OverlapGraph& graph, const seq::ReadStore& reads,
+               const GfaOptions& options) {
+  std::vector<bool> contained(graph.n_reads(), false);
+  for (seq::ReadId id = 0; id < graph.n_reads(); ++id) contained[id] = graph.is_contained(id);
+  write_gfa(out, graph.n_reads(), contained, graph.live_edges(), reads, options);
 }
 
 }  // namespace gnb::graph

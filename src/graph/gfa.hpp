@@ -26,4 +26,13 @@ struct GfaOptions {
 void write_gfa(std::ostream& out, const OverlapGraph& graph, const seq::ReadStore& reads,
                const GfaOptions& options = {});
 
+/// Write GFA1 from a flattened graph: a containment bitmap plus the live
+/// edges listed in the serial traversal order (ascending from-node, then
+/// edge_order within a node). The OverlapGraph overload flattens and
+/// delegates here, and rank 0 of the distributed phases feeds gathered
+/// edges straight in — one writer, so equal edge lists imply equal bytes.
+void write_gfa(std::ostream& out, std::size_t n_reads, const std::vector<bool>& contained,
+               std::span<const OverlapEdge> edges, const seq::ReadStore& reads,
+               const GfaOptions& options = {});
+
 }  // namespace gnb::graph

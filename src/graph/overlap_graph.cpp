@@ -2,10 +2,50 @@
 
 #include <algorithm>
 #include <unordered_map>
+#include <utility>
 
 #include "util/error.hpp"
 
 namespace gnb::graph {
+
+seq::ReadId contained_read(const align::AlignmentRecord& record, std::size_t len_a,
+                           std::size_t len_b, std::uint32_t max_overhang,
+                           std::uint32_t end_slack) {
+  if (align::overhang(record.alignment, len_a, len_b) > max_overhang)
+    return seq::kInvalidRead;
+  const auto kind = align::classify_overlap(record.alignment, len_a, len_b, end_slack);
+  if (kind == align::OverlapKind::kContainsB) return record.read_b;
+  if (kind == align::OverlapKind::kContainedInB) return record.read_a;
+  return seq::kInvalidRead;
+}
+
+void append_record_edges(const align::AlignmentRecord& record, std::size_t len_a,
+                         std::size_t len_b, std::uint32_t min_overlap,
+                         std::uint32_t max_overhang, std::uint32_t end_slack,
+                         std::vector<OverlapEdge>& out) {
+  const align::Alignment& alignment = record.alignment;
+  if (align::overhang(alignment, len_a, len_b) > max_overhang) return;
+  if (alignment.overlap_length() < min_overlap) return;
+
+  const NodeId a_fwd = make_node(record.read_a, false);
+  const NodeId a_rev = make_node(record.read_a, true);
+  // b in the orientation the alignment was computed in:
+  const NodeId b_oriented = make_node(record.read_b, alignment.b_reversed);
+  const std::uint32_t overlap = alignment.overlap_length();
+
+  const auto kind = align::classify_overlap(alignment, len_a, len_b, end_slack);
+  if (kind == align::OverlapKind::kDovetailAB) {
+    // suffix of A matches prefix of oriented B.
+    out.push_back(OverlapEdge{a_fwd, b_oriented, overlap, alignment.score, false});
+    out.push_back(
+        OverlapEdge{node_complement(b_oriented), a_rev, overlap, alignment.score, false});
+  } else if (kind == align::OverlapKind::kDovetailBA) {
+    // suffix of oriented B matches prefix of A.
+    out.push_back(OverlapEdge{b_oriented, a_fwd, overlap, alignment.score, false});
+    out.push_back(
+        OverlapEdge{a_rev, node_complement(b_oriented), overlap, alignment.score, false});
+  }
+}
 
 OverlapGraph::OverlapGraph(std::span<const align::AlignmentRecord> records,
                            std::span<const std::size_t> read_lengths,
@@ -20,44 +60,38 @@ OverlapGraph::OverlapGraph(std::span<const align::AlignmentRecord> records,
   // its overlaps are subsumed by its container's.
   for (const auto& record : records) {
     GNB_CHECK(record.read_a < n_reads_ && record.read_b < n_reads_);
-    const std::size_t la = read_lengths[record.read_a];
-    const std::size_t lb = read_lengths[record.read_b];
-    if (align::overhang(record.alignment, la, lb) > max_overhang) continue;
-    const auto kind = align::classify_overlap(record.alignment, la, lb, end_slack);
-    if (kind == align::OverlapKind::kContainsB) {
-      contained_[record.read_b] = true;
-    } else if (kind == align::OverlapKind::kContainedInB) {
-      contained_[record.read_a] = true;
-    }
+    const seq::ReadId victim =
+        contained_read(record, read_lengths[record.read_a], read_lengths[record.read_b],
+                       max_overhang, end_slack);
+    if (victim != seq::kInvalidRead) contained_[victim] = true;
   }
   for (bool c : contained_) stats_.contained += c ? 1 : 0;
 
   // Pass 2: dovetail edges between non-contained reads.
+  std::vector<OverlapEdge> scratch;
   for (const auto& record : records) {
     if (contained_[record.read_a] || contained_[record.read_b]) continue;
-    const std::size_t la = read_lengths[record.read_a];
-    const std::size_t lb = read_lengths[record.read_b];
-    const align::Alignment& alignment = record.alignment;
-    if (align::overhang(alignment, la, lb) > max_overhang) continue;
-    if (alignment.overlap_length() < min_overlap) continue;
+    scratch.clear();
+    append_record_edges(record, read_lengths[record.read_a], read_lengths[record.read_b],
+                        min_overlap, max_overhang, end_slack, scratch);
+    for (const OverlapEdge& edge : scratch)
+      add_edge(edge.from, edge.to, edge.overlap, edge.score);
+  }
+}
 
-    const NodeId a_fwd = make_node(record.read_a, false);
-    const NodeId a_rev = make_node(record.read_a, true);
-    // b in the orientation the alignment was computed in:
-    const NodeId b_oriented = make_node(record.read_b, alignment.b_reversed);
-
-    const auto kind = align::classify_overlap(alignment, la, lb, end_slack);
-    if (kind == align::OverlapKind::kDovetailAB) {
-      // suffix of A matches prefix of oriented B.
-      add_edge(a_fwd, b_oriented, alignment.overlap_length(), alignment.score);
-      add_edge(node_complement(b_oriented), a_rev, alignment.overlap_length(),
-               alignment.score);
-    } else if (kind == align::OverlapKind::kDovetailBA) {
-      // suffix of oriented B matches prefix of A.
-      add_edge(b_oriented, a_fwd, alignment.overlap_length(), alignment.score);
-      add_edge(a_rev, node_complement(b_oriented), alignment.overlap_length(),
-               alignment.score);
-    }
+OverlapGraph::OverlapGraph(std::size_t n_reads, std::vector<bool> contained,
+                           std::span<const OverlapEdge> edges) {
+  n_reads_ = n_reads;
+  stats_.reads = n_reads_;
+  contained_ = std::move(contained);
+  if (contained_.empty()) contained_.assign(n_reads_, false);
+  GNB_CHECK(contained_.size() == n_reads_);
+  adjacency_.assign(2 * n_reads_, {});
+  for (bool c : contained_) stats_.contained += c ? 1 : 0;
+  for (const OverlapEdge& edge : edges) {
+    GNB_CHECK(node_read(edge.from) < n_reads_ && node_read(edge.to) < n_reads_);
+    GNB_CHECK(!contained_[node_read(edge.from)] && !contained_[node_read(edge.to)]);
+    add_edge(edge.from, edge.to, edge.overlap, edge.score);
   }
 }
 
@@ -81,10 +115,17 @@ std::vector<OverlapEdge> OverlapGraph::out_edges(NodeId node) const {
   std::vector<OverlapEdge> live;
   for (const OverlapEdge& edge : adjacency_[node])
     if (!edge.reduced) live.push_back(edge);
-  std::sort(live.begin(), live.end(), [](const OverlapEdge& x, const OverlapEdge& y) {
-    return x.overlap > y.overlap;
-  });
+  std::sort(live.begin(), live.end(), edge_order);
   return live;
+}
+
+std::vector<OverlapEdge> OverlapGraph::live_edges() const {
+  std::vector<OverlapEdge> edges;
+  for (NodeId u = 0; u < adjacency_.size(); ++u) {
+    const std::vector<OverlapEdge> sorted = out_edges(u);
+    edges.insert(edges.end(), sorted.begin(), sorted.end());
+  }
+  return edges;
 }
 
 std::size_t OverlapGraph::out_degree(NodeId node) const {
@@ -95,29 +136,47 @@ std::size_t OverlapGraph::out_degree(NodeId node) const {
 
 std::size_t OverlapGraph::reduce_transitive(std::uint32_t fuzz) {
   std::size_t removed = 0;
-  for (NodeId u = 0; u < adjacency_.size(); ++u) {
-    auto& edges_u = adjacency_[u];
-    if (edges_u.size() < 2) continue;
-    // Larger overlap = nearer neighbor: v "explains" w when going through
-    // v still covers w's (smaller) overlap.
-    std::unordered_map<NodeId, std::size_t> index;
-    for (std::size_t i = 0; i < edges_u.size(); ++i)
-      if (!edges_u[i].reduced) index.emplace(edges_u[i].to, i);
-    for (const auto& [v, vi] : index) {
-      const std::uint32_t ovl_uv = edges_u[vi].overlap;
-      for (const OverlapEdge& vw : adjacency_[v]) {
-        if (vw.reduced) continue;
-        const auto it = index.find(vw.to);
-        if (it == index.end() || it->first == v) continue;
-        OverlapEdge& uw = edges_u[it->second];
-        if (uw.reduced) continue;
-        // u->v->w explains u->w when w is no nearer than v.
-        if (uw.overlap <= ovl_uv + fuzz && node_read(vw.to) != node_read(u)) {
-          uw.reduced = true;
-          ++removed;
+  while (true) {
+    // One round: marks are a pure function of the live-edge snapshot at
+    // round entry — a reduced witness still witnesses within its round.
+    std::vector<std::pair<NodeId, NodeId>> marks;
+    for (NodeId u = 0; u < adjacency_.size(); ++u) {
+      const auto& edges_u = adjacency_[u];
+      // Larger overlap = nearer neighbor: v "explains" w when going
+      // through v still covers w's (smaller) overlap.
+      std::unordered_map<NodeId, std::uint32_t> index;
+      for (const OverlapEdge& edge : edges_u)
+        if (!edge.reduced) index.emplace(edge.to, edge.overlap);
+      if (index.size() < 2) continue;
+      for (const auto& [v, ovl_uv] : index) {
+        for (const OverlapEdge& vw : adjacency_[v]) {
+          if (vw.reduced || vw.to == v || node_read(vw.to) == node_read(u)) continue;
+          const auto it = index.find(vw.to);
+          if (it == index.end()) continue;
+          // u->v->w explains u->w when w is no nearer than v.
+          if (it->second <= ovl_uv + fuzz) marks.emplace_back(u, vw.to);
         }
       }
     }
+    // Apply with mirror closure: the Myers condition tests overlap(u, v)
+    // while the mirror's witness tests overlap(v, w), so a mark may fire
+    // on only one side of a mirror pair — reducing both keeps the
+    // u->v <=> ~v->~u invariant the assembler and GFA writer rely on.
+    std::size_t fresh = 0;
+    auto apply = [&](NodeId from, NodeId to) {
+      for (OverlapEdge& edge : adjacency_[from]) {
+        if (edge.to == to && !edge.reduced) {
+          edge.reduced = true;
+          ++fresh;
+        }
+      }
+    };
+    for (const auto& [u, w] : marks) {
+      apply(u, w);
+      apply(node_complement(w), node_complement(u));
+    }
+    if (fresh == 0) break;
+    removed += fresh;
   }
   stats_.reduced_edges += removed;
   return removed;

@@ -40,6 +40,8 @@ struct OverlapEdge {
   std::uint32_t overlap = 0;
   std::int32_t score = 0;
   bool reduced = false;  // eliminated by transitive reduction
+
+  bool operator==(const OverlapEdge&) const = default;
 };
 
 struct GraphStats {
@@ -48,7 +50,34 @@ struct GraphStats {
   std::size_t dovetail_edges = 0;  // directed edges before reduction
   std::size_t reduced_edges = 0;   // removed by transitive reduction
   [[nodiscard]] std::size_t final_edges() const { return dovetail_edges - reduced_edges; }
+
+  bool operator==(const GraphStats&) const = default;
 };
+
+/// Which read of `record` the containment pass removes, if either —
+/// seq::kInvalidRead when the record is not a containment under the build
+/// gates. Shared by the serial constructor and the distributed build so
+/// both apply identical gating.
+seq::ReadId contained_read(const align::AlignmentRecord& record, std::size_t len_a,
+                           std::size_t len_b, std::uint32_t max_overhang,
+                           std::uint32_t end_slack);
+
+/// Append the directed dovetail edges one record contributes (an edge plus
+/// its mirror, or nothing), given that neither read is contained. Shared by
+/// the serial constructor and the distributed build.
+void append_record_edges(const align::AlignmentRecord& record, std::size_t len_a,
+                         std::size_t len_b, std::uint32_t min_overlap,
+                         std::uint32_t max_overhang, std::uint32_t end_slack,
+                         std::vector<OverlapEdge>& out);
+
+/// Deterministic total order on a node's out-edges: strongest overlap
+/// first, ties broken by target id. Serial out_edges(), the distributed
+/// build, and the GFA writer all sort by this one key, so edge *listings*
+/// are byte-comparable across backends, not merely edge sets.
+constexpr bool edge_order(const OverlapEdge& x, const OverlapEdge& y) {
+  if (x.overlap != y.overlap) return x.overlap > y.overlap;
+  return x.to < y.to;
+}
 
 class OverlapGraph {
  public:
@@ -60,12 +89,23 @@ class OverlapGraph {
                std::span<const std::size_t> read_lengths, std::uint32_t min_overlap = 100,
                std::uint32_t max_overhang = 150, std::uint32_t end_slack = 50);
 
+  /// Build directly from a prepared edge list (property tests and the
+  /// distributed phases' oracle harness). `contained` may be empty (no
+  /// containment); edges referencing contained reads are rejected.
+  OverlapGraph(std::size_t n_reads, std::vector<bool> contained,
+               std::span<const OverlapEdge> edges);
+
   [[nodiscard]] const GraphStats& stats() const { return stats_; }
   [[nodiscard]] std::size_t n_reads() const { return n_reads_; }
   [[nodiscard]] bool is_contained(seq::ReadId id) const { return contained_[id]; }
 
   /// Surviving (non-reduced) out-edges of an oriented node.
   [[nodiscard]] std::vector<OverlapEdge> out_edges(NodeId node) const;
+  /// Every surviving edge, in the canonical listing order (ascending from
+  /// node, then edge_order within a node) — the flattened form the GFA
+  /// writer, the oracle parity tests, and the distributed gather compare
+  /// byte-for-byte.
+  [[nodiscard]] std::vector<OverlapEdge> live_edges() const;
   /// Number of surviving out-edges (cheaper than materializing them).
   [[nodiscard]] std::size_t out_degree(NodeId node) const;
   /// Number of surviving in-edges of an oriented node (mirror symmetry:
@@ -74,9 +114,16 @@ class OverlapGraph {
     return out_degree(node_complement(node));
   }
 
-  /// Myers-style transitive reduction: mark edge u->w reduced when edges
-  /// u->v and v->w exist with overlap(u,w) <= overlap(u,v) + fuzz.
-  /// Returns the number of newly reduced directed edges.
+  /// Myers-style transitive reduction, run as snapshot rounds to a
+  /// fixpoint: each round marks edge u->w reduced when *live* edges u->v
+  /// and v->w exist (witnesses frozen at round start) with
+  /// overlap(u,w) <= overlap(u,v) + fuzz, then mirrors every mark
+  /// (u->w reduced => ~w->~u reduced) so mirror symmetry survives, applies
+  /// the marks, and repeats until a round marks nothing. Because each
+  /// round is a pure function of the live-edge snapshot — never of the
+  /// order nodes are visited in — the distributed reduction running the
+  /// same rounds over sharded adjacency reaches the byte-identical edge
+  /// set. Returns the number of newly reduced directed edges.
   std::size_t reduce_transitive(std::uint32_t fuzz = 60);
 
   /// Best-overlap-graph pruning (BOG/miniasm style): keep only the

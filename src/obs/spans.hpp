@@ -44,6 +44,14 @@ inline constexpr const char* kRecovery = "recovery.recover";
 inline constexpr const char* kCkptSave = "ckpt.save";
 inline constexpr const char* kCkptLoad = "ckpt.load";
 
+// Distributed graph phases (string graph build, transitive reduction,
+// contig extraction) — emitted by pipeline::run_distributed_assembly and,
+// at virtual timestamps, by sim::simulate_assembly. One span per phase per
+// rank; the sim-vs-real trace-smoke checks compare these names.
+inline constexpr const char* kGraphBuild = "graph.build";
+inline constexpr const char* kGraphReduce = "graph.reduce";
+inline constexpr const char* kGraphContig = "graph.contig";
+
 // Serial pipeline stages (driver thread).
 inline constexpr const char* kStagePartition = "stage.partition";
 inline constexpr const char* kStageKmerFilter = "stage.kmer_filter";
@@ -83,6 +91,13 @@ inline constexpr const char* kPipelineTasks = "pipeline.tasks";
 inline constexpr const char* kReplyBytesHist = "rpc.reply_bytes";
 inline constexpr const char* kRoundBytesHist = "exchange.round_bytes";
 inline constexpr const char* kAlignScratchBytes = "align.scratch_bytes";
+
+// Distributed graph phases.
+inline constexpr const char* kGraphEdges = "graph.edges";
+inline constexpr const char* kGraphReduced = "graph.reduced";
+inline constexpr const char* kGraphReduceRounds = "graph.reduce_rounds";
+inline constexpr const char* kGraphContigs = "graph.contigs";
+inline constexpr const char* kGraphRestarts = "graph.restarts";
 
 // stat::ComputeCounters fields (read cache + worker pool) are exported
 // under these names by the same descriptor-table mechanism as fault.*.

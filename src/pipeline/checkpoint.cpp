@@ -8,6 +8,7 @@
 #include "align/xdrop.hpp"
 #include "obs/spans.hpp"
 #include "obs/trace.hpp"
+#include "pipeline/assembly.hpp"
 #include "seq/alphabet.hpp"
 #include "util/error.hpp"
 #include "util/wire.hpp"
@@ -22,6 +23,8 @@ constexpr std::uint32_t kVersion = 1;
 constexpr std::uint32_t kKindKmerTable = 1;
 constexpr std::uint32_t kKindTasks = 2;
 constexpr std::uint32_t kKindAlignment = 3;
+constexpr std::uint32_t kKindGraph = 4;
+constexpr std::uint32_t kKindAssembly = 5;
 
 void put_task(Bytes& out, const kmer::AlignTask& task) {
   wire::put<std::uint32_t>(out, task.a);
@@ -225,6 +228,66 @@ std::optional<AlignmentProgress> load_alignment_progress(const std::filesystem::
   for (std::uint64_t i = 0; i < count; ++i)
     progress.accepted.push_back(get_record(*payload, offset));
   return progress;
+}
+
+void save_graph(const std::filesystem::path& path, std::uint64_t fingerprint,
+                const GraphCheckpoint& ckpt) {
+  Bytes payload;
+  wire::put<std::uint64_t>(payload, ckpt.stats.reads);
+  wire::put<std::uint64_t>(payload, ckpt.stats.contained);
+  wire::put<std::uint64_t>(payload, ckpt.stats.dovetail_edges);
+  wire::put<std::uint64_t>(payload, ckpt.stats.reduced_edges);
+  wire::put<std::uint64_t>(payload, ckpt.contained.size());
+  for (const bool c : ckpt.contained) wire::put<std::uint8_t>(payload, c ? 1 : 0);
+  wire::put<std::uint64_t>(payload, ckpt.edges.size());
+  for (const graph::OverlapEdge& edge : ckpt.edges) {
+    wire::put<std::uint64_t>(payload, edge.from);
+    wire::put<std::uint64_t>(payload, edge.to);
+    wire::put<std::uint32_t>(payload, edge.overlap);
+    wire::put<std::uint32_t>(payload, static_cast<std::uint32_t>(edge.score));
+    wire::put<std::uint8_t>(payload, edge.reduced ? 1 : 0);
+  }
+  save_blob(path, kKindGraph, fingerprint, payload);
+}
+
+std::optional<GraphCheckpoint> load_graph(const std::filesystem::path& path,
+                                          std::uint64_t fingerprint) {
+  const auto payload = load_blob(path, kKindGraph, fingerprint);
+  if (!payload) return std::nullopt;
+  GraphCheckpoint ckpt;
+  std::size_t offset = 0;
+  ckpt.stats.reads = wire::get<std::uint64_t>(*payload, offset);
+  ckpt.stats.contained = wire::get<std::uint64_t>(*payload, offset);
+  ckpt.stats.dovetail_edges = wire::get<std::uint64_t>(*payload, offset);
+  ckpt.stats.reduced_edges = wire::get<std::uint64_t>(*payload, offset);
+  const auto n_contained = wire::get<std::uint64_t>(*payload, offset);
+  ckpt.contained.resize(n_contained);
+  for (std::uint64_t i = 0; i < n_contained; ++i)
+    ckpt.contained[i] = wire::get<std::uint8_t>(*payload, offset) != 0;
+  const auto n_edges = wire::get<std::uint64_t>(*payload, offset);
+  ckpt.edges.reserve(n_edges);
+  for (std::uint64_t i = 0; i < n_edges; ++i) {
+    graph::OverlapEdge edge;
+    edge.from = wire::get<std::uint64_t>(*payload, offset);
+    edge.to = wire::get<std::uint64_t>(*payload, offset);
+    edge.overlap = wire::get<std::uint32_t>(*payload, offset);
+    edge.score = static_cast<std::int32_t>(wire::get<std::uint32_t>(*payload, offset));
+    edge.reduced = wire::get<std::uint8_t>(*payload, offset) != 0;
+    ckpt.edges.push_back(edge);
+  }
+  return ckpt;
+}
+
+void save_assembly(const std::filesystem::path& path, std::uint64_t fingerprint,
+                   const graph::AssemblyResult& result) {
+  save_blob(path, kKindAssembly, fingerprint, pack_assembly(result));
+}
+
+std::optional<graph::AssemblyResult> load_assembly(const std::filesystem::path& path,
+                                                   std::uint64_t fingerprint) {
+  const auto payload = load_blob(path, kKindAssembly, fingerprint);
+  if (!payload) return std::nullopt;
+  return unpack_assembly(*payload);
 }
 
 CheckpointedRun run_serial_checkpointed(const seq::ReadStore& store,

@@ -17,6 +17,7 @@
 
 #include "align/result.hpp"
 #include "align/xdrop.hpp"
+#include "graph/assembly.hpp"
 #include "kmer/counter.hpp"
 #include "pipeline/pipeline.hpp"
 
@@ -73,6 +74,27 @@ void save_alignment_progress(const std::filesystem::path& path, std::uint64_t fi
                              const AlignmentProgress& progress);
 std::optional<AlignmentProgress> load_alignment_progress(const std::filesystem::path& path,
                                                          std::uint64_t fingerprint);
+
+/// Post-reduction string graph artifact (kind 4): the input to contig
+/// generation, in canonical listing order so the blob is byte-stable.
+struct GraphCheckpoint {
+  graph::GraphStats stats;
+  std::vector<bool> contained;
+  std::vector<graph::OverlapEdge> edges;
+
+  bool operator==(const GraphCheckpoint&) const = default;
+};
+void save_graph(const std::filesystem::path& path, std::uint64_t fingerprint,
+                const GraphCheckpoint& ckpt);
+std::optional<GraphCheckpoint> load_graph(const std::filesystem::path& path,
+                                          std::uint64_t fingerprint);
+
+/// Full assembly artifact (kind 5): the oracle-comparable AssemblyResult,
+/// persisted so a killed run re-emits identical stats and GFA bytes.
+void save_assembly(const std::filesystem::path& path, std::uint64_t fingerprint,
+                   const graph::AssemblyResult& result);
+std::optional<graph::AssemblyResult> load_assembly(const std::filesystem::path& path,
+                                                   std::uint64_t fingerprint);
 
 /// Outcome of one checkpointed serial run (possibly interrupted).
 struct CheckpointedRun {

@@ -698,4 +698,156 @@ SimResult simulate_async(const MachineParams& machine, const SimAssignment& assi
   return result;
 }
 
+SimResult simulate_assembly(const MachineParams& machine, const SimAssignment& assignment,
+                            const SimOptions& options) {
+  const std::size_t p = assignment.nranks();
+  GNB_CHECK_MSG(p == machine.total_ranks(),
+                "assignment has " << p << " ranks, machine " << machine.total_ranks());
+  const double inter_bw = internode_bw_per_rank(machine);
+  const double setup = machine.a2a_setup_per_peer * static_cast<double>(p);
+  const double op = options.graph_edge_op;
+  const auto edge_bytes = static_cast<double>(options.graph_edge_bytes);
+  const std::uint64_t rounds = std::max<std::uint64_t>(1, options.graph_reduce_rounds);
+  // Everything downstream is sized from the per-rank edge share: the
+  // accepted-alignment records a rank contributes, filtered to surviving
+  // dovetail edges (directed edge + mirror).
+  std::vector<double> edges(p, 0);
+  double total_edges = 0;
+  for (std::size_t r = 0; r < p; ++r) {
+    edges[r] = static_cast<double>(assignment.ranks[r].total_tasks()) *
+               options.graph_edges_per_task;
+    total_edges += edges[r];
+  }
+  // Shard routing is uniform over owners, so the cross-rank fraction of
+  // every edge/mark/pull exchange is (P-1)/P.
+  const double remote = p > 1 ? static_cast<double>(p - 1) / static_cast<double>(p) : 0.0;
+
+  SimResult result;
+  result.ranks.resize(p);
+  result.rounds = rounds;
+  SimTracer strace(machine, p, options.trace);
+
+  std::optional<rt::FaultInjector> chaos;
+  if (options.faults.enabled()) chaos.emplace(options.faults);
+
+  // Collective entries per attempt, matching pipeline/assembly.cpp: the
+  // attempt barrier, the containment + edge exchanges and edge allreduce
+  // (build), four collectives per reduction round (pull request, pull
+  // reply, marks, fresh allreduce), and the degree pull + gather +
+  // broadcast of the contig phase.
+  const std::uint64_t build_entries = 4;
+  const std::uint64_t reduce_entries = 4 * rounds;
+  const std::uint64_t contig_entries = 3;
+  const std::uint64_t attempt_entries = build_entries + reduce_entries + contig_entries;
+
+  // One attempt over `alive`, starting at t0. Phase busy time is the
+  // noise-perturbed edge-op count; phase comm is the collective setup plus
+  // the slowest rank's wire share (alltoallv semantics, as in the BSP
+  // model); the phase barrier converts imbalance into sync. Accumulators
+  // are only written for the attempt that completes (emit == true).
+  std::vector<double> compute_acc(p, 0), comm_acc(p, 0), sync_acc(p, 0);
+  const auto run_attempt = [&](const std::vector<std::size_t>& alive, double t0, bool emit) {
+    const auto s = static_cast<double>(alive.size());
+    const double adopt = static_cast<double>(p) / s;  // dead shards adopted
+    double t = t0;
+    std::uint64_t entry = 0;
+    const auto phase = [&](const char* span, std::uint64_t collectives, double busy_ops,
+                           double wire_bytes) {
+      double comm = static_cast<double>(collectives) * setup + wire_bytes / inter_bw +
+                    wire_bytes / options.pack_bandwidth;
+      double busy_max = 0;
+      std::vector<double> busy(p, 0);
+      for (std::size_t r : alive) {
+        busy[r] = busy_ops * adopt * (edges[r] / std::max(1.0, total_edges)) *
+                  static_cast<double>(alive.size()) * noise_multiplier(options, r);
+        busy[r] += straggle_pause(chaos, r, entry);
+        busy_max = std::max(busy_max, busy[r]);
+      }
+      if (emit) {
+        for (std::size_t r : alive) {
+          compute_acc[r] += busy[r];
+          comm_acc[r] += comm;
+          sync_acc[r] += busy_max - busy[r];
+          strace.complete(r, span, t, comm + busy_max);
+          strace.complete(r, obs::span::kCollAlltoallv, t, comm);
+          strace.complete(r, obs::span::kCollBarrier, t + comm + busy[r],
+                          busy_max - busy[r]);
+        }
+      }
+      t += comm + busy_max;
+      entry += collectives;
+    };
+    // Build: classify + route every edge; ship the remote share.
+    phase(obs::span::kGraphBuild, build_entries, total_edges * 2.0 * op / s,
+          total_edges * edge_bytes * remote / s);
+    // Reduce: each round snapshots adjacency, pulls remote witness lists,
+    // computes marks (a handful of edge ops per live edge), ships marks.
+    phase(obs::span::kGraphReduce, reduce_entries,
+          static_cast<double>(rounds) * total_edges * 4.0 * op / s,
+          static_cast<double>(rounds) * total_edges * 2.0 * edge_bytes * remote / s);
+    // Contig: resolve steps locally, gather edges + steps to the root,
+    // which replays the walk over the full edge set, then broadcast.
+    phase(obs::span::kGraphContig, contig_entries,
+          total_edges * op / s + total_edges * op,  // local share + root replay
+          2.0 * total_edges * edge_bytes);          // gather in, result out
+    return t;
+  };
+
+  std::vector<std::size_t> survivors, deaths;
+  std::uint64_t first_crash = attempt_entries;
+  for (std::size_t r = 0; r < p; ++r) {
+    std::optional<std::uint64_t> step;
+    if (chaos) step = chaos->crash_step(static_cast<std::uint32_t>(r));
+    if (step && *step < attempt_entries) {
+      deaths.push_back(r);
+      first_crash = std::min(first_crash, *step);
+    } else {
+      survivors.push_back(r);
+    }
+  }
+
+  double t0 = 0;
+  std::uint64_t restarts = 0;
+  if (!deaths.empty() && !survivors.empty()) {
+    // The abandoned attempt: every rank runs until the first death's
+    // collective, then survivors restart from the manifests in unison.
+    std::vector<std::size_t> all(p);
+    for (std::size_t r = 0; r < p; ++r) all[r] = r;
+    const double clean_span = run_attempt(all, 0.0, false);
+    const double frac = static_cast<double>(first_crash + 1) /
+                        static_cast<double>(attempt_entries);
+    t0 = clean_span * std::min(1.0, frac) + 3.0 * setup;  // wasted work + agreement
+    restarts = 1;
+    for (std::size_t r : survivors) {
+      comm_acc[r] += 3.0 * setup;
+      sync_acc[r] += clean_span * std::min(1.0, frac);
+      strace.complete(r, obs::span::kRecovery, 0.0, t0, "restarts", restarts);
+    }
+    for (std::size_t d : deaths)
+      strace.instant(d, obs::span::kFaultCrash, t0, "step", first_crash);
+  }
+  const std::vector<std::size_t>& alive = survivors.empty() ? deaths : survivors;
+  const double end = run_attempt(alive, t0, true);
+
+  result.runtime = end;
+  // Logical message count: one pairwise message per peer per collective
+  // entry of the completed attempt (alltoallv semantics).
+  result.messages = attempt_entries * alive.size() * (alive.size() - 1);
+  result.exchange_bytes = static_cast<std::uint64_t>(
+      total_edges * edge_bytes * remote * (1.0 + 2.0 * static_cast<double>(rounds)) +
+      2.0 * total_edges * edge_bytes);
+  for (std::size_t r = 0; r < p; ++r) {
+    stat::Breakdown& timeline = result.ranks[r];
+    timeline.compute = compute_acc[r];
+    timeline.comm = comm_acc[r];
+    timeline.sync = sync_acc[r];
+    timeline.peak_memory = static_cast<std::uint64_t>(
+        (total_edges / static_cast<double>(std::max<std::size_t>(1, alive.size()))) *
+        edge_bytes * 2.0);
+    timeline.faults.crashes = deaths.size();
+    timeline.faults.recovery_seconds = restarts > 0 ? t0 : 0.0;
+  }
+  return result;
+}
+
 }  // namespace gnb::sim

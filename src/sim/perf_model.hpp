@@ -70,6 +70,22 @@ struct SimOptions {
   /// async). Degradation under faults is thereby both executed (rt) and
   /// simulated (here) from one replayable seed. Disabled by default.
   rt::FaultPlan faults;
+  /// --- graph-phase cost terms (phases 4-6; simulate_assembly) ---
+  /// CPU cost of one edge operation: the hash-insert at build, the
+  /// snapshot scan + mark check at reduction, the step resolution and
+  /// walk advance at contig generation.
+  double graph_edge_op = 60e-9;
+  /// Surviving dovetail edges (directed edge + mirror) per alignment task,
+  /// after acceptance and containment filtering — converts the
+  /// assignment's task counts into graph sizes.
+  double graph_edges_per_task = 0.5;
+  /// Wire bytes per serialized edge or reduction mark (u64 from, u64 to,
+  /// u32 overlap, u32 score — pipeline::pack_assembly's edge frame).
+  std::uint64_t graph_edge_bytes = 24;
+  /// Snapshot rounds the reduction fixpoint executes: one marking round
+  /// plus the zero-fresh confirmation round (Myers marks converge in 2;
+  /// see graph::OverlapGraph::reduce_transitive).
+  std::uint64_t graph_reduce_rounds = 2;
   /// Emit the engines' span taxonomy (obs/spans.hpp) into the process
   /// Tracer at *virtual* timestamps — one "sim node N" process per node,
   /// one "core C" track per rank — so a simulated run opens side-by-side
@@ -92,6 +108,17 @@ SimResult simulate_bsp(const MachineParams& machine, const SimAssignment& assign
 
 SimResult simulate_async(const MachineParams& machine, const SimAssignment& assignment,
                          const SimOptions& options);
+
+/// Phases 4-6 (pipeline::run_distributed_assembly) on the machine model:
+/// edge-shard build, snapshot-round transitive reduction with witness
+/// pulls, and the contig gather/replay/broadcast — emitting the same
+/// graph.build / graph.reduce / graph.contig spans the real path emits,
+/// at virtual timestamps. Crash schedules in `faults` are costed as the
+/// protocol executes them: the attempt runs to the first death's
+/// collective, all survivors abandon it, and a full survivor attempt
+/// replays from the manifests. `rounds` reports the reduction fixpoint.
+SimResult simulate_assembly(const MachineParams& machine, const SimAssignment& assignment,
+                            const SimOptions& options);
 
 /// The Fig-11 dashed line: estimated memory to exchange all reads at once =
 /// total exchange load / P + average input partition size.

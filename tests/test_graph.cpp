@@ -2,11 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <span>
 #include <sstream>
 
 #include "align/paf.hpp"
 #include "align/xdrop.hpp"
 #include "graph/assembler.hpp"
+#include "graph/assembly.hpp"
 #include "graph/gfa.hpp"
 #include "graph/overlap_graph.hpp"
 #include "util/error.hpp"
@@ -230,6 +232,109 @@ TEST(Assembler, EveryNonContainedReadUsedOnce) {
     for (const NodeId node : contig.path) ++seen[node_read(node)];
   for (seq::ReadId read = 0; read < tiling.reads.size(); ++read)
     EXPECT_EQ(seen[read], graph.is_contained(read) ? 0 : 1) << "read " << read;
+}
+
+// ---------- edge cases ----------
+
+TEST(Assembler, ZeroReadsYieldNoContigsAndHeaderOnlyGfa) {
+  const seq::ReadStore no_reads;
+  const std::vector<align::AlignmentRecord> no_records;
+  const AssemblyResult result = assemble_serial(no_records, no_reads);
+  EXPECT_EQ(result.contigs.size(), 0u);
+  EXPECT_EQ(result.edges.size(), 0u);
+  EXPECT_EQ(result.stats.contigs, 0u);
+  EXPECT_EQ(result.stats.n50, 0u);
+  EXPECT_EQ(result.gfa, "H\tVN:Z:1.0\n");
+}
+
+TEST(Assembler, AllReadsContainedYieldNothing) {
+  const std::vector<std::size_t> lengths{400, 500, 600};
+  OverlapGraph graph(3, std::vector<bool>(3, true), std::span<const OverlapEdge>{});
+  EXPECT_EQ(graph.stats().contained, 3u);
+  const auto contigs = extract_unitigs(graph, lengths);
+  EXPECT_EQ(contigs.size(), 0u);
+  seq::ReadStore reads;
+  reads.add("a", seq::Sequence::from_codes(std::vector<std::uint8_t>(400, 0)));
+  reads.add("b", seq::Sequence::from_codes(std::vector<std::uint8_t>(500, 1)));
+  reads.add("c", seq::Sequence::from_codes(std::vector<std::uint8_t>(600, 2)));
+  std::ostringstream out;
+  write_gfa(out, graph, reads);
+  EXPECT_EQ(out.str(), "H\tVN:Z:1.0\n");  // no S lines, no L lines
+}
+
+TEST(Assembler, SingleReadBecomesSingletonContig) {
+  const std::vector<std::size_t> lengths{1'234};
+  OverlapGraph graph(1, {}, std::span<const OverlapEdge>{});
+  const auto contigs = extract_unitigs(graph, lengths);
+  ASSERT_EQ(contigs.size(), 1u);
+  EXPECT_EQ(contigs[0].path, std::vector<NodeId>{make_node(0, false)});
+  EXPECT_EQ(contigs[0].length, 1'234u);
+  EXPECT_TRUE(contigs[0].advances.empty());
+}
+
+TEST(Assembler, CircularUnitigBreaksAtLowestForwardRead) {
+  // Forward cycle r0 -> r1 -> r2 -> r0 with mirrors: every node has
+  // out-degree 1 and in-degree 1, so pass 1 finds no start and pass 2 must
+  // break the cycle at read 0, forward orientation.
+  const NodeId f0 = make_node(0, false), f1 = make_node(1, false), f2 = make_node(2, false);
+  const std::vector<OverlapEdge> edges{
+      {f0, f1, 100, 100},
+      {node_complement(f1), node_complement(f0), 100, 100},
+      {f1, f2, 100, 100},
+      {node_complement(f2), node_complement(f1), 100, 100},
+      {f2, f0, 100, 100},
+      {node_complement(f0), node_complement(f2), 100, 100},
+  };
+  OverlapGraph graph(3, {}, edges);
+  const std::vector<std::size_t> lengths{300, 300, 300};
+  const auto contigs = extract_unitigs(graph, lengths);
+  ASSERT_EQ(contigs.size(), 1u);
+  EXPECT_EQ(contigs[0].path, (std::vector<NodeId>{f0, f1, f2}));
+  // 300 + 2 * (300 - 100): the closing wrap edge adds no bases.
+  EXPECT_EQ(contigs[0].length, 700u);
+}
+
+TEST(Assembler, N50OfSingleContigIsItsLength) {
+  std::vector<Contig> one(1);
+  one[0].length = 4'242;
+  const auto stats = assembly_stats(one);
+  EXPECT_EQ(stats.contigs, 1u);
+  EXPECT_EQ(stats.n50, 4'242u);
+  EXPECT_EQ(stats.longest, 4'242u);
+  EXPECT_EQ(stats.total_length, 4'242u);
+}
+
+TEST(OverlapGraph, OutEdgesBreakOverlapTiesByTargetId) {
+  const NodeId u = make_node(0, false);
+  const std::vector<OverlapEdge> edges{
+      {u, make_node(2, false), 150, 10},
+      {node_complement(make_node(2, false)), node_complement(u), 150, 10},
+      {u, make_node(1, false), 150, 10},
+      {node_complement(make_node(1, false)), node_complement(u), 150, 10},
+      {u, make_node(3, false), 200, 10},
+      {node_complement(make_node(3, false)), node_complement(u), 200, 10},
+  };
+  OverlapGraph graph(4, {}, edges);
+  const auto sorted = graph.out_edges(u);
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0].to, make_node(3, false));  // strongest overlap first
+  EXPECT_EQ(sorted[1].to, make_node(1, false));  // tie: lower target id
+  EXPECT_EQ(sorted[2].to, make_node(2, false));
+}
+
+TEST(Gfa, FlatWriterMatchesGraphWriter) {
+  const Tiling tiling = make_tiling();
+  OverlapGraph graph(tiling.records, tiling.lengths, 100, 100, 30);
+  graph.reduce_transitive(60);
+  std::ostringstream via_graph;
+  write_gfa(via_graph, graph, tiling.reads);
+  std::vector<bool> contained(tiling.reads.size());
+  for (seq::ReadId id = 0; id < tiling.reads.size(); ++id)
+    contained[id] = graph.is_contained(id);
+  const std::vector<OverlapEdge> live = graph.live_edges();
+  std::ostringstream via_flat;
+  write_gfa(via_flat, tiling.reads.size(), contained, live, tiling.reads);
+  EXPECT_EQ(via_graph.str(), via_flat.str());
 }
 
 // ---------- GFA ----------

@@ -531,4 +531,62 @@ TEST(CheckpointBlob, CorruptionIsFatalNotSilent) {
   EXPECT_THROW((void)pipeline::load_blob(path, 3, 7), gnb::Error);
 }
 
+// --- graph / assembly checkpoints (kinds 4 and 5) ---
+
+TEST(CheckpointGraph, RoundTripAndStaleFingerprint) {
+  const fs::path dir = fresh_dir("gnb_ckpt_graph");
+  fs::create_directories(dir);
+  const fs::path path = dir / "graph.ckpt";
+
+  pipeline::GraphCheckpoint ckpt;
+  ckpt.stats.reads = 5;
+  ckpt.stats.contained = 1;
+  ckpt.stats.dovetail_edges = 6;
+  ckpt.stats.reduced_edges = 2;
+  ckpt.contained = {false, true, false, false, false};
+  ckpt.edges = {
+      {graph::make_node(0, false), graph::make_node(2, false), 300, 250, false},
+      {graph::make_node(2, true), graph::make_node(0, true), 300, 250, false},
+      {graph::make_node(0, false), graph::make_node(3, true), 120, 80, true},
+  };
+  pipeline::save_graph(path, 0x5EEDu, ckpt);
+  const auto loaded = pipeline::load_graph(path, 0x5EEDu);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(*loaded == ckpt);
+  // Stale fingerprint: absent, not fatal — the caller recomputes.
+  EXPECT_FALSE(pipeline::load_graph(path, 0xBAD5EEDu).has_value());
+  EXPECT_FALSE(pipeline::load_graph(dir / "missing.ckpt", 0x5EEDu).has_value());
+}
+
+TEST(CheckpointAssembly, RoundTripsTheFullResult) {
+  const fs::path dir = fresh_dir("gnb_ckpt_assembly");
+  fs::create_directories(dir);
+  const fs::path path = dir / "assembly.ckpt";
+
+  graph::AssemblyResult result;
+  result.graph_stats.reads = 3;
+  result.graph_stats.dovetail_edges = 2;
+  result.contained = {false, false, true};
+  result.edges = {
+      {graph::make_node(0, false), graph::make_node(1, false), 200, 180, false},
+      {graph::make_node(1, true), graph::make_node(0, true), 200, 180, false},
+  };
+  graph::Contig contig;
+  contig.path = {graph::make_node(0, false), graph::make_node(1, false)};
+  contig.advances = {300};
+  contig.length = 800;
+  result.contigs = {contig};
+  result.stats.contigs = 1;
+  result.stats.total_length = 800;
+  result.stats.longest = 800;
+  result.stats.n50 = 800;
+  result.gfa = "H\tVN:Z:1.0\nS\tr0\t*\tLN:i:500\n";
+  pipeline::save_assembly(path, 0xA55E4Bu, result);
+  const auto loaded = pipeline::load_assembly(path, 0xA55E4Bu);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(*loaded == result);
+  EXPECT_EQ(loaded->gfa, result.gfa);  // exact bytes, not just equal fields
+  EXPECT_FALSE(pipeline::load_assembly(path, 0x0u).has_value());
+}
+
 }  // namespace

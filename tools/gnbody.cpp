@@ -5,20 +5,24 @@
 //   gnbody overlap   --in reads.fa --out overlaps.paf
 //       many-to-many overlap: k-mer pipeline + BSP/Async engine, PAF out
 //   gnbody assemble  --in reads.fa --out contigs.fa [--gfa graph.gfa]
-//       overlap + string graph + unitigs, contigs to FASTA
+//       overlap + distributed string graph + unitigs, contigs to FASTA
+//       (phases 4-6 run over rt::World; byte-identical to the serial
+//       oracle at any --ranks, and under --faults crash injection)
 //   gnbody correct   --in reads.fa --out corrected.fa
 //       consensus error correction from the overlap pileup
 //
 // The paper's stated goal: "the code can be used for many-to-many long
 // read alignment with general inputs" — this binary is that entry point.
 //
-//   gnbody sim       --dataset human-ccs --nodes 64 --engine bsp
-//       cost-model simulation of one engine phase at cluster scale
+//   gnbody sim       --dataset human-ccs --nodes 64 --engine bsp [--assembly]
+//       cost-model simulation of one engine phase at cluster scale;
+//       --assembly models the distributed graph phases instead
 //
 // `overlap` and `sim` both take --trace out.json / --metrics out.json:
 // the same span taxonomy lands in the same Perfetto JSON, stamped with the
 // monotonic clock (real run) or the model's virtual clock (sim run).
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -39,6 +43,7 @@
 #include "obs/metrics.hpp"
 #include "obs/spans.hpp"
 #include "obs/trace.hpp"
+#include "pipeline/assembly.hpp"
 #include "pipeline/pipeline.hpp"
 #include "proto/config.hpp"
 #include "rt/world.hpp"
@@ -82,6 +87,9 @@ proto::BatchAlignerKind parse_batch_aligner_cli(const std::string& name) {
 
 struct OverlapRun {
   std::vector<align::AlignmentRecord> records;
+  /// The stage-1 read partition (nranks+1 boundaries) — the owner map the
+  /// distributed graph phases shard by.
+  std::vector<seq::ReadId> bounds;
   /// The scoring the engine actually aligned with — PAF residue-match
   /// counts are derived from it, not from a hard-wired default.
   align::Scoring scoring;
@@ -109,6 +117,7 @@ OverlapRun run_overlap(const seq::ReadStore& reads, std::size_t ranks, std::uint
   log::info("discovered ", tasks.total_tasks(), " alignment tasks");
 
   OverlapRun run;
+  run.bounds = tasks.bounds;
   run.pipeline_metrics.add(obs::metric::kPipelineReads, reads.size());
   run.pipeline_metrics.add(obs::metric::kPipelineBases, reads.total_bases());
   run.pipeline_metrics.add(obs::metric::kPipelineTasks, tasks.total_tasks());
@@ -279,7 +288,8 @@ int cmd_overlap(int argc, char** argv) {
 }
 
 int cmd_assemble(int argc, char** argv) {
-  Cli cli("gnbody assemble", "Overlap + string graph + unitigs, contigs to FASTA");
+  Cli cli("gnbody assemble",
+          "Overlap + distributed string graph + unitigs, contigs to FASTA");
   auto in = cli.opt<std::string>("in", "reads.fa", "input FASTA/FASTQ");
   auto out = cli.opt<std::string>("out", "contigs.fa", "output FASTA path");
   auto ranks = cli.opt<std::uint64_t>("ranks", 4, "SPMD ranks (threads)");
@@ -288,43 +298,106 @@ int cmd_assemble(int argc, char** argv) {
   auto error = cli.opt<double>("error", 0.12, "assumed error rate");
   auto min_overlap = cli.opt<std::uint64_t>("min-overlap", 250, "graph edge threshold");
   auto gfa = cli.opt<std::string>("gfa", "", "also write the string graph as GFA1");
+  auto trace = cli.opt<std::string>(
+      "trace", "", "write a Perfetto/Chrome trace-event JSON (monotonic clock)");
+  auto metrics = cli.opt<std::string>("metrics", "", "write a metrics-snapshot JSON");
+  auto faults = cli.opt<std::string>(
+      "faults", "", "fault spec for the graph phases (same syntax as overlap)");
   cli.parse(argc, argv);
+
+  if (!trace->empty()) {
+    obs::Tracer& tracer = obs::Tracer::instance();
+    tracer.enable();
+    obs::Tracer::bind(
+        tracer.buffer(static_cast<std::uint32_t>(*ranks), 0, "driver", "main"));
+  }
 
   const seq::ReadStore reads = load_fasta(*in);
   log::info("loaded ", reads.size(), " reads");
-  const auto records = run_overlap(reads, *ranks, static_cast<std::uint32_t>(*k), *coverage,
-                                   *error, "bsp", 100,
-                                   static_cast<std::uint32_t>(*min_overlap))
-                           .records;
+  const auto run = run_overlap(reads, *ranks, static_cast<std::uint32_t>(*k), *coverage,
+                               *error, "bsp", 100,
+                               static_cast<std::uint32_t>(*min_overlap));
 
-  std::vector<std::size_t> lengths(reads.size());
-  for (const auto& read : reads.reads()) lengths[read.id] = read.length();
-  graph::OverlapGraph string_graph(records, lengths,
-                                   static_cast<std::uint32_t>(*min_overlap),
-                                   /*max_overhang=*/700, /*end_slack=*/60);
-  string_graph.reduce_transitive(180);
-  string_graph.prune_best_overlap();
+  // Phases 4-6 over rt::World: shard the accepted records by the owner of
+  // read_a (any sharding with the same union gives the same bytes), run the
+  // distributed build / reduce / contig protocol, and take the broadcast
+  // result from any surviving rank.
+  pipeline::DistributedAssemblyOptions asm_options;
+  asm_options.assembly.min_overlap = static_cast<std::uint32_t>(*min_overlap);
+  asm_options.assembly.max_overhang = 700;
+  asm_options.assembly.end_slack = 60;
+  asm_options.assembly.fuzz = 180;
+  asm_options.assembly.prune = true;
+  std::vector<std::vector<align::AlignmentRecord>> shards(*ranks);
+  for (const align::AlignmentRecord& record : run.records) {
+    const auto it = std::upper_bound(run.bounds.begin(), run.bounds.end(), record.read_a);
+    shards[static_cast<std::size_t>(it - run.bounds.begin()) - 1].push_back(record);
+  }
+  rt::World world(*ranks);
+  if (!faults->empty()) {
+    world.set_faults(rt::FaultPlan::parse(*faults));
+    log::info("fault injection on for the graph phases");
+  }
+  std::vector<pipeline::DistributedAssembly> per_rank(*ranks);
+  world.run([&](rt::Rank& rank) {
+    per_rank[rank.id()] = pipeline::run_distributed_assembly(
+        rank, reads, run.bounds, shards[rank.id()], asm_options);
+  });
+  // Survivors hold identical broadcast results; a crashed rank's slot is
+  // default-constructed (empty GFA — the header alone is never empty).
+  const auto survivor =
+      std::find_if(per_rank.begin(), per_rank.end(),
+                   [](const pipeline::DistributedAssembly& a) { return !a.result.gfa.empty(); });
+  GNB_THROW_IF(survivor == per_rank.end(), "no rank survived the graph phases");
+  const graph::AssemblyResult& assembly = survivor->result;
+  if (survivor->restarts > 0)
+    log::info("graph phases recovered from ", survivor->restarts, " membership change(s)");
+
   if (!gfa->empty()) {
     std::ofstream gfa_file(*gfa);
     GNB_THROW_IF(!gfa_file, "cannot open output: " << *gfa);
-    graph::write_gfa(gfa_file, string_graph, reads);
+    gfa_file << assembly.gfa;
     log::info("wrote string graph to ", *gfa);
   }
-  const auto contigs = graph::extract_unitigs(string_graph, lengths);
-  const auto stats = graph::assembly_stats(contigs);
+  const graph::AssemblyStats& stats = assembly.stats;
   log::info("assembly: ", stats.contigs, " contigs, total ", stats.total_length,
             " bases, N50 ", stats.n50, ", longest ", stats.longest);
+
+  if (!trace->empty()) {
+    obs::Tracer::bind(nullptr);
+    std::ofstream file(*trace);
+    GNB_THROW_IF(!file, "cannot open output: " << *trace);
+    obs::Tracer::instance().write_json(file);
+    obs::Tracer::instance().disable();
+    log::info("wrote trace to ", *trace);
+  }
+  if (!metrics->empty()) {
+    obs::MetricsRegistry graph_metrics;
+    graph_metrics.merge(world.metrics());
+    std::ostringstream info;
+    info << "{\"command\":\"assemble\",\"input\":";
+    obs::json::write_string(info, *in);
+    info << ",\"ranks\":" << *ranks << ",\"reads\":" << reads.size()
+         << ",\"clock\":\"monotonic\"}";
+    const obs::MetricsPhase phases[] = {{"pipeline", &run.pipeline_metrics},
+                                        {"align", &run.align_metrics},
+                                        {"graph", &graph_metrics}};
+    std::ofstream file(*metrics);
+    GNB_THROW_IF(!file, "cannot open output: " << *metrics);
+    obs::write_metrics_json(file, info.str(), phases);
+    log::info("wrote metrics to ", *metrics);
+  }
 
   std::ofstream file(*out);
   GNB_THROW_IF(!file, "cannot open output: " << *out);
   seq::FastaWriter writer(file);
   std::size_t index = 0;
-  for (const auto& contig : contigs) {
+  for (const auto& contig : assembly.contigs) {
     writer.write(seq::FastaRecord{"contig" + std::to_string(index++),
                                   "reads=" + std::to_string(contig.path.size()),
                                   graph::contig_sequence(contig, reads)});
   }
-  log::info("wrote ", contigs.size(), " contigs to ", *out);
+  log::info("wrote ", assembly.contigs.size(), " contigs to ", *out);
   return 0;
 }
 
@@ -381,6 +454,8 @@ int cmd_sim(int argc, char** argv) {
       "batch-aligner", proto::to_string(proto::batch_aligner_from_env()),
       "kernel backend to calibrate against: scalar | simd | auto (env GNB_BATCH_ALIGNER)");
   auto seed = cli.opt<std::uint64_t>("seed", 42, "workload + calibration seed");
+  auto assembly = cli.flag(
+      "assembly", "model the graph phases (build/reduce/contig) instead of alignment");
   auto trace = cli.opt<std::string>("trace", "",
                                     "write a Perfetto/Chrome trace-event JSON (virtual clock)");
   auto metrics = cli.opt<std::string>("metrics", "", "write a metrics-snapshot JSON");
@@ -411,12 +486,18 @@ int cmd_sim(int argc, char** argv) {
     options.trace = true;
   }
 
-  const sim::SimResult result = async_mode ? sim::simulate_async(machine, assignment, options)
-                                           : sim::simulate_bsp(machine, assignment, options);
+  const sim::SimResult result =
+      *assembly ? sim::simulate_assembly(machine, assignment, options)
+      : async_mode ? sim::simulate_async(machine, assignment, options)
+                   : sim::simulate_bsp(machine, assignment, options);
   const stat::Summary summary = sim::reduce(result);
-  Table table(stat::breakdown_headers({"nodes", "engine"}));
-  stat::add_breakdown_row(table, {std::to_string(*nodes), *engine}, summary);
+  const std::string phase_name = *assembly ? "graph" : *engine;
+  Table table(stat::breakdown_headers({"nodes", "phase"}));
+  stat::add_breakdown_row(table, {std::to_string(*nodes), phase_name}, summary);
   table.print("simulated phase breakdown (virtual clock)");
+  if (*assembly)
+    log::info("graph phases: ", result.rounds, " reduction rounds, ", result.messages,
+              " messages, ", result.exchange_bytes, " exchange bytes");
   if (summary.faults.any()) {
     Table fault_table(stat::fault_headers({"engine"}));
     stat::add_fault_row(fault_table, {*engine}, summary);
