@@ -50,6 +50,29 @@ EngineResult async_align(rt::Rank& rank, const seq::ReadStore& store,
   // fault-free path). Constructing the context publishes this rank's phase
   // manifest before the first crash point can fire.
   const bool chaos = rank.faults() != nullptr;
+
+  // A restarted rank cannot replay the phase (its pulls, split barrier, and
+  // callbacks died with the old incarnation). Its comeback: park at the
+  // admission gate until the survivors reach the exit agreement loop, then
+  // run that loop with them — the recovery fixpoint replays this rank's
+  // durable completion log and re-executes its unfinished manifest tasks,
+  // keeping the merged output byte-identical.
+  if (chaos && rank.rejoining()) {
+    if (!rank.admitting_barrier()) return result;  // phase wound down without us
+    const std::vector<AlignTask> mine =
+        RecoveryContext::parse_manifest(rank.durable().manifest(me));
+    RecoveryContext rrc(rank, store, bounds, mine, config);
+    for (;;) {
+      rrc.flush();
+      rank.service_barrier();
+      rrc.recover(result, nullptr, nullptr);
+      (void)rank.admitting_barrier();
+      if (!rrc.needs_recovery()) break;
+    }
+    flush_engine_metrics(rank, result);
+    return result;
+  }
+
   std::optional<RecoveryContext> rc;
   if (chaos) rc.emplace(rank, store, bounds, my_tasks, config);
 
@@ -379,12 +402,13 @@ EngineResult async_align(rt::Rank& rank, const seq::ReadStore& store,
   // stamping collectives of its own, so its first gate both detects and
   // agrees on any deaths; when nothing died it is a single cheap allreduce.
   // The trailing barrier stamps the snapshot the loop condition reads, so
-  // continuing or breaking is unanimous.
+  // continuing or breaking is unanimous — and doubles as the admission
+  // point where a restarted rank parked on its comeback is re-admitted.
   for (;;) {
     rc->flush();
     rank.service_barrier();
     rc->recover(result, nullptr, nullptr);
-    rank.barrier();
+    (void)rank.admitting_barrier();
     if (!rc->needs_recovery()) break;
   }
   flush_engine_metrics(rank, result);

@@ -32,6 +32,35 @@ EngineResult bsp_align(rt::Rank& rank, const seq::ReadStore& store,
   // fault-free path). Constructing the context publishes this rank's phase
   // manifest before the first crash point can fire.
   const bool chaos = rank.faults() != nullptr;
+
+  // A restarted rank cannot replay the phase's collectives — the survivors
+  // are mid-protocol. Its comeback: park at the admission gate until the
+  // survivors reach their exit loop, then run the same recovery fixpoint
+  // they do, with my_tasks rebuilt from the durable manifest the old
+  // incarnation published. The fixpoint replays this rank's completion log
+  // and re-executes its unfinished tasks (proto::plan_recovery's rebalance
+  // path), so the merged output stays byte-identical.
+  if (chaos && rank.rejoining()) {
+    if (!rank.admitting_barrier()) return result;  // phase wound down without us
+    const std::vector<AlignTask> mine =
+        RecoveryContext::parse_manifest(rank.durable().manifest(me));
+    RecoveryContext rrc(rank, store, bounds, mine, config);
+    for (;;) {
+      while (rrc.needs_recovery()) {
+        rrc.recover(result, nullptr, nullptr);
+        // Mirror the survivors' replan(): this rank serves and pulls
+        // nothing, but the collective sequence must match gate for gate.
+        (void)rank.alltoall(std::vector<std::uint64_t>(p, 0));
+        (void)rank.allreduce_max(0.0);
+      }
+      rrc.flush();
+      (void)rank.admitting_barrier();
+      if (!rrc.needs_recovery()) break;
+    }
+    flush_engine_metrics(rank, result);
+    return result;
+  }
+
   std::optional<RecoveryContext> rc;
   if (chaos) rc.emplace(rank, store, bounds, my_tasks, config);
   const auto checkpoint = [&] {
@@ -280,10 +309,12 @@ EngineResult bsp_align(rt::Rank& rank, const seq::ReadStore& store,
   // Final synchronization: end of the bulk-synchronous phase. Loop until
   // the stamped snapshot agrees nothing new died — a rank dying *at* this
   // barrier has finished its own work, but its accepted records must still
-  // be adopted from its durable log.
+  // be adopted from its durable log. The barrier doubles as the admission
+  // point: a restarted rank parked on its comeback is re-admitted here and
+  // joins the recovery iteration the stamp forces on everyone.
   for (;;) {
     checkpoint();
-    rank.barrier();
+    (void)rank.admitting_barrier();
     if (!rc || !rc->needs_recovery()) break;
     poll_recovery();
   }

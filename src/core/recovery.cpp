@@ -1,6 +1,7 @@
 #include "core/recovery.hpp"
 
 #include <algorithm>
+#include <sstream>
 
 #include "obs/spans.hpp"
 #include "obs/trace.hpp"
@@ -138,27 +139,29 @@ std::vector<RecoveryContext::LogEntry> RecoveryContext::parse_log(std::uint32_t 
   return entries;
 }
 
+std::vector<kmer::AlignTask> RecoveryContext::parse_manifest(const rt::Bytes& manifest) {
+  std::vector<AlignTask> tasks;
+  if (manifest.empty()) return tasks;
+  std::size_t offset = 0;
+  const auto count = wire::get<std::uint64_t>(manifest, offset);
+  tasks.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    AlignTask task;
+    task.a = wire::get<std::uint32_t>(manifest, offset);
+    task.b = wire::get<std::uint32_t>(manifest, offset);
+    task.seed.a_pos = wire::get<std::uint32_t>(manifest, offset);
+    task.seed.b_pos = wire::get<std::uint32_t>(manifest, offset);
+    task.seed.length = wire::get<std::uint16_t>(manifest, offset);
+    task.seed.b_reversed = wire::get<std::uint8_t>(manifest, offset) != 0;
+    tasks.push_back(task);
+  }
+  return tasks;
+}
+
 const std::vector<kmer::AlignTask>& RecoveryContext::dead_tasks(std::uint32_t r) {
   const auto it = dead_tasks_.find(r);
   if (it != dead_tasks_.end()) return it->second;
-  std::vector<AlignTask> tasks;
-  const Bytes manifest = rank_.durable().manifest(r);
-  if (!manifest.empty()) {
-    std::size_t offset = 0;
-    const auto count = wire::get<std::uint64_t>(manifest, offset);
-    tasks.reserve(count);
-    for (std::uint64_t i = 0; i < count; ++i) {
-      AlignTask task;
-      task.a = wire::get<std::uint32_t>(manifest, offset);
-      task.b = wire::get<std::uint32_t>(manifest, offset);
-      task.seed.a_pos = wire::get<std::uint32_t>(manifest, offset);
-      task.seed.b_pos = wire::get<std::uint32_t>(manifest, offset);
-      task.seed.length = wire::get<std::uint16_t>(manifest, offset);
-      task.seed.b_reversed = wire::get<std::uint8_t>(manifest, offset) != 0;
-      tasks.push_back(task);
-    }
-  }
-  return dead_tasks_.emplace(r, std::move(tasks)).first->second;
+  return dead_tasks_.emplace(r, parse_manifest(rank_.durable().manifest(r))).first->second;
 }
 
 void RecoveryContext::refresh_owner_map_if_stale() {
@@ -187,6 +190,7 @@ void RecoveryContext::recover(
     const std::function<void(const seq::Read&)>& consume) {
   const std::uint32_t me = rank_.id();
   const std::size_t p = rank_.nranks();
+  std::uint64_t attempts = 0;
 
   for (;;) {
     flush();
@@ -197,11 +201,24 @@ void RecoveryContext::recover(
     const bool pending_local = rank_.current_epoch() != handled_epoch_ || !missing_.empty() ||
                                !my_lost_.empty();
     if (rank_.allreduce_max(pending_local ? 1.0 : 0.0) < 0.5) break;
+    // Bounded fixpoint: every alive rank counts the same iterations (the
+    // reduction above is collective), so when the budget is spent all of
+    // them throw together — a typed failure instead of a livelock when the
+    // fault schedule keeps the protocol from converging.
+    ++attempts;
+    if (config_.proto.max_recovery_attempts != 0 &&
+        attempts > config_.proto.max_recovery_attempts) {
+      std::ostringstream msg;
+      msg << "recovery fixpoint did not converge after " << config_.proto.max_recovery_attempts
+          << " iterations (max_recovery_attempts)";
+      throw UnrecoverableError(msg.str());
+    }
     GNB_SPAN(obs::span::kRecovery);
     WallTimer recovery_timer;
 
     const std::uint64_t s_epoch = rank_.collective_epoch();
     const std::vector<char> s_alive = rank_.collective_alive();
+    const std::vector<std::uint64_t> s_rejoin = rank_.collective_rejoin_epochs();
     const proto::OwnerMap map(bounds_, s_alive);
 
     if (report_missing) {
@@ -230,14 +247,31 @@ void RecoveryContext::recover(
       dead_pos.emplace(r, dead_states.size());
       dead_states.push_back(std::move(state));
     }
+    // Ever-rejoined alive ranks are a third evidence class: their unfinished
+    // manifest tasks are re-dealt to them every iteration (idempotent — the
+    // evidence scan below removes anything already completed and flushed).
+    std::vector<proto::RejoinState> rejoin_states;
+    std::unordered_map<std::uint32_t, std::size_t> rejoin_pos;
+    for (std::uint32_t r = 0; r < p; ++r) {
+      if (!s_alive[r] || s_rejoin[r] == 0) continue;
+      proto::RejoinState state;
+      state.rank = r;
+      state.manifest_tasks = dead_tasks(r).size();
+      rejoin_pos.emplace(r, rejoin_states.size());
+      rejoin_states.push_back(std::move(state));
+    }
     std::vector<std::vector<LogEntry>> logs(p);
     for (std::uint32_t q = 0; q < p; ++q) {
       logs[q] = parse_log(q);
       for (const LogEntry& entry : logs[q]) {
         if (entry.kind == kEntryCompletion && !s_alive[q])
           dead_states[dead_pos.at(q)].completed.push_back(entry.index);
+        if (entry.kind == kEntryCompletion && rejoin_pos.contains(q))
+          rejoin_states[rejoin_pos.at(q)].completed.push_back(entry.index);
         if (entry.kind == kEntryReexecution && dead_pos.contains(entry.origin))
           dead_states[dead_pos.at(entry.origin)].completed.push_back(entry.index);
+        if (entry.kind == kEntryReexecution && rejoin_pos.contains(entry.origin))
+          rejoin_states[rejoin_pos.at(entry.origin)].completed.push_back(entry.index);
         if ((entry.kind == kEntryCompletion || entry.kind == kEntryReexecution) &&
             entry.has_record && !s_alive[q])
           dead_states[dead_pos.at(q)].has_records = true;
@@ -249,7 +283,7 @@ void RecoveryContext::recover(
         }
       }
     }
-    proto::RecoveryPlan plan = proto::plan_recovery(dead_states, s_alive);
+    proto::RecoveryPlan plan = proto::plan_recovery(dead_states, rejoin_states, s_alive);
     my_lost_ = std::move(plan.assignments[me]);
 
     // --- agreement barrier: all evidence reads precede all writes ---
@@ -269,6 +303,48 @@ void RecoveryContext::recover(
       claim.kind = kEntryClaim;
       claim.origin = adoption.dead;
       append_entry(claim);
+    }
+
+    // --- rejoin replay: a restarted rank re-emits its own durable records
+    // exactly once. If an *alive* survivor's durable claim shows the log was
+    // adopted while this rank was presumed dead, the records already live in
+    // that survivor's result and the replay is skipped — re-checked every
+    // iteration, so a claimant dying later (taking its merged copies with
+    // it, but not this rank's log) still triggers the replay. Claims the old
+    // incarnation wrote are honored by re-merging those dead logs here: they
+    // suppress re-adoption by everyone else, so their records have no other
+    // way back. ---
+    if (rank_.rejoining() && !replayed_self_) {
+      bool claimed_elsewhere = false;
+      for (std::uint32_t q = 0; q < p && !claimed_elsewhere; ++q) {
+        if (q == me || !s_alive[q]) continue;
+        for (const LogEntry& entry : logs[q])
+          if (entry.kind == kEntryClaim && entry.origin == me) {
+            claimed_elsewhere = true;
+            break;
+          }
+      }
+      if (!claimed_elsewhere) {
+        std::uint64_t replayed = 0;
+        for (const LogEntry& entry : logs[me]) {
+          if ((entry.kind == kEntryCompletion || entry.kind == kEntryReexecution) &&
+              entry.has_record) {
+            result.accepted.push_back(entry.record);
+            ++replayed;
+          }
+          if (entry.kind == kEntryClaim && !merged_.contains(entry.origin)) {
+            for (const LogEntry& adopted : logs[entry.origin])
+              if ((adopted.kind == kEntryCompletion || adopted.kind == kEntryReexecution) &&
+                  adopted.has_record) {
+                result.accepted.push_back(adopted.record);
+                ++replayed;
+              }
+            merged_.insert(entry.origin);
+          }
+        }
+        replayed_self_ = true;
+        GNB_INSTANT(obs::span::kRejoinReplay, "records", replayed);
+      }
     }
 
     // --- fetch: reads my lost tasks and the interrupted engine still need,

@@ -18,6 +18,17 @@
 // pure function of its task, task keys (a, b) are globally unique, and
 // every record is emitted by exactly one alive rank — so any crash schedule
 // yields output byte-identical to the fault-free run.
+//
+// Restart/rejoin (restart@R:S fault events) extends the same fixpoint: a
+// re-admitted rank arrives with empty volatile state but its durable
+// manifest and log intact. Every iteration treats ever-rejoined alive ranks
+// as a third evidence class (proto::RejoinState): their unfinished manifest
+// tasks are re-dealt to them (proto::plan_recovery's rebalance path), and
+// the rejoiner replays its own log into its result exactly once — unless an
+// alive survivor's durable claim shows the records were already adopted
+// while it was presumed dead. Claims the old incarnation wrote are honored
+// by re-merging those logs during the replay, so the exactly-once ledger
+// holds across the comeback.
 
 #include <cstdint>
 #include <functional>
@@ -80,6 +91,12 @@ class RecoveryContext {
       const std::function<std::vector<seq::ReadId>(const std::vector<char>&)>& report_missing,
       const std::function<void(const seq::Read&)>& consume);
 
+  /// Decode a durable phase manifest (the encoding the constructor writes)
+  /// back into its task list. A rejoining rank uses this to rebuild the
+  /// my_tasks it lost with its old incarnation from its own surviving
+  /// manifest record.
+  [[nodiscard]] static std::vector<kmer::AlignTask> parse_manifest(const rt::Bytes& manifest);
+
  private:
   struct LogEntry {
     std::uint8_t kind = 0;  // 1 = completion, 2 = re-execution, 3 = claim
@@ -109,6 +126,7 @@ class RecoveryContext {
   rt::Bytes log_buffer_;              // entries not yet flushed
   std::unordered_set<std::uint32_t> merged_;      // dead logs this rank adopted
   std::unordered_set<std::uint32_t> known_dead_;  // deaths already counted
+  bool replayed_self_ = false;  // rejoiner already re-emitted its own log
   std::unordered_map<std::uint32_t, std::vector<kmer::AlignTask>> dead_tasks_;
   std::vector<proto::TaskClaim> my_lost_;         // assigned, not yet executed
   std::vector<seq::ReadId> missing_;              // engine reads not yet fetched

@@ -65,6 +65,15 @@ inline constexpr const char* kRpcTimeout = "rpc.timeout";
 inline constexpr const char* kRpcPeerDeath = "rpc.peer_death";
 inline constexpr const char* kRecoveryReexec = "recovery.reexec";
 
+// Self-healing runtime instants: failure-detector transitions, rank
+// comebacks, and durable-record quarantines.
+inline constexpr const char* kDetectorSuspect = "detector.suspect";
+inline constexpr const char* kDetectorClear = "detector.clear";
+inline constexpr const char* kRejoinAdmit = "rejoin.admit";
+inline constexpr const char* kRejoinReplay = "rejoin.replay";
+inline constexpr const char* kCorruptRecord = "corrupt.record";
+inline constexpr const char* kCorruptFallback = "corrupt.fallback";
+
 // Counter tracks.
 inline constexpr const char* kCtrExchangeBytes = "exchange.bytes";
 inline constexpr const char* kCtrAlignCells = "align.cells";
@@ -119,5 +128,14 @@ inline constexpr const char* kKernelLaneStepsActive = "kernel.lane_steps_active"
 // stat::FaultCounters fields are exported under this prefix (names come
 // from the single stat::FaultCounters::fields() descriptor table).
 inline constexpr const char* kFaultPrefix = "fault.";
+
+// Self-healing runtime metrics, emitted by rt::World::run from the merged
+// fault counters (duplicates of the fault.* rows under stable, purposeful
+// names so dashboards need not know the descriptor table).
+inline constexpr const char* kDetectorSuspected = "detector.suspected";
+inline constexpr const char* kDetectorFalseSuspicions = "detector.false_suspicions";
+inline constexpr const char* kRejoins = "rejoin.count";
+inline constexpr const char* kCorruptRecords = "corrupt.records";
+inline constexpr const char* kFallbackCheckpoints = "corrupt.fallback_checkpoints";
 
 }  // namespace gnb::obs::metric

@@ -675,17 +675,56 @@ DistributedAssembly run_distributed_assembly(rt::Rank& rank, const seq::ReadStor
   for (seq::ReadId id = 0; id < reads.size(); ++id)
     read_lengths[id] = reads.get(id).length();
 
-  // Persist this rank's records before the first crash point: from here on
-  // the global record multiset survives any death, and every attempt below
-  // is a pure function of it.
-  rank.fault_counters().checkpoint_bytes +=
-      rank.durable().write_manifest(rank.id(), pack_records(records));
-
+  const bool chaos = rank.faults() != nullptr;
   DistributedAssembly out;
+
+  // A restarted rank arrives with empty volatile state but its durable
+  // record manifest intact (identical bytes — the shard is a pure function
+  // of the phase input — so no rewrite). It parks at the attempt boundary:
+  // re-admitted there, it joins the survivors' next attempt as a full
+  // member; abandoned (the phase wound down, or the last attempt succeeded
+  // without a membership change), it unwinds empty-handed — the survivors
+  // already merged its region from the manifest, so output is unchanged.
+  bool admitted_this_attempt = false;
+  if (chaos && rank.rejoining()) {
+    if (!rank.admitting_barrier(rt::Rank::kAdmitGraph)) return out;
+    admitted_this_attempt = true;  // the admission gate was this attempt's boundary
+  } else {
+    // Persist this rank's records before the first crash point: from here
+    // on the global record multiset survives any death, and every attempt
+    // below is a pure function of it.
+    rank.fault_counters().checkpoint_bytes +=
+        rank.durable().write_manifest(rank.id(), pack_records(records));
+  }
+
   std::uint64_t attempts = 0;
   while (true) {
-    rank.barrier();  // crash point; stamps the agreed (epoch, alive) pair
-    ++attempts;
+    if (admitted_this_attempt) {
+      admitted_this_attempt = false;  // survivors passed this gate already
+    } else if (chaos) {
+      // Attempt boundary doubles as the admission point for restarted
+      // ranks. Live ranks always pass.
+      (void)rank.admitting_barrier(rt::Rank::kAdmitGraph);
+    } else {
+      rank.barrier();  // crash point; stamps the agreed (epoch, alive) pair
+    }
+    if (chaos) {
+      // Agree on the attempt count (a comeback starts from zero), so the
+      // bounded-recovery give-up below is unanimous — World::run requires
+      // UnrecoverableError to be thrown by every alive rank.
+      attempts = static_cast<std::uint64_t>(
+          rank.allreduce_max(static_cast<double>(attempts + 1)));
+      if (options.proto.max_recovery_attempts != 0 &&
+          attempts > options.proto.max_recovery_attempts) {
+        std::ostringstream msg;
+        msg << "assembly attempt loop did not converge after "
+            << options.proto.max_recovery_attempts
+            << " membership changes (max_recovery_attempts)";
+        throw UnrecoverableError(msg.str());
+      }
+    } else {
+      ++attempts;
+    }
     Attempt attempt(rank, reads, bounds, read_lengths, options);
     auto result = attempt.run();
     if (!result.has_value()) continue;  // membership changed: restart

@@ -1,6 +1,8 @@
 #include "pipeline/checkpoint.hpp"
 
 #include <algorithm>
+#include <array>
+#include <atomic>
 #include <bit>
 #include <fstream>
 #include <tuple>
@@ -9,6 +11,7 @@
 #include "obs/spans.hpp"
 #include "obs/trace.hpp"
 #include "pipeline/assembly.hpp"
+#include "rt/fault.hpp"
 #include "seq/alphabet.hpp"
 #include "util/error.hpp"
 #include "util/wire.hpp"
@@ -72,6 +75,46 @@ align::AlignmentRecord get_record(std::span<const std::uint8_t> in, std::size_t&
   return record;
 }
 
+std::atomic<std::uint64_t> g_corrupt_records{0};
+std::atomic<std::uint64_t> g_fallback_checkpoints{0};
+std::atomic<const rt::FaultInjector*> g_injector{nullptr};
+// Per-kind write sequence counters for corrupt@0:K:S injection (kinds 1..5
+// index slots 1..5; slot 0 is unused).
+std::array<std::atomic<std::uint64_t>, 6> g_write_seq{};
+
+/// Outcome of validating one framed blob against (kind, fingerprint).
+enum class BlobState { kValid, kStale, kCorrupt };
+
+BlobState parse_blob(const Bytes& framed, std::uint32_t kind, std::uint64_t fingerprint,
+                     std::size_t& payload_offset) {
+  std::size_t offset = 0;
+  if (framed.size() < 20) return BlobState::kCorrupt;
+  if (wire::get<std::uint32_t>(framed, offset) != kMagic) return BlobState::kCorrupt;
+  if (wire::get<std::uint32_t>(framed, offset) != kVersion) return BlobState::kCorrupt;
+  if (wire::get<std::uint32_t>(framed, offset) != kind) return BlobState::kCorrupt;
+  if (wire::get<std::uint64_t>(framed, offset) != fingerprint)
+    return BlobState::kStale;  // written for different inputs — recompute
+  if (!wire::verify_checksum(framed, offset)) return BlobState::kCorrupt;
+  payload_offset = offset;
+  return BlobState::kValid;
+}
+
+/// Read `path` and validate. Absent file -> nullopt with state kStale-ish
+/// (reported via `state` = kStale so callers treat it as "no checkpoint").
+std::optional<Bytes> read_blob(const std::filesystem::path& path, std::uint32_t kind,
+                               std::uint64_t fingerprint, BlobState& state) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    state = BlobState::kStale;
+    return std::nullopt;
+  }
+  Bytes framed((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  std::size_t payload_offset = 0;
+  state = parse_blob(framed, kind, fingerprint, payload_offset);
+  if (state != BlobState::kValid) return std::nullopt;
+  return Bytes(framed.begin() + static_cast<std::ptrdiff_t>(payload_offset), framed.end());
+}
+
 }  // namespace
 
 void save_blob(const std::filesystem::path& path, std::uint32_t kind,
@@ -87,6 +130,13 @@ void save_blob(const std::filesystem::path& path, std::uint32_t kind,
   framed.insert(framed.end(), payload.begin(), payload.end());
   wire::seal_checksum(framed, checksum_start);
 
+  if (const rt::FaultInjector* injector = g_injector.load(std::memory_order_acquire)) {
+    const std::uint64_t seq =
+        kind < g_write_seq.size() ? g_write_seq[kind].fetch_add(1) : 0;
+    if (injector->corrupts_record(0, kind, seq))
+      injector->corrupt_payload(0, kind, seq, framed);
+  }
+
   const std::filesystem::path tmp = path.string() + ".tmp";
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
@@ -95,6 +145,11 @@ void save_blob(const std::filesystem::path& path, std::uint32_t kind,
               static_cast<std::streamsize>(framed.size()));
     GNB_THROW_IF(!out, "checkpoint: short write to " << tmp);
   }
+  // Promote the checkpoint being replaced to the ".prev" ancestor: if this
+  // write lands corrupted (bit rot, torn sector), load_blob falls back to
+  // it instead of recomputing from scratch.
+  std::error_code ec;
+  std::filesystem::rename(path, path.string() + ".prev", ec);  // ok if absent
   // Atomic replace: a kill mid-save leaves either the old checkpoint or
   // the new one, never a torn file at `path`.
   std::filesystem::rename(tmp, path);
@@ -104,23 +159,47 @@ std::optional<std::vector<std::uint8_t>> load_blob(const std::filesystem::path& 
                                                    std::uint32_t kind,
                                                    std::uint64_t fingerprint) {
   GNB_SPAN(obs::span::kCkptLoad, "kind", kind);
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return std::nullopt;
-  Bytes framed((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  BlobState state = BlobState::kStale;
+  if (auto payload = read_blob(path, kind, fingerprint, state)) return payload;
+  if (state != BlobState::kCorrupt) return std::nullopt;  // absent or stale
 
-  std::size_t offset = 0;
-  GNB_THROW_IF(framed.size() < 20, "checkpoint " << path << ": truncated header");
-  GNB_THROW_IF(wire::get<std::uint32_t>(framed, offset) != kMagic,
-               "checkpoint " << path << ": bad magic");
-  GNB_THROW_IF(wire::get<std::uint32_t>(framed, offset) != kVersion,
-               "checkpoint " << path << ": unsupported version");
-  GNB_THROW_IF(wire::get<std::uint32_t>(framed, offset) != kind,
-               "checkpoint " << path << ": wrong kind");
-  if (wire::get<std::uint64_t>(framed, offset) != fingerprint)
-    return std::nullopt;  // stale: written for different inputs — recompute
-  GNB_THROW_IF(!wire::verify_checksum(framed, offset),
-               "checkpoint " << path << ": payload checksum mismatch");
-  return Bytes(framed.begin() + static_cast<std::ptrdiff_t>(offset), framed.end());
+  // The current record failed validation: quarantine it (evidence for a
+  // post-mortem, and it must not shadow the ancestor on the next save) and
+  // fall back to the last valid ancestor in the chain.
+  g_corrupt_records.fetch_add(1);
+  GNB_INSTANT(obs::span::kCorruptRecord, "kind", kind);
+  const std::filesystem::path prev = path.string() + ".prev";
+  std::error_code ec;
+  std::filesystem::rename(path, path.string() + ".corrupt", ec);
+  auto ancestor = read_blob(prev, kind, fingerprint, state);
+  if (!ancestor) {
+    if (state == BlobState::kCorrupt) {
+      g_corrupt_records.fetch_add(1);
+      GNB_INSTANT(obs::span::kCorruptRecord, "kind", kind);
+      std::filesystem::remove(prev, ec);
+    }
+    return std::nullopt;  // no valid ancestor — recompute
+  }
+  g_fallback_checkpoints.fetch_add(1);
+  GNB_INSTANT(obs::span::kCorruptFallback, "kind", kind);
+  // Re-promote the ancestor so a second load (or a save) sees a valid
+  // current record again.
+  std::filesystem::rename(prev, path, ec);
+  return ancestor;
+}
+
+CheckpointHealth checkpoint_health() {
+  return CheckpointHealth{g_corrupt_records.load(), g_fallback_checkpoints.load()};
+}
+
+void reset_checkpoint_health() {
+  g_corrupt_records.store(0);
+  g_fallback_checkpoints.store(0);
+}
+
+void set_checkpoint_fault_injector(const rt::FaultInjector* injector) {
+  g_injector.store(injector, std::memory_order_release);
+  for (auto& seq : g_write_seq) seq.store(0);
 }
 
 std::uint64_t pipeline_fingerprint(const seq::ReadStore& store, const PipelineConfig& config,

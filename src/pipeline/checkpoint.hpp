@@ -9,6 +9,17 @@
 // carries a fingerprint of the inputs that produced it: a checkpoint from
 // a different read set, pipeline configuration, or rank count is treated
 // as absent (recompute and overwrite) rather than silently resumed.
+//
+// Checkpoints form a validated chain: each save promotes the previous file
+// to a ".prev" ancestor before the atomic replace. A blob that fails
+// validation on load (bad magic, torn frame, checksum mismatch — bit rot
+// or a corrupted write, as opposed to the stale-fingerprint case) is
+// quarantined to "<path>.corrupt" and the load falls back to the last
+// valid ancestor; if no ancestor validates either, the load reports the
+// checkpoint absent and the caller recomputes. Either way a single
+// corrupted record of any kind (1..5) degrades to re-execution, never to
+// an abort or to silently resuming bad state. checkpoint_health() counts
+// both events so --metrics can surface them.
 
 #include <cstdint>
 #include <filesystem>
@@ -21,6 +32,10 @@
 #include "kmer/counter.hpp"
 #include "pipeline/pipeline.hpp"
 
+namespace gnb::rt {
+class FaultInjector;
+}
+
 namespace gnb::pipeline {
 
 struct CheckpointConfig {
@@ -32,17 +47,38 @@ struct CheckpointConfig {
 
 // --- low-level checkpoint blobs ---
 /// Write `payload` to `path` under a header (magic, version, `kind`,
-/// `fingerprint`) with a payload checksum, via temp file + rename.
+/// `fingerprint`) with a payload checksum, via temp file + rename. An
+/// existing file at `path` is promoted to the "<path>.prev" ancestor
+/// before the replace, extending the validated chain load_blob heals from.
 void save_blob(const std::filesystem::path& path, std::uint32_t kind,
                std::uint64_t fingerprint, const std::vector<std::uint8_t>& payload);
 
 /// Load a blob written by save_blob. Returns nullopt when the file does
 /// not exist or its fingerprint does not match (stale checkpoint: the
-/// caller recomputes). Throws gnb::Error on a corrupt header, wrong kind,
-/// unsupported version, or checksum mismatch.
+/// caller recomputes). A blob failing validation (corrupt header, wrong
+/// kind, unsupported version, checksum mismatch, truncation) is quarantined
+/// to "<path>.corrupt" and the last valid ancestor ("<path>.prev") is
+/// returned instead when one validates; otherwise nullopt — corruption
+/// degrades to recompute, never to an abort.
 std::optional<std::vector<std::uint8_t>> load_blob(const std::filesystem::path& path,
                                                    std::uint32_t kind,
                                                    std::uint64_t fingerprint);
+
+/// Process-wide tallies of the healing paths load_blob took. Snapshot via
+/// checkpoint_health(); reset between runs with reset_checkpoint_health().
+struct CheckpointHealth {
+  std::uint64_t corrupt_records = 0;       // blobs quarantined on failed validation
+  std::uint64_t fallback_checkpoints = 0;  // loads healed from a ".prev" ancestor
+};
+[[nodiscard]] CheckpointHealth checkpoint_health();
+void reset_checkpoint_health();
+
+/// Install a fault injector consulted at save time: the seq-th record of
+/// kind K written by this process is corrupted on disk when the injector's
+/// plan carries a matching corrupt@0:K:S event (the serial pipeline is rank
+/// 0 of its world). nullptr disables injection. Also resets the per-kind
+/// write sequence counters so specs replay identically.
+void set_checkpoint_fault_injector(const rt::FaultInjector* injector);
 
 /// Fingerprint binding checkpoints to their inputs: pipeline parameters,
 /// rank count, and the shape of the read set (count, total bases, and

@@ -106,6 +106,13 @@ struct ProtoConfig {
   /// forward and reverse-complement code vectors, LRU-evicted once the
   /// bound is exceeded. 0 = unbounded.
   std::uint64_t read_cache_bytes = 32ull << 20;
+
+  /// Upper bound on recovery convergence: the number of
+  /// core::RecoveryContext::recover() fixpoint iterations (and distributed
+  /// assembly restart attempts) tolerated before the run throws
+  /// gnb::UnrecoverableError instead of livelocking under endlessly
+  /// flapping membership. 0 = unbounded (the pre-knob behavior).
+  std::size_t max_recovery_attempts = 64;
 };
 
 /// Resolve the BSP round budget for one rank. `capacity_bytes` is the

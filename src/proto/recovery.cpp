@@ -46,6 +46,12 @@ std::uint32_t OwnerMap::owner(std::uint32_t read) const {
 
 RecoveryPlan plan_recovery(const std::vector<DeadRankState>& dead,
                            const std::vector<char>& alive) {
+  return plan_recovery(dead, {}, alive);
+}
+
+RecoveryPlan plan_recovery(const std::vector<DeadRankState>& dead,
+                           const std::vector<RejoinState>& rejoined,
+                           const std::vector<char>& alive) {
   RecoveryPlan plan;
   plan.assignments.resize(alive.size());
 
@@ -75,6 +81,25 @@ RecoveryPlan plan_recovery(const std::vector<DeadRankState>& dead,
       const std::uint32_t assignee = survivors[deal++ % survivors.size()];
       plan.assignments[assignee].push_back(
           TaskClaim{d->rank, static_cast<std::uint32_t>(index)});
+    }
+  }
+
+  // Rejoined ranks take back their own unfinished work: everything in their
+  // manifest with no completion evidence anywhere in stable storage is
+  // re-dealt to them, in ascending rank and index order.
+  std::vector<const RejoinState*> comebacks;
+  comebacks.reserve(rejoined.size());
+  for (const RejoinState& r : rejoined) comebacks.push_back(&r);
+  std::sort(comebacks.begin(), comebacks.end(),
+            [](const RejoinState* a, const RejoinState* b) { return a->rank < b->rank; });
+  for (const RejoinState* r : comebacks) {
+    GNB_CHECK_MSG(r->rank < alive.size() && alive[r->rank],
+                  "recovery plan: rejoined rank " << r->rank << " is not alive");
+    std::unordered_set<std::uint32_t> done(r->completed.begin(), r->completed.end());
+    for (std::uint64_t index = 0; index < r->manifest_tasks; ++index) {
+      if (done.contains(static_cast<std::uint32_t>(index))) continue;
+      plan.assignments[r->rank].push_back(
+          TaskClaim{r->rank, static_cast<std::uint32_t>(index)});
     }
   }
   return plan;

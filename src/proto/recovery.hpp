@@ -80,6 +80,19 @@ struct Adoption {
   std::uint32_t adopter = 0;
 };
 
+/// Everything stable storage says about one *rejoined* rank: a restarted
+/// rank re-admitted at an agreed epoch boundary (rt::Rank rejoin epochs).
+/// Its volatile state died with the old incarnation; its durable manifest
+/// and log did not. `completed` is the union of completion evidence for its
+/// manifest across stable storage — entries in its own log plus
+/// re-execution entries for it that survivors logged while it was presumed
+/// dead.
+struct RejoinState {
+  std::uint32_t rank = 0;
+  std::uint64_t manifest_tasks = 0;
+  std::vector<std::uint32_t> completed;
+};
+
 struct RecoveryPlan {
   std::vector<Adoption> adoptions;
   /// assignments[r] = lost tasks rank r must re-execute (empty for dead
@@ -92,6 +105,16 @@ struct RecoveryPlan {
 /// round-robin over the ascending survivor list, iterating dead ranks
 /// ascending and task indices ascending. Pure function of its inputs.
 [[nodiscard]] RecoveryPlan plan_recovery(const std::vector<DeadRankState>& dead,
+                                         const std::vector<char>& alive);
+
+/// The rebalance path: plan_recovery plus re-admitted ranks. Each rejoined
+/// rank is re-dealt its *own* unfinished manifest tasks (it owns the base
+/// shard again, so the re-execution is mostly local), while tasks that
+/// survivors already re-executed — or that the old incarnation logged before
+/// dying — stay where their completion evidence says they are. Pure and
+/// deterministic like the two-argument form.
+[[nodiscard]] RecoveryPlan plan_recovery(const std::vector<DeadRankState>& dead,
+                                         const std::vector<RejoinState>& rejoined,
                                          const std::vector<char>& alive);
 
 }  // namespace gnb::proto

@@ -30,6 +30,7 @@
 // Injection is a zero-cost-when-disabled hook: World holds a null injector
 // pointer by default and every check is a single branch on that pointer.
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -48,9 +49,48 @@ struct CrashEvent {
   std::uint64_t at_step = 0;
 };
 
+/// One scheduled bidirectional link cut: deliveries between ranks `a` and
+/// `b` (either direction) are held while the *receiver's* progress tick is
+/// inside [at_tick, at_tick + duration). The window is expressed in receiver
+/// progress() ticks — the same clock message delays use — so a partition
+/// composes with delay/dup/reorder and is replayable from the spec alone.
+/// The cut rank is alive the whole time: this is what exercises the failure
+/// detector's suspicion (and false-suspicion) path rather than fail-stop.
+struct PartitionEvent {
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  std::uint64_t at_tick = 0;
+  std::uint64_t duration = 0;
+};
+
+/// One scheduled comeback: after rank `rank` dies (via a crash@ event), its
+/// thread parks instead of exiting and is re-admitted to the computation at
+/// an agreed epoch boundary — specifically, after `skip_gates` admitting
+/// gate openings have passed since it parked. Volatile state is lost; the
+/// durable completion log survives and is replayed on rejoin.
+struct RestartEvent {
+  std::uint32_t rank = 0;
+  std::uint64_t skip_gates = 0;
+};
+
+/// One scheduled durable-record corruption: the `seq`-th record of kind
+/// `kind` written by rank `rank` is bit-flipped (or truncated, hashed from
+/// the identity) at write time. Kinds 1..5 match the pipeline checkpoint
+/// kinds; for rt::DurableStore, kind 1 = manifest, kind 2 = log record.
+struct CorruptEvent {
+  std::uint32_t rank = 0;
+  std::uint32_t kind = 0;
+  std::uint64_t seq = 0;
+};
+
 /// Perturbation intensities for one chaos run. Default-constructed plans
 /// are disabled (all probabilities zero).
 struct FaultPlan {
+  /// Default partition window when the spec omits the duration, sized so a
+  /// cut outlives the detector lease (the suspicion path fires) but heals
+  /// well before any test timeout.
+  static constexpr std::uint64_t kDefaultPartitionTicks = 4096;
+
   std::uint64_t seed = 0;
 
   /// Probability that a request/reply delivery is held, and the maximum
@@ -76,9 +116,19 @@ struct FaultPlan {
   /// its 5th fault step on every run.
   std::vector<CrashEvent> crashes;
 
+  /// Scheduled bidirectional link cuts (partition@A|B:TICK[:DURATION]).
+  std::vector<PartitionEvent> partitions;
+
+  /// Scheduled rank comebacks (restart@RANK:SKIP). At most one per rank; a
+  /// restart without a matching crash is legal but inert.
+  std::vector<RestartEvent> restarts;
+
+  /// Scheduled durable-record corruptions (corrupt@RANK:KIND:SEQ).
+  std::vector<CorruptEvent> corrupts;
+
   [[nodiscard]] bool enabled() const {
     return delay_prob > 0 || dup_prob > 0 || reorder_prob > 0 || straggle_prob > 0 ||
-           !crashes.empty();
+           !crashes.empty() || !partitions.empty() || !restarts.empty() || !corrupts.empty();
   }
 
   /// The canonical chaos mix: every fault mode active, intensities jittered
@@ -139,6 +189,50 @@ class FaultInjector {
     const auto scheduled = crash_step(rank);
     return scheduled && *scheduled <= step;
   }
+
+  /// Remaining hold, in receiver progress() ticks, for a delivery between
+  /// `src` and `dst` when the receiver's tick is `now` (0 = no active cut).
+  /// The hold runs to the end of the longest covering partition window, so a
+  /// message sent mid-window surfaces exactly when the partition heals.
+  [[nodiscard]] std::uint64_t partition_hold_ticks(std::uint32_t src, std::uint32_t dst,
+                                                   std::uint64_t now) const {
+    std::uint64_t hold = 0;
+    for (const PartitionEvent& cut : plan_.partitions) {
+      const bool covers = (cut.a == src && cut.b == dst) || (cut.a == dst && cut.b == src);
+      if (covers && now >= cut.at_tick && now < cut.at_tick + cut.duration)
+        hold = std::max(hold, cut.at_tick + cut.duration - now);
+    }
+    return hold;
+  }
+
+  /// Is any partition window covering the (src, dst) link active at `now`?
+  [[nodiscard]] bool partitioned(std::uint32_t src, std::uint32_t dst,
+                                 std::uint64_t now) const {
+    return partition_hold_ticks(src, dst, now) > 0;
+  }
+
+  /// The comeback schedule for `rank`, if any: the number of admitting gate
+  /// openings to skip between its death and its re-admission.
+  [[nodiscard]] std::optional<std::uint64_t> restart_after(std::uint32_t rank) const {
+    for (const RestartEvent& event : plan_.restarts)
+      if (event.rank == rank) return event.skip_gates;
+    return std::nullopt;
+  }
+
+  /// Should the `seq`-th durable record of kind `kind` written by `rank` be
+  /// corrupted at write time?
+  [[nodiscard]] bool corrupts_record(std::uint32_t rank, std::uint32_t kind,
+                                     std::uint64_t seq) const {
+    for (const CorruptEvent& event : plan_.corrupts)
+      if (event.rank == rank && event.kind == kind && event.seq == seq) return true;
+    return false;
+  }
+
+  /// Deterministic mutation of a record payload chosen to corrupt: either a
+  /// hashed bit-flip or a mid-byte truncation (a torn write), picked by the
+  /// record identity so every replay of the spec tears the same way.
+  void corrupt_payload(std::uint32_t rank, std::uint32_t kind, std::uint64_t seq,
+                       std::vector<std::uint8_t>& payload) const;
 
  private:
   FaultPlan plan_;

@@ -43,6 +43,7 @@ void RpcEndpoint::call(std::uint32_t target, std::uint32_t handler_id, Bytes pay
   if (injector_) {
     if (request_seq_.size() <= target) request_seq_.resize(peers_->size(), 0);
     fate = injector_->on_request(self_, target, request_seq_[target]++);
+    fate.delay_ticks = std::max(fate.delay_ticks, partition_delay(target));
   }
   if (fate.duplicate) {
     ++duplicates_injected_;
@@ -69,7 +70,10 @@ void RpcEndpoint::send_reply(std::uint32_t dst, Reply reply) {
   // A reply owed to a dead requester has no reader; drop it.
   if (!peer.is_alive()) return;
   FaultInjector::Delivery fate;
-  if (injector_) fate = injector_->on_reply(self_, dst, reply_seq_++);
+  if (injector_) {
+    fate = injector_->on_reply(self_, dst, reply_seq_++);
+    fate.delay_ticks = std::max(fate.delay_ticks, partition_delay(dst));
+  }
   if (fate.duplicate) {
     ++duplicates_injected_;
     peer.enqueue_reply(reply, fate.delay_ticks);
@@ -108,6 +112,21 @@ void RpcEndpoint::revive() {
   death_notices_.clear();
 }
 
+void RpcEndpoint::reset_for_rejoin() {
+  pending_.clear();
+  locally_failed_.clear();
+  peer_health_.clear();
+  // Replies that raced the death are expected from here on; absorb them as
+  // orphans instead of tripping the protocol check.
+  deaths_seen_ = true;
+  std::lock_guard<std::mutex> lock(inbox_mutex_);
+  inbox_requests_.clear();
+  inbox_replies_.clear();
+  held_requests_.clear();
+  held_replies_.clear();
+  death_notices_.clear();
+}
+
 void RpcEndpoint::begin_phase() {
   // A healthy endpoint must have drained before the phase ended; one whose
   // rank died mid-phase legitimately abandons its in-flight requests.
@@ -126,6 +145,66 @@ void RpcEndpoint::begin_phase() {
   duplicates_injected_ = 0;
   orphan_replies_ = 0;
   peer_death_failures_ = 0;
+  suspected_ = 0;
+  false_suspicions_ = 0;
+  peer_health_.clear();
+}
+
+std::uint32_t RpcEndpoint::partition_delay(std::uint32_t dst) const {
+  if (injector_ == nullptr || injector_->plan().partitions.empty()) return 0;
+  // The hold is measured on the *receiver's* progress clock: the delivery
+  // is released only after the receiver ticks past the window's end, the
+  // way a healed link flushes its backlog.
+  const std::uint64_t now = (*peers_)[dst]->progress_ticks();
+  const std::uint64_t hold = injector_->partition_hold_ticks(self_, dst, now);
+  constexpr std::uint64_t cap = 0xFFFFFFFFull;
+  return static_cast<std::uint32_t>(std::min(hold, cap));
+}
+
+void RpcEndpoint::run_detector() {
+  if (injector_ == nullptr || lease_ticks_ == 0) return;
+  const std::uint64_t now = progress_ticks();
+  if (peer_health_.size() != peers_->size()) peer_health_.assign(peers_->size(), PeerHealth{});
+  for (std::uint32_t p = 0; p < peer_health_.size(); ++p) {
+    if (p == self_) continue;
+    PeerHealth& health = peer_health_[p];
+    const RpcEndpoint& peer = *(*peers_)[p];
+    // A link inside an active partition window carries no heartbeats: the
+    // cut manifests as silence, which is exactly what breeds the false
+    // suspicion a later rejoin clears.
+    const bool audible = !injector_->partitioned(self_, p, now);
+    const std::uint64_t tick = audible ? peer.progress_ticks() : health.last_tick;
+    if (tick != health.last_tick) {
+      health.last_tick = tick;
+      health.heard_at = now;
+      if (health.suspected) {
+        health.suspected = false;
+        if (peer.is_alive()) {
+          // The peer was alive the whole time — a false suspicion, the
+          // quarantined rank rejoins the caller's working set.
+          ++false_suspicions_;
+          GNB_INSTANT(obs::span::kDetectorClear, "peer", p);
+        }
+      }
+      continue;
+    }
+    if (!health.suspected && now - health.heard_at > lease_ticks_) {
+      health.suspected = true;
+      ++suspected_;
+      GNB_INSTANT(obs::span::kDetectorSuspect, "peer", p);
+      if (!peer.is_alive()) {
+        // Suspicion confirmed by the membership layer: fast-fail whatever
+        // is still in flight (idempotent with the death-notice path).
+        std::vector<Pending> failed;
+        fail_pending_to(p, failed);
+        peer_death_failures_ += failed.size();
+        deaths_seen_ = deaths_seen_ || !failed.empty();
+        for (Pending& pending : failed) pending.callback(RpcStatus::kPeerDead, Bytes{});
+      }
+    } else if (health.suspected && !peer.is_alive()) {
+      health.suspected = false;  // episode closed by a confirmed death
+    }
+  }
 }
 
 void RpcEndpoint::fail_pending_to(std::uint32_t dead, std::vector<Pending>& failed) {
@@ -162,9 +241,10 @@ std::size_t RpcEndpoint::progress() {
     replies.swap(inbox_replies_);
     notices.swap(death_notices_);
   }
-  if (injector_ && replies.size() > 1 && injector_->reorder_replies(self_, progress_epoch_))
+  const std::uint64_t tick = progress_epoch_.load(std::memory_order_relaxed);
+  if (injector_ && replies.size() > 1 && injector_->reorder_replies(self_, tick))
     std::reverse(replies.begin(), replies.end());
-  ++progress_epoch_;
+  progress_epoch_.store(tick + 1, std::memory_order_relaxed);
 
   for (auto& request : requests) {
     const auto it = handlers_.find(request.handler);
@@ -213,6 +293,8 @@ std::size_t RpcEndpoint::progress() {
     GNB_INSTANT(obs::span::kRpcPeerDeath, "failed", failed.size());
   }
   for (Pending& pending : failed) pending.callback(RpcStatus::kPeerDead, Bytes{});
+
+  run_detector();
 
   return requests.size() + replies.size() + failed.size();
 }

@@ -95,6 +95,29 @@ class RpcEndpoint {
   /// on an endpoint whose rank died mid-phase, whose pending map is dropped.
   void begin_phase();
 
+  // --- failure detector (heartbeat/lease over progress ticks) ---
+  /// This endpoint's progress() tick count. The tick doubles as the
+  /// heartbeat: every peer samples it during its own progress(), and a peer
+  /// whose tick stops advancing for longer than the lease is *suspected* —
+  /// quarantined observationally (counted, traced) until either a death
+  /// notice confirms the loss or the tick moves again and the suspicion is
+  /// cleared as false (the partitioned-but-alive case). Readable from any
+  /// thread.
+  [[nodiscard]] std::uint64_t progress_ticks() const {
+    return progress_epoch_.load(std::memory_order_relaxed);
+  }
+  /// Suspicion lease in local progress ticks (0 disables the detector; it
+  /// also only runs when a fault injector is installed, so healthy runs pay
+  /// nothing).
+  void set_detector_lease(std::uint64_t ticks) { lease_ticks_ = ticks; }
+  /// Peers currently suspected by this endpoint's detector.
+  [[nodiscard]] std::size_t suspected_now() const {
+    std::size_t n = 0;
+    for (const PeerHealth& h : peer_health_)
+      if (h.suspected) ++n;
+    return n;
+  }
+
   // --- membership (driven by rt::World) ---
   /// Is this endpoint's rank still alive? Readable from any thread.
   [[nodiscard]] bool is_alive() const { return alive_.load(std::memory_order_acquire); }
@@ -105,6 +128,11 @@ class RpcEndpoint {
   void notify_peer_death(std::uint32_t dead_rank);
   /// Restore liveness and clear death bookkeeping for the next World::run.
   void revive();
+  /// Drop the volatile RPC state of a dead incarnation ahead of a rejoin:
+  /// in-flight requests (their callbacks reference a stack that no longer
+  /// exists), queued deliveries, and held messages. Stragglers that still
+  /// reply are absorbed as orphans. Owner thread only, while dead.
+  void reset_for_rejoin();
 
   // --- statistics ---
   [[nodiscard]] std::uint64_t messages_sent() const { return messages_sent_; }
@@ -120,6 +148,10 @@ class RpcEndpoint {
   /// In-flight requests failed fast with kPeerDead (ISSUE: counted into
   /// FaultCounters::rpc_failures by World::run).
   [[nodiscard]] std::uint64_t peer_death_failures() const { return peer_death_failures_; }
+  /// Suspicion episodes this endpoint's detector opened this phase.
+  [[nodiscard]] std::uint64_t suspected() const { return suspected_; }
+  /// Suspicion episodes that cleared because the peer was alive all along.
+  [[nodiscard]] std::uint64_t false_suspicions() const { return false_suspicions_; }
 
  private:
   struct Request {
@@ -142,6 +174,12 @@ class RpcEndpoint {
   void send_reply(std::uint32_t dst, Reply reply);
   /// Collect the pending requests targeting `dead` for failure delivery.
   void fail_pending_to(std::uint32_t dead, std::vector<Pending>& failed);
+  /// Extra hold imposed by an active partition window on the (self, dst)
+  /// link, measured on the receiver's tick clock; 0 without an injector.
+  [[nodiscard]] std::uint32_t partition_delay(std::uint32_t dst) const;
+  /// One heartbeat/lease sweep over all peers (owner thread, inside
+  /// progress()).
+  void run_detector();
 
   std::uint32_t self_;
   std::vector<std::unique_ptr<RpcEndpoint>>* peers_;
@@ -153,7 +191,18 @@ class RpcEndpoint {
   std::uint64_t next_reqid_ = 1;
   std::vector<std::uint64_t> request_seq_;  // per-target send counters (owner thread)
   std::uint64_t reply_seq_ = 0;             // reply send counter (owner thread)
-  std::uint64_t progress_epoch_ = 0;        // progress() calls (owner thread)
+  /// progress() calls; written by the owner thread, read by peers as the
+  /// heartbeat and as the receiver clock for partition windows.
+  std::atomic<std::uint64_t> progress_epoch_{0};
+
+  /// Heartbeat/lease detector state, owner thread only.
+  struct PeerHealth {
+    std::uint64_t last_tick = 0;      // last sampled peer tick value
+    std::uint64_t heard_at = 0;       // local tick when last_tick changed
+    bool suspected = false;           // inside an open suspicion episode
+  };
+  std::vector<PeerHealth> peer_health_;
+  std::uint64_t lease_ticks_ = 1024;
   /// Requests issued to peers already known dead: failed locally at the
   /// start of the next progress() so callbacks never run inside call().
   std::vector<std::uint64_t> locally_failed_;  // owner thread only
@@ -185,6 +234,8 @@ class RpcEndpoint {
   std::uint64_t duplicates_injected_ = 0;
   std::uint64_t orphan_replies_ = 0;
   std::uint64_t peer_death_failures_ = 0;
+  std::uint64_t suspected_ = 0;
+  std::uint64_t false_suspicions_ = 0;
 };
 
 }  // namespace gnb::rt

@@ -20,7 +20,9 @@ World::World(std::size_t nranks)
       dbl_slots_(nranks, 0),
       alive_(nranks, 1),
       alive_count_(nranks),
-      last_open_alive_(nranks, 1) {
+      last_open_alive_(nranks, 1),
+      rejoin_epochs_(nranks, 0),
+      last_open_rejoin_(nranks, 0) {
   GNB_CHECK_MSG(nranks >= 1, "world needs at least one rank");
   split_done_.reserve(nranks);
   endpoints_.reserve(nranks);
@@ -33,7 +35,8 @@ World::World(std::size_t nranks)
 World::~World() = default;
 
 Rank::Rank(World& world, RankId id)
-    : world_(world), id_(id), agreed_alive_(world.nranks(), 1) {}
+    : world_(world), id_(id), agreed_alive_(world.nranks(), 1),
+      agreed_rejoin_(world.nranks(), 0) {}
 
 std::size_t Rank::nranks() const { return world_.nranks_; }
 
@@ -61,6 +64,9 @@ void Rank::crash_point() {
   const std::uint64_t step = fault_step_++;
   const FaultInjector* injector = world_.injector_.get();
   if (!injector) return;
+  // A restarted rank's crash schedule is spent: its at-or-before semantics
+  // would otherwise kill the comeback at its very first collective.
+  if (incarnation_ > 0) return;
   if (injector->crashes_at(id_, step)) {
     GNB_INSTANT(obs::span::kFaultCrash, "step", step);
     world_.kill(id_);
@@ -69,17 +75,61 @@ void Rank::crash_point() {
 }
 
 void World::open_gate_locked() {
+  // Admission happens strictly before the stamp is taken, so the ranks
+  // exiting this gate — including the comeback itself — all observe the
+  // rejoiner alive at its agreed rejoin epoch. A gate admits only when
+  // every arrival this generation declared itself an admission point
+  // (SPMD discipline: all alive ranks sit at the same admitting call
+  // site), which also covers the kill-opens-gate path.
+  if (admit_intent_ > 0 && admit_intent_ >= gate_arrived_ && !admission_waiters_.empty()) {
+    // All arrived survivors sit at the same admitting barrier, so their
+    // split counters agree; the admitted rank aligns to that count.
+    std::uint64_t split_now = 0;
+    for (std::size_t r = 0; r < nranks_; ++r) {
+      if (alive_[r]) {
+        split_now = split_done_[r]->load(std::memory_order_acquire);
+        break;
+      }
+    }
+    for (Waiter* waiter : admission_waiters_) {
+      if (waiter->admitted || waiter->abandoned) continue;
+      // A comeback parked in one protocol's gate stream must not be
+      // admitted into another's (phase tags; see admitting_barrier).
+      // Foreign-phase gates do not consume the skip budget either.
+      if (waiter->phase != admit_phase_) continue;
+      if (waiter->skip_left > 0) {
+        --waiter->skip_left;
+        continue;
+      }
+      const RankId r = waiter->rank;
+      alive_[r] = 1;
+      ++alive_count_;
+      epoch_.fetch_add(1, std::memory_order_release);
+      rejoin_epochs_[r] = epoch_.load(std::memory_order_relaxed);
+      last_open_split_ = split_now;
+      split_done_[r]->store(split_now, std::memory_order_release);
+      endpoints_[r]->revive();
+      waiter->admitted = true;
+      ++running_;
+    }
+  }
+  admit_intent_ = 0;
   last_open_epoch_ = epoch_.load(std::memory_order_relaxed);
   last_open_alive_ = alive_;
+  last_open_rejoin_ = rejoin_epochs_;
   gate_arrived_ = 0;
   ++gate_generation_;
   gate_cv_.notify_all();
 }
 
-void World::gate_wait(Rank& rank) {
+void World::gate_wait(Rank& rank, bool admitting, std::uint32_t phase) {
   std::unique_lock<std::mutex> lock(gate_mutex_);
   const std::uint64_t generation = gate_generation_;
   ++gate_arrived_;
+  if (admitting) {
+    ++admit_intent_;
+    admit_phase_ = phase;  // all admitting arrivals sit at the same call site
+  }
   if (gate_arrived_ >= alive_count_) {
     open_gate_locked();
   } else {
@@ -89,6 +139,78 @@ void World::gate_wait(Rank& rank) {
   // exits this gate generation holds the identical (epoch, alive) pair.
   rank.agreed_epoch_ = last_open_epoch_;
   rank.agreed_alive_ = last_open_alive_;
+  rank.agreed_rejoin_ = last_open_rejoin_;
+}
+
+bool World::admission_wait(Rank& rank, std::uint32_t phase) {
+  const FaultInjector* injector = injector_.get();
+  Waiter waiter;
+  waiter.rank = rank.id_;
+  waiter.phase = phase;
+  if (injector) {
+    if (const auto skip = injector->restart_after(rank.id_)) waiter.skip_left = *skip;
+  }
+  std::unique_lock<std::mutex> lock(gate_mutex_);
+  admission_waiters_.push_back(&waiter);
+  // While parked this thread cannot reach a gate: it neither blocks the
+  // survivors' collectives nor counts as able to admit anyone.
+  --running_;
+  if (running_ == 0) abandon_waiters_locked();
+  gate_cv_.wait(lock, [&] { return waiter.admitted || waiter.abandoned; });
+  std::erase(admission_waiters_, &waiter);
+  if (!waiter.admitted) {
+    // Abandoned: the thread is active again until it unwinds and exits
+    // (thread_exited will take the matching decrement).
+    ++running_;
+    return false;
+  }
+  // Exit as if this rank had passed the admitting gate that re-admitted
+  // it: copy the stamp (which already shows it alive) and align the
+  // split-barrier clock to the survivors' count captured at admission.
+  rank.agreed_epoch_ = last_open_epoch_;
+  rank.agreed_alive_ = last_open_alive_;
+  rank.agreed_rejoin_ = last_open_rejoin_;
+  rank.split_phase_ = last_open_split_;
+  ++rank.fault_counters_.rejoins;
+  GNB_INSTANT(obs::span::kRejoinAdmit, "epoch", rank.agreed_epoch_);
+  return true;
+}
+
+void World::thread_exited() {
+  std::lock_guard<std::mutex> lock(gate_mutex_);
+  --running_;
+  if (running_ == 0) abandon_waiters_locked();
+}
+
+void World::abandon_waiters_locked() {
+  bool any = false;
+  for (Waiter* waiter : admission_waiters_) {
+    if (!waiter->admitted && !waiter->abandoned) {
+      waiter->abandoned = true;
+      any = true;
+    }
+  }
+  if (any) gate_cv_.notify_all();
+}
+
+bool Rank::admitting_barrier(std::uint32_t phase) {
+  // A parked comeback's first collective is its admission arrival; a live
+  // rank's is a plain barrier that also marks this gate as an admission
+  // point.
+  if (!world_.endpoints_[id_]->is_alive()) return world_.admission_wait(*this, phase);
+  GNB_SPAN(obs::span::kCollBarrier);
+  crash_point();
+  maybe_straggle();
+  WallTimer wait;
+  world_.gate_wait(*this, /*admitting=*/true, phase);
+  timers_.sync.add(wait.seconds());
+  return true;
+}
+
+void Rank::prepare_rejoin() {
+  ++incarnation_;
+  split_phase_ = 0;  // realigned from the admission stamp
+  world_.endpoints_[id_]->reset_for_rejoin();
 }
 
 void World::kill(RankId id) {
@@ -278,8 +400,26 @@ void World::set_faults(const FaultPlan& plan) {
     GNB_THROW_IF(crash.rank >= nranks_,
                  "faults: crash names rank " << crash.rank << " but the world has only "
                                              << nranks_ << " ranks");
+  for (const PartitionEvent& cut : plan.partitions)
+    GNB_THROW_IF(cut.a >= nranks_ || cut.b >= nranks_,
+                 "faults: partition names rank " << std::max(cut.a, cut.b)
+                                                 << " but the world has only " << nranks_
+                                                 << " ranks");
+  for (const RestartEvent& event : plan.restarts)
+    GNB_THROW_IF(event.rank >= nranks_,
+                 "faults: restart names rank " << event.rank << " but the world has only "
+                                               << nranks_ << " ranks");
+  for (const CorruptEvent& event : plan.corrupts)
+    GNB_THROW_IF(event.rank >= nranks_,
+                 "faults: corrupt names rank " << event.rank << " but the world has only "
+                                               << nranks_ << " ranks");
   injector_ = plan.enabled() ? std::make_unique<FaultInjector>(plan) : nullptr;
   for (auto& endpoint : endpoints_) endpoint->set_fault_injector(injector_.get());
+  durable_.set_injector(injector_.get());
+}
+
+void World::set_detector_lease(std::uint64_t ticks) {
+  for (auto& endpoint : endpoints_) endpoint->set_detector_lease(ticks);
 }
 
 void World::run(const std::function<void(Rank&)>& body) {
@@ -291,6 +431,12 @@ void World::run(const std::function<void(Rank&)>& body) {
     alive_count_ = nranks_;
     last_open_epoch_ = 0;
     last_open_alive_.assign(nranks_, 1);
+    rejoin_epochs_.assign(nranks_, 0);
+    last_open_rejoin_.assign(nranks_, 0);
+    last_open_split_ = 0;
+    admission_waiters_.clear();
+    admit_intent_ = 0;
+    running_ = nranks_;
   }
   epoch_.store(0, std::memory_order_release);
   for (auto& done : split_done_) done->store(0, std::memory_order_relaxed);
@@ -308,6 +454,8 @@ void World::run(const std::function<void(Rank&)>& body) {
   for (std::size_t r = 0; r < nranks_; ++r)
     ranks.push_back(std::make_unique<Rank>(*this, static_cast<RankId>(r)));
 
+  std::exception_ptr unrecoverable;
+  std::mutex unrecoverable_mutex;
   {
     std::vector<std::jthread> threads;
     threads.reserve(nranks_);
@@ -322,20 +470,37 @@ void World::run(const std::function<void(Rank&)>& body) {
           obs::Tracer::bind(tracer.buffer(static_cast<std::uint32_t>(r), 0,
                                           "rank " + std::to_string(r), "core 0"));
         }
-        try {
-          body(*ranks[r]);
-        } catch (const RankDeath&) {
-          // A scheduled crash: the rank already removed itself from the
-          // membership and the survivors carry on without it.
-        } catch (const std::exception& e) {
-          // Any other loss has no recovery story: a silently missing rank
-          // would deadlock the others at the next collective, so fail fast.
-          std::fprintf(stderr, "rank %zu threw: %s; aborting world\n", r, e.what());
-          std::abort();
-        } catch (...) {
-          std::fprintf(stderr, "rank %zu threw; aborting world\n", r);
-          std::abort();
+        for (;;) {
+          try {
+            body(*ranks[r]);
+          } catch (const RankDeath&) {
+            // A scheduled crash: the rank already removed itself from the
+            // membership. With a scheduled comeback the thread re-runs the
+            // body — empty volatile state, durable log intact — and the
+            // body's rejoin path parks at the next admission point.
+            if (injector_ && injector_->restart_after(static_cast<std::uint32_t>(r)) &&
+                ranks[r]->incarnation_ == 0) {
+              ranks[r]->prepare_rejoin();
+              continue;
+            }
+          } catch (const UnrecoverableError&) {
+            // Bounded-recovery give-up: thrown unanimously by every alive
+            // rank (the attempt counts are collective), so joining and
+            // rethrowing on the driver is deadlock-free.
+            std::lock_guard<std::mutex> lock(unrecoverable_mutex);
+            if (!unrecoverable) unrecoverable = std::current_exception();
+          } catch (const std::exception& e) {
+            // Any other loss has no recovery story: a silently missing rank
+            // would deadlock the others at the next collective, so fail fast.
+            std::fprintf(stderr, "rank %zu threw: %s; aborting world\n", r, e.what());
+            std::abort();
+          } catch (...) {
+            std::fprintf(stderr, "rank %zu threw; aborting world\n", r);
+            std::abort();
+          }
+          break;
         }
+        thread_exited();
         obs::Tracer::bind(nullptr);
       });
     }
@@ -352,6 +517,14 @@ void World::run(const std::function<void(Rank&)>& body) {
     // fail-fasts surface as rpc failures.
     breakdown.faults.duplicates += endpoints_[r]->orphan_replies();
     breakdown.faults.rpc_failures += endpoints_[r]->peer_death_failures();
+    breakdown.faults.suspected += endpoints_[r]->suspected();
+    breakdown.faults.false_suspicions += endpoints_[r]->false_suspicions();
+    if (r == 0) {
+      // Store-level healing evidence is global (any rank may have read the
+      // corrupt record); charge it once, to the first breakdown.
+      breakdown.faults.corrupt_records += durable_.corrupt_records();
+      breakdown.faults.fallback_checkpoints += durable_.fallback_records();
+    }
     breakdown.compute_layer = ranks[r]->compute_counters_;
     breakdowns_.push_back(breakdown);
 
@@ -365,6 +538,18 @@ void World::run(const std::function<void(Rank&)>& body) {
     registry.gauge_max(obs::metric::kMemPeakBytes, breakdown.peak_memory);
     metrics_.merge(registry);
   }
+
+  // Purposeful self-healing metrics on top of the descriptor-table fault.*
+  // rows: detector, rejoin, and corruption activity summed across ranks.
+  stat::FaultCounters merged;
+  for (const stat::Breakdown& breakdown : breakdowns_) merged.merge(breakdown.faults);
+  metrics_.add(obs::metric::kDetectorSuspected, merged.suspected);
+  metrics_.add(obs::metric::kDetectorFalseSuspicions, merged.false_suspicions);
+  metrics_.add(obs::metric::kRejoins, merged.rejoins);
+  metrics_.add(obs::metric::kCorruptRecords, merged.corrupt_records);
+  metrics_.add(obs::metric::kFallbackCheckpoints, merged.fallback_checkpoints);
+
+  if (unrecoverable) std::rethrow_exception(unrecoverable);
 }
 
 }  // namespace gnb::rt

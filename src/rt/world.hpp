@@ -63,6 +63,38 @@ class Rank {
   /// Synchronizing barrier; waiting time is charged to timers().sync.
   void barrier();
 
+  /// Barrier that doubles as a membership *admission point*: when every
+  /// arrival at this gate is an admitting one (SPMD discipline guarantees
+  /// that — all alive ranks run the same call site) and a restarted rank is
+  /// parked waiting with its skip budget spent, the gate opener re-admits
+  /// it before stamping: alive again, epoch bumped, rejoin epoch recorded
+  /// in the stamp every rank copies. Callers place this only at loop
+  /// boundaries where a freshly-admitted rank can re-enter the protocol
+  /// (the engines' recovery/exit loops, the assembly attempt loop).
+  ///
+  /// On a parked (restarted, not yet admitted) rank the same call is the
+  /// admission *arrival*: it blocks until an admitting gate opens for it —
+  /// returning true — or every active rank exits the phase and the comeback
+  /// is abandoned — returning false, and the caller must unwind without
+  /// touching another collective. On live ranks it always returns true.
+  ///
+  /// `phase` tags the admission point: a parked comeback is only re-admitted
+  /// at a gate carrying its own phase tag. This keeps a rank that died in
+  /// one protocol (say the alignment engine) from being admitted into the
+  /// gate stream of a later one (the assembly attempt loop) whose survivors
+  /// are executing a different collective sequence — a mismatched comeback
+  /// waits on, and is abandoned at phase wind-down instead.
+  [[nodiscard]] bool admitting_barrier(std::uint32_t phase = kAdmitAlign);
+
+  /// Admission-point phase tags (see admitting_barrier).
+  static constexpr std::uint32_t kAdmitAlign = 0;  // engine recovery/exit loops
+  static constexpr std::uint32_t kAdmitGraph = 1;  // assembly attempt loop
+
+  /// True from the moment this rank's thread is restarted after a scheduled
+  /// death (restart@R:S): the body re-runs with empty volatile state and
+  /// must branch to its rejoin path instead of re-running the phase.
+  [[nodiscard]] bool rejoining() const { return incarnation_ > 0; }
+
   /// Sum / min / max reductions over one double per rank; dead ranks do not
   /// contribute.
   double allreduce_sum(double local);
@@ -124,6 +156,14 @@ class Rank {
   [[nodiscard]] std::uint64_t collective_epoch() const { return agreed_epoch_; }
   [[nodiscard]] const std::vector<char>& collective_alive() const { return agreed_alive_; }
 
+  /// Per-rank rejoin epochs carried by the same stamp: entry r is the epoch
+  /// at which rank r was last re-admitted (0 = never). Part of every gate
+  /// stamp, so recovery decisions about a comeback are as unanimous as the
+  /// ones about a death.
+  [[nodiscard]] const std::vector<std::uint64_t>& collective_rejoin_epochs() const {
+    return agreed_rejoin_;
+  }
+
   /// The live membership epoch — cheap to poll between collectives. Newer
   /// than collective_epoch() when a death has not yet been agreed on.
   [[nodiscard]] std::uint64_t current_epoch() const;
@@ -169,13 +209,22 @@ class Rank {
   /// fault plan says this rank straggles here.
   void maybe_straggle();
 
+  /// Reset this rank's volatile runtime identity for a comeback re-run:
+  /// bump the incarnation (disarming the crash schedule — a rank restarts
+  /// once), and drop the endpoint's in-flight state whose callbacks
+  /// reference the dead incarnation's stack. Called by the rank's own
+  /// thread between body runs, never concurrently with itself.
+  void prepare_rejoin();
+
   World& world_;
   RankId id_;
   std::uint64_t split_phase_ = 0;  // split/service barriers completed locally
   std::uint64_t straggle_entry_ = 0;  // collective entries seen (straggle schedule index)
   std::uint64_t fault_step_ = 0;      // crash-schedule index (collectives + async batches)
+  std::uint64_t incarnation_ = 0;     // body re-runs after a scheduled restart
   std::uint64_t agreed_epoch_ = 0;    // stamp copied at the last gate passage
   std::vector<char> agreed_alive_;    // stamp copied at the last gate passage
+  std::vector<std::uint64_t> agreed_rejoin_;  // stamp copied at the last gate passage
   PhaseTimers timers_;
   MemoryMeter memory_;
   stat::FaultCounters fault_counters_;
@@ -212,6 +261,11 @@ class World {
   /// be called while a run is in flight.
   void set_faults(const FaultPlan& plan);
 
+  /// Heartbeat/lease for the per-endpoint failure detector, in progress()
+  /// ticks (0 disables suspicion). Only consulted while an injector is
+  /// installed; tests shrink it so a partition window reliably outlives it.
+  void set_detector_lease(std::uint64_t ticks);
+
   /// The active injector (nullptr when faults are disabled).
   [[nodiscard]] const FaultInjector* faults() const { return injector_.get(); }
 
@@ -228,9 +282,21 @@ class World {
 
   /// Membership-aware barrier: block until every alive rank arrived, then
   /// copy the (epoch, alive) stamp the gate opener took into `rank`.
-  void gate_wait(Rank& rank);
-  /// Precondition: gate_mutex_ held. Stamp membership and wake waiters.
+  /// `admitting` marks this arrival as an admission point with phase tag
+  /// `phase` (ignored otherwise).
+  void gate_wait(Rank& rank, bool admitting = false, std::uint32_t phase = 0);
+  /// Precondition: gate_mutex_ held. Admit eligible parked comebacks when
+  /// every arrival was admitting, then stamp membership and wake waiters.
   void open_gate_locked();
+
+  /// Park a restarted rank until an admitting gate tagged `phase` re-admits
+  /// it (true) or the phase winds down without one (false).
+  bool admission_wait(Rank& rank, std::uint32_t phase);
+  /// A rank thread left the phase for good; abandon parked comebacks when
+  /// no active rank remains to admit them.
+  void thread_exited();
+  /// Precondition: gate_mutex_ held. Wake every parked comeback empty-handed.
+  void abandon_waiters_locked();
 
   std::size_t nranks_;
   // Mailboxes: slot (dst, src) for alltoallv payloads.
@@ -247,7 +313,25 @@ class World {
   std::size_t alive_count_ = 0;    // guarded by gate_mutex_
   std::uint64_t last_open_epoch_ = 0;       // stamp of the last gate opening
   std::vector<char> last_open_alive_;       // stamp of the last gate opening
-  std::atomic<std::uint64_t> epoch_{0};     // bumped once per death
+  std::vector<std::uint64_t> rejoin_epochs_;   // per-rank last re-admission epoch
+  std::vector<std::uint64_t> last_open_rejoin_;  // stamp of the last gate opening
+  std::uint64_t last_open_split_ = 0;  // survivors' split count at the last admission
+  std::atomic<std::uint64_t> epoch_{0};     // bumped once per death or admission
+
+  // Admission state (guarded by gate_mutex_): parked comebacks, how many of
+  // the current gate's arrivals are admission points, and how many threads
+  // are still actively running a body (able to reach an admitting gate).
+  struct Waiter {
+    RankId rank = 0;
+    std::uint32_t phase = 0;      // only gates with this tag may admit
+    std::uint64_t skip_left = 0;  // admitting gate openings still to let pass
+    bool admitted = false;
+    bool abandoned = false;
+  };
+  std::vector<Waiter*> admission_waiters_;
+  std::size_t admit_intent_ = 0;
+  std::uint32_t admit_phase_ = 0;  // tag of the current gate's admitting arrivals
+  std::size_t running_ = 0;
 
   // Split/service barrier state: per-rank arrival counters so waiters can
   // exclude ranks that die while the barrier is pending.

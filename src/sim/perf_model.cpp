@@ -140,6 +140,80 @@ double straggle_pause(const std::optional<rt::FaultInjector>& chaos, std::size_t
   return static_cast<double>(chaos->straggle_us(static_cast<std::uint32_t>(r), entry)) * 1e-6;
 }
 
+/// Self-healing cost model shared by the engine simulations, covering the
+/// three fault classes the threaded runtime heals from (partition /
+/// restart / corrupt). Counter placement mirrors the runtime:
+///  * A partition rides the RPC fabric, so it costs nothing under the BSP
+///    engine (`rpc_fabric` false — its collectives use the mail slots, not
+///    RPC). Under the async engine each live endpoint of a cut link stalls
+///    for the window (a tick is one progress() poll) and, when the window
+///    outlives the failure-detector lease, books one suspicion that clears
+///    as a false one when the cut heals (the peer was alive all along).
+///  * A comeback (restart@ paired with a crash that actually fired) costs
+///    every alive rank one extra admission + recovery agreement round;
+///    the rejoin itself is counted on the comeback rank, where
+///    rt::World::admission_wait counts it.
+///  * A corrupted durable record is detected at its first validated load:
+///    one quarantine-and-fallback detour. The store's totals fold into
+///    rank 0's breakdown, exactly where World::run folds them.
+/// Returns the seconds the phase critical path grows by.
+double cost_self_healing(const std::optional<rt::FaultInjector>& chaos,
+                         const MachineParams& machine, bool rpc_fabric,
+                         const std::vector<char>& dead,
+                         std::vector<stat::Breakdown>& ranks) {
+  if (!chaos) return 0.0;
+  const rt::FaultPlan& plan = chaos->plan();
+  const std::size_t p = ranks.size();
+  const double agree = 3.0 * machine.a2a_setup_per_peer * static_cast<double>(p);
+  // Mirrors rt::RpcEndpoint's defaults: the lease (in progress ticks)
+  // after which a silent peer is suspected, and the cost of one poll.
+  constexpr std::uint64_t kLeaseTicks = 1024;
+  constexpr double kTickSeconds = 100e-9;
+  double extra = 0.0;
+
+  if (rpc_fabric) {
+    for (const rt::PartitionEvent& cut : plan.partitions) {
+      double stall_max = 0.0;
+      const std::uint32_t ends[2] = {cut.a, cut.b};
+      for (const std::uint32_t e : ends) {
+        if (e >= p || dead[e]) continue;
+        stat::Breakdown& t = ranks[e];
+        const double stall = static_cast<double>(cut.duration) * kTickSeconds;
+        t.comm += stall;
+        t.faults.recovery_seconds += stall;
+        stall_max = std::max(stall_max, stall);
+        if (cut.duration > kLeaseTicks) {
+          t.faults.suspected += 1;
+          t.faults.false_suspicions += 1;
+        }
+      }
+      extra += stall_max;  // both endpoints stall concurrently
+    }
+  }
+
+  for (const rt::RestartEvent& comeback : plan.restarts) {
+    if (comeback.rank >= p || !chaos->crash_step(comeback.rank)) continue;
+    ranks[comeback.rank].faults.rejoins += 1;
+    for (std::size_t r = 0; r < p; ++r) {
+      if (dead[r] && r != comeback.rank) continue;
+      ranks[r].comm += agree;
+      ranks[r].faults.recovery_seconds += agree;
+    }
+    extra += agree;
+  }
+
+  for (const rt::CorruptEvent& corrupt : plan.corrupts) {
+    ranks[0].faults.corrupt_records += 1;
+    // A re-written record (seq > 0) has a valid ancestor to fall back to;
+    // a first write can only be quarantined and re-derived.
+    if (corrupt.seq > 0) ranks[0].faults.fallback_checkpoints += 1;
+    ranks[0].comm += agree;
+    ranks[0].faults.recovery_seconds += agree;
+    extra += agree;
+  }
+  return extra;
+}
+
 /// Per-rank internode bandwidth: the worse of the NIC share and the
 /// bisection share (uniform many-to-many traffic).
 double internode_bw_per_rank(const MachineParams& machine) {
@@ -433,6 +507,9 @@ SimResult simulate_bsp(const MachineParams& machine, const SimAssignment& assign
         static_cast<std::uint64_t>(std::llround(reexec_tasks[r]));
     timeline.faults.recovery_seconds = recovery_acc[r];
   }
+  std::vector<char> bsp_dead(p, 0);
+  for (std::size_t r = 0; r < p; ++r) bsp_dead[r] = crash_round[r] < rounds ? 1 : 0;
+  runtime += cost_self_healing(chaos, machine, /*rpc_fabric=*/false, bsp_dead, result.ranks);
   result.runtime = runtime;
   return result;
 }
@@ -643,6 +720,7 @@ SimResult simulate_async(const MachineParams& machine, const SimAssignment& assi
     }
     result.ranks[r].sync = phase - total[r] + stall[r];
   }
+  phase += cost_self_healing(chaos, machine, /*rpc_fabric=*/true, dead, result.ranks);
   result.runtime = phase;
 
   // Virtual timeline per rank, mirroring the real async engine's span
@@ -847,6 +925,10 @@ SimResult simulate_assembly(const MachineParams& machine, const SimAssignment& a
     timeline.faults.crashes = deaths.size();
     timeline.faults.recovery_seconds = restarts > 0 ? t0 : 0.0;
   }
+  std::vector<char> asm_dead(p, 0);
+  for (const std::size_t d : deaths) asm_dead[d] = 1;
+  result.runtime +=
+      cost_self_healing(chaos, machine, /*rpc_fabric=*/true, asm_dead, result.ranks);
   return result;
 }
 

@@ -22,6 +22,11 @@ std::span<const FaultCounters::Field> FaultCounters::fields() {
       {"retry_exhausted", nullptr, 1.0, true, &FaultCounters::retry_exhausted},
       {"tasks_reexecuted", "reexec", 1.0, true, &FaultCounters::tasks_reexecuted},
       {"checkpoint_bytes", "ckpt_kb", 1e-3, false, &FaultCounters::checkpoint_bytes},
+      {"suspected", "suspected", 1.0, true, &FaultCounters::suspected},
+      {"false_suspicions", "false_susp", 1.0, true, &FaultCounters::false_suspicions},
+      {"rejoins", "rejoins", 1.0, true, &FaultCounters::rejoins},
+      {"corrupt_records", "corrupt", 1.0, true, &FaultCounters::corrupt_records},
+      {"fallback_checkpoints", "fallback", 1.0, true, &FaultCounters::fallback_checkpoints},
   };
   return kFields;
 }

@@ -36,7 +36,16 @@ struct FaultCounters {
   std::uint64_t retry_exhausted = 0;    // pulls whose bounded retry budget ran out
   std::uint64_t tasks_reexecuted = 0;   // lost tasks this rank re-executed for dead peers
   std::uint64_t checkpoint_bytes = 0;   // bytes written to stable storage (manifests + logs)
-  double recovery_seconds = 0;          // wall time spent inside the recovery protocol
+
+  // Self-healing counters (partition/restart/corrupt faults; see the
+  // heartbeat detector in rt::RpcEndpoint, rejoin in rt::World, and the
+  // validated durable chain in rt::DurableStore / pipeline checkpoints).
+  std::uint64_t suspected = 0;             // peers this rank's detector suspected
+  std::uint64_t false_suspicions = 0;      // suspicions later cleared (peer was alive)
+  std::uint64_t rejoins = 0;               // rank comebacks this rank processed
+  std::uint64_t corrupt_records = 0;       // durable records failing validation on load
+  std::uint64_t fallback_checkpoints = 0;  // loads healed from a valid ancestor record
+  double recovery_seconds = 0;             // wall time spent inside the recovery protocol
 
   /// The single source of truth for the integer counters: metric name,
   /// optional table column (nullptr = not printed, e.g. retry_exhausted),

@@ -46,6 +46,16 @@ class RpcRetriesExhaustedError : public RpcError {
   explicit RpcRetriesExhaustedError(const std::string& what) : RpcError(what) {}
 };
 
+/// The recovery fixpoint exceeded its configured attempt budget
+/// (ProtoConfig::max_recovery_attempts): membership kept flapping faster
+/// than recovery could converge. Thrown instead of livelocking; `gnbody`
+/// maps it to a distinct nonzero exit code so operators can tell "gave up"
+/// from "crashed".
+class UnrecoverableError : public Error {
+ public:
+  explicit UnrecoverableError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 [[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
                                       const std::string& msg) {

@@ -95,8 +95,11 @@ RunOutcome run_engine(bool async_mode, std::size_t ranks, const Workload& w,
 }
 
 /// Full-field equality: chaos must not perturb a single alignment value.
-void expect_identical(const RunOutcome& chaos, const RunOutcome& clean) {
-  EXPECT_EQ(chaos.exchange_bytes, clean.exchange_bytes);
+/// `compare_exchange` is off for crash-bearing plans — re-executed work
+/// runs locally on the adopter, so wire traffic legitimately shrinks.
+void expect_identical(const RunOutcome& chaos, const RunOutcome& clean,
+                      bool compare_exchange = true) {
+  if (compare_exchange) EXPECT_EQ(chaos.exchange_bytes, clean.exchange_bytes);
   ASSERT_EQ(chaos.records.size(), clean.records.size());
   for (std::size_t i = 0; i < clean.records.size(); ++i) {
     const align::AlignmentRecord& a = chaos.records[i];
@@ -181,6 +184,81 @@ TEST(FaultPlan, ParseRejectsMalformedCrashSpecs) {
   EXPECT_THROW(parse("crash@1:y"), gnb::Error);      // non-numeric step
   EXPECT_THROW(parse("crash=1:2"), gnb::Error);      // wrong separator
   EXPECT_THROW(parse("crash@1:2,crash@1:5"), gnb::Error);  // duplicate rank
+}
+
+TEST(FaultPlan, ParsePartitionRestartCorruptRoundTrip) {
+  const rt::FaultPlan plan =
+      rt::FaultPlan::parse("seed=9,partition@0|2:100:500,restart@1:2,corrupt@3:2:1");
+  ASSERT_EQ(plan.partitions.size(), 1u);
+  EXPECT_EQ(plan.partitions[0].a, 0u);
+  EXPECT_EQ(plan.partitions[0].b, 2u);
+  EXPECT_EQ(plan.partitions[0].at_tick, 100u);
+  EXPECT_EQ(plan.partitions[0].duration, 500u);
+  ASSERT_EQ(plan.restarts.size(), 1u);
+  EXPECT_EQ(plan.restarts[0].rank, 1u);
+  EXPECT_EQ(plan.restarts[0].skip_gates, 2u);
+  ASSERT_EQ(plan.corrupts.size(), 1u);
+  EXPECT_EQ(plan.corrupts[0].rank, 3u);
+  EXPECT_EQ(plan.corrupts[0].kind, 2u);
+  EXPECT_EQ(plan.corrupts[0].seq, 1u);
+  EXPECT_TRUE(plan.enabled());
+  EXPECT_EQ(rt::FaultPlan::parse(plan.to_spec()).to_spec(), plan.to_spec());
+}
+
+TEST(FaultPlan, PartitionDurationDefaultsWhenOmitted) {
+  const rt::FaultPlan plan = rt::FaultPlan::parse("partition@1|3:64");
+  ASSERT_EQ(plan.partitions.size(), 1u);
+  EXPECT_EQ(plan.partitions[0].duration, rt::FaultPlan::kDefaultPartitionTicks);
+  EXPECT_EQ(rt::FaultPlan::parse(plan.to_spec()).to_spec(), plan.to_spec());
+}
+
+TEST(FaultPlan, RoundTripFuzzAcrossAllEventKinds) {
+  // Deterministic sweep over programmatically built plans mixing every
+  // event kind: parse(to_spec()) must reproduce the spec byte for byte.
+  for (std::uint64_t trial = 0; trial < 64; ++trial) {
+    rt::FaultPlan plan;
+    plan.seed = trial * 7919 + 1;
+    if (trial % 2) {
+      plan.delay_prob = 0.125 * static_cast<double>(trial % 8);
+      plan.max_delay_ticks = trial % 16 + 1;
+    }
+    if (trial % 5 == 0) plan.dup_prob = 0.25;
+    if (trial % 3) plan.crashes.push_back(
+        {static_cast<std::uint32_t>(trial % 5), trial % 11});
+    if (trial % 3 == 0)
+      plan.partitions.push_back({static_cast<std::uint32_t>(trial % 4),
+                                 static_cast<std::uint32_t>(trial % 4 + 1),
+                                 trial * 13 % 997, trial % 7 + 1});
+    if (trial % 4 != 1)
+      plan.restarts.push_back({static_cast<std::uint32_t>(trial % 6), trial % 4});
+    plan.corrupts.push_back({static_cast<std::uint32_t>(trial % 3),
+                             static_cast<std::uint32_t>(trial % 2 + 1), trial % 9});
+    const std::string spec = plan.to_spec();
+    SCOPED_TRACE(spec);
+    const rt::FaultPlan reparsed = rt::FaultPlan::parse(spec);
+    EXPECT_EQ(reparsed.to_spec(), spec);
+  }
+}
+
+TEST(FaultPlan, MalformedSelfHealingSpecsRejectedWithPosition) {
+  // Every rejection names the offending position in the spec string.
+  const auto error_text = [](const std::string& spec) -> std::string {
+    try {
+      (void)rt::FaultPlan::parse(spec);
+    } catch (const gnb::Error& e) {
+      return e.what();
+    }
+    ADD_FAILURE() << "spec '" << spec << "' unexpectedly parsed";
+    return {};
+  };
+  for (const char* spec :
+       {"partition@", "partition@0:100", "partition@0|0:5", "partition@0|1:5:0",
+        "partition@x|1:5", "partition@0|1:y", "restart@", "restart@1",
+        "restart@1:z", "corrupt@1", "corrupt@1:2", "corrupt@1:0:0",
+        "corrupt@a:1:0", "seed=1,partition@0|1"}) {
+    SCOPED_TRACE(spec);
+    EXPECT_NE(error_text(spec).find("at position"), std::string::npos);
+  }
 }
 
 TEST(FaultPlan, CrashNamingOutOfRangeRankIsRejectedAtInstall) {
@@ -402,6 +480,80 @@ TEST(Chaos, StragglersDoNotDeadlockCollectives) {
     const RunOutcome chaos = run_engine(async_mode, kRanks, w, config, plan);
     SCOPED_TRACE(async_mode ? "async" : "bsp");
     expect_identical(chaos, clean);
+  }
+}
+
+// --- the failure detector: partitions are suspected, then forgiven ---
+
+TEST(Detector, PartitionedPeerIsSuspectedThenCleared) {
+  // Cut the 0<->1 link for a window much longer than the lease: each side
+  // suspects the other (silence > lease), quarantines it, and clears the
+  // suspicion as a false one when the link heals — all without perturbing
+  // a single output byte. Only the async engine drives RPC progress (and
+  // with it the detector); BSP collectives ride the mail slots.
+  constexpr std::size_t kRanks = 4;
+  const Workload w = make_workload(kRanks);
+  const core::EngineConfig config;
+  const RunOutcome clean = run_engine(true, kRanks, w, config);
+  ASSERT_FALSE(clean.records.empty());
+
+  rt::FaultPlan plan;
+  plan.seed = 61;
+  plan.partitions.push_back({0, 1, 50, 600});
+  rt::World world(kRanks);
+  world.set_faults(plan);
+  world.set_detector_lease(64);  // suspect quickly inside the window
+  std::vector<core::EngineResult> results(kRanks);
+  world.run([&](rt::Rank& rank) {
+    results[rank.id()] = core::async_align(rank, w.dataset.reads, w.tasks.bounds,
+                                           w.tasks.per_rank[rank.id()], config);
+  });
+  RunOutcome chaos;
+  for (const auto& result : results) {
+    chaos.exchange_bytes += result.exchange_bytes_received;
+    chaos.records.insert(chaos.records.end(), result.accepted.begin(),
+                         result.accepted.end());
+  }
+  for (const stat::Breakdown& b : world.breakdowns()) chaos.faults.merge(b.faults);
+  std::sort(chaos.records.begin(), chaos.records.end(),
+            [](const align::AlignmentRecord& x, const align::AlignmentRecord& y) {
+              return std::tie(x.read_a, x.read_b, x.alignment.score) <
+                     std::tie(y.read_a, y.read_b, y.alignment.score);
+            });
+  expect_identical(chaos, clean);
+  EXPECT_GE(chaos.faults.suspected, 1u);
+  EXPECT_GE(chaos.faults.false_suspicions, 1u);
+}
+
+TEST(Chaos, PartitionWindowHealsWithoutChangingResults) {
+  // Default lease: the partition stalls traffic (async) or nothing at all
+  // (BSP), and either way the output is byte-identical.
+  constexpr std::size_t kRanks = 4;
+  const Workload w = make_workload(kRanks);
+  const core::EngineConfig config;
+  const rt::FaultPlan plan = rt::FaultPlan::parse("seed=63,partition@0|1:50:1200");
+  for (const bool async_mode : {false, true}) {
+    const RunOutcome clean = run_engine(async_mode, kRanks, w, config);
+    const RunOutcome chaos = run_engine(async_mode, kRanks, w, config, plan);
+    SCOPED_TRACE(async_mode ? "async" : "bsp");
+    expect_identical(chaos, clean);
+  }
+}
+
+TEST(Chaos, SelfHealingFullStackStaysByteIdentical) {
+  // Crash + restart/rejoin + partition + write-time checkpoint corruption
+  // in one plan: the union of every self-healing path, still byte-clean.
+  constexpr std::size_t kRanks = 4;
+  const Workload w = make_workload(kRanks);
+  const core::EngineConfig config;
+  const rt::FaultPlan plan = rt::FaultPlan::parse(
+      "seed=77,crash@1:2,restart@1:0,partition@0|2:64:1500,corrupt@1:2:0");
+  for (const bool async_mode : {false, true}) {
+    const RunOutcome clean = run_engine(async_mode, kRanks, w, config);
+    const RunOutcome chaos = run_engine(async_mode, kRanks, w, config, plan);
+    SCOPED_TRACE(async_mode ? "async" : "bsp");
+    expect_identical(chaos, clean, /*compare_exchange=*/false);
+    EXPECT_GT(chaos.faults.crashes, 0u);
   }
 }
 

@@ -25,6 +25,7 @@
 #include "pipeline/pipeline.hpp"
 #include "rt/fault.hpp"
 #include "rt/world.hpp"
+#include "util/error.hpp"
 #include "util/rng.hpp"
 #include "wl/presets.hpp"
 
@@ -258,6 +259,42 @@ TEST(GraphDistributed, CrashDuringGraphPhasesRecoversByteIdentical) {
     expect_assembly_equal(outcome.result, oracle, std::string("faults ") + plan.spec);
     EXPECT_GE(outcome.restarts, plan.min_restarts) << plan.spec;
   }
+}
+
+TEST(GraphDistributed, RestartedRankRejoinsAssemblyByteIdentical) {
+  // A rank dies mid-build and comes back with empty volatile state: the
+  // attempt loop re-admits it at an attempt boundary, where each attempt
+  // rebuilds purely from durable manifests — so the rejoiner contributes
+  // cleanly and the assembly stays byte-identical to the oracle.
+  const Workload w = make_workload(17);
+  const graph::AssemblyResult oracle = graph::assemble_serial(w.records, w.dataset.reads);
+  const std::size_t ranks = 4;
+  const std::vector<seq::ReadId> bounds = pipeline::compute_bounds(w.dataset.reads, ranks);
+  const DistributedOutcome outcome =
+      run_distributed(w, ranks, shard_by_owner(w.records, bounds),
+                      rt::FaultPlan::parse("seed=26,crash@1:3,restart@1:0"));
+  expect_assembly_equal(outcome.result, oracle, "restart during build");
+  EXPECT_GE(outcome.restarts, 1u);
+}
+
+TEST(GraphDistributed, AttemptLoopIsBoundedByConfiguredAttempts) {
+  // With max_recovery_attempts = 1, the membership change forced by a
+  // mid-attempt death exceeds the budget: every alive rank throws the
+  // typed UnrecoverableError unanimously instead of restarting forever.
+  const Workload w = make_workload(18);
+  const std::size_t ranks = 4;
+  const std::vector<seq::ReadId> bounds = pipeline::compute_bounds(w.dataset.reads, ranks);
+  const auto shards = shard_by_owner(w.records, bounds);
+  pipeline::DistributedAssemblyOptions options;
+  options.proto.max_recovery_attempts = 1;
+  rt::World world(ranks);
+  world.set_faults(rt::FaultPlan::parse("seed=27,crash@2:3"));
+  std::vector<pipeline::DistributedAssembly> per_rank(ranks);
+  EXPECT_THROW(world.run([&](rt::Rank& rank) {
+    per_rank[rank.id()] = pipeline::run_distributed_assembly(
+        rank, w.dataset.reads, bounds, shards[rank.id()], options);
+  }),
+               gnb::UnrecoverableError);
 }
 
 TEST(GraphDistributed, ChaosWithoutCrashLeavesBytesUnchanged) {

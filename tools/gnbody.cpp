@@ -53,6 +53,7 @@
 #include "sim/perf_model.hpp"
 #include "sim/report.hpp"
 #include "stat/breakdown.hpp"
+#include "util/error.hpp"
 #include "util/cli.hpp"
 #include "util/log.hpp"
 #include "wl/genome.hpp"
@@ -217,7 +218,10 @@ int cmd_overlap(int argc, char** argv) {
   auto faults = cli.opt<std::string>(
       "faults", "",
       "fault spec: a bare seed, or seed=..,delay=P:T,dup=P,reorder=P,straggle=P:U"
-      ",crash@R:S (kill rank R at its S-th fault step; repeatable)");
+      ",crash@R:S (kill rank R at its S-th fault step)"
+      ",partition@A|B:T[:D] (cut the A<->B link for D receiver ticks from tick T)"
+      ",restart@R:S (rank R comes back, skipping S admission gates)"
+      ",corrupt@R:K:S (corrupt rank R's S-th durable record of kind K; all repeatable)");
   cli.parse(argc, argv);
 
   rt::FaultPlan plan;
@@ -563,6 +567,12 @@ int main(int argc, char** argv) {
     if (command == "assemble") return cmd_assemble(argc - 1, argv + 1);
     if (command == "correct") return cmd_correct(argc - 1, argv + 1);
     if (command == "sim") return cmd_sim(argc - 1, argv + 1);
+  } catch (const gnb::UnrecoverableError& e) {
+    // Bounded recovery gave up (max_recovery_attempts): a distinct exit
+    // code so chaos harnesses can tell "declared unrecoverable" from an
+    // ordinary error.
+    std::fprintf(stderr, "gnbody %s: unrecoverable: %s\n", command.c_str(), e.what());
+    return 3;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "gnbody %s: %s\n", command.c_str(), e.what());
     return 1;
