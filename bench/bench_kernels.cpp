@@ -18,6 +18,7 @@
 #include "align/xdrop.hpp"
 #include "core/bsp.hpp"
 #include "kmer/counter.hpp"
+#include "obs/trace.hpp"
 #include "kmer/minimizer.hpp"
 #include "pipeline/pipeline.hpp"
 #include "rt/world.hpp"
@@ -445,6 +446,22 @@ void append_cache_pool_row(std::string& json, const char* label,
   json += buffer;
 }
 
+// --- trace overhead: the alignment hot loop with recording on vs off ------
+//
+// Same serial BSP hot loop as the cache/pool rows, with the span tracer
+// recording (as `gnbody overlap --trace` would) versus idle. When the tree
+// is built with GNB_TRACE=OFF the macros compile to nothing and both rows
+// measure the same code — the row then documents that the *compiled-out*
+// overhead is zero, while a GNB_TRACE=ON build measures the live recording
+// cost on the span/counter emission path.
+CachePoolCase run_trace_overhead_case(const CachePoolWorkload& w, bool trace_on) {
+  obs::Tracer& tracer = obs::Tracer::instance();
+  if (trace_on) tracer.enable();
+  CachePoolCase result = run_cache_pool_case(w, /*threads=*/1, /*cache_bytes=*/0);
+  if (trace_on) tracer.disable();
+  return result;
+}
+
 /// Run the cache/pool case pair plus the scalar-vs-SIMD batch kernel pair and
 /// write the `BENCH_kernels.json` rows the perf trajectory tracks: serial
 /// with a starved cache (every lookup re-decodes, the pre-cache behavior) vs
@@ -458,6 +475,13 @@ void write_cache_pool_report() {
   const CachePoolCase pooled = run_cache_pool_case(w, /*threads=*/4, /*cache_bytes=*/0);
   const double speedup =
       serial.tasks_per_s > 0 ? pooled.tasks_per_s / serial.tasks_per_s : 0;
+
+  const CachePoolCase trace_off = run_trace_overhead_case(w, /*trace_on=*/false);
+  const CachePoolCase trace_on = run_trace_overhead_case(w, /*trace_on=*/true);
+  const double trace_overhead_pct =
+      trace_on.tasks_per_s > 0
+          ? (trace_off.tasks_per_s / trace_on.tasks_per_s - 1.0) * 100.0
+          : 0;
 
   const BatchKernelWorkload& bw = batch_kernel_workload();
   const BatchKernelCase kernel_scalar =
@@ -480,13 +504,16 @@ void write_cache_pool_report() {
   json += "  \"rows\":[\n";
   append_cache_pool_row(json, "align_tasks_serial_uncached", serial, true);
   append_cache_pool_row(json, "align_tasks_pool4_cached", pooled, true);
+  append_cache_pool_row(json, "align_tasks_trace_off", trace_off, true);
+  append_cache_pool_row(json, "align_tasks_trace_on", trace_on, true);
   append_batch_kernel_row(json, "batch_xdrop_scalar", kernel_scalar, true);
   append_batch_kernel_row(json, "batch_xdrop_simd", kernel_simd, false);
   json += "  ],\n";
-  char tail[192];
+  char tail[256];
   std::snprintf(tail, sizeof(tail),
-                "  \"pool_cache_speedup\":%.2f,\n  \"simd_kernel_speedup\":%.2f\n}\n",
-                speedup, kernel_speedup);
+                "  \"pool_cache_speedup\":%.2f,\n  \"simd_kernel_speedup\":%.2f,\n"
+                "  \"trace_compiled\":%d,\n  \"trace_overhead_pct\":%.2f\n}\n",
+                speedup, kernel_speedup, GNB_TRACE_ENABLED, trace_overhead_pct);
   json += tail;
 
   std::ofstream out("BENCH_kernels.json");
@@ -500,6 +527,11 @@ void write_cache_pool_report() {
       "%.1f%%) -> BENCH_kernels.json\n",
       kernel_scalar.info.name, kernel_scalar.mcells_per_s, kernel_simd.info.name,
       kernel_simd.mcells_per_s, kernel_speedup, kernel_simd.occupancy * 100);
+  std::printf(
+      "trace overhead (compiled %s): off %.0f tasks/s vs on %.0f tasks/s "
+      "(%.2f%% overhead) -> BENCH_kernels.json\n",
+      GNB_TRACE_ENABLED ? "in" : "out", trace_off.tasks_per_s, trace_on.tasks_per_s,
+      trace_overhead_pct);
 }
 
 }  // namespace

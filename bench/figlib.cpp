@@ -116,12 +116,7 @@ void write_row(std::ostream& out, const JsonReport::Labels& labels,
       << ",\"exchange_bytes\":" << s.exchange_bytes
       << ",\"peak_memory_bytes\":" << s.peak_memory_max << ",\"metrics\":";
   obs::MetricsRegistry registry;
-  registry.add(obs::metric::kExchangeBytes, s.exchange_bytes);
-  registry.add(obs::metric::kExchangeMessages, s.messages);
-  registry.gauge_max(obs::metric::kExchangeRounds, s.rounds);
-  registry.gauge_max(obs::metric::kMemPeakBytes, s.peak_memory_max);
-  stat::export_metrics(s.faults, registry);
-  stat::export_metrics(s.compute_layer, registry);
+  stat::export_metrics(s, registry);
   registry.write_json(out);
   out << "}";
 }

@@ -1,0 +1,275 @@
+#include "obs/perfdiff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "obs/analysis.hpp"
+#include "obs/json.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace gnb::obs::perfdiff {
+
+namespace {
+
+using json::Value;
+
+/// Recursively collect numeric leaves under `prefix`, skipping subtrees
+/// whose full path starts with an entry of `skip`.
+void collect(const Value& value, const std::string& prefix,
+             const std::vector<std::string>& skip, std::vector<Entry>& out) {
+  for (const std::string& s : skip) {
+    if (prefix == s || (prefix.size() > s.size() && prefix.compare(0, s.size(), s) == 0 &&
+                        prefix[s.size()] == '.')) {
+      return;
+    }
+  }
+  switch (value.kind) {
+    case Value::Kind::kNumber:
+      out.push_back({prefix, value.num, false});
+      break;
+    case Value::Kind::kObject:
+      for (const auto& [key, child] : value.object) {
+        collect(child, prefix.empty() ? key : prefix + "." + key, skip, out);
+      }
+      break;
+    case Value::Kind::kArray:
+      for (std::size_t i = 0; i < value.array.size(); ++i) {
+        collect(value.array[i], prefix + "." + std::to_string(i), skip, out);
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+std::string bench_row_path(const Value& row, std::size_t index) {
+  std::string path = "rows.";
+  const Value* labels = row.find("labels");
+  if (labels != nullptr && labels->kind == Value::Kind::kObject && !labels->object.empty()) {
+    bool first = true;
+    for (const auto& [key, v] : labels->object) {
+      if (!first) path += ",";
+      first = false;
+      path += key + "=";
+      if (v.kind == Value::Kind::kString) {
+        path += v.str;
+      } else if (v.kind == Value::Kind::kNumber) {
+        path += json::number(v.num);
+      }
+    }
+  } else {
+    path += std::to_string(index);
+  }
+  return path;
+}
+
+std::vector<Entry> flatten_perf_report(const Value& doc) {
+  std::vector<Entry> out;
+  // counted.* is the gated surface; run/timing/fidelity scalars are
+  // warn-only context. Per-rank and per-segment arrays are structural
+  // detail and excluded from the diff entirely.
+  if (const Value* counted = doc.find("counted")) {
+    std::vector<Entry> entries;
+    collect(*counted, "counted", {}, entries);
+    for (Entry& e : entries) e.counted = true;
+    out.insert(out.end(), entries.begin(), entries.end());
+  }
+  if (const Value* timing = doc.find("timing")) {
+    collect(*timing, "timing", {"timing.ranks", "timing.critical_path"}, out);
+  }
+  if (const Value* fidelity = doc.find("fidelity")) {
+    if (const Value* score = fidelity->find("score")) {
+      if (score->kind == Value::Kind::kNumber) {
+        out.push_back({"fidelity.score", score->num, false});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Entry> flatten_bench(const Value& doc) {
+  std::vector<Entry> out;
+  const Value* rows = doc.find("rows");
+  GNB_THROW_IF(rows == nullptr || rows->kind != Value::Kind::kArray,
+               "perf: bench document has no rows array");
+  for (std::size_t i = 0; i < rows->array.size(); ++i) {
+    const Value& row = rows->array[i];
+    if (row.kind != Value::Kind::kObject) continue;
+    std::string base = bench_row_path(row, i);
+    for (const auto& [key, v] : row.object) {
+      if (key == "labels") continue;
+      if (key == "metrics") {
+        for (const char* section : {"counters", "gauges"}) {
+          const Value* sec = v.find(section);
+          if (sec == nullptr || sec->kind != Value::Kind::kObject) continue;
+          for (const auto& [name, mv] : sec->object) {
+            if (mv.kind != Value::Kind::kNumber) continue;
+            out.push_back({base + ".metrics." + name, mv.num, analysis::counted_metric(name)});
+          }
+        }
+        continue;
+      }
+      std::vector<Entry> leaves;
+      collect(v, base + "." + key, {}, leaves);
+      // The figlib summary counters are the gated surface of a bench row;
+      // timing columns (phases_s, imbalance, memory, speedups) warn only.
+      bool counted = key == "rounds" || key == "messages" || key == "exchange_bytes";
+      for (Entry& e : leaves) e.counted = counted;
+      out.insert(out.end(), leaves.begin(), leaves.end());
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Entry> flatten(std::string_view json_text) {
+  std::string error;
+  std::optional<Value> doc = json::parse(json_text, &error);
+  GNB_THROW_IF(!doc, "perf: diff input parse error: " << error);
+  GNB_THROW_IF(doc->kind != Value::Kind::kObject, "perf: diff input is not a JSON object");
+  if (doc->find("perf_report_version") != nullptr) return flatten_perf_report(*doc);
+  if (doc->find("bench") != nullptr || doc->find("rows") != nullptr) return flatten_bench(*doc);
+  throw gnb::Error(
+      "perf: unrecognized diff input (expected PERF_report.json or BENCH_*.json)");
+}
+
+DiffResult diff(const std::vector<Entry>& baseline, const std::vector<Entry>& candidate,
+                const DiffOptions& options) {
+  std::map<std::string, Entry> base, cand;
+  for (const Entry& e : baseline) base.emplace(e.path, e);
+  for (const Entry& e : candidate) cand.emplace(e.path, e);
+
+  DiffResult result;
+  for (const auto& [path, b] : base) {
+    auto it = cand.find(path);
+    if (it == cand.end()) {
+      Change ch;
+      ch.path = path;
+      ch.kind = b.counted ? ChangeKind::kMissing : ChangeKind::kWarning;
+      ch.baseline = b.value;
+      ch.rel_change = 1.0;
+      if (b.counted) {
+        ++result.regressions;
+        result.changes.push_back(std::move(ch));
+      } else {
+        ++result.warnings;
+        result.changes.push_back(std::move(ch));
+      }
+      continue;
+    }
+    ++result.compared;
+    const Entry& c = it->second;
+    double hi = std::max(std::abs(b.value), std::abs(c.value));
+    double rel = hi > 0 ? std::abs(c.value - b.value) / hi : 0.0;
+    if (b.value == c.value) continue;
+    Change ch;
+    ch.path = path;
+    ch.baseline = b.value;
+    ch.candidate = c.value;
+    ch.rel_change = rel;
+    if (b.counted || c.counted) {
+      if (c.value > b.value) {
+        // Growth relative to the baseline; a zero baseline growing is an
+        // unconditional regression (the zero-baseline edge case).
+        double growth_pct = b.value > 0
+                                ? (c.value - b.value) / b.value * 100.0
+                                : std::numeric_limits<double>::infinity();
+        if (growth_pct > options.gate_pct) {
+          ch.kind = ChangeKind::kRegression;
+          ++result.regressions;
+        } else {
+          ch.kind = ChangeKind::kImprovement;  // within the gate: report, pass
+        }
+      } else {
+        ch.kind = ChangeKind::kImprovement;
+      }
+      result.changes.push_back(std::move(ch));
+    } else if (rel * 100.0 >= options.warn_pct) {
+      ch.kind = ChangeKind::kWarning;
+      ++result.warnings;
+      result.changes.push_back(std::move(ch));
+    }
+  }
+  for (const auto& [path, c] : cand) {
+    if (base.find(path) != base.end()) continue;
+    if (!c.counted) continue;  // new timing paths are churn, not signal
+    Change ch;
+    ch.path = path;
+    ch.kind = ChangeKind::kNew;
+    ch.candidate = c.value;
+    ch.rel_change = 1.0;
+    ++result.regressions;
+    result.changes.push_back(std::move(ch));
+  }
+
+  auto severity = [](ChangeKind k) {
+    switch (k) {
+      case ChangeKind::kRegression:
+      case ChangeKind::kMissing:
+      case ChangeKind::kNew:
+        return 0;
+      case ChangeKind::kImprovement:
+        return 1;
+      case ChangeKind::kWarning:
+        return 2;
+    }
+    return 2;
+  };
+  std::sort(result.changes.begin(), result.changes.end(),
+            [&](const Change& a, const Change& b2) {
+              int sa = severity(a.kind), sb = severity(b2.kind);
+              if (sa != sb) return sa < sb;
+              return a.path < b2.path;
+            });
+  return result;
+}
+
+namespace {
+
+const char* kind_label(ChangeKind kind) {
+  switch (kind) {
+    case ChangeKind::kRegression: return "REGRESSION";
+    case ChangeKind::kImprovement: return "improvement";
+    case ChangeKind::kWarning: return "warn (timing)";
+    case ChangeKind::kMissing: return "MISSING";
+    case ChangeKind::kNew: return "NEW";
+  }
+  return "?";
+}
+
+}  // namespace
+
+bool print_diff(std::ostream& out, const DiffResult& result) {
+  if (result.changes.empty()) {
+    out << "perf diff: no changes across " << result.compared << " compared value(s)\n";
+    return true;
+  }
+  gnb::Table table({"status", "path", "baseline", "candidate", "change"});
+  for (const Change& ch : result.changes) {
+    std::ostringstream delta;
+    if (ch.kind == ChangeKind::kMissing) {
+      delta << "gone";
+    } else if (ch.kind == ChangeKind::kNew) {
+      delta << "appeared";
+    } else {
+      delta.precision(1);
+      delta << std::fixed << (ch.candidate >= ch.baseline ? "+" : "-")
+            << ch.rel_change * 100.0 << "%";
+    }
+    table.add_row({std::string(kind_label(ch.kind)), ch.path, json::number(ch.baseline),
+                   json::number(ch.candidate), delta.str()});
+  }
+  out << table.pretty();
+  out << "perf diff: " << result.regressions << " regression(s), " << result.warnings
+      << " timing warning(s), " << result.compared << " value(s) compared\n";
+  return result.regressions == 0;
+}
+
+}  // namespace gnb::obs::perfdiff

@@ -1,0 +1,74 @@
+#pragma once
+// Perf-regression gate: diff two PERF_report.json (from `gnbody perf
+// report`) or BENCH_*.json (from bench/figlib) documents and classify
+// every changed value as gated (counted metrics: span counts, rounds,
+// messages, exchange bytes, re-executed tasks, drop counts) or warn-only
+// (wall-clock and anything else timing-derived). `gnbody perf diff` exits
+// non-zero iff a gated value regressed beyond --gate-pct — this is what
+// the CI perf-gate job runs against bench/baselines/.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gnb::obs::perfdiff {
+
+/// One flattened numeric cell of a report: a dotted path ("counted.
+/// span_counts.coll.barrier", "rows.k=16.rounds") and its value.
+struct Entry {
+  std::string path;
+  double value = 0;
+  bool counted = false;  // gated if true, warn-only otherwise
+};
+
+/// Flatten a PERF_report.json or BENCH_*.json document into comparable
+/// entries. The document kind is sniffed from its top-level keys
+/// ("perf_report_version" vs "bench"). Throws gnb::Error on malformed
+/// input or unknown document shape.
+[[nodiscard]] std::vector<Entry> flatten(std::string_view json_text);
+
+enum class ChangeKind : std::uint8_t {
+  kRegression,   // gated value got worse beyond the gate
+  kImprovement,  // gated value got better (informational)
+  kWarning,      // timing value moved (never fails the gate)
+  kMissing,      // baseline path absent from candidate — gated
+  kNew,          // candidate path absent from baseline — gated for counted
+};
+
+struct Change {
+  std::string path;
+  ChangeKind kind = ChangeKind::kWarning;
+  double baseline = 0;
+  double candidate = 0;
+  double rel_change = 0;  // |c - b| / max(|b|, |c|); 1 for missing/new
+};
+
+struct DiffResult {
+  std::vector<Change> changes;  // regressions first, then path-sorted
+  std::size_t regressions = 0;  // kRegression + kMissing + kNew
+  std::size_t warnings = 0;
+  std::size_t compared = 0;  // paths present on both sides
+};
+
+/// Options for the gate. gate_pct applies to counted metrics only: a
+/// counted value may grow by at most gate_pct percent (default 0 — any
+/// growth of a counted metric is a regression, which is the right default
+/// for seeded deterministic runs). warn_pct filters timing noise out of
+/// the warning list (default 10%). Counted values shrinking is reported as
+/// improvement, never failure.
+struct DiffOptions {
+  double gate_pct = 0.0;
+  double warn_pct = 10.0;
+};
+
+[[nodiscard]] DiffResult diff(const std::vector<Entry>& baseline,
+                              const std::vector<Entry>& candidate,
+                              const DiffOptions& options = {});
+
+/// Render the human diff table; returns true when the gate passes (no
+/// regressions).
+bool print_diff(std::ostream& out, const DiffResult& result);
+
+}  // namespace gnb::obs::perfdiff

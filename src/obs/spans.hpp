@@ -138,4 +138,11 @@ inline constexpr const char* kRejoins = "rejoin.count";
 inline constexpr const char* kCorruptRecords = "corrupt.records";
 inline constexpr const char* kFallbackCheckpoints = "corrupt.fallback_checkpoints";
 
+// Trace-buffer ring drops observed during the phase (rt::World::run takes
+// the Tracer::dropped() delta across the phase). Non-zero means the trace
+// — and any `gnbody perf report` built from it — is silently truncated,
+// so the count is surfaced loudly: as this metric, as a gnbody warning,
+// and in the counted section of PERF_report.json.
+inline constexpr const char* kTraceDropped = "trace.dropped_events";
+
 }  // namespace gnb::obs::metric

@@ -296,14 +296,28 @@ void Tracer::write_json(std::ostream& out) const {
   out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
   bool first = true;
   std::uint64_t total_dropped = 0;
+  // Deterministic export order: all metadata first (buffers iterate in
+  // (pid, tid) order), then every event globally stable-sorted by
+  // (ts_ns, pid, tid). The stable sort preserves per-track program order
+  // for equal timestamps — sorting ties by name instead would reorder a
+  // same-nanosecond E before the B that follows it and break nesting —
+  // so two byte-identical runs always serialize identically and
+  // `gnbody perf diff` on them is exactly empty.
+  std::vector<std::pair<const TraceBuffer*, const TraceEvent*>> ordered;
   for (const auto& [key, buf] : buffers_) {
     write_metadata(out, *buf, first);
     total_dropped += buf->dropped();
-    for (const TraceEvent& e : buf->events()) {
-      if (!first) out << ",\n";
-      first = false;
-      write_event(out, *buf, e);
-    }
+    for (const TraceEvent& e : buf->events()) ordered.emplace_back(buf.get(), &e);
+  }
+  std::stable_sort(ordered.begin(), ordered.end(), [](const auto& a, const auto& b) {
+    if (a.second->ts_ns != b.second->ts_ns) return a.second->ts_ns < b.second->ts_ns;
+    if (a.first->pid() != b.first->pid()) return a.first->pid() < b.first->pid();
+    return a.first->tid() < b.first->tid();
+  });
+  for (const auto& [buf, e] : ordered) {
+    if (!first) out << ",\n";
+    first = false;
+    write_event(out, *buf, *e);
   }
   out << "\n],\"otherData\":{\"tool\":\"gnbody\",\"dropped_events\":\"" << total_dropped
       << "\"}}\n";

@@ -449,6 +449,8 @@ void World::run(const std::function<void(Rank&)>& body) {
     endpoint->revive();
   }
 
+  const std::uint64_t dropped_before = obs::Tracer::instance().dropped();
+
   std::vector<std::unique_ptr<Rank>> ranks;
   ranks.reserve(nranks_);
   for (std::size_t r = 0; r < nranks_; ++r)
@@ -548,6 +550,12 @@ void World::run(const std::function<void(Rank&)>& body) {
   metrics_.add(obs::metric::kRejoins, merged.rejoins);
   metrics_.add(obs::metric::kCorruptRecords, merged.corrupt_records);
   metrics_.add(obs::metric::kFallbackCheckpoints, merged.fallback_checkpoints);
+
+  // Trace-ring drops during this phase: a non-zero count means the trace
+  // undercounts spans and any downstream analysis is truncated. Surface it
+  // as a counted metric (gnbody also warns loudly at end of run).
+  const std::uint64_t dropped_delta = obs::Tracer::instance().dropped() - dropped_before;
+  if (dropped_delta > 0) metrics_.add(obs::metric::kTraceDropped, dropped_delta);
 
   if (unrecoverable) std::rethrow_exception(unrecoverable);
 }

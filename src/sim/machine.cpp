@@ -18,6 +18,26 @@ MachineParams cori_knl(std::size_t nodes) {
   return machine;
 }
 
+MachineParams threaded_host(std::size_t ranks) {
+  MachineParams machine;
+  machine.nodes = 1;
+  machine.cores_per_node = std::max<std::size_t>(1, ranks);
+  machine.memory_per_core = 2ull << 30;
+  // Every transfer is an in-process handoff: queue-latency setup, memcpy
+  // bandwidth, and no topology contention.
+  machine.internode_latency = 2.0e-7;
+  machine.intranode_latency = 2.0e-7;
+  machine.nic_bandwidth = 1.2e10;
+  machine.intranode_bandwidth = 1.2e10;
+  machine.global_bw_per_node = 1.2e10;
+  machine.dragonfly_delta = 0.0;
+  machine.per_message_wire = 3.0e-7;
+  machine.per_message_cpu = 2.0e-7;
+  machine.rpc_service_cpu = 4.0e-7;
+  machine.a2a_setup_per_peer = 5.0e-7;
+  return machine;
+}
+
 void scale_slice(MachineParams& machine, double scale) {
   machine.cores_per_node = std::max<std::size_t>(
       1, static_cast<std::size_t>(std::llround(static_cast<double>(machine.cores_per_node) /

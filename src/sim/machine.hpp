@@ -71,6 +71,15 @@ struct MachineParams {
 /// Cori-KNL-like machine with `nodes` nodes (64 app cores each).
 MachineParams cori_knl(std::size_t nodes);
 
+/// One shared-memory node with `ranks` cores, modelling the threaded
+/// rt::World runtime this repo actually executes on: in-process queue
+/// latencies, memcpy-class bandwidth, no dragonfly contention. This is the
+/// machine to simulate when comparing against a real `gnbody overlap`
+/// trace at matched rank count (`gnbody perf report --sim`), so the
+/// fidelity score measures the cost model — not the gap between a laptop
+/// and Cori.
+MachineParams threaded_host(std::size_t ranks);
+
 /// In-place 1/scale *slice* of a machine: each node keeps cores/scale
 /// application cores with 1/scale of the NIC, intranode and global
 /// bandwidth, and a per-peer alltoallv setup cost inflated by scale (the

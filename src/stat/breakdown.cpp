@@ -80,6 +80,15 @@ void export_metrics(const ComputeCounters& compute, obs::MetricsRegistry& regist
   }
 }
 
+void export_metrics(const Summary& summary, obs::MetricsRegistry& registry) {
+  registry.add(obs::metric::kExchangeBytes, summary.exchange_bytes);
+  registry.add(obs::metric::kExchangeMessages, summary.messages);
+  registry.gauge_max(obs::metric::kExchangeRounds, summary.rounds);
+  registry.gauge_max(obs::metric::kMemPeakBytes, summary.peak_memory_max);
+  export_metrics(summary.faults, registry);
+  export_metrics(summary.compute_layer, registry);
+}
+
 Summary summarize(std::span<const Breakdown> ranks, double runtime) {
   Summary summary;
   RunningStats compute, overhead, comm, sync;

@@ -182,6 +182,14 @@ struct Summary {
   [[nodiscard]] double comm_fraction() const { return runtime > 0 ? comm_avg / runtime : 0; }
 };
 
+/// Export a full summary into a metrics registry: the exchange protocol
+/// counters (exchange.bytes/messages, exchange.rounds and mem.peak_bytes
+/// as gauges) plus the fault and compute-layer counters through their
+/// descriptor tables. bench/figlib rows and `gnbody --metrics` both go
+/// through this, so BENCH_*.json and the metrics file can never disagree
+/// on names — and `gnbody perf diff` can gate either.
+void export_metrics(const Summary& summary, obs::MetricsRegistry& registry);
+
 /// Reduce per-rank breakdowns. `runtime` < 0 defaults it to the slowest
 /// rank's total (the right phase duration when sync already includes the
 /// waiting, as both backends guarantee).

@@ -334,6 +334,66 @@ TEST(Determinism, SimTraceIsByteStableIncludingVirtualTime) {
   }
 }
 
+TEST(Determinism, JsonExportIsGloballyOrderedAndStable) {
+  // write_json must emit one deterministic document for a fixed buffer
+  // state: all metadata first, then every event across all tracks in one
+  // globally stable (ts, pid, tid) order — so `diff` of two exports of
+  // byte-identical runs is exactly empty, and re-exporting the same epoch
+  // twice is byte-identical.
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.enable();
+  // Two tracks created in reverse pid order, with interleaved virtual
+  // timestamps, exercise the cross-buffer merge.
+  obs::TraceBuffer* b1 = tracer.buffer(1, 0, "rank 1 [virtual]", "core 0", "virtual");
+  obs::TraceBuffer* b0 = tracer.buffer(0, 0, "rank 0 [virtual]", "core 0", "virtual");
+  ASSERT_NE(b0, nullptr);
+  ASSERT_NE(b1, nullptr);
+  auto push = [](obs::TraceBuffer* buf, obs::TraceEvent::Phase ph, std::int64_t ts) {
+    obs::TraceEvent e;
+    e.name = "span";
+    e.phase = ph;
+    e.ts_ns = ts;
+    buf->push(e);
+  };
+  using Phase = obs::TraceEvent::Phase;
+  push(b1, Phase::kBegin, 500);   // arrives first in file order...
+  push(b0, Phase::kBegin, 100);   // ...but must sort first in the export
+  push(b0, Phase::kEnd, 900);
+  push(b1, Phase::kEnd, 900);     // same-ts tie: pid 0 before pid 1
+  std::ostringstream first, second;
+  tracer.write_json(first);
+  tracer.write_json(second);
+  tracer.disable();
+  EXPECT_EQ(first.str(), second.str());
+
+  // Parse the export back and check the global (ts, pid, tid) order.
+  std::string error;
+  const auto doc = obs::json::parse(first.str(), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  const auto* events = doc->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  std::vector<std::tuple<double, double, double>> order;
+  bool metadata_done = false;
+  for (const auto& ev : events->array) {
+    const auto* ph = ev.find("ph");
+    ASSERT_NE(ph, nullptr);
+    if (ph->str == "M") {
+      EXPECT_FALSE(metadata_done) << "metadata event after a timed event";
+      continue;
+    }
+    metadata_done = true;
+    const auto* ts = ev.find("ts");
+    const auto* pid = ev.find("pid");
+    const auto* tid = ev.find("tid");
+    ASSERT_NE(ts, nullptr);
+    ASSERT_NE(pid, nullptr);
+    ASSERT_NE(tid, nullptr);
+    order.emplace_back(ts->num, pid->num, tid->num);
+  }
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+}
+
 #endif  // GNB_TRACE_ENABLED
 
 // ---------- metrics registry ----------

@@ -21,6 +21,10 @@
 // `overlap` and `sim` both take --trace out.json / --metrics out.json:
 // the same span taxonomy lands in the same Perfetto JSON, stamped with the
 // monotonic clock (real run) or the model's virtual clock (sim run).
+//
+//   gnbody perf report <trace.json> / gnbody perf diff <base> <cand>
+//       consume those traces: critical path, attribution, sim fidelity,
+//       and the CI regression gate (obs/analysis.hpp, obs/perfdiff.hpp)
 
 #include <algorithm>
 #include <cstdio>
@@ -39,8 +43,10 @@
 #include "graph/gfa.hpp"
 #include "graph/overlap_graph.hpp"
 #include "kmer/bella_filter.hpp"
+#include "obs/analysis.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/perfdiff.hpp"
 #include "obs/spans.hpp"
 #include "obs/trace.hpp"
 #include "pipeline/assembly.hpp"
@@ -63,6 +69,24 @@
 using namespace gnb;
 
 namespace {
+
+/// Flush the recording tracer to `path`, warn loudly when the ring dropped
+/// events (the trace — and any perf report built from it — is truncated),
+/// then disable tracing.
+void finish_trace(const std::string& path, const char* what) {
+  obs::Tracer& tracer = obs::Tracer::instance();
+  std::ofstream file(path);
+  GNB_THROW_IF(!file, "cannot open output: " << path);
+  tracer.write_json(file);
+  const std::uint64_t dropped = tracer.dropped();
+  if (dropped > 0) {
+    log::warn("trace ring dropped ", dropped,
+              " event(s) — the trace is truncated and perf analysis will undercount; "
+              "re-run with a larger trace buffer or a smaller workload");
+  }
+  tracer.disable();
+  log::info("wrote ", what, " to ", path);
+}
 
 seq::ReadStore load_fasta(const std::string& path) {
   std::ifstream in(path);
@@ -246,11 +270,7 @@ int cmd_overlap(int argc, char** argv) {
 
   if (!trace->empty()) {
     obs::Tracer::bind(nullptr);
-    std::ofstream file(*trace);
-    GNB_THROW_IF(!file, "cannot open output: " << *trace);
-    obs::Tracer::instance().write_json(file);
-    obs::Tracer::instance().disable();
-    log::info("wrote trace to ", *trace);
+    finish_trace(*trace, "trace");
   }
   if (!metrics->empty()) {
     std::ostringstream info;
@@ -369,11 +389,7 @@ int cmd_assemble(int argc, char** argv) {
 
   if (!trace->empty()) {
     obs::Tracer::bind(nullptr);
-    std::ofstream file(*trace);
-    GNB_THROW_IF(!file, "cannot open output: " << *trace);
-    obs::Tracer::instance().write_json(file);
-    obs::Tracer::instance().disable();
-    log::info("wrote trace to ", *trace);
+    finish_trace(*trace, "trace");
   }
   if (!metrics->empty()) {
     obs::MetricsRegistry graph_metrics;
@@ -449,6 +465,10 @@ int cmd_sim(int argc, char** argv) {
   auto dataset =
       cli.opt<std::string>("dataset", "tiny", "tiny | ecoli30x | ecoli100x | human-ccs");
   auto nodes = cli.opt<std::uint64_t>("nodes", 64, "simulated node count");
+  auto machine_name = cli.opt<std::string>(
+      "machine", "cori-knl",
+      "machine model: cori-knl | host (host = one shared-memory node with --nodes ranks, "
+      "matching the threaded runtime for perf-report fidelity comparisons)");
   auto engine = cli.opt<std::string>("engine", "bsp", "engine: bsp | async");
   auto scale = cli.opt<double>("scale", 20, "model workload at 1/scale of the paper's counts");
   auto compute_threads = cli.opt<std::uint64_t>(
@@ -468,8 +488,15 @@ int cmd_sim(int argc, char** argv) {
 
   const wl::DatasetSpec spec = spec_by_name(*dataset);
   const wl::SimWorkload workload = wl::model_workload(spec, *scale, *seed);
-  sim::MachineParams machine = sim::cori_knl(*nodes);
-  sim::scale_slice(machine, *scale);
+  const bool host_machine = *machine_name == "host";
+  GNB_THROW_IF(!host_machine && *machine_name != "cori-knl",
+               "unknown machine '" << *machine_name << "' (use cori-knl or host)");
+  sim::MachineParams machine =
+      host_machine ? sim::threaded_host(*nodes) : sim::cori_knl(*nodes);
+  // The host model keeps its exact rank count — matched-config fidelity
+  // runs compare rank-for-rank against a real trace; only the cluster
+  // model gets the 1/scale slice.
+  if (!host_machine) sim::scale_slice(machine, *scale);
   const sim::SimAssignment assignment = sim::assign(workload, machine.total_ranks());
   log::info(spec.name, ": ", workload.read_lengths.size(), " model reads, ",
             workload.tasks.size(), " tasks on ", machine.total_ranks(), " virtual ranks (",
@@ -514,20 +541,12 @@ int cmd_sim(int argc, char** argv) {
   }
 
   if (!trace->empty()) {
-    std::ofstream file(*trace);
-    GNB_THROW_IF(!file, "cannot open output: " << *trace);
-    obs::Tracer::instance().write_json(file);
-    obs::Tracer::instance().disable();
-    log::info("wrote virtual-clock trace to ", *trace);
+    finish_trace(*trace, "virtual-clock trace");
   }
   if (!metrics->empty()) {
     obs::MetricsRegistry registry;
-    registry.add(obs::metric::kExchangeBytes, summary.exchange_bytes);
-    registry.add(obs::metric::kExchangeMessages, summary.messages);
-    registry.gauge_max(obs::metric::kExchangeRounds, summary.rounds);
+    stat::export_metrics(summary, registry);
     registry.add(obs::metric::kAlignTasks, workload.tasks.size());
-    registry.gauge_max(obs::metric::kMemPeakBytes, summary.peak_memory_max);
-    stat::export_metrics(summary.faults, registry);
     std::ostringstream info;
     info << "{\"command\":\"sim\",\"dataset\":";
     obs::json::write_string(info, spec.name);
@@ -545,10 +564,121 @@ int cmd_sim(int argc, char** argv) {
   return 0;
 }
 
+std::string read_text_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  GNB_THROW_IF(!in, "cannot open input: " << path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  GNB_THROW_IF(!in && !in.eof(), "read failed: " << path);
+  return buffer.str();
+}
+
+void perf_usage() {
+  std::fputs(
+      "usage: gnbody perf report <trace.json> [--metrics <metrics.json>]\n"
+      "                          [--sim <sim_trace.json>] [--out <PERF_report.json>]\n"
+      "       gnbody perf diff <baseline.json> <candidate.json>\n"
+      "                          [--gate-pct <N>] [--warn-pct <N>]\n"
+      "\n"
+      "report: analyze a Chrome-trace JSON (from overlap/assemble/sim --trace):\n"
+      "        phase attribution, per-rank imbalance, cross-rank critical path;\n"
+      "        with --sim, a span-by-span sim-fidelity table. Writes the\n"
+      "        deterministic PERF_report.json next to the human tables.\n"
+      "diff:   compare two PERF_report.json or BENCH_*.json documents. Counted\n"
+      "        metrics (span counts, rounds, messages, exchange bytes, drops)\n"
+      "        gate hard — growth beyond --gate-pct (default 0) exits 4;\n"
+      "        wall-clock values only warn (past --warn-pct, default 10).\n",
+      stderr);
+}
+
+int cmd_perf(int argc, char** argv) {
+  // util::Cli has no positional-argument support, so this subcommand
+  // hand-parses: perf <report|diff> <files...> [--flag value].
+  std::vector<std::string> positional;
+  std::string metrics_path, sim_path, out_path = "PERF_report.json";
+  double gate_pct = 0.0, warn_pct = 10.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> std::string {
+      GNB_THROW_IF(i + 1 >= argc, "perf: " << flag << " needs a value");
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      perf_usage();
+      return 0;
+    } else if (arg == "--metrics") {
+      metrics_path = next("--metrics");
+    } else if (arg == "--sim") {
+      sim_path = next("--sim");
+    } else if (arg == "--out") {
+      out_path = next("--out");
+    } else if (arg == "--gate-pct") {
+      gate_pct = std::stod(next("--gate-pct"));
+    } else if (arg == "--warn-pct") {
+      warn_pct = std::stod(next("--warn-pct"));
+    } else if (arg.starts_with("--")) {
+      GNB_THROW_IF(true, "perf: unknown option " << arg);
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.empty()) {
+    perf_usage();
+    return 2;
+  }
+  const std::string mode = positional.front();
+
+  if (mode == "report") {
+    GNB_THROW_IF(positional.size() != 2, "perf report: expected exactly one <trace.json>");
+    const obs::analysis::Trace trace =
+        obs::analysis::load_trace(read_text_file(positional[1]));
+    obs::analysis::Report report = obs::analysis::analyze(trace);
+    if (!metrics_path.empty())
+      obs::analysis::merge_metrics_json(report, read_text_file(metrics_path));
+
+    obs::analysis::Fidelity fidelity;
+    bool have_fidelity = false;
+    if (!sim_path.empty()) {
+      const obs::analysis::Trace sim_trace =
+          obs::analysis::load_trace(read_text_file(sim_path));
+      const obs::analysis::Report sim_report = obs::analysis::analyze(sim_trace);
+      fidelity = obs::analysis::compare_fidelity(report, sim_report);
+      have_fidelity = true;
+    }
+    std::ostringstream human;
+    obs::analysis::print_report(human, report, have_fidelity ? &fidelity : nullptr);
+    std::fputs(human.str().c_str(), stdout);
+    std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+    GNB_THROW_IF(!out, "cannot open output: " << out_path);
+    obs::analysis::write_report_json(out, report, have_fidelity ? &fidelity : nullptr);
+    log::info("wrote perf report to ", out_path);
+    return 0;
+  }
+
+  if (mode == "diff") {
+    GNB_THROW_IF(positional.size() != 3, "perf diff: expected <baseline> <candidate>");
+    const auto baseline = obs::perfdiff::flatten(read_text_file(positional[1]));
+    const auto candidate = obs::perfdiff::flatten(read_text_file(positional[2]));
+    obs::perfdiff::DiffOptions options;
+    options.gate_pct = gate_pct;
+    options.warn_pct = warn_pct;
+    const obs::perfdiff::DiffResult result = obs::perfdiff::diff(baseline, candidate, options);
+    std::ostringstream human;
+    const bool pass = obs::perfdiff::print_diff(human, result);
+    std::fputs(human.str().c_str(), stdout);
+    // Exit 4 on gate failure: distinct from 1 (error), 2 (usage) and
+    // 3 (unrecoverable run), so CI can tell a perf regression from a crash.
+    return pass ? 0 : 4;
+  }
+
+  perf_usage();
+  return 2;
+}
+
 void usage() {
   std::fputs(
       "gnbody — many-to-many long-read alignment toolkit\n"
-      "usage: gnbody <simulate|overlap|assemble|correct|sim> [options]\n"
+      "usage: gnbody <simulate|overlap|assemble|correct|sim|perf> [options]\n"
       "       gnbody <command> --help for command options\n",
       stderr);
 }
@@ -567,6 +697,7 @@ int main(int argc, char** argv) {
     if (command == "assemble") return cmd_assemble(argc - 1, argv + 1);
     if (command == "correct") return cmd_correct(argc - 1, argv + 1);
     if (command == "sim") return cmd_sim(argc - 1, argv + 1);
+    if (command == "perf") return cmd_perf(argc - 1, argv + 1);
   } catch (const gnb::UnrecoverableError& e) {
     // Bounded recovery gave up (max_recovery_attempts): a distinct exit
     // code so chaos harnesses can tell "declared unrecoverable" from an

@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Regenerate the CI perf-gate baselines (bench/baselines/*.json).
+#
+# The perf-gate CI job reruns exactly these seeded workloads and diffs the
+# fresh PERF_report.json documents against the checked-in ones with
+# `gnbody perf diff` (counted metrics gate hard at 0% growth; wall-clock
+# warns only). Run this script and commit the result whenever a change
+# legitimately moves a counted metric — more rounds, different exchange
+# volume, a new span — and say why in the commit message.
+#
+# The counted sections are host-independent by construction: the real run
+# is pinned to serial BSP (--compute-threads 1) with the scalar kernel so
+# the span/round/byte counts depend only on the seed, and the simulator is
+# deterministic for a fixed seed (its calibrated *timings* vary by host,
+# but timings are warn-only).
+#
+# Usage: tools/refresh_baselines.sh [out_dir]
+#   BUILD_DIR=build   build tree holding tools/gnbody (default: build)
+#   out_dir           where to write the baselines (default: bench/baselines)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+OUT=${1:-bench/baselines}
+GNBODY=$BUILD_DIR/tools/gnbody
+
+if [[ ! -x $GNBODY ]]; then
+  echo "error: $GNBODY not found — build the gnbody target first" >&2
+  exit 1
+fi
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+mkdir -p "$OUT"
+
+echo "== seeded dataset =="
+"$GNBODY" simulate --genome 20000 --coverage 8 --seed 7 --out "$workdir/reads.fa"
+
+echo "== real 4-rank BSP run (serial, scalar kernel) =="
+"$GNBODY" overlap --in "$workdir/reads.fa" --out "$workdir/overlaps.paf" \
+  --ranks 4 --engine bsp --compute-threads 1 --batch-aligner scalar \
+  --trace "$workdir/trace_real_bsp.json" --metrics "$workdir/metrics_real_bsp.json"
+"$GNBODY" perf report "$workdir/trace_real_bsp.json" \
+  --metrics "$workdir/metrics_real_bsp.json" \
+  --out "$OUT/PERF_real_bsp.json" > /dev/null
+
+echo "== simulated 64-node runs (both engines) =="
+for engine in bsp async; do
+  "$GNBODY" sim --dataset tiny --nodes 64 --engine "$engine" --seed 42 \
+    --batch-aligner scalar \
+    --trace "$workdir/trace_sim_$engine.json" \
+    --metrics "$workdir/metrics_sim_$engine.json"
+  "$GNBODY" perf report "$workdir/trace_sim_$engine.json" \
+    --metrics "$workdir/metrics_sim_$engine.json" \
+    --out "$OUT/PERF_sim_$engine.json" > /dev/null
+done
+
+echo "== wrote =="
+ls -l "$OUT"/PERF_*.json
