@@ -10,6 +10,10 @@
 #include <cstdio>
 
 #include "figlib.hpp"
+#include "proto/config.hpp"
+#include "sim/assignment.hpp"
+#include "sim/perf_model.hpp"
+#include "sim/report.hpp"
 
 using namespace gnb;
 
@@ -47,6 +51,65 @@ int main(int argc, char** argv) {
   }
   std::printf("[fig9] max async efficiency gain: %.1f%% (paper: up to 20%% at 8-32 nodes; "
               "BSP comm 17-34%%)\n", 100 * max_gain);
+
+  // --- Wire-codec sweep at 32 nodes (the worst memory-limited point):
+  // same workload, same machine, only the exchange codec varies. The rows
+  // land in BENCH_fig9.json keyed by "wire", so the perf gate tracks
+  // wire.sent_bytes per mode; acceptance is >= 3x fewer wire bytes for
+  // pack2-rle vs the paper-faithful char exchange (off). ---
+  std::uint64_t wire_off = 0, wire_rle = 0;
+  for (const proto::WireCompression mode :
+       {proto::WireCompression::kOff, proto::WireCompression::kPack2,
+        proto::WireCompression::kPack2Rle, proto::WireCompression::kAuto}) {
+    sim::MachineParams machine = bench::scaled_machine(context, 32);
+    machine.memory_per_core = capacity;
+    sim::SimOptions options;
+    options.calibration = context.calibration;
+    options.proto.wire_compression = mode;
+    const auto pair = bench::simulate_pair(context, machine, options);
+    report.add_pair("wire", proto::to_string(mode), pair);
+    std::printf("[fig9] wire=%-9s sent=%7.1f MB raw=%7.1f MB  %5.2fx\n",
+                proto::to_string(mode),
+                static_cast<double>(pair.bsp.wire_sent_bytes) / 1e6,
+                static_cast<double>(pair.bsp.wire_raw_bytes) / 1e6,
+                pair.bsp.compression_ratio());
+    if (mode == proto::WireCompression::kOff) wire_off = pair.bsp.wire_sent_bytes;
+    if (mode == proto::WireCompression::kPack2Rle) wire_rle = pair.bsp.wire_sent_bytes;
+  }
+  if (wire_rle != 0) {
+    std::printf("[fig9] pack2-rle wire bytes: %.2fx reduction vs off (target >= 3x)\n",
+                static_cast<double>(wire_off) / static_cast<double>(wire_rle));
+  }
+
+  // --- 512-node two-level prediction: the hierarchy-aware exchange dedups
+  // same-read pulls within a node, so each (node, node) pair ships a read
+  // at most once per round. The flat run and the two-level run share one
+  // locality-aware assignment; only proto.ranks_per_node differs. ---
+  {
+    sim::MachineParams m512 = bench::scaled_machine(context, 512);
+    m512.memory_per_core = capacity;
+    const sim::SimAssignment a512 =
+        sim::assign(context.workload, m512.total_ranks(), sim::BalancePolicy::kLocalityAware,
+                    proto::wire_compression_from_env());
+    sim::SimOptions opts;
+    opts.calibration = context.calibration;
+    opts.proto.compute_threads = context.compute_threads;
+    const sim::SimResult flat = sim::simulate_bsp(m512, a512, opts);
+    opts.proto.ranks_per_node = m512.cores_per_node;
+    const sim::SimResult hier = sim::simulate_bsp(m512, a512, opts);
+    report.add({{"hier512", "flat"}, {"engine", "BSP"}}, sim::reduce(flat));
+    report.add({{"hier512", "two-level"}, {"engine", "BSP"}}, sim::reduce(hier));
+    const double byte_cut = flat.inter_node_bytes == 0
+                                ? 1.0
+                                : static_cast<double>(flat.inter_node_bytes) /
+                                      static_cast<double>(hier.inter_node_bytes);
+    std::printf("[fig9] 512 nodes two-level: inter-node %7.1f -> %7.1f MB (%.2fx), "
+                "runtime %.2fs -> %.2fs\n",
+                static_cast<double>(flat.inter_node_bytes) / 1e6,
+                static_cast<double>(hier.inter_node_bytes) / 1e6, byte_cut, flat.runtime,
+                hier.runtime);
+  }
+
   table.print("Figure 9 — Human CCS, 8-64 nodes (BSP memory-limited)");
   if (!csv->empty()) table.write_csv(*csv);
   report.write();

@@ -40,18 +40,25 @@ std::uint64_t ccs_capacity(const FigureContext& context) {
   // single-round from 64 on). The workload is scaled, so the 1.4 GB
   // absolute line is replaced by this workload-relative equivalent.
   const sim::MachineParams machine64 = scaled_machine(context, 64);
+  // Size the crossover under the active wire codec: compression shrinks
+  // the exchange, so the capacity that makes 64 nodes single-round must
+  // shrink with it or the 8-32 node points stop being memory-limited.
   const sim::SimAssignment assignment =
-      sim::assign(context.workload, machine64.total_ranks());
+      sim::assign(context.workload, machine64.total_ranks(), sim::BalancePolicy::kCountBalanced,
+                  proto::wire_compression_from_env());
   return static_cast<std::uint64_t>(
       1.02 * static_cast<double>(sim::single_round_capacity(assignment)));
 }
 
 PairResult simulate_pair(const FigureContext& context, const sim::MachineParams& machine,
                          const sim::SimOptions& options) {
-  const sim::SimAssignment assignment =
-      sim::assign(context.workload, machine.total_ranks());
   sim::SimOptions opts = options;
   if (opts.proto.compute_threads <= 1) opts.proto.compute_threads = context.compute_threads;
+  // Size the modeled pulls with the active wire codec so the row's
+  // exchange/wire-byte columns reflect what the engines would ship.
+  const sim::SimAssignment assignment =
+      sim::assign(context.workload, machine.total_ranks(), sim::BalancePolicy::kCountBalanced,
+                  opts.proto.wire_compression);
   PairResult pair;
   pair.bsp = sim::reduce(sim::simulate_bsp(machine, assignment, opts));
   pair.async = sim::reduce(sim::simulate_async(machine, assignment, opts));

@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <optional>
 
+#include <unordered_map>
+
 #include "core/recovery.hpp"
 #include "obs/spans.hpp"
 #include "obs/trace.hpp"
 #include "proto/config.hpp"
 #include "proto/pull_index.hpp"
 #include "proto/round_planner.hpp"
+#include "seq/wire_codec.hpp"
 #include "util/error.hpp"
 #include "util/wire.hpp"
 
@@ -32,6 +35,17 @@ EngineResult bsp_align(rt::Rank& rank, const seq::ReadStore& store,
   // fault-free path). Constructing the context publishes this rank's phase
   // manifest before the first crash point can fire.
   const bool chaos = rank.faults() != nullptr;
+
+  const proto::WireCompression wire_mode = config.proto.wire_compression;
+  const bool wire_spans = wire_mode != proto::WireCompression::kOff;
+  // Two-level aggregation is a fault-free optimization: recovery's
+  // report_missing protocol depends on the flat FIFO needed[o] serve order,
+  // which proxy forwarding breaks, so under a fault plan the knob is
+  // ignored and the exchange stays flat.
+  const std::size_t ranks_per_node =
+      (!chaos && config.proto.ranks_per_node > 1) ? config.proto.ranks_per_node : 1;
+  const bool hierarchy = ranks_per_node > 1;
+  const auto node_of = [ranks_per_node](std::size_t r) { return r / ranks_per_node; };
 
   // A restarted rank cannot replay the phase's collectives — the survivors
   // are mid-protocol. Its comeback: park at the admission gate until the
@@ -99,7 +113,59 @@ EngineResult bsp_align(rt::Rank& rank, const seq::ReadStore& store,
   };
 
   // --- request exchange: tell each owner which reads to send me ---
-  const std::vector<std::vector<std::uint32_t>> needed = index.needed_by_owner(p);
+  std::vector<std::vector<std::uint32_t>> needed = index.needed_by_owner(p);
+
+  // --- hierarchy pre-pass: dedup remote-node pulls across the node ---
+  // Co-located ranks share their remote-node need lists; for every read
+  // needed from another node, the lowest co-located requester becomes the
+  // node's proxy — only it keeps the pull, and it re-ships the read to the
+  // other needers over the intra-node forward collective each round. Each
+  // (node, node) pair thus ships a read at most once per round.
+  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> forward_to;
+  if (hierarchy) {
+    GNB_SPAN(obs::span::kBspRequestExchange);
+    rank.timers().overhead.start();
+    Bytes my_list;
+    for (std::size_t o = 0; o < p; ++o) {
+      if (node_of(o) == node_of(me)) continue;
+      for (const std::uint32_t id : needed[o]) wire::put<std::uint32_t>(my_list, id);
+    }
+    std::vector<Bytes> share(p);
+    for (std::size_t peer = 0; peer < p; ++peer)
+      if (peer != me && node_of(peer) == node_of(me)) share[peer] = my_list;
+    rank.timers().overhead.stop();
+    const std::vector<Bytes> shared = rank.alltoallv(std::move(share));
+    rank.timers().overhead.start();
+    // Lowest co-located requester of each read I need; peers needing it too.
+    std::unordered_map<std::uint32_t, std::uint32_t> proxy;
+    std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> requesters;
+    for (std::size_t o = 0; o < p; ++o) {
+      if (node_of(o) == node_of(me)) continue;
+      for (const std::uint32_t id : needed[o]) proxy.emplace(id, me);
+    }
+    for (std::size_t src = 0; src < p; ++src) {
+      std::size_t offset = 0;
+      while (offset < shared[src].size()) {
+        const auto id = wire::get<std::uint32_t>(shared[src], offset);
+        const auto it = proxy.find(id);
+        if (it == proxy.end()) continue;  // a read I don't need; not my proxy job
+        it->second = std::min(it->second, static_cast<std::uint32_t>(src));
+        requesters[id].push_back(static_cast<std::uint32_t>(src));
+      }
+    }
+    for (std::size_t o = 0; o < p; ++o) {
+      if (node_of(o) == node_of(me)) continue;
+      std::vector<std::uint32_t> kept;
+      for (const std::uint32_t id : needed[o]) {
+        if (proxy.at(id) != me) continue;  // a lower peer pulls and forwards it
+        kept.push_back(id);
+        const auto peers = requesters.find(id);
+        if (peers != requesters.end()) forward_to.emplace(id, peers->second);
+      }
+      needed[o] = std::move(kept);
+    }
+    rank.timers().overhead.stop();
+  }
   std::vector<std::vector<seq::ReadId>> to_serve(p);
   std::vector<std::vector<std::uint64_t>> serve_sizes(p);
   std::vector<std::uint64_t> serve_totals(p, 0);
@@ -121,7 +187,7 @@ EngineResult bsp_align(rt::Rank& rank, const seq::ReadStore& store,
       while (offset < request_bufs[src].size()) {
         const auto id = wire::get<std::uint32_t>(request_bufs[src], offset);
         const std::uint64_t bytes =
-            seq::serialized_read_bytes(local_read(store, bounds, me, id));
+            seq::encoded_read_bytes(local_read(store, bounds, me, id), wire_mode);
         to_serve[src].push_back(id);
         serve_sizes[src].push_back(bytes);
         serve_totals[src] += bytes;
@@ -226,19 +292,29 @@ EngineResult bsp_align(rt::Rank& rank, const seq::ReadStore& store,
     // (the quantities the simulator budgets) count serialized reads only.
     std::vector<Bytes> send(p);
     std::uint64_t packed = 0;
-    for (std::size_t dst = 0; dst < p; ++dst) {
-      if (step.per_dest[dst] == 0) continue;
-      wire::begin_checksum(send[dst]);
-      for (std::uint32_t i = 0; i < step.per_dest[dst]; ++i) {
-        const seq::Read& read = local_read(store, bounds, me, to_serve[dst][next[dst]]);
-        seq::serialize_read(read, send[dst]);
-        packed += seq::serialized_read_bytes(read);
-        ++next[dst];
+    const auto pack_round = [&] {
+      for (std::size_t dst = 0; dst < p; ++dst) {
+        if (step.per_dest[dst] == 0) continue;
+        wire::begin_checksum(send[dst]);
+        for (std::uint32_t i = 0; i < step.per_dest[dst]; ++i) {
+          const seq::Read& read = local_read(store, bounds, me, to_serve[dst][next[dst]]);
+          const std::size_t before = send[dst].size();
+          seq::encode_read(read, wire_mode, send[dst]);
+          packed += send[dst].size() - before;
+          ++next[dst];
+        }
+        wire::seal_checksum(send[dst]);
       }
-      wire::seal_checksum(send[dst]);
+    };
+    if (wire_spans) {
+      GNB_SPAN(obs::span::kWireCompress, "bytes", step.bytes);
+      pack_round();
+    } else {
+      pack_round();
     }
     GNB_CHECK_MSG(packed == step.bytes, "executed round diverged from plan");
     result.round_bytes.push_back(packed);
+    result.exchange_bytes_sent += packed;
     for (const Bytes& buffer : send) rank.memory().charge(buffer.size());
 
     checkpoint();
@@ -251,30 +327,92 @@ EngineResult bsp_align(rt::Rank& rank, const seq::ReadStore& store,
     result.exchange_bytes_received += received_bytes;
     result.messages += p;  // one aggregated buffer per peer per round
 
+    // Intra-node forward buffers, filled while the main buffers unpack
+    // (hierarchy mode only): a proxied read is re-framed for each
+    // co-located rank that also requested it.
+    std::vector<Bytes> fwd(hierarchy ? p : 0);
+    const auto forward_read = [&](const seq::Read& remote) {
+      const auto peers = forward_to.find(remote.id);
+      if (peers == forward_to.end()) return;
+      for (const std::uint32_t peer : peers->second) {
+        if (fwd[peer].empty()) wire::begin_checksum(fwd[peer]);
+        seq::encode_read(remote, wire_mode, fwd[peer]);
+      }
+    };
+
     // "All pairwise alignments associated with each received read are
     // computed together, when the respective read is accessed from the
-    // message buffer."
+    // message buffer." Each buffer is decoded as a unit (the decompress
+    // span the simulator mirrors), then its reads' tasks run in order.
+    std::vector<seq::Read> decoded;
+    const auto decode_buffer = [&](const Bytes& buffer, std::size_t& offset) {
+      rank.timers().overhead.start();
+      while (offset < buffer.size()) decoded.push_back(seq::decode_read(buffer, offset));
+      rank.timers().overhead.stop();
+    };
+    const auto consume = [&](std::size_t src) {
+      const Bytes& buffer = received[src];
+      if (buffer.empty()) return;
+      std::size_t offset = 0;
+      if (!wire::verify_checksum(buffer, offset)) {
+        ++rank.fault_counters().checksum_failures;
+        GNB_CHECK_MSG(false, "BSP round " << round << ": corrupt payload from rank " << src);
+      }
+      decoded.clear();
+      if (wire_spans) {
+        GNB_SPAN(obs::span::kWireDecompress, "bytes", buffer.size() - wire::kChecksumBytes);
+        decode_buffer(buffer, offset);
+      } else {
+        decode_buffer(buffer, offset);
+      }
+      for (const seq::Read& remote : decoded) {
+        result.wire_raw_bytes += seq::raw_read_bytes(remote);
+        if (hierarchy) forward_read(remote);
+        run_tasks_for(remote);
+        ++received_count[src];
+      }
+    };
     {
       GNB_SPAN(obs::span::kBspCompute);
+      for (std::size_t src = 0; src < p; ++src) consume(src);
+    }
+    rank.memory().release(received_bytes);
+
+    // --- intra-node forward step: proxied reads reach their co-needers ---
+    if (hierarchy) {
+      std::uint64_t fwd_packed = 0;
+      for (Bytes& buffer : fwd) {
+        if (buffer.empty()) continue;
+        wire::seal_checksum(buffer);
+        fwd_packed += buffer.size() - wire::kChecksumBytes;
+      }
+      result.exchange_bytes_sent += fwd_packed;
+      const std::vector<Bytes> fwd_received = rank.alltoallv(std::move(fwd));
+      result.messages += p;
+      GNB_SPAN(obs::span::kBspCompute);
       for (std::size_t src = 0; src < p; ++src) {
-        const Bytes& buffer = received[src];
+        const Bytes& buffer = fwd_received[src];
         if (buffer.empty()) continue;
         std::size_t offset = 0;
         if (!wire::verify_checksum(buffer, offset)) {
           ++rank.fault_counters().checksum_failures;
           GNB_CHECK_MSG(false,
-                        "BSP round " << round << ": corrupt payload from rank " << src);
+                        "BSP forward round " << round << ": corrupt payload from rank " << src);
         }
-        while (offset < buffer.size()) {
-          rank.timers().overhead.start();
-          const seq::Read remote = seq::deserialize_read(buffer, offset);
-          rank.timers().overhead.stop();
+        result.exchange_bytes_received += buffer.size() - wire::kChecksumBytes;
+        decoded.clear();
+        if (wire_spans) {
+          GNB_SPAN(obs::span::kWireDecompress, "bytes", buffer.size() - wire::kChecksumBytes);
+          decode_buffer(buffer, offset);
+        } else {
+          decode_buffer(buffer, offset);
+        }
+        for (const seq::Read& remote : decoded) {
+          result.wire_raw_bytes += seq::raw_read_bytes(remote);
           run_tasks_for(remote);
-          ++received_count[src];
         }
       }
     }
-    rank.memory().release(received_bytes);
     // Merge whatever the workers finished while this round exchanged and
     // unpacked; the remaining tail overlaps the next round's alltoallv.
     runner.poll();

@@ -57,6 +57,8 @@ void flush_engine_metrics(rt::Rank& rank, const EngineResult& result) {
   registry.add(obs::metric::kAlignAccepted, result.accepted.size());
   registry.add(obs::metric::kExchangeBytes, result.exchange_bytes_received);
   registry.add(obs::metric::kExchangeMessages, result.messages);
+  registry.add(obs::metric::kWireRawBytes, result.wire_raw_bytes);
+  registry.add(obs::metric::kWireSentBytes, result.exchange_bytes_sent);
   registry.gauge_max(obs::metric::kExchangeRounds, result.rounds);
   // Process-wide DP scratch watermark: every rank reports the same value,
   // gauge_max keeps the merge well-defined.

@@ -45,12 +45,27 @@ struct EngineConfig {
 struct EngineResult {
   std::vector<align::AlignmentRecord> accepted;
   std::uint64_t tasks_done = 0;
-  std::uint64_t cells = 0;                    // DP cells evaluated
-  std::uint64_t exchange_bytes_received = 0;  // BSP: Fig-6 loads; Async: reply bytes
-  std::uint64_t rounds = 0;                   // BSP supersteps executed
-  std::uint64_t messages = 0;                 // RPCs or exchange buffers sent
-  std::vector<std::uint64_t> round_bytes;     // BSP: payload sent per superstep
-  stat::ComputeCounters compute;              // cache/pool accounting (TaskRunner::flush)
+  std::uint64_t cells = 0;  // DP cells evaluated
+  /// On-the-wire read-payload bytes received: the framed codec bytes of
+  /// every read this rank pulled, excluding checksum and RPC-logical
+  /// headers. Both engines count the same quantity (it used to mean Fig-6
+  /// load bytes in BSP but reply bytes in async), so fig9 and the CI perf
+  /// gate compare like with like, and proto::ExchangePlan.exchange_bytes
+  /// plans it.
+  std::uint64_t exchange_bytes_received = 0;
+  /// On-the-wire read-payload bytes this rank sent (same framing rules).
+  /// Fault-free, sums of sent and received agree across the world — the
+  /// byte-conservation invariant tests/test_wire asserts.
+  std::uint64_t exchange_bytes_sent = 0;
+  /// Off-codec-equivalent bytes of the payloads received: what the same
+  /// reads would have cost uncompressed. Invariant across compression
+  /// modes; wire_raw_bytes / exchange_bytes_received is the compression
+  /// ratio.
+  std::uint64_t wire_raw_bytes = 0;
+  std::uint64_t rounds = 0;                // BSP supersteps executed
+  std::uint64_t messages = 0;              // RPCs or exchange buffers sent
+  std::vector<std::uint64_t> round_bytes;  // BSP: payload sent per superstep
+  stat::ComputeCounters compute;           // cache/pool accounting (TaskRunner::flush)
 };
 
 /// Fetch a read this rank owns; aborts if `id` is not in the rank's

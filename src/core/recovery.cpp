@@ -7,6 +7,7 @@
 #include "obs/trace.hpp"
 #include "proto/config.hpp"
 #include "proto/round_planner.hpp"
+#include "seq/wire_codec.hpp"
 #include "util/error.hpp"
 #include "util/timer.hpp"
 #include "util/wire.hpp"
@@ -386,7 +387,8 @@ void RecoveryContext::recover(
       while (offset < request_bufs[src].size()) {
         const auto id = wire::get<std::uint32_t>(request_bufs[src], offset);
         if (!map.owns(me, id)) continue;  // stale view; the requester retries
-        const std::uint64_t bytes = seq::serialized_read_bytes(store_.get(id));
+        const std::uint64_t bytes =
+            seq::encoded_read_bytes(store_.get(id), config_.proto.wire_compression);
         to_serve[src].push_back(id);
         serve_sizes[src].push_back(bytes);
         serve_totals[src] += bytes;
@@ -408,7 +410,8 @@ void RecoveryContext::recover(
         if (round_plan.rounds[round].per_dest[dst] == 0) continue;
         wire::begin_checksum(send[dst]);
         for (std::uint32_t i = 0; i < round_plan.rounds[round].per_dest[dst]; ++i)
-          seq::serialize_read(store_.get(to_serve[dst][next[dst]++]), send[dst]);
+          seq::encode_read(store_.get(to_serve[dst][next[dst]++]),
+                           config_.proto.wire_compression, send[dst]);
         wire::seal_checksum(send[dst]);
       }
       std::vector<Bytes> received = rank_.alltoallv(std::move(send));
@@ -421,7 +424,7 @@ void RecoveryContext::recover(
           GNB_CHECK_MSG(false, "recovery exchange: corrupt payload from rank " << src);
         }
         while (offset < buffer.size()) {
-          seq::Read read = seq::deserialize_read(buffer, offset);
+          seq::Read read = seq::decode_read(buffer, offset);
           fetched_.emplace(read.id, std::move(read));
         }
       }

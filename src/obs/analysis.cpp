@@ -447,7 +447,8 @@ bool counted_metric(std::string_view name) {
          name.starts_with("pipeline."sv) || name.starts_with("graph."sv) ||
          name.starts_with("fault."sv) || name.starts_with("detector."sv) ||
          name.starts_with("rejoin."sv) || name.starts_with("corrupt."sv) ||
-         name.starts_with("rpc."sv) || name.starts_with("trace."sv);
+         name.starts_with("rpc."sv) || name.starts_with("trace."sv) ||
+         name.starts_with("wire."sv);
 }
 
 void merge_metrics_json(Report& report, std::string_view metrics_json) {

@@ -39,6 +39,13 @@ inline constexpr const char* kComputePool = "compute.pool";
 // engines and the sim, for the same parity reason as kComputePool.
 inline constexpr const char* kComputeBatch = "compute.batch";
 
+// Wire codec (seq/wire_codec): frame packing before a send, frame decode
+// after a receive. Emitted iff wire_compression != off — by the real
+// engines and the sim under the same gate, since the sim-vs-real parity
+// tests compare span-name sets.
+inline constexpr const char* kWireCompress = "wire.compress";
+inline constexpr const char* kWireDecompress = "wire.decompress";
+
 // Recovery and checkpointing.
 inline constexpr const char* kRecovery = "recovery.recover";
 inline constexpr const char* kCkptSave = "ckpt.save";
@@ -100,6 +107,13 @@ inline constexpr const char* kPipelineTasks = "pipeline.tasks";
 inline constexpr const char* kReplyBytesHist = "rpc.reply_bytes";
 inline constexpr const char* kRoundBytesHist = "exchange.round_bytes";
 inline constexpr const char* kAlignScratchBytes = "align.scratch_bytes";
+
+// Wire codec accounting: `raw` is the off-codec-equivalent size of every
+// read payload received (invariant across compression modes), `sent` the
+// framed bytes actually shipped. raw / sent is the compression ratio the
+// breakdown table reports.
+inline constexpr const char* kWireRawBytes = "wire.raw_bytes";
+inline constexpr const char* kWireSentBytes = "wire.sent_bytes";
 
 // Distributed graph phases.
 inline constexpr const char* kGraphEdges = "graph.edges";

@@ -40,4 +40,28 @@ BatchAlignerKind batch_aligner_from_env(BatchAlignerKind fallback) {
   return parse_batch_aligner(raw).value_or(fallback);
 }
 
+const char* to_string(WireCompression mode) {
+  switch (mode) {
+    case WireCompression::kOff: return "off";
+    case WireCompression::kPack2: return "pack2";
+    case WireCompression::kPack2Rle: return "pack2-rle";
+    case WireCompression::kAuto: return "auto";
+  }
+  return "auto";
+}
+
+std::optional<WireCompression> parse_wire_compression(std::string_view name) {
+  if (name == "off") return WireCompression::kOff;
+  if (name == "pack2") return WireCompression::kPack2;
+  if (name == "pack2-rle") return WireCompression::kPack2Rle;
+  if (name == "auto") return WireCompression::kAuto;
+  return std::nullopt;
+}
+
+WireCompression wire_compression_from_env(WireCompression fallback) {
+  const char* raw = std::getenv("GNB_WIRE_COMPRESSION");
+  if (raw == nullptr || *raw == '\0') return fallback;
+  return parse_wire_compression(raw).value_or(fallback);
+}
+
 }  // namespace gnb::proto

@@ -54,6 +54,31 @@ enum class BatchAlignerKind : std::uint8_t {
 /// fixture; results are bit-identical either way (tests/test_fuzz_parity).
 BatchAlignerKind batch_aligner_from_env(BatchAlignerKind fallback = BatchAlignerKind::kAuto);
 
+/// How read payloads are encoded on the exchange wire (seq/wire_codec).
+/// DNA is 2-bit-codable, so the uncompressed `kOff` frame (one code byte
+/// per base, the paper's char exchange) leaves an easy ~4x on the table.
+/// Every mode decodes to bit-identical reads, so the knob changes wire
+/// bytes and nothing else — engine *output* is byte-identical across
+/// modes (tests/test_wire).
+enum class WireCompression : std::uint8_t {
+  kOff,       // 1 byte per base: the paper-faithful char exchange
+  kPack2,     // 4 bases per byte + N-position sidecar
+  kPack2Rle,  // kPack2 + run-length escape for homopolymer runs (>= 4)
+  kAuto,      // per read: whichever of kPack2 / kPack2Rle is smaller
+};
+
+[[nodiscard]] const char* to_string(WireCompression mode);
+
+/// Parse "off" | "pack2" | "pack2-rle" | "auto"; nullopt on anything else.
+[[nodiscard]] std::optional<WireCompression> parse_wire_compression(std::string_view name);
+
+/// Resolve the wire codec from the GNB_WIRE_COMPRESSION environment
+/// variable (unset, empty, or unparsable → `fallback`). ProtoConfig's
+/// default `wire_compression` is seeded through this so CI legs can force
+/// the whole default-config test matrix through one codec; decoded reads
+/// are bit-identical either way (tests/test_wire).
+WireCompression wire_compression_from_env(WireCompression fallback = WireCompression::kAuto);
+
 /// Coordination-protocol configuration, one set of defaults for both
 /// backends (previously core::EngineConfig and sim::SimOptions carried
 /// divergent copies of these knobs).
@@ -106,6 +131,24 @@ struct ProtoConfig {
   /// forward and reverse-complement code vectors, LRU-evicted once the
   /// bound is exceeded. 0 = unbounded.
   std::uint64_t read_cache_bytes = 32ull << 20;
+
+  /// Wire codec for read payloads in the BSP round exchange, the async
+  /// reply path, and recovery re-fetches. Overridable host-wide via
+  /// GNB_WIRE_COMPRESSION (off | pack2 | pack2-rle | auto).
+  WireCompression wire_compression = wire_compression_from_env(WireCompression::kAuto);
+
+  /// Ranks per physical node for hierarchy-aware exchange aggregation
+  /// (Abduljabbar et al.'s two-level all-to-all). 1 = flat exchange, the
+  /// default. When > 1 and the run is fault-free, the BSP engine dedups
+  /// pulls of the same remote read across co-located ranks: the lowest
+  /// co-located requester acts as the node's proxy and forwards the read
+  /// to its node peers over an intra-node alltoallv, so each (node, node)
+  /// pair ships every read at most once per round. Under fault injection
+  /// the knob is ignored (recovery's report_missing protocol relies on the
+  /// flat FIFO per-owner serve order). The async engine applies the same
+  /// grouping to its request window only; the simulator costs the full
+  /// two-level plan (proto::plan_node_exchange).
+  std::size_t ranks_per_node = 1;
 
   /// Upper bound on recovery convergence: the number of
   /// core::RecoveryContext::recover() fixpoint iterations (and distributed

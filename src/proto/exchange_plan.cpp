@@ -1,9 +1,12 @@
 #include "proto/exchange_plan.hpp"
 
 #include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "proto/pull_index.hpp"
 #include "proto/round_planner.hpp"
+#include "util/error.hpp"
 
 namespace gnb::proto {
 
@@ -17,8 +20,75 @@ ExchangePlan plan_exchange(const std::vector<RankExchangeInput>& ranks,
     plan.rounds = std::max(plan.rounds, rounds_needed(rank.pull_bytes + rank.serve_bytes, budget));
     plan.async_messages += batched_message_count(rank.pulls_per_owner, config.async_batch);
     plan.exchange_bytes += rank.pull_bytes;
+    plan.raw_bytes += rank.raw_pull_bytes;
   }
   plan.bsp_messages = plan.rounds * p * p;
+  return plan;
+}
+
+NodeExchangePlan plan_node_exchange(const NodePlanInput& input, const ProtoConfig& config) {
+  const std::size_t p = input.pulls.size();
+  const std::size_t rpn = std::max<std::size_t>(1, input.ranks_per_node);
+  const auto node_of = [rpn](std::uint32_t rank) -> std::uint64_t { return rank / rpn; };
+
+  // Pass 1: elect the proxy for every (requesting node, remote read) pair —
+  // the lowest co-located rank that needs the read, exactly the engine's
+  // choice. Iterating ranks ascending makes emplace() keep the minimum.
+  std::unordered_map<std::uint64_t, std::uint32_t> proxy;
+  for (std::uint32_t r = 0; r < p; ++r) {
+    for (const PullRequest& pull : input.pulls[r]) {
+      GNB_CHECK_MSG(pull.owner != r, "rank " << r << " pulls its own read " << pull.read);
+      if (node_of(pull.owner) == node_of(r)) continue;  // same node: no aggregation
+      const std::uint64_t key = (node_of(r) << 32) | pull.read;
+      proxy.emplace(key, r);
+    }
+  }
+
+  // Pass 2: accumulate per-rank deduped direct traffic, the byte split, and
+  // the active node pairs.
+  std::vector<std::uint64_t> direct_pull(p, 0);
+  std::vector<std::uint64_t> direct_serve(p, 0);
+  std::unordered_set<std::uint64_t> node_pairs;  // ordered (src node, dst node)
+  NodeExchangePlan plan;
+  for (std::uint32_t r = 0; r < p; ++r) {
+    for (const PullRequest& pull : input.pulls[r]) {
+      plan.exchange_bytes += pull.bytes;
+      plan.raw_bytes += pull.raw_bytes;
+      if (node_of(pull.owner) == node_of(r)) {
+        // Same-node pull: served directly, never crosses the NIC.
+        direct_pull[r] += pull.bytes;
+        direct_serve[pull.owner] += pull.bytes;
+        plan.intra_node_bytes += pull.bytes;
+        continue;
+      }
+      plan.flat_inter_node_bytes += pull.bytes;
+      const std::uint64_t key = (node_of(r) << 32) | pull.read;
+      if (proxy.at(key) == r) {
+        // Proxy: the one inter-node copy of this read for the whole node.
+        direct_pull[r] += pull.bytes;
+        direct_serve[pull.owner] += pull.bytes;
+        plan.inter_node_bytes += pull.bytes;
+        node_pairs.insert((node_of(pull.owner) << 32) | node_of(r));
+      } else {
+        // Non-proxy needer: receives the read from the proxy over the
+        // intra-node forward collective instead of from the owner.
+        plan.intra_node_bytes += pull.bytes;
+      }
+    }
+  }
+
+  // Rounds budget the deduped direct traffic only — forwards ride along in
+  // the same superstep, mirroring the engine's round planner inputs.
+  for (std::uint32_t r = 0; r < p; ++r) {
+    const std::uint64_t budget = (r < input.budgets.size() && input.budgets[r] != 0)
+                                     ? input.budgets[r]
+                                     : effective_round_budget(config, 0, 0);
+    plan.rounds = std::max(plan.rounds, rounds_needed(direct_pull[r] + direct_serve[r], budget));
+  }
+  const auto p64 = static_cast<std::uint64_t>(p);
+  // Main alltoallv plus the intra-node forward collective, every round.
+  plan.bsp_messages = plan.rounds * 2 * p64 * p64;
+  plan.node_messages = plan.rounds * static_cast<std::uint64_t>(node_pairs.size());
   return plan;
 }
 

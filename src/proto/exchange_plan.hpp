@@ -5,18 +5,22 @@
 // count via allreduce_max over rounds_needed, message counts locally) —
 // tests/test_parity asserts the two agree.
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
 #include "proto/config.hpp"
+#include "proto/pull_index.hpp"
 
 namespace gnb::proto {
 
 /// One rank's exchange-relevant totals, backend-agnostic.
 struct RankExchangeInput {
-  /// Bytes of remote reads this rank pulls in (receive side).
+  /// Wire bytes of remote reads this rank pulls in (receive side, codec
+  /// frame sizes — the quantity EngineResult.exchange_bytes_received
+  /// counts).
   std::uint64_t pull_bytes = 0;
-  /// Bytes of owned reads this rank ships out (serve side).
+  /// Wire bytes of owned reads this rank ships out (serve side).
   std::uint64_t serve_bytes = 0;
   /// Distinct-pull counts toward each serving peer (only nonzero entries
   /// matter; order is irrelevant) — async message accounting.
@@ -24,6 +28,8 @@ struct RankExchangeInput {
   /// Resolved per-rank round budget (effective_round_budget); 0 falls back
   /// to the config default.
   std::uint64_t budget = 0;
+  /// Off-codec-equivalent bytes of the same pulls (wire.raw_bytes).
+  std::uint64_t raw_pull_bytes = 0;
 };
 
 /// Global protocol decisions for one exchange phase.
@@ -35,11 +41,63 @@ struct ExchangePlan {
   std::uint64_t bsp_messages = 0;
   /// Async: batched pull RPCs = sum over (rank, owner) of ceil(n / batch).
   std::uint64_t async_messages = 0;
-  /// Total payload pulled across all ranks.
+  /// Total wire payload pulled across all ranks — the same on-the-wire
+  /// quantity both engines report as exchange_bytes_received.
   std::uint64_t exchange_bytes = 0;
+  /// Off-codec-equivalent of exchange_bytes (invariant across codecs).
+  std::uint64_t raw_bytes = 0;
 };
 
 [[nodiscard]] ExchangePlan plan_exchange(const std::vector<RankExchangeInput>& ranks,
                                          const ProtoConfig& config);
+
+/// Input to the two-level (hierarchy-aware) plan: the full per-rank pull
+/// lists, since node-level dedup needs read identities, not just totals.
+struct NodePlanInput {
+  /// pulls[r] = deduplicated pulls of rank r (PullRequest.bytes = wire
+  /// frame size, .raw_bytes = off-equivalent; owner must not be r).
+  std::vector<std::vector<PullRequest>> pulls;
+  /// Per-rank round budgets; empty or 0 entries fall back to the config
+  /// default (effective_round_budget(config, 0, 0)).
+  std::vector<std::uint64_t> budgets;
+  std::size_t ranks_per_node = 1;
+};
+
+/// The two-level exchange plan (Abduljabbar et al.'s communication-reducing
+/// aggregation), mirroring exactly what the BSP engine executes when
+/// ProtoConfig.ranks_per_node > 1: every read needed from a remote node is
+/// pulled once per node by its lowest co-located requester (the proxy) and
+/// re-shipped to the other needers over the intra-node forward collective.
+/// Totals (exchange_bytes, raw_bytes) are conserved versus the flat plan —
+/// aggregation moves bytes from the inter-node wire to the intra-node one,
+/// it does not create or destroy payload.
+struct NodeExchangePlan {
+  /// Shared round formula on the *deduped* direct pulls and serves
+  /// (forwards ride along unbudgeted, like the engine).
+  std::uint64_t rounds = 0;
+  /// Rank-level buffers on the wire: rounds * 2p per rank (main alltoallv
+  /// plus the intra-node forward collective) — what EngineResult.messages
+  /// sums to under hierarchy.
+  std::uint64_t bsp_messages = 0;
+  /// Node-level coalesced messages per round: ordered (node, node) pairs
+  /// with nonzero deduped traffic, times rounds — the quantity the
+  /// hierarchical machine model charges per-message overhead for.
+  std::uint64_t node_messages = 0;
+  /// Total wire payload received across all ranks (direct + forwards);
+  /// equals the flat plan's exchange_bytes.
+  std::uint64_t exchange_bytes = 0;
+  /// Off-codec-equivalent of exchange_bytes.
+  std::uint64_t raw_bytes = 0;
+  /// Deduped wire bytes crossing node boundaries (the NIC-expensive term).
+  std::uint64_t inter_node_bytes = 0;
+  /// The same term without node dedup — what a flat exchange would ship
+  /// across nodes. inter_node_bytes <= flat_inter_node_bytes always.
+  std::uint64_t flat_inter_node_bytes = 0;
+  /// Intra-node wire bytes: same-node direct pulls plus proxy forwards.
+  std::uint64_t intra_node_bytes = 0;
+};
+
+[[nodiscard]] NodeExchangePlan plan_node_exchange(const NodePlanInput& input,
+                                                  const ProtoConfig& config);
 
 }  // namespace gnb::proto

@@ -6,6 +6,7 @@
 // decisions over RPC; the BSP engine derives its request lists from the
 // same index; the simulator costs them.
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <unordered_map>
@@ -17,8 +18,9 @@ namespace gnb::proto {
 /// remote read, no matter how many tasks need it.
 struct PullRequest {
   std::uint32_t read = 0;
-  std::uint32_t owner = 0;  // rank that serves the read
-  std::uint64_t bytes = 0;  // serialized read size on the wire (0 = unknown)
+  std::uint32_t owner = 0;      // rank that serves the read
+  std::uint64_t bytes = 0;      // wire frame size under the active codec (0 = unknown)
+  std::uint64_t raw_bytes = 0;  // off-codec-equivalent size (0 = unknown)
 };
 
 /// Indexes one rank's tasks by the remote read they need. Tasks are opaque
@@ -85,27 +87,50 @@ struct PullBatch {
 /// policy object is shared; the *waiting* is backend-specific — the engine
 /// polls RPC progress until below the limit, the simulator divides the
 /// round-trip ramp by the window.
+/// With `nnodes > 1` the window is additionally node-grouped (two-level
+/// aggregation): outstanding pulls per destination node are capped at the
+/// window's per-node share, so co-located owners are treated as one
+/// aggregation target and a single hot node cannot monopolize the
+/// in-flight budget. `nnodes == 0` is the flat window.
 class RequestWindow {
  public:
-  explicit RequestWindow(std::size_t limit) : limit_(limit == 0 ? 1 : limit) {}
+  explicit RequestWindow(std::size_t limit, std::size_t nnodes = 0)
+      : limit_(limit == 0 ? 1 : limit) {
+    if (nnodes > 1) {
+      node_in_flight_.assign(nnodes, 0);
+      node_limit_ = std::max<std::size_t>(1, limit_ / nnodes);
+    }
+  }
 
   [[nodiscard]] std::size_t limit() const { return limit_; }
-  [[nodiscard]] bool can_issue() const { return in_flight_ < limit_; }
+  [[nodiscard]] bool grouped() const { return !node_in_flight_.empty(); }
+  [[nodiscard]] std::size_t node_limit() const { return node_limit_; }
+  [[nodiscard]] bool can_issue(std::size_t node = 0) const {
+    if (in_flight_ >= limit_) return false;
+    return node_in_flight_.empty() || node_in_flight_[node] < node_limit_;
+  }
   [[nodiscard]] std::size_t in_flight() const { return in_flight_; }
+  [[nodiscard]] std::size_t node_in_flight(std::size_t node) const {
+    return node_in_flight_.empty() ? in_flight_ : node_in_flight_[node];
+  }
   [[nodiscard]] std::uint64_t issued() const { return issued_; }
 
-  void on_issue() {
+  void on_issue(std::size_t node = 0) {
     ++in_flight_;
     ++issued_;
+    if (!node_in_flight_.empty()) ++node_in_flight_[node];
   }
-  void on_reply() {
+  void on_reply(std::size_t node = 0) {
     if (in_flight_ > 0) --in_flight_;
+    if (!node_in_flight_.empty() && node_in_flight_[node] > 0) --node_in_flight_[node];
   }
 
  private:
   std::size_t limit_;
+  std::size_t node_limit_ = 0;
   std::size_t in_flight_ = 0;
   std::uint64_t issued_ = 0;
+  std::vector<std::size_t> node_in_flight_;
 };
 
 }  // namespace gnb::proto

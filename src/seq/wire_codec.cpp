@@ -1,0 +1,310 @@
+#include "seq/wire_codec.hpp"
+
+#include <algorithm>
+
+#include "seq/alphabet.hpp"
+#include "util/error.hpp"
+#include "util/wire.hpp"
+
+namespace gnb::seq {
+namespace {
+
+using proto::WireCompression;
+
+/// Minimum homopolymer run that pack2-rle escapes: shorter runs cost more
+/// to escape (4 literal symbols + a varint) than to emit literally.
+constexpr std::uint64_t kMinRun = 4;
+
+std::uint64_t varint_len(std::uint64_t v) {
+  std::uint64_t len = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++len;
+  }
+  return len;
+}
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v & 0x7Fu) | 0x80u);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint64_t get_varint(std::span<const std::uint8_t> in, std::size_t& offset) {
+  std::uint64_t v = 0;
+  unsigned shift = 0;
+  while (true) {
+    GNB_THROW_IF(offset >= in.size(), "wire codec: truncated varint at offset " << offset);
+    const std::uint8_t byte = in[offset++];
+    v |= static_cast<std::uint64_t>(byte & 0x7Fu) << shift;
+    if ((byte & 0x80u) == 0) break;
+    shift += 7;
+    GNB_THROW_IF(shift >= 64, "wire codec: varint overflows 64 bits");
+  }
+  return v;
+}
+
+/// N-position sidecar size: varint count + delta-coded positions. `codes`
+/// are unpacked codes (N = kN).
+std::uint64_t sidecar_bytes(const std::vector<std::uint8_t>& codes) {
+  std::uint64_t n_count = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t prev = 0;
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    if (codes[i] != kN) continue;
+    bytes += varint_len(i - prev);
+    prev = i;
+    ++n_count;
+  }
+  return varint_len(n_count) + bytes;
+}
+
+void put_sidecar(const std::vector<std::uint8_t>& codes, std::vector<std::uint8_t>& out) {
+  std::uint64_t n_count = 0;
+  for (const std::uint8_t c : codes) n_count += c == kN ? 1 : 0;
+  put_varint(out, n_count);
+  std::uint64_t prev = 0;
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    if (codes[i] != kN) continue;
+    put_varint(out, i - prev);
+    prev = i;
+  }
+}
+
+/// Walk the maximal homopolymer runs of the 2-bit stream (N packed as A,
+/// the in-memory convention). `on_run(code, length)` fires once per run.
+template <typename Fn>
+void scan_runs(const std::vector<std::uint8_t>& codes, Fn&& on_run) {
+  std::size_t i = 0;
+  while (i < codes.size()) {
+    const std::uint8_t code = codes[i] == kN ? kA : codes[i];
+    std::size_t j = i + 1;
+    while (j < codes.size() && (codes[j] == kN ? kA : codes[j]) == code) ++j;
+    on_run(code, static_cast<std::uint64_t>(j - i));
+    i = j;
+  }
+}
+
+/// pack2-rle body arithmetic: reduced-stream symbol count plus the escape
+/// table's exact byte cost.
+struct RleLayout {
+  std::uint64_t symbols = 0;
+  std::uint64_t n_runs = 0;
+  std::uint64_t extra_bytes = 0;
+};
+
+RleLayout rle_layout(const std::vector<std::uint8_t>& codes) {
+  RleLayout layout;
+  scan_runs(codes, [&](std::uint8_t, std::uint64_t run) {
+    if (run >= kMinRun) {
+      layout.symbols += kMinRun;
+      ++layout.n_runs;
+      layout.extra_bytes += varint_len(run - kMinRun);
+    } else {
+      layout.symbols += run;
+    }
+  });
+  return layout;
+}
+
+/// Append `symbols` 2-bit codes packed four per byte, little-endian within
+/// each byte (symbol i occupies bits (i & 3) * 2).
+class BitPacker {
+ public:
+  explicit BitPacker(std::vector<std::uint8_t>& out) : out_(out) {}
+  void push(std::uint8_t code) {
+    byte_ |= static_cast<std::uint8_t>((code & 3u) << ((count_ & 3u) * 2));
+    if ((++count_ & 3u) == 0) {
+      out_.push_back(byte_);
+      byte_ = 0;
+    }
+  }
+  void flush() {
+    if ((count_ & 3u) != 0) out_.push_back(byte_);
+  }
+
+ private:
+  std::vector<std::uint8_t>& out_;
+  std::uint8_t byte_ = 0;
+  std::size_t count_ = 0;
+};
+
+std::uint64_t frame_overhead(std::uint64_t length) {
+  return sizeof(std::uint32_t) + 1 /*codec byte*/ + varint_len(length);
+}
+
+std::uint64_t body_bytes(const std::vector<std::uint8_t>& codes, WireCompression mode) {
+  const auto length = static_cast<std::uint64_t>(codes.size());
+  switch (mode) {
+    case WireCompression::kOff:
+      return length;
+    case WireCompression::kPack2:
+      return sidecar_bytes(codes) + (length + 3) / 4;
+    case WireCompression::kPack2Rle: {
+      const RleLayout layout = rle_layout(codes);
+      return sidecar_bytes(codes) + varint_len(layout.n_runs) + layout.extra_bytes +
+             (layout.symbols + 3) / 4;
+    }
+    case WireCompression::kAuto:
+      break;
+  }
+  return std::min(body_bytes(codes, WireCompression::kPack2),
+                  body_bytes(codes, WireCompression::kPack2Rle));
+}
+
+/// Resolve kAuto to the concrete codec framed for this read: the smaller
+/// of pack2 / pack2-rle, ties to pack2 (the cheaper decode).
+WireCompression resolve(const std::vector<std::uint8_t>& codes, WireCompression mode) {
+  if (mode != WireCompression::kAuto) return mode;
+  return body_bytes(codes, WireCompression::kPack2Rle) <
+                 body_bytes(codes, WireCompression::kPack2)
+             ? WireCompression::kPack2Rle
+             : WireCompression::kPack2;
+}
+
+}  // namespace
+
+void encode_read(const Read& read, WireCompression mode, std::vector<std::uint8_t>& out) {
+  const std::vector<std::uint8_t> codes = read.sequence.unpack();
+  const WireCompression codec = resolve(codes, mode);
+  wire::put<std::uint32_t>(out, read.id);
+  out.push_back(static_cast<std::uint8_t>(codec));
+  put_varint(out, codes.size());
+  switch (codec) {
+    case WireCompression::kOff:
+      out.insert(out.end(), codes.begin(), codes.end());
+      break;
+    case WireCompression::kPack2: {
+      put_sidecar(codes, out);
+      BitPacker packer(out);
+      for (const std::uint8_t c : codes) packer.push(c == kN ? kA : c);
+      packer.flush();
+      break;
+    }
+    case WireCompression::kPack2Rle: {
+      put_sidecar(codes, out);
+      const RleLayout layout = rle_layout(codes);
+      put_varint(out, layout.n_runs);
+      scan_runs(codes, [&](std::uint8_t, std::uint64_t run) {
+        if (run >= kMinRun) put_varint(out, run - kMinRun);
+      });
+      BitPacker packer(out);
+      scan_runs(codes, [&](std::uint8_t code, std::uint64_t run) {
+        const std::uint64_t literal = std::min<std::uint64_t>(run, kMinRun);
+        for (std::uint64_t i = 0; i < literal; ++i) packer.push(code);
+      });
+      packer.flush();
+      break;
+    }
+    case WireCompression::kAuto:
+      GNB_CHECK_MSG(false, "kAuto must resolve before framing");
+  }
+}
+
+std::uint64_t encoded_read_bytes(const Read& read, WireCompression mode) {
+  const std::vector<std::uint8_t> codes = read.sequence.unpack();
+  return frame_overhead(codes.size()) + body_bytes(codes, mode);
+}
+
+std::uint64_t raw_read_bytes(const Read& read) {
+  return frame_overhead(read.sequence.size()) + read.sequence.size();
+}
+
+Read decode_read(std::span<const std::uint8_t> in, std::size_t& offset) {
+  Read read;
+  read.id = wire::get<std::uint32_t>(in, offset);
+  GNB_THROW_IF(offset >= in.size(), "wire codec: truncated frame header");
+  const std::uint8_t codec_byte = in[offset++];
+  GNB_THROW_IF(codec_byte > static_cast<std::uint8_t>(WireCompression::kPack2Rle),
+               "wire codec: unknown codec byte " << static_cast<int>(codec_byte));
+  const auto codec = static_cast<WireCompression>(codec_byte);
+  const std::uint64_t length = get_varint(in, offset);
+  std::vector<std::uint8_t> codes;
+  codes.reserve(length);
+
+  if (codec == WireCompression::kOff) {
+    GNB_THROW_IF(length > in.size() - offset, "wire codec: truncated off payload");
+    for (std::uint64_t i = 0; i < length; ++i) {
+      const std::uint8_t c = in[offset++];
+      GNB_THROW_IF(c > kN, "wire codec: invalid base code " << static_cast<int>(c));
+      codes.push_back(c);
+    }
+    read.sequence = Sequence::from_codes(codes);
+    return read;
+  }
+
+  // N sidecar, shared by both packed codecs.
+  const std::uint64_t n_count = get_varint(in, offset);
+  GNB_THROW_IF(n_count > length, "wire codec: N sidecar larger than read");
+  std::vector<std::uint64_t> n_positions;
+  n_positions.reserve(n_count);
+  std::uint64_t pos = 0;
+  for (std::uint64_t i = 0; i < n_count; ++i) {
+    pos += get_varint(in, offset);
+    GNB_THROW_IF(pos >= length, "wire codec: N position out of range");
+    GNB_THROW_IF(i > 0 && pos <= n_positions.back(), "wire codec: unsorted N sidecar");
+    n_positions.push_back(pos);
+  }
+
+  if (codec == WireCompression::kPack2) {
+    const std::uint64_t packed = (length + 3) / 4;
+    GNB_THROW_IF(packed > in.size() - offset, "wire codec: truncated pack2 payload");
+    for (std::uint64_t i = 0; i < length; ++i)
+      codes.push_back(static_cast<std::uint8_t>((in[offset + i / 4] >> ((i & 3u) * 2)) & 3u));
+    offset += packed;
+  } else {
+    const std::uint64_t n_runs = get_varint(in, offset);
+    GNB_THROW_IF(n_runs > length, "wire codec: escape table larger than read");
+    std::vector<std::uint64_t> extras;
+    extras.reserve(n_runs);
+    for (std::uint64_t i = 0; i < n_runs; ++i) extras.push_back(get_varint(in, offset));
+    // Reduced symbol stream: every 4th consecutive identical symbol
+    // consumes the next escape and expands the run.
+    std::size_t next_extra = 0;
+    std::uint64_t bit_cursor = 0;
+    std::uint8_t prev = 0xFF;
+    std::uint64_t run = 0;
+    while (codes.size() < length) {
+      const std::uint64_t byte_index = offset + bit_cursor / 4;
+      GNB_THROW_IF(byte_index >= in.size(), "wire codec: truncated pack2-rle payload");
+      const auto code =
+          static_cast<std::uint8_t>((in[byte_index] >> ((bit_cursor & 3u) * 2)) & 3u);
+      ++bit_cursor;
+      codes.push_back(code);
+      run = code == prev ? run + 1 : 1;
+      prev = code;
+      if (run == kMinRun) {
+        GNB_THROW_IF(next_extra >= extras.size(), "wire codec: escape table underflow");
+        const std::uint64_t extra = extras[next_extra++];
+        GNB_THROW_IF(codes.size() + extra > length, "wire codec: run overflows read");
+        codes.insert(codes.end(), extra, code);
+        run = 0;
+        prev = 0xFF;
+      }
+    }
+    GNB_THROW_IF(next_extra != extras.size(), "wire codec: unconsumed escape entries");
+    offset += (bit_cursor + 3) / 4;
+  }
+
+  for (const std::uint64_t n_pos : n_positions) codes[n_pos] = kN;
+  read.sequence = Sequence::from_codes(codes);
+  return read;
+}
+
+std::uint64_t modeled_wire_read_bytes(std::uint64_t length, WireCompression mode) {
+  const std::uint64_t overhead = frame_overhead(length);
+  switch (mode) {
+    case WireCompression::kOff:
+      return overhead + length;
+    case WireCompression::kPack2:
+    case WireCompression::kAuto:  // random DNA: rle == pack2 + empty table
+      return overhead + varint_len(0) + (length + 3) / 4;
+    case WireCompression::kPack2Rle:
+      return overhead + varint_len(0) + varint_len(0) + (length + 3) / 4;
+  }
+  return overhead + length;
+}
+
+}  // namespace gnb::seq

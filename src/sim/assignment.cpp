@@ -5,6 +5,7 @@
 
 #include "proto/pull_index.hpp"
 #include "seq/read_store.hpp"
+#include "seq/wire_codec.hpp"
 #include "util/error.hpp"
 
 namespace gnb::sim {
@@ -27,6 +28,12 @@ std::uint64_t RankWork::pull_bytes() const {
   return sum;
 }
 
+std::uint64_t RankWork::raw_pull_bytes() const {
+  std::uint64_t sum = 0;
+  for (const Pull& pull : pulls) sum += pull.raw_bytes;
+  return sum;
+}
+
 std::uint64_t SimAssignment::cross_node_bytes(std::size_t cores_per_node) const {
   std::uint64_t sum = 0;
   for (std::size_t r = 0; r < ranks.size(); ++r) {
@@ -38,7 +45,7 @@ std::uint64_t SimAssignment::cross_node_bytes(std::size_t cores_per_node) const 
 }
 
 SimAssignment assign(const wl::SimWorkload& workload, std::size_t nranks,
-                     BalancePolicy policy) {
+                     BalancePolicy policy, proto::WireCompression wire) {
   GNB_CHECK(nranks >= 1);
   const std::size_t n_reads = workload.read_lengths.size();
 
@@ -70,10 +77,22 @@ SimAssignment assign(const wl::SimWorkload& workload, std::size_t nranks,
     const std::uint32_t owner_a = assignment.read_owner[task.a];
     const std::uint32_t owner_b = assignment.read_owner[task.b];
     std::uint32_t dst = owner_a;
-    if (owner_b != owner_a &&
-        (load[owner_b] < load[owner_a] ||
-         (load[owner_b] == load[owner_a] && owner_b < owner_a))) {
-      dst = owner_b;
+    if (owner_b != owner_a) {
+      if (policy == BalancePolicy::kLocalityAware) {
+        // Reuse beats balance: an owner that already pulls the task's
+        // remote read adds zero exchange bytes by taking the task.
+        const bool a_reuses = pull_slot[owner_a].count(task.b) != 0;
+        const bool b_reuses = pull_slot[owner_b].count(task.a) != 0;
+        if (a_reuses != b_reuses) {
+          dst = a_reuses ? owner_a : owner_b;
+        } else if (load[owner_b] < load[owner_a] ||
+                   (load[owner_b] == load[owner_a] && owner_b < owner_a)) {
+          dst = owner_b;
+        }
+      } else if (load[owner_b] < load[owner_a] ||
+                 (load[owner_b] == load[owner_a] && owner_b < owner_a)) {
+        dst = owner_b;
+      }
     }
     load[dst] += policy == BalancePolicy::kCostBalanced ? task.cells : 1;
     RankWork& work = assignment.ranks[dst];
@@ -89,7 +108,9 @@ SimAssignment assign(const wl::SimWorkload& workload, std::size_t nranks,
       Pull pull;
       pull.read = remote;
       pull.owner = remote_owner;
-      pull.bytes = workload.read_bytes(remote);
+      pull.bytes = seq::modeled_wire_read_bytes(workload.read_lengths[remote], wire);
+      pull.raw_bytes = seq::modeled_wire_read_bytes(workload.read_lengths[remote],
+                                                    proto::WireCompression::kOff);
       work.pulls.push_back(pull);
       ++assignment.serve_count[remote_owner];
       assignment.serve_bytes[remote_owner] += pull.bytes;
@@ -103,7 +124,8 @@ SimAssignment assign(const wl::SimWorkload& workload, std::size_t nranks,
 
 SimAssignment assignment_from_tasks(const std::vector<std::vector<kmer::AlignTask>>& per_rank,
                                     const seq::ReadStore& store,
-                                    const std::vector<seq::ReadId>& bounds) {
+                                    const std::vector<seq::ReadId>& bounds,
+                                    proto::WireCompression wire) {
   const std::size_t nranks = per_rank.size();
   GNB_CHECK(bounds.size() == nranks + 1);
 
@@ -136,7 +158,10 @@ SimAssignment assignment_from_tasks(const std::vector<std::vector<kmer::AlignTas
       Pull pull;
       pull.read = request.read;
       pull.owner = request.owner;
-      pull.bytes = seq::serialized_read_bytes(store.get(request.read));
+      // The exact frame the engines would ship: the parity tests compare
+      // these sums against EngineResult byte counters to the byte.
+      pull.bytes = seq::encoded_read_bytes(store.get(request.read), wire);
+      pull.raw_bytes = seq::raw_read_bytes(store.get(request.read));
       pull.tasks = static_cast<std::uint32_t>(index.tasks_for(request.read).size());
       work.pulls.push_back(pull);
       ++assignment.serve_count[request.owner];

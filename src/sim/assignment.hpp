@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "kmer/candidates.hpp"
+#include "proto/config.hpp"
 #include "seq/read_store.hpp"
 #include "wl/task_model.hpp"
 
@@ -18,7 +19,8 @@ namespace gnb::sim {
 struct Pull {
   std::uint32_t read = 0;
   std::uint32_t owner = 0;      // rank that owns the read
-  std::uint64_t bytes = 0;      // serialized read size
+  std::uint64_t bytes = 0;      // wire frame size under the active codec
+  std::uint64_t raw_bytes = 0;  // off-codec-equivalent frame size
   std::uint64_t cells = 0;      // total DP cells across tasks needing it
   std::uint32_t tasks = 0;      // number of such tasks
 };
@@ -32,6 +34,7 @@ struct RankWork {
   [[nodiscard]] std::uint64_t total_cells() const;
   [[nodiscard]] std::uint64_t total_tasks() const;
   [[nodiscard]] std::uint64_t pull_bytes() const;  // Fig-6 exchange load
+  [[nodiscard]] std::uint64_t raw_pull_bytes() const;  // off-equivalent
 };
 
 struct SimAssignment {
@@ -57,11 +60,20 @@ enum class BalancePolicy {
   /// estimated task *cost* (modeled DP cells). An idealized stand-in for
   /// dynamic/semi-static balancing with zero runtime overhead.
   kCostBalanced,
+  /// Locality-aware count balancing: when either candidate owner would
+  /// reuse a pull it already issues (the remote read is already in its
+  /// pull set), prefer that owner — each avoided pull is one less wire
+  /// frame. Ties (both reuse, or neither) fall back to count balancing,
+  /// so the task distribution stays near-even while the exchange shrinks.
+  kLocalityAware,
 };
 
-/// Build the per-rank structure for `nranks` ranks.
+/// Build the per-rank structure for `nranks` ranks. `wire` sets the codec
+/// whose frame sizes Pull.bytes / serve_bytes model (Pull.raw_bytes always
+/// carries the `off` size).
 SimAssignment assign(const wl::SimWorkload& workload, std::size_t nranks,
-                     BalancePolicy policy = BalancePolicy::kCountBalanced);
+                     BalancePolicy policy = BalancePolicy::kCountBalanced,
+                     proto::WireCompression wire = proto::WireCompression::kOff);
 
 /// Bridge from the *real* pipeline to the simulator: build a SimAssignment
 /// from per-rank task lists and the stage-1 read partition, with pull wire
@@ -72,6 +84,7 @@ SimAssignment assign(const wl::SimWorkload& workload, std::size_t nranks,
 /// communication structure, which is all the protocol decisions read.
 SimAssignment assignment_from_tasks(const std::vector<std::vector<kmer::AlignTask>>& per_rank,
                                     const seq::ReadStore& store,
-                                    const std::vector<seq::ReadId>& bounds);
+                                    const std::vector<seq::ReadId>& bounds,
+                                    proto::WireCompression wire = proto::WireCompression::kOff);
 
 }  // namespace gnb::sim

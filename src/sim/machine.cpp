@@ -24,8 +24,11 @@ MachineParams threaded_host(std::size_t ranks) {
   machine.cores_per_node = std::max<std::size_t>(1, ranks);
   machine.memory_per_core = 2ull << 30;
   // Every transfer is an in-process handoff: queue-latency setup, memcpy
-  // bandwidth, and no topology contention.
-  machine.internode_latency = 2.0e-7;
+  // bandwidth, and no topology contention. The single node never exercises
+  // internode_latency, but it must still dominate the intranode figure so
+  // the profile-wide intranode <= internode invariant holds (a hypothetical
+  // second threaded host would at least pay loopback-socket latency).
+  machine.internode_latency = 1.0e-6;
   machine.intranode_latency = 2.0e-7;
   machine.nic_bandwidth = 1.2e10;
   machine.intranode_bandwidth = 1.2e10;

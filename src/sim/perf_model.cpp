@@ -126,6 +126,46 @@ Traffic analyze_traffic(const MachineParams& machine, const SimAssignment& assig
   return traffic;
 }
 
+/// Two-level traffic split under hierarchy-aware aggregation: nodes are
+/// `rpn` consecutive ranks (the engine's grouping, normally set to the
+/// machine's cores_per_node), every read a node needs from a remote node
+/// crosses the NIC exactly once — to its lowest co-located requester, the
+/// proxy — and the other needers receive it as an intra-node forward from
+/// the proxy. Total bytes match analyze_traffic; only the split moves.
+Traffic analyze_traffic_two_level(const SimAssignment& assignment, std::size_t rpn) {
+  const std::size_t p = assignment.nranks();
+  Traffic traffic;
+  traffic.recv_inter.assign(p, 0);
+  traffic.recv_intra.assign(p, 0);
+  traffic.send_inter.assign(p, 0);
+  traffic.send_intra.assign(p, 0);
+  const auto node_of = [rpn](std::size_t rank) -> std::uint64_t { return rank / rpn; };
+  std::unordered_map<std::uint64_t, std::size_t> proxy;
+  for (std::size_t r = 0; r < p; ++r)
+    for (const Pull& pull : assignment.ranks[r].pulls)
+      if (node_of(pull.owner) != node_of(r))
+        proxy.emplace((node_of(r) << 32) | pull.read, r);
+  for (std::size_t r = 0; r < p; ++r) {
+    for (const Pull& pull : assignment.ranks[r].pulls) {
+      if (node_of(pull.owner) == node_of(r)) {
+        traffic.recv_intra[r] += pull.bytes;
+        traffic.send_intra[pull.owner] += pull.bytes;
+        continue;
+      }
+      const std::size_t keeper = proxy.at((node_of(r) << 32) | pull.read);
+      if (keeper == r) {
+        traffic.recv_inter[r] += pull.bytes;
+        traffic.send_inter[pull.owner] += pull.bytes;
+        traffic.cross_total += pull.bytes;
+      } else {
+        traffic.recv_intra[r] += pull.bytes;
+        traffic.send_intra[keeper] += pull.bytes;
+      }
+    }
+  }
+  return traffic;
+}
+
 /// Deterministic OS-noise multiplier for a rank.
 double noise_multiplier(const SimOptions& options, std::size_t rank) {
   Xoshiro256 rng(options.noise_seed * 0x9E3779B97F4A7C15ULL + rank);
@@ -263,11 +303,26 @@ SimResult simulate_bsp(const MachineParams& machine, const SimAssignment& assign
   const std::size_t p = assignment.nranks();
   GNB_CHECK_MSG(p == machine.total_ranks(),
                 "assignment has " << p << " ranks, machine " << machine.total_ranks());
-  const Traffic traffic = analyze_traffic(machine, assignment);
+  // Two-level aggregation, under the engine's own gate: the hierarchy knob
+  // is ignored when a fault plan is active (recovery needs the flat FIFO
+  // request order).
+  const std::size_t rpn = (!options.faults.enabled() && options.proto.ranks_per_node > 1)
+                              ? options.proto.ranks_per_node
+                              : 1;
+  const bool hierarchy = rpn > 1;
+  const std::size_t nnodes_g = hierarchy ? (p + rpn - 1) / rpn : 0;
+  const bool wire_spans = options.proto.wire_compression != proto::WireCompression::kOff;
+  const Traffic traffic = hierarchy ? analyze_traffic_two_level(assignment, rpn)
+                                    : analyze_traffic(machine, assignment);
   const double cps = options.calibration.cells_per_second;
   const double ovh = options.calibration.overhead_per_task;
   const double inter_bw = internode_bw_per_rank(machine);
   const double intra_bw = intranode_bw_per_rank(machine);
+  // Software alltoallv setup scales with the peer count a rank touches:
+  // all p ranks when flat; the co-located ranks plus the coalesced
+  // node-level exchange when aggregating (the 512-node win).
+  const double setup_peers =
+      hierarchy ? static_cast<double>(nnodes_g + rpn) : static_cast<double>(p);
   // Intra-rank compute layer (proto::compute_threads): kernels scale with
   // the worker count, and a pooled rank keeps aligning while the next
   // superstep's alltoallv moves bytes. thread_div is exactly 1.0 when the
@@ -290,14 +345,39 @@ SimResult simulate_bsp(const MachineParams& machine, const SimAssignment& assign
     exchange_mem[r] = work.pull_bytes() + assignment.serve_bytes[r];
     inputs[r].pull_bytes = work.pull_bytes();
     inputs[r].serve_bytes = assignment.serve_bytes[r];
+    inputs[r].raw_pull_bytes = work.raw_pull_bytes();
     inputs[r].budget =
         proto::effective_round_budget(options.proto, machine.memory_per_core, base_mem[r]);
   }
-  const proto::ExchangePlan plan = proto::plan_exchange(inputs, options.proto);
-  const std::uint64_t rounds = std::max<std::uint64_t>(1, plan.rounds);
+  std::uint64_t planned_rounds = 0;
+  if (hierarchy) {
+    proto::NodePlanInput ninput;
+    ninput.ranks_per_node = rpn;
+    ninput.pulls.resize(p);
+    ninput.budgets.resize(p);
+    for (std::size_t r = 0; r < p; ++r) {
+      ninput.budgets[r] = inputs[r].budget;
+      ninput.pulls[r].reserve(assignment.ranks[r].pulls.size());
+      for (const Pull& pull : assignment.ranks[r].pulls)
+        ninput.pulls[r].push_back(
+            proto::PullRequest{pull.read, pull.owner, pull.bytes, pull.raw_bytes});
+    }
+    const proto::NodeExchangePlan nplan = proto::plan_node_exchange(ninput, options.proto);
+    planned_rounds = nplan.rounds;
+    result.messages = nplan.bsp_messages;
+    result.exchange_bytes = nplan.exchange_bytes;
+    result.wire_raw_bytes = nplan.raw_bytes;
+    result.inter_node_bytes = nplan.inter_node_bytes;
+  } else {
+    const proto::ExchangePlan plan = proto::plan_exchange(inputs, options.proto);
+    planned_rounds = plan.rounds;
+    result.messages = plan.bsp_messages;
+    result.exchange_bytes = plan.exchange_bytes;
+    result.wire_raw_bytes = plan.raw_bytes;
+    result.inter_node_bytes = traffic.cross_total;
+  }
+  const std::uint64_t rounds = std::max<std::uint64_t>(1, planned_rounds);
   result.rounds = rounds;
-  result.messages = plan.bsp_messages;
-  result.exchange_bytes = plan.exchange_bytes;
   const auto k = static_cast<double>(rounds);
   // Memory-limited multi-round exchanges lose aggregation efficiency:
   // smaller per-round messages, repeated incast ramp-up, and the per-round
@@ -305,9 +385,10 @@ SimResult simulate_bsp(const MachineParams& machine, const SimAssignment& assign
   // sublinear wire-time penalty in the round count.
   const double round_penalty = std::pow(k, 0.45);
 
-  // --- request exchange (read-id lists): software setup dominates ---
+  // --- request exchange (read-id lists): software setup dominates. The
+  // hierarchy pre-pass adds one intra-node alltoallv of need lists. ---
   const double request_comm =
-      machine.a2a_setup_per_peer * static_cast<double>(p);
+      machine.a2a_setup_per_peer * static_cast<double>(p + (hierarchy ? rpn : 0));
   if (strace.on()) {
     for (std::size_t r = 0; r < p; ++r) {
       strace.complete(r, obs::span::kBspIndex, 0.0, 0.0);
@@ -353,13 +434,13 @@ SimResult simulate_bsp(const MachineParams& machine, const SimAssignment& assign
     // is what every rank observes as communication. Exchange-load
     // imbalance (Fig. 6) thereby drives the poor communication scaling the
     // paper reports (§4.2-4.3).
-    double round_comm = machine.a2a_setup_per_peer * static_cast<double>(p);
+    double round_comm = machine.a2a_setup_per_peer * setup_peers;
     for (std::size_t r = 0; r < p; ++r) {
       const double send_bytes =
           static_cast<double>(traffic.send_inter[r] + traffic.send_intra[r]) / k;
       const double recv_bytes =
           static_cast<double>(traffic.recv_inter[r] + traffic.recv_intra[r]) / k;
-      double wire = machine.a2a_setup_per_peer * static_cast<double>(p);
+      double wire = machine.a2a_setup_per_peer * setup_peers;
       wire += (send_bytes + recv_bytes) / options.pack_bandwidth;  // pack + unpack
       wire += std::max(static_cast<double>(traffic.send_inter[r]),
                        static_cast<double>(traffic.recv_inter[r])) *
@@ -470,6 +551,11 @@ SimResult simulate_bsp(const MachineParams& machine, const SimAssignment& assign
                         round);
         strace.complete(r, obs::span::kCollAlltoallv, round_start, round_comm);
         const double c0 = round_start + round_comm;
+        // Same gate as the real engine: codec spans exist iff a codec runs.
+        if (wire_spans) {
+          strace.complete(r, obs::span::kWireCompress, round_start, 0.0);
+          strace.complete(r, obs::span::kWireDecompress, c0, 0.0);
+        }
         if (round == 0) {
           strace.complete(r, obs::span::kBspLocalTasks, c0, local_split[r]);
           strace.complete(r, obs::span::kBspCompute, c0 + local_split[r],
@@ -560,6 +646,7 @@ SimResult simulate_async(const MachineParams& machine, const SimAssignment& assi
     const RankWork& work = assignment.ranks[r];
     inputs[r].pull_bytes = work.pull_bytes();
     inputs[r].serve_bytes = assignment.serve_bytes[r];
+    inputs[r].raw_pull_bytes = work.raw_pull_bytes();
     std::unordered_map<std::uint32_t, std::uint64_t> per_owner;
     for (const Pull& pull : work.pulls) ++per_owner[pull.owner];
     inputs[r].pulls_per_owner.reserve(per_owner.size());
@@ -568,6 +655,8 @@ SimResult simulate_async(const MachineParams& machine, const SimAssignment& assi
   const proto::ExchangePlan plan = proto::plan_exchange(inputs, options.proto);
   result.messages = plan.async_messages;
   result.exchange_bytes = plan.exchange_bytes;
+  result.wire_raw_bytes = plan.raw_bytes;
+  result.inter_node_bytes = traffic.cross_total;
 
   // Straggler-perturbed timelines: the async engine has two collectives —
   // the split-phase entry barrier (entry 0) and the exit/service barrier
@@ -748,6 +837,12 @@ SimResult simulate_async(const MachineParams& machine, const SimAssignment& assi
                       std::max(0.0, busy_end - pulls_start), "batches",
                       static_cast<std::uint64_t>(std::llround(
                           static_cast<double>(work.pulls.size()) / batch_div)));
+      // Codec spans under the same gate as the real engine: the serving
+      // side compresses replies, the pulling side decompresses them.
+      if (options.proto.wire_compression != proto::WireCompression::kOff) {
+        strace.complete(r, obs::span::kWireCompress, pulls_start, 0.0);
+        strace.complete(r, obs::span::kWireDecompress, pulls_start, 0.0);
+      }
       if (!work.pulls.empty())
         strace.async_pair(r, obs::span::kRpcPull, r, pulls_start, busy_end);
       if (dead[r]) {

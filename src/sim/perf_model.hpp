@@ -39,9 +39,14 @@ struct SimOptions {
   core::CostCalibration calibration;
   /// §4.3 comm-benchmarking mode: drop the alignment-kernel time.
   bool skip_compute = false;
-  /// Coordination-protocol knobs (round budget, RPC window, pull batching)
-  /// — the same structure and defaults core::EngineConfig carries, so the
-  /// costed protocol is the executed one (src/proto).
+  /// Coordination-protocol knobs (round budget, RPC window, pull batching,
+  /// wire codec, ranks_per_node) — the same structure and defaults
+  /// core::EngineConfig carries, so the costed protocol is the executed
+  /// one (src/proto). With ranks_per_node > 1 (and no fault plan, the
+  /// engine's own gate) simulate_bsp costs the two-level plan from
+  /// proto::plan_node_exchange: node-deduped inter-node traffic, coalesced
+  /// per-node-pair messages, and alltoallv setup that scales with
+  /// nodes + ranks_per_node instead of total ranks.
   proto::ProtoConfig proto;
   /// Async variant: RDMA-style one-sided pulls instead of RPCs — no callee
   /// CPU service, but a data-structure lookup needs an extra round trip
@@ -100,7 +105,14 @@ struct SimResult {
   double runtime = 0;        // phase duration = max rank total
   std::uint64_t rounds = 0;  // BSP supersteps (1 when memory suffices)
   std::uint64_t messages = 0;         // from the shared proto::ExchangePlan
-  std::uint64_t exchange_bytes = 0;   // total payload pulled
+  std::uint64_t exchange_bytes = 0;   // wire payload pulled (codec frames)
+  /// Off-codec-equivalent of exchange_bytes — the same wire.raw_bytes
+  /// counter the engines report, invariant across compression modes.
+  std::uint64_t wire_raw_bytes = 0;
+  /// Wire bytes crossing node boundaries. Under two-level aggregation
+  /// (proto.ranks_per_node > 1) this is the *deduped* inter-node traffic
+  /// from proto::plan_node_exchange — the predicted hierarchy win.
+  std::uint64_t inter_node_bytes = 0;
 };
 
 SimResult simulate_bsp(const MachineParams& machine, const SimAssignment& assignment,

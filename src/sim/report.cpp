@@ -9,6 +9,10 @@ stat::Summary reduce(const SimResult& result) {
   summary.rounds = result.rounds;
   summary.messages = result.messages;
   summary.exchange_bytes = result.exchange_bytes;
+  summary.wire_raw_bytes = result.wire_raw_bytes;
+  // The simulated exchange is lossless and fault-free: every byte planned
+  // for the wire arrives, so sent == received == the plan's total.
+  summary.wire_sent_bytes = result.exchange_bytes;
   return summary;
 }
 

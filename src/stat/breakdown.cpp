@@ -83,6 +83,8 @@ void export_metrics(const ComputeCounters& compute, obs::MetricsRegistry& regist
 void export_metrics(const Summary& summary, obs::MetricsRegistry& registry) {
   registry.add(obs::metric::kExchangeBytes, summary.exchange_bytes);
   registry.add(obs::metric::kExchangeMessages, summary.messages);
+  registry.add(obs::metric::kWireRawBytes, summary.wire_raw_bytes);
+  registry.add(obs::metric::kWireSentBytes, summary.wire_sent_bytes);
   registry.gauge_max(obs::metric::kExchangeRounds, summary.rounds);
   registry.gauge_max(obs::metric::kMemPeakBytes, summary.peak_memory_max);
   export_metrics(summary.faults, registry);
@@ -116,7 +118,8 @@ Summary summarize(std::span<const Breakdown> ranks, double runtime) {
 
 std::vector<std::string> breakdown_headers(std::vector<std::string> labels) {
   for (const char* column : {"runtime_s", "compute_s", "overhead_s", "comm_s", "sync_s",
-                             "comm_%", "rounds", "messages", "exchange_mb"})
+                             "comm_%", "rounds", "messages", "exchange_mb", "raw_mb",
+                             "compress_x"})
     labels.emplace_back(column);
   return labels;
 }
@@ -131,6 +134,8 @@ void add_breakdown_row(Table& table, std::vector<Table::Cell> labels, const Summ
   labels.emplace_back(summary.rounds);
   labels.emplace_back(summary.messages);
   labels.emplace_back(static_cast<double>(summary.exchange_bytes) / 1e6);
+  labels.emplace_back(static_cast<double>(summary.wire_raw_bytes) / 1e6);
+  labels.emplace_back(summary.compression_ratio());
   table.add_row(std::move(labels));
 }
 

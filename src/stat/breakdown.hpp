@@ -175,11 +175,23 @@ struct Summary {
   std::uint64_t peak_memory_max = 0;        // Fig-11 max per-core footprint
   std::uint64_t rounds = 1;                 // BSP supersteps
   std::uint64_t messages = 0;               // buffers / RPCs on the wire
-  std::uint64_t exchange_bytes = 0;         // total payload exchanged
+  std::uint64_t exchange_bytes = 0;         // wire payload exchanged (codec frames)
+  /// Off-codec-equivalent of exchange_bytes (wire.raw_bytes): invariant
+  /// across compression modes, so raw/sent is the compression ratio.
+  std::uint64_t wire_raw_bytes = 0;
+  /// Wire payload shipped (wire.sent_bytes). Equals the received total in
+  /// a fault-free run — the byte-conservation invariant.
+  std::uint64_t wire_sent_bytes = 0;
   FaultCounters faults;                     // summed across ranks
   ComputeCounters compute_layer;            // cache/pool counters merged across ranks
 
   [[nodiscard]] double comm_fraction() const { return runtime > 0 ? comm_avg / runtime : 0; }
+  /// Compression ratio raw/sent; 1 when either side is unknown (zero).
+  [[nodiscard]] double compression_ratio() const {
+    return (wire_raw_bytes == 0 || wire_sent_bytes == 0)
+               ? 1.0
+               : static_cast<double>(wire_raw_bytes) / static_cast<double>(wire_sent_bytes);
+  }
 };
 
 /// Export a full summary into a metrics registry: the exchange protocol

@@ -54,7 +54,8 @@ Workload make_workload(std::uint64_t trial) {
   config.hi = 8;
   w.tasks = pipeline::run_serial(w.dataset.reads, config, w.ranks);
   w.assignment =
-      sim::assignment_from_tasks(w.tasks.per_rank, w.dataset.reads, w.tasks.bounds);
+      sim::assignment_from_tasks(w.tasks.per_rank, w.dataset.reads, w.tasks.bounds,
+                                 proto::wire_compression_from_env());
   return w;
 }
 
@@ -150,7 +151,8 @@ TEST(FuzzParity, SingleRankRunsExchangeNothing) {
       config.hi = 8;
       w.tasks = pipeline::run_serial(w.dataset.reads, config, w.ranks);
       w.assignment =
-          sim::assignment_from_tasks(w.tasks.per_rank, w.dataset.reads, w.tasks.bounds);
+          sim::assignment_from_tasks(w.tasks.per_rank, w.dataset.reads, w.tasks.bounds,
+                                 proto::wire_compression_from_env());
     }
     core::EngineConfig config;
     config.skip_compute = true;

@@ -22,6 +22,7 @@
 #include "proto/round_planner.hpp"
 #include "rt/world.hpp"
 #include "seq/read_store.hpp"
+#include "seq/wire_codec.hpp"
 #include "sim/assignment.hpp"
 #include "wl/presets.hpp"
 
@@ -30,6 +31,10 @@ using namespace gnb;
 namespace {
 
 constexpr std::size_t kRanks = 4;
+
+/// The wire codec the engines run under by default (env-seeded, so the CI
+/// wire-compression leg drives this whole parity matrix through pack2-rle).
+proto::WireCompression wire_mode() { return proto::wire_compression_from_env(); }
 
 struct Fixture {
   wl::SampledDataset dataset;
@@ -55,7 +60,7 @@ const Fixture& fixture() {
     config.hi = 8;
     fx.tasks = pipeline::run_serial(fx.dataset.reads, config, kRanks);
     fx.assignment = sim::assignment_from_tasks(fx.tasks.per_rank, fx.dataset.reads,
-                                               fx.tasks.bounds);
+                                               fx.tasks.bounds, wire_mode());
     return fx;
   }();
   return f;
@@ -128,7 +133,9 @@ TEST(Parity, AdapterPullSetsMatchEngineIndex) {
       EXPECT_EQ(engine_pulls[i].read, sim_pulls[i].read);
       EXPECT_EQ(engine_pulls[i].owner, sim_pulls[i].owner);
       EXPECT_EQ(sim_pulls[i].bytes,
-                seq::serialized_read_bytes(f.dataset.reads.get(sim_pulls[i].read)));
+                seq::encoded_read_bytes(f.dataset.reads.get(sim_pulls[i].read), wire_mode()));
+      EXPECT_EQ(sim_pulls[i].raw_bytes,
+                seq::raw_read_bytes(f.dataset.reads.get(sim_pulls[i].read)));
     }
     EXPECT_EQ(indexes[r].local_tasks().size(), f.assignment.ranks[r].local_tasks);
   }
@@ -168,7 +175,8 @@ TEST(Parity, BspRoundBoundariesMatchPlannedSchedule) {
     for (std::size_t dst = 0; dst < kRanks; ++dst) {
       const auto needed = indexes[dst].needed_by_owner(kRanks);
       for (const std::uint32_t id : needed[r])
-        serve_sizes[dst].push_back(seq::serialized_read_bytes(f.dataset.reads.get(id)));
+        serve_sizes[dst].push_back(
+            seq::encoded_read_bytes(f.dataset.reads.get(id), wire_mode()));
     }
     const proto::RoundPlan expected = proto::plan_rounds(serve_sizes, plan.rounds);
 

@@ -347,3 +347,140 @@ TEST(ProtoConfig, ComputeThreadsDefaultSeededFromEnv) {
   const ProtoConfig serial;
   EXPECT_EQ(serial.compute_threads, 1u);
 }
+
+// ---------- wire compression knob ----------
+
+TEST(WireConfig, ParseRoundTripsEveryMode) {
+  for (const WireCompression mode :
+       {WireCompression::kOff, WireCompression::kPack2, WireCompression::kPack2Rle,
+        WireCompression::kAuto}) {
+    const auto parsed = parse_wire_compression(to_string(mode));
+    ASSERT_TRUE(parsed.has_value()) << to_string(mode);
+    EXPECT_EQ(*parsed, mode);
+  }
+  EXPECT_FALSE(parse_wire_compression("gzip").has_value());
+  EXPECT_FALSE(parse_wire_compression("").has_value());
+}
+
+TEST(WireConfig, DefaultSeededFromEnv) {
+  // The CI hook: exporting GNB_WIRE_COMPRESSION drives every
+  // default-constructed config (and with it the fuzz-parity and chaos
+  // matrices) through one codec.
+  setenv("GNB_WIRE_COMPRESSION", "pack2-rle", 1);
+  const ProtoConfig forced;
+  EXPECT_EQ(forced.wire_compression, WireCompression::kPack2Rle);
+  setenv("GNB_WIRE_COMPRESSION", "junk", 1);
+  EXPECT_EQ(wire_compression_from_env(WireCompression::kOff), WireCompression::kOff);
+  unsetenv("GNB_WIRE_COMPRESSION");
+  const ProtoConfig config;
+  EXPECT_EQ(config.wire_compression, WireCompression::kAuto);
+}
+
+// ---------- node-grouped request window ----------
+
+TEST(Window, NodeGroupingCapsPerNodeShare) {
+  RequestWindow window(8, 4);  // 8 outstanding over 4 nodes: 2 per node
+  EXPECT_TRUE(window.grouped());
+  EXPECT_EQ(window.node_limit(), 2u);
+  window.on_issue(0);
+  window.on_issue(0);
+  EXPECT_FALSE(window.can_issue(0)) << "node 0 at its share";
+  EXPECT_TRUE(window.can_issue(1)) << "other nodes unaffected";
+  window.on_reply(0);
+  EXPECT_TRUE(window.can_issue(0));
+  EXPECT_EQ(window.node_in_flight(0), 1u);
+}
+
+TEST(Window, NodeGroupingStillHonorsGlobalLimit) {
+  RequestWindow window(4, 2);  // 2 per node, 4 global
+  window.on_issue(0);
+  window.on_issue(0);
+  window.on_issue(1);
+  window.on_issue(1);
+  EXPECT_FALSE(window.can_issue(0));
+  EXPECT_FALSE(window.can_issue(1));
+  EXPECT_EQ(window.in_flight(), 4u);
+}
+
+TEST(Window, NodeShareNeverRoundsToZero) {
+  RequestWindow window(2, 8);  // more nodes than slots
+  EXPECT_EQ(window.node_limit(), 1u);
+  EXPECT_TRUE(window.can_issue(7));
+}
+
+TEST(Window, SingleNodeStaysFlat) {
+  RequestWindow window(4, 1);
+  EXPECT_FALSE(window.grouped());
+  EXPECT_TRUE(window.can_issue());
+}
+
+// ---------- plan_node_exchange ----------
+
+namespace {
+
+/// 4 ranks on 2 nodes (rpn = 2). Ranks 0 and 1 both pull read 10 from
+/// rank 2 (cross-node: proxied), rank 0 pulls read 11 from rank 1
+/// (same node: direct), rank 3 pulls read 12 from rank 0 (cross-node).
+NodePlanInput two_node_input() {
+  NodePlanInput input;
+  input.ranks_per_node = 2;
+  input.pulls.resize(4);
+  input.pulls[0].push_back(PullRequest{10, 2, 100, 400});
+  input.pulls[1].push_back(PullRequest{10, 2, 100, 400});
+  input.pulls[0].push_back(PullRequest{11, 1, 50, 200});
+  input.pulls[3].push_back(PullRequest{12, 0, 70, 280});
+  return input;
+}
+
+}  // namespace
+
+TEST(NodeExchange, ProxyDedupsCrossNodePulls) {
+  const NodeExchangePlan plan = plan_node_exchange(two_node_input(), ProtoConfig{});
+  // Totals are conserved: every requester still gets its frame.
+  EXPECT_EQ(plan.exchange_bytes, 100u + 100 + 50 + 70);
+  EXPECT_EQ(plan.raw_bytes, 400u + 400 + 200 + 280);
+  // Read 10 crosses the NIC once (rank 0 is the proxy), read 12 once;
+  // rank 1's copy of read 10 and the same-node read 11 ride intra-node.
+  EXPECT_EQ(plan.inter_node_bytes, 100u + 70);
+  EXPECT_EQ(plan.flat_inter_node_bytes, 100u + 100 + 70);
+  EXPECT_EQ(plan.intra_node_bytes, 100u + 50);
+  EXPECT_LE(plan.inter_node_bytes, plan.flat_inter_node_bytes);
+  EXPECT_EQ(plan.inter_node_bytes + plan.intra_node_bytes, plan.exchange_bytes);
+  // Two ordered node pairs are active: node1->node0 (read 10) and
+  // node0->node1 (read 12).
+  EXPECT_EQ(plan.rounds, 1u);
+  EXPECT_EQ(plan.node_messages, 2u);
+  EXPECT_EQ(plan.bsp_messages, 2u * 4 * 4);  // main + forward alltoallv
+}
+
+TEST(NodeExchange, FlatGroupingMatchesPlanExchange) {
+  // rpn = 1 degenerates to the flat exchange: no proxies, no forwards,
+  // inter-node equals the flat split.
+  NodePlanInput input = two_node_input();
+  input.ranks_per_node = 1;
+  const NodeExchangePlan plan = plan_node_exchange(input, ProtoConfig{});
+  EXPECT_EQ(plan.exchange_bytes, 100u + 100 + 50 + 70);
+  // Every pull crosses "nodes" now (each rank is its own node).
+  EXPECT_EQ(plan.inter_node_bytes, plan.flat_inter_node_bytes);
+  EXPECT_EQ(plan.intra_node_bytes, 0u);
+}
+
+TEST(NodeExchange, RoundsBudgetOnlyDedupedDirectTraffic) {
+  NodePlanInput input = two_node_input();
+  // Busiest rank is 0: direct pulls 100 (read 10, as proxy) + 50 (read
+  // 11, same node) plus a direct serve of 70 (read 12) = 220 bytes. A
+  // 100-byte budget makes that 3 rounds; rank 1's forwarded copy of read
+  // 10 rides along without inflating the count (else rank 2 would serve
+  // 200 and the budget arithmetic would diverge from the engine's).
+  input.budgets.assign(4, 100);
+  const NodeExchangePlan plan = plan_node_exchange(input, ProtoConfig{});
+  EXPECT_EQ(plan.rounds, 3u);
+}
+
+TEST(NodeExchange, SelfPullAborts) {
+  NodePlanInput input;
+  input.ranks_per_node = 2;
+  input.pulls.resize(2);
+  input.pulls[0].push_back(PullRequest{5, 0, 10, 40});
+  EXPECT_DEATH(plan_node_exchange(input, ProtoConfig{}), "pulls its own read");
+}

@@ -67,6 +67,19 @@ TEST(Machine, SingleNodeBisectionIsIntranode) {
   EXPECT_DOUBLE_EQ(machine.bisection_bandwidth(), machine.intranode_bandwidth);
 }
 
+TEST(Machine, EveryProfileKeepsIntranodeLatencyBelowInternode) {
+  // Shared-memory transfer setup must never cost more than a NIC hop: a
+  // profile violating this silently erases the simulated benefit of
+  // hierarchy-aware aggregation (the threaded_host profile once shipped
+  // with the two latencies equal).
+  for (const MachineParams& machine :
+       {cori_knl(1), cori_knl(8), cori_knl(512), threaded_host(1), threaded_host(8)}) {
+    EXPECT_LE(machine.intranode_latency, machine.internode_latency);
+    EXPECT_LT(machine.intranode_latency, machine.internode_latency)
+        << "intranode and internode latency should differ, not merely tie";
+  }
+}
+
 // ---------- assignment ----------
 
 class AssignRanks : public ::testing::TestWithParam<std::size_t> {};
@@ -151,7 +164,64 @@ TEST(Assign, TaskCountsBalanced) {
   EXPECT_LT(hi, 2 * lo + 20);
 }
 
+TEST(Assign, LocalityAwarePullsNoMoreThanCountBalanced) {
+  // The locality-aware policy routes a task to whichever owner already
+  // pulls the other read, so it can only remove pull frames relative to
+  // the count-balanced placement — while keeping every conservation
+  // invariant (exercised above via the shared assign() path).
+  const auto workload = small_workload();
+  const SimAssignment balanced = assign(workload, 16, BalancePolicy::kCountBalanced);
+  const SimAssignment local = assign(workload, 16, BalancePolicy::kLocalityAware);
+  std::uint64_t balanced_pulls = 0, local_pulls = 0, local_tasks = 0;
+  for (const auto& work : balanced.ranks) balanced_pulls += work.pulls.size();
+  for (const auto& work : local.ranks) {
+    local_pulls += work.pulls.size();
+    local_tasks += work.total_tasks();
+  }
+  EXPECT_LE(local_pulls, balanced_pulls);
+  EXPECT_EQ(local_tasks, workload.tasks.size());
+}
+
+TEST(Assign, WireModeShrinksPullBytesButNotRawBytes) {
+  const auto workload = small_workload();
+  const SimAssignment off =
+      assign(workload, 16, BalancePolicy::kCountBalanced, proto::WireCompression::kOff);
+  const SimAssignment packed =
+      assign(workload, 16, BalancePolicy::kCountBalanced, proto::WireCompression::kPack2);
+  std::uint64_t off_bytes = 0, off_raw = 0, packed_bytes = 0, packed_raw = 0;
+  for (const auto& work : off.ranks) {
+    off_bytes += work.pull_bytes();
+    off_raw += work.raw_pull_bytes();
+  }
+  for (const auto& work : packed.ranks) {
+    packed_bytes += work.pull_bytes();
+    packed_raw += work.raw_pull_bytes();
+  }
+  EXPECT_EQ(off_bytes, off_raw);       // off is the raw baseline
+  EXPECT_EQ(packed_raw, off_raw);      // raw bytes invariant across modes
+  EXPECT_LT(3 * packed_bytes, off_bytes);  // 2-bit packing is ~4x
+}
+
 // ---------- performance models ----------
+
+TEST(PerfModel, TwoLevelAggregationConservesBytesAndCutsInterNode) {
+  const auto workload = small_workload();
+  const MachineParams machine = cori_knl(2);
+  const SimAssignment assignment = assign(workload, machine.total_ranks());
+
+  SimOptions flat_options = default_options();
+  const SimResult flat = simulate_bsp(machine, assignment, flat_options);
+
+  SimOptions hier_options = flat_options;
+  hier_options.proto.ranks_per_node = machine.cores_per_node;
+  const SimResult hier = simulate_bsp(machine, assignment, hier_options);
+
+  // Aggregation moves bytes from the NIC to the intra-node forward
+  // collective; the totals are conserved and the raw baseline untouched.
+  EXPECT_EQ(hier.exchange_bytes, flat.exchange_bytes);
+  EXPECT_EQ(hier.wire_raw_bytes, flat.wire_raw_bytes);
+  EXPECT_LT(hier.inter_node_bytes, flat.inter_node_bytes);
+}
 
 TEST(PerfModel, TimelineAccountingIsConsistent) {
   const auto workload = small_workload();

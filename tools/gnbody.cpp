@@ -110,6 +110,13 @@ proto::BatchAlignerKind parse_batch_aligner_cli(const std::string& name) {
   return *kind;
 }
 
+proto::WireCompression parse_wire_compression_cli(const std::string& name) {
+  const auto mode = proto::parse_wire_compression(name);
+  GNB_THROW_IF(!mode, "unknown wire compression '" << name
+                                                   << "' (use off | pack2 | pack2-rle | auto)");
+  return *mode;
+}
+
 struct OverlapRun {
   std::vector<align::AlignmentRecord> records;
   /// The stage-1 read partition (nranks+1 boundaries) — the owner map the
@@ -130,7 +137,10 @@ OverlapRun run_overlap(const seq::ReadStore& reads, std::size_t ranks, std::uint
                        double coverage, double error, const std::string& engine_name,
                        std::int32_t min_score, std::uint32_t min_overlap,
                        std::size_t compute_threads = 1, const rt::FaultPlan& faults = {},
-                       proto::BatchAlignerKind batch_aligner = proto::BatchAlignerKind::kAuto) {
+                       proto::BatchAlignerKind batch_aligner = proto::BatchAlignerKind::kAuto,
+                       proto::WireCompression wire_compression =
+                           proto::wire_compression_from_env(proto::WireCompression::kAuto),
+                       std::size_t ranks_per_node = 1) {
   const auto band =
       kmer::reliable_bounds(kmer::BellaParams{coverage, error, k, 1e-3});
   log::info("k-mer filter: k=", k, ", reliable band [", band.lo, ", ", band.hi, "]");
@@ -151,7 +161,11 @@ OverlapRun run_overlap(const seq::ReadStore& reads, std::size_t ranks, std::uint
   engine.filter = align::AlignmentFilter{min_score, min_overlap};
   engine.proto.compute_threads = compute_threads;
   engine.proto.batch_aligner = batch_aligner;
+  engine.proto.wire_compression = wire_compression;
+  engine.proto.ranks_per_node = ranks_per_node;
   log::info(align::batch_aligner_report(batch_aligner));
+  log::info("wire compression: ", proto::to_string(wire_compression),
+            ranks_per_node > 1 ? " (two-level aggregation on)" : "");
   run.scoring = engine.xdrop.scoring;
   const bool async_mode = engine_name == "async";
   GNB_THROW_IF(!async_mode && engine_name != "bsp",
@@ -176,6 +190,8 @@ OverlapRun run_overlap(const seq::ReadStore& reads, std::size_t ranks, std::uint
     run.summary.rounds = std::max(run.summary.rounds, part.rounds);
     run.summary.messages += part.messages;
     run.summary.exchange_bytes += part.exchange_bytes_received;
+    run.summary.wire_sent_bytes += part.exchange_bytes_sent;
+    run.summary.wire_raw_bytes += part.wire_raw_bytes;
     run.records.insert(run.records.end(), part.accepted.begin(), part.accepted.end());
   }
   std::sort(run.records.begin(), run.records.end(),
@@ -235,6 +251,13 @@ int cmd_overlap(int argc, char** argv) {
   auto batch_aligner = cli.opt<std::string>(
       "batch-aligner", proto::to_string(proto::batch_aligner_from_env()),
       "alignment kernel backend: scalar | simd | auto (env GNB_BATCH_ALIGNER)");
+  auto wire_compression = cli.opt<std::string>(
+      "wire-compression", proto::to_string(proto::wire_compression_from_env()),
+      "read payload codec: off | pack2 | pack2-rle | auto (env GNB_WIRE_COMPRESSION)");
+  auto ranks_per_node = cli.opt<std::uint64_t>(
+      "ranks-per-node", 1,
+      "co-located ranks per node for two-level exchange aggregation (1 = flat; "
+      "ignored under --faults)");
   auto breakdown = cli.flag("breakdown", "print the measured phase breakdown table");
   auto trace = cli.opt<std::string>(
       "trace", "", "write a Perfetto/Chrome trace-event JSON (monotonic clock)");
@@ -266,7 +289,9 @@ int cmd_overlap(int argc, char** argv) {
   const auto run = run_overlap(reads, *ranks, static_cast<std::uint32_t>(*k), *coverage,
                                *error, *engine, static_cast<std::int32_t>(*min_score),
                                static_cast<std::uint32_t>(*min_overlap), *compute_threads,
-                               plan, parse_batch_aligner_cli(*batch_aligner));
+                               plan, parse_batch_aligner_cli(*batch_aligner),
+                               parse_wire_compression_cli(*wire_compression),
+                               *ranks_per_node);
 
   if (!trace->empty()) {
     obs::Tracer::bind(nullptr);
@@ -477,6 +502,13 @@ int cmd_sim(int argc, char** argv) {
   auto batch_aligner = cli.opt<std::string>(
       "batch-aligner", proto::to_string(proto::batch_aligner_from_env()),
       "kernel backend to calibrate against: scalar | simd | auto (env GNB_BATCH_ALIGNER)");
+  auto wire_compression = cli.opt<std::string>(
+      "wire-compression", proto::to_string(proto::wire_compression_from_env()),
+      "modeled read payload codec: off | pack2 | pack2-rle | auto (env GNB_WIRE_COMPRESSION)");
+  auto ranks_per_node = cli.opt<std::uint64_t>(
+      "ranks-per-node", 1,
+      "co-located ranks per node for the two-level exchange plan (1 = flat; "
+      "set to the machine's cores per node to model hierarchy-aware aggregation)");
   auto seed = cli.opt<std::uint64_t>("seed", 42, "workload + calibration seed");
   auto assembly = cli.flag(
       "assembly", "model the graph phases (build/reduce/contig) instead of alignment");
@@ -497,7 +529,9 @@ int cmd_sim(int argc, char** argv) {
   // runs compare rank-for-rank against a real trace; only the cluster
   // model gets the 1/scale slice.
   if (!host_machine) sim::scale_slice(machine, *scale);
-  const sim::SimAssignment assignment = sim::assign(workload, machine.total_ranks());
+  const proto::WireCompression wire_mode = parse_wire_compression_cli(*wire_compression);
+  const sim::SimAssignment assignment = sim::assign(
+      workload, machine.total_ranks(), sim::BalancePolicy::kCountBalanced, wire_mode);
   log::info(spec.name, ": ", workload.read_lengths.size(), " model reads, ",
             workload.tasks.size(), " tasks on ", machine.total_ranks(), " virtual ranks (",
             *nodes, " nodes)");
@@ -508,6 +542,8 @@ int cmd_sim(int argc, char** argv) {
   options.calibration = core::calibrate_cost_model(*seed, 0.2, kernel_kind);
   options.proto.compute_threads = *compute_threads;
   options.proto.batch_aligner = kernel_kind;
+  options.proto.wire_compression = wire_mode;
+  options.proto.ranks_per_node = *ranks_per_node;
   if (!faults->empty()) options.faults = rt::FaultPlan::parse(*faults);
   const bool async_mode = *engine == "async";
   GNB_THROW_IF(!async_mode && *engine != "bsp",

@@ -38,8 +38,11 @@ echo "== seeded dataset =="
 "$GNBODY" simulate --genome 20000 --coverage 8 --seed 7 --out "$workdir/reads.fa"
 
 echo "== real 4-rank BSP run (serial, scalar kernel) =="
+# --wire-compression is pinned (not left to GNB_WIRE_COMPRESSION) so the
+# counted wire.sent_bytes baseline cannot drift with the caller's env.
 "$GNBODY" overlap --in "$workdir/reads.fa" --out "$workdir/overlaps.paf" \
   --ranks 4 --engine bsp --compute-threads 1 --batch-aligner scalar \
+  --wire-compression auto \
   --trace "$workdir/trace_real_bsp.json" --metrics "$workdir/metrics_real_bsp.json"
 "$GNBODY" perf report "$workdir/trace_real_bsp.json" \
   --metrics "$workdir/metrics_real_bsp.json" \
@@ -48,7 +51,7 @@ echo "== real 4-rank BSP run (serial, scalar kernel) =="
 echo "== simulated 64-node runs (both engines) =="
 for engine in bsp async; do
   "$GNBODY" sim --dataset tiny --nodes 64 --engine "$engine" --seed 42 \
-    --batch-aligner scalar \
+    --batch-aligner scalar --wire-compression auto \
     --trace "$workdir/trace_sim_$engine.json" \
     --metrics "$workdir/metrics_sim_$engine.json"
   "$GNBODY" perf report "$workdir/trace_sim_$engine.json" \
